@@ -1,0 +1,101 @@
+// Command cordoba runs a closed-system TPC-H workload on the real staged
+// execution engine under a chosen sharing policy and reports throughput —
+// the live counterpart of Figure 6's experiment.
+//
+// Usage:
+//
+//	cordoba [-sf 0.01] [-workers 4] [-clients 8] [-fq4 0.5]
+//	        [-policy model|always|never] [-duration 2s] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+var (
+	sfFlag       = flag.Float64("sf", 0.005, "TPC-H scale factor")
+	seedFlag     = flag.Uint64("seed", 42, "data generator seed")
+	workersFlag  = flag.Int("workers", 4, "emulated processors (engine workers)")
+	clientsFlag  = flag.Int("clients", 8, "closed-loop clients")
+	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4 (rest run Q1)")
+	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never")
+	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration")
+	compareFlag  = flag.Bool("compare", false, "run all three policies and compare")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cordoba:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Printf("generating TPC-H data (sf=%g)...\n", *sfFlag)
+	db, err := tpch.Generate(tpch.Config{ScaleFactor: *sfFlag, Seed: *seedFlag})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lineitem: %d rows, orders: %d rows, customers: %d rows\n",
+		db.Lineitem.NumRows(), db.Orders.NumRows(), db.Customer.NumRows())
+
+	mix := workload.EngineMix{
+		Specs: map[string]engine.QuerySpec{
+			"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0),
+			"Q4": tpch.MustEngineSpec(tpch.Q4, db, 0),
+		},
+		Assignment: workload.Assign("Q1", "Q4", *clientsFlag, *fq4Flag),
+	}
+
+	policies := []engine.SharePolicy{}
+	if *compareFlag {
+		policies = append(policies, policy.ModelGuided{Env: core.NewEnv(float64(*workersFlag))}, policy.Always{}, policy.Never{})
+	} else {
+		p, err := policyByName(*policyFlag)
+		if err != nil {
+			return err
+		}
+		policies = append(policies, p)
+	}
+
+	for _, p := range policies {
+		// A fresh engine per policy keeps group state from leaking across
+		// measurements.
+		e, err := engine.New(engine.Options{Workers: *workersFlag, CopyOnFanOut: true})
+		if err != nil {
+			return err
+		}
+		res, err := mix.Run(e, policy.ForEngine(p), *durationFlag)
+		e.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy=%-7s clients=%d workers=%d fq4=%.0f%%: %d queries in %v (%.1f q/min) %v\n",
+			policy.Name(p), *clientsFlag, *workersFlag, *fq4Flag*100,
+			res.Completions, *durationFlag, res.QueriesPerMinute, res.PerClass)
+	}
+	return nil
+}
+
+func policyByName(name string) (engine.SharePolicy, error) {
+	switch name {
+	case "model":
+		return policy.ModelGuided{Env: core.NewEnv(float64(*workersFlag))}, nil
+	case "always":
+		return policy.Always{}, nil
+	case "never":
+		return policy.Never{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,107 @@
+// Command modelcalc evaluates the work-sharing model for user-supplied plan
+// coefficients: given the work below the pivot, the pivot's own work w and
+// per-consumer output cost s, the work above the pivot, a group size m and a
+// processor count n, it prints the rates, utilizations and the sharing
+// decision.
+//
+// Usage:
+//
+//	modelcalc -below 10 -w 6 -s 1 -above 10 -m 16 -n 8
+//	modelcalc -q6 -m 24 -n 32        # the paper's profiled Q6 parameters
+//	modelcalc -q6 -sweep -n 32       # Z for m = 1..48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+var (
+	belowFlag = flag.String("below", "", "comma-separated p values of operators below the pivot")
+	wFlag     = flag.Float64("w", 0, "pivot own work per unit of forward progress")
+	sFlag     = flag.Float64("s", 0, "pivot output cost per consumer per unit of forward progress")
+	aboveFlag = flag.String("above", "", "comma-separated p values of operators above the pivot")
+	mFlag     = flag.Int("m", 2, "number of queries in the candidate sharing group")
+	nFlag     = flag.Float64("n", 1, "available processors")
+	kFlag     = flag.Float64("k", 1, "hardware contention factor (0 < k ≤ 1)")
+	q6Flag    = flag.Bool("q6", false, "use the paper's profiled TPC-H Q6 parameters")
+	sweepFlag = flag.Bool("sweep", false, "print Z for m = 1..48 instead of a single point")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var q core.Query
+	if *q6Flag {
+		q = core.Q6Paper()
+	} else {
+		below, err := parseList(*belowFlag)
+		if err != nil {
+			return fmt.Errorf("-below: %w", err)
+		}
+		above, err := parseList(*aboveFlag)
+		if err != nil {
+			return fmt.Errorf("-above: %w", err)
+		}
+		q = core.Query{Name: "cli", Below: below, PivotW: *wFlag, PivotS: *sFlag, Above: above}
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	env := core.Env{Processors: *nFlag, KShared: *kFlag, KUnshared: *kFlag}
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("query %q: p_max=%.4g u'=%.4g u=%.4g (peak processors)\n", q.Name, q.PMax(), q.UPrime(), q.U())
+	if *sweepFlag {
+		fmt.Printf("%6s %12s %12s %8s %s\n", "m", "x_unshared", "x_shared", "Z", "decision")
+		for m := 1; m <= 48; m++ {
+			printPoint(q, m, env)
+		}
+		return nil
+	}
+	printPoint(q, *mFlag, env)
+	fmt.Printf("shared utilization u_shared(m)=%.4g of %g processors\n", core.SharedUtilization(q, *mFlag), *nFlag)
+	if be := core.BreakEvenClients(q, env, 256); be != 0 {
+		fmt.Printf("sharing stops paying off at m=%d\n", be)
+	}
+	return nil
+}
+
+func printPoint(q core.Query, m int, env core.Env) {
+	xu := core.UnsharedX(q, m, env)
+	xs := core.SharedX(q, m, env)
+	z := core.Z(q, m, env)
+	decision := "do NOT share"
+	if z > 1 {
+		decision = "SHARE"
+	}
+	fmt.Printf("%6d %12.5g %12.5g %8.4g %s\n", m, xu, xs, z, decision)
+}
+
+func parseList(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseList(t *testing.T) {
+	got, err := parseList(" 1, 2.5 ,3 ")
+	if err != nil || len(got) != 3 || got[1] != 2.5 {
+		t.Errorf("parseList = %v, %v", got, err)
+	}
+	if got, err := parseList(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v", got, err)
+	}
+	if _, err := parseList("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRunQ6Preset(t *testing.T) {
+	*q6Flag = true
+	*mFlag = 24
+	*nFlag = 32
+	if err := run(); err != nil {
+		t.Errorf("q6 preset: %v", err)
+	}
+	*sweepFlag = true
+	if err := run(); err != nil {
+		t.Errorf("q6 sweep: %v", err)
+	}
+	*sweepFlag = false
+	*q6Flag = false
+}
+
+func TestRunCustomCoefficients(t *testing.T) {
+	*belowFlag = "10"
+	*wFlag = 6
+	*sFlag = 1
+	*aboveFlag = "10"
+	*mFlag = 16
+	*nFlag = 8
+	if err := run(); err != nil {
+		t.Errorf("custom run: %v", err)
+	}
+	*belowFlag = "bad"
+	if err := run(); err == nil {
+		t.Error("bad -below accepted")
+	}
+	*belowFlag = ""
+	*wFlag = -1
+	if err := run(); err == nil {
+		t.Error("negative coefficients accepted")
+	}
+	*wFlag = 0
+	*sFlag = 0
+	*aboveFlag = ""
+}

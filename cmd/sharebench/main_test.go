@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+// Every figure target must execute end to end without error (output goes to
+// stdout; correctness of the numbers is asserted by the package tests —
+// this guards the wiring).
+func TestRunAllFigures(t *testing.T) {
+	*clientsFlag = 16
+	*horizonFlag = 800
+	for _, fig := range []string{"example", "1", "2", "4", "5", "6"} {
+		if err := run(fig); err != nil {
+			t.Errorf("figure %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestSweepM(t *testing.T) {
+	ms := sweepM(10)
+	for _, m := range ms {
+		if m > 10 {
+			t.Errorf("sweepM(10) contains %d", m)
+		}
+	}
+	if len(ms) == 0 || ms[0] != 1 {
+		t.Errorf("sweepM = %v", ms)
+	}
+}

@@ -1,0 +1,61 @@
+// Policymix: the Figure 6 scenario. A closed system of clients runs a
+// Q1/Q4 mix on the staged engine under the three sharing policies; the
+// model-guided policy decides per submission, at runtime, whether joining a
+// sharing group beats independent execution.
+//
+// Run with: go run ./examples/policymix
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func main() {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.002, Seed: 7})
+	const (
+		workers  = 4
+		clients  = 8
+		duration = time.Second
+	)
+	mix := workload.EngineMix{
+		Specs: map[string]engine.QuerySpec{
+			"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0),
+			"Q4": tpch.MustEngineSpec(tpch.Q4, db, 0),
+		},
+		Assignment: workload.Assign("Q1", "Q4", clients, 0.5),
+	}
+	fmt.Printf("closed system: %d clients (50%% Q1 / 50%% Q4) on %d emulated processors\n\n", clients, workers)
+	for _, p := range []engine.SharePolicy{
+		policy.ModelGuided{Env: core.NewEnv(workers)},
+		policy.Always{},
+		policy.Never{},
+	} {
+		e, err := engine.New(engine.Options{Workers: workers, CopyOnFanOut: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mix.Run(e, policy.ForEngine(p), duration)
+		e.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s: %5d completions (%8.0f q/min)  per class: %v\n",
+			policy.Name(p), res.Completions, res.QueriesPerMinute, res.PerClass)
+	}
+
+	// The analytic evaluator predicts the same experiment on any hardware;
+	// here is the paper's 32-context machine.
+	fmt.Println("\nmodel-predicted policy ordering for 20 clients on 32 processors:")
+	for _, pt := range workload.Figure6Series(tpch.Model(tpch.Q1), tpch.Model(tpch.Q4), 20, 32, 4) {
+		fmt.Printf("  %3.0f%% Q4: model=%.3g never=%.3g always=%.3g\n",
+			pt.FractionQ4*100, pt.Model, pt.Never, pt.Always)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a query plan with measured work coefficients, compile
+// it against a sharing pivot, and ask the analytical model whether a group
+// of concurrent instances should share work on a given machine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A three-stage pipelined query: a table scan feeding a filter feeding
+	// an aggregate. Coefficients are per unit of forward progress (profile
+	// your system, or see internal/profile for automated estimation).
+	scan := core.NewNode("scan", 9, 10) // w=9 own work, s=10 per-consumer output
+	filter := core.NewNode("filter", 2, 1, scan)
+	agg := core.NewNode("agg", 1, 0, filter)
+	plan := core.Plan{Name: "example", Root: agg}
+	fmt.Print(plan)
+
+	// Candidate pivot: share the scan among concurrent queries.
+	q := core.MustCompile(plan, scan)
+	fmt.Printf("\np_max=%.3g  u'=%.3g  peak utilization u=%.3g processors\n\n",
+		q.PMax(), q.UPrime(), q.U())
+
+	// Should 16 identical queries share the scan?
+	for _, n := range []float64{1, 4, 32} {
+		env := core.NewEnv(n)
+		const m = 16
+		z := core.Z(q, m, env)
+		verdict := "run independently"
+		if core.ShouldShare(q, m, env) {
+			verdict = "share the scan"
+		}
+		fmt.Printf("%2.0f processors, %d clients: Z=%.3g -> %s\n", n, m, z, verdict)
+	}
+
+	// The same decision for a group that mixes different consumers above
+	// the pivot (heterogeneous sharers, Section 5.1).
+	light := q
+	light.Above = []float64{0.5}
+	heavy := q
+	heavy.Above = []float64{8}
+	group := core.Group{Members: []core.Query{light, heavy, heavy}}
+	env := core.NewEnv(4)
+	fmt.Printf("\nmixed group of 3 on 4 processors: Z=%.3g shared-x=%.3g unshared-x=%.3g\n",
+		group.Z(env, core.Closed), group.SharedX(env), group.UnsharedX(env, core.Closed))
+}

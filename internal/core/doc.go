@@ -1,0 +1,47 @@
+// Package core implements the analytical work-sharing model from
+// "To Share or Not To Share?" (Johnson et al., VLDB 2007).
+//
+// The model predicts the rate of forward progress of m concurrent pipelined
+// queries executing on n processors, both when the queries run independently
+// and when they share a common sub-plan, and therefore whether applying work
+// sharing is a net win.
+//
+// # Terms (Table 1 of the paper)
+//
+//	w      work an operator performs per unit of forward progress
+//	s      work required to output a unit of forward progress to EACH consumer
+//	p      total work per unit of forward progress: p = Σ w_i + Σ s_j
+//	r      peak rate of forward progress for a query: r = 1/p_max
+//	u      maximum processor utilization per query: u = u'/p_max, u' = Σ p_k
+//	x(m,n) rate of forward progress given m queries and n processors
+//	φ      the pivot operator — the highest point where sharing is possible
+//	Z(m,n) benefit of sharing: x_shared/x_unshared; share iff Z > 1
+//
+// All streams carry units of forward progress rather than tuples, so that
+// operators with different selectivities are directly comparable: each
+// operator's per-unit work is expressed relative to the forward progress of
+// one reference tuple stream for the query.
+//
+// # Execution semantics captured
+//
+//   - Pipelined plans: the slowest (bottleneck) operator bounds the whole
+//     query, r = 1/p_max.
+//   - Limited hardware: if the group's utilization demand u exceeds the n
+//     available processors, time-sharing uniformly throttles the rate by n/u,
+//     giving x(n) = min(1/p_max, n/u').
+//   - Shared execution at a pivot φ: work below φ executes once for the whole
+//     group; the pivot pays its own w once plus s per consumer, so
+//     p_φ(M) = w_φ + Σ_m s_mφ, which can become the new bottleneck; the
+//     slowest member throttles the group.
+//   - Contention for shared hardware (caches, memory bandwidth): effectively
+//     only n·k processors are available, 0 < k ≤ 1, with possibly different k
+//     for shared and unshared execution.
+//   - Closed systems (Section 5.1): completed queries are immediately
+//     replaced, so group rate uses the harmonic-mean form
+//     r_unshared = M / Σ_m p_max(m) and each query is throttled only by its
+//     own bottleneck.
+//   - Stop-&-go operators (Section 5.2): sorts and hash builds decouple the
+//     rates below and above them; SplitPhases models each phase separately.
+//   - Join decompositions (Section 5.3): NLJ pipelines; MJ = two sorts plus a
+//     merge; HJ = stop-&-go build plus pipelined probe.
+package core

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The Section 4.4 worked example is the strongest ground truth the paper
+// publishes for the model: Q6 with w=9.66, s=10.34 at the scan pivot and
+// p=0.97 for the aggregate must yield the closed forms
+//
+//	p_max = p_φ = 20
+//	u'_unshared(M) = 21·M (paper rounds 20.97 to 21)
+//	x_unshared(M,n) = min(M/20, n/20.97)
+//	p_max_shared(M) = 9.66 + 10.34·M
+//	u'_shared(M)    = 9.66 + 11.31·M
+//	x_shared(M,n)   = min(1/(9.66/M + 10.34), n/(9.66/M + 11.31))
+
+func almostEq(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestQ6PaperPMax(t *testing.T) {
+	q := Q6Paper()
+	almostEq(t, q.PMax(), 20, 1e-9, "p_max")
+	almostEq(t, q.PivotP(1), 20, 1e-9, "p_φ(1)")
+	almostEq(t, q.UPrime(), 20.97, 1e-9, "u'")
+	almostEq(t, q.U(), 20.97/20, 1e-9, "u")
+	almostEq(t, q.R(), 1.0/20, 1e-12, "r")
+}
+
+func TestQ6PaperUnsharedClosedForm(t *testing.T) {
+	q := Q6Paper()
+	for _, m := range []int{1, 2, 5, 10, 48} {
+		for _, n := range []float64{1, 2, 8, 32} {
+			want := math.Min(float64(m)/20, n/20.97)
+			got := UnsharedX(q, m, NewEnv(n))
+			almostEq(t, got, want, 1e-9, "x_unshared")
+		}
+	}
+}
+
+func TestQ6PaperSharedClosedForm(t *testing.T) {
+	q := Q6Paper()
+	for _, m := range []int{1, 2, 5, 10, 48} {
+		fm := float64(m)
+		almostEq(t, q.SharedPMax(m), 9.66+10.34*fm, 1e-9, "p_max_shared")
+		almostEq(t, q.SharedUPrime(m), 9.66+11.31*fm, 1e-9, "u'_shared")
+		for _, n := range []float64{1, 2, 8, 32} {
+			want := math.Min(1/(9.66/fm+10.34), n/(9.66/fm+11.31))
+			got := SharedX(q, m, NewEnv(n))
+			almostEq(t, got, want, 1e-9, "x_shared")
+		}
+	}
+}
+
+// "In this particular case we see that work sharing is only attractive when
+// one processor is available." — Section 4.4.
+func TestQ6PaperSharingOnlyAttractiveOnOneProcessor(t *testing.T) {
+	q := Q6Paper()
+	for m := 2; m <= 48; m++ {
+		if !ShouldShare(q, m, NewEnv(1)) {
+			t.Errorf("m=%d n=1: expected sharing to win, Z=%g", m, Z(q, m, NewEnv(1)))
+		}
+	}
+	for _, n := range []float64{2, 8, 32} {
+		sharedWins := 0
+		for m := 2; m <= 48; m++ {
+			if ShouldShare(q, m, NewEnv(n)) {
+				sharedWins++
+			}
+		}
+		if sharedWins > 0 {
+			t.Errorf("n=%g: sharing predicted beneficial for %d group sizes; paper says only n=1 benefits", n, sharedWins)
+		}
+	}
+}
+
+// Section 1.2: under work sharing Q6 "utilized only three of 32 available
+// hardware contexts, while independent execution utilized all of them",
+// giving roughly a 10x difference at high client counts.
+func TestQ6PaperUtilizationCapAndTenX(t *testing.T) {
+	q := Q6Paper()
+	// Shared utilization tends to (9.66/m + 11.31)/(9.66/m + 10.34) ≈ 1.09:
+	// barely more than one context no matter how many sharers join.
+	for _, m := range []int{8, 16, 48} {
+		u := SharedUtilization(q, m)
+		if u > 1.5 {
+			t.Errorf("m=%d: shared utilization %g, expected ~1.1 (sharing caps parallelism)", m, u)
+		}
+	}
+	// Independent execution of 48 clients can use all 32 contexts.
+	if got := UnsharedUtilization(q, 48); got < 32 {
+		t.Errorf("unshared utilization(48) = %g, want ≥ 32", got)
+	}
+	// The resulting gap on 32 contexts approaches an order of magnitude.
+	env := NewEnv(32)
+	z := Z(q, 48, env)
+	if z > 0.2 {
+		t.Errorf("Z(48,32) = %g, expected ≤ 0.2 (~10x loss from sharing)", z)
+	}
+}
+
+// Figure 1 topmost line: on a uniprocessor, sharing Q6 yields up to ~1.8x.
+func TestQ6PaperUniprocessorSpeedupShape(t *testing.T) {
+	q := Q6Paper()
+	env := NewEnv(1)
+	prev := 0.0
+	for m := 1; m <= 48; m++ {
+		z := Z(q, m, env)
+		if z < prev-1e-9 {
+			t.Errorf("m=%d: uniprocessor speedup decreased (%g -> %g); expected monotone rise to plateau", m, prev, z)
+		}
+		prev = z
+	}
+	final := Z(q, 48, NewEnv(1))
+	if final < 1.5 || final > 2.1 {
+		t.Errorf("Z(48,1) = %g, want ≈ 1.8 (paper: speedups up to 1.8x on 1 cpu)", final)
+	}
+}
+
+func TestQ6WorkEliminated(t *testing.T) {
+	q := Q6Paper()
+	if got := q.WorkEliminated(1); got != 0 {
+		t.Errorf("WorkEliminated(1) = %g, want 0", got)
+	}
+	// As m grows, sharing eliminates up to w_scan/u' = 9.66/20.97 ≈ 46% of
+	// the group's work (the scan's own work executes once; its per-consumer
+	// output and the aggregates are never eliminated).
+	got := q.WorkEliminated(1000)
+	want := 9.66 / 20.97
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("WorkEliminated(1000) = %g, want ≈ %g", got, want)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+// Join plan constructors implementing the decompositions of Section 5.3.
+// Each returns a Plan fragment rooted at the join; the caller attaches
+// whatever operators sit above.
+
+// NLJ builds a (block) nested-loop join node: fully pipelinable, a single
+// operator with two input streams, one usually much more expensive than the
+// other. wOuter and wInner are folded into the join's own work W because the
+// model attributes input-stream work w_i to the consuming operator.
+func NLJ(name string, wOuter, wInner, s float64, outer, inner *PlanNode) *PlanNode {
+	return &PlanNode{
+		Name:     name,
+		W:        wOuter + wInner,
+		S:        s,
+		Kind:     Pipelined,
+		Children: []*PlanNode{outer, inner},
+	}
+}
+
+// MergeJoin builds the three-operation decomposition of a merge join: a
+// stop-&-go sort on each unsorted input feeding a pipelined merge. Passing
+// leftSorted/rightSorted true skips the corresponding sort, per Section
+// 5.3.2: "if any input is already sorted then the corresponding sort
+// operation is unnecessary and the merge join can be pipelined."
+func MergeJoin(name string, wMerge, sMerge float64, left, right *PlanNode, wSortLeft, wSortRight float64, leftSorted, rightSorted bool) *PlanNode {
+	l, r := left, right
+	if !leftSorted {
+		l = NewStopAndGo(name+"/sort-left", wSortLeft, leftOutputCost(left), left)
+	}
+	if !rightSorted {
+		r = NewStopAndGo(name+"/sort-right", wSortRight, leftOutputCost(right), right)
+	}
+	return &PlanNode{
+		Name:     name,
+		W:        wMerge,
+		S:        sMerge,
+		Kind:     Pipelined,
+		Children: []*PlanNode{l, r},
+	}
+}
+
+// leftOutputCost estimates a sort's output cost from its input's output
+// cost: replaying sorted runs costs about as much as the input stream's
+// hand-off did.
+func leftOutputCost(in *PlanNode) float64 {
+	if in == nil {
+		return 0
+	}
+	return in.S
+}
+
+// HashJoin builds the two-phase decomposition of the mainstream hash join:
+// a stop-&-go build over the build input and a pipelined probe consuming the
+// probe input (Section 5.3.3). The build phase decouples everything below it
+// from the probe.
+func HashJoin(name string, wBuild, wProbe, s float64, build, probe *PlanNode) *PlanNode {
+	buildSide := NewStopAndGo(name+"/build", wBuild, 0, build)
+	return &PlanNode{
+		Name:     name + "/probe",
+		W:        wProbe,
+		S:        s,
+		Kind:     Pipelined,
+		Children: []*PlanNode{probe, buildSide},
+	}
+}
+
+// SymmetricHashJoin builds a fully pipelinable hash join (symmetric /
+// XJoin-style): a single pipelined operator, so "the simple model again
+// suffices."
+func SymmetricHashJoin(name string, wLeft, wRight, s float64, left, right *PlanNode) *PlanNode {
+	return &PlanNode{
+		Name:     name,
+		W:        wLeft + wRight,
+		S:        s,
+		Kind:     Pipelined,
+		Children: []*PlanNode{left, right},
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import "math"
+
+// Little's Law helpers (Section 1.2). In a closed system with N queries in
+// flight, throughput X and response time R obey X = N/R: "throttling queries
+// lowers throughput even if the amount of work in the system is reduced at
+// the same time" — the observation that motivates the whole model.
+
+// ResponseTime returns the average per-query response time R = N/X implied
+// by aggregate rate x with m queries in the system. It is +Inf when the
+// system makes no progress.
+func ResponseTime(m int, x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m) / x
+}
+
+// UnsharedResponseTime returns R for m copies of q running independently.
+func UnsharedResponseTime(q Query, m int, env Env) float64 {
+	return ResponseTime(m, UnsharedX(q, m, env))
+}
+
+// SharedResponseTime returns R for m copies of q sharing at the pivot. The
+// sharing delay the pivot imposes shows up directly here: even when sharing
+// removes work, R can grow because the group is throttled to the pivot's
+// fan-out rate.
+func SharedResponseTime(q Query, m int, env Env) float64 {
+	return ResponseTime(m, SharedX(q, m, env))
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResponseTime(t *testing.T) {
+	if got := ResponseTime(10, 2); got != 5 {
+		t.Errorf("R = %g, want 5", got)
+	}
+	if got := ResponseTime(3, 0); !math.IsInf(got, 1) {
+		t.Errorf("stalled system R = %g, want +Inf", got)
+	}
+}
+
+// Little's Law consistency: X·R = N for both execution modes.
+func TestQuickLittlesLawConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		m := 1 + rng.Intn(32)
+		env := NewEnv(1 + float64(rng.Intn(32)))
+		xu := UnsharedX(q, m, env)
+		xs := SharedX(q, m, env)
+		if xu > 0 && math.Abs(xu*UnsharedResponseTime(q, m, env)-float64(m)) > 1e-9 {
+			return false
+		}
+		if xs > 0 && math.Abs(xs*SharedResponseTime(q, m, env)-float64(m)) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's Q6-on-32-contexts story in response-time terms: sharing
+// throttles the group, inflating R by the same ~10-16x factor by which it
+// cuts X.
+func TestQ6SharingInflatesResponseTime(t *testing.T) {
+	q := Q6Paper()
+	env := NewEnv(32)
+	const m = 48
+	rShared := SharedResponseTime(q, m, env)
+	rUnshared := UnsharedResponseTime(q, m, env)
+	if ratio := rShared / rUnshared; ratio < 5 {
+		t.Errorf("sharing inflated R by only %.1fx, want ≥ 5x", ratio)
+	}
+	// On one processor the saved work shortens R instead.
+	env1 := NewEnv(1)
+	if SharedResponseTime(q, m, env1) >= UnsharedResponseTime(q, m, env1) {
+		t.Error("on 1 cpu sharing should shorten response time")
+	}
+}

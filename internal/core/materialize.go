@@ -1,0 +1,35 @@
+package core
+
+import "fmt"
+
+// Materialize returns a copy of the plan in which the named node becomes a
+// stop-&-go operator: its results are materialized rather than pipelined to
+// its consumer. Section 5.1 suggests this for extremely slow consumers in a
+// sharing group — materializing decouples the shared sub-plan's rate from
+// the slow consumer, "to prevent the latter from slowing down the entire
+// pipeline". The transformed plan splits into phases at the materialization
+// point (see SplitPhases), and the shared phase proceeds at its own
+// bottleneck rate instead of being throttled by the slowest sharer.
+func Materialize(pl Plan, nodeName string) (Plan, error) {
+	if err := pl.Validate(); err != nil {
+		return Plan{}, err
+	}
+	found := false
+	var rebuild func(nd *PlanNode) *PlanNode
+	rebuild = func(nd *PlanNode) *PlanNode {
+		cp := &PlanNode{Name: nd.Name, W: nd.W, S: nd.S, Kind: nd.Kind}
+		if nd.Name == nodeName && !found {
+			found = true
+			cp.Kind = StopAndGo
+		}
+		for _, c := range nd.Children {
+			cp.Children = append(cp.Children, rebuild(c))
+		}
+		return cp
+	}
+	root := rebuild(pl.Root)
+	if !found {
+		return Plan{}, fmt.Errorf("core: materialize: no node %q in plan %q", nodeName, pl.Name)
+	}
+	return Plan{Name: pl.Name + " (materialized at " + nodeName + ")", Root: root}, nil
+}

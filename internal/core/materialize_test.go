@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMaterializeMarksNode(t *testing.T) {
+	pl := Fig3Plan()
+	mat, err := Materialize(pl, "pivot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mat.Find("pivot").Kind; got != StopAndGo {
+		t.Errorf("pivot kind = %v, want stop-and-go", got)
+	}
+	// Original untouched.
+	if pl.Find("pivot").Kind != Pipelined {
+		t.Error("Materialize mutated its input")
+	}
+	phases, err := SplitPhases(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Errorf("materialized plan split into %d phases, want 2", len(phases))
+	}
+}
+
+func TestMaterializeMissingNode(t *testing.T) {
+	if _, err := Materialize(Fig3Plan(), "ghost"); err == nil {
+		t.Error("missing node accepted")
+	}
+	if _, err := Materialize(Plan{Name: "empty"}, "x"); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+// The Section 5.1 scenario: a sharing group where one member's consumer is
+// extremely slow. Pipelined, the slow consumer throttles the whole merged
+// plan; materializing the pivot's output decouples the shared phase, which
+// then runs at its own bottleneck rate.
+func TestMaterializeDecouplesSlowConsumer(t *testing.T) {
+	scan := NewNode("scan", 8, 1)
+	pivot := NewNode("pivot", 4, 0.5, scan)
+	slowTop := NewNode("top", 40, 0, pivot) // extremely slow consumer
+	pl := Plan{Name: "slow-consumer", Root: slowTop}
+
+	// Fully pipelined: the merged plan's bottleneck is the slow consumer.
+	q := MustCompile(pl, pl.Find("pivot"))
+	const m = 6
+	if got := q.SharedPMax(m); got != 40 {
+		t.Fatalf("pipelined shared p_max = %g, want 40 (slow top dominates)", got)
+	}
+
+	// Materialize at the pivot: the shared phase no longer contains the
+	// slow consumer, so its bottleneck is the scan/pivot work.
+	mat, err := Materialize(pl, "pivot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := SplitPhases(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedPhase := phases[0]
+	qShared := MustCompile(sharedPhase, sharedPhase.Find("pivot"))
+	if got := qShared.SharedPMax(m); got >= 40 {
+		t.Errorf("materialized shared-phase p_max = %g, want < 40", got)
+	}
+	// The shared phase's group rate beats the throttled pipelined rate on
+	// ample processors.
+	env := NewEnv(16)
+	if SharedX(qShared, m, env) <= SharedX(q, m, env) {
+		t.Errorf("materialization did not speed the shared phase: %g ≤ %g",
+			SharedX(qShared, m, env), SharedX(q, m, env))
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SystemKind selects the queueing-theory regime used to model unshared
+// execution of queries with mismatched rates (Section 5.1).
+type SystemKind int
+
+const (
+	// Closed systems keep a fixed number of requests in flight: every
+	// completed query is immediately replaced, so delays imposed by sharing
+	// directly lower throughput (Little's Law: X = N/R). This is the regime
+	// for data-warehouse analysts issuing query after query, and the paper's
+	// default.
+	Closed SystemKind = iota
+	// Open systems have arrivals independent of response time; unshared
+	// queries are modeled as if throttled to the slowest member's rate.
+	Open
+)
+
+// String returns the regime name.
+func (s SystemKind) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(s))
+	}
+}
+
+// Group is a set of queries considered for sharing at a common pivot. The
+// members must share the same sub-plan below the pivot (same Below work and
+// the same pivot operator W); their per-consumer pivot costs and above-pivot
+// plans may differ.
+type Group struct {
+	// Members are the candidate sharers. A query appearing twice counts as
+	// two instances.
+	Members []Query
+}
+
+// groupTolerance bounds the relative disagreement allowed between members'
+// descriptions of the common sub-plan (profiling noise).
+const groupTolerance = 1e-6
+
+// Validate checks the group is non-empty and members agree on the shared
+// sub-plan (Below multiset sum and PivotW within tolerance).
+func (g Group) Validate() error {
+	if len(g.Members) == 0 {
+		return fmt.Errorf("core: empty sharing group")
+	}
+	ref := g.Members[0]
+	refBelow := sum(ref.Below)
+	for _, q := range g.Members[1:] {
+		if !closeEnough(sum(q.Below), refBelow) || !closeEnough(q.PivotW, ref.PivotW) {
+			return fmt.Errorf("core: group members %q and %q disagree on the shared sub-plan", ref.Name, q.Name)
+		}
+	}
+	for _, q := range g.Members {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func closeEnough(a, b float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= groupTolerance*math.Max(scale, 1)
+}
+
+// M returns the number of queries in the group.
+func (g Group) M() int { return len(g.Members) }
+
+// SharedPMax returns the bottleneck of the merged plan: below-pivot operators
+// once, the pivot with p_φ(M) = w_φ + Σ_m s_mφ, and every member's
+// above-pivot operators.
+func (g Group) SharedPMax() float64 {
+	ref := g.Members[0]
+	pm := g.PivotP()
+	for _, p := range ref.Below {
+		pm = math.Max(pm, p)
+	}
+	for _, q := range g.Members {
+		for _, p := range q.Above {
+			pm = math.Max(pm, p)
+		}
+	}
+	return pm
+}
+
+// PivotP returns p_φ(M) = w_φ + Σ_m s_mφ for the group.
+func (g Group) PivotP() float64 {
+	p := g.Members[0].PivotW
+	for _, q := range g.Members {
+		p += q.PivotS
+	}
+	return p
+}
+
+// SharedUPrime returns u'_shared for the merged plan.
+func (g Group) SharedUPrime() float64 {
+	ref := g.Members[0]
+	total := g.PivotP() + sum(ref.Below)
+	for _, q := range g.Members {
+		total += sum(q.Above)
+	}
+	return total
+}
+
+// SharedX returns the aggregate forward-progress rate of the group under
+// shared execution. The slowest member throttles all (the merged plan has a
+// single rate).
+func (g Group) SharedX(env Env) float64 {
+	return rate(float64(g.M()), g.SharedPMax(), g.SharedUPrime(), env.EffectiveShared())
+}
+
+// UnsharedX returns the aggregate rate of the group executing independently
+// under the given system regime (Section 5.1).
+//
+// Open: all members modeled as throttled to the slowest member's rate.
+// Closed: r_unshared = M/Σ_m p_max(m) (faster queries raise the harmonic
+// mean) and each member is throttled only by its own bottleneck, giving
+// utilization u = Σ_m u'_m/p_max(m).
+func (g Group) UnsharedX(env Env, kind SystemKind) float64 {
+	n := env.EffectiveUnshared()
+	m := float64(g.M())
+	switch kind {
+	case Open:
+		var pSlow, uTotal float64
+		for _, q := range g.Members {
+			pSlow = math.Max(pSlow, q.PMax())
+			uTotal += q.UPrime()
+		}
+		return rate(m, pSlow, uTotal, n)
+	case Closed:
+		// r_unshared is M times the harmonic mean of the members' peak
+		// rates — faster queries raise the group rate — and each member is
+		// throttled only by its own bottleneck, so utilization is
+		// u = Σ_m u'_m / p_max(m). In the homogeneous limit this reduces to
+		// the Section 4.2 equations exactly.
+		var pSum, u float64
+		for _, q := range g.Members {
+			pm := q.PMax()
+			pSum += pm
+			if pm > 0 {
+				u += q.UPrime() / pm
+			}
+		}
+		if pSum == 0 {
+			return math.Inf(1)
+		}
+		r := m * m / pSum
+		if u == 0 {
+			return r
+		}
+		return r * math.Min(1, n/u)
+	default:
+		panic(fmt.Sprintf("core: unknown system kind %d", int(kind)))
+	}
+}
+
+// Z returns the sharing benefit for the group under the given regime.
+func (g Group) Z(env Env, kind SystemKind) float64 {
+	xu := g.UnsharedX(env, kind)
+	xs := g.SharedX(env)
+	switch {
+	case xu == 0 && xs == 0:
+		return 1
+	case xu == 0:
+		return math.Inf(1)
+	default:
+		return xs / xu
+	}
+}
+
+// ShouldShare reports whether the model recommends sharing the group.
+func (g Group) ShouldShare(env Env, kind SystemKind) bool {
+	return g.Z(env, kind) > 1
+}
+
+// Homogeneous builds a group of m copies of q. For homogeneous groups
+// Group.SharedX(env) equals SharedX(q, m, env) and Group.UnsharedX under
+// either regime equals UnsharedX(q, m, env).
+func Homogeneous(q Query, m int) Group {
+	members := make([]Query, m)
+	for i := range members {
+		members[i] = q
+	}
+	return Group{Members: members}
+}
+
+// MarginalBenefit reports whether adding candidate to the group keeps the
+// group's shared execution preferable to running the enlarged group
+// unshared. Cordoba's admission test (Section 8.1) uses this to stop adding
+// sharers once the pivot starts to become a bottleneck.
+func (g Group) MarginalBenefit(candidate Query, env Env, kind SystemKind) bool {
+	enlarged := Group{Members: append(append([]Query{}, g.Members...), candidate)}
+	if err := enlarged.Validate(); err != nil {
+		return false
+	}
+	return enlarged.ShouldShare(env, kind)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHomogeneousGroupMatchesScalarAPI(t *testing.T) {
+	for _, q := range []Query{Q6Paper(), Fig3Query(), Fig4RightQuery(2)} {
+		for _, m := range []int{1, 2, 7, 32} {
+			g := Homogeneous(q, m)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s m=%d: %v", q.Name, m, err)
+			}
+			for _, n := range []float64{1, 8, 32} {
+				env := NewEnv(n)
+				almostEq(t, g.SharedX(env), SharedX(q, m, env), 1e-9, "group shared rate")
+				almostEq(t, g.UnsharedX(env, Closed), UnsharedX(q, m, env), 1e-9, "group closed unshared rate")
+				almostEq(t, g.UnsharedX(env, Open), UnsharedX(q, m, env), 1e-9, "group open unshared rate")
+				almostEq(t, g.Z(env, Closed), Z(q, m, env), 1e-9, "group Z")
+			}
+		}
+	}
+}
+
+func TestGroupValidate(t *testing.T) {
+	if err := (Group{}).Validate(); err == nil {
+		t.Error("empty group accepted")
+	}
+	a := Query{Name: "a", Below: []float64{10}, PivotW: 5, PivotS: 1, Above: []float64{2}}
+	b := Query{Name: "b", Below: []float64{10}, PivotW: 5, PivotS: 3, Above: []float64{9, 4}}
+	if err := (Group{Members: []Query{a, b}}).Validate(); err != nil {
+		t.Errorf("compatible members rejected: %v", err)
+	}
+	c := Query{Name: "c", Below: []float64{99}, PivotW: 5, PivotS: 1}
+	if err := (Group{Members: []Query{a, c}}).Validate(); err == nil {
+		t.Error("members with different shared sub-plans accepted")
+	}
+	d := Query{Name: "d", Below: []float64{10}, PivotW: 7, PivotS: 1}
+	if err := (Group{Members: []Query{a, d}}).Validate(); err == nil {
+		t.Error("members with different pivot work accepted")
+	}
+}
+
+func TestGroupPivotFanOut(t *testing.T) {
+	a := Query{Name: "a", Below: []float64{10}, PivotW: 5, PivotS: 1, Above: []float64{2}}
+	b := Query{Name: "b", Below: []float64{10}, PivotW: 5, PivotS: 3, Above: []float64{4}}
+	g := Group{Members: []Query{a, b}}
+	// p_φ(M) = w + Σ s_mφ = 5 + 1 + 3.
+	almostEq(t, g.PivotP(), 9, 1e-12, "p_φ")
+	// u'_shared = below(10) + p_φ(9) + above(2+4).
+	almostEq(t, g.SharedUPrime(), 25, 1e-12, "u'_shared")
+	almostEq(t, g.SharedPMax(), 10, 1e-12, "p_max shared")
+}
+
+// A mismatched group in a closed system: the fast query raises the harmonic
+// mean, so closed-system unshared throughput exceeds the open-system
+// (slowest-throttled) estimate.
+func TestClosedBeatsOpenForMismatchedRates(t *testing.T) {
+	slow := Query{Name: "slow", Below: []float64{10}, PivotW: 5, PivotS: 1, Above: []float64{30}}
+	fast := Query{Name: "fast", Below: []float64{10}, PivotW: 5, PivotS: 1, Above: []float64{1}}
+	g := Group{Members: []Query{slow, fast}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(8)
+	xClosed := g.UnsharedX(env, Closed)
+	xOpen := g.UnsharedX(env, Open)
+	if xClosed <= xOpen {
+		t.Errorf("closed %g ≤ open %g; faster queries should raise the closed-system harmonic mean", xClosed, xOpen)
+	}
+}
+
+func TestClosedSystemHarmonicMean(t *testing.T) {
+	// Two queries with p_max 10 and 30 and unlimited processors: the closed
+	// form r = M²/Σp_max = 4/40 = 0.1 (M times the harmonic mean of the
+	// member rates 1/10 and 1/30).
+	slow := Query{Name: "slow", PivotW: 25, PivotS: 5}
+	fast := Query{Name: "fast", PivotW: 5, PivotS: 5}
+	g := Group{Members: []Query{slow, fast}}
+	env := NewEnv(1e9)
+	almostEq(t, g.UnsharedX(env, Closed), 4.0/40, 1e-9, "harmonic-mean rate")
+	// Open system: both throttled to the slowest, r = 2·(1/30).
+	almostEq(t, g.UnsharedX(env, Open), 2.0/30, 1e-9, "slowest-throttled rate")
+}
+
+func TestGroupZAndDecision(t *testing.T) {
+	q := Q6Paper()
+	g := Homogeneous(q, 10)
+	if !g.ShouldShare(NewEnv(1), Closed) {
+		t.Error("Q6 x10 on 1 cpu: model should recommend sharing")
+	}
+	if g.ShouldShare(NewEnv(32), Closed) {
+		t.Error("Q6 x10 on 32 cpu: model should recommend independent execution")
+	}
+}
+
+func TestMarginalBenefit(t *testing.T) {
+	q := Q6Paper()
+	env := NewEnv(1)
+	g := Homogeneous(q, 3)
+	if !g.MarginalBenefit(q, env, Closed) {
+		t.Error("on 1 cpu adding a sharer to a Q6 group should stay beneficial")
+	}
+	env32 := NewEnv(32)
+	if g.MarginalBenefit(q, env32, Closed) {
+		t.Error("on 32 cpu adding a sharer to a Q6 group should be rejected")
+	}
+	// Incompatible candidates are always rejected.
+	other := Query{Name: "other", Below: []float64{123}, PivotW: 1, PivotS: 1}
+	if g.MarginalBenefit(other, env, Closed) {
+		t.Error("incompatible candidate accepted")
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	if Closed.String() != "closed" || Open.String() != "open" {
+		t.Errorf("got %q/%q", Closed.String(), Open.String())
+	}
+	if got := SystemKind(42).String(); got == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}
+
+// Property: group shared rate is invariant under member permutation.
+func TestQuickGroupPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomQuery(rng)
+		m := 2 + rng.Intn(6)
+		members := make([]Query, m)
+		for i := range members {
+			q := base
+			q.PivotS = rng.Float64() * 5
+			q.Above = []float64{rng.Float64() * 10}
+			members[i] = q
+		}
+		g := Group{Members: members}
+		perm := rng.Perm(m)
+		shuffled := make([]Query, m)
+		for i, j := range perm {
+			shuffled[i] = members[j]
+		}
+		g2 := Group{Members: shuffled}
+		env := NewEnv(1 + float64(rng.Intn(32)))
+		return math.Abs(g.SharedX(env)-g2.SharedX(env)) < 1e-9 &&
+			math.Abs(g.UnsharedX(env, Closed)-g2.UnsharedX(env, Closed)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the group's shared bottleneck never falls below any member's own
+// unshared bottleneck (sharing can only slow the pipeline's slowest stage).
+func TestQuickSharedBottleneckDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomQuery(rng)
+		m := 1 + rng.Intn(8)
+		g := Homogeneous(base, m)
+		return g.SharedPMax() >= base.PMax()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SplitPhases decomposes a plan containing stop-&-go operators into a
+// sequence of fully pipelined phases (Section 5.2). The
+// production/consumption rates below a stop-&-go operator are decoupled from
+// those above it, so each phase is modeled as an independent query:
+//
+//   - Phase i contains every minimal stop-&-go subtree of the remaining plan
+//     (minimal: no stop-&-go descendants). During this phase the stop-&-go
+//     node consumes its input but produces nothing, so it contributes only
+//     its own work W.
+//   - In the following phase each completed stop-&-go node is replaced by a
+//     leaf that replays the materialized result: zero consume work, original
+//     per-consumer output cost S. ("A final sub-query with an extremely fast
+//     scan at its leaf node.")
+//
+// Phases with multiple concurrent roots (e.g. the two sorts of a merge join)
+// are wrapped under a zero-cost synthetic root so each phase remains a Plan.
+// A plan without stop-&-go nodes yields a single phase: the plan itself.
+func SplitPhases(pl Plan) ([]Plan, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	var phases []Plan
+	current := clonePlan(pl.Root)
+	for i := 0; ; i++ {
+		frontier := minimalStopNodes(current)
+		if len(frontier) == 0 {
+			break
+		}
+		// The frontier subtrees execute concurrently as this phase.
+		roots := make([]*PlanNode, len(frontier))
+		for j, nd := range frontier {
+			sub := clonePlan(nd)
+			sub.S = 0 // no output during the consuming phase
+			sub.Kind = Pipelined
+			roots[j] = sub
+		}
+		phases = append(phases, wrapPhase(fmt.Sprintf("%s/phase%d", pl.Name, i+1), roots))
+		// Replace each completed stop-&-go subtree with a replay leaf.
+		current = replaceStopNodes(current, frontier)
+	}
+	phases = append(phases, Plan{Name: fmt.Sprintf("%s/phase%d", pl.Name, len(phases)+1), Root: current})
+	if len(phases) == 1 {
+		phases[0].Name = pl.Name
+	}
+	return phases, nil
+}
+
+// clonePlan deep-copies a subtree so phase splitting never mutates the input.
+func clonePlan(nd *PlanNode) *PlanNode {
+	if nd == nil {
+		return nil
+	}
+	cp := &PlanNode{Name: nd.Name, W: nd.W, S: nd.S, Kind: nd.Kind}
+	for _, c := range nd.Children {
+		cp.Children = append(cp.Children, clonePlan(c))
+	}
+	return cp
+}
+
+// minimalStopNodes returns stop-&-go nodes that have no stop-&-go
+// descendants, in pre-order.
+func minimalStopNodes(root *PlanNode) []*PlanNode {
+	var out []*PlanNode
+	var hasStopBelow func(nd *PlanNode) bool
+	hasStopBelow = func(nd *PlanNode) bool {
+		found := false
+		for _, c := range nd.Children {
+			if c.Kind == StopAndGo || hasStopBelow(c) {
+				found = true
+			}
+		}
+		return found
+	}
+	var walk func(nd *PlanNode)
+	walk = func(nd *PlanNode) {
+		if nd == nil {
+			return
+		}
+		if nd.Kind == StopAndGo && !hasStopBelow(nd) {
+			out = append(out, nd)
+			return
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// replaceStopNodes substitutes each frontier node with its replay leaf.
+func replaceStopNodes(root *PlanNode, frontier []*PlanNode) *PlanNode {
+	inFrontier := make(map[*PlanNode]bool, len(frontier))
+	for _, nd := range frontier {
+		inFrontier[nd] = true
+	}
+	var rebuild func(nd *PlanNode) *PlanNode
+	rebuild = func(nd *PlanNode) *PlanNode {
+		if inFrontier[nd] {
+			return &PlanNode{Name: nd.Name + " (materialized)", W: 0, S: nd.S, Kind: Pipelined}
+		}
+		cp := &PlanNode{Name: nd.Name, W: nd.W, S: nd.S, Kind: nd.Kind}
+		for _, c := range nd.Children {
+			cp.Children = append(cp.Children, rebuild(c))
+		}
+		return cp
+	}
+	return rebuild(root)
+}
+
+// wrapPhase joins concurrent phase roots under one plan.
+func wrapPhase(name string, roots []*PlanNode) Plan {
+	if len(roots) == 1 {
+		return Plan{Name: name, Root: roots[0]}
+	}
+	return Plan{Name: name, Root: &PlanNode{Name: "phase", W: 0, S: 0, Kind: Pipelined, Children: roots}}
+}
+
+// PhasedRate returns the effective end-to-end rate of a query whose phases
+// execute sequentially, each at rate x_i: processing one unit of forward
+// progress takes Σ 1/x_i, so the effective rate is the harmonic combination
+// 1/Σ(1/x_i). Infinite phase rates (zero-work phases) contribute nothing.
+func PhasedRate(phaseRates []float64) float64 {
+	var total float64
+	for _, x := range phaseRates {
+		if x <= 0 {
+			return 0
+		}
+		if math.IsInf(x, 1) {
+			continue
+		}
+		total += 1 / x
+	}
+	if total == 0 {
+		return math.Inf(1)
+	}
+	return 1 / total
+}
+
+// PhasedZ evaluates the sharing benefit of a multi-phase plan when m copies
+// share at the named pivot. Phases not containing the pivot execute unshared
+// in both scenarios; the phase containing the pivot is compared shared vs
+// unshared. The overall benefit is the ratio of effective phased rates.
+func PhasedZ(pl Plan, pivotName string, m int, env Env) (float64, error) {
+	phases, err := SplitPhases(pl)
+	if err != nil {
+		return 0, err
+	}
+	var shared, unshared []float64
+	foundPivot := false
+	for _, ph := range phases {
+		pivot := ph.Find(pivotName)
+		if pivot == nil {
+			// Pivot not in this phase: fall back to the root as a formal
+			// pivot; shared == unshared because we never merge here.
+			q, err := Compile(ph, ph.Root)
+			if err != nil {
+				return 0, err
+			}
+			xu := UnsharedX(q, m, env)
+			unshared = append(unshared, xu)
+			shared = append(shared, xu)
+			continue
+		}
+		foundPivot = true
+		q, err := Compile(ph, pivot)
+		if err != nil {
+			return 0, err
+		}
+		unshared = append(unshared, UnsharedX(q, m, env))
+		shared = append(shared, SharedX(q, m, env))
+	}
+	if !foundPivot {
+		return 0, fmt.Errorf("%w: %q in any phase of %q", ErrPivotNotFound, pivotName, pl.Name)
+	}
+	xu := PhasedRate(unshared)
+	xs := PhasedRate(shared)
+	switch {
+	case xu == 0 && xs == 0:
+		return 1, nil
+	case xu == 0:
+		return math.Inf(1), nil
+	default:
+		return xs / xu, nil
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sortPlan() Plan {
+	scan := NewNode("scan", 4, 2)
+	sort := NewStopAndGo("sort", 6, 1, scan)
+	agg := NewNode("agg", 3, 0, sort)
+	return Plan{Name: "sorted-agg", Root: agg}
+}
+
+func TestSplitPhasesPipelinedPlanIsSinglePhase(t *testing.T) {
+	phases, err := SplitPhases(Fig3Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Fatalf("got %d phases, want 1", len(phases))
+	}
+	if phases[0].Name != "fig3 synthetic" {
+		t.Errorf("single phase renamed to %q", phases[0].Name)
+	}
+}
+
+func TestSplitPhasesSort(t *testing.T) {
+	phases, err := SplitPhases(sortPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (consume-and-sort, replay-and-aggregate)", len(phases))
+	}
+	// Phase 1: scan feeding the sort's run generation; the sort emits
+	// nothing during this phase.
+	p1 := phases[0]
+	sortNode := p1.Find("sort")
+	if sortNode == nil {
+		t.Fatal("phase 1 lost the sort node")
+	}
+	if sortNode.S != 0 {
+		t.Errorf("phase-1 sort S = %g, want 0 (no output while consuming)", sortNode.S)
+	}
+	if sortNode.Kind != Pipelined {
+		t.Errorf("phase-1 sort still marked stop-and-go")
+	}
+	if p1.Find("scan") == nil {
+		t.Error("phase 1 lost the scan")
+	}
+	if p1.Find("agg") != nil {
+		t.Error("phase 1 contains the aggregate, which runs only after the sort completes")
+	}
+	// Phase 2: materialized replay leaf feeding the aggregate.
+	p2 := phases[1]
+	leaf := p2.Find("sort (materialized)")
+	if leaf == nil {
+		t.Fatalf("phase 2 missing replay leaf; plan:\n%s", p2)
+	}
+	if leaf.W != 0 || leaf.S != 1 {
+		t.Errorf("replay leaf (w,s) = (%g,%g), want (0,1)", leaf.W, leaf.S)
+	}
+	if p2.Find("agg") == nil {
+		t.Error("phase 2 lost the aggregate")
+	}
+	if p2.Find("scan") != nil {
+		t.Error("phase 2 still contains the scan")
+	}
+}
+
+func TestSplitPhasesDoesNotMutateInput(t *testing.T) {
+	pl := sortPlan()
+	before := pl.String()
+	if _, err := SplitPhases(pl); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.String(); got != before {
+		t.Errorf("SplitPhases mutated its input:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+}
+
+func TestSplitPhasesMergeJoin(t *testing.T) {
+	left := NewNode("scan-left", 5, 1)
+	right := NewNode("scan-right", 4, 1)
+	mj := MergeJoin("mj", 3, 0.5, left, right, 6, 6, false, false)
+	pl := Plan{Name: "merge-join", Root: mj}
+	phases, err := SplitPhases(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (both sorts concurrently, then merge)", len(phases))
+	}
+	// Both sorts land in phase 1 under a synthetic zero-cost root.
+	p1 := phases[0]
+	if p1.Find("mj/sort-left") == nil || p1.Find("mj/sort-right") == nil {
+		t.Errorf("phase 1 should contain both sorts:\n%s", p1)
+	}
+	if root := p1.Root; root.P() != 0 {
+		t.Errorf("synthetic phase root has p = %g, want 0", root.P())
+	}
+	p2 := phases[1]
+	if p2.Find("mj") == nil {
+		t.Error("phase 2 lost the merge")
+	}
+	if !strings.Contains(p2.String(), "materialized") {
+		t.Errorf("phase 2 missing materialized leaves:\n%s", p2)
+	}
+}
+
+func TestSplitPhasesSortedInputsPipelineMergeJoin(t *testing.T) {
+	left := NewNode("scan-left", 5, 1)
+	right := NewNode("scan-right", 4, 1)
+	mj := MergeJoin("mj", 3, 0.5, left, right, 6, 6, true, true)
+	phases, err := SplitPhases(Plan{Name: "pipelined-mj", Root: mj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Errorf("pre-sorted merge join split into %d phases, want 1", len(phases))
+	}
+}
+
+func TestSplitPhasesHashJoin(t *testing.T) {
+	build := NewNode("scan-build", 3, 1)
+	probe := NewNode("scan-probe", 8, 1)
+	hj := HashJoin("hj", 4, 2, 0.3, build, probe)
+	agg := NewNode("agg", 1, 0, hj)
+	phases, err := SplitPhases(Plan{Name: "hash-join", Root: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (build, probe)", len(phases))
+	}
+	p1 := phases[0]
+	if p1.Find("hj/build") == nil || p1.Find("scan-build") == nil {
+		t.Errorf("build phase wrong:\n%s", p1)
+	}
+	if p1.Find("scan-probe") != nil {
+		t.Error("probe-side scan leaked into the build phase")
+	}
+	p2 := phases[1]
+	if p2.Find("hj/probe") == nil || p2.Find("scan-probe") == nil || p2.Find("agg") == nil {
+		t.Errorf("probe phase wrong:\n%s", p2)
+	}
+}
+
+func TestSplitPhasesNestedStopAndGo(t *testing.T) {
+	scan := NewNode("scan", 2, 1)
+	innerSort := NewStopAndGo("inner-sort", 3, 1, scan)
+	mid := NewNode("mid", 1, 1, innerSort)
+	outerSort := NewStopAndGo("outer-sort", 4, 1, mid)
+	top := NewNode("top", 1, 0, outerSort)
+	phases, err := SplitPhases(Plan{Name: "nested", Root: top})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3 for nested stop-&-go", len(phases))
+	}
+}
+
+func TestSymmetricHashJoinStaysPipelined(t *testing.T) {
+	l := NewNode("l", 1, 1)
+	r := NewNode("r", 1, 1)
+	shj := SymmetricHashJoin("shj", 2, 3, 0.5, l, r)
+	phases, err := SplitPhases(Plan{Name: "shj", Root: shj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Errorf("symmetric hash join split into %d phases, want 1", len(phases))
+	}
+	if shj.W != 5 {
+		t.Errorf("symmetric hash join W = %g, want wLeft+wRight = 5", shj.W)
+	}
+}
+
+func TestNLJIsSingleOperator(t *testing.T) {
+	outer := NewNode("outer", 2, 1)
+	inner := NewNode("inner", 1, 1)
+	nlj := NLJ("nlj", 7, 2, 0.5, outer, inner)
+	if nlj.W != 9 {
+		t.Errorf("NLJ W = %g, want 9 (wOuter+wInner)", nlj.W)
+	}
+	phases, err := SplitPhases(Plan{Name: "nlj", Root: nlj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Errorf("NLJ split into %d phases, want 1", len(phases))
+	}
+}
+
+func TestPhasedRate(t *testing.T) {
+	almostEq(t, PhasedRate([]float64{2, 2}), 1, 1e-12, "two rate-2 phases combine to 1")
+	almostEq(t, PhasedRate([]float64{1}), 1, 1e-12, "single phase passthrough")
+	if got := PhasedRate(nil); !math.IsInf(got, 1) {
+		t.Errorf("no phases = %g, want +Inf", got)
+	}
+	if got := PhasedRate([]float64{1, 0}); got != 0 {
+		t.Errorf("stalled phase = %g, want 0", got)
+	}
+	almostEq(t, PhasedRate([]float64{math.Inf(1), 4}), 4, 1e-12, "infinite phases contribute nothing")
+}
+
+func TestPhasedZHashJoinShareBuild(t *testing.T) {
+	// Share at the build-side scan: on one processor this must help (saved
+	// work always wins on a saturated uniprocessor).
+	build := NewNode("scan-build", 6, 1)
+	probe := NewNode("scan-probe", 8, 1)
+	hj := HashJoin("hj", 4, 2, 0.3, build, probe)
+	pl := Plan{Name: "hj-query", Root: NewNode("agg", 1, 0, hj)}
+	z, err := PhasedZ(pl, "scan-build", 16, NewEnv(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z < 1 {
+		t.Errorf("Z = %g, want ≥ 1 on a saturated uniprocessor", z)
+	}
+	// The probe phase runs unshared either way, so the overall benefit is
+	// diluted relative to sharing a fully pipelined plan.
+	buildOnly := Plan{Name: "build-only", Root: NewStopAndGo("hjb", 4, 0, build)}
+	phases, err := SplitPhases(buildOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile(phases[0], phases[0].Find("scan-build"))
+	zBuild := Z(q, 16, NewEnv(1))
+	if z > zBuild+1e-9 {
+		t.Errorf("phased Z %g exceeds build-phase-only Z %g; the unshared probe phase should dilute the benefit", z, zBuild)
+	}
+}
+
+func TestPhasedZPivotMissing(t *testing.T) {
+	if _, err := PhasedZ(Fig3Plan(), "no-such-node", 4, NewEnv(2)); err == nil {
+		t.Error("missing pivot accepted")
+	}
+}
+
+func TestPhasedZMatchesZForPipelinedPlan(t *testing.T) {
+	pl := Fig3Plan()
+	for _, m := range []int{1, 4, 16} {
+		for _, n := range []float64{1, 8, 32} {
+			z, err := PhasedZ(pl, "pivot", m, NewEnv(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Z(Fig3Query(), m, NewEnv(n))
+			almostEq(t, z, want, 1e-9, "PhasedZ vs Z on single-phase plan")
+		}
+	}
+}

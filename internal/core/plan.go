@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// NodeKind classifies a plan node's pipelining behaviour.
+type NodeKind int
+
+const (
+	// Pipelined operators pass results to consumers as soon as possible and
+	// at a constant rate (scan, filter, probe, streaming aggregate, NLJ, ...).
+	Pipelined NodeKind = iota
+	// StopAndGo operators must consume their entire input before producing
+	// any output (sort, hash-join build). They decouple the rates of the
+	// sub-plan below from the operators above (Section 5.2).
+	StopAndGo
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case Pipelined:
+		return "pipelined"
+	case StopAndGo:
+		return "stop-and-go"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// PlanNode is one operator in a query plan tree. Work figures are expressed
+// per unit of forward progress of the query's reference stream (Section 4.1.1),
+// so selectivity is folded into the coefficients and nodes are comparable.
+type PlanNode struct {
+	// Name identifies the operator ("scan lineitem", "hash join", ...).
+	Name string
+	// W is the operator's own work per unit of forward progress, covering
+	// all of its input streams (Σ w_i in the paper).
+	W float64
+	// S is the work required to output one unit of forward progress to each
+	// consumer (s_j in the paper). In a plan tree every node has exactly one
+	// consumer, so the unshared p of a node is W + S; under sharing the pivot
+	// pays S once per sharer.
+	S float64
+	// Kind marks the node pipelined or stop-and-go.
+	Kind NodeKind
+	// Children are the input sub-plans (0 for leaves, 2 for joins, ...).
+	Children []*PlanNode
+}
+
+// P returns the node's total work per unit of forward progress when it has a
+// single consumer: p = W + S.
+func (nd *PlanNode) P() float64 { return nd.W + nd.S }
+
+// NewNode constructs a pipelined plan node.
+func NewNode(name string, w, s float64, children ...*PlanNode) *PlanNode {
+	return &PlanNode{Name: name, W: w, S: s, Kind: Pipelined, Children: children}
+}
+
+// NewStopAndGo constructs a stop-and-go plan node (sort, hash build).
+func NewStopAndGo(name string, w, s float64, children ...*PlanNode) *PlanNode {
+	return &PlanNode{Name: name, W: w, S: s, Kind: StopAndGo, Children: children}
+}
+
+// Plan is a rooted operator tree for one query.
+type Plan struct {
+	// Name identifies the query ("TPC-H Q6").
+	Name string
+	// Root is the top of the tree; its output goes to the client.
+	Root *PlanNode
+}
+
+// Errors reported by plan validation and compilation.
+var (
+	ErrNilPlan       = errors.New("core: plan has no root")
+	ErrNegativeWork  = errors.New("core: negative work coefficient")
+	ErrPivotNotFound = errors.New("core: pivot node not found in plan")
+	ErrNodeRepeated  = errors.New("core: node appears more than once in plan tree")
+)
+
+// Validate checks structural sanity: non-nil root, non-negative coefficients,
+// and that the tree is in fact a tree (no shared or cyclic nodes).
+func (pl Plan) Validate() error {
+	if pl.Root == nil {
+		return ErrNilPlan
+	}
+	seen := make(map[*PlanNode]bool)
+	var walk func(nd *PlanNode) error
+	walk = func(nd *PlanNode) error {
+		if nd == nil {
+			return ErrNilPlan
+		}
+		if seen[nd] {
+			return fmt.Errorf("%w: %q", ErrNodeRepeated, nd.Name)
+		}
+		seen[nd] = true
+		if nd.W < 0 || nd.S < 0 {
+			return fmt.Errorf("%w: node %q (w=%g s=%g)", ErrNegativeWork, nd.Name, nd.W, nd.S)
+		}
+		for _, c := range nd.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(pl.Root)
+}
+
+// Nodes returns every node in the plan in pre-order.
+func (pl Plan) Nodes() []*PlanNode {
+	var out []*PlanNode
+	var walk func(nd *PlanNode)
+	walk = func(nd *PlanNode) {
+		if nd == nil {
+			return
+		}
+		out = append(out, nd)
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	walk(pl.Root)
+	return out
+}
+
+// Find returns the first node with the given name in pre-order, or nil.
+func (pl Plan) Find(name string) *PlanNode {
+	for _, nd := range pl.Nodes() {
+		if nd.Name == name {
+			return nd
+		}
+	}
+	return nil
+}
+
+// TotalWork returns the sum of p over all nodes: the total work one
+// independent execution of the query injects into the system (u' in the
+// paper, before any sharing).
+func (pl Plan) TotalWork() float64 {
+	var sum float64
+	for _, nd := range pl.Nodes() {
+		sum += nd.P()
+	}
+	return sum
+}
+
+// String renders the plan as an indented tree, for diagnostics.
+func (pl Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q\n", pl.Name)
+	var walk func(nd *PlanNode, depth int)
+	walk = func(nd *PlanNode, depth int) {
+		if nd == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s (w=%g s=%g %s)\n", strings.Repeat("  ", depth), nd.Name, nd.W, nd.S, nd.Kind)
+		for _, c := range nd.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(pl.Root, 1)
+	return b.String()
+}
+
+// subtreeContains reports whether target is nd or a descendant of nd.
+func subtreeContains(nd, target *PlanNode) bool {
+	if nd == nil {
+		return false
+	}
+	if nd == target {
+		return true
+	}
+	for _, c := range nd.Children {
+		if subtreeContains(c, target) {
+			return true
+		}
+	}
+	return false
+}

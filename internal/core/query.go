@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Query is the flattened form of a plan, compiled against a chosen pivot
+// operator φ. It carries exactly the quantities the model equations need:
+// the p values of the operators strictly below the pivot (shared once per
+// group), the pivot's own work W and per-consumer output cost S, and the p
+// values of the operators above the pivot (replicated per sharer).
+type Query struct {
+	// Name identifies the query.
+	Name string
+	// Below holds p_k for each operator strictly below the pivot. Under
+	// sharing these execute once for the whole group.
+	Below []float64
+	// PivotW is w_φ, the pivot's own work per unit of forward progress.
+	PivotW float64
+	// PivotS is s_φ, the pivot's cost to output one unit of forward progress
+	// to each consumer. Under sharing with M consumers the pivot's total
+	// becomes p_φ(M) = PivotW + M·PivotS.
+	PivotS float64
+	// Above holds p_k for each operator above the pivot. These are private
+	// to each query and replicated M times under sharing.
+	Above []float64
+}
+
+// Compile flattens a plan against the pivot node. The pivot must be a node
+// of the plan. Everything in the subtree rooted at the pivot (excluding the
+// pivot itself) lands in Below; everything else lands in Above.
+func Compile(pl Plan, pivot *PlanNode) (Query, error) {
+	if err := pl.Validate(); err != nil {
+		return Query{}, err
+	}
+	if pivot == nil || !subtreeContains(pl.Root, pivot) {
+		return Query{}, fmt.Errorf("%w: plan %q", ErrPivotNotFound, pl.Name)
+	}
+	q := Query{Name: pl.Name, PivotW: pivot.W, PivotS: pivot.S}
+	var below func(nd *PlanNode)
+	below = func(nd *PlanNode) {
+		for _, c := range nd.Children {
+			q.Below = append(q.Below, c.P())
+			below(c)
+		}
+	}
+	below(pivot)
+	var above func(nd *PlanNode)
+	above = func(nd *PlanNode) {
+		if nd == pivot {
+			return
+		}
+		q.Above = append(q.Above, nd.P())
+		for _, c := range nd.Children {
+			above(c)
+		}
+	}
+	above(pl.Root)
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error, for static plan definitions.
+func MustCompile(pl Plan, pivot *PlanNode) Query {
+	q, err := Compile(pl, pivot)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// PivotP returns the pivot's total work per unit of forward progress with m
+// consumers: p_φ(m) = w_φ + m·s_φ. With m = 1 this is the unshared pivot p.
+func (q Query) PivotP(m int) float64 { return q.PivotW + float64(m)*q.PivotS }
+
+// PMax returns the bottleneck work p_max of one unshared query.
+func (q Query) PMax() float64 {
+	pm := q.PivotP(1)
+	for _, p := range q.Below {
+		pm = math.Max(pm, p)
+	}
+	for _, p := range q.Above {
+		pm = math.Max(pm, p)
+	}
+	return pm
+}
+
+// UPrime returns u', the total work per unit of forward progress of one
+// unshared query: Σ p_k over all operators.
+func (q Query) UPrime() float64 {
+	sum := q.PivotP(1)
+	for _, p := range q.Below {
+		sum += p
+	}
+	for _, p := range q.Above {
+		sum += p
+	}
+	return sum
+}
+
+// R returns the peak rate of forward progress r = 1/p_max of one query run
+// alone with unlimited processors. R is +Inf for an all-zero plan.
+func (q Query) R() float64 { return 1 / q.PMax() }
+
+// U returns the maximum processor utilization u = u'/p_max of one query:
+// the degree of pipeline parallelism the query can exploit. U can exceed 1.
+func (q Query) U() float64 { return q.UPrime() / q.PMax() }
+
+// SharedPMax returns the bottleneck work of the merged plan when m queries
+// share at the pivot: the below-pivot operators (one instance), the pivot
+// with p_φ(m), and the above-pivot operators of every sharer.
+func (q Query) SharedPMax(m int) float64 {
+	pm := q.PivotP(m)
+	for _, p := range q.Below {
+		pm = math.Max(pm, p)
+	}
+	for _, p := range q.Above {
+		pm = math.Max(pm, p)
+	}
+	return pm
+}
+
+// SharedUPrime returns u'_shared(m): total work per unit of forward progress
+// of the merged plan — below-pivot work once, the fan-out pivot, and m copies
+// of the above-pivot work (Section 4.3).
+func (q Query) SharedUPrime(m int) float64 {
+	sum := q.PivotP(m)
+	for _, p := range q.Below {
+		sum += p
+	}
+	for _, p := range q.Above {
+		sum += float64(m) * p
+	}
+	return sum
+}
+
+// WorkEliminated returns the fraction of the group's total unshared work that
+// sharing m queries removes: 1 - u'_shared(m)/(m·u'). It is 0 for m = 1 and
+// grows toward (Σ below + w_φ)/u' as m grows (Section 6.3's "fraction of work
+// eliminated" axis).
+func (q Query) WorkEliminated(m int) float64 {
+	if m <= 1 {
+		return 0
+	}
+	total := float64(m) * q.UPrime()
+	if total == 0 {
+		return 0
+	}
+	return 1 - q.SharedUPrime(m)/total
+}
+
+// Validate checks that all work coefficients are finite and non-negative and
+// that the query performs some work.
+func (q Query) Validate() error {
+	check := func(v float64, what string) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: query %q %s=%g", ErrNegativeWork, q.Name, what, v)
+		}
+		return nil
+	}
+	if err := check(q.PivotW, "pivot w"); err != nil {
+		return err
+	}
+	if err := check(q.PivotS, "pivot s"); err != nil {
+		return err
+	}
+	for i, p := range q.Below {
+		if err := check(p, fmt.Sprintf("below[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, p := range q.Above {
+		if err := check(p, fmt.Sprintf("above[%d]", i)); err != nil {
+			return err
+		}
+	}
+	if q.UPrime() == 0 {
+		return fmt.Errorf("core: query %q performs no work", q.Name)
+	}
+	return nil
+}

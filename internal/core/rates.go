@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env describes the hardware the model reasons about.
+type Env struct {
+	// Processors is n, the number of execution contexts the system makes
+	// available to the query group.
+	Processors float64
+	// KUnshared scales the effective processor count under independent
+	// execution to account for contention in shared hardware resources
+	// (caches, memory bandwidth): n_eff = n·k, 0 < k ≤ 1 (Section 4.1.4).
+	// Zero means "no contention" (k = 1).
+	KUnshared float64
+	// KShared is the contention factor under shared execution. Zero means
+	// "no contention" (k = 1). Sharing typically improves locality, so
+	// KShared ≥ KUnshared is common in practice.
+	KShared float64
+}
+
+// Processors1 is a convenience single-processor environment.
+var Processors1 = Env{Processors: 1}
+
+// NewEnv returns an Env with n processors and no hardware contention (k = 1).
+func NewEnv(n float64) Env { return Env{Processors: n} }
+
+func (e Env) effective(k float64) float64 {
+	if k <= 0 || k > 1 {
+		k = 1
+	}
+	return e.Processors * k
+}
+
+// EffectiveUnshared returns n·k for unshared execution.
+func (e Env) EffectiveUnshared() float64 { return e.effective(e.KUnshared) }
+
+// EffectiveShared returns n·k for shared execution.
+func (e Env) EffectiveShared() float64 { return e.effective(e.KShared) }
+
+// Validate rejects non-positive or non-finite processor counts.
+func (e Env) Validate() error {
+	if math.IsNaN(e.Processors) || math.IsInf(e.Processors, 0) || e.Processors <= 0 {
+		return fmt.Errorf("core: invalid processor count %g", e.Processors)
+	}
+	return nil
+}
+
+// rate computes x = count·min(1/pMax, n/u'), the group rate of forward
+// progress for a plan with bottleneck pMax and total work uPrime, executed by
+// `count` query instances on n effective processors (Section 4.1.3).
+func rate(count float64, pMax, uPrime, n float64) float64 {
+	if pMax <= 0 || uPrime <= 0 {
+		return math.Inf(1) // a zero-work plan progresses arbitrarily fast
+	}
+	return count * math.Min(1/pMax, n/uPrime)
+}
+
+// UnsharedX returns x_unshared(m,n): the aggregate rate of forward progress
+// of m identical copies of q executing independently on env (Section 4.2).
+// All copies proceed at the same rate and finish together.
+func UnsharedX(q Query, m int, env Env) float64 {
+	if m <= 0 {
+		return 0
+	}
+	// r_unshared = m·r and u'_unshared = m·u'; the m cancels inside min:
+	// x = m·min(1/p_max, n/(m·u'))·... expressed directly:
+	return rate(float64(m), q.PMax(), float64(m)*q.UPrime(), env.EffectiveUnshared())
+}
+
+// SharedX returns x_shared(m,n): the aggregate rate of forward progress of m
+// copies of q sharing work at the pivot on env (Section 4.3). The pivot pays
+// s per consumer, so p_φ(m) = w_φ + m·s_φ may become the new bottleneck; work
+// below the pivot executes once.
+func SharedX(q Query, m int, env Env) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return rate(float64(m), q.SharedPMax(m), q.SharedUPrime(m), env.EffectiveShared())
+}
+
+// Z returns the benefit of work sharing Z(m,n) = x_shared/x_unshared.
+// Sharing is a net win iff Z > 1. Z(1,n) = 1 by construction: merging a
+// single query changes nothing.
+func Z(q Query, m int, env Env) float64 {
+	xu := UnsharedX(q, m, env)
+	xs := SharedX(q, m, env)
+	switch {
+	case xu == 0 && xs == 0:
+		return 1
+	case xu == 0:
+		return math.Inf(1)
+	default:
+		return xs / xu
+	}
+}
+
+// ShouldShare reports the model's binary recommendation: share the m queries
+// at the pivot iff the predicted shared rate beats independent execution.
+func ShouldShare(q Query, m int, env Env) bool { return Z(q, m, env) > 1 }
+
+// SharedUtilization returns u_shared(m) = u'_shared(m)/p_max_shared(m): the
+// peak number of processors shared execution of the group can exploit. The
+// paper uses this to show sharing "artificially caps the degree of
+// parallelism" (e.g. Q6 under sharing utilizes ~1 context regardless of m).
+func SharedUtilization(q Query, m int) float64 {
+	pm := q.SharedPMax(m)
+	if pm == 0 {
+		return 0
+	}
+	return q.SharedUPrime(m) / pm
+}
+
+// UnsharedUtilization returns m·u, the peak processors m independent copies
+// can exploit.
+func UnsharedUtilization(q Query, m int) float64 { return float64(m) * q.U() }
+
+// BreakEvenClients returns the smallest group size m in [2, maxM] for which
+// sharing stops being beneficial (Z ≤ 1), or 0 if sharing remains beneficial
+// for every m ≤ maxM. Useful for sizing sharing groups (Section 8.1).
+func BreakEvenClients(q Query, env Env, maxM int) int {
+	for m := 2; m <= maxM; m++ {
+		if !ShouldShare(q, m, env) {
+			return m
+		}
+	}
+	return 0
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvEffective(t *testing.T) {
+	e := Env{Processors: 10, KUnshared: 0.8, KShared: 0.5}
+	almostEq(t, e.EffectiveUnshared(), 8, 1e-12, "n·k unshared")
+	almostEq(t, e.EffectiveShared(), 5, 1e-12, "n·k shared")
+	// k outside (0,1] means "no contention".
+	e2 := Env{Processors: 10, KUnshared: 0, KShared: 1.7}
+	almostEq(t, e2.EffectiveUnshared(), 10, 1e-12, "k=0 treated as 1")
+	almostEq(t, e2.EffectiveShared(), 10, 1e-12, "k>1 treated as 1")
+}
+
+func TestEnvValidate(t *testing.T) {
+	if err := NewEnv(4).Validate(); err != nil {
+		t.Errorf("valid env rejected: %v", err)
+	}
+	for _, n := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := NewEnv(n).Validate(); err == nil {
+			t.Errorf("Processors=%g accepted", n)
+		}
+	}
+}
+
+func TestZIsOneForSingleQuery(t *testing.T) {
+	// Merging a group of one changes nothing: p_φ(1) = w + s, identical to
+	// the unshared plan. This must hold for every query and environment.
+	for _, q := range []Query{Q6Paper(), Fig3Query(), Fig4RightQuery(3)} {
+		for _, n := range []float64{1, 2, 8, 32} {
+			if z := Z(q, 1, NewEnv(n)); math.Abs(z-1) > 1e-12 {
+				t.Errorf("%s n=%g: Z(1) = %g, want 1", q.Name, n, z)
+			}
+		}
+	}
+}
+
+func TestZeroAndNegativeM(t *testing.T) {
+	q := Fig3Query()
+	env := NewEnv(4)
+	if got := UnsharedX(q, 0, env); got != 0 {
+		t.Errorf("UnsharedX(m=0) = %g, want 0", got)
+	}
+	if got := SharedX(q, -3, env); got != 0 {
+		t.Errorf("SharedX(m=-3) = %g, want 0", got)
+	}
+	if got := Z(q, 0, env); got != 1 {
+		t.Errorf("Z(m=0) = %g, want 1 (both rates zero)", got)
+	}
+}
+
+// Section 6 headline: "systems with very few processors available benefit the
+// most from work sharing, while those with an abundance of processing power
+// must seek parallelism as a first priority."
+func TestFig4LeftRegimes(t *testing.T) {
+	q := Fig3Query()
+	// 4 CPU: sharing always worthwhile once there is enough load.
+	envLow := NewEnv(4)
+	for m := 4; m <= 40; m++ {
+		if !ShouldShare(q, m, envLow) {
+			t.Errorf("4 CPU m=%d: Z=%g, paper predicts always-share regime", m, Z(q, m, envLow))
+		}
+	}
+	// 32 CPU: sharing never worthwhile within the swept range.
+	envHigh := NewEnv(32)
+	for m := 2; m <= 40; m++ {
+		if Z(q, m, envHigh) > 1+1e-9 {
+			t.Errorf("32 CPU m=%d: Z=%g > 1, paper predicts never-share regime", m, Z(q, m, envHigh))
+		}
+	}
+	// 16 CPU: sharing is sometimes worthwhile — harmful at moderate load,
+	// beneficial at high load (the three-phase behaviour).
+	env16 := NewEnv(16)
+	harmful, helpful := false, false
+	for m := 2; m <= 40; m++ {
+		z := Z(q, m, env16)
+		if z < 1-1e-9 {
+			harmful = true
+		}
+		if z > 1+1e-9 && harmful {
+			helpful = true
+		}
+	}
+	if !harmful || !helpful {
+		t.Errorf("16 CPU: expected harmful-then-helpful phases, got harmful=%v helpful=%v", harmful, helpful)
+	}
+}
+
+// With no load the machine is not saturated and sharing cannot improve
+// performance: Z ≤ 1 whenever m·u ≤ n (first phase of Section 6.1).
+func TestNoBenefitBeforeSaturation(t *testing.T) {
+	q := Fig3Query()
+	for _, n := range []float64{8, 16, 32} {
+		env := NewEnv(n)
+		for m := 1; float64(m)*q.U() <= n; m++ {
+			if z := Z(q, m, env); z > 1+1e-9 {
+				t.Errorf("n=%g m=%d (unsaturated): Z=%g > 1", n, m, z)
+			}
+		}
+	}
+}
+
+// Figure 4 center: with s = 0 sharing imposes no serialization and is never
+// worse than independent execution; large s saps all benefit on 32 cores.
+func TestFig4CenterExtremes(t *testing.T) {
+	env := NewEnv(32)
+	zeroS := Fig4CenterQuery(0)
+	for m := 1; m <= 40; m++ {
+		if z := Z(zeroS, m, env); z < 1-1e-9 {
+			t.Errorf("s=0 m=%d: Z=%g < 1; costless sharing should never hurt", m, z)
+		}
+	}
+	// By m=30 the s=0 curve saturates the machine and shows a clear win.
+	if z := Z(zeroS, 30, env); z <= 1.2 {
+		t.Errorf("s=0 m=30: Z=%g, want > 1.2 (machine saturated by shared work)", z)
+	}
+	bigS := Fig4CenterQuery(4)
+	winners := 0
+	for m := 2; m <= 40; m++ {
+		if Z(bigS, m, env) > 1 {
+			winners++
+		}
+	}
+	if winners > 0 {
+		t.Errorf("s=4: sharing won for %d group sizes on 32 CPU; want none", winners)
+	}
+}
+
+// Figure 4 right: eliminating a larger fraction of work increases the
+// benefit, but the last stage gives diminishing returns because sharing's
+// utilization cap binds (Section 6.3).
+func TestFig4RightOrderingAndDiminishingReturn(t *testing.T) {
+	env := NewEnv(8)
+	const m = 40
+	zs := make([]float64, 6)
+	for stages := 0; stages <= 5; stages++ {
+		zs[stages] = Z(Fig4RightQuery(stages), m, env)
+	}
+	for s := 1; s <= 5; s++ {
+		if zs[s] < zs[s-1]-1e-9 {
+			t.Errorf("stages %d→%d: Z fell from %g to %g; moving work below the pivot should help", s-1, s, zs[s-1], zs[s])
+		}
+	}
+	gain45 := zs[5] - zs[4]
+	gain34 := zs[4] - zs[3]
+	if gain45 > gain34 {
+		t.Errorf("last stage gain %g exceeds previous gain %g; paper reports diminishing return", gain45, gain34)
+	}
+	// "its tendency to reduce parallelism bounds the maximum achievable
+	// speedup to roughly one eighth of the 50x we might expect" — so even at
+	// 98% eliminated the speedup stays in single digits.
+	if zs[5] > 10 {
+		t.Errorf("5/5 Z=%g, want single-digit despite 98%% work eliminated", zs[5])
+	}
+}
+
+func TestFig4RightLabels(t *testing.T) {
+	// Asymptotic eliminated fractions must match the figure legend.
+	want := map[int]float64{0: 0.28, 1: 0.42, 2: 0.56, 3: 0.70, 4: 0.84, 5: 0.98}
+	for stages, frac := range want {
+		got := AsymptoticEliminated(Fig4RightQuery(stages))
+		if math.Abs(got-frac) > 0.005 {
+			t.Errorf("stages=%d: eliminated fraction %g, want ≈ %g", stages, got, frac)
+		}
+	}
+}
+
+func TestFig3QueryShape(t *testing.T) {
+	q := Fig3Query()
+	almostEq(t, q.PMax(), 10, 1e-12, "p_max")
+	almostEq(t, q.UPrime(), 27, 1e-12, "u'")
+	almostEq(t, q.U(), 2.7, 1e-12, "u (paper: each query requires 2.7 processors)")
+	// Sharing eliminates nearly 60% of the work in the asymptote.
+	frac := AsymptoticEliminated(q)
+	if frac < 0.55 || frac > 0.65 {
+		t.Errorf("eliminated fraction = %g, want ≈ 0.59", frac)
+	}
+	// Shared utilization is bounded (~11) regardless of group size.
+	for _, m := range []int{10, 100, 1000} {
+		if u := SharedUtilization(q, m); u > 11.5 {
+			t.Errorf("m=%d: shared utilization %g, want ≤ ~11", m, u)
+		}
+	}
+}
+
+func TestBreakEvenClients(t *testing.T) {
+	q := Fig3Query()
+	// On 1 CPU sharing is always good: no break-even within range.
+	if got := BreakEvenClients(q, NewEnv(1), 48); got != 0 {
+		t.Errorf("1 CPU: break-even at m=%d, want none", got)
+	}
+	// On 32 CPUs sharing immediately loses.
+	if got := BreakEvenClients(q, NewEnv(32), 48); got != 2 {
+		t.Errorf("32 CPU: break-even at m=%d, want 2", got)
+	}
+}
+
+func TestContentionReducesRates(t *testing.T) {
+	q := Fig3Query()
+	base := NewEnv(8)
+	contended := Env{Processors: 8, KUnshared: 0.5, KShared: 0.5}
+	for m := 1; m <= 20; m++ {
+		if SharedX(q, m, contended) > SharedX(q, m, base)+1e-12 {
+			t.Errorf("m=%d: contention increased shared rate", m)
+		}
+		if UnsharedX(q, m, contended) > UnsharedX(q, m, base)+1e-12 {
+			t.Errorf("m=%d: contention increased unshared rate", m)
+		}
+	}
+}
+
+// Differential contention: if sharing improves locality (KShared > KUnshared)
+// the model shifts toward sharing.
+func TestDifferentialContentionShiftsDecision(t *testing.T) {
+	q := Fig3Query()
+	even := Env{Processors: 16, KUnshared: 1, KShared: 1}
+	favorShared := Env{Processors: 16, KUnshared: 0.5, KShared: 1}
+	for m := 2; m <= 40; m++ {
+		if Z(q, m, favorShared) < Z(q, m, even)-1e-12 {
+			t.Errorf("m=%d: sharing-friendly contention lowered Z", m)
+		}
+	}
+}
+
+// Property: rates are non-negative and finite for random valid queries.
+func TestQuickRatesWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		m := 1 + rng.Intn(64)
+		env := NewEnv(1 + float64(rng.Intn(64)))
+		xu := UnsharedX(q, m, env)
+		xs := SharedX(q, m, env)
+		return xu >= 0 && xs >= 0 && !math.IsNaN(xu) && !math.IsNaN(xs) &&
+			!math.IsInf(xu, 0) && !math.IsInf(xs, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more processors never reduce either rate (monotonicity in n).
+func TestQuickMonotoneInProcessors(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		m := 1 + rng.Intn(48)
+		n1 := 1 + float64(rng.Intn(31))
+		n2 := n1 + 1 + float64(rng.Intn(31))
+		return SharedX(q, m, NewEnv(n2)) >= SharedX(q, m, NewEnv(n1))-1e-12 &&
+			UnsharedX(q, m, NewEnv(n2)) >= UnsharedX(q, m, NewEnv(n1))-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aggregate rates never decrease when clients are added (a closed
+// system with more members has at least as much aggregate forward progress).
+func TestQuickMonotoneInClients(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		env := NewEnv(1 + float64(rng.Intn(32)))
+		prevU, prevS := 0.0, 0.0
+		for m := 1; m <= 32; m++ {
+			xu := UnsharedX(q, m, env)
+			xs := SharedX(q, m, env)
+			if xu < prevU-1e-12 || xs < prevS-1e-12 {
+				return false
+			}
+			prevU, prevS = xu, xs
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with unlimited processors and positive s, sharing can never beat
+// unshared execution (serialization with nothing to gain): Z ≤ 1.
+func TestQuickUnlimitedProcessorsSharingNeverWins(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		if q.PivotS == 0 {
+			q.PivotS = 0.1
+		}
+		m := 2 + rng.Intn(47)
+		env := NewEnv(1e9)
+		return Z(q, m, env) <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sharing always reduces (or preserves) total work in the system:
+// u'_shared(m) ≤ m·u'.
+func TestQuickSharingReducesTotalWork(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		m := 1 + rng.Intn(64)
+		return q.SharedUPrime(m) <= float64(m)*q.UPrime()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on one processor sharing is always at least as good as unshared
+// execution once the machine is saturated — any saved work helps when
+// everything is time-shared anyway (Section 3.3's 1-processor argument).
+func TestQuickUniprocessorSaturatedSharingNeverLoses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		m := 2 + rng.Intn(47)
+		env := NewEnv(1)
+		if float64(m)*q.U() < 1 {
+			return true // machine not saturated; claim does not apply
+		}
+		return Z(q, m, env) >= 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomQuery builds a structurally valid random query for property tests.
+func randomQuery(rng *rand.Rand) Query {
+	q := Query{
+		Name:   "random",
+		PivotW: rng.Float64() * 20,
+		PivotS: rng.Float64() * 5,
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		q.Below = append(q.Below, rng.Float64()*20)
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		q.Above = append(q.Above, rng.Float64()*20)
+	}
+	if q.UPrime() == 0 {
+		q.PivotW = 1
+	}
+	return q
+}

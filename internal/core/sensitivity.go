@@ -1,0 +1,124 @@
+package core
+
+// Sensitivity-analysis sweep helpers (Section 6). Each returns the series a
+// figure plots: speedup Z as a function of the number of clients m, for one
+// setting of the swept parameter.
+
+// Point is one (m, value) sample of a sweep.
+type Point struct {
+	// M is the number of clients (queries in the sharing group).
+	M int
+	// Value is the plotted quantity (usually speedup Z).
+	Value float64
+}
+
+// Series is a named sequence of sweep points.
+type Series struct {
+	// Label identifies the curve ("16 CPU", "s=0.25", ...).
+	Label string
+	// Points are ordered by M ascending.
+	Points []Point
+}
+
+// SweepClients evaluates Z(m, env) for m = 1..maxM.
+func SweepClients(q Query, env Env, maxM int) Series {
+	s := Series{Label: q.Name}
+	for m := 1; m <= maxM; m++ {
+		s.Points = append(s.Points, Point{M: m, Value: Z(q, m, env)})
+	}
+	return s
+}
+
+// SweepProcessors produces the Figure 4 (left) family: one Z-vs-m series per
+// processor count.
+func SweepProcessors(q Query, processors []int, maxM int) []Series {
+	out := make([]Series, 0, len(processors))
+	for _, n := range processors {
+		s := SweepClients(q, NewEnv(float64(n)), maxM)
+		s.Label = formatCPUs(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// SweepPivotCost produces the Figure 4 (center) family: one Z-vs-m series per
+// per-consumer output cost s, on a fixed processor count.
+func SweepPivotCost(base Query, costs []float64, env Env, maxM int) []Series {
+	out := make([]Series, 0, len(costs))
+	for _, c := range costs {
+		q := base
+		q.PivotS = c
+		s := SweepClients(q, env, maxM)
+		s.Label = formatS(c)
+		out = append(out, s)
+	}
+	return out
+}
+
+// SweepWorkEliminated produces the Figure 4 (right) family: one Z-vs-m series
+// per number of stages moved below the pivot, on a fixed processor count. The
+// label records the asymptotic fraction of work sharing eliminates.
+func SweepWorkEliminated(env Env, maxM int) []Series {
+	out := make([]Series, 0, 6)
+	for stages := 5; stages >= 0; stages-- {
+		q := Fig4RightQuery(stages)
+		s := SweepClients(q, env, maxM)
+		s.Label = formatStages(stages, AsymptoticEliminated(q))
+		out = append(out, s)
+	}
+	return out
+}
+
+func formatCPUs(n int) string {
+	return itoa(n) + " CPU"
+}
+
+func formatS(c float64) string {
+	return "s=" + ftoa(c)
+}
+
+func formatStages(stages int, frac float64) string {
+	return itoa(stages) + "/5 (" + itoa(int(frac*100+0.5)) + "%)"
+}
+
+// itoa/ftoa keep this file free of fmt for the hot sweep paths used in
+// benchmarks.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string {
+	// Two decimal places, enough for sweep labels.
+	whole := int(v)
+	frac := int((v-float64(whole))*100 + 0.5)
+	if frac == 100 {
+		whole++
+		frac = 0
+	}
+	if frac == 0 {
+		return itoa(whole) + ".0"
+	}
+	s := itoa(frac)
+	if frac < 10 {
+		s = "0" + s
+	}
+	return itoa(whole) + "." + s
+}

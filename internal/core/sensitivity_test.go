@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepClients(t *testing.T) {
+	s := SweepClients(Fig3Query(), NewEnv(4), 10)
+	if len(s.Points) != 10 {
+		t.Fatalf("got %d points", len(s.Points))
+	}
+	if s.Points[0].M != 1 || s.Points[0].Value != 1 {
+		t.Errorf("first point = %+v, want Z(1) = 1", s.Points[0])
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].M != s.Points[i-1].M+1 {
+			t.Errorf("points not consecutive at %d", i)
+		}
+	}
+}
+
+func TestSweepProcessorsLabels(t *testing.T) {
+	out := SweepProcessors(Fig3Query(), []int{1, 16}, 5)
+	if len(out) != 2 {
+		t.Fatalf("got %d series", len(out))
+	}
+	if out[0].Label != "1 CPU" || out[1].Label != "16 CPU" {
+		t.Errorf("labels = %q, %q", out[0].Label, out[1].Label)
+	}
+}
+
+func TestSweepPivotCostLabels(t *testing.T) {
+	out := SweepPivotCost(Fig3Query(), []float64{0, 0.25, 2}, NewEnv(8), 5)
+	want := []string{"s=0.0", "s=0.25", "s=2.0"}
+	for i, s := range out {
+		if s.Label != want[i] {
+			t.Errorf("label[%d] = %q, want %q", i, s.Label, want[i])
+		}
+	}
+	// The s value actually took effect: higher s, lower Z at load.
+	if out[2].Points[4].Value > out[0].Points[4].Value {
+		t.Error("higher pivot cost did not reduce speedup")
+	}
+}
+
+func TestSweepWorkEliminatedLabels(t *testing.T) {
+	out := SweepWorkEliminated(NewEnv(8), 5)
+	if len(out) != 6 {
+		t.Fatalf("got %d series, want 6", len(out))
+	}
+	if out[0].Label != "5/5 (98%)" {
+		t.Errorf("first label = %q, want 5/5 (98%%)", out[0].Label)
+	}
+	if out[5].Label != "0/5 (28%)" {
+		t.Errorf("last label = %q, want 0/5 (28%%)", out[5].Label)
+	}
+}
+
+func TestItoaFtoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 120: "120"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+	fcases := map[float64]string{0: "0.0", 1: "1.0", 0.25: "0.25", 2.5: "2.50", 0.05: "0.05", 1.999: "2.0"}
+	for v, want := range fcases {
+		if got := ftoa(v); got != want {
+			t.Errorf("ftoa(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if !strings.HasPrefix(formatCPUs(8), "8") {
+		t.Error("formatCPUs wrong")
+	}
+}

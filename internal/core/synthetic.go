@@ -1,0 +1,87 @@
+package core
+
+// Reference models published in the paper, used by the validation tests and
+// the figure benchmarks.
+
+// Q6Paper returns the TPC-H Q6 model extracted in Section 4.4 by profiling
+// the UltraSparc T1 testbed: a two-stage pipeline (table scan feeding an
+// aggregate) sharing at the scan. The published parameters are w = 9.66 and
+// s = 10.34 for the scan and p = 0.97 for the aggregate, giving
+// p_max = 20, u' ≈ 21 and
+//
+//	x_unshared(M,n) = min(M/20, n/21)
+//	x_shared(M,n)   = min(1/(9.66/M + 10.34), n/(9.66/M + 11.31))
+func Q6Paper() Query {
+	return Query{
+		Name:   "TPC-H Q6 (paper §4.4)",
+		PivotW: 9.66,
+		PivotS: 10.34,
+		Above:  []float64{0.97},
+	}
+}
+
+// Fig3Plan returns the synthetic three-stage query of Figure 3, used
+// throughout the sensitivity analysis of Section 6: a bottom operator with
+// p = 10, a pivot with w = 6 and s = 1, and a top operator with p = 10.
+// Sharing at the pivot eliminates nearly 60% of the work. Each query alone
+// requires u = 27/10 = 2.7 processors for peak throughput.
+func Fig3Plan() Plan {
+	bottom := NewNode("bottom", 10, 0)
+	pivot := NewNode("pivot", 6, 1, bottom)
+	top := NewNode("top", 10, 0, pivot)
+	return Plan{Name: "fig3 synthetic", Root: top}
+}
+
+// Fig3Query returns the compiled Figure 3 query with the middle stage as
+// pivot: Below = [10], PivotW = 6, PivotS = 1, Above = [10].
+func Fig3Query() Query {
+	pl := Fig3Plan()
+	return MustCompile(pl, pl.Find("pivot"))
+}
+
+// Fig4CenterQuery returns the Figure 4 (center) variant of the synthetic
+// query with the pivot's per-consumer output cost replaced by s, keeping
+// p_pivot anchored at w = 6.
+func Fig4CenterQuery(s float64) Query {
+	q := Fig3Query()
+	q.PivotS = s
+	return q
+}
+
+// Fig4RightQuery returns the Figure 4 (right) variant: the top operator is
+// split into five balanced pipeline stages with p = 8 each (14% of total
+// work apiece), and stagesBelow of them (0..5) are moved below the pivot.
+// The fraction of work eliminated by sharing then sweeps 28%..98%:
+//
+//	eliminated(m→∞) = (10 + 8·stagesBelow + 6) / 57
+func Fig4RightQuery(stagesBelow int) Query {
+	if stagesBelow < 0 {
+		stagesBelow = 0
+	}
+	if stagesBelow > 5 {
+		stagesBelow = 5
+	}
+	q := Query{
+		Name:   "fig4-right synthetic",
+		Below:  []float64{10},
+		PivotW: 6,
+		PivotS: 1,
+	}
+	for i := 0; i < stagesBelow; i++ {
+		q.Below = append(q.Below, 8)
+	}
+	for i := stagesBelow; i < 5; i++ {
+		q.Above = append(q.Above, 8)
+	}
+	return q
+}
+
+// AsymptoticEliminated returns the limiting fraction of work sharing can
+// eliminate for q as the group grows: (Σ below + w_φ) / u'.
+func AsymptoticEliminated(q Query) float64 {
+	u := q.UPrime()
+	if u == 0 {
+		return 0
+	}
+	return (sum(q.Below) + q.PivotW) / u
+}

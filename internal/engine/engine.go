@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the emulated processor count n (required, ≥ 1).
+	Workers int
+	// QueueCap is the page capacity of inter-operator queues (default 8).
+	// Finite capacity makes slow consumers throttle producers.
+	QueueCap int
+	// CopyOnFanOut makes a shared pivot clone each page per extra consumer,
+	// physically paying the model's per-consumer cost s. Default true; the
+	// ablation benchmarks turn it off to emulate zero-copy broadcast.
+	CopyOnFanOut bool
+	// MaxGroupSize caps sharers per group (0 = unlimited). Section 8.1's
+	// multiple-groups strategy bounds groups to preserve parallelism.
+	MaxGroupSize int
+	// Profile enables per-node busy-time accounting for parameter
+	// estimation (Section 3.1).
+	Profile bool
+	// StartPaused creates the engine with its processors halted; queries
+	// may be submitted (and will merge into sharing groups, since no pivot
+	// can emit) but nothing executes until Start. This is the batch-arrival
+	// regime of multi-query optimization, and what the offline profiling
+	// procedure uses to pin sharing degrees exactly.
+	StartPaused bool
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.QueueCap == 0 {
+		o.QueueCap = 8
+	}
+	return o
+}
+
+// SharePolicy decides, at submission time, whether a query should join a
+// sharing group. Implementations: always-share, never-share (a nil policy),
+// and the model-guided policy of Section 8.
+type SharePolicy interface {
+	// ShouldJoin reports whether a query with the given model should join a
+	// group that would then contain m members.
+	ShouldJoin(q core.Query, m int) bool
+}
+
+// Handle tracks one submitted query.
+type Handle struct {
+	name   string
+	done   chan struct{}
+	onDone func(*storage.Batch, error)
+
+	mu     sync.Mutex
+	result *storage.Batch
+	err    error
+
+	submitted time.Time
+	completed time.Time
+}
+
+// Wait blocks until the query finishes and returns its result.
+func (h *Handle) Wait() (*storage.Batch, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.result, h.err
+}
+
+// Duration returns the query's response time (valid after Wait).
+func (h *Handle) Duration() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.completed.Sub(h.submitted)
+}
+
+// shareGroup is a set of queries merged at a pivot: one instance of the
+// shared sub-plan whose pivot output fans out to every member's private
+// chain.
+type shareGroup struct {
+	signature string
+	pivot     *outbox
+	spec      QuerySpec
+
+	mu      sync.Mutex
+	size    int
+	started bool
+	err     error
+}
+
+func (g *shareGroup) fail(err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+func (g *shareGroup) firstError() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// Engine is the staged execution engine.
+type Engine struct {
+	sched *Scheduler
+	opts  Options
+	clock *busyClock
+
+	mu        sync.Mutex
+	joinable  map[string]*shareGroup
+	completed int64
+}
+
+// New creates and starts an engine emulating opts.Workers processors.
+func New(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	sched, err := NewScheduler(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sched:    sched,
+		opts:     opts,
+		clock:    newBusyClock(opts.Profile),
+		joinable: make(map[string]*shareGroup),
+	}
+	if !opts.StartPaused {
+		sched.Start()
+	}
+	return e, nil
+}
+
+// Start launches a paused engine's processors. It is idempotent and a no-op
+// for engines created running.
+func (e *Engine) Start() { e.sched.Start() }
+
+// Close shuts the engine down. Outstanding queries are abandoned.
+func (e *Engine) Close() { e.sched.Stop() }
+
+// Workers returns the emulated processor count.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Completed returns the number of queries finished since startup.
+func (e *Engine) Completed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.completed
+}
+
+// BusyTimes returns per-node accumulated busy time (Profile mode only).
+func (e *Engine) BusyTimes() map[string]time.Duration { return e.clock.snapshot() }
+
+// Submit enqueues a query for execution. If policy is non-nil the engine
+// tries to share: join an existing compatible group when the policy agrees,
+// otherwise start a new joinable group. A nil policy always executes
+// independently (never-share).
+func (e *Engine) Submit(spec QuerySpec, policy SharePolicy) (*Handle, error) {
+	return e.SubmitFn(spec, policy, nil)
+}
+
+// SubmitFn is Submit with a completion callback, invoked from the engine
+// worker that finishes the query (after the handle is resolved). Closed-loop
+// drivers use it to resubmit without dedicating a goroutine per client —
+// essential on hosts where spare OS-level parallelism is scarce.
+func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*storage.Batch, error)) (*Handle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Handle{name: spec.Signature, done: make(chan struct{}), onDone: onDone, submitted: time.Now()}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if policy != nil {
+		if g := e.joinable[spec.Signature]; g != nil {
+			g.mu.Lock()
+			canJoin := !g.started && (e.opts.MaxGroupSize == 0 || g.size < e.opts.MaxGroupSize)
+			m := g.size + 1
+			g.mu.Unlock()
+			if canJoin && policy.ShouldJoin(spec.Model, m) {
+				if err := e.attachLocked(g, spec, h); err != nil {
+					return nil, err
+				}
+				return h, nil
+			}
+		}
+	}
+	g, err := e.newGroupLocked(spec, h)
+	if err != nil {
+		return nil, err
+	}
+	if policy != nil {
+		e.joinable[spec.Signature] = g
+	}
+	return h, nil
+}
+
+// newGroupLocked instantiates the shared sub-plan and the first member's
+// private chain. Caller holds e.mu.
+func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) {
+	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1}
+	pivotOut := &outbox{copyOnFanOut: e.opts.CopyOnFanOut}
+	pivotOut.onFirstEmit = func() { e.sealGroup(g) }
+	g.pivot = pivotOut
+
+	// Per-node output sinks for the shared part. Non-pivot nodes get a
+	// single-consumer outbox over one queue.
+	outs := make([]*outbox, spec.Pivot+1)
+	queues := make([]*PageQueue, spec.Pivot+1)
+	for i := 0; i <= spec.Pivot; i++ {
+		if i == spec.Pivot {
+			outs[i] = pivotOut
+			continue
+		}
+		q := NewPageQueue(e.sched, spec.Nodes[i].Name, e.opts.QueueCap)
+		queues[i] = q
+		outs[i] = &outbox{outs: []*PageQueue{q}}
+	}
+	// Wire the first member's private chain before spawning anything so the
+	// pivot has a consumer from the start.
+	if err := e.attachChain(g, spec, h); err != nil {
+		return nil, err
+	}
+	// Instantiate and spawn shared tasks.
+	for i := 0; i <= spec.Pivot; i++ {
+		nd := spec.Nodes[i]
+		switch {
+		case nd.Source != nil:
+			src, err := nd.Source()
+			if err != nil {
+				return nil, err
+			}
+			body := &sourceTask{name: nd.Name, src: src, out: outs[i], clock: e.clock, fail: g.fail}
+			e.sched.Spawn(nd.Name, body.step)
+		case nd.Op != nil:
+			ob := outs[i]
+			op, err := nd.Op(func(b *storage.Batch) error { ob.add(b); return nil })
+			if err != nil {
+				return nil, err
+			}
+			body := &opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: queues[nd.Input], out: ob, clock: e.clock, fail: g.fail}
+			e.sched.Spawn(nd.Name, body.step)
+		case nd.Join != nil:
+			ob := outs[i]
+			jn, err := nd.Join(func(b *storage.Batch) error { ob.add(b); return nil })
+			if err != nil {
+				return nil, err
+			}
+			body := &joinTask{name: nd.Name, join: jn, build: queues[nd.BuildInput], probe: queues[nd.ProbeInput], out: ob, clock: e.clock, fail: g.fail, building: true}
+			e.sched.Spawn(nd.Name, body.step)
+		}
+	}
+	return g, nil
+}
+
+// attachLocked adds a member to an existing, not-yet-started group. Caller
+// holds e.mu; group non-started status is stable because sealGroup also
+// takes e.mu.
+func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle) error {
+	if err := e.attachChain(g, spec, h); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.size++
+	g.mu.Unlock()
+	return nil
+}
+
+// attachChain wires one member's private chain (nodes above the pivot plus
+// the sink) to the group's pivot outbox.
+func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
+	in := NewPageQueue(e.sched, spec.Signature+"/pivot-out", e.opts.QueueCap)
+	type pendingOp struct {
+		body *opTask
+		name string
+	}
+	var ops []pendingOp
+	cur := in
+	for i := spec.Pivot + 1; i < len(spec.Nodes); i++ {
+		nd := spec.Nodes[i]
+		q := NewPageQueue(e.sched, nd.Name, e.opts.QueueCap)
+		ob := &outbox{outs: []*PageQueue{q}}
+		op, err := nd.Op(func(b *storage.Batch) error { ob.add(b); return nil })
+		if err != nil {
+			return err
+		}
+		body := &opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: cur, out: ob, clock: e.clock, fail: g.fail}
+		ops = append(ops, pendingOp{body: body, name: nd.Name})
+		cur = q
+	}
+	rootSchema, err := e.rootSchema(spec)
+	if err != nil {
+		return err
+	}
+	sink := &sinkTask{in: cur, result: storage.NewBatch(rootSchema, 0)}
+	sink.complete = func(res *storage.Batch) {
+		err := g.firstError()
+		h.mu.Lock()
+		h.result = res
+		h.err = err
+		h.completed = time.Now()
+		h.mu.Unlock()
+		e.mu.Lock()
+		e.completed++
+		e.mu.Unlock()
+		close(h.done)
+		if h.onDone != nil {
+			h.onDone(res, err)
+		}
+	}
+	// The pivot gains its consumer before any task that could feed it runs
+	// (for new groups) or while the group is provably unstarted (joins).
+	g.pivot.attach(in)
+	for _, p := range ops {
+		e.sched.Spawn(p.name, p.body.step)
+	}
+	e.sched.Spawn(spec.Signature+"/sink", sink.step)
+	return nil
+}
+
+// sealGroup marks a group started (pivot produced its first page); no
+// further members may join.
+func (e *Engine) sealGroup(g *shareGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g.mu.Lock()
+	g.started = true
+	g.mu.Unlock()
+	if e.joinable[g.signature] == g {
+		delete(e.joinable, g.signature)
+	}
+}
+
+// rootSchema derives the output schema of the spec's root node by
+// instantiating throwaway operators (factories are cheap).
+func (e *Engine) rootSchema(spec QuerySpec) (storage.Schema, error) {
+	nd := spec.Nodes[len(spec.Nodes)-1]
+	nop := func(*storage.Batch) error { return nil }
+	switch {
+	case nd.Source != nil:
+		src, err := nd.Source()
+		if err != nil {
+			return storage.Schema{}, err
+		}
+		return src.Schema(), nil
+	case nd.Op != nil:
+		op, err := nd.Op(nop)
+		if err != nil {
+			return storage.Schema{}, err
+		}
+		return op.OutSchema(), nil
+	case nd.Join != nil:
+		jn, err := nd.Join(nop)
+		if err != nil {
+			return storage.Schema{}, err
+		}
+		return jn.OutSchema(), nil
+	default:
+		return storage.Schema{}, fmt.Errorf("%w: empty node", ErrBadSpec)
+	}
+}
+
+// GroupSize reports the current member count of the joinable group for a
+// signature (0 if none), for tests and monitoring.
+func (e *Engine) GroupSize(signature string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := e.joinable[signature]
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.size
+}
+
+// OpOf adapts a relop unary operator constructor into an OpFactory.
+func OpOf(build func(emit relop.Emit) (relop.Operator, error)) OpFactory { return build }

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"repro/internal/storage"
+)
+
+// PageQueue is the bounded page buffer connecting a producer operator to a
+// consumer operator. Finite capacity realizes the model assumption that
+// "slow consumers throttle producers" (Section 4): a producer facing a full
+// queue parks until the consumer drains a page.
+//
+// All methods take the task performing the operation so the queue can park
+// and wake it through the scheduler.
+type PageQueue struct {
+	s        *Scheduler
+	name     string
+	capacity int
+
+	// guarded by s.mu
+	items    []*storage.Batch
+	closed   bool
+	waitProd []*Task
+	waitCons []*Task
+}
+
+// NewPageQueue creates a queue with the given page capacity (minimum 1).
+func NewPageQueue(s *Scheduler, name string, capacity int) *PageQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PageQueue{s: s, name: name, capacity: capacity}
+}
+
+// TryPush appends a page. It returns false — after registering t to be
+// woken — when the queue is full; the task should return Blocked. Pushing
+// to a closed queue discards the page and reports success (the consumer is
+// gone; drop output on the floor so upstream can drain and finish).
+func (q *PageQueue) TryPush(t *Task, b *storage.Batch) bool {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if q.closed {
+		return true
+	}
+	if len(q.items) >= q.capacity {
+		q.waitProd = append(q.waitProd, t)
+		return false
+	}
+	q.items = append(q.items, b)
+	q.wakeOneLocked(&q.waitCons)
+	return true
+}
+
+// TryPop removes the oldest page. ok=false with done=false means "empty but
+// producer still running" (task should return Blocked after this call
+// registered it for wake-up); ok=false with done=true means the queue is
+// closed and drained.
+func (q *PageQueue) TryPop(t *Task) (b *storage.Batch, ok, done bool) {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if len(q.items) > 0 {
+		b = q.items[0]
+		q.items = q.items[1:]
+		q.wakeOneLocked(&q.waitProd)
+		return b, true, false
+	}
+	if q.closed {
+		return nil, false, true
+	}
+	q.waitCons = append(q.waitCons, t)
+	return nil, false, false
+}
+
+// Close marks the producer finished and wakes all waiting consumers (and
+// producers, so fan-out peers observing a closed sibling can make progress).
+func (q *PageQueue) Close() {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, t := range q.waitCons {
+		q.s.wakeLocked(t)
+	}
+	q.waitCons = nil
+	for _, t := range q.waitProd {
+		q.s.wakeLocked(t)
+	}
+	q.waitProd = nil
+}
+
+// Len returns the current number of buffered pages.
+func (q *PageQueue) Len() int {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return len(q.items)
+}
+
+// Closed reports whether the queue is closed.
+func (q *PageQueue) Closed() bool {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return q.closed
+}
+
+func (q *PageQueue) wakeOneLocked(list *[]*Task) {
+	if len(*list) == 0 {
+		return
+	}
+	t := (*list)[0]
+	*list = (*list)[1:]
+	q.s.wakeLocked(t)
+}

@@ -1,0 +1,200 @@
+// Package engine implements Cordoba, the staged database execution engine of
+// Section 3.2: queries decompose into operator tasks ("packets") routed
+// through stages, intermediate results move between operators as packed
+// pages through bounded queues (slow consumers throttle producers), and
+// work sharing merges compatible queries at a pivot operator whose output
+// then fans out to every sharer — paying the per-consumer cost s the
+// analytical model charges.
+//
+// Processor emulation: all tasks run on a cooperative scheduler with a fixed
+// number of worker goroutines. A task executes one bounded quantum (one page
+// of work) per step and then yields, emulating the round-robin fairness of
+// the paper's UltraSparc T1 testbed with n hardware contexts.
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Status is a task step's outcome.
+type Status int
+
+const (
+	// Again means the task has more work and should be rescheduled.
+	Again Status = iota
+	// Blocked means the task waits on a queue; the queue wakes it.
+	Blocked
+	// Done means the task finished and leaves the scheduler.
+	Done
+)
+
+// taskState tracks where a task currently lives.
+type taskState int
+
+const (
+	stateQueued taskState = iota
+	stateRunning
+	stateParked
+	stateFinished
+)
+
+// Task is a cooperative unit of execution. Step performs one bounded
+// quantum of work and reports what to do next.
+type Task struct {
+	name   string
+	step   func(*Task) Status
+	state  taskState
+	wakeup bool // a queue woke the task while it was running
+}
+
+// Scheduler runs tasks on a fixed pool of worker goroutines, emulating a
+// machine with Workers processors. Tasks yield after each quantum; ready
+// tasks are served FIFO (round-robin among runnable tasks, like the T1's
+// per-core round-robin issue).
+type Scheduler struct {
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals: ready task available or shutdown
+	idle    *sync.Cond // signals: live count changed
+	ready   []*Task
+	live    int
+	started bool
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewScheduler creates a scheduler with the given number of workers
+// (emulated processors).
+func NewScheduler(workers int) (*Scheduler, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("engine: workers must be positive, got %d", workers)
+	}
+	s := &Scheduler{workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Workers returns the emulated processor count.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Start launches the worker pool. It is idempotent.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Stop shuts the pool down after in-flight quanta complete and waits for the
+// workers to exit. Parked tasks are abandoned.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+	s.idle.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Spawn registers a new task and makes it runnable.
+func (s *Scheduler) Spawn(name string, step func(*Task) Status) *Task {
+	t := &Task{name: name, step: step, state: stateQueued}
+	s.mu.Lock()
+	s.live++
+	s.ready = append(s.ready, t)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return t
+}
+
+// WaitIdle blocks until no live tasks remain (all Done) or the scheduler
+// stops.
+func (s *Scheduler) WaitIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.live > 0 && !s.stopped {
+		s.idle.Wait()
+	}
+}
+
+// Live returns the number of tasks not yet Done.
+func (s *Scheduler) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// wakeLocked moves a parked task back to the ready list. Callers hold s.mu.
+// Waking a running task defers the wake to the end of its current step;
+// waking a queued or finished task is a no-op.
+func (s *Scheduler) wakeLocked(t *Task) {
+	switch t.state {
+	case stateParked:
+		t.state = stateQueued
+		s.ready = append(s.ready, t)
+		s.cond.Signal()
+	case stateRunning:
+		t.wakeup = true
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.ready) == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		t := s.ready[0]
+		s.ready = s.ready[1:]
+		t.state = stateRunning
+		s.mu.Unlock()
+
+		st := t.step(t)
+
+		s.mu.Lock()
+		switch st {
+		case Again:
+			t.state = stateQueued
+			t.wakeup = false
+			s.ready = append(s.ready, t)
+			s.cond.Signal()
+		case Blocked:
+			if t.wakeup {
+				// A queue changed state during the step; retry immediately
+				// rather than parking and losing the wakeup.
+				t.wakeup = false
+				t.state = stateQueued
+				s.ready = append(s.ready, t)
+				s.cond.Signal()
+			} else {
+				t.state = stateParked
+			}
+		case Done:
+			t.state = stateFinished
+			s.live--
+			if s.live == 0 {
+				s.idle.Broadcast()
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// PageSource produces pages for a leaf operator (table scan). Next performs
+// at most one page worth of work per call; it may return a nil batch with
+// eof=false when a quantum of work selected no rows (highly selective
+// predicates still cost work).
+type PageSource interface {
+	// Schema describes emitted pages.
+	Schema() storage.Schema
+	// Next returns the next page (nil if this quantum produced no rows) and
+	// whether the source is exhausted.
+	Next() (b *storage.Batch, eof bool, err error)
+}
+
+// SourceFactory creates a fresh PageSource per query instantiation.
+type SourceFactory func() (PageSource, error)
+
+// OpFactory creates a fresh unary operator whose output goes to emit.
+type OpFactory func(emit relop.Emit) (relop.Operator, error)
+
+// JoinOperator is the two-input operator contract (hash join): the build
+// side streams in first and is sealed with FinishBuild, then the probe side
+// streams through Push/Finish. *relop.HashJoin satisfies it.
+type JoinOperator interface {
+	OutSchema() storage.Schema
+	PushBuild(*storage.Batch) error
+	FinishBuild() error
+	Push(*storage.Batch) error
+	Finish() error
+}
+
+// JoinFactory creates a fresh join operator per query instantiation.
+type JoinFactory func(emit relop.Emit) (JoinOperator, error)
+
+// NodeSpec describes one operator in a query spec. Exactly one of Source,
+// Op, Join must be set.
+type NodeSpec struct {
+	// Name identifies the node; it doubles as the stage name for
+	// profiling/busy-time accounting.
+	Name string
+	// Source makes this node a leaf producer.
+	Source SourceFactory
+	// Op makes this node a unary operator over Input.
+	Op OpFactory
+	// Input is the child node index for unary operators.
+	Input int
+	// Join makes this node a binary build/probe operator.
+	Join JoinFactory
+	// BuildInput and ProbeInput are the child node indices for joins.
+	BuildInput, ProbeInput int
+}
+
+// QuerySpec describes an executable query: nodes in topological order (root
+// last) plus the sharing pivot. Everything at or below the pivot is the
+// shared sub-plan; the nodes above it must form a linear chain to the root
+// and are instantiated privately per sharer.
+type QuerySpec struct {
+	// Signature identifies the shareable sub-plan; only queries with equal
+	// signatures may merge (Cordoba detects sharing opportunities by
+	// matching packets at stage queues; signature equality is our packet
+	// match).
+	Signature string
+	// Nodes are the operators, children before parents, root last.
+	Nodes []NodeSpec
+	// Pivot indexes the sharing pivot node.
+	Pivot int
+	// Model carries the query's analytical-model coefficients, used by
+	// model-guided sharing policies at admission time.
+	Model core.Query
+}
+
+// Spec validation errors.
+var (
+	ErrBadSpec = errors.New("engine: invalid query spec")
+)
+
+// Validate checks structural constraints: node kinds, topological child
+// references, single consumption of every non-root node, and a linear
+// private chain above the pivot.
+func (q QuerySpec) Validate() error {
+	if len(q.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrBadSpec)
+	}
+	if q.Pivot < 0 || q.Pivot >= len(q.Nodes) {
+		return fmt.Errorf("%w: pivot %d out of range", ErrBadSpec, q.Pivot)
+	}
+	consumed := make([]int, len(q.Nodes))
+	for i, nd := range q.Nodes {
+		kinds := 0
+		if nd.Source != nil {
+			kinds++
+		}
+		if nd.Op != nil {
+			kinds++
+		}
+		if nd.Join != nil {
+			kinds++
+		}
+		if kinds != 1 {
+			return fmt.Errorf("%w: node %d (%s) must set exactly one of Source/Op/Join", ErrBadSpec, i, nd.Name)
+		}
+		if nd.Op != nil {
+			if nd.Input < 0 || nd.Input >= i {
+				return fmt.Errorf("%w: node %d (%s) input %d not topological", ErrBadSpec, i, nd.Name, nd.Input)
+			}
+			consumed[nd.Input]++
+		}
+		if nd.Join != nil {
+			for _, in := range []int{nd.BuildInput, nd.ProbeInput} {
+				if in < 0 || in >= i {
+					return fmt.Errorf("%w: node %d (%s) join input %d not topological", ErrBadSpec, i, nd.Name, in)
+				}
+				consumed[in]++
+			}
+			if nd.BuildInput == nd.ProbeInput {
+				return fmt.Errorf("%w: node %d (%s) build and probe share input", ErrBadSpec, i, nd.Name)
+			}
+		}
+	}
+	for i := range q.Nodes {
+		want := 1
+		if i == len(q.Nodes)-1 {
+			want = 0 // root feeds the sink
+		}
+		if consumed[i] != want {
+			return fmt.Errorf("%w: node %d (%s) consumed %d times, want %d", ErrBadSpec, i, q.Nodes[i].Name, consumed[i], want)
+		}
+	}
+	// Private part above the pivot must be a linear chain of unary ops.
+	for i := q.Pivot + 1; i < len(q.Nodes); i++ {
+		nd := q.Nodes[i]
+		if nd.Op == nil {
+			return fmt.Errorf("%w: node %d (%s) above the pivot must be a unary operator", ErrBadSpec, i, nd.Name)
+		}
+		if nd.Input != i-1 {
+			return fmt.Errorf("%w: node %d (%s) above the pivot must consume node %d", ErrBadSpec, i, nd.Name, i-1)
+		}
+	}
+	return nil
+}
+
+// TableSource returns a SourceFactory scanning tbl with pred over the given
+// columns, one page of base-table rows per quantum.
+func TableSource(tbl *storage.Table, pred relop.Pred, cols []string, pageRows int) SourceFactory {
+	return func() (PageSource, error) {
+		s := tbl.Schema()
+		useCols := cols
+		if useCols == nil {
+			for _, c := range s.Cols {
+				useCols = append(useCols, c.Name)
+			}
+		}
+		out, err := s.Project(useCols...)
+		if err != nil {
+			return nil, err
+		}
+		p := pred
+		if p == nil {
+			p = relop.True{}
+		}
+		rows := pageRows
+		if rows <= 0 {
+			rows = storage.RowsPerPage(out, storage.DefaultPageSize)
+		}
+		return &tableSource{tbl: tbl, pred: p, cols: useCols, out: out, pageRows: rows}, nil
+	}
+}
+
+type tableSource struct {
+	tbl      *storage.Table
+	pred     relop.Pred
+	cols     []string
+	out      storage.Schema
+	pageRows int
+	offset   int
+}
+
+// Schema implements PageSource.
+func (t *tableSource) Schema() storage.Schema { return t.out }
+
+// Next implements PageSource: one page of base rows per call.
+func (t *tableSource) Next() (*storage.Batch, bool, error) {
+	n := t.tbl.NumRows()
+	if t.offset >= n {
+		return nil, true, nil
+	}
+	hi := t.offset + t.pageRows
+	if hi > n {
+		hi = n
+	}
+	window := t.tbl.Data().Slice(t.offset, hi)
+	t.offset = hi
+	sel, err := t.pred.Filter(window, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(sel) == 0 {
+		return nil, t.offset >= n, nil
+	}
+	res := &storage.Batch{Schema: t.out, Vecs: make([]storage.Vector, len(t.cols))}
+	for i, name := range t.cols {
+		v, err := window.Col(name)
+		if err != nil {
+			return nil, false, err
+		}
+		res.Vecs[i] = v.Gather(sel)
+	}
+	return res, t.offset >= n, nil
+}

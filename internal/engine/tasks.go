@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// outbox manages an operator's output side: buffered batches awaiting
+// delivery, fan-out to multiple consumers (sharers), and per-consumer
+// copying. Delivery is sequential across consumers — the serialization the
+// paper identifies as the pivot's fundamental cost ("the pivot must
+// sequentially output results to all M consumers", Section 6.2).
+type outbox struct {
+	mu           sync.Mutex
+	outs         []*PageQueue
+	pending      []*storage.Batch
+	nextConsumer int
+	copyOnFanOut bool
+	onFirstEmit  func()
+	emitted      bool
+	closed       bool
+}
+
+// add buffers a batch for delivery. The first add seals the sharing group
+// via onFirstEmit (late joiners would miss this page).
+func (o *outbox) add(b *storage.Batch) {
+	o.mu.Lock()
+	first := !o.emitted
+	o.emitted = true
+	o.pending = append(o.pending, b)
+	o.mu.Unlock()
+	if first && o.onFirstEmit != nil {
+		o.onFirstEmit()
+	}
+}
+
+// attach adds a consumer queue. Only valid before the first emit (enforced
+// by the engine's group admission under its own lock).
+func (o *outbox) attach(q *PageQueue) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.outs = append(o.outs, q)
+}
+
+// consumers returns the current fan-out width.
+func (o *outbox) consumers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.outs)
+}
+
+// flush delivers pending batches to all consumers in order. It returns true
+// when everything was delivered, false when a full queue blocked progress
+// (the task should return Blocked; the queue registered it for wake-up).
+func (o *outbox) flush(t *Task) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.pending) > 0 {
+		b := o.pending[0]
+		for o.nextConsumer < len(o.outs) {
+			q := o.outs[o.nextConsumer]
+			out := b
+			// Fan-out pays the per-consumer copy: every sharer beyond the
+			// first receives a private clone of the page (the physical s of
+			// the model). Single-consumer hand-off moves the pointer.
+			if o.copyOnFanOut && len(o.outs) > 1 && o.nextConsumer > 0 {
+				out = b.Clone()
+			}
+			if !q.TryPush(t, out) {
+				return false
+			}
+			o.nextConsumer++
+		}
+		o.pending = o.pending[1:]
+		o.nextConsumer = 0
+	}
+	return true
+}
+
+// closeAll closes every consumer queue (idempotent).
+func (o *outbox) closeAll() {
+	o.mu.Lock()
+	outs := append([]*PageQueue(nil), o.outs...)
+	o.closed = true
+	o.mu.Unlock()
+	for _, q := range outs {
+		q.Close()
+	}
+}
+
+// busyClock accumulates per-node busy time for profiling (Section 3.1's
+// measurement input).
+type busyClock struct {
+	enabled bool
+	mu      sync.Mutex
+	nanos   map[string]int64
+}
+
+func newBusyClock(enabled bool) *busyClock {
+	return &busyClock{enabled: enabled, nanos: make(map[string]int64)}
+}
+
+func (c *busyClock) measure(name string, f func()) {
+	if !c.enabled {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	d := time.Since(start).Nanoseconds()
+	c.mu.Lock()
+	c.nanos[name] += d
+	c.mu.Unlock()
+}
+
+func (c *busyClock) snapshot() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, len(c.nanos))
+	for k, v := range c.nanos {
+		out[k] = time.Duration(v)
+	}
+	return out
+}
+
+// sourceTask drives a PageSource: one Next per quantum, output via outbox.
+type sourceTask struct {
+	name  string
+	src   PageSource
+	out   *outbox
+	clock *busyClock
+	fail  func(error)
+	eof   bool
+}
+
+func (st *sourceTask) step(t *Task) Status {
+	flushed := false
+	st.clock.measure(st.name, func() { flushed = st.out.flush(t) })
+	if !flushed {
+		return Blocked
+	}
+	if st.eof {
+		st.out.closeAll()
+		return Done
+	}
+	var b *storage.Batch
+	var eof bool
+	var err error
+	st.clock.measure(st.name, func() { b, eof, err = st.src.Next() })
+	if err != nil {
+		st.fail(err)
+		st.out.closeAll()
+		return Done
+	}
+	st.eof = eof
+	if b != nil {
+		st.out.add(b)
+	}
+	return Again
+}
+
+// opTask drives a unary operator: pop one page, Push it, flush outputs.
+type opTask struct {
+	name     string
+	push     func(*storage.Batch) error
+	finish   func() error
+	in       *PageQueue
+	out      *outbox
+	clock    *busyClock
+	fail     func(error)
+	finished bool
+}
+
+func (ot *opTask) step(t *Task) Status {
+	flushed := false
+	ot.clock.measure(ot.name, func() { flushed = ot.out.flush(t) })
+	if !flushed {
+		return Blocked
+	}
+	if ot.finished {
+		ot.out.closeAll()
+		return Done
+	}
+	b, ok, done := ot.in.TryPop(t)
+	switch {
+	case ok:
+		var err error
+		ot.clock.measure(ot.name, func() { err = ot.push(b) })
+		if err != nil {
+			ot.fail(err)
+			ot.out.closeAll()
+			return Done
+		}
+		return Again
+	case done:
+		var err error
+		ot.clock.measure(ot.name, func() { err = ot.finish() })
+		if err != nil {
+			ot.fail(err)
+			ot.out.closeAll()
+			return Done
+		}
+		ot.finished = true
+		return Again // flush whatever Finish emitted, then close
+	default:
+		return Blocked
+	}
+}
+
+// joinTask drives a JoinOperator: drains the build input first, then seals
+// the build and streams the probe input. Bounded probe queues throttle the
+// probe-side producer while the build runs — the stop-&-go decoupling of
+// Section 5.3.3 falls out of the queue discipline.
+type joinTask struct {
+	name     string
+	join     JoinOperator
+	build    *PageQueue
+	probe    *PageQueue
+	out      *outbox
+	clock    *busyClock
+	fail     func(error)
+	building bool
+	finished bool
+}
+
+func (jt *joinTask) step(t *Task) Status {
+	flushed := false
+	jt.clock.measure(jt.name, func() { flushed = jt.out.flush(t) })
+	if !flushed {
+		return Blocked
+	}
+	if jt.finished {
+		jt.out.closeAll()
+		return Done
+	}
+	if jt.building {
+		b, ok, done := jt.build.TryPop(t)
+		switch {
+		case ok:
+			var err error
+			jt.clock.measure(jt.name, func() { err = jt.join.PushBuild(b) })
+			if err != nil {
+				jt.fail(err)
+				jt.out.closeAll()
+				return Done
+			}
+			return Again
+		case done:
+			var err error
+			jt.clock.measure(jt.name, func() { err = jt.join.FinishBuild() })
+			if err != nil {
+				jt.fail(err)
+				jt.out.closeAll()
+				return Done
+			}
+			jt.building = false
+			return Again
+		default:
+			return Blocked
+		}
+	}
+	b, ok, done := jt.probe.TryPop(t)
+	switch {
+	case ok:
+		var err error
+		jt.clock.measure(jt.name, func() { err = jt.join.Push(b) })
+		if err != nil {
+			jt.fail(err)
+			jt.out.closeAll()
+			return Done
+		}
+		return Again
+	case done:
+		var err error
+		jt.clock.measure(jt.name, func() { err = jt.join.Finish() })
+		if err != nil {
+			jt.fail(err)
+			jt.out.closeAll()
+			return Done
+		}
+		jt.finished = true
+		return Again
+	default:
+		return Blocked
+	}
+}
+
+// sinkTask drains the root queue into the query's result and completes the
+// handle.
+type sinkTask struct {
+	in       *PageQueue
+	result   *storage.Batch
+	complete func(*storage.Batch)
+}
+
+func (sk *sinkTask) step(t *Task) Status {
+	for {
+		b, ok, done := sk.in.TryPop(t)
+		switch {
+		case ok:
+			for i := 0; i < b.Len(); i++ {
+				sk.result.AppendBatchRow(b, i)
+			}
+		case done:
+			sk.complete(sk.result)
+			return Done
+		default:
+			return Blocked
+		}
+	}
+}

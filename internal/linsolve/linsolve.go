@@ -1,0 +1,201 @@
+// Package linsolve provides the small dense linear-algebra kernel the
+// profiling machinery needs: solving square systems by Gaussian elimination
+// with partial pivoting, and over-determined systems by linear least squares
+// via the normal equations.
+//
+// The paper's parameter-estimation procedure (Section 3.1) "solves a system
+// of linear equations to divide up the active time of each operator among
+// the different nodes of the query plan"; these routines are that solver.
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the system has no unique solution.
+var ErrSingular = errors.New("linsolve: singular or ill-conditioned matrix")
+
+// ErrShape is returned for dimension mismatches.
+var ErrShape = errors.New("linsolve: dimension mismatch")
+
+// pivotEps is the smallest pivot magnitude treated as non-zero.
+const pivotEps = 1e-12
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linsolve: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for r, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, r, len(row), cols)
+		}
+		copy(m.Data[r*cols:(r+1)*cols], row)
+	}
+	return m, nil
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("%w: vector length %d, want %d", ErrShape, len(x), m.Cols)
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var s float64
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+	return out, nil
+}
+
+// Solve solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("%w: matrix is %dx%d, want square", ErrShape, a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	// Work on an augmented copy.
+	m := a.Clone()
+	rhs := append([]float64(nil), b...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below row col.
+		best, bestAbs := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m.At(r, col)); abs > bestAbs {
+				best, bestAbs = r, abs
+			}
+		}
+		if bestAbs < pivotEps {
+			return nil, fmt.Errorf("%w: pivot %g at column %d", ErrSingular, bestAbs, col)
+		}
+		if best != col {
+			swapRows(m, best, col)
+			rhs[best], rhs[col] = rhs[col], rhs[best]
+		}
+		pv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := rhs[r]
+		for c := r + 1; c < n; c++ {
+			s -= m.At(r, c) * x[c]
+		}
+		x[r] = s / m.At(r, r)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite solution component %d", ErrSingular, i)
+		}
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// LeastSquares solves the over-determined system A·x ≈ b (Rows ≥ Cols) in
+// the least-squares sense via the normal equations AᵀA·x = Aᵀb. The normal
+// equations square the condition number, which is acceptable for the small,
+// well-scaled systems profiling produces.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), a.Rows)
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("%w: %d equations for %d unknowns", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Cols
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for r := 0; r < a.Rows; r++ {
+				s += a.At(r, i) * a.At(r, j)
+			}
+			ata.Set(i, j, s)
+			ata.Set(j, i, s)
+		}
+		var s float64
+		for r := 0; r < a.Rows; r++ {
+			s += a.At(r, i) * b[r]
+		}
+		atb[i] = s
+	}
+	return Solve(ata, atb)
+}
+
+// Residual returns the max-norm of A·x − b.
+func Residual(a *Matrix, x, b []float64) (float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != len(ax) {
+		return 0, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), len(ax))
+	}
+	var worst float64
+	for i := range ax {
+		worst = math.Max(worst, math.Abs(ax[i]-b[i]))
+	}
+	return worst, nil
+}

@@ -1,0 +1,247 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func vecClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSolveIdentity(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 0}, {0, 1}})
+	x, err := Solve(a, []float64{3, -7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(x, []float64{3, -7}, 1e-12) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x = 2, y = 1.
+	a := mustMatrix(t, [][]float64{{2, 1}, {1, -1}})
+	x, err := Solve(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(x, []float64{2, 1}, 1e-12) {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := mustMatrix(t, [][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(x, []float64{3, 2}, 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	rect := mustMatrix(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := Solve(rect, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square: got %v, want ErrShape", err)
+	}
+	sq := mustMatrix(t, [][]float64{{1, 0}, {0, 1}})
+	if _, err := Solve(sq, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad rhs: got %v, want ErrShape", err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{2, 1}, {1, -1}})
+	b := []float64{5, 1}
+	before := a.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(a.Data, before.Data, 0) {
+		t.Error("Solve mutated the matrix")
+	}
+	if !vecClose(b, []float64{5, 1}, 0) {
+		t.Error("Solve mutated the rhs")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("got %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(y, []float64{3, 7, 11}, 1e-12) {
+		t.Errorf("y = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("got %v, want ErrShape", err)
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// A square consistent system must be recovered exactly.
+	a := mustMatrix(t, [][]float64{{2, 1}, {1, -1}})
+	x, err := LeastSquares(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(x, []float64{2, 1}, 1e-9) {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = a + b·t to noisy-free samples of y = 3 + 2t plus one outlier
+	// balanced by symmetry: the classic regression sanity check.
+	rows := [][]float64{}
+	rhs := []float64{}
+	for _, tv := range []float64{0, 1, 2, 3, 4} {
+		rows = append(rows, []float64{1, tv})
+		rhs = append(rhs, 3+2*tv)
+	}
+	a := mustMatrix(t, rows)
+	x, err := LeastSquares(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecClose(x, []float64{3, 2}, 1e-9) {
+		t.Errorf("fit = %v, want [3 2]", x)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("got %v, want ErrShape", err)
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 0}, {0, 1}})
+	r, err := Residual(a, []float64{1, 2}, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3) > 1e-12 {
+		t.Errorf("residual = %g, want 3", r)
+	}
+}
+
+// Property: Solve recovers a random x from A·x for random well-conditioned A.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*2 - 1
+		}
+		// Diagonal dominance guarantees non-singularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.Float64()*10 - 5
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			return false
+		}
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return vecClose(got, want, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the least-squares residual never exceeds the residual of any
+// random competitor (optimality of the fit in the 2-norm implies we can at
+// least check a weaker max-norm-competitor property via the normal
+// equations' 2-norm optimality).
+func TestQuickLeastSquaresBeatsPerturbations(t *testing.T) {
+	norm2 := func(a *Matrix, x, b []float64) float64 {
+		ax, _ := a.MulVec(x)
+		var s float64
+		for i := range ax {
+			d := ax[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		rowsN := n + 1 + rng.Intn(6)
+		a := NewMatrix(rowsN, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*2 - 1
+		}
+		for i := 0; i < n; i++ { // keep AᵀA well away from singular
+			a.Set(i, i, a.At(i, i)+2)
+		}
+		b := make([]float64, rowsN)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // skip ill-conditioned draws
+		}
+		best := norm2(a, x, b)
+		for trial := 0; trial < 5; trial++ {
+			y := append([]float64(nil), x...)
+			y[rng.Intn(n)] += rng.Float64()*0.2 - 0.1
+			if norm2(a, y, b) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

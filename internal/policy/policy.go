@@ -1,0 +1,61 @@
+// Package policy implements the three work-sharing policies Section 8
+// compares: always-share, never-share, and the model-guided policy that
+// evaluates the analytical model at runtime and admits a query to a sharing
+// group only when the model predicts a benefit.
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Always applies work sharing whenever possible.
+type Always struct{}
+
+// ShouldJoin implements engine.SharePolicy: always yes.
+func (Always) ShouldJoin(core.Query, int) bool { return true }
+
+// Never executes every query independently.
+type Never struct{}
+
+// ShouldJoin implements engine.SharePolicy: always no.
+func (Never) ShouldJoin(core.Query, int) bool { return false }
+
+// ModelGuided admits a query to a group of prospective size m only when the
+// model predicts shared execution of m copies beats independent execution on
+// this hardware: Z(m, n) > 1 (Section 8.1's admission test; if no group
+// permits sharing the engine starts the query independently, where it may be
+// joined later).
+type ModelGuided struct {
+	// Env is the hardware the model evaluates against.
+	Env core.Env
+}
+
+// ShouldJoin implements engine.SharePolicy.
+func (p ModelGuided) ShouldJoin(q core.Query, m int) bool {
+	return core.ShouldShare(q, m, p.Env)
+}
+
+// Name returns a short policy label for reports.
+func Name(p engine.SharePolicy) string {
+	switch p.(type) {
+	case Always:
+		return "always"
+	case Never, nil:
+		return "never"
+	case ModelGuided:
+		return "model"
+	default:
+		return "custom"
+	}
+}
+
+// ForEngine converts a policy into the form engine.Submit expects: Never
+// becomes nil (the engine's never-share path, which skips group
+// bookkeeping entirely).
+func ForEngine(p engine.SharePolicy) engine.SharePolicy {
+	if _, ok := p.(Never); ok {
+		return nil
+	}
+	return p
+}

@@ -1,0 +1,66 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+func TestStaticPolicies(t *testing.T) {
+	q := tpch.Model(tpch.Q6)
+	if !(Always{}).ShouldJoin(q, 40) {
+		t.Error("Always refused")
+	}
+	if (Never{}).ShouldJoin(q, 2) {
+		t.Error("Never agreed")
+	}
+}
+
+func TestModelGuidedFollowsModel(t *testing.T) {
+	q6 := tpch.Model(tpch.Q6)
+	q4 := tpch.Model(tpch.Q4)
+	one := ModelGuided{Env: core.NewEnv(1)}
+	many := ModelGuided{Env: core.NewEnv(32)}
+	// Q6 on 1 cpu: share; on 32: don't.
+	if !one.ShouldJoin(q6, 8) {
+		t.Error("Q6 x8 on 1 cpu refused")
+	}
+	if many.ShouldJoin(q6, 8) {
+		t.Error("Q6 x8 on 32 cpu accepted")
+	}
+	// Q4: share under load everywhere. (At light load on 32 cpus neither
+	// configuration saturates, Z = 1 exactly, and the paper's strict rule
+	// "share iff Z > 1" says run independently.)
+	if !one.ShouldJoin(q4, 8) || !many.ShouldJoin(q4, 48) {
+		t.Error("Q4 sharing refused")
+	}
+	if many.ShouldJoin(q6, 8) == core.ShouldShare(q6, 8, core.NewEnv(32)) == false {
+		t.Error("policy diverges from core decision")
+	}
+}
+
+func TestName(t *testing.T) {
+	if Name(Always{}) != "always" || Name(Never{}) != "never" || Name(nil) != "never" {
+		t.Error("static names wrong")
+	}
+	if Name(ModelGuided{}) != "model" {
+		t.Error("model name wrong")
+	}
+	if Name(customPolicy{}) != "custom" {
+		t.Error("custom name wrong")
+	}
+}
+
+type customPolicy struct{}
+
+func (customPolicy) ShouldJoin(core.Query, int) bool { return false }
+
+func TestForEngine(t *testing.T) {
+	if ForEngine(Never{}) != nil {
+		t.Error("Never did not map to nil")
+	}
+	if ForEngine(Always{}) == nil {
+		t.Error("Always mapped to nil")
+	}
+}

@@ -1,0 +1,177 @@
+// Package profile implements the paper's parameter-estimation procedure
+// (Section 3.1): run a few test invocations of a query with and without work
+// sharing, measure each operator's active time, and solve a system of linear
+// equations to divide that time among the plan nodes — recovering the model
+// coefficients w (own work) and s (per-consumer output cost).
+//
+// The pivot's active time per group round is w_φ + m·s_φ, so measurements at
+// several sharing degrees m form an over-determined linear system
+// [1 m]·[w s]ᵀ = busy(m) solved by least squares. Operators below the pivot
+// run once per round (busy = p); operators above run once per sharer
+// (busy = m·p).
+package profile
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linsolve"
+	"repro/internal/sim"
+)
+
+// ErrInsufficient is returned when too few sharing degrees are supplied to
+// identify the pivot coefficients.
+var ErrInsufficient = errors.New("profile: need at least two distinct sharing degrees")
+
+// Measurement is one profiled run: the sharing degree and each node's
+// active time per group round (one round = the shared sub-plan executing
+// once and every sharer consuming its output once).
+type Measurement struct {
+	// M is the number of sharers in the profiled run (1 = unshared).
+	M int
+	// BusyPerRound maps node name to active time per round.
+	BusyPerRound map[string]float64
+}
+
+// Estimate recovers model coefficients for a plan with known structure but
+// unknown work coefficients, from per-node active-time measurements at the
+// given sharing degrees. The returned query is compiled against pivotName.
+func Estimate(structure core.Plan, pivotName string, meas []Measurement) (core.Query, error) {
+	if err := structure.Validate(); err != nil {
+		return core.Query{}, err
+	}
+	pivot := structure.Find(pivotName)
+	if pivot == nil {
+		return core.Query{}, fmt.Errorf("%w: %q", core.ErrPivotNotFound, pivotName)
+	}
+	distinct := map[int]bool{}
+	for _, m := range meas {
+		distinct[m.M] = true
+	}
+	if len(distinct) < 2 {
+		return core.Query{}, ErrInsufficient
+	}
+	// Pivot: least-squares fit busy(m) = w + m·s.
+	var rows [][]float64
+	var rhs []float64
+	for _, m := range meas {
+		busy, ok := m.BusyPerRound[pivotName]
+		if !ok {
+			return core.Query{}, fmt.Errorf("profile: measurement m=%d missing node %q", m.M, pivotName)
+		}
+		rows = append(rows, []float64{1, float64(m.M)})
+		rhs = append(rhs, busy)
+	}
+	a, err := linsolve.FromRows(rows)
+	if err != nil {
+		return core.Query{}, err
+	}
+	ws, err := linsolve.LeastSquares(a, rhs)
+	if err != nil {
+		return core.Query{}, err
+	}
+	q := core.Query{Name: structure.Name, PivotW: clampNonNeg(ws[0]), PivotS: clampNonNeg(ws[1])}
+	// Below-pivot nodes run once per round: p = mean busy. Above-pivot
+	// nodes run once per sharer: p = mean busy/m.
+	belowSet := map[string]bool{}
+	var walkBelow func(nd *core.PlanNode)
+	walkBelow = func(nd *core.PlanNode) {
+		for _, c := range nd.Children {
+			belowSet[c.Name] = true
+			walkBelow(c)
+		}
+	}
+	walkBelow(pivot)
+	for _, nd := range structure.Nodes() {
+		if nd == pivot {
+			continue
+		}
+		var sum float64
+		var n int
+		for _, m := range meas {
+			busy, ok := m.BusyPerRound[nd.Name]
+			if !ok {
+				return core.Query{}, fmt.Errorf("profile: measurement m=%d missing node %q", m.M, nd.Name)
+			}
+			if belowSet[nd.Name] {
+				sum += busy
+			} else {
+				sum += busy / float64(m.M)
+			}
+			n++
+		}
+		p := clampNonNeg(sum / float64(n))
+		if belowSet[nd.Name] {
+			q.Below = append(q.Below, p)
+		} else {
+			q.Above = append(q.Above, p)
+		}
+	}
+	return q, nil
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MeasureSim profiles the plan on the CMP simulator at the given sharing
+// degrees and returns the measurements Estimate consumes. It converts the
+// simulator's aggregate busy times to per-round figures by dividing by the
+// number of group rounds completed (throughput × horizon / m).
+func MeasureSim(pl core.Plan, pivotName string, degrees []int, cfg sim.Config) ([]Measurement, error) {
+	var out []Measurement
+	for _, m := range degrees {
+		res, err := sim.Run(pl, pivotName, m, m > 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rounds := res.Throughput * horizonOf(cfg) / float64(m)
+		if rounds <= 0 {
+			return nil, fmt.Errorf("profile: no progress at m=%d", m)
+		}
+		busy := make(map[string]float64, len(res.BusyTime))
+		for name, total := range res.BusyTime {
+			busy[name] = total / rounds
+		}
+		out = append(out, Measurement{M: m, BusyPerRound: busy})
+	}
+	return out, nil
+}
+
+func horizonOf(cfg sim.Config) float64 {
+	if cfg.Horizon == 0 {
+		return 5000
+	}
+	return cfg.Horizon
+}
+
+// EstimateSim is the end-to-end pipeline: simulate, measure, fit. degrees
+// must contain at least two distinct sharing degrees (e.g. 1 and 4).
+func EstimateSim(pl core.Plan, pivotName string, degrees []int, cfg sim.Config) (core.Query, error) {
+	meas, err := MeasureSim(pl, pivotName, degrees, cfg)
+	if err != nil {
+		return core.Query{}, err
+	}
+	// The estimator fits against the plan's structure with the measured
+	// coefficients; strip the known work values so nothing leaks.
+	structure := stripWork(pl)
+	return Estimate(structure, pivotName, meas)
+}
+
+// stripWork deep-copies the plan structure zeroing all work coefficients
+// (making explicit that estimation sees only topology plus measurements).
+func stripWork(pl core.Plan) core.Plan {
+	var walk func(nd *core.PlanNode) *core.PlanNode
+	walk = func(nd *core.PlanNode) *core.PlanNode {
+		cp := &core.PlanNode{Name: nd.Name, Kind: nd.Kind}
+		for _, c := range nd.Children {
+			cp.Children = append(cp.Children, walk(c))
+		}
+		return cp
+	}
+	return core.Plan{Name: pl.Name, Root: walk(pl.Root)}
+}

@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// Synthetic exact measurements must recover coefficients exactly.
+func TestEstimateExact(t *testing.T) {
+	pl := core.Fig3Plan() // bottom p=10, pivot w=6 s=1, top p=10
+	meas := []Measurement{
+		{M: 1, BusyPerRound: map[string]float64{"bottom": 10, "pivot": 7, "top": 10}},
+		{M: 4, BusyPerRound: map[string]float64{"bottom": 10, "pivot": 10, "top": 40}},
+		{M: 8, BusyPerRound: map[string]float64{"bottom": 10, "pivot": 14, "top": 80}},
+	}
+	q, err := Estimate(pl, "pivot", meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.PivotW-6) > 1e-9 || math.Abs(q.PivotS-1) > 1e-9 {
+		t.Errorf("pivot (w,s) = (%g,%g), want (6,1)", q.PivotW, q.PivotS)
+	}
+	if len(q.Below) != 1 || math.Abs(q.Below[0]-10) > 1e-9 {
+		t.Errorf("below = %v, want [10]", q.Below)
+	}
+	if len(q.Above) != 1 || math.Abs(q.Above[0]-10) > 1e-9 {
+		t.Errorf("above = %v, want [10]", q.Above)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	pl := core.Fig3Plan()
+	oneDegree := []Measurement{
+		{M: 2, BusyPerRound: map[string]float64{"bottom": 10, "pivot": 8, "top": 20}},
+		{M: 2, BusyPerRound: map[string]float64{"bottom": 10, "pivot": 8, "top": 20}},
+	}
+	if _, err := Estimate(pl, "pivot", oneDegree); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("single degree: %v", err)
+	}
+	missing := []Measurement{
+		{M: 1, BusyPerRound: map[string]float64{"pivot": 7}},
+		{M: 2, BusyPerRound: map[string]float64{"pivot": 8}},
+	}
+	if _, err := Estimate(pl, "pivot", missing); err == nil {
+		t.Error("missing node measurements accepted")
+	}
+	if _, err := Estimate(pl, "ghost", nil); !errors.Is(err, core.ErrPivotNotFound) {
+		t.Errorf("missing pivot: %v", err)
+	}
+}
+
+// End-to-end: profile the simulator and recover the known ground-truth
+// coefficients of the Fig3 query within a few percent.
+func TestEstimateSimRecoversFig3(t *testing.T) {
+	pl := core.Fig3Plan()
+	got, err := EstimateSim(pl, "pivot", []int{1, 2, 4, 8}, sim.Config{Processors: 8, Horizon: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(got, want, tol float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > tol*math.Max(want, 1) {
+			t.Errorf("%s = %g, want %g (±%.0f%%)", what, got, want, tol*100)
+		}
+	}
+	within(got.PivotW, 6, 0.08, "pivot w")
+	within(got.PivotS, 1, 0.08, "pivot s")
+	if len(got.Below) != 1 || len(got.Above) != 1 {
+		t.Fatalf("structure wrong: below=%v above=%v", got.Below, got.Above)
+	}
+	within(got.Below[0], 10, 0.08, "below p")
+	within(got.Above[0], 10, 0.08, "above p")
+}
+
+// Profiling the simulated Q6 recovers the paper's published coefficients
+// (the sim executes the ground-truth plan; recovery validates the whole
+// estimation pipeline of Section 3.1).
+func TestEstimateSimRecoversQ6(t *testing.T) {
+	pl := tpch.Plan(tpch.Q6)
+	got, err := EstimateSim(pl, tpch.PivotName, []int{1, 2, 4}, sim.Config{Processors: 4, Horizon: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tpch.Model(tpch.Q6)
+	relErr := func(a, b float64) float64 { return math.Abs(a-b) / math.Max(b, 1e-9) }
+	if relErr(got.PivotW, want.PivotW) > 0.10 {
+		t.Errorf("w = %g, want %g", got.PivotW, want.PivotW)
+	}
+	if relErr(got.PivotS, want.PivotS) > 0.10 {
+		t.Errorf("s = %g, want %g", got.PivotS, want.PivotS)
+	}
+	if len(got.Above) != 1 || relErr(got.Above[0], want.Above[0]) > 0.15 {
+		t.Errorf("above = %v, want %v", got.Above, want.Above)
+	}
+	// The recovered model must make the same sharing decisions as the
+	// ground truth across the paper's grid.
+	for _, n := range []float64{1, 2, 8, 32} {
+		for m := 2; m <= 48; m += 2 {
+			g := core.ShouldShare(got, m, core.NewEnv(n))
+			w := core.ShouldShare(want, m, core.NewEnv(n))
+			if g != w {
+				t.Errorf("decision diverges at m=%d n=%g: est=%v truth=%v", m, n, g, w)
+			}
+		}
+	}
+}
+
+func TestMeasureSimProducesPerRoundFigures(t *testing.T) {
+	pl := core.Fig3Plan()
+	meas, err := MeasureSim(pl, "pivot", []int{1, 4}, sim.Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas) != 2 {
+		t.Fatalf("got %d measurements", len(meas))
+	}
+	// Unshared round: bottom busy ≈ p = 10.
+	if b := meas[0].BusyPerRound["bottom"]; math.Abs(b-10) > 1 {
+		t.Errorf("m=1 bottom busy/round = %g, want ≈ 10", b)
+	}
+	// Shared round with 4 sharers: top busy ≈ 4·10.
+	if b := meas[1].BusyPerRound["top"]; math.Abs(b-40) > 4 {
+		t.Errorf("m=4 top busy/round = %g, want ≈ 40", b)
+	}
+}

@@ -1,0 +1,271 @@
+package relop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	// Sum accumulates Σx as float64.
+	Sum AggFunc = iota
+	// Count counts rows; Expr may be nil.
+	Count
+	// Avg computes Σx / n.
+	Avg
+	// Min keeps the smallest value.
+	Min
+	// Max keeps the largest value.
+	Max
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// AggSpec describes one aggregate output column.
+type AggSpec struct {
+	// Func is the aggregate function.
+	Func AggFunc
+	// Expr is the aggregated expression (nil allowed for Count).
+	Expr Expr
+	// As names the output column.
+	As string
+}
+
+// HashAgg is a hash-based grouping aggregate. It is a stop-&-go operator:
+// Push accumulates, Finish emits one row per group (deterministically
+// ordered by group key for reproducibility).
+type HashAgg struct {
+	groupBy   []string
+	specs     []AggSpec
+	inSchema  storage.Schema
+	outSchema storage.Schema
+	groups    map[string]*aggState
+	emit      Emit
+	batchRows int
+	done      bool
+}
+
+type aggState struct {
+	keyVals []any // group key values, in groupBy order
+	sums    []float64
+	counts  []int64
+	mins    []float64
+	maxs    []float64
+	seen    []bool
+}
+
+// NewHashAgg builds a grouping aggregate. groupBy may be empty for a global
+// aggregate (which emits exactly one row even over empty input, matching
+// SQL semantics for COUNT/SUM over empty tables).
+func NewHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit Emit) (*HashAgg, error) {
+	var outCols []storage.Column
+	for _, g := range groupBy {
+		i, err := in.Index(g)
+		if err != nil {
+			return nil, err
+		}
+		outCols = append(outCols, in.Cols[i])
+	}
+	for _, sp := range specs {
+		t := storage.Float64
+		switch sp.Func {
+		case Count:
+			t = storage.Int64
+		case Sum, Avg, Min, Max:
+			if sp.Expr == nil {
+				return nil, fmt.Errorf("%w: %s requires an expression", ErrType, sp.Func)
+			}
+			et, err := sp.Expr.Type(in)
+			if err != nil {
+				return nil, err
+			}
+			if et == storage.String {
+				return nil, fmt.Errorf("%w: %s over string expression", ErrType, sp.Func)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown aggregate %d", ErrType, int(sp.Func))
+		}
+		outCols = append(outCols, storage.Column{Name: sp.As, Type: t})
+	}
+	out, err := storage.NewSchema(outCols...)
+	if err != nil {
+		return nil, err
+	}
+	return &HashAgg{
+		groupBy:   groupBy,
+		specs:     specs,
+		inSchema:  in,
+		outSchema: out,
+		groups:    make(map[string]*aggState),
+		emit:      emit,
+		batchRows: storage.RowsPerPage(out, storage.DefaultPageSize),
+	}, nil
+}
+
+// OutSchema implements Operator.
+func (h *HashAgg) OutSchema() storage.Schema { return h.outSchema }
+
+// Push implements Operator.
+func (h *HashAgg) Push(b *storage.Batch) error {
+	if h.done {
+		return ErrFinished
+	}
+	keyVecs := make([]storage.Vector, len(h.groupBy))
+	for i, g := range h.groupBy {
+		v, err := b.Col(g)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	vals := make([]storage.Vector, len(h.specs))
+	for i, sp := range h.specs {
+		if sp.Expr == nil {
+			continue
+		}
+		v, err := sp.Expr.Eval(b)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	var keyBuf strings.Builder
+	for row := 0; row < b.Len(); row++ {
+		keyBuf.Reset()
+		keyVals := make([]any, len(keyVecs))
+		for i, v := range keyVecs {
+			switch v.Type {
+			case storage.Int64, storage.Date:
+				fmt.Fprintf(&keyBuf, "i%d|", v.I64[row])
+				keyVals[i] = v.I64[row]
+			case storage.Float64:
+				fmt.Fprintf(&keyBuf, "f%g|", v.F64[row])
+				keyVals[i] = v.F64[row]
+			case storage.String:
+				fmt.Fprintf(&keyBuf, "s%q|", v.Str[row])
+				keyVals[i] = v.Str[row]
+			}
+		}
+		st := h.groups[keyBuf.String()]
+		if st == nil {
+			st = &aggState{
+				keyVals: keyVals,
+				sums:    make([]float64, len(h.specs)),
+				counts:  make([]int64, len(h.specs)),
+				mins:    make([]float64, len(h.specs)),
+				maxs:    make([]float64, len(h.specs)),
+				seen:    make([]bool, len(h.specs)),
+			}
+			for i := range st.mins {
+				st.mins[i] = math.Inf(1)
+				st.maxs[i] = math.Inf(-1)
+			}
+			h.groups[keyBuf.String()] = st
+		}
+		for i, sp := range h.specs {
+			var x float64
+			if sp.Expr != nil {
+				x = asFloat(vals[i], row)
+			}
+			st.counts[i]++
+			st.sums[i] += x
+			if x < st.mins[i] {
+				st.mins[i] = x
+			}
+			if x > st.maxs[i] {
+				st.maxs[i] = x
+			}
+			st.seen[i] = true
+		}
+	}
+	return nil
+}
+
+// Finish implements Operator: emits one row per group, ordered by key.
+func (h *HashAgg) Finish() error {
+	if h.done {
+		return ErrFinished
+	}
+	h.done = true
+	if len(h.groupBy) == 0 && len(h.groups) == 0 {
+		// Global aggregate over empty input: one row of zeros.
+		h.groups[""] = &aggState{
+			sums:   make([]float64, len(h.specs)),
+			counts: make([]int64, len(h.specs)),
+			mins:   make([]float64, len(h.specs)),
+			maxs:   make([]float64, len(h.specs)),
+			seen:   make([]bool, len(h.specs)),
+		}
+	}
+	keys := make([]string, 0, len(h.groups))
+	for k := range h.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := storage.NewBatch(h.outSchema, h.batchRows)
+	for _, k := range keys {
+		st := h.groups[k]
+		row := make([]any, 0, h.outSchema.Arity())
+		row = append(row, st.keyVals...)
+		for i, sp := range h.specs {
+			switch sp.Func {
+			case Sum:
+				row = append(row, st.sums[i])
+			case Count:
+				row = append(row, st.counts[i])
+			case Avg:
+				if st.counts[i] == 0 {
+					row = append(row, 0.0)
+				} else {
+					row = append(row, st.sums[i]/float64(st.counts[i]))
+				}
+			case Min:
+				row = append(row, zeroIfUnseen(st.mins[i], st.seen[i]))
+			case Max:
+				row = append(row, zeroIfUnseen(st.maxs[i], st.seen[i]))
+			}
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return err
+		}
+		if out.Len() >= h.batchRows {
+			if err := h.emit(out); err != nil {
+				return err
+			}
+			out = storage.NewBatch(h.outSchema, h.batchRows)
+		}
+	}
+	if out.Len() > 0 {
+		return h.emit(out)
+	}
+	return nil
+}
+
+func zeroIfUnseen(v float64, seen bool) float64 {
+	if !seen {
+		return 0
+	}
+	return v
+}

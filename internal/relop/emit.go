@@ -1,0 +1,27 @@
+package relop
+
+// SetEmit rewires where the operator sends output. Pipelines are often built
+// consumer-last (an operator's consumer may need the operator's OutSchema to
+// construct itself), so every operator allows late binding of its emit
+// callback. Call before the first Push/Finish.
+
+// SetEmit implements late emit binding for Filter.
+func (f *Filter) SetEmit(e Emit) { f.emit = e }
+
+// SetEmit implements late emit binding for Project.
+func (p *Project) SetEmit(e Emit) { p.emit = e }
+
+// SetEmit implements late emit binding for HashAgg.
+func (h *HashAgg) SetEmit(e Emit) { h.emit = e }
+
+// SetEmit implements late emit binding for Sort.
+func (s *Sort) SetEmit(e Emit) { s.emit = e }
+
+// SetEmit implements late emit binding for HashJoin.
+func (h *HashJoin) SetEmit(e Emit) { h.emit = e }
+
+// SetEmit implements late emit binding for NLJoin.
+func (j *NLJoin) SetEmit(e Emit) { j.emit = e }
+
+// SetEmit implements late emit binding for MergeJoin.
+func (m *MergeJoin) SetEmit(e Emit) { m.emit = e }

@@ -1,0 +1,507 @@
+// Package relop implements the relational operator kernels the staged engine
+// executes: predicate scans, projections, hash aggregation, sorting,
+// nested-loop / hash / merge joins, all operating on column-major tuple
+// batches (storage.Batch) in a push-based pipeline.
+//
+// Operators receive input batches via Push and emit output batches through a
+// caller-supplied emit callback, which is how the staged engine routes pages
+// between stages and how the pivot fan-outs output to multiple sharers.
+package relop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Errors reported by expression evaluation and operator plumbing.
+var (
+	ErrType     = errors.New("relop: type error")
+	ErrFinished = errors.New("relop: operator already finished")
+)
+
+// Expr is a scalar expression evaluated over a batch, producing one value
+// per input row.
+type Expr interface {
+	// Type returns the expression's result type under the given schema.
+	Type(s storage.Schema) (storage.Type, error)
+	// Eval evaluates the expression over all rows of the batch.
+	Eval(b *storage.Batch) (storage.Vector, error)
+	// String renders the expression for diagnostics.
+	String() string
+}
+
+// ColRef references a named column.
+type ColRef struct {
+	// Name is the column name.
+	Name string
+}
+
+// Col is shorthand for a column reference expression.
+func Col(name string) ColRef { return ColRef{Name: name} }
+
+// Type implements Expr.
+func (c ColRef) Type(s storage.Schema) (storage.Type, error) {
+	i, err := s.Index(c.Name)
+	if err != nil {
+		return 0, err
+	}
+	return s.Cols[i].Type, nil
+}
+
+// Eval implements Expr.
+func (c ColRef) Eval(b *storage.Batch) (storage.Vector, error) {
+	return b.Col(c.Name)
+}
+
+// String implements Expr.
+func (c ColRef) String() string { return c.Name }
+
+// ConstInt is an integer (or date) literal.
+type ConstInt struct {
+	// V is the literal value.
+	V int64
+}
+
+// Type implements Expr.
+func (ConstInt) Type(storage.Schema) (storage.Type, error) { return storage.Int64, nil }
+
+// Eval implements Expr.
+func (c ConstInt) Eval(b *storage.Batch) (storage.Vector, error) {
+	v := storage.NewVector(storage.Int64, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		v.AppendInt(c.V)
+	}
+	return v, nil
+}
+
+// String implements Expr.
+func (c ConstInt) String() string { return fmt.Sprintf("%d", c.V) }
+
+// ConstFloat is a floating-point literal.
+type ConstFloat struct {
+	// V is the literal value.
+	V float64
+}
+
+// Type implements Expr.
+func (ConstFloat) Type(storage.Schema) (storage.Type, error) { return storage.Float64, nil }
+
+// Eval implements Expr.
+func (c ConstFloat) Eval(b *storage.Batch) (storage.Vector, error) {
+	v := storage.NewVector(storage.Float64, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		v.AppendFloat(c.V)
+	}
+	return v, nil
+}
+
+// String implements Expr.
+func (c ConstFloat) String() string { return fmt.Sprintf("%g", c.V) }
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return "?"
+	}
+}
+
+// Arith is a binary arithmetic expression. Mixed int/float operands promote
+// to float.
+type Arith struct {
+	// Op is the operator.
+	Op ArithOp
+	// L and R are the operands.
+	L, R Expr
+}
+
+// Type implements Expr.
+func (a Arith) Type(s storage.Schema) (storage.Type, error) {
+	lt, err := a.L.Type(s)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := a.R.Type(s)
+	if err != nil {
+		return 0, err
+	}
+	if lt == storage.String || rt == storage.String {
+		return 0, fmt.Errorf("%w: arithmetic on string", ErrType)
+	}
+	if lt == storage.Float64 || rt == storage.Float64 {
+		return storage.Float64, nil
+	}
+	return storage.Int64, nil
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(b *storage.Batch) (storage.Vector, error) {
+	lv, err := a.L.Eval(b)
+	if err != nil {
+		return storage.Vector{}, err
+	}
+	rv, err := a.R.Eval(b)
+	if err != nil {
+		return storage.Vector{}, err
+	}
+	if lv.Type == storage.String || rv.Type == storage.String {
+		return storage.Vector{}, fmt.Errorf("%w: arithmetic on string", ErrType)
+	}
+	n := b.Len()
+	// Promote to float if either side is float.
+	if lv.Type == storage.Float64 || rv.Type == storage.Float64 {
+		out := storage.NewVector(storage.Float64, n)
+		for i := 0; i < n; i++ {
+			x, y := asFloat(lv, i), asFloat(rv, i)
+			out.AppendFloat(applyFloat(a.Op, x, y))
+		}
+		return out, nil
+	}
+	out := storage.NewVector(storage.Int64, n)
+	for i := 0; i < n; i++ {
+		out.AppendInt(applyInt(a.Op, lv.I64[i], rv.I64[i]))
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+func asFloat(v storage.Vector, i int) float64 {
+	if v.Type == storage.Float64 {
+		return v.F64[i]
+	}
+	return float64(v.I64[i])
+}
+
+func applyFloat(op ArithOp, x, y float64) float64 {
+	switch op {
+	case Add:
+		return x + y
+	case Sub:
+		return x - y
+	case Mul:
+		return x * y
+	case Div:
+		return x / y
+	default:
+		panic(fmt.Sprintf("relop: unknown arith op %d", int(op)))
+	}
+}
+
+func applyInt(op ArithOp, x, y int64) int64 {
+	switch op {
+	case Add:
+		return x + y
+	case Sub:
+		return x - y
+	case Mul:
+		return x * y
+	case Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	default:
+		panic(fmt.Sprintf("relop: unknown arith op %d", int(op)))
+	}
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Pred is a predicate: given a batch and a candidate selection (row
+// indices), it returns the subset of rows that satisfy it. A nil selection
+// means "all rows".
+type Pred interface {
+	// Filter returns the surviving row indices. It may reuse sel's backing
+	// array; callers must not rely on sel afterwards.
+	Filter(b *storage.Batch, sel []int) ([]int, error)
+	// String renders the predicate for diagnostics.
+	String() string
+}
+
+// Cmp compares two scalar expressions.
+type Cmp struct {
+	// Op is the comparison operator.
+	Op CmpOp
+	// L and R are the operands.
+	L, R Expr
+}
+
+// Filter implements Pred.
+func (c Cmp) Filter(b *storage.Batch, sel []int) ([]int, error) {
+	lv, err := c.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	sel = allRows(b, sel)
+	out := sel[:0]
+	for _, i := range sel {
+		ok, err := cmpAt(c.Op, lv, rv, i)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// String implements Pred.
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+func cmpAt(op CmpOp, lv, rv storage.Vector, i int) (bool, error) {
+	var ord int
+	switch {
+	case lv.Type == storage.String && rv.Type == storage.String:
+		ord = strings.Compare(lv.Str[i], rv.Str[i])
+	case lv.Type != storage.String && rv.Type != storage.String:
+		x, y := asFloat(lv, i), asFloat(rv, i)
+		switch {
+		case x < y:
+			ord = -1
+		case x > y:
+			ord = 1
+		}
+	default:
+		return false, fmt.Errorf("%w: comparing %v to %v", ErrType, lv.Type, rv.Type)
+	}
+	switch op {
+	case Eq:
+		return ord == 0, nil
+	case Ne:
+		return ord != 0, nil
+	case Lt:
+		return ord < 0, nil
+	case Le:
+		return ord <= 0, nil
+	case Gt:
+		return ord > 0, nil
+	case Ge:
+		return ord >= 0, nil
+	default:
+		return false, fmt.Errorf("%w: unknown comparison %d", ErrType, int(op))
+	}
+}
+
+// And is predicate conjunction with short-circuit filtering.
+type And struct {
+	// Preds are the conjuncts, applied in order.
+	Preds []Pred
+}
+
+// Filter implements Pred.
+func (a And) Filter(b *storage.Batch, sel []int) ([]int, error) {
+	sel = allRows(b, sel)
+	var err error
+	for _, p := range a.Preds {
+		sel, err = p.Filter(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == 0 {
+			return sel, nil
+		}
+	}
+	return sel, nil
+}
+
+// String implements Pred.
+func (a And) String() string {
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Or is predicate disjunction.
+type Or struct {
+	// Preds are the disjuncts.
+	Preds []Pred
+}
+
+// Filter implements Pred.
+func (o Or) Filter(b *storage.Batch, sel []int) ([]int, error) {
+	sel = allRows(b, sel)
+	keep := make(map[int]bool)
+	for _, p := range o.Preds {
+		cand := append([]int(nil), sel...)
+		got, err := p.Filter(b, cand)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range got {
+			keep[i] = true
+		}
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if keep[i] {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// String implements Pred.
+func (o Or) String() string {
+	parts := make([]string, len(o.Preds))
+	for i, p := range o.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Not negates a predicate.
+type Not struct {
+	// P is the negated predicate.
+	P Pred
+}
+
+// Filter implements Pred.
+func (n Not) Filter(b *storage.Batch, sel []int) ([]int, error) {
+	sel = allRows(b, sel)
+	cand := append([]int(nil), sel...)
+	got, err := n.P.Filter(b, cand)
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[int]bool, len(got))
+	for _, i := range got {
+		drop[i] = true
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if !drop[i] {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// String implements Pred.
+func (n Not) String() string { return "NOT " + n.P.String() }
+
+// ContainsAll matches rows whose string column contains every substring in
+// order (the shape of TPC-H's `NOT LIKE '%special%requests%'`).
+type ContainsAll struct {
+	// Column is the string column to match.
+	Column string
+	// Substrings must appear left to right.
+	Substrings []string
+}
+
+// Filter implements Pred.
+func (c ContainsAll) Filter(b *storage.Batch, sel []int) ([]int, error) {
+	v, err := b.Col(c.Column)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != storage.String {
+		return nil, fmt.Errorf("%w: ContainsAll on %v column %q", ErrType, v.Type, c.Column)
+	}
+	sel = allRows(b, sel)
+	out := sel[:0]
+	for _, i := range sel {
+		if containsInOrder(v.Str[i], c.Substrings) {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// String implements Pred.
+func (c ContainsAll) String() string {
+	return fmt.Sprintf("%s LIKE '%%%s%%'", c.Column, strings.Join(c.Substrings, "%"))
+}
+
+func containsInOrder(s string, subs []string) bool {
+	for _, sub := range subs {
+		i := strings.Index(s, sub)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(sub):]
+	}
+	return true
+}
+
+// allRows materializes the implicit full selection when sel is nil.
+func allRows(b *storage.Batch, sel []int) []int {
+	if sel != nil {
+		return sel
+	}
+	out := make([]int, b.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// True is a predicate that keeps every row.
+type True struct{}
+
+// Filter implements Pred.
+func (True) Filter(b *storage.Batch, sel []int) ([]int, error) { return allRows(b, sel), nil }
+
+// String implements Pred.
+func (True) String() string { return "TRUE" }

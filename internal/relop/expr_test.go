@@ -1,0 +1,238 @@
+package relop
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func exprSchema() storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "qty", Type: storage.Int64},
+		storage.Column{Name: "price", Type: storage.Float64},
+		storage.Column{Name: "day", Type: storage.Date},
+		storage.Column{Name: "note", Type: storage.String},
+	)
+}
+
+func exprBatch(t *testing.T) *storage.Batch {
+	t.Helper()
+	b := storage.NewBatch(exprSchema(), 4)
+	rows := [][]any{
+		{int64(10), 5.0, int64(100), "fast special delivery requests"},
+		{int64(20), 2.5, int64(200), "normal"},
+		{int64(30), 1.0, int64(300), "special packed requests"},
+		{int64(40), 4.0, int64(400), "requests then special"},
+	}
+	for _, r := range rows {
+		if err := b.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestColRefEval(t *testing.T) {
+	b := exprBatch(t)
+	v, err := Col("qty").Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I64[2] != 30 {
+		t.Errorf("qty[2] = %d", v.I64[2])
+	}
+	if _, err := Col("ghost").Eval(b); !errors.Is(err, storage.ErrNoColumn) {
+		t.Errorf("got %v, want ErrNoColumn", err)
+	}
+	ty, err := Col("price").Type(exprSchema())
+	if err != nil || ty != storage.Float64 {
+		t.Errorf("Type = %v, %v", ty, err)
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	b := exprBatch(t)
+	iv, err := ConstInt{V: 7}.Eval(b)
+	if err != nil || iv.Len() != 4 || iv.I64[3] != 7 {
+		t.Errorf("ConstInt eval: %v %v", iv, err)
+	}
+	fv, err := ConstFloat{V: 1.5}.Eval(b)
+	if err != nil || fv.F64[0] != 1.5 {
+		t.Errorf("ConstFloat eval: %v %v", fv, err)
+	}
+}
+
+func TestArithIntAndFloat(t *testing.T) {
+	b := exprBatch(t)
+	// qty * 2 (pure int)
+	v, err := Arith{Op: Mul, L: Col("qty"), R: ConstInt{V: 2}}.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Type != storage.Int64 || v.I64[1] != 40 {
+		t.Errorf("int arith = %v", v)
+	}
+	// price * (1 - 0.5): float promotion
+	disc := Arith{Op: Sub, L: ConstFloat{V: 1}, R: ConstFloat{V: 0.5}}
+	v2, err := Arith{Op: Mul, L: Col("price"), R: disc}.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Type != storage.Float64 || v2.F64[0] != 2.5 {
+		t.Errorf("float arith = %v", v2)
+	}
+	// int + float promotes
+	v3, err := Arith{Op: Add, L: Col("qty"), R: Col("price")}.Eval(b)
+	if err != nil || v3.Type != storage.Float64 || v3.F64[0] != 15 {
+		t.Errorf("promotion = %v %v", v3, err)
+	}
+	// division, including int div-by-zero guard
+	v4, err := Arith{Op: Div, L: Col("qty"), R: ConstInt{V: 0}}.Eval(b)
+	if err != nil || v4.I64[0] != 0 {
+		t.Errorf("div by zero = %v %v", v4, err)
+	}
+}
+
+func TestArithStringRejected(t *testing.T) {
+	b := exprBatch(t)
+	if _, err := (Arith{Op: Add, L: Col("note"), R: ConstInt{V: 1}}).Eval(b); !errors.Is(err, ErrType) {
+		t.Errorf("got %v, want ErrType", err)
+	}
+	if _, err := (Arith{Op: Add, L: Col("note"), R: ConstInt{V: 1}}).Type(exprSchema()); !errors.Is(err, ErrType) {
+		t.Errorf("Type: got %v, want ErrType", err)
+	}
+}
+
+func TestCmpFilters(t *testing.T) {
+	b := exprBatch(t)
+	cases := []struct {
+		name string
+		p    Pred
+		want []int
+	}{
+		{"qty < 25", Cmp{Op: Lt, L: Col("qty"), R: ConstInt{V: 25}}, []int{0, 1}},
+		{"qty >= 30", Cmp{Op: Ge, L: Col("qty"), R: ConstInt{V: 30}}, []int{2, 3}},
+		{"price = 2.5", Cmp{Op: Eq, L: Col("price"), R: ConstFloat{V: 2.5}}, []int{1}},
+		{"price <> 2.5", Cmp{Op: Ne, L: Col("price"), R: ConstFloat{V: 2.5}}, []int{0, 2, 3}},
+		{"day > 250", Cmp{Op: Gt, L: Col("day"), R: ConstInt{V: 250}}, []int{2, 3}},
+		{"qty <= 10", Cmp{Op: Le, L: Col("qty"), R: ConstInt{V: 10}}, []int{0}},
+	}
+	for _, tc := range cases {
+		got, err := tc.p.Filter(b, nil)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if !equalInts(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCmpStringAndTypeMismatch(t *testing.T) {
+	b := exprBatch(t)
+	p := Cmp{Op: Eq, L: Col("note"), R: Col("note")}
+	got, err := p.Filter(b, nil)
+	if err != nil || len(got) != 4 {
+		t.Errorf("string self-compare: %v %v", got, err)
+	}
+	bad := Cmp{Op: Eq, L: Col("note"), R: ConstInt{V: 1}}
+	if _, err := bad.Filter(b, nil); !errors.Is(err, ErrType) {
+		t.Errorf("got %v, want ErrType", err)
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	b := exprBatch(t)
+	lt := Cmp{Op: Lt, L: Col("qty"), R: ConstInt{V: 35}} // 0,1,2
+	gt := Cmp{Op: Gt, L: Col("qty"), R: ConstInt{V: 15}} // 1,2,3
+	eq := Cmp{Op: Eq, L: Col("qty"), R: ConstInt{V: 40}} // 3
+	and := And{Preds: []Pred{lt, gt}}
+	got, err := and.Filter(b, nil)
+	if err != nil || !equalInts(got, []int{1, 2}) {
+		t.Errorf("AND = %v %v", got, err)
+	}
+	or := Or{Preds: []Pred{and, eq}}
+	got, err = or.Filter(b, nil)
+	if err != nil || !equalInts(got, []int{1, 2, 3}) {
+		t.Errorf("OR = %v %v", got, err)
+	}
+	not := Not{P: or}
+	got, err = not.Filter(b, nil)
+	if err != nil || !equalInts(got, []int{0}) {
+		t.Errorf("NOT = %v %v", got, err)
+	}
+	// Short-circuit: an empty AND result stops early.
+	never := Cmp{Op: Lt, L: Col("qty"), R: ConstInt{V: 0}}
+	and2 := And{Preds: []Pred{never, lt}}
+	got, err = and2.Filter(b, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("short-circuit AND = %v %v", got, err)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	b := exprBatch(t)
+	// '%special%requests%' matches rows 0 and 2 (in-order), not row 3
+	// (reversed order) or 1.
+	p := ContainsAll{Column: "note", Substrings: []string{"special", "requests"}}
+	got, err := p.Filter(b, nil)
+	if err != nil || !equalInts(got, []int{0, 2}) {
+		t.Errorf("ContainsAll = %v %v", got, err)
+	}
+	// NOT LIKE form used by Q13.
+	not := Not{P: p}
+	got, err = not.Filter(b, nil)
+	if err != nil || !equalInts(got, []int{1, 3}) {
+		t.Errorf("NOT ContainsAll = %v %v", got, err)
+	}
+	bad := ContainsAll{Column: "qty", Substrings: []string{"x"}}
+	if _, err := bad.Filter(b, nil); !errors.Is(err, ErrType) {
+		t.Errorf("got %v, want ErrType", err)
+	}
+	missing := ContainsAll{Column: "ghost"}
+	if _, err := missing.Filter(b, nil); !errors.Is(err, storage.ErrNoColumn) {
+		t.Errorf("got %v, want ErrNoColumn", err)
+	}
+}
+
+func TestPredStrings(t *testing.T) {
+	p := And{Preds: []Pred{
+		Cmp{Op: Lt, L: Col("qty"), R: ConstInt{V: 24}},
+		Not{P: ContainsAll{Column: "note", Substrings: []string{"a", "b"}}},
+		Or{Preds: []Pred{True{}, Cmp{Op: Ge, L: Col("price"), R: ConstFloat{V: 1}}}},
+	}}
+	s := p.String()
+	for _, want := range []string{"qty < 24", "NOT", "LIKE", "TRUE", "OR", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Pred.String() missing %q: %s", want, s)
+		}
+	}
+	e := Arith{Op: Mul, L: Col("price"), R: Arith{Op: Sub, L: ConstFloat{V: 1}, R: Col("price")}}
+	if es := e.String(); !strings.Contains(es, "*") || !strings.Contains(es, "-") {
+		t.Errorf("Expr.String() = %q", es)
+	}
+}
+
+func TestFilterRespectsIncomingSelection(t *testing.T) {
+	b := exprBatch(t)
+	p := Cmp{Op: Gt, L: Col("qty"), R: ConstInt{V: 5}} // matches all
+	got, err := p.Filter(b, []int{1, 3})
+	if err != nil || !equalInts(got, []int{1, 3}) {
+		t.Errorf("selection not respected: %v %v", got, err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

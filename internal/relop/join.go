@@ -1,0 +1,487 @@
+package relop
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// JoinKind selects hash-join semantics.
+type JoinKind int
+
+const (
+	// Inner emits a combined row for every key match.
+	Inner JoinKind = iota
+	// Semi emits each probe row at most once if any build row matches
+	// (EXISTS semantics, used by TPC-H Q4).
+	Semi
+	// Anti emits each probe row only if no build row matches.
+	Anti
+	// LeftOuter emits every probe row; non-matching rows carry zero/empty
+	// build-side values plus a match count of zero when counting (used by
+	// TPC-H Q13's left outer join).
+	LeftOuter
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case Inner:
+		return "inner"
+	case Semi:
+		return "semi"
+	case Anti:
+		return "anti"
+	case LeftOuter:
+		return "left-outer"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", int(k))
+	}
+}
+
+// HashJoin joins a build side and a probe side on int64 key columns. The
+// build phase is stop-&-go (Section 5.3.3): call PushBuild for every build
+// batch, then FinishBuild, then stream the probe side through Push/Finish.
+//
+// Output schema: probe columns followed by build columns (except the build
+// key, which duplicates the probe key). Semi and Anti joins emit only probe
+// columns.
+type HashJoin struct {
+	kind        JoinKind
+	buildKey    string
+	probeKey    string
+	buildSchema storage.Schema
+	probeSchema storage.Schema
+	outSchema   storage.Schema
+	buildCols   []int // indices of emitted build columns
+	table       map[int64][]int
+	buildRows   *storage.Batch
+	emit        Emit
+	buildDone   bool
+	done        bool
+}
+
+// NewHashJoin constructs a hash join of the given kind.
+func NewHashJoin(kind JoinKind, build storage.Schema, buildKey string, probe storage.Schema, probeKey string, emit Emit) (*HashJoin, error) {
+	bi, err := build.Index(buildKey)
+	if err != nil {
+		return nil, err
+	}
+	if t := build.Cols[bi].Type; t != storage.Int64 && t != storage.Date {
+		return nil, fmt.Errorf("%w: join key %q must be integer, is %v", ErrType, buildKey, t)
+	}
+	pi, err := probe.Index(probeKey)
+	if err != nil {
+		return nil, err
+	}
+	if t := probe.Cols[pi].Type; t != storage.Int64 && t != storage.Date {
+		return nil, fmt.Errorf("%w: join key %q must be integer, is %v", ErrType, probeKey, t)
+	}
+	h := &HashJoin{
+		kind:        kind,
+		buildKey:    buildKey,
+		probeKey:    probeKey,
+		buildSchema: build,
+		probeSchema: probe,
+		table:       make(map[int64][]int),
+		buildRows:   storage.NewBatch(build, 0),
+		emit:        emit,
+	}
+	var outCols []storage.Column
+	outCols = append(outCols, probe.Cols...)
+	if kind == Inner || kind == LeftOuter {
+		for i, c := range build.Cols {
+			if i == bi {
+				continue
+			}
+			h.buildCols = append(h.buildCols, i)
+			outCols = append(outCols, c)
+		}
+	}
+	out, err := storage.NewSchema(outCols...)
+	if err != nil {
+		return nil, fmt.Errorf("relop: join output schema: %w (rename overlapping columns)", err)
+	}
+	h.outSchema = out
+	return h, nil
+}
+
+// OutSchema implements Operator.
+func (h *HashJoin) OutSchema() storage.Schema { return h.outSchema }
+
+// PushBuild consumes one build-side batch.
+func (h *HashJoin) PushBuild(b *storage.Batch) error {
+	if h.buildDone {
+		return ErrFinished
+	}
+	keys, err := b.Col(h.buildKey)
+	if err != nil {
+		return err
+	}
+	base := h.buildRows.Len()
+	for i := 0; i < b.Len(); i++ {
+		h.buildRows.AppendBatchRow(b, i)
+		k := keys.I64[i]
+		h.table[k] = append(h.table[k], base+i)
+	}
+	return nil
+}
+
+// FinishBuild seals the hash table; Push may be called afterwards.
+func (h *HashJoin) FinishBuild() error {
+	if h.buildDone {
+		return ErrFinished
+	}
+	h.buildDone = true
+	return nil
+}
+
+// Push implements Operator: probes one batch.
+func (h *HashJoin) Push(b *storage.Batch) error {
+	if h.done {
+		return ErrFinished
+	}
+	if !h.buildDone {
+		return fmt.Errorf("relop: probe before FinishBuild")
+	}
+	keys, err := b.Col(h.probeKey)
+	if err != nil {
+		return err
+	}
+	out := storage.NewBatch(h.outSchema, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		matches := h.table[keys.I64[i]]
+		switch h.kind {
+		case Semi:
+			if len(matches) > 0 {
+				appendProbeRow(out, b, i)
+			}
+		case Anti:
+			if len(matches) == 0 {
+				appendProbeRow(out, b, i)
+			}
+		case Inner:
+			for _, m := range matches {
+				appendProbeRow(out, b, i)
+				h.appendBuildRow(out, len(b.Schema.Cols), m)
+			}
+		case LeftOuter:
+			if len(matches) == 0 {
+				appendProbeRow(out, b, i)
+				h.appendNullBuildRow(out, len(b.Schema.Cols))
+				continue
+			}
+			for _, m := range matches {
+				appendProbeRow(out, b, i)
+				h.appendBuildRow(out, len(b.Schema.Cols), m)
+			}
+		}
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	return h.emit(out)
+}
+
+// Finish implements Operator.
+func (h *HashJoin) Finish() error {
+	if h.done {
+		return ErrFinished
+	}
+	h.done = true
+	return nil
+}
+
+// BuildFanIn adapts the build side to the Operator interface so a producer
+// can Push/Finish into it like any other consumer.
+func (h *HashJoin) BuildFanIn() Operator { return &buildSide{h: h} }
+
+type buildSide struct{ h *HashJoin }
+
+func (b *buildSide) OutSchema() storage.Schema   { return b.h.buildSchema }
+func (b *buildSide) Push(x *storage.Batch) error { return b.h.PushBuild(x) }
+func (b *buildSide) Finish() error               { return b.h.FinishBuild() }
+
+func appendProbeRow(out *storage.Batch, probe *storage.Batch, row int) {
+	for c := range probe.Vecs {
+		out.Vecs[c].AppendFrom(probe.Vecs[c], row)
+	}
+}
+
+func (h *HashJoin) appendBuildRow(out *storage.Batch, offset, row int) {
+	for j, ci := range h.buildCols {
+		out.Vecs[offset+j].AppendFrom(h.buildRows.Vecs[ci], row)
+	}
+}
+
+func (h *HashJoin) appendNullBuildRow(out *storage.Batch, offset int) {
+	for j, ci := range h.buildCols {
+		switch h.buildSchema.Cols[ci].Type {
+		case storage.Int64, storage.Date:
+			out.Vecs[offset+j].AppendInt(0)
+		case storage.Float64:
+			out.Vecs[offset+j].AppendFloat(0)
+		case storage.String:
+			out.Vecs[offset+j].AppendString("")
+		}
+	}
+}
+
+// MatchCounts returns, for each key in probeKeys, how many build rows match.
+// Q13 uses this to count orders per customer including zero counts.
+func (h *HashJoin) MatchCounts(probeKeys []int64) []int64 {
+	out := make([]int64, len(probeKeys))
+	for i, k := range probeKeys {
+		out[i] = int64(len(h.table[k]))
+	}
+	return out
+}
+
+// NLJoin is a (block) nested-loop join: the inner side is fully
+// materialized, then each outer batch is joined against it with an arbitrary
+// predicate over the combined row. It is fully pipelinable on the outer side
+// (Section 5.3.1).
+type NLJoin struct {
+	pred        Pred
+	inner       *storage.Batch
+	outerSchema storage.Schema
+	outSchema   storage.Schema
+	emit        Emit
+	innerDone   bool
+	done        bool
+}
+
+// NewNLJoin builds a nested-loop join; pred filters the concatenated
+// (outer ++ inner) row. Column names must not collide.
+func NewNLJoin(outer, inner storage.Schema, pred Pred, emit Emit) (*NLJoin, error) {
+	var cols []storage.Column
+	cols = append(cols, outer.Cols...)
+	cols = append(cols, inner.Cols...)
+	out, err := storage.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		pred = True{}
+	}
+	return &NLJoin{
+		pred:        pred,
+		inner:       storage.NewBatch(inner, 0),
+		outerSchema: outer,
+		outSchema:   out,
+		emit:        emit,
+	}, nil
+}
+
+// OutSchema implements Operator.
+func (j *NLJoin) OutSchema() storage.Schema { return j.outSchema }
+
+// PushInner materializes inner-side batches.
+func (j *NLJoin) PushInner(b *storage.Batch) error {
+	if j.innerDone {
+		return ErrFinished
+	}
+	for i := 0; i < b.Len(); i++ {
+		j.inner.AppendBatchRow(b, i)
+	}
+	return nil
+}
+
+// FinishInner seals the inner side.
+func (j *NLJoin) FinishInner() error {
+	if j.innerDone {
+		return ErrFinished
+	}
+	j.innerDone = true
+	return nil
+}
+
+// Push implements Operator: joins one outer batch against the whole inner.
+func (j *NLJoin) Push(b *storage.Batch) error {
+	if j.done {
+		return ErrFinished
+	}
+	if !j.innerDone {
+		return fmt.Errorf("relop: outer push before FinishInner")
+	}
+	out := storage.NewBatch(j.outSchema, b.Len())
+	nOuterCols := len(j.outerSchema.Cols)
+	for o := 0; o < b.Len(); o++ {
+		for in := 0; in < j.inner.Len(); in++ {
+			// Materialize the candidate combined row into a 1-row batch and
+			// test the predicate. Block NLJ would batch this; correctness
+			// first, the engine charges its cost via the work model.
+			cand := storage.NewBatch(j.outSchema, 1)
+			for c := 0; c < nOuterCols; c++ {
+				cand.Vecs[c].AppendFrom(b.Vecs[c], o)
+			}
+			for c := range j.inner.Vecs {
+				cand.Vecs[nOuterCols+c].AppendFrom(j.inner.Vecs[c], in)
+			}
+			sel, err := j.pred.Filter(cand, nil)
+			if err != nil {
+				return err
+			}
+			if len(sel) == 1 {
+				out.AppendBatchRow(cand, 0)
+			}
+		}
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	return j.emit(out)
+}
+
+// Finish implements Operator.
+func (j *NLJoin) Finish() error {
+	if j.done {
+		return ErrFinished
+	}
+	j.done = true
+	return nil
+}
+
+// MergeJoin joins two sorted inputs on integer keys. Both inputs are
+// accumulated (the engine sorts them upstream via Sort operators, making the
+// ensemble the three-operation decomposition of Section 5.3.2), then merged
+// on Finish. Duplicate keys produce the full cross product per key group.
+type MergeJoin struct {
+	leftKey, rightKey string
+	left, right       *storage.Batch
+	outSchema         storage.Schema
+	rightCols         []int
+	emit              Emit
+	leftDone, done    bool
+}
+
+// NewMergeJoin builds a merge join over sorted inputs.
+func NewMergeJoin(left storage.Schema, leftKey string, right storage.Schema, rightKey string, emit Emit) (*MergeJoin, error) {
+	li, err := left.Index(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	if t := left.Cols[li].Type; t != storage.Int64 && t != storage.Date {
+		return nil, fmt.Errorf("%w: merge key %q must be integer", ErrType, leftKey)
+	}
+	ri, err := right.Index(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if t := right.Cols[ri].Type; t != storage.Int64 && t != storage.Date {
+		return nil, fmt.Errorf("%w: merge key %q must be integer", ErrType, rightKey)
+	}
+	m := &MergeJoin{
+		leftKey:  leftKey,
+		rightKey: rightKey,
+		left:     storage.NewBatch(left, 0),
+		right:    storage.NewBatch(right, 0),
+		emit:     emit,
+	}
+	var cols []storage.Column
+	cols = append(cols, left.Cols...)
+	for i, c := range right.Cols {
+		if i == ri {
+			continue
+		}
+		m.rightCols = append(m.rightCols, i)
+		cols = append(cols, c)
+	}
+	out, err := storage.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	m.outSchema = out
+	return m, nil
+}
+
+// OutSchema implements Operator.
+func (m *MergeJoin) OutSchema() storage.Schema { return m.outSchema }
+
+// PushLeft accumulates left-side rows (must arrive key-sorted).
+func (m *MergeJoin) PushLeft(b *storage.Batch) error {
+	if m.leftDone {
+		return ErrFinished
+	}
+	for i := 0; i < b.Len(); i++ {
+		m.left.AppendBatchRow(b, i)
+	}
+	return nil
+}
+
+// FinishLeft seals the left side.
+func (m *MergeJoin) FinishLeft() error {
+	if m.leftDone {
+		return ErrFinished
+	}
+	m.leftDone = true
+	return nil
+}
+
+// Push accumulates right-side rows (must arrive key-sorted).
+func (m *MergeJoin) Push(b *storage.Batch) error {
+	if m.done {
+		return ErrFinished
+	}
+	for i := 0; i < b.Len(); i++ {
+		m.right.AppendBatchRow(b, i)
+	}
+	return nil
+}
+
+// Finish implements Operator: merges the two sorted sides and emits.
+func (m *MergeJoin) Finish() error {
+	if m.done {
+		return ErrFinished
+	}
+	if !m.leftDone {
+		return fmt.Errorf("relop: right side finished before left")
+	}
+	m.done = true
+	lk := m.left.MustCol(m.leftKey).I64
+	rk := m.right.MustCol(m.rightKey).I64
+	out := storage.NewBatch(m.outSchema, 0)
+	flush := func() error {
+		if out.Len() == 0 {
+			return nil
+		}
+		err := m.emit(out)
+		out = storage.NewBatch(m.outSchema, 0)
+		return err
+	}
+	i, j := 0, 0
+	for i < len(lk) && j < len(rk) {
+		switch {
+		case lk[i] < rk[j]:
+			i++
+		case lk[i] > rk[j]:
+			j++
+		default:
+			key := lk[i]
+			iEnd := i
+			for iEnd < len(lk) && lk[iEnd] == key {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < len(rk) && rk[jEnd] == key {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					for c := range m.left.Vecs {
+						out.Vecs[c].AppendFrom(m.left.Vecs[c], a)
+					}
+					for ci, rc := range m.rightCols {
+						out.Vecs[len(m.left.Vecs)+ci].AppendFrom(m.right.Vecs[rc], b)
+					}
+				}
+			}
+			if out.Len() >= 1024 {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return flush()
+}

@@ -1,0 +1,271 @@
+package relop
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func testTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable("t", storage.MustSchema(
+		storage.Column{Name: "k", Type: storage.Int64},
+		storage.Column{Name: "v", Type: storage.Float64},
+		storage.Column{Name: "g", Type: storage.Int64},
+	))
+	for i := 0; i < n; i++ {
+		tbl.MustAppend(int64(i), float64(i)*0.5, int64(i%3))
+	}
+	return tbl
+}
+
+func TestScanFullTable(t *testing.T) {
+	tbl := testTable(t, 100)
+	emit, result := Collect(tbl.Schema())
+	sc, err := NewScan(tbl, nil, nil, 16, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := result().Len(); got != 100 {
+		t.Errorf("scanned %d rows, want 100", got)
+	}
+}
+
+func TestScanPredicateAndProjection(t *testing.T) {
+	tbl := testTable(t, 100)
+	out, err := tbl.Schema().Project("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit, result := Collect(out)
+	sc, err := NewScan(tbl, Cmp{Op: Lt, L: Col("k"), R: ConstInt{V: 10}}, []string{"v"}, 7, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := result()
+	if r.Len() != 10 {
+		t.Fatalf("got %d rows, want 10", r.Len())
+	}
+	if r.Schema.Arity() != 1 {
+		t.Errorf("projection kept %d columns", r.Schema.Arity())
+	}
+	if r.MustCol("v").F64[9] != 4.5 {
+		t.Errorf("v[9] = %g, want 4.5", r.MustCol("v").F64[9])
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	tbl := testTable(t, 10)
+	if _, err := NewScan(tbl, nil, []string{"ghost"}, 0, nil); !errors.Is(err, storage.ErrNoColumn) {
+		t.Errorf("got %v, want ErrNoColumn", err)
+	}
+	emit, _ := Collect(tbl.Schema())
+	sc, err := NewScan(tbl, nil, nil, 0, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Push(nil); err == nil {
+		t.Error("Push on a Scan accepted")
+	}
+	if err := sc.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestFilterOperator(t *testing.T) {
+	tbl := testTable(t, 20)
+	emit, result := Collect(tbl.Schema())
+	f := NewFilter(Cmp{Op: Eq, L: Col("g"), R: ConstInt{V: 0}}, tbl.Schema(), emit)
+	tbl.Scan(8, func(b *storage.Batch) bool {
+		if err := f.Push(b); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := result().Len(); got != 7 { // k ∈ {0,3,6,9,12,15,18}
+		t.Errorf("filter kept %d rows, want 7", got)
+	}
+	if err := f.Push(nil); !errors.Is(err, ErrFinished) {
+		t.Errorf("push after finish: got %v, want ErrFinished", err)
+	}
+}
+
+func TestProjectOperator(t *testing.T) {
+	tbl := testTable(t, 4)
+	cols := []ProjectCol{
+		{As: "double_v", Expr: Arith{Op: Mul, L: Col("v"), R: ConstFloat{V: 2}}},
+		{As: "k", Expr: Col("k")},
+	}
+	p, err := NewProject(tbl.Schema(), cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit, result := Collect(p.OutSchema())
+	p.emit = emit
+	tbl.Scan(0, func(b *storage.Batch) bool {
+		if err := p.Push(b); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r := result()
+	if r.MustCol("double_v").F64[3] != 3.0 {
+		t.Errorf("double_v[3] = %g, want 3", r.MustCol("double_v").F64[3])
+	}
+	if r.MustCol("k").I64[2] != 2 {
+		t.Errorf("k[2] = %d", r.MustCol("k").I64[2])
+	}
+}
+
+func TestProjectBadExpr(t *testing.T) {
+	tbl := testTable(t, 1)
+	if _, err := NewProject(tbl.Schema(), []ProjectCol{{As: "x", Expr: Col("ghost")}}, nil); err == nil {
+		t.Error("projection over missing column accepted")
+	}
+}
+
+func TestHashAggGrouped(t *testing.T) {
+	tbl := testTable(t, 9) // groups g=0:{0,3,6} g=1:{1,4,7} g=2:{2,5,8}
+	agg, err := NewHashAgg(tbl.Schema(), []string{"g"}, []AggSpec{
+		{Func: Sum, Expr: Col("v"), As: "sum_v"},
+		{Func: Count, As: "n"},
+		{Func: Avg, Expr: Col("k"), As: "avg_k"},
+		{Func: Min, Expr: Col("k"), As: "min_k"},
+		{Func: Max, Expr: Col("k"), As: "max_k"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit, result := Collect(agg.OutSchema())
+	agg.emit = emit
+	tbl.Scan(4, func(b *storage.Batch) bool {
+		if err := agg.Push(b); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := agg.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r := result()
+	if r.Len() != 3 {
+		t.Fatalf("got %d groups, want 3", r.Len())
+	}
+	// Groups are emitted in key order 0,1,2.
+	if g := r.MustCol("g").I64; g[0] != 0 || g[1] != 1 || g[2] != 2 {
+		t.Errorf("group order = %v", g)
+	}
+	if s := r.MustCol("sum_v").F64[0]; math.Abs(s-4.5) > 1e-12 { // (0+3+6)*0.5
+		t.Errorf("sum_v[g=0] = %g, want 4.5", s)
+	}
+	if n := r.MustCol("n").I64[1]; n != 3 {
+		t.Errorf("n[g=1] = %d, want 3", n)
+	}
+	if a := r.MustCol("avg_k").F64[2]; math.Abs(a-5) > 1e-12 { // (2+5+8)/3
+		t.Errorf("avg_k[g=2] = %g, want 5", a)
+	}
+	if mn := r.MustCol("min_k").F64[1]; mn != 1 {
+		t.Errorf("min_k[g=1] = %g, want 1", mn)
+	}
+	if mx := r.MustCol("max_k").F64[0]; mx != 6 {
+		t.Errorf("max_k[g=0] = %g, want 6", mx)
+	}
+}
+
+func TestHashAggGlobalOverEmptyInput(t *testing.T) {
+	s := storage.MustSchema(storage.Column{Name: "x", Type: storage.Float64})
+	agg, err := NewHashAgg(s, nil, []AggSpec{
+		{Func: Count, As: "n"},
+		{Func: Sum, Expr: Col("x"), As: "s"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit, result := Collect(agg.OutSchema())
+	agg.emit = emit
+	if err := agg.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r := result()
+	if r.Len() != 1 {
+		t.Fatalf("global agg over empty input emitted %d rows, want 1", r.Len())
+	}
+	if r.MustCol("n").I64[0] != 0 || r.MustCol("s").F64[0] != 0 {
+		t.Errorf("empty aggregate = n:%d s:%g", r.MustCol("n").I64[0], r.MustCol("s").F64[0])
+	}
+}
+
+func TestHashAggErrors(t *testing.T) {
+	s := storage.MustSchema(
+		storage.Column{Name: "x", Type: storage.Float64},
+		storage.Column{Name: "note", Type: storage.String},
+	)
+	if _, err := NewHashAgg(s, []string{"ghost"}, nil, nil); !errors.Is(err, storage.ErrNoColumn) {
+		t.Errorf("bad group col: %v", err)
+	}
+	if _, err := NewHashAgg(s, nil, []AggSpec{{Func: Sum, As: "s"}}, nil); !errors.Is(err, ErrType) {
+		t.Errorf("sum without expr: %v", err)
+	}
+	if _, err := NewHashAgg(s, nil, []AggSpec{{Func: Sum, Expr: Col("note"), As: "s"}}, nil); !errors.Is(err, ErrType) {
+		t.Errorf("sum over string: %v", err)
+	}
+	if _, err := NewHashAgg(s, nil, []AggSpec{{Func: AggFunc(99), Expr: Col("x"), As: "s"}}, nil); !errors.Is(err, ErrType) {
+		t.Errorf("unknown func: %v", err)
+	}
+	agg, err := NewHashAgg(s, nil, []AggSpec{{Func: Count, As: "n"}}, func(*storage.Batch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Finish(); !errors.Is(err, ErrFinished) {
+		t.Errorf("double finish: %v", err)
+	}
+	if err := agg.Push(storage.NewBatch(s, 0)); !errors.Is(err, ErrFinished) {
+		t.Errorf("push after finish: %v", err)
+	}
+}
+
+func TestHashAggStringGroupKeys(t *testing.T) {
+	s := storage.MustSchema(
+		storage.Column{Name: "name", Type: storage.String},
+		storage.Column{Name: "x", Type: storage.Float64},
+	)
+	b := storage.NewBatch(s, 4)
+	for _, r := range [][]any{{"a", 1.0}, {"b", 2.0}, {"a", 3.0}, {"b", 4.0}} {
+		if err := b.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, err := NewHashAgg(s, []string{"name"}, []AggSpec{{Func: Sum, Expr: Col("x"), As: "s"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit, result := Collect(agg.OutSchema())
+	agg.emit = emit
+	if err := agg.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r := result()
+	if r.Len() != 2 || r.MustCol("s").F64[0] != 4 || r.MustCol("s").F64[1] != 6 {
+		t.Errorf("string-key agg wrong: %v", r.MustCol("s").F64)
+	}
+}

@@ -1,0 +1,164 @@
+package relop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// SortKey describes one sort column.
+type SortKey struct {
+	// Column is the sort column name.
+	Column string
+	// Desc sorts descending when true.
+	Desc bool
+}
+
+// Sort is a stop-&-go operator: it buffers all input, sorts by the keys,
+// and emits ordered batches on Finish. This is exactly the operator class
+// Section 5.2 models as decoupling the rates below it from those above.
+type Sort struct {
+	keys      []SortKey
+	schema    storage.Schema
+	buf       *storage.Batch
+	emit      Emit
+	batchRows int
+	done      bool
+}
+
+// NewSort builds a sort over the given schema.
+func NewSort(schema storage.Schema, keys []SortKey, emit Emit) (*Sort, error) {
+	for _, k := range keys {
+		if _, err := schema.Index(k.Column); err != nil {
+			return nil, err
+		}
+	}
+	return &Sort{
+		keys:      keys,
+		schema:    schema,
+		buf:       storage.NewBatch(schema, 0),
+		emit:      emit,
+		batchRows: storage.RowsPerPage(schema, storage.DefaultPageSize),
+	}, nil
+}
+
+// OutSchema implements Operator.
+func (s *Sort) OutSchema() storage.Schema { return s.schema }
+
+// Push implements Operator: buffers rows.
+func (s *Sort) Push(b *storage.Batch) error {
+	if s.done {
+		return ErrFinished
+	}
+	for i := 0; i < b.Len(); i++ {
+		s.buf.AppendBatchRow(b, i)
+	}
+	return nil
+}
+
+// Finish implements Operator: sorts and emits.
+func (s *Sort) Finish() error {
+	if s.done {
+		return ErrFinished
+	}
+	s.done = true
+	n := s.buf.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	keyVecs := make([]storage.Vector, len(s.keys))
+	for i, k := range s.keys {
+		keyVecs[i] = s.buf.MustCol(k.Column)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for i, k := range s.keys {
+			c := compareAt(keyVecs[i], idx[a], idx[b])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for lo := 0; lo < n; lo += s.batchRows {
+		hi := lo + s.batchRows
+		if hi > n {
+			hi = n
+		}
+		if err := s.emit(s.buf.Gather(idx[lo:hi])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareAt orders two rows of one vector: -1, 0, or 1.
+func compareAt(v storage.Vector, a, b int) int {
+	switch v.Type {
+	case storage.Int64, storage.Date:
+		switch {
+		case v.I64[a] < v.I64[b]:
+			return -1
+		case v.I64[a] > v.I64[b]:
+			return 1
+		}
+	case storage.Float64:
+		switch {
+		case v.F64[a] < v.F64[b]:
+			return -1
+		case v.F64[a] > v.F64[b]:
+			return 1
+		}
+	case storage.String:
+		return strings.Compare(v.Str[a], v.Str[b])
+	}
+	return 0
+}
+
+// TopK keeps the k smallest (or largest) rows by the sort keys. It bounds
+// memory where a full Sort would buffer everything.
+type TopK struct {
+	inner *Sort
+	k     int
+	emit  Emit
+}
+
+// NewTopK builds a TopK operator.
+func NewTopK(schema storage.Schema, keys []SortKey, k int, emit Emit) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("relop: TopK requires k > 0, got %d", k)
+	}
+	t := &TopK{k: k, emit: emit}
+	collected := 0
+	inner, err := NewSort(schema, keys, func(b *storage.Batch) error {
+		if collected >= k {
+			return nil
+		}
+		take := b.Len()
+		if collected+take > k {
+			take = k - collected
+		}
+		collected += take
+		return emit(b.Slice(0, take))
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.inner = inner
+	return t, nil
+}
+
+// OutSchema implements Operator.
+func (t *TopK) OutSchema() storage.Schema { return t.inner.OutSchema() }
+
+// Push implements Operator.
+func (t *TopK) Push(b *storage.Batch) error { return t.inner.Push(b) }
+
+// Finish implements Operator.
+func (t *TopK) Finish() error { return t.inner.Finish() }

@@ -1,0 +1,185 @@
+// Package series formats experiment output: the numeric series the paper's
+// figures plot, rendered as aligned ASCII tables or CSV, plus the
+// relative-error statistics (max/average) Figure 5 reports for model
+// validation.
+package series
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a rectangular result set: one labelled row per x-value, one
+// column per curve.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// XLabel names the x column ("clients (m)").
+	XLabel string
+	// Columns are the curve labels in display order.
+	Columns []string
+	// rows maps x to column values.
+	rows map[float64]map[string]float64
+	xs   []float64
+}
+
+// NewTable creates an empty table.
+func NewTable(title, xLabel string, columns ...string) *Table {
+	return &Table{
+		Title:   title,
+		XLabel:  xLabel,
+		Columns: columns,
+		rows:    make(map[float64]map[string]float64),
+	}
+}
+
+// Set records one cell.
+func (t *Table) Set(x float64, column string, value float64) {
+	row, ok := t.rows[x]
+	if !ok {
+		row = make(map[string]float64)
+		t.rows[x] = row
+		t.xs = append(t.xs, x)
+		sort.Float64s(t.xs)
+	}
+	row[column] = value
+	for _, c := range t.Columns {
+		if c == column {
+			return
+		}
+	}
+	t.Columns = append(t.Columns, column)
+}
+
+// Get returns one cell and whether it was set.
+func (t *Table) Get(x float64, column string) (float64, bool) {
+	row, ok := t.rows[x]
+	if !ok {
+		return 0, false
+	}
+	v, ok := row[column]
+	return v, ok
+}
+
+// Xs returns the recorded x values in ascending order.
+func (t *Table) Xs() []float64 { return append([]float64(nil), t.xs...) }
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	header := append([]string{t.XLabel}, t.Columns...)
+	cells := [][]string{header}
+	for _, x := range t.xs {
+		row := []string{trimFloat(x)}
+		for _, c := range t.Columns {
+			if v, ok := t.rows[x][c]; ok {
+				row = append(row, fmt.Sprintf("%.4g", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		cells = append(cells, row)
+	}
+	for _, row := range cells {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs {
+		b.WriteString(trimFloat(x))
+		for _, c := range t.Columns {
+			b.WriteByte(',')
+			if v, ok := t.rows[x][c]; ok {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// ErrorStats summarizes relative errors between predictions and
+// measurements, the form Figure 5's caption reports ("maximum error 22%,
+// average error 5.7%").
+type ErrorStats struct {
+	// Max is the largest relative error.
+	Max float64
+	// Avg is the mean relative error.
+	Avg float64
+	// N is the number of compared points.
+	N int
+}
+
+// Compare accumulates relative errors |pred−meas|/|meas| for paired values;
+// pairs with zero measurement are skipped.
+func Compare(pred, meas []float64) ErrorStats {
+	var st ErrorStats
+	n := len(pred)
+	if len(meas) < n {
+		n = len(meas)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		if meas[i] == 0 {
+			continue
+		}
+		e := math.Abs(pred[i]-meas[i]) / math.Abs(meas[i])
+		if e > st.Max {
+			st.Max = e
+		}
+		sum += e
+		st.N++
+	}
+	if st.N > 0 {
+		st.Avg = sum / float64(st.N)
+	}
+	return st
+}
+
+// String renders the stats like the paper's captions.
+func (s ErrorStats) String() string {
+	return fmt.Sprintf("max error %.1f%%, average error %.1f%% (n=%d)", s.Max*100, s.Avg*100, s.N)
+}

@@ -1,0 +1,80 @@
+package series
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableSetGetOrder(t *testing.T) {
+	tb := NewTable("test", "m", "a")
+	tb.Set(4, "a", 1.5)
+	tb.Set(1, "a", 0.5)
+	tb.Set(2, "b", 9) // new column appended on demand
+	if v, ok := tb.Get(4, "a"); !ok || v != 1.5 {
+		t.Errorf("Get(4,a) = %g %v", v, ok)
+	}
+	if _, ok := tb.Get(99, "a"); ok {
+		t.Error("missing row reported present")
+	}
+	if _, ok := tb.Get(4, "b"); ok {
+		t.Error("missing cell reported present")
+	}
+	xs := tb.Xs()
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 4 {
+		t.Errorf("Xs = %v", xs)
+	}
+	if len(tb.Columns) != 2 || tb.Columns[1] != "b" {
+		t.Errorf("Columns = %v", tb.Columns)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	tb := NewTable("speedup", "m", "1 CPU", "32 CPU")
+	tb.Set(1, "1 CPU", 1)
+	tb.Set(1, "32 CPU", 1)
+	tb.Set(8, "1 CPU", 1.75)
+	out := tb.ASCII()
+	for _, want := range []string{"# speedup", "m", "1 CPU", "32 CPU", "1.75", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("ASCII has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "x", "plain", `wei,rd "col"`)
+	tb.Set(1, "plain", 2)
+	tb.Set(1, `wei,rd "col"`, 3)
+	out := tb.CSV()
+	if !strings.HasPrefix(out, `x,plain,"wei,rd ""col"""`) {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1,2,3") {
+		t.Errorf("CSV row wrong:\n%s", out)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	st := Compare([]float64{1.1, 2.0, 3.0}, []float64{1.0, 2.0, 0})
+	if st.N != 2 {
+		t.Errorf("N = %d, want 2 (zero measurement skipped)", st.N)
+	}
+	if math.Abs(st.Max-0.1) > 1e-12 {
+		t.Errorf("Max = %g", st.Max)
+	}
+	if math.Abs(st.Avg-0.05) > 1e-12 {
+		t.Errorf("Avg = %g", st.Avg)
+	}
+	if !strings.Contains(st.String(), "10.0%") {
+		t.Errorf("String = %q", st.String())
+	}
+	empty := Compare(nil, nil)
+	if empty.N != 0 || empty.Avg != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}

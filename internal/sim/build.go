@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// buildUnshared instantiates m independent copies of the plan, each its own
+// group (a closed system replaces each completed query individually).
+func (m *machine) buildUnshared(pl core.Plan, copies int) error {
+	for i := 0; i < copies; i++ {
+		g := &group{}
+		root, err := m.buildSubtree(pl.Root, g, nil)
+		if err != nil {
+			return err
+		}
+		mem := &member{root: root}
+		root.member = mem
+		g.members = []*member{mem}
+		g.pending = 1
+		m.groups = append(m.groups, g)
+	}
+	return nil
+}
+
+// buildShared instantiates the sub-plan rooted at the pivot once and one
+// private copy of the remaining plan per sharer, fanning the pivot's output
+// out to all of them.
+func (m *machine) buildShared(pl core.Plan, pivot *core.PlanNode, sharers int) error {
+	g := &group{}
+	pivotThread, err := m.buildSubtree(pivot, g, nil)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sharers; i++ {
+		var root *thread
+		if pivot == pl.Root {
+			// Whole plan shared: give each sharer a zero-cost client that
+			// drains the pivot, so completion stays per-sharer.
+			client := m.newThread(fmt.Sprintf("client-%d", i), 0, 0, false, g)
+			m.connect(pivotThread, client)
+			root = client
+		} else {
+			root, err = m.buildAbove(pl.Root, pivot, pivotThread, g)
+			if err != nil {
+				return err
+			}
+		}
+		mem := &member{root: root}
+		root.member = mem
+		g.members = append(g.members, mem)
+	}
+	g.pending = len(g.members)
+	m.groups = append(m.groups, g)
+	return nil
+}
+
+// buildSubtree creates threads for the subtree rooted at nd; the returned
+// thread is nd's. parent edges are wired by the caller.
+func (m *machine) buildSubtree(nd *core.PlanNode, g *group, _ *thread) (*thread, error) {
+	t := m.newThread(nd.Name, nd.W, nd.S, nd.Kind == core.StopAndGo, g)
+	for _, c := range nd.Children {
+		child, err := m.buildSubtree(c, g, t)
+		if err != nil {
+			return nil, err
+		}
+		m.connect(child, t)
+	}
+	return t, nil
+}
+
+// buildAbove clones the plan outside the pivot subtree; the pivot position
+// consumes from the shared pivot thread. Returns the clone's root thread.
+func (m *machine) buildAbove(nd *core.PlanNode, pivot *core.PlanNode, shared *thread, g *group) (*thread, error) {
+	if nd == pivot {
+		return shared, nil
+	}
+	t := m.newThread(nd.Name, nd.W, nd.S, nd.Kind == core.StopAndGo, g)
+	for _, c := range nd.Children {
+		child, err := m.buildAbove(c, pivot, shared, g)
+		if err != nil {
+			return nil, err
+		}
+		m.connect(child, t)
+	}
+	return t, nil
+}
+
+func (m *machine) newThread(name string, w, s float64, stopAndGo bool, g *group) *thread {
+	p := float64(m.cfg.PagesPerQuery)
+	t := &thread{
+		id:       len(m.threads),
+		name:     name,
+		work:     w / p,
+		emitCost: s / p,
+		stopAndG: stopAndGo,
+		total:    m.cfg.PagesPerQuery,
+		group:    g,
+		state:    tsBlocked,
+	}
+	m.threads = append(m.threads, t)
+	g.threads = append(g.threads, t)
+	return t
+}
+
+func (m *machine) connect(producer, consumer *thread) {
+	q := &queue{cap: m.cfg.QueueCap, producer: producer, consumer: consumer}
+	producer.outputs = append(producer.outputs, q)
+	consumer.inputs = append(consumer.inputs, q)
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Throughput is completed query mass per unit virtual time (root pages
+	// divided by pages per query, over the horizon) — fractional completions
+	// smooth quantization at short horizons.
+	Throughput float64
+	// Completions counts whole queries finished.
+	Completions float64
+	// Utilization is the fraction of total context-time spent busy.
+	Utilization float64
+	// BusyTime aggregates virtual busy time by operator name.
+	BusyTime map[string]float64
+}
+
+// Run simulates m copies of the plan for the configured horizon, shared at
+// the named pivot or independent, and reports throughput.
+func Run(pl core.Plan, pivotName string, clients int, shared bool, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if clients <= 0 {
+		return Result{}, fmt.Errorf("sim: clients must be positive, got %d", clients)
+	}
+	mach := newMachine(cfg)
+	if shared {
+		pivot := pl.Find(pivotName)
+		if pivot == nil {
+			return Result{}, fmt.Errorf("%w: %q", core.ErrPivotNotFound, pivotName)
+		}
+		if err := mach.buildShared(pl, pivot, clients); err != nil {
+			return Result{}, err
+		}
+	} else {
+		if err := mach.buildUnshared(pl, clients); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := mach.run(); err != nil {
+		return Result{}, err
+	}
+	busy := make(map[string]float64)
+	for _, t := range mach.threads {
+		busy[t.name] += t.busy
+	}
+	return Result{
+		Throughput:  float64(mach.rootPages) / float64(cfg.PagesPerQuery) / cfg.Horizon,
+		Completions: mach.finished,
+		Utilization: mach.busyTime / (cfg.Horizon * float64(cfg.Processors)),
+		BusyTime:    busy,
+	}, nil
+}
+
+// Speedup returns the measured sharing benefit: shared throughput over
+// unshared throughput for the same client count and hardware — the quantity
+// Figures 1, 2, and 5 plot.
+func Speedup(pl core.Plan, pivotName string, clients int, cfg Config) (float64, error) {
+	sharedRes, err := Run(pl, pivotName, clients, true, cfg)
+	if err != nil {
+		return 0, err
+	}
+	unsharedRes, err := Run(pl, pivotName, clients, false, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if unsharedRes.Throughput == 0 {
+		return 0, fmt.Errorf("sim: unshared throughput is zero")
+	}
+	return sharedRes.Throughput / unsharedRes.Throughput, nil
+}

@@ -1,0 +1,364 @@
+// Package sim implements a deterministic discrete-event simulator of a chip
+// multiprocessor executing pipelined query plans — the stand-in for the
+// paper's UltraSparc T1 testbed (8 cores × 4 contexts, round-robin issue).
+//
+// Each plan operator becomes a thread that processes its query's forward
+// progress in fixed page quanta: one step consumes a page from every input
+// queue, performs w/P time units of work plus s/P per consumer for output,
+// and deposits a page in every consumer queue. Bounded queues throttle
+// producers; a fixed number of contexts serves runnable threads FIFO
+// (round-robin). Work sharing instantiates the sub-plan below the pivot
+// once and fans the pivot's output out to every sharer, paying the
+// per-consumer cost — exactly the structure the analytical model reasons
+// about, but with the scheduling, quantization, and buffering effects the
+// model ignores. The gap between the two is the model error Figure 5
+// reports.
+//
+// All time is virtual: results are bit-for-bit reproducible on any host.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Processors is the number of hardware contexts n.
+	Processors int
+	// PagesPerQuery is the forward-progress granularity P: one query is P
+	// pages of progress through every operator. Default 40.
+	PagesPerQuery int
+	// QueueCap is the inter-operator buffer capacity in pages. Default 8.
+	QueueCap int
+	// Horizon is the virtual-time budget for throughput measurement.
+	// Default 5000.
+	Horizon float64
+	// Contention scales effective processing capacity: every step lasts
+	// 1/Contention times longer, emulating n·k effective processors
+	// (Section 4.1.4). Zero means 1 (no contention).
+	Contention float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PagesPerQuery == 0 {
+		c.PagesPerQuery = 40
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 5000
+	}
+	if c.Contention <= 0 || c.Contention > 1 {
+		c.Contention = 1
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Processors <= 0 {
+		return fmt.Errorf("sim: processors must be positive, got %d", c.Processors)
+	}
+	return nil
+}
+
+// ErrStalled is returned when the simulation deadlocks (no runnable thread
+// and no in-flight step) — it indicates a malformed plan graph.
+var ErrStalled = errors.New("sim: simulation stalled")
+
+type threadState int
+
+const (
+	tsBlocked threadState = iota
+	tsReady
+	tsRunning
+	tsDone
+)
+
+// queue is a counted page buffer between two threads.
+type queue struct {
+	items    int // completed pages available to the consumer
+	reserved int // pages being produced (space already claimed)
+	cap      int
+	producer *thread
+	consumer *thread
+}
+
+func (q *queue) spaceFree() bool { return q.items+q.reserved < q.cap }
+
+// thread is one operator instance.
+type thread struct {
+	id        int
+	name      string
+	work      float64 // w/P: own work per page
+	emitCost  float64 // s/P: output cost per consumer per page
+	stopAndG  bool
+	inputs    []*queue
+	outputs   []*queue
+	total     int // pages per query instance
+	consumed  int
+	produced  int
+	state     threadState
+	inProduce bool    // current step reserved output space
+	member    *member // the sharer whose completion this root signals (roots only)
+	group     *group
+	busy      float64 // accumulated virtual busy time
+}
+
+// member is one query in a group (a sharer).
+type member struct {
+	root *thread
+	done bool
+}
+
+// group is a set of threads that restart together: one query (unshared) or
+// a whole sharing group.
+type group struct {
+	threads []*thread
+	members []*member
+	pending int // members not yet done this round
+}
+
+// runnable reports whether the thread can execute its next step.
+func (t *thread) runnable() bool {
+	if t.state == tsDone {
+		return false
+	}
+	if t.stopAndG && t.consumed < t.total {
+		// Consuming phase: needs input only.
+		for _, in := range t.inputs {
+			if in.items == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if !t.stopAndG {
+		if t.consumed >= t.total {
+			return false
+		}
+		for _, in := range t.inputs {
+			if in.items == 0 {
+				return false
+			}
+		}
+	} else if t.produced >= t.total {
+		return false
+	}
+	for _, out := range t.outputs {
+		if !out.spaceFree() {
+			return false
+		}
+	}
+	return true
+}
+
+// stepDuration returns the virtual time of the next step.
+func (t *thread) stepDuration(contention float64) float64 {
+	var d float64
+	switch {
+	case t.stopAndG && t.consumed < t.total:
+		d = t.work // consuming phase pays own work only
+	case t.stopAndG:
+		d = t.emitCost * float64(len(t.outputs)) // producing phase pays output
+	default:
+		d = t.work + t.emitCost*float64(len(t.outputs))
+	}
+	if d <= 0 {
+		d = 1e-9 // zero-cost operators still occupy a scheduling slot briefly
+	}
+	return d / contention
+}
+
+// begin claims inputs and reserves output space for one step.
+func (t *thread) begin() {
+	if t.stopAndG && t.consumed < t.total {
+		// Consuming phase of a stop-&-go operator: absorb a page, emit
+		// nothing (Section 5.2's rate decoupling).
+		for _, in := range t.inputs {
+			in.items--
+		}
+		t.consumed++
+		t.inProduce = false
+		return
+	}
+	if !t.stopAndG {
+		for _, in := range t.inputs {
+			in.items--
+		}
+		t.consumed++
+	}
+	for _, out := range t.outputs {
+		out.reserved++
+	}
+	t.inProduce = true
+}
+
+// end publishes the step's output page. It reports whether the thread just
+// finished its last page of the round.
+func (t *thread) end() bool {
+	if t.inProduce {
+		for _, out := range t.outputs {
+			out.reserved--
+			out.items++
+		}
+		t.produced++
+	}
+	if t.stopAndG {
+		return t.produced >= t.total
+	}
+	return t.consumed >= t.total
+}
+
+// event is one in-flight step completion.
+type event struct {
+	at  float64
+	seq int
+	th  *thread
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// machine is the simulated CMP.
+type machine struct {
+	cfg       Config
+	threads   []*thread
+	groups    []*group
+	ready     []*thread // FIFO round-robin
+	events    eventHeap
+	now       float64
+	seq       int
+	idle      int     // free contexts
+	finished  float64 // completed queries (whole-query granularity)
+	rootPages int     // total root pages processed (fractional progress)
+	busyTime  float64
+}
+
+func newMachine(cfg Config) *machine {
+	return &machine{cfg: cfg, idle: cfg.Processors}
+}
+
+// enqueue makes a thread ready if it is currently blocked and runnable.
+func (m *machine) enqueue(t *thread) {
+	if t.state == tsBlocked && t.runnable() {
+		t.state = tsReady
+		m.ready = append(m.ready, t)
+	}
+}
+
+// dispatch assigns ready threads to idle contexts.
+func (m *machine) dispatch() {
+	for m.idle > 0 && len(m.ready) > 0 {
+		t := m.ready[0]
+		m.ready = m.ready[1:]
+		t.state = tsRunning
+		d := t.stepDuration(m.cfg.Contention)
+		t.begin()
+		t.busy += d
+		m.busyTime += d
+		m.seq++
+		heap.Push(&m.events, event{at: m.now + d, seq: m.seq, th: t})
+		m.idle--
+	}
+}
+
+// wakeNeighbors re-evaluates threads adjacent to t's queues.
+func (m *machine) wakeNeighbors(t *thread) {
+	for _, in := range t.inputs {
+		if in.producer != nil {
+			m.enqueue(in.producer)
+		}
+	}
+	for _, out := range t.outputs {
+		if out.consumer != nil {
+			m.enqueue(out.consumer)
+		}
+	}
+}
+
+// run advances the simulation to the horizon, restarting groups as they
+// complete (closed system: every finished query is replaced immediately).
+func (m *machine) run() error {
+	for _, t := range m.threads {
+		t.state = tsBlocked
+		m.enqueue(t)
+	}
+	m.dispatch()
+	for len(m.events) > 0 {
+		e := heap.Pop(&m.events).(event)
+		if e.at > m.cfg.Horizon {
+			return nil
+		}
+		m.now = e.at
+		m.idle++
+		t := e.th
+		roundDone := t.end()
+		if t.member != nil && t.member.root == t {
+			// Root threads record per-page progress for smooth throughput.
+			m.rootPages++
+		}
+		if roundDone {
+			t.state = tsDone
+			m.onThreadDone(t)
+		} else {
+			t.state = tsBlocked
+			m.enqueue(t)
+		}
+		m.wakeNeighbors(t)
+		m.dispatch()
+		if len(m.events) == 0 && len(m.ready) > 0 {
+			return fmt.Errorf("%w: ready threads but no contexts dispatched", ErrStalled)
+		}
+	}
+	// All groups finished and restarted until... if events drained before
+	// the horizon something is stuck.
+	if m.now < m.cfg.Horizon {
+		return fmt.Errorf("%w at t=%g", ErrStalled, m.now)
+	}
+	return nil
+}
+
+// onThreadDone handles root completions and group restarts.
+func (m *machine) onThreadDone(t *thread) {
+	g := t.group
+	if t.member != nil && t.member.root == t && !t.member.done {
+		t.member.done = true
+		m.finished++
+		g.pending--
+	}
+	if g.pending > 0 {
+		return
+	}
+	// All members done: verify every thread in the group has finished its
+	// round, then restart the whole group (closed system).
+	for _, th := range g.threads {
+		if th.state != tsDone {
+			return // stragglers still flushing; restart when the last ends
+		}
+	}
+	for _, th := range g.threads {
+		th.consumed, th.produced = 0, 0
+		th.state = tsBlocked
+	}
+	for _, mem := range g.members {
+		mem.done = false
+	}
+	g.pending = len(g.members)
+	for _, th := range g.threads {
+		m.enqueue(th)
+	}
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+func cfg(n int) Config { return Config{Processors: n} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg(0).Validate(); err == nil {
+		t.Error("0 processors accepted")
+	}
+	if err := cfg(4).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	pl := core.Fig3Plan()
+	if _, err := Run(pl, "pivot", 0, false, cfg(1)); err == nil {
+		t.Error("0 clients accepted")
+	}
+	if _, err := Run(pl, "ghost", 2, true, cfg(1)); !errors.Is(err, core.ErrPivotNotFound) {
+		t.Errorf("missing pivot: %v", err)
+	}
+	if _, err := Run(core.Plan{Name: "empty"}, "x", 1, false, cfg(1)); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pl := core.Fig3Plan()
+	a, err := Run(pl, "pivot", 8, true, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pl, "pivot", 8, true, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Completions != b.Completions {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// A single query on ample processors runs at its model peak rate r = 1/p_max
+// (up to pipeline-fill effects).
+func TestSingleQueryPeakRate(t *testing.T) {
+	pl := core.Fig3Plan() // p_max = 10
+	res, err := Run(pl, "pivot", 1, false, cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 10
+	if math.Abs(res.Throughput-want)/want > 0.10 {
+		t.Errorf("throughput = %g, want ≈ %g (±10%%)", res.Throughput, want)
+	}
+}
+
+// On one processor the machine is work-conserving: throughput approaches
+// 1/u' regardless of client count.
+func TestUniprocessorWorkConserving(t *testing.T) {
+	pl := core.Fig3Plan() // u' = 27
+	for _, m := range []int{1, 4, 16} {
+		res, err := Run(pl, "pivot", m, false, cfg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(m) * math.Min(1.0/27, 1.0/(27*float64(m)))
+		if math.Abs(res.Throughput-want)/want > 0.10 {
+			t.Errorf("m=%d: throughput = %g, want ≈ %g", m, res.Throughput, want)
+		}
+		if res.Utilization < 0.95 {
+			t.Errorf("m=%d: utilization = %g, want ~1 on a saturated uniprocessor", m, res.Utilization)
+		}
+	}
+}
+
+// Measured speedups must track the model's qualitative regimes on the Fig3
+// synthetic query (Section 6.1): good on few processors, harmful on many.
+func TestSpeedupRegimesMatchModel(t *testing.T) {
+	pl := core.Fig3Plan()
+	// 1 CPU, heavy load: sharing wins clearly.
+	z1, err := Speedup(pl, "pivot", 16, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z1 < 1.5 {
+		t.Errorf("1 CPU m=16: measured speedup %g, want > 1.5", z1)
+	}
+	// 32 CPU, moderate load: sharing hurts.
+	z32, err := Speedup(pl, "pivot", 10, cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z32 > 1.0 {
+		t.Errorf("32 CPU m=10: measured speedup %g, want < 1", z32)
+	}
+}
+
+// The measured throughput stays within a modest error of the analytical
+// model across the paper's (m, n) grid for Q6 — the Figure 5 validation
+// property (paper: max 22%, avg 5.7% for scan-heavy).
+func TestModelErrorSmallForQ6(t *testing.T) {
+	pl := tpch.Plan(tpch.Q6)
+	q := tpch.Model(tpch.Q6)
+	var worst, sum float64
+	var count int
+	for _, n := range []int{1, 2, 8, 32} {
+		env := core.NewEnv(float64(n))
+		for _, m := range []int{1, 2, 4, 8, 16, 32, 48} {
+			measured, err := Run(pl, tpch.PivotName, m, true, cfg(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			predicted := core.SharedX(q, m, env)
+			relErr := math.Abs(measured.Throughput-predicted) / predicted
+			if relErr > worst {
+				worst = relErr
+			}
+			sum += relErr
+			count++
+		}
+	}
+	avg := sum / float64(count)
+	if worst > 0.35 {
+		t.Errorf("worst shared-rate error = %.1f%%, want ≤ 35%%", worst*100)
+	}
+	if avg > 0.12 {
+		t.Errorf("average shared-rate error = %.1f%%, want ≤ 12%%", avg*100)
+	}
+}
+
+// Sharing caps utilization: Q6 shared on 32 contexts uses only a few of
+// them while unshared execution uses far more (the Section 1.2 observation
+// behind the 10x loss).
+func TestQ6SharingCapsUtilization(t *testing.T) {
+	pl := tpch.Plan(tpch.Q6)
+	shared, err := Run(pl, tpch.PivotName, 32, true, cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unshared, err := Run(pl, tpch.PivotName, 32, false, cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedCtx := shared.Utilization * 32
+	unsharedCtx := unshared.Utilization * 32
+	if sharedCtx > 4 {
+		t.Errorf("shared execution used %.1f contexts, want ≤ 4 (paper: ~3 of 32)", sharedCtx)
+	}
+	if unsharedCtx < 24 {
+		t.Errorf("unshared execution used %.1f contexts, want ≥ 24 (paper: all 32)", unsharedCtx)
+	}
+	if ratio := unshared.Throughput / shared.Throughput; ratio < 5 {
+		t.Errorf("unshared/shared throughput = %.1fx, want ≥ 5x (paper: ~10x)", ratio)
+	}
+}
+
+// Join-heavy queries must measure shared-always-wins across the grid.
+func TestJoinHeavyAlwaysBenefits(t *testing.T) {
+	for _, qid := range []tpch.QueryID{tpch.Q4, tpch.Q13} {
+		pl := tpch.Plan(qid)
+		for _, n := range []int{1, 8, 32} {
+			for _, m := range []int{2, 8, 32} {
+				z, err := Speedup(pl, tpch.PivotName, m, cfg(n))
+				if err != nil {
+					t.Fatalf("%s n=%d m=%d: %v", qid, n, m, err)
+				}
+				if z < 0.95 {
+					t.Errorf("%s n=%d m=%d: measured speedup %g < 1", qid, n, m, z)
+				}
+			}
+		}
+	}
+}
+
+// Stop-&-go operators simulate without stalling and throttle correctly: a
+// sort in the middle decouples the phases.
+func TestStopAndGoSimulates(t *testing.T) {
+	scan := core.NewNode("scan", 5, 1)
+	sort := core.NewStopAndGo("sort", 8, 1, scan)
+	agg := core.NewNode("agg", 2, 0, sort)
+	pl := core.Plan{Name: "sorted", Root: agg}
+	res, err := Run(pl, "scan", 4, true, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no progress through stop-&-go plan")
+	}
+	// Unshared too.
+	res2, err := Run(pl, "scan", 4, false, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Throughput <= 0 {
+		t.Error("no unshared progress through stop-&-go plan")
+	}
+}
+
+// Sharing the whole plan (pivot = root) synthesizes per-sharer clients.
+func TestShareAtRoot(t *testing.T) {
+	pl := core.Fig3Plan()
+	res, err := Run(pl, "top", 4, true, cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no progress sharing at the root")
+	}
+}
+
+// Contention scaling reduces throughput proportionally.
+func TestContentionScalesThroughput(t *testing.T) {
+	pl := core.Fig3Plan()
+	full, err := Run(pl, "pivot", 8, false, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Run(pl, "pivot", 8, false, Config{Processors: 4, Contention: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := half.Throughput / full.Throughput
+	if math.Abs(ratio-0.5) > 0.08 {
+		t.Errorf("contention 0.5 gave throughput ratio %g, want ≈ 0.5", ratio)
+	}
+}
+
+// Busy time splits by operator and scales with the work coefficients.
+func TestBusyTimeAccounting(t *testing.T) {
+	pl := core.Fig3Plan()
+	res, err := Run(pl, "pivot", 1, false, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom, pivot, top := res.BusyTime["bottom"], res.BusyTime["pivot"], res.BusyTime["top"]
+	if bottom <= 0 || pivot <= 0 || top <= 0 {
+		t.Fatalf("missing busy time: %+v", res.BusyTime)
+	}
+	// bottom:pivot:top work is 10:7:10 per query.
+	if math.Abs(bottom/top-1) > 0.05 {
+		t.Errorf("bottom/top busy ratio = %g, want ≈ 1", bottom/top)
+	}
+	if r := pivot / bottom; math.Abs(r-0.7) > 0.07 {
+		t.Errorf("pivot/bottom busy ratio = %g, want ≈ 0.7", r)
+	}
+}
+
+// The shared pivot's busy time grows with the number of sharers (the
+// per-consumer cost is physically paid).
+func TestPivotBusyGrowsWithSharers(t *testing.T) {
+	pl := core.Fig3Plan()
+	small, err := Run(pl, "pivot", 2, true, cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(pl, "pivot", 16, true, cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per shared page the pivot pays w + m·s: normalize busy time by the
+	// group rounds executed (throughput × horizon / m sharers per round).
+	perRoundSmall := small.BusyTime["pivot"] / (small.Throughput * 5000 / 2)
+	perRoundBig := big.BusyTime["pivot"] / (big.Throughput * 5000 / 16)
+	if perRoundBig <= perRoundSmall {
+		t.Errorf("pivot per-round busy did not grow with sharers: %g vs %g", perRoundSmall, perRoundBig)
+	}
+	// And it should sit near the model's p_φ(m) = 6 + m·1.
+	if math.Abs(perRoundSmall-8) > 1.5 || math.Abs(perRoundBig-22) > 3 {
+		t.Errorf("pivot per-round busy = %g / %g, want ≈ 8 / 22", perRoundSmall, perRoundBig)
+	}
+}

@@ -1,0 +1,22 @@
+package storage
+
+// Clone returns a deep copy of the batch: fresh vectors whose mutation never
+// affects the original. The staged engine clones pages when a shared pivot
+// fans out results to multiple consumers — the physical realization of the
+// per-consumer output cost s the model charges the pivot.
+func (b *Batch) Clone() *Batch {
+	out := &Batch{Schema: b.Schema, Vecs: make([]Vector, len(b.Vecs))}
+	for i, v := range b.Vecs {
+		cp := Vector{Type: v.Type}
+		switch v.Type {
+		case Int64, Date:
+			cp.I64 = append(make([]int64, 0, len(v.I64)), v.I64...)
+		case Float64:
+			cp.F64 = append(make([]float64, 0, len(v.F64)), v.F64...)
+		case String:
+			cp.Str = append(make([]string, 0, len(v.Str)), v.Str...)
+		}
+		out.Vecs[i] = cp
+	}
+	return out
+}

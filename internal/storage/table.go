@@ -1,0 +1,60 @@
+package storage
+
+import "fmt"
+
+// Table is an in-memory, column-major base table.
+type Table struct {
+	// Name is the table name ("lineitem").
+	Name string
+	// data holds all rows as one large batch.
+	data *Batch
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, s Schema) *Table {
+	return &Table{Name: name, data: NewBatch(s, 0)}
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.data.Schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.data.Len() }
+
+// Append appends one tuple (same conventions as Batch.AppendRow).
+func (t *Table) Append(vals ...any) error { return t.data.AppendRow(vals...) }
+
+// MustAppend is Append that panics on error, for generators.
+func (t *Table) MustAppend(vals ...any) {
+	if err := t.Append(vals...); err != nil {
+		panic(fmt.Sprintf("storage: append to %s: %v", t.Name, err))
+	}
+}
+
+// Data returns the table's backing batch. Callers must treat it as
+// read-only; scans slice it without copying.
+func (t *Table) Data() *Batch { return t.data }
+
+// Scan invokes fn on consecutive read-only slices of at most batchRows
+// tuples until the table is exhausted or fn returns false.
+func (t *Table) Scan(batchRows int, fn func(*Batch) bool) {
+	if batchRows <= 0 {
+		batchRows = 1024
+	}
+	n := t.NumRows()
+	for lo := 0; lo < n; lo += batchRows {
+		hi := lo + batchRows
+		if hi > n {
+			hi = n
+		}
+		if !fn(t.data.Slice(lo, hi)) {
+			return
+		}
+	}
+}
+
+// Col returns the full column vector for the named attribute.
+func (t *Table) Col(name string) (Vector, error) { return t.data.Col(name) }
+
+// MustCol is Col that panics on error.
+func (t *Table) MustCol(name string) Vector { return t.data.MustCol(name) }

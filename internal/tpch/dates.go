@@ -1,0 +1,68 @@
+// Package tpch provides a deterministic, scale-factor-driven generator for
+// the TPC-H subset the paper evaluates (LINEITEM, ORDERS, CUSTOMER), the four
+// benchmark queries it runs (scan-heavy Q1 and Q6, join-heavy Q4 and Q13,
+// following the DBmbench characterization the authors cite), and the
+// calibrated work-model coefficients each query contributes to the analytical
+// model and the CMP simulator.
+package tpch
+
+import "fmt"
+
+// Dates are stored as day counts since 1970-01-01 (storage.Date). The
+// generator only needs civil-date arithmetic, implemented here without
+// importing time to keep generation allocation-free and obviously
+// deterministic.
+
+// daysFromCivil converts a Gregorian calendar date to a day count since
+// 1970-01-01 (Howard Hinnant's algorithm).
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	var era int
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1                    // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy         // [0, 146096]
+	return int64(era)*146097 + int64(doe) - 719468 // shift epoch to 1970-01-01
+}
+
+// MustDate converts "YYYY-MM-DD"-style components to a storage date and
+// panics on out-of-range input (generator constants only).
+func MustDate(y, m, d int) int64 {
+	if y < 1900 || y > 2100 || m < 1 || m > 12 || d < 1 || d > 31 {
+		panic(fmt.Sprintf("tpch: invalid date %04d-%02d-%02d", y, m, d))
+	}
+	return daysFromCivil(y, m, d)
+}
+
+// Benchmark-relevant date constants.
+var (
+	// DateEpochStart is the earliest o_orderdate dbgen produces.
+	DateEpochStart = MustDate(1992, 1, 1)
+	// DateOrderEnd is the latest o_orderdate.
+	DateOrderEnd = MustDate(1998, 8, 2)
+	// DateQ1Cutoff is Q1's shipdate upper bound (1998-12-01 minus 90 days).
+	DateQ1Cutoff = MustDate(1998, 12, 1) - 90
+	// DateQ6Start is Q6's shipdate lower bound (the spec's 1994-01-01).
+	DateQ6Start = MustDate(1994, 1, 1)
+	// DateQ6End is Q6's exclusive shipdate upper bound (one year later).
+	DateQ6End = MustDate(1995, 1, 1)
+	// DateQ4Start is Q4's orderdate lower bound (1993-07-01).
+	DateQ4Start = MustDate(1993, 7, 1)
+	// DateQ4End is Q4's exclusive orderdate upper bound (one quarter later).
+	DateQ4End = MustDate(1993, 10, 1)
+)
+
+// AddDays offsets a date by n days.
+func AddDays(d int64, n int) int64 { return d + int64(n) }

@@ -1,0 +1,164 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// EngineSpec builds the staged-engine execution spec for a benchmark query:
+// the operator DAG, its sharing pivot (scan for Q1/Q6, join for Q4/Q13, as
+// in Section 3.1 of the paper), and the calibrated model coefficients the
+// sharing policy consults.
+func EngineSpec(q QueryID, db *DB, pageRows int) (engine.QuerySpec, error) {
+	switch q {
+	case Q6:
+		return q6Spec(db, pageRows), nil
+	case Q1:
+		return q1Spec(db, pageRows), nil
+	case Q4:
+		return q4Spec(db, pageRows), nil
+	case Q13:
+		return q13Spec(db, pageRows), nil
+	default:
+		return engine.QuerySpec{}, fmt.Errorf("tpch: no engine spec for query %d", int(q))
+	}
+}
+
+// MustEngineSpec is EngineSpec that panics on error.
+func MustEngineSpec(q QueryID, db *DB, pageRows int) engine.QuerySpec {
+	spec, err := EngineSpec(q, db, pageRows)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func q6Spec(db *DB, pageRows int) engine.QuerySpec {
+	scanCols := []string{"l_extendedprice", "l_discount"}
+	scanSchema := storage.MustSchema(
+		storage.Column{Name: "l_extendedprice", Type: storage.Float64},
+		storage.Column{Name: "l_discount", Type: storage.Float64},
+	)
+	return engine.QuerySpec{
+		Signature: "tpch/q6",
+		Model:     Model(Q6),
+		Pivot:     0,
+		Nodes: []engine.NodeSpec{
+			{Name: "q6/scan-lineitem", Source: engine.TableSource(db.Lineitem, Q6Pred(), scanCols, pageRows)},
+			{Name: "q6/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
+					Func: relop.Sum,
+					Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
+					As:   "revenue",
+				}}, emit)
+			}},
+		},
+	}
+}
+
+func q1Spec(db *DB, pageRows int) engine.QuerySpec {
+	scanCols := []string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		panic(err)
+	}
+	discPrice := relop.Arith{Op: relop.Mul,
+		L: relop.Col("l_extendedprice"),
+		R: relop.Arith{Op: relop.Sub, L: relop.ConstFloat{V: 1}, R: relop.Col("l_discount")}}
+	charge := relop.Arith{Op: relop.Mul, L: discPrice,
+		R: relop.Arith{Op: relop.Add, L: relop.ConstFloat{V: 1}, R: relop.Col("l_tax")}}
+	return engine.QuerySpec{
+		Signature: "tpch/q1",
+		Model:     Model(Q1),
+		Pivot:     0,
+		Nodes: []engine.NodeSpec{
+			{Name: "q1/scan-lineitem", Source: engine.TableSource(db.Lineitem, Q1Pred(), scanCols, pageRows)},
+			{Name: "q1/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(scanSchema, []string{"l_returnflag", "l_linestatus"}, []relop.AggSpec{
+					{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
+					{Func: relop.Sum, Expr: relop.Col("l_extendedprice"), As: "sum_base_price"},
+					{Func: relop.Sum, Expr: discPrice, As: "sum_disc_price"},
+					{Func: relop.Sum, Expr: charge, As: "sum_charge"},
+					{Func: relop.Avg, Expr: relop.Col("l_quantity"), As: "avg_qty"},
+					{Func: relop.Avg, Expr: relop.Col("l_extendedprice"), As: "avg_price"},
+					{Func: relop.Avg, Expr: relop.Col("l_discount"), As: "avg_disc"},
+					{Func: relop.Count, As: "count_order"},
+				}, emit)
+			}},
+		},
+	}
+}
+
+func q4Spec(db *DB, pageRows int) engine.QuerySpec {
+	lineSchema := storage.MustSchema(storage.Column{Name: "l_orderkey", Type: storage.Int64})
+	orderCols := []string{"o_orderkey", "o_orderpriority"}
+	orderSchema, err := db.Orders.Schema().Project(orderCols...)
+	if err != nil {
+		panic(err)
+	}
+	return engine.QuerySpec{
+		Signature: "tpch/q4",
+		Model:     Model(Q4),
+		Pivot:     2,
+		Nodes: []engine.NodeSpec{
+			{Name: "q4/scan-lineitem", Source: engine.TableSource(db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows)},
+			{Name: "q4/scan-orders", Source: engine.TableSource(db.Orders, Q4OrdersPred(), orderCols, pageRows)},
+			{Name: "q4/semijoin", BuildInput: 0, ProbeInput: 1, Join: func(emit relop.Emit) (engine.JoinOperator, error) {
+				return relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
+			}},
+			{Name: "q4/agg", Input: 2, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
+					{Func: relop.Count, As: "order_count"},
+				}, emit)
+			}},
+		},
+	}
+}
+
+func q13Spec(db *DB, pageRows int) engine.QuerySpec {
+	orderScanSchema := storage.MustSchema(storage.Column{Name: "o_custkey", Type: storage.Int64})
+	buildSchema := storage.MustSchema(
+		storage.Column{Name: "o_custkey", Type: storage.Int64},
+		storage.Column{Name: "one", Type: storage.Int64},
+	)
+	custSchema := storage.MustSchema(storage.Column{Name: "c_custkey", Type: storage.Int64})
+	joinOut := storage.MustSchema(
+		storage.Column{Name: "c_custkey", Type: storage.Int64},
+		storage.Column{Name: "one", Type: storage.Int64},
+	)
+	perCustOut := storage.MustSchema(
+		storage.Column{Name: "c_custkey", Type: storage.Int64},
+		storage.Column{Name: "c_count", Type: storage.Float64},
+	)
+	return engine.QuerySpec{
+		Signature: "tpch/q13",
+		Model:     Model(Q13),
+		Pivot:     3,
+		Nodes: []engine.NodeSpec{
+			{Name: "q13/scan-orders", Source: engine.TableSource(db.Orders, Q13CommentPred(), []string{"o_custkey"}, pageRows)},
+			{Name: "q13/tag", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewProject(orderScanSchema, []relop.ProjectCol{
+					{As: "o_custkey", Expr: relop.Col("o_custkey")},
+					{As: "one", Expr: relop.ConstInt{V: 1}},
+				}, emit)
+			}},
+			{Name: "q13/scan-customer", Source: engine.TableSource(db.Customer, nil, []string{"c_custkey"}, pageRows)},
+			{Name: "q13/outerjoin", BuildInput: 1, ProbeInput: 2, Join: func(emit relop.Emit) (engine.JoinOperator, error) {
+				return relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)
+			}},
+			{Name: "q13/percust", Input: 3, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(joinOut, []string{"c_custkey"}, []relop.AggSpec{
+					{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
+				}, emit)
+			}},
+			{Name: "q13/dist", Input: 4, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(perCustOut, []string{"c_count"}, []relop.AggSpec{
+					{Func: relop.Count, As: "custdist"},
+				}, emit)
+			}},
+		},
+	}
+}

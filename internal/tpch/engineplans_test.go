@@ -1,0 +1,152 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestEngineSpecsValidate(t *testing.T) {
+	db := smallDB(t)
+	for _, q := range AllQueries {
+		spec, err := EngineSpec(q, db, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s spec invalid: %v", q, err)
+		}
+		if !strings.HasPrefix(spec.Signature, "tpch/") {
+			t.Errorf("%s signature = %q", q, spec.Signature)
+		}
+		if err := spec.Model.Validate(); err != nil {
+			t.Errorf("%s model invalid: %v", q, err)
+		}
+		// Scan-heavy queries pivot at the scan (node 0), join-heavy at the
+		// join.
+		if q.ScanHeavy() && spec.Pivot != 0 {
+			t.Errorf("%s pivot = %d, want 0 (scan)", q, spec.Pivot)
+		}
+		if !q.ScanHeavy() {
+			nd := spec.Nodes[spec.Pivot]
+			if nd.Join == nil {
+				t.Errorf("%s pivot node %q is not a join", q, nd.Name)
+			}
+		}
+	}
+}
+
+func TestEngineSpecUnknownQuery(t *testing.T) {
+	db := smallDB(t)
+	if _, err := EngineSpec(QueryID(42), db, 0); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestMustEngineSpecPanics(t *testing.T) {
+	db := smallDB(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEngineSpec did not panic")
+		}
+	}()
+	MustEngineSpec(QueryID(42), db, 0)
+}
+
+// Source factories must produce fresh, independent instances (two
+// instantiations scanning concurrently would otherwise share offsets).
+func TestEngineSpecSourcesAreFresh(t *testing.T) {
+	db := smallDB(t)
+	spec := MustEngineSpec(Q6, db, 0)
+	a, err := spec.Nodes[0].Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Nodes[0].Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain a fully; b must still produce from the beginning.
+	rowsA := 0
+	for {
+		batch, eof, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch != nil {
+			rowsA += batch.Len()
+		}
+		if eof {
+			break
+		}
+	}
+	batch, _, err := b.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch == nil { // skip empty quanta at the front
+		batch, _, err = b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batch.Len() == 0 || rowsA == 0 {
+		t.Errorf("sources not independent: a=%d rows, b first batch %d", rowsA, batch.Len())
+	}
+}
+
+// Spec operator factories must be reusable: two full instantiations of the
+// same spec run independently.
+func TestEngineSpecReusableAcrossRuns(t *testing.T) {
+	db := smallDB(t)
+	spec := MustEngineSpec(Q4, db, 0)
+	e, err := engine.New(engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	h1, err := e.Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != r2.Len() || r1.Len() == 0 {
+		t.Errorf("independent runs disagree: %d vs %d rows", r1.Len(), r2.Len())
+	}
+}
+
+func TestQueryIDStrings(t *testing.T) {
+	want := map[QueryID]string{Q1: "Q1", Q6: "Q6", Q4: "Q4", Q13: "Q13"}
+	for q, s := range want {
+		if q.String() != s {
+			t.Errorf("%v.String() = %q", q, q.String())
+		}
+	}
+	if !strings.Contains(QueryID(9).String(), "9") {
+		t.Error("unknown query id string")
+	}
+	if !Q1.ScanHeavy() || !Q6.ScanHeavy() || Q4.ScanHeavy() || Q13.ScanHeavy() {
+		t.Error("ScanHeavy classification wrong")
+	}
+}
+
+func TestModelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Model(unknown) did not panic")
+		}
+	}()
+	Model(QueryID(77))
+}

@@ -1,0 +1,319 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// QueryID names the four benchmark queries the paper evaluates.
+type QueryID int
+
+const (
+	// Q1 is the scan-heavy pricing summary report.
+	Q1 QueryID = iota
+	// Q6 is the scan-heavy forecasting revenue change query (the paper's
+	// running example).
+	Q6
+	// Q4 is the join-heavy order priority checking query.
+	Q4
+	// Q13 is the join-heavy customer distribution query.
+	Q13
+)
+
+// String returns the query name.
+func (q QueryID) String() string {
+	switch q {
+	case Q1:
+		return "Q1"
+	case Q6:
+		return "Q6"
+	case Q4:
+		return "Q4"
+	case Q13:
+		return "Q13"
+	default:
+		return fmt.Sprintf("QueryID(%d)", int(q))
+	}
+}
+
+// ScanHeavy reports whether the query is scan-heavy (shares at the scan) or
+// join-heavy (shares at the join), per the paper's Section 3 taxonomy.
+func (q QueryID) ScanHeavy() bool { return q == Q1 || q == Q6 }
+
+// AllQueries lists the benchmark queries in paper order.
+var AllQueries = []QueryID{Q1, Q6, Q4, Q13}
+
+// Run executes the query directly (single-threaded reference execution,
+// no staging) and returns its result. The staged engine's output is
+// cross-checked against these runners in integration tests.
+func Run(q QueryID, db *DB) (*storage.Batch, error) {
+	switch q {
+	case Q1:
+		return RunQ1(db)
+	case Q6:
+		return RunQ6(db)
+	case Q4:
+		return RunQ4(db)
+	case Q13:
+		return RunQ13(db)
+	default:
+		return nil, fmt.Errorf("tpch: unknown query %d", int(q))
+	}
+}
+
+// Q6Pred is the Q6 selection: shipped within one year, discount in
+// [0.05, 0.07], quantity < 24.
+func Q6Pred() relop.Pred {
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: DateQ6Start}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: DateQ6End}},
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_discount"), R: relop.ConstFloat{V: 0.05}},
+		relop.Cmp{Op: relop.Le, L: relop.Col("l_discount"), R: relop.ConstFloat{V: 0.07}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_quantity"), R: relop.ConstInt{V: 24}},
+	}}
+}
+
+// RunQ6 executes TPC-H Q6: SELECT sum(l_extendedprice * l_discount) AS
+// revenue FROM lineitem WHERE <Q6Pred>.
+func RunQ6(db *DB) (*storage.Batch, error) {
+	scanCols := []string{"l_extendedprice", "l_discount"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
+		Func: relop.Sum,
+		Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
+		As:   "revenue",
+	}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(agg.OutSchema())
+	return runScanInto(db.Lineitem, Q6Pred(), scanCols, agg, emit, result)
+}
+
+// Q1Pred is the Q1 selection: l_shipdate <= 1998-12-01 - 90 days.
+func Q1Pred() relop.Pred {
+	return relop.Cmp{Op: relop.Le, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: DateQ1Cutoff}}
+}
+
+// RunQ1 executes TPC-H Q1: the pricing summary report grouped by
+// (l_returnflag, l_linestatus).
+func RunQ1(db *DB) (*storage.Batch, error) {
+	scanCols := []string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		return nil, err
+	}
+	discPrice := relop.Arith{Op: relop.Mul,
+		L: relop.Col("l_extendedprice"),
+		R: relop.Arith{Op: relop.Sub, L: relop.ConstFloat{V: 1}, R: relop.Col("l_discount")}}
+	charge := relop.Arith{Op: relop.Mul, L: discPrice,
+		R: relop.Arith{Op: relop.Add, L: relop.ConstFloat{V: 1}, R: relop.Col("l_tax")}}
+	agg, err := relop.NewHashAgg(scanSchema, []string{"l_returnflag", "l_linestatus"}, []relop.AggSpec{
+		{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
+		{Func: relop.Sum, Expr: relop.Col("l_extendedprice"), As: "sum_base_price"},
+		{Func: relop.Sum, Expr: discPrice, As: "sum_disc_price"},
+		{Func: relop.Sum, Expr: charge, As: "sum_charge"},
+		{Func: relop.Avg, Expr: relop.Col("l_quantity"), As: "avg_qty"},
+		{Func: relop.Avg, Expr: relop.Col("l_extendedprice"), As: "avg_price"},
+		{Func: relop.Avg, Expr: relop.Col("l_discount"), As: "avg_disc"},
+		{Func: relop.Count, As: "count_order"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(agg.OutSchema())
+	return runScanInto(db.Lineitem, Q1Pred(), scanCols, agg, emit, result)
+}
+
+// Q4OrdersPred is Q4's orders selection: one quarter of order dates.
+func Q4OrdersPred() relop.Pred {
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("o_orderdate"), R: relop.ConstInt{V: DateQ4Start}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("o_orderdate"), R: relop.ConstInt{V: DateQ4End}},
+	}}
+}
+
+// Q4LineitemPred is Q4's EXISTS predicate source: l_commitdate <
+// l_receiptdate.
+func Q4LineitemPred() relop.Pred {
+	return relop.Cmp{Op: relop.Lt, L: relop.Col("l_commitdate"), R: relop.Col("l_receiptdate")}
+}
+
+// RunQ4 executes TPC-H Q4: order priority checking via a semi-join of
+// late-commit lineitems against one quarter of orders.
+func RunQ4(db *DB) (*storage.Batch, error) {
+	lineCols := []string{"l_orderkey"}
+	lineSchema, err := db.Lineitem.Schema().Project(lineCols...)
+	if err != nil {
+		return nil, err
+	}
+	orderCols := []string{"o_orderkey", "o_orderpriority"}
+	orderSchema, err := db.Orders.Schema().Project(orderCols...)
+	if err != nil {
+		return nil, err
+	}
+	hj, err := relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", nil)
+	if err != nil {
+		return nil, err
+	}
+	// Build: lineitems with l_commitdate < l_receiptdate.
+	buildScan, err := relop.NewScan(db.Lineitem, Q4LineitemPred(), lineCols, 0, hj.PushBuild)
+	if err != nil {
+		return nil, err
+	}
+	if err := buildScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.FinishBuild(); err != nil {
+		return nil, err
+	}
+	// Probe: quarter's orders; aggregate priorities downstream.
+	agg, err := relop.NewHashAgg(hj.OutSchema(), []string{"o_orderpriority"}, []relop.AggSpec{
+		{Func: relop.Count, As: "order_count"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(agg.OutSchema())
+	agg.SetEmit(emit)
+	hjEmit := func(b *storage.Batch) error { return agg.Push(b) }
+	hj.SetEmit(hjEmit)
+	probeScan, err := relop.NewScan(db.Orders, Q4OrdersPred(), orderCols, 0, hj.Push)
+	if err != nil {
+		return nil, err
+	}
+	if err := probeScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.Finish(); err != nil {
+		return nil, err
+	}
+	if err := agg.Finish(); err != nil {
+		return nil, err
+	}
+	return result(), nil
+}
+
+// Q13CommentPred is Q13's order filter: o_comment NOT LIKE
+// '%special%requests%'.
+func Q13CommentPred() relop.Pred {
+	return relop.Not{P: relop.ContainsAll{Column: "o_comment", Substrings: []string{"special", "requests"}}}
+}
+
+// RunQ13 executes TPC-H Q13: the customer order-count distribution via a
+// left outer join of customers against comment-filtered orders.
+func RunQ13(db *DB) (*storage.Batch, error) {
+	// Build side: filtered orders as (o_custkey, one).
+	buildSchema := storage.MustSchema(
+		storage.Column{Name: "o_custkey", Type: storage.Int64},
+		storage.Column{Name: "one", Type: storage.Int64},
+	)
+	custCols := []string{"c_custkey"}
+	custSchema, err := db.Customer.Schema().Project(custCols...)
+	if err != nil {
+		return nil, err
+	}
+	hj, err := relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", nil)
+	if err != nil {
+		return nil, err
+	}
+	buildBatch := storage.NewBatch(buildSchema, 1024)
+	flush := func() error {
+		if buildBatch.Len() == 0 {
+			return nil
+		}
+		err := hj.PushBuild(buildBatch)
+		buildBatch = storage.NewBatch(buildSchema, 1024)
+		return err
+	}
+	orderScan, err := relop.NewScan(db.Orders, Q13CommentPred(), []string{"o_custkey"}, 0, func(b *storage.Batch) error {
+		keys := b.MustCol("o_custkey")
+		for i := 0; i < b.Len(); i++ {
+			if err := buildBatch.AppendRow(keys.I64[i], int64(1)); err != nil {
+				return err
+			}
+		}
+		if buildBatch.Len() >= 1024 {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := orderScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := hj.FinishBuild(); err != nil {
+		return nil, err
+	}
+	// Per-customer counts: sum of "one" over the outer join.
+	perCust, err := relop.NewHashAgg(hj.OutSchema(), []string{"c_custkey"}, []relop.AggSpec{
+		{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count_f"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Distribution: group by c_count.
+	distSchema := storage.MustSchema(storage.Column{Name: "c_count", Type: storage.Int64})
+	dist, err := relop.NewHashAgg(distSchema, []string{"c_count"}, []relop.AggSpec{
+		{Func: relop.Count, As: "custdist"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(dist.OutSchema())
+	dist.SetEmit(emit)
+	perCust.SetEmit(func(b *storage.Batch) error {
+		counts := b.MustCol("c_count_f")
+		out := storage.NewBatch(distSchema, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			if err := out.AppendRow(int64(counts.F64[i])); err != nil {
+				return err
+			}
+		}
+		return dist.Push(out)
+	})
+	hj.SetEmit(perCust.Push)
+	custScan, err := relop.NewScan(db.Customer, nil, custCols, 0, hj.Push)
+	if err != nil {
+		return nil, err
+	}
+	if err := custScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.Finish(); err != nil {
+		return nil, err
+	}
+	if err := perCust.Finish(); err != nil {
+		return nil, err
+	}
+	if err := dist.Finish(); err != nil {
+		return nil, err
+	}
+	return result(), nil
+}
+
+// runScanInto wires a scan into a terminal aggregate and returns its result.
+func runScanInto(tbl *storage.Table, pred relop.Pred, cols []string, agg *relop.HashAgg, emit relop.Emit, result func() *storage.Batch) (*storage.Batch, error) {
+	agg.SetEmit(emit)
+	sc, err := relop.NewScan(tbl, pred, cols, 0, agg.Push)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Run(); err != nil {
+		return nil, err
+	}
+	if err := agg.Finish(); err != nil {
+		return nil, err
+	}
+	return result(), nil
+}

@@ -1,0 +1,379 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+func smallDB(t *testing.T) *DB {
+	t.Helper()
+	return MustGenerate(Config{ScaleFactor: 0.002, Seed: 42})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{ScaleFactor: 0.001, Seed: 7})
+	b := MustGenerate(Config{ScaleFactor: 0.001, Seed: 7})
+	if a.Orders.NumRows() != b.Orders.NumRows() || a.Lineitem.NumRows() != b.Lineitem.NumRows() {
+		t.Fatal("same seed produced different cardinalities")
+	}
+	av, bv := a.Lineitem.MustCol("l_extendedprice"), b.Lineitem.MustCol("l_extendedprice")
+	if !av.Equal(bv) {
+		t.Error("same seed produced different lineitem data")
+	}
+	c := MustGenerate(Config{ScaleFactor: 0.001, Seed: 8})
+	if av.Equal(c.Lineitem.MustCol("l_extendedprice")) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	db := smallDB(t) // SF 0.002: 300 customers, 3000 orders
+	if got := db.Customer.NumRows(); got != 300 {
+		t.Errorf("customers = %d, want 300", got)
+	}
+	if got := db.Orders.NumRows(); got != 3000 {
+		t.Errorf("orders = %d, want 3000", got)
+	}
+	// 1..7 lineitems per order, mean 4: expect within generous bounds.
+	nl := db.Lineitem.NumRows()
+	if nl < 3000 || nl > 21000 {
+		t.Errorf("lineitems = %d, outside [3000, 21000]", nl)
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	if _, err := Generate(Config{ScaleFactor: 0}); err == nil {
+		t.Error("SF 0 accepted")
+	}
+	if _, err := Generate(Config{ScaleFactor: -1}); err == nil {
+		t.Error("negative SF accepted")
+	}
+}
+
+func TestGenerateDomains(t *testing.T) {
+	db := smallDB(t)
+	od := db.Orders.MustCol("o_orderdate").I64
+	for _, d := range od {
+		if d < DateEpochStart || d > DateOrderEnd {
+			t.Fatalf("o_orderdate %d outside dbgen range", d)
+		}
+	}
+	disc := db.Lineitem.MustCol("l_discount").F64
+	for _, x := range disc {
+		if x < 0 || x > 0.10+1e-9 {
+			t.Fatalf("l_discount %g outside [0, 0.10]", x)
+		}
+	}
+	qty := db.Lineitem.MustCol("l_quantity").I64
+	for _, x := range qty {
+		if x < 1 || x > 50 {
+			t.Fatalf("l_quantity %d outside [1, 50]", x)
+		}
+	}
+	ship := db.Lineitem.MustCol("l_shipdate").I64
+	rcpt := db.Lineitem.MustCol("l_receiptdate").I64
+	for i := range ship {
+		if rcpt[i] <= ship[i] {
+			t.Fatalf("l_receiptdate %d not after l_shipdate %d", rcpt[i], ship[i])
+		}
+	}
+}
+
+func TestCommentFrequency(t *testing.T) {
+	db := MustGenerate(Config{ScaleFactor: 0.02, Seed: 3}) // 30k orders
+	pred := relop.ContainsAll{Column: "o_comment", Substrings: []string{"special", "requests"}}
+	matches := 0
+	db.Orders.Scan(0, func(b *storage.Batch) bool {
+		sel, err := pred.Filter(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches += len(sel)
+		return true
+	})
+	frac := float64(matches) / float64(db.Orders.NumRows())
+	if frac < 0.005 || frac > 0.10 {
+		t.Errorf("special-requests comment fraction = %g, want a few percent", frac)
+	}
+}
+
+func TestDates(t *testing.T) {
+	// 1970-01-01 is day 0; 1970-01-02 is day 1; leap handling via known
+	// anchors.
+	if d := MustDate(1970, 1, 1); d != 0 {
+		t.Errorf("epoch = %d", d)
+	}
+	if d := MustDate(1970, 1, 2); d != 1 {
+		t.Errorf("epoch+1 = %d", d)
+	}
+	if d := MustDate(2000, 3, 1) - MustDate(2000, 2, 28); d != 2 {
+		t.Errorf("Feb 2000 leap day missing: %d", d)
+	}
+	if d := MustDate(1994, 1, 1) - MustDate(1993, 1, 1); d != 365 {
+		t.Errorf("1993 length = %d", d)
+	}
+	if got := DateQ6End - DateQ6Start; got != 365 {
+		t.Errorf("Q6 window = %d days, want 365", got)
+	}
+	if got := AddDays(10, 5); got != 15 {
+		t.Errorf("AddDays = %d", got)
+	}
+}
+
+func TestMustDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDate(1800,1,1) did not panic")
+		}
+	}()
+	MustDate(1800, 1, 1)
+}
+
+func TestRunQ6MatchesBruteForce(t *testing.T) {
+	db := smallDB(t)
+	res, err := RunQ6(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("Q6 emitted %d rows, want 1", res.Len())
+	}
+	got := res.MustCol("revenue").F64[0]
+	// Brute force over raw columns.
+	var want float64
+	li := db.Lineitem
+	ship := li.MustCol("l_shipdate").I64
+	disc := li.MustCol("l_discount").F64
+	qty := li.MustCol("l_quantity").I64
+	price := li.MustCol("l_extendedprice").F64
+	for i := 0; i < li.NumRows(); i++ {
+		if ship[i] >= DateQ6Start && ship[i] < DateQ6End &&
+			disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24 {
+			want += price[i] * disc[i]
+		}
+	}
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Errorf("Q6 revenue = %g, want %g", got, want)
+	}
+	if want == 0 {
+		t.Error("Q6 selected no rows; generator predicates degenerate")
+	}
+}
+
+func TestRunQ1MatchesBruteForce(t *testing.T) {
+	db := smallDB(t)
+	res, err := RunQ1(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect up to 4 groups (A/F, N/F, N/O, R/F).
+	if res.Len() < 3 || res.Len() > 4 {
+		t.Errorf("Q1 groups = %d, want 3..4", res.Len())
+	}
+	// Validate one group's count against brute force.
+	li := db.Lineitem
+	ship := li.MustCol("l_shipdate").I64
+	flag := li.MustCol("l_returnflag").Str
+	status := li.MustCol("l_linestatus").Str
+	qty := li.MustCol("l_quantity").I64
+	wantCount := make(map[string]int64)
+	wantQty := make(map[string]float64)
+	for i := 0; i < li.NumRows(); i++ {
+		if ship[i] <= DateQ1Cutoff {
+			k := flag[i] + "|" + status[i]
+			wantCount[k]++
+			wantQty[k] += float64(qty[i])
+		}
+	}
+	gotFlag := res.MustCol("l_returnflag").Str
+	gotStatus := res.MustCol("l_linestatus").Str
+	gotCount := res.MustCol("count_order").I64
+	gotQty := res.MustCol("sum_qty").F64
+	for i := 0; i < res.Len(); i++ {
+		k := gotFlag[i] + "|" + gotStatus[i]
+		if gotCount[i] != wantCount[k] {
+			t.Errorf("group %s count = %d, want %d", k, gotCount[i], wantCount[k])
+		}
+		if math.Abs(gotQty[i]-wantQty[k]) > 1e-9 {
+			t.Errorf("group %s sum_qty = %g, want %g", k, gotQty[i], wantQty[k])
+		}
+	}
+}
+
+func TestRunQ4MatchesBruteForce(t *testing.T) {
+	db := smallDB(t)
+	res, err := RunQ4(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: orders in the window with at least one late lineitem.
+	li := db.Lineitem
+	lateOrders := make(map[int64]bool)
+	lkey := li.MustCol("l_orderkey").I64
+	commit := li.MustCol("l_commitdate").I64
+	receipt := li.MustCol("l_receiptdate").I64
+	for i := 0; i < li.NumRows(); i++ {
+		if commit[i] < receipt[i] {
+			lateOrders[lkey[i]] = true
+		}
+	}
+	want := make(map[string]int64)
+	ord := db.Orders
+	okey := ord.MustCol("o_orderkey").I64
+	odate := ord.MustCol("o_orderdate").I64
+	oprio := ord.MustCol("o_orderpriority").Str
+	for i := 0; i < ord.NumRows(); i++ {
+		if odate[i] >= DateQ4Start && odate[i] < DateQ4End && lateOrders[okey[i]] {
+			want[oprio[i]]++
+		}
+	}
+	gotPrio := res.MustCol("o_orderpriority").Str
+	gotN := res.MustCol("order_count").I64
+	total := int64(0)
+	for i := 0; i < res.Len(); i++ {
+		if gotN[i] != want[gotPrio[i]] {
+			t.Errorf("priority %q count = %d, want %d", gotPrio[i], gotN[i], want[gotPrio[i]])
+		}
+		total += gotN[i]
+	}
+	if total == 0 {
+		t.Error("Q4 returned zero orders; window degenerate")
+	}
+}
+
+func TestRunQ13MatchesBruteForce(t *testing.T) {
+	db := smallDB(t)
+	res, err := RunQ13(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force distribution.
+	keep := make(map[int]bool)
+	comments := db.Orders.MustCol("o_comment").Str
+	for i, c := range comments {
+		if !containsInOrderTest(c, "special", "requests") {
+			keep[i] = true
+		}
+	}
+	perCust := make(map[int64]int64)
+	ckeys := db.Customer.MustCol("c_custkey").I64
+	for _, c := range ckeys {
+		perCust[c] = 0
+	}
+	ocust := db.Orders.MustCol("o_custkey").I64
+	for i, c := range ocust {
+		if keep[i] {
+			perCust[c]++
+		}
+	}
+	wantDist := make(map[int64]int64)
+	for _, n := range perCust {
+		wantDist[n]++
+	}
+	gotCount := res.MustCol("c_count").I64
+	gotDist := res.MustCol("custdist").I64
+	var checked int64
+	for i := 0; i < res.Len(); i++ {
+		if gotDist[i] != wantDist[gotCount[i]] {
+			t.Errorf("c_count=%d custdist = %d, want %d", gotCount[i], gotDist[i], wantDist[gotCount[i]])
+		}
+		checked += gotDist[i]
+	}
+	if checked != int64(db.Customer.NumRows()) {
+		t.Errorf("distribution covers %d customers, want %d", checked, db.Customer.NumRows())
+	}
+}
+
+func containsInOrderTest(s string, subs ...string) bool {
+	pos := 0
+	for _, sub := range subs {
+		idx := indexFrom(s, sub, pos)
+		if idx < 0 {
+			return false
+		}
+		pos = idx + len(sub)
+	}
+	return true
+}
+
+func indexFrom(s, sub string, from int) int {
+	for i := from; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRunDispatch(t *testing.T) {
+	db := smallDB(t)
+	for _, q := range AllQueries {
+		res, err := Run(q, db)
+		if err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		if res.Len() == 0 {
+			t.Errorf("%s returned no rows", q)
+		}
+	}
+	if _, err := Run(QueryID(99), db); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestModelsWellFormed(t *testing.T) {
+	for _, q := range AllQueries {
+		m := Model(q)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s model invalid: %v", q, err)
+		}
+		pl := Plan(q)
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s plan invalid: %v", q, err)
+		}
+		// The plan compiled at its pivot must reproduce the flat model.
+		compiled := core.MustCompile(pl, pl.Find(PivotName))
+		if math.Abs(compiled.PMax()-m.PMax()) > 1e-9 ||
+			math.Abs(compiled.UPrime()-m.UPrime()) > 1e-9 ||
+			math.Abs(compiled.PivotS-m.PivotS) > 1e-9 {
+			t.Errorf("%s: plan/model mismatch (pmax %g vs %g, u' %g vs %g)", q,
+				compiled.PMax(), m.PMax(), compiled.UPrime(), m.UPrime())
+		}
+	}
+}
+
+// The calibrated models must reproduce the Figure 2 qualitative behaviour.
+func TestModelFigure2Shapes(t *testing.T) {
+	// Scan-heavy: beneficial on 1 CPU (≤ ~2x), harmful on 32 CPUs at load.
+	for _, q := range []QueryID{Q1, Q6} {
+		m := Model(q)
+		z1 := core.Z(m, 48, core.NewEnv(1))
+		if z1 < 1.2 || z1 > 2.0 {
+			t.Errorf("%s: Z(48,1) = %g, want within the paper's ~1.4-1.8 band", q, z1)
+		}
+		z32 := core.Z(m, 48, core.NewEnv(32))
+		if z32 > 0.5 {
+			t.Errorf("%s: Z(48,32) = %g, want strongly harmful (<0.5)", q, z32)
+		}
+	}
+	// Join-heavy: always beneficial, large on 1 CPU, still > 1 on 32.
+	for _, q := range []QueryID{Q4, Q13} {
+		m := Model(q)
+		z1 := core.Z(m, 48, core.NewEnv(1))
+		if z1 < 15 || z1 > 40 {
+			t.Errorf("%s: Z(48,1) = %g, want ~20-35 per Figure 2 right", q, z1)
+		}
+		for _, n := range []float64{2, 8, 32} {
+			for m2 := 2; m2 <= 48; m2 += 6 {
+				if z := core.Z(m, m2, core.NewEnv(n)); z < 1-1e-9 {
+					t.Errorf("%s: Z(%d,%g) = %g < 1; join-heavy sharing should always win", q, m2, n, z)
+				}
+			}
+		}
+	}
+}
