@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test bench fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark run (the paper's figures + ablations).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+fmt:
+	gofmt -w .
+
+# Mirrors .github/workflows/ci.yml: format check, vet, build, race tests,
+# and a one-iteration benchmark smoke so bench code cannot rot.
+ci:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

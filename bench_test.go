@@ -363,6 +363,59 @@ func BenchmarkAblationPageSize(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationInflightSharing compares the three sharing regimes the
+// scan registry distinguishes — never share, share only at submission time
+// (the paper's grouping assumption), and share in flight via the circular
+// scan registry — under the Figure-6-style closed-loop Q1/Q4 mix. In-flight
+// attachment should dominate submission-time sharing under steady traffic
+// (arrivals almost never line up with a not-yet-started pivot), and the
+// model-guided attach test keeps it no worse than never-share when
+// remaining coverage makes attachment unprofitable.
+func BenchmarkAblationInflightSharing(b *testing.B) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	specs := map[string]engine.QuerySpec{
+		"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0),
+		"Q4": tpch.MustEngineSpec(tpch.Q4, db, 0),
+	}
+	env := core.NewEnv(1)
+	// fq4=0 is the pure scan-pivot regime where submission-time grouping
+	// degenerates (a new group's scan starts emitting almost immediately,
+	// so steady-traffic arrivals always miss the join window); fq4=0.5 adds
+	// the join-pivot class whose long build phase keeps that window open.
+	for _, fq4 := range []float64{0, 0.5} {
+		mix := workload.EngineMix{Specs: specs, Assignment: workload.Assign("Q1", "Q4", 8, fq4)}
+		for _, mode := range []struct {
+			name     string
+			pol      engine.SharePolicy
+			inflight bool
+		}{
+			{"never", policy.Never{}, false},
+			{"submit-time", policy.ModelGuided{Env: env}, false},
+			{"inflight", policy.ModelGuided{Env: env}, true},
+		} {
+			b.Run(fmt.Sprintf("fq4=%.0f%%/%s", fq4*100, mode.name), func(b *testing.B) {
+				var qpm float64
+				var attaches int64
+				for i := 0; i < b.N; i++ {
+					e, err := engine.New(engine.Options{Workers: 1, CopyOnFanOut: true, InflightSharing: mode.inflight})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := mix.Run(e, policy.ForEngine(mode.pol), 200*time.Millisecond)
+					e.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					qpm = res.QueriesPerMinute
+					attaches = res.InflightAttaches
+				}
+				b.ReportMetric(qpm, "q/min")
+				b.ReportMetric(float64(attaches), "attaches")
+			})
+		}
+	}
+}
+
 // BenchmarkWorkloadEngineMix measures the closed-loop engine driver under
 // the model policy (a miniature live Figure 6 cell).
 func BenchmarkWorkloadEngineMix(b *testing.B) {

@@ -2,10 +2,15 @@
 // execution engine under a chosen sharing policy and reports throughput —
 // the live counterpart of Figure 6's experiment.
 //
+// The inflight policy is the model policy with mid-flight scan sharing
+// enabled: late arrivals may attach to a circular scan already in progress
+// (at its current cursor, wrapping around for the missed prefix) whenever
+// the model says the remaining coverage still makes sharing profitable.
+//
 // Usage:
 //
 //	cordoba [-sf 0.01] [-workers 4] [-clients 8] [-fq4 0.5]
-//	        [-policy model|always|never] [-duration 2s] [-compare]
+//	        [-policy model|always|never|inflight] [-duration 2s] [-compare]
 package main
 
 import (
@@ -27,10 +32,17 @@ var (
 	workersFlag  = flag.Int("workers", 4, "emulated processors (engine workers)")
 	clientsFlag  = flag.Int("clients", 8, "closed-loop clients")
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4 (rest run Q1)")
-	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never")
+	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight")
 	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration")
-	compareFlag  = flag.Bool("compare", false, "run all three policies and compare")
+	compareFlag  = flag.Bool("compare", false, "run all policies and compare")
 )
+
+// runConfig pairs a sharing policy with the engine mode it needs.
+type runConfig struct {
+	label    string
+	pol      engine.SharePolicy
+	inflight bool
+}
 
 func main() {
 	flag.Parse()
@@ -57,45 +69,62 @@ func run() error {
 		Assignment: workload.Assign("Q1", "Q4", *clientsFlag, *fq4Flag),
 	}
 
-	policies := []engine.SharePolicy{}
+	var configs []runConfig
 	if *compareFlag {
-		policies = append(policies, policy.ModelGuided{Env: core.NewEnv(float64(*workersFlag))}, policy.Always{}, policy.Never{})
+		for _, name := range []string{"model", "inflight", "always", "never"} {
+			cfg, err := configByName(name)
+			if err != nil {
+				return err
+			}
+			configs = append(configs, cfg)
+		}
 	} else {
-		p, err := policyByName(*policyFlag)
+		cfg, err := configByName(*policyFlag)
 		if err != nil {
 			return err
 		}
-		policies = append(policies, p)
+		configs = []runConfig{cfg}
 	}
 
-	for _, p := range policies {
+	for _, cfg := range configs {
 		// A fresh engine per policy keeps group state from leaking across
 		// measurements.
-		e, err := engine.New(engine.Options{Workers: *workersFlag, CopyOnFanOut: true})
+		e, err := engine.New(engine.Options{
+			Workers:         *workersFlag,
+			CopyOnFanOut:    true,
+			InflightSharing: cfg.inflight,
+		})
 		if err != nil {
 			return err
 		}
-		res, err := mix.Run(e, policy.ForEngine(p), *durationFlag)
+		res, err := mix.Run(e, policy.ForEngine(cfg.pol), *durationFlag)
 		e.Close()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("policy=%-7s clients=%d workers=%d fq4=%.0f%%: %d queries in %v (%.1f q/min) %v\n",
-			policy.Name(p), *clientsFlag, *workersFlag, *fq4Flag*100,
-			res.Completions, *durationFlag, res.QueriesPerMinute, res.PerClass)
+		extra := ""
+		if cfg.inflight {
+			extra = fmt.Sprintf(" attaches=%d", res.InflightAttaches)
+		}
+		fmt.Printf("policy=%-8s clients=%d workers=%d fq4=%.0f%%: %d queries in %v (%.1f q/min) %v%s\n",
+			cfg.label, *clientsFlag, *workersFlag, *fq4Flag*100,
+			res.Completions, *durationFlag, res.QueriesPerMinute, res.PerClass, extra)
 	}
 	return nil
 }
 
-func policyByName(name string) (engine.SharePolicy, error) {
+func configByName(name string) (runConfig, error) {
+	env := core.NewEnv(float64(*workersFlag))
 	switch name {
 	case "model":
-		return policy.ModelGuided{Env: core.NewEnv(float64(*workersFlag))}, nil
+		return runConfig{label: name, pol: policy.ModelGuided{Env: env}}, nil
+	case "inflight":
+		return runConfig{label: name, pol: policy.ModelGuided{Env: env}, inflight: true}, nil
 	case "always":
-		return policy.Always{}, nil
+		return runConfig{label: name, pol: policy.Always{}}, nil
 	case "never":
-		return policy.Never{}, nil
+		return runConfig{label: name, pol: policy.Never{}}, nil
 	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
+		return runConfig{}, fmt.Errorf("unknown policy %q", name)
 	}
 }

@@ -44,4 +44,29 @@
 //     rates below and above them; SplitPhases models each phase separately.
 //   - Join decompositions (Section 5.3): NLJ pipelines; MJ = two sorts plus a
 //     merge; HJ = stop-&-go build plus pipelined probe.
+//
+// # In-flight sharing (beyond the paper)
+//
+// The paper's experiments form sharing groups at submission time: a query
+// may merge at a pivot only while that pivot has not yet emitted its first
+// page, which in steady closed-loop traffic almost never happens for
+// scan pivots (the window between group creation and first emit is one
+// scheduling quantum). The reproduction therefore extends the engine with a
+// circular ("elevator") scan registry (internal/storage): a late arrival
+// attaches to a scan already in progress at its current cursor position,
+// consumes the remaining fraction f of the table riding alongside the
+// existing group, and recovers the missed prefix when the cursor wraps
+// around — every consumer still sees each page exactly once, in rotated
+// order, which is sound above order-insensitive operators such as the hash
+// aggregates over every scan pivot here.
+//
+// The model extends naturally to the attach decision. The wrap-around lap
+// makes the pivot re-execute (1-f) of its per-progress work w solely to
+// serve the late joiner, so admission evaluates the usual benefit test with
+// the per-consumer cost inflated to s + (1-f)·w/m (equivalently, the group
+// pivot total p_φ(m) inflated by (1-f)·w) and compares the adjusted shared
+// rate against unshared execution of the unmodified queries:
+// x_shared(adj; m, n) > x_unshared(m, n). With f = 1 this reduces exactly
+// to the Section 8 submission-time test Z(m, n) > 1. See
+// policy.ModelGuided.ShouldAttach and engine.AttachPolicy.
 package core

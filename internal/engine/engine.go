@@ -33,6 +33,14 @@ type Options struct {
 	// regime of multi-query optimization, and what the offline profiling
 	// procedure uses to pin sharing degrees exactly.
 	StartPaused bool
+	// InflightSharing lets queries whose pivot is a declared table scan
+	// (NodeSpec.Scan) join a sharing group after its scan has started: the
+	// joiner attaches to the circular scan at its current cursor, consumes
+	// to the end of the table, and covers the missed prefix when the cursor
+	// wraps around. Requires a policy implementing AttachPolicy to admit
+	// joiners. Off by default, which preserves the paper's submission-time
+	// grouping semantics exactly.
+	InflightSharing bool
 }
 
 // withDefaults fills zero fields.
@@ -50,6 +58,21 @@ type SharePolicy interface {
 	// ShouldJoin reports whether a query with the given model should join a
 	// group that would then contain m members.
 	ShouldJoin(q core.Query, m int) bool
+}
+
+// AttachPolicy extends SharePolicy with the in-flight admission test:
+// whether a query should attach to a scan already in progress, given the
+// fraction of the table it would genuinely share (the residual circle of
+// the longest-living current consumer — see storage.CircularScan.Remaining).
+// Only that fraction is consumed riding alongside existing members; the
+// rest is re-scanned solely for the joiner, extra pivot work the model must
+// charge against the sharing benefit.
+type AttachPolicy interface {
+	SharePolicy
+	// ShouldAttach reports whether a query with the given model should join
+	// an in-flight group that would then have m live members, when remaining
+	// is the fraction of the scan it would share with them.
+	ShouldAttach(q core.Query, m int, remaining float64) bool
 }
 
 // Handle tracks one submitted query.
@@ -87,19 +110,34 @@ func (h *Handle) Duration() time.Duration {
 type shareGroup struct {
 	signature string
 	pivot     *outbox
-	spec      QuerySpec
+	// inflight is set instead of pivot when the group's pivot is a declared
+	// scan shared through the circular scan registry; such groups admit
+	// members after the pivot starts emitting.
+	inflight *inflightScan
+	spec     QuerySpec
 
 	mu      sync.Mutex
 	size    int
 	started bool
 	err     error
+	// onFail runs once, on the first failure, outside g.mu. In-flight
+	// groups use it to abort the shared scan: a dead member chain stops
+	// draining its head queue, and without the abort the scan task would
+	// park on that full queue forever while the still-joinable group kept
+	// recruiting new members into the hang.
+	onFail func()
 }
 
 func (g *shareGroup) fail(err error) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.err == nil {
+	first := g.err == nil
+	if first {
 		g.err = err
+	}
+	hook := g.onFail
+	g.mu.Unlock()
+	if first && hook != nil {
+		hook()
 	}
 }
 
@@ -114,10 +152,12 @@ type Engine struct {
 	sched *Scheduler
 	opts  Options
 	clock *busyClock
+	scans *storage.ScanRegistry
 
-	mu        sync.Mutex
-	joinable  map[string]*shareGroup
-	completed int64
+	mu               sync.Mutex
+	joinable         map[string]*shareGroup
+	completed        int64
+	inflightAttaches int64
 }
 
 // New creates and starts an engine emulating opts.Workers processors.
@@ -131,6 +171,7 @@ func New(opts Options) (*Engine, error) {
 		sched:    sched,
 		opts:     opts,
 		clock:    newBusyClock(opts.Profile),
+		scans:    storage.NewScanRegistry(),
 		joinable: make(map[string]*shareGroup),
 	}
 	if !opts.StartPaused {
@@ -159,6 +200,17 @@ func (e *Engine) Completed() int64 {
 // BusyTimes returns per-node accumulated busy time (Profile mode only).
 func (e *Engine) BusyTimes() map[string]time.Duration { return e.clock.snapshot() }
 
+// InflightAttaches returns the number of queries that joined a sharing
+// group after its scan had started (in-flight attaches).
+func (e *Engine) InflightAttaches() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inflightAttaches
+}
+
+// ScanRegistry exposes the engine's circular scan registry for monitoring.
+func (e *Engine) ScanRegistry() *storage.ScanRegistry { return e.scans }
+
 // Submit enqueues a query for execution. If policy is non-nil the engine
 // tries to share: join an existing compatible group when the policy agrees,
 // otherwise start a new joinable group. A nil policy always executes
@@ -181,19 +233,45 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	defer e.mu.Unlock()
 	if policy != nil {
 		if g := e.joinable[spec.Signature]; g != nil {
-			g.mu.Lock()
-			canJoin := !g.started && (e.opts.MaxGroupSize == 0 || g.size < e.opts.MaxGroupSize)
-			m := g.size + 1
-			g.mu.Unlock()
-			if canJoin && policy.ShouldJoin(spec.Model, m) {
-				if err := e.attachLocked(g, spec, h); err != nil {
-					return nil, err
+			switch {
+			case g.inflight != nil:
+				// In-flight group: members attach to the circular scan at
+				// its current cursor, whether or not the pivot has emitted.
+				// g.firstError guards the window between a member failing
+				// and its abort closing the scan: an arrival there must not
+				// inherit the doomed group's error.
+				if ap, ok := policy.(AttachPolicy); ok && g.firstError() == nil {
+					remaining, active, live := g.inflight.scan.Remaining()
+					if live &&
+						(e.opts.MaxGroupSize == 0 || active < e.opts.MaxGroupSize) &&
+						ap.ShouldAttach(spec.Model, active+1, remaining) {
+						attached, err := e.attachInflightLocked(g, spec, h)
+						if err != nil {
+							return nil, err
+						}
+						if attached {
+							e.inflightAttaches++
+							return h, nil
+						}
+						// The scan finished between the consult and the
+						// attach; fall through to a fresh group.
+					}
 				}
-				return h, nil
+			default:
+				g.mu.Lock()
+				canJoin := !g.started && (e.opts.MaxGroupSize == 0 || g.size < e.opts.MaxGroupSize)
+				m := g.size + 1
+				g.mu.Unlock()
+				if canJoin && policy.ShouldJoin(spec.Model, m) {
+					if err := e.attachLocked(g, spec, h); err != nil {
+						return nil, err
+					}
+					return h, nil
+				}
 			}
 		}
 	}
-	g, err := e.newGroupLocked(spec, h)
+	g, err := e.newGroupLocked(spec, h, policy != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -204,8 +282,13 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 }
 
 // newGroupLocked instantiates the shared sub-plan and the first member's
-// private chain. Caller holds e.mu.
-func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) {
+// private chain. Caller holds e.mu. joinable reports whether the group will
+// accept further members (a non-nil policy); only joinable groups with a
+// declared scan pivot get the in-flight machinery.
+func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shareGroup, error) {
+	if e.opts.InflightSharing && joinable && spec.Nodes[spec.Pivot].Scan != nil {
+		return e.newInflightGroupLocked(spec, h)
+	}
 	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1}
 	pivotOut := &outbox{copyOnFanOut: e.opts.CopyOnFanOut}
 	pivotOut.onFirstEmit = func() { e.sealGroup(g) }
@@ -233,8 +316,8 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) 
 	for i := 0; i <= spec.Pivot; i++ {
 		nd := spec.Nodes[i]
 		switch {
-		case nd.Source != nil:
-			src, err := nd.Source()
+		case nd.IsSource():
+			src, err := nd.NewSource()
 			if err != nil {
 				return nil, err
 			}
@@ -261,6 +344,45 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) 
 	return g, nil
 }
 
+// newInflightGroupLocked instantiates a group whose pivot is a declared
+// scan shared through the circular scan registry. The pivot never seals the
+// group; it stays joinable until the scan's last consumer completes. Caller
+// holds e.mu.
+func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) {
+	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1}
+	nd := spec.Nodes[spec.Pivot]
+	src, err := nd.Scan.newSource()
+	if err != nil {
+		return nil, err
+	}
+	key := nd.Scan.Table.Name + "/" + spec.Signature
+	cs := e.scans.Publish(key, nd.Scan.Table.NumRows(), src.pageRows)
+	fs := newInflightScan(nd.Name, src, cs, e.clock, g.fail, e.opts.CopyOnFanOut)
+	fs.retire = func() { e.sealGroup(g) }
+	g.inflight = fs
+	// Any member's failure aborts the whole group (its error already poisons
+	// every member's result): close the scan and all chains so nothing
+	// wedges, and retire so new arrivals start a clean group.
+	g.onFail = func() {
+		fs.abort()
+		e.sealGroup(g)
+	}
+
+	// Wire the first member's chain before spawning the scan task so the
+	// pivot has a consumer from the start.
+	in, start, err := e.buildChain(g, spec, h)
+	if err != nil {
+		return nil, err
+	}
+	if !fs.attach(in) {
+		// Unreachable: a freshly published scan cannot be closed.
+		return nil, fmt.Errorf("%w: fresh circular scan rejected attach", ErrBadSpec)
+	}
+	start()
+	e.sched.Spawn(nd.Name, fs.step)
+	return g, nil
+}
+
 // attachLocked adds a member to an existing, not-yet-started group. Caller
 // holds e.mu; group non-started status is stable because sealGroup also
 // takes e.mu.
@@ -274,9 +396,45 @@ func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle) error {
 	return nil
 }
 
+// attachInflightLocked adds a member to a group whose scan is in progress.
+// It returns false (without error) when the scan completed concurrently —
+// the caller then starts a fresh group for the query. Caller holds e.mu.
+func (e *Engine) attachInflightLocked(g *shareGroup, spec QuerySpec, h *Handle) (bool, error) {
+	in, start, err := e.buildChain(g, spec, h)
+	if err != nil {
+		return false, err
+	}
+	if !g.inflight.attach(in) {
+		// Nothing was spawned yet; the unstarted chain is garbage collected.
+		return false, nil
+	}
+	g.mu.Lock()
+	g.size++
+	g.mu.Unlock()
+	start()
+	return true, nil
+}
+
 // attachChain wires one member's private chain (nodes above the pivot plus
 // the sink) to the group's pivot outbox.
 func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
+	in, start, err := e.buildChain(g, spec, h)
+	if err != nil {
+		return err
+	}
+	// The pivot gains its consumer before any task that could feed it runs
+	// (for new groups) or while the group is provably unstarted (joins).
+	g.pivot.attach(in)
+	start()
+	return nil
+}
+
+// buildChain constructs one member's private chain (nodes above the pivot
+// plus the sink) without wiring it to a pivot or spawning its tasks. It
+// returns the chain's head queue and a start function that spawns the
+// chain's tasks; the caller attaches the head to a pivot first, then calls
+// start.
+func (e *Engine) buildChain(g *shareGroup, spec QuerySpec, h *Handle) (*PageQueue, func(), error) {
 	in := NewPageQueue(e.sched, spec.Signature+"/pivot-out", e.opts.QueueCap)
 	type pendingOp struct {
 		body *opTask
@@ -290,7 +448,7 @@ func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
 		ob := &outbox{outs: []*PageQueue{q}}
 		op, err := nd.Op(func(b *storage.Batch) error { ob.add(b); return nil })
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		body := &opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: cur, out: ob, clock: e.clock, fail: g.fail}
 		ops = append(ops, pendingOp{body: body, name: nd.Name})
@@ -298,7 +456,7 @@ func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
 	}
 	rootSchema, err := e.rootSchema(spec)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	sink := &sinkTask{in: cur, result: storage.NewBatch(rootSchema, 0)}
 	sink.complete = func(res *storage.Batch) {
@@ -316,18 +474,18 @@ func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
 			h.onDone(res, err)
 		}
 	}
-	// The pivot gains its consumer before any task that could feed it runs
-	// (for new groups) or while the group is provably unstarted (joins).
-	g.pivot.attach(in)
-	for _, p := range ops {
-		e.sched.Spawn(p.name, p.body.step)
+	start := func() {
+		for _, p := range ops {
+			e.sched.Spawn(p.name, p.body.step)
+		}
+		e.sched.Spawn(spec.Signature+"/sink", sink.step)
 	}
-	e.sched.Spawn(spec.Signature+"/sink", sink.step)
-	return nil
+	return in, start, nil
 }
 
-// sealGroup marks a group started (pivot produced its first page); no
-// further members may join.
+// sealGroup marks a group started and un-joinable. For submission-time
+// groups this fires when the pivot produces its first page; for in-flight
+// groups, when the circular scan retires (its last consumer completed).
 func (e *Engine) sealGroup(g *shareGroup) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -345,8 +503,8 @@ func (e *Engine) rootSchema(spec QuerySpec) (storage.Schema, error) {
 	nd := spec.Nodes[len(spec.Nodes)-1]
 	nop := func(*storage.Batch) error { return nil }
 	switch {
-	case nd.Source != nil:
-		src, err := nd.Source()
+	case nd.IsSource():
+		src, err := nd.NewSource()
 		if err != nil {
 			return storage.Schema{}, err
 		}

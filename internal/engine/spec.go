@@ -41,14 +41,33 @@ type JoinOperator interface {
 // JoinFactory creates a fresh join operator per query instantiation.
 type JoinFactory func(emit relop.Emit) (JoinOperator, error)
 
+// ScanSpec declares a base-table scan transparently enough for the engine
+// to share it in flight: unlike an opaque SourceFactory, the engine can see
+// the table (so it can publish a circular scan in the registry) and read
+// arbitrary row spans (so a late joiner's wrap-around lap can re-cover the
+// prefix it missed).
+type ScanSpec struct {
+	// Table is the base table scanned.
+	Table *storage.Table
+	// Pred filters rows (nil = all rows).
+	Pred relop.Pred
+	// Cols projects the named columns (nil = all columns).
+	Cols []string
+	// PageRows is the scan quantum in rows (0 = derive from page size).
+	PageRows int
+}
+
 // NodeSpec describes one operator in a query spec. Exactly one of Source,
-// Op, Join must be set.
+// Scan, Op, Join must be set.
 type NodeSpec struct {
 	// Name identifies the node; it doubles as the stage name for
 	// profiling/busy-time accounting.
 	Name string
 	// Source makes this node a leaf producer.
 	Source SourceFactory
+	// Scan makes this node a declared base-table scan — a leaf producer the
+	// engine may additionally share in flight when it is the pivot.
+	Scan *ScanSpec
 	// Op makes this node a unary operator over Input.
 	Op OpFactory
 	// Input is the child node index for unary operators.
@@ -57,6 +76,28 @@ type NodeSpec struct {
 	Join JoinFactory
 	// BuildInput and ProbeInput are the child node indices for joins.
 	BuildInput, ProbeInput int
+}
+
+// IsSource reports whether the node is a leaf producer (Source or Scan).
+func (nd NodeSpec) IsSource() bool { return nd.Source != nil || nd.Scan != nil }
+
+// NewSource instantiates the node's page source, whether it was declared
+// opaquely (Source) or transparently (Scan). Every call produces a fresh,
+// independent instance.
+func (nd NodeSpec) NewSource() (PageSource, error) {
+	switch {
+	case nd.Source != nil:
+		return nd.Source()
+	case nd.Scan != nil:
+		return nd.Scan.newSource()
+	default:
+		return nil, fmt.Errorf("%w: node %s is not a source", ErrBadSpec, nd.Name)
+	}
+}
+
+// ScanNode builds a NodeSpec for a declared, in-flight-shareable table scan.
+func ScanNode(name string, tbl *storage.Table, pred relop.Pred, cols []string, pageRows int) NodeSpec {
+	return NodeSpec{Name: name, Scan: &ScanSpec{Table: tbl, Pred: pred, Cols: cols, PageRows: pageRows}}
 }
 
 // QuerySpec describes an executable query: nodes in topological order (root
@@ -99,6 +140,9 @@ func (q QuerySpec) Validate() error {
 		if nd.Source != nil {
 			kinds++
 		}
+		if nd.Scan != nil {
+			kinds++
+		}
 		if nd.Op != nil {
 			kinds++
 		}
@@ -106,7 +150,10 @@ func (q QuerySpec) Validate() error {
 			kinds++
 		}
 		if kinds != 1 {
-			return fmt.Errorf("%w: node %d (%s) must set exactly one of Source/Op/Join", ErrBadSpec, i, nd.Name)
+			return fmt.Errorf("%w: node %d (%s) must set exactly one of Source/Scan/Op/Join", ErrBadSpec, i, nd.Name)
+		}
+		if nd.Scan != nil && nd.Scan.Table == nil {
+			return fmt.Errorf("%w: node %d (%s) scan has no table", ErrBadSpec, i, nd.Name)
 		}
 		if nd.Op != nil {
 			if nd.Input < 0 || nd.Input >= i {
@@ -151,28 +198,32 @@ func (q QuerySpec) Validate() error {
 // TableSource returns a SourceFactory scanning tbl with pred over the given
 // columns, one page of base-table rows per quantum.
 func TableSource(tbl *storage.Table, pred relop.Pred, cols []string, pageRows int) SourceFactory {
-	return func() (PageSource, error) {
-		s := tbl.Schema()
-		useCols := cols
-		if useCols == nil {
-			for _, c := range s.Cols {
-				useCols = append(useCols, c.Name)
-			}
+	sc := &ScanSpec{Table: tbl, Pred: pred, Cols: cols, PageRows: pageRows}
+	return func() (PageSource, error) { return sc.newSource() }
+}
+
+// newSource instantiates the scan's page reader.
+func (sc *ScanSpec) newSource() (*tableSource, error) {
+	s := sc.Table.Schema()
+	useCols := sc.Cols
+	if useCols == nil {
+		for _, c := range s.Cols {
+			useCols = append(useCols, c.Name)
 		}
-		out, err := s.Project(useCols...)
-		if err != nil {
-			return nil, err
-		}
-		p := pred
-		if p == nil {
-			p = relop.True{}
-		}
-		rows := pageRows
-		if rows <= 0 {
-			rows = storage.RowsPerPage(out, storage.DefaultPageSize)
-		}
-		return &tableSource{tbl: tbl, pred: p, cols: useCols, out: out, pageRows: rows}, nil
 	}
+	out, err := s.Project(useCols...)
+	if err != nil {
+		return nil, err
+	}
+	p := sc.Pred
+	if p == nil {
+		p = relop.True{}
+	}
+	rows := sc.PageRows
+	if rows <= 0 {
+		rows = storage.RowsPerPage(out, storage.DefaultPageSize)
+	}
+	return &tableSource{tbl: sc.Table, pred: p, cols: useCols, out: out, pageRows: rows}, nil
 }
 
 type tableSource struct {
@@ -197,22 +248,33 @@ func (t *tableSource) Next() (*storage.Batch, bool, error) {
 	if hi > n {
 		hi = n
 	}
-	window := t.tbl.Data().Slice(t.offset, hi)
-	t.offset = hi
-	sel, err := t.pred.Filter(window, nil)
+	b, err := t.readSpan(t.offset, hi)
 	if err != nil {
 		return nil, false, err
 	}
+	t.offset = hi
+	return b, t.offset >= n, nil
+}
+
+// readSpan filters and projects base rows [lo, hi), returning nil when the
+// predicate selects none. Circular scans call it with registry-chosen spans
+// (including wrap-around re-reads for late joiners).
+func (t *tableSource) readSpan(lo, hi int) (*storage.Batch, error) {
+	window := t.tbl.Data().Slice(lo, hi)
+	sel, err := t.pred.Filter(window, nil)
+	if err != nil {
+		return nil, err
+	}
 	if len(sel) == 0 {
-		return nil, t.offset >= n, nil
+		return nil, nil
 	}
 	res := &storage.Batch{Schema: t.out, Vecs: make([]storage.Vector, len(t.cols))}
 	for i, name := range t.cols {
 		v, err := window.Col(name)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		res.Vecs[i] = v.Gather(sel)
 	}
-	return res, t.offset >= n, nil
+	return res, nil
 }

@@ -51,27 +51,35 @@ func (o *outbox) consumers() int {
 	return len(o.outs)
 }
 
+// deliverSeq pushes b to queues[*next:] sequentially — the serialization
+// the paper identifies as the pivot's fundamental cost. Fan-out pays the
+// per-consumer copy: every sharer beyond the first receives a private
+// clone of the page (the physical s of the model); single-consumer
+// hand-off moves the pointer. Returns false when a full queue blocked
+// progress, leaving *next at the resume position (the task should return
+// Blocked; the queue registered it for wake-up).
+func deliverSeq(t *Task, b *storage.Batch, queues []*PageQueue, next *int, copyOnFanOut bool) bool {
+	for *next < len(queues) {
+		out := b
+		if copyOnFanOut && len(queues) > 1 && *next > 0 {
+			out = b.Clone()
+		}
+		if !queues[*next].TryPush(t, out) {
+			return false
+		}
+		*next++
+	}
+	return true
+}
+
 // flush delivers pending batches to all consumers in order. It returns true
-// when everything was delivered, false when a full queue blocked progress
-// (the task should return Blocked; the queue registered it for wake-up).
+// when everything was delivered, false when a full queue blocked progress.
 func (o *outbox) flush(t *Task) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for len(o.pending) > 0 {
-		b := o.pending[0]
-		for o.nextConsumer < len(o.outs) {
-			q := o.outs[o.nextConsumer]
-			out := b
-			// Fan-out pays the per-consumer copy: every sharer beyond the
-			// first receives a private clone of the page (the physical s of
-			// the model). Single-consumer hand-off moves the pointer.
-			if o.copyOnFanOut && len(o.outs) > 1 && o.nextConsumer > 0 {
-				out = b.Clone()
-			}
-			if !q.TryPush(t, out) {
-				return false
-			}
-			o.nextConsumer++
+		if !deliverSeq(t, o.pending[0], o.outs, &o.nextConsumer, o.copyOnFanOut) {
+			return false
 		}
 		o.pending = o.pending[1:]
 		o.nextConsumer = 0

@@ -15,11 +15,18 @@ type Always struct{}
 // ShouldJoin implements engine.SharePolicy: always yes.
 func (Always) ShouldJoin(core.Query, int) bool { return true }
 
+// ShouldAttach implements engine.AttachPolicy: attach whenever any of the
+// scan is still ahead of the cursor.
+func (Always) ShouldAttach(_ core.Query, _ int, remaining float64) bool { return remaining > 0 }
+
 // Never executes every query independently.
 type Never struct{}
 
 // ShouldJoin implements engine.SharePolicy: always no.
 func (Never) ShouldJoin(core.Query, int) bool { return false }
+
+// ShouldAttach implements engine.AttachPolicy: never attach.
+func (Never) ShouldAttach(core.Query, int, float64) bool { return false }
 
 // ModelGuided admits a query to a group of prospective size m only when the
 // model predicts shared execution of m copies beats independent execution on
@@ -35,6 +42,37 @@ type ModelGuided struct {
 func (p ModelGuided) ShouldJoin(q core.Query, m int) bool {
 	return core.ShouldShare(q, m, p.Env)
 }
+
+// ShouldAttach implements engine.AttachPolicy, extending the Section 8
+// admission test to mid-flight attachment. A joiner that attaches with
+// fraction f of the scan remaining rides the shared cursor for only that
+// fraction; the missed prefix is re-scanned on the wrap-around lap, making
+// the pivot re-execute (1-f) of its per-progress work w for the group's
+// benefit of one extra sharer. Amortized over the m consumers, that inflates
+// the model's per-consumer cost s to s + (1-f)·w/m (equivalently, inflates
+// the group pivot total p_φ(m) by (1-f)·w), and the query attaches only
+// when shared execution with the inflated coefficient still beats
+// independent execution of the unmodified queries: x_shared(adj) >
+// x_unshared(q) — the attach-time analogue of "share iff Z > 1".
+func (p ModelGuided) ShouldAttach(q core.Query, m int, remaining float64) bool {
+	if remaining <= 0 || m < 1 {
+		return false
+	}
+	if remaining > 1 {
+		remaining = 1
+	}
+	adj := q
+	adj.PivotS = q.PivotS + (1-remaining)*q.PivotW/float64(m)
+	return core.SharedX(adj, m, p.Env) > core.UnsharedX(q, m, p.Env)
+}
+
+// Every built-in policy supports both submission-time and in-flight
+// admission.
+var (
+	_ engine.AttachPolicy = Always{}
+	_ engine.AttachPolicy = Never{}
+	_ engine.AttachPolicy = ModelGuided{}
+)
 
 // Name returns a short policy label for reports.
 func Name(p engine.SharePolicy) string {

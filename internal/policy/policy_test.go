@@ -40,6 +40,58 @@ func TestModelGuidedFollowsModel(t *testing.T) {
 	}
 }
 
+func TestStaticAttachPolicies(t *testing.T) {
+	q := tpch.Model(tpch.Q6)
+	if !(Always{}).ShouldAttach(q, 4, 0.5) {
+		t.Error("Always refused attach with half the scan remaining")
+	}
+	if (Always{}).ShouldAttach(q, 4, 0) {
+		t.Error("Always attached to an exhausted scan")
+	}
+	if (Never{}).ShouldAttach(q, 2, 1) {
+		t.Error("Never attached")
+	}
+}
+
+// TestModelGuidedAttachCoverage verifies the attach-time admission test:
+// with the full scan remaining it coincides with ShouldJoin, and as the
+// remaining coverage shrinks the wrap-around re-scan cost must eventually
+// make attachment unprofitable.
+func TestModelGuidedAttachCoverage(t *testing.T) {
+	// A scan-pivot query on hardware with a little headroom: sharing two
+	// copies pays when the whole scan is shared but not when most of the
+	// pivot's work must be repeated on the wrap-around lap.
+	q := core.Query{Name: "synthetic", PivotW: 10, PivotS: 2, Above: []float64{1}}
+	p := ModelGuided{Env: core.NewEnv(1.5)}
+	if p.ShouldAttach(q, 2, 1.0) != p.ShouldJoin(q, 2) {
+		t.Error("full-coverage attach decision diverges from ShouldJoin")
+	}
+	if !p.ShouldAttach(q, 2, 1.0) {
+		t.Error("profitable full-coverage attach refused")
+	}
+	if p.ShouldAttach(q, 2, 0.1) {
+		t.Error("attach accepted with 10% coverage: wrap-around re-scan should make it unprofitable")
+	}
+	if p.ShouldAttach(q, 2, 0) {
+		t.Error("attach accepted with no scan remaining")
+	}
+	// Monotonicity: once the remaining fraction is too small to pay off,
+	// shrinking it further never turns the decision back on.
+	refusedAt := -1.0
+	for f := 1.0; f >= 0; f -= 0.05 {
+		ok := p.ShouldAttach(q, 2, f)
+		if ok && refusedAt >= 0 {
+			t.Fatalf("attach re-admitted at remaining=%.2f after refusal at %.2f", f, refusedAt)
+		}
+		if !ok && refusedAt < 0 {
+			refusedAt = f
+		}
+	}
+	if refusedAt < 0 {
+		t.Error("attach never refused across the coverage sweep")
+	}
+}
+
 func TestName(t *testing.T) {
 	if Name(Always{}) != "always" || Name(Never{}) != "never" || Name(nil) != "never" {
 		t.Error("static names wrong")

@@ -1,0 +1,278 @@
+package storage
+
+import "sync"
+
+// This file implements the in-flight scan-sharing substrate: a circular
+// ("elevator") cursor over a base table that several consumers ride
+// together, plus a registry of the scans currently in flight per table.
+//
+// The paper's engine forms sharing groups at submission time: a query may
+// merge with a compatible pivot only while that pivot has not yet emitted
+// its first page. A circular scan relaxes exactly that assumption. A newly
+// submitted query attaches to a scan already in progress at its current
+// cursor position, consumes to the end of the table, then the cursor wraps
+// around and re-covers the prefix the late joiner missed. Every attached
+// consumer therefore sees each page exactly once, just in a rotated order —
+// which is sound for any order-insensitive consumer (the hash aggregates
+// that sit above every scan pivot in the reproduced plans).
+
+// Span is a half-open row range [Lo, Hi) of one scan quantum.
+type Span struct {
+	// Lo and Hi bound the rows scanned this quantum, Hi exclusive.
+	Lo, Hi int
+}
+
+// Len returns the number of rows the span covers.
+func (sp Span) Len() int { return sp.Hi - sp.Lo }
+
+// ScanConsumer is one reader attached to a CircularScan. A consumer is
+// complete once the cursor has covered the whole table since its attach
+// point (a full circle).
+type ScanConsumer struct {
+	owner *CircularScan
+	id    int
+	start int // cursor position at attach (page-aligned), immutable
+	seen  int // rows covered since attach; guarded by owner.mu
+	done  bool
+}
+
+// ID returns the consumer's registry-unique identifier within its scan.
+func (c *ScanConsumer) ID() int { return c.id }
+
+// Start returns the cursor offset at which the consumer attached.
+func (c *ScanConsumer) Start() int { return c.start }
+
+// Done reports whether the consumer has seen the whole table. Safe to call
+// concurrently with the drive loop.
+func (c *ScanConsumer) Done() bool {
+	c.owner.mu.Lock()
+	defer c.owner.mu.Unlock()
+	return c.done
+}
+
+// CircularScan coordinates one in-flight circular scan over a table with a
+// fixed row count. It owns only cursor arithmetic and consumer membership;
+// reading rows and delivering pages is the caller's (the engine's) job,
+// driven by Advance. All methods are safe for concurrent use.
+type CircularScan struct {
+	mu        sync.Mutex
+	rows      int
+	pageRows  int
+	pos       int // next row offset to scan
+	lap       int // completed wrap-arounds
+	consumers []*ScanConsumer
+	nextID    int
+	closed    bool
+	onClose   func()
+}
+
+// NewCircularScan creates a scan over rows rows advancing pageRows per
+// quantum (minimum 1).
+func NewCircularScan(rows, pageRows int) *CircularScan {
+	if pageRows < 1 {
+		pageRows = 1
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return &CircularScan{rows: rows, pageRows: pageRows}
+}
+
+// Attach adds a consumer at the current cursor position. It returns false
+// when the scan has already closed (all previous consumers finished); the
+// caller must then start a fresh scan.
+func (cs *CircularScan) Attach() (*ScanConsumer, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return nil, false
+	}
+	c := &ScanConsumer{owner: cs, id: cs.nextID, start: cs.pos}
+	cs.nextID++
+	cs.consumers = append(cs.consumers, c)
+	return c, true
+}
+
+// Detach removes a consumer before completion. The engine aborts a whole
+// group (Close) rather than detaching single members — a group error
+// poisons every member's result anyway — so this is API for external
+// coordinators that retire consumers individually. Detaching the last
+// consumer does not close the scan; the next Advance does, so the drive
+// loop always observes the closure.
+func (cs *CircularScan) Detach(c *ScanConsumer) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for i, o := range cs.consumers {
+		if o == c {
+			cs.consumers = append(cs.consumers[:i], cs.consumers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Remaining reports the fraction of the table a joiner attaching now would
+// genuinely share — the residual circle of the longest-living active
+// consumer, since the scan keeps running only while some existing consumer
+// still needs pages; everything after the last of them completes is
+// re-scanned solely for the joiner. For a first-lap scan whose original
+// consumer attached at 0 this equals the uncovered fraction of the current
+// lap; on a wrap-around lap serving only late joiners it is their (smaller)
+// residual, not the cursor's apparent distance from the table end. Also
+// returns the number of active consumers; ok is false when the scan is
+// closed (unattachable).
+func (cs *CircularScan) Remaining() (fraction float64, active int, ok bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return 0, 0, false
+	}
+	if cs.rows == 0 {
+		return 0, len(cs.consumers), true
+	}
+	shared := 0
+	for _, c := range cs.consumers {
+		if left := cs.rows - c.seen; left > shared {
+			shared = left
+		}
+	}
+	return float64(shared) / float64(cs.rows), len(cs.consumers), true
+}
+
+// Progress returns the cursor offset and completed lap count.
+func (cs *CircularScan) Progress() (pos, lap int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.pos, cs.lap
+}
+
+// Advance moves the cursor one quantum and reports the span scanned, the
+// consumers the span must be delivered to, and the consumers that completed
+// their full circle with this span (a subset of served; their delivery is
+// their last). more is false when the scan closed — either no consumers
+// remain, or every remaining consumer completed on this span. After a
+// closing Advance the scan accepts no further Attach.
+func (cs *CircularScan) Advance() (sp Span, served, completed []*ScanConsumer, more bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return Span{}, nil, nil, false
+	}
+	if len(cs.consumers) == 0 || cs.rows == 0 {
+		// Zero-row tables complete every consumer without scanning.
+		completed = cs.consumers
+		for _, c := range completed {
+			c.done = true
+		}
+		cs.consumers = nil
+		cs.closeLocked()
+		return Span{}, completed, completed, false
+	}
+	hi := cs.pos + cs.pageRows
+	if hi > cs.rows {
+		hi = cs.rows
+	}
+	sp = Span{Lo: cs.pos, Hi: hi}
+	cs.pos = hi
+	if cs.pos == cs.rows {
+		cs.pos = 0
+		cs.lap++
+	}
+	served = append(served, cs.consumers...)
+	var remain []*ScanConsumer
+	for _, c := range cs.consumers {
+		c.seen += sp.Len()
+		if c.seen >= cs.rows {
+			c.done = true
+			completed = append(completed, c)
+		} else {
+			remain = append(remain, c)
+		}
+	}
+	cs.consumers = remain
+	if len(cs.consumers) == 0 {
+		cs.closeLocked()
+		return sp, served, completed, false
+	}
+	return sp, served, completed, true
+}
+
+// Close force-closes the scan (error paths), unregistering it.
+func (cs *CircularScan) Close() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.closeLocked()
+}
+
+// Closed reports whether the scan has finished or been force-closed.
+func (cs *CircularScan) Closed() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.closed
+}
+
+func (cs *CircularScan) closeLocked() {
+	if cs.closed {
+		return
+	}
+	cs.closed = true
+	cs.consumers = nil
+	if cs.onClose != nil {
+		// Safe to call under cs.mu: no registry method holds its own lock
+		// while taking a scan's.
+		hook := cs.onClose
+		cs.onClose = nil
+		hook()
+	}
+}
+
+// ScanRegistry tracks the circular scans currently in flight, keyed by
+// table-qualified scan identity (e.g. "lineitem/tpch/q1"). The execution
+// engine publishes a scan when a sharing group's pivot starts reading a
+// base table and late-arriving queries look the scan up to attach mid
+// flight. Closed scans unregister themselves.
+type ScanRegistry struct {
+	mu    sync.Mutex
+	scans map[string]*CircularScan
+}
+
+// NewScanRegistry creates an empty registry.
+func NewScanRegistry() *ScanRegistry {
+	return &ScanRegistry{scans: make(map[string]*CircularScan)}
+}
+
+// Publish creates a circular scan over rows rows, registers it under key,
+// and returns it. A still-live scan previously registered under the same
+// key is superseded (its consumers finish undisturbed; it simply stops
+// being discoverable).
+func (r *ScanRegistry) Publish(key string, rows, pageRows int) *CircularScan {
+	cs := NewCircularScan(rows, pageRows)
+	r.mu.Lock()
+	r.scans[key] = cs
+	r.mu.Unlock()
+	cs.mu.Lock()
+	cs.onClose = func() { r.unregister(key, cs) }
+	cs.mu.Unlock()
+	return cs
+}
+
+// Lookup returns the in-flight scan registered under key, or nil.
+func (r *ScanRegistry) Lookup(key string) *CircularScan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scans[key]
+}
+
+// InFlight returns the number of registered (live) scans.
+func (r *ScanRegistry) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.scans)
+}
+
+func (r *ScanRegistry) unregister(key string, cs *CircularScan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.scans[key] == cs {
+		delete(r.scans, key)
+	}
+}

@@ -11,7 +11,10 @@ import (
 // EngineSpec builds the staged-engine execution spec for a benchmark query:
 // the operator DAG, its sharing pivot (scan for Q1/Q6, join for Q4/Q13, as
 // in Section 3.1 of the paper), and the calibrated model coefficients the
-// sharing policy consults.
+// sharing policy consults. All base-table scans are declared (NodeSpec.Scan)
+// rather than opaque, so the scan-pivot queries Q1 and Q6 can additionally
+// share their scans in flight through the circular scan registry when the
+// engine runs with InflightSharing.
 func EngineSpec(q QueryID, db *DB, pageRows int) (engine.QuerySpec, error) {
 	switch q {
 	case Q6:
@@ -47,7 +50,7 @@ func q6Spec(db *DB, pageRows int) engine.QuerySpec {
 		Model:     Model(Q6),
 		Pivot:     0,
 		Nodes: []engine.NodeSpec{
-			{Name: "q6/scan-lineitem", Source: engine.TableSource(db.Lineitem, Q6Pred(), scanCols, pageRows)},
+			engine.ScanNode("q6/scan-lineitem", db.Lineitem, Q6Pred(), scanCols, pageRows),
 			{Name: "q6/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
 				return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
 					Func: relop.Sum,
@@ -75,7 +78,7 @@ func q1Spec(db *DB, pageRows int) engine.QuerySpec {
 		Model:     Model(Q1),
 		Pivot:     0,
 		Nodes: []engine.NodeSpec{
-			{Name: "q1/scan-lineitem", Source: engine.TableSource(db.Lineitem, Q1Pred(), scanCols, pageRows)},
+			engine.ScanNode("q1/scan-lineitem", db.Lineitem, Q1Pred(), scanCols, pageRows),
 			{Name: "q1/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
 				return relop.NewHashAgg(scanSchema, []string{"l_returnflag", "l_linestatus"}, []relop.AggSpec{
 					{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
@@ -104,8 +107,8 @@ func q4Spec(db *DB, pageRows int) engine.QuerySpec {
 		Model:     Model(Q4),
 		Pivot:     2,
 		Nodes: []engine.NodeSpec{
-			{Name: "q4/scan-lineitem", Source: engine.TableSource(db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows)},
-			{Name: "q4/scan-orders", Source: engine.TableSource(db.Orders, Q4OrdersPred(), orderCols, pageRows)},
+			engine.ScanNode("q4/scan-lineitem", db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows),
+			engine.ScanNode("q4/scan-orders", db.Orders, Q4OrdersPred(), orderCols, pageRows),
 			{Name: "q4/semijoin", BuildInput: 0, ProbeInput: 1, Join: func(emit relop.Emit) (engine.JoinOperator, error) {
 				return relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
 			}},
@@ -138,14 +141,14 @@ func q13Spec(db *DB, pageRows int) engine.QuerySpec {
 		Model:     Model(Q13),
 		Pivot:     3,
 		Nodes: []engine.NodeSpec{
-			{Name: "q13/scan-orders", Source: engine.TableSource(db.Orders, Q13CommentPred(), []string{"o_custkey"}, pageRows)},
+			engine.ScanNode("q13/scan-orders", db.Orders, Q13CommentPred(), []string{"o_custkey"}, pageRows),
 			{Name: "q13/tag", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
 				return relop.NewProject(orderScanSchema, []relop.ProjectCol{
 					{As: "o_custkey", Expr: relop.Col("o_custkey")},
 					{As: "one", Expr: relop.ConstInt{V: 1}},
 				}, emit)
 			}},
-			{Name: "q13/scan-customer", Source: engine.TableSource(db.Customer, nil, []string{"c_custkey"}, pageRows)},
+			engine.ScanNode("q13/scan-customer", db.Customer, nil, []string{"c_custkey"}, pageRows),
 			{Name: "q13/outerjoin", BuildInput: 1, ProbeInput: 2, Join: func(emit relop.Emit) (engine.JoinOperator, error) {
 				return relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)
 			}},

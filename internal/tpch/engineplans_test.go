@@ -59,11 +59,11 @@ func TestMustEngineSpecPanics(t *testing.T) {
 func TestEngineSpecSourcesAreFresh(t *testing.T) {
 	db := smallDB(t)
 	spec := MustEngineSpec(Q6, db, 0)
-	a, err := spec.Nodes[0].Source()
+	a, err := spec.Nodes[0].NewSource()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := spec.Nodes[0].Source()
+	b, err := spec.Nodes[0].NewSource()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -283,6 +283,10 @@ type MixResult struct {
 	QueriesPerMinute float64
 	// PerClass breaks completions down by class.
 	PerClass map[string]int
+	// InflightAttaches counts queries that joined a scan already in
+	// progress (non-zero only when the engine runs with InflightSharing
+	// and an AttachPolicy).
+	InflightAttaches int64
 }
 
 // Run drives the engine until the deadline. Each client resubmits its
@@ -299,6 +303,7 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 		}
 	}
 	deadline := time.Now().Add(duration)
+	startAttaches := e.InflightAttaches()
 	var mu sync.Mutex
 	perClass := make(map[string]int)
 	total := 0
@@ -363,6 +368,7 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 		Completions:      total,
 		QueriesPerMinute: float64(total) / duration.Minutes(),
 		PerClass:         perClass,
+		InflightAttaches: e.InflightAttaches() - startAttaches,
 	}, nil
 }
 
