@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench fmt ci
+.PHONY: build test bench fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,16 @@ bench:
 fmt:
 	gofmt -w .
 
+# Run every example binary once, so example drift fails fast instead of
+# rotting (mirrored as a CI step).
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; $(GO) run "./$$d" >/dev/null || exit 1; \
+	done
+
 # Mirrors .github/workflows/ci.yml: format check, vet, build, race tests,
-# and a one-iteration benchmark smoke so bench code cannot rot.
+# a one-iteration benchmark smoke so bench code cannot rot, and the
+# examples smoke.
 ci:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
@@ -24,3 +32,4 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(MAKE) examples

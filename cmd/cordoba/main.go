@@ -7,16 +7,29 @@
 // (at its current cursor, wrapping around for the missed prefix) whenever
 // the model says the remaining coverage still makes sharing profitable.
 //
+// The parallel policy never shares and instead splits every scan-pivot
+// query into -workers partitioned clones (morsels of the scan dispensed to
+// competing clone pipelines, partial aggregates fanning into a merge node).
+// The hybrid policy asks the model per query: share when serial shared
+// cost s·m wins, parallelize when w/d under the current load wins, run
+// alone otherwise.
+//
 // Usage:
 //
-//	cordoba [-sf 0.01] [-workers 4] [-clients 8] [-fq4 0.5]
-//	        [-policy model|always|never|inflight] [-duration 2s] [-compare]
+//	cordoba [-sf 0.01] [-workers N] [-clients 8] [-fq4 0.5]
+//	        [-policy model|always|never|inflight|parallel|hybrid]
+//	        [-duration 2s] [-compare]
+//
+// -workers defaults to runtime.GOMAXPROCS(0) so sharing-vs-parallelism
+// comparisons are reproducible across machines when set explicitly; the
+// run header echoes the value in use.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -29,10 +42,10 @@ import (
 var (
 	sfFlag       = flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seedFlag     = flag.Uint64("seed", 42, "data generator seed")
-	workersFlag  = flag.Int("workers", 4, "emulated processors (engine workers)")
+	workersFlag  = flag.Int("workers", runtime.GOMAXPROCS(0), "emulated processors (engine workers)")
 	clientsFlag  = flag.Int("clients", 8, "closed-loop clients")
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4 (rest run Q1)")
-	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight")
+	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight, parallel, hybrid")
 	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration")
 	compareFlag  = flag.Bool("compare", false, "run all policies and compare")
 )
@@ -60,6 +73,8 @@ func run() error {
 	}
 	fmt.Printf("lineitem: %d rows, orders: %d rows, customers: %d rows\n",
 		db.Lineitem.NumRows(), db.Orders.NumRows(), db.Customer.NumRows())
+	fmt.Printf("run: workers=%d clients=%d fq4=%.0f%% duration=%v seed=%d\n",
+		*workersFlag, *clientsFlag, *fq4Flag*100, *durationFlag, *seedFlag)
 
 	mix := workload.EngineMix{
 		Specs: map[string]engine.QuerySpec{
@@ -71,7 +86,7 @@ func run() error {
 
 	var configs []runConfig
 	if *compareFlag {
-		for _, name := range []string{"model", "inflight", "always", "never"} {
+		for _, name := range []string{"model", "inflight", "parallel", "hybrid", "always", "never"} {
 			cfg, err := configByName(name)
 			if err != nil {
 				return err
@@ -104,7 +119,10 @@ func run() error {
 		}
 		extra := ""
 		if cfg.inflight {
-			extra = fmt.Sprintf(" attaches=%d", res.InflightAttaches)
+			extra += fmt.Sprintf(" attaches=%d", res.InflightAttaches)
+		}
+		if res.ParallelRuns > 0 {
+			extra += fmt.Sprintf(" parallel=%d(clones=%d)", res.ParallelRuns, res.ParallelClones)
 		}
 		fmt.Printf("policy=%-8s clients=%d workers=%d fq4=%.0f%%: %d queries in %v (%.1f q/min) %v%s\n",
 			cfg.label, *clientsFlag, *workersFlag, *fq4Flag*100,
@@ -120,6 +138,12 @@ func configByName(name string) (runConfig, error) {
 		return runConfig{label: name, pol: policy.ModelGuided{Env: env}}, nil
 	case "inflight":
 		return runConfig{label: name, pol: policy.ModelGuided{Env: env}, inflight: true}, nil
+	case "parallel":
+		return runConfig{label: name, pol: policy.Parallel{Clones: *workersFlag}}, nil
+	case "hybrid":
+		// The full system: model-guided share / parallelize / run-alone,
+		// with mid-scan attach so staggered arrivals can still share.
+		return runConfig{label: name, pol: policy.ModelGuided{Env: env, MaxDegree: *workersFlag}, inflight: true}, nil
 	case "always":
 		return runConfig{label: name, pol: policy.Always{}}, nil
 	case "never":

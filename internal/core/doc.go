@@ -69,4 +69,26 @@
 // x_shared(adj; m, n) > x_unshared(m, n). With f = 1 this reduces exactly
 // to the Section 8 submission-time test Z(m, n) > 1. See
 // policy.ModelGuided.ShouldAttach and engine.AttachPolicy.
+//
+// # Share vs parallelize (beyond the paper)
+//
+// Sharing is only half of the paper's question: on a multicore the real
+// alternative to merging m queries into one serial shared pipeline is
+// running them unshared but parallelized. The reproduction therefore also
+// models intra-query parallelism: a query split into d partitioned clones
+// (disjoint morsels of its scan dispensed to competing clone pipelines,
+// partial operators fanning into one serial merge node) has bottleneck
+// work p_max/d but an extra serial merge stage costing the pivot's s — so
+// its peak rate saturates at 1/s, and under processor saturation it
+// degrades to the plain unshared rate because partitioning conserves work
+// (ParallelX). Choose evaluates all three regimes — serial shared cost
+// s·m, parallel unshared cost w/d under the current load, serial alone —
+// and returns share / parallelize / run-alone plus the winning degree:
+// idle contexts favor parallelizing (rate is the constraint), saturation
+// favors sharing (work elimination is the constraint). The engine realizes
+// each decision physically: sharing through pivot fan-out and the circular
+// scan registry, parallelism through the morsel dispenser, per-clone
+// partial operators, and the synthesized merge node. See
+// policy.ModelGuided (MaxDegree), engine.ParallelPolicy, and
+// storage.MorselDispenser.
 package core

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the analytical model with the alternative the paper's
+// title poses against sharing: intra-query parallelism. Instead of merging
+// m queries into one serial shared pipeline (whose pivot pays s per
+// consumer, total s·m), each query can be split into d partitioned clones
+// that divide its work w by d and fan back in through a serial merge node.
+// The model predicts the rate of both regimes under the current load and
+// lets a policy pick share / parallelize / run-alone per query.
+
+// ParallelPMax returns the bottleneck per-progress work of one query split
+// into d partitioned clones. Every pipeline stage's work spreads evenly
+// over the d clones (each reads a disjoint 1/d of the input), but the
+// synthesized merge node that fans clone outputs back in stays serial,
+// absorbing the combined clone output at the pivot's per-consumer cost s —
+// so parallel speedup saturates at p_max/s no matter how large d grows.
+func ParallelPMax(q Query, d int) float64 {
+	if d < 1 {
+		d = 1
+	}
+	f := float64(d)
+	pm := q.PivotP(1) / f
+	for _, p := range q.Below {
+		pm = math.Max(pm, p/f)
+	}
+	for _, p := range q.Above {
+		pm = math.Max(pm, p/f)
+	}
+	return math.Max(pm, q.PivotS)
+}
+
+// ParallelUPrime returns the total work per unit of forward progress of one
+// query split into d clones: the clones together perform the query's own u'
+// (partitioning eliminates nothing), plus the merge node's fan-in work s.
+func ParallelUPrime(q Query, d int) float64 {
+	if d <= 1 {
+		return q.UPrime()
+	}
+	return q.UPrime() + q.PivotS
+}
+
+// ParallelX returns x_parallel(m,d,n): the aggregate rate of forward
+// progress of m copies of q, each executing unshared as d partitioned
+// clones, on env. Parallelism buys rate (the bottleneck shrinks toward
+// p_max/d) but not work — under saturation the n/u' term governs and
+// splitting only adds the merge overhead, which is exactly why sharing wins
+// back the high-load regime.
+func ParallelX(q Query, m, d int, env Env) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return rate(float64(m), ParallelPMax(q, d), float64(m)*ParallelUPrime(q, d), env.EffectiveUnshared())
+}
+
+// ParallelSpeedup returns the predicted speedup of splitting one query into
+// d clones on an otherwise idle env: x_parallel(1,d,n)/x_unshared(1,n).
+func ParallelSpeedup(q Query, d int, env Env) float64 {
+	base := UnsharedX(q, 1, env)
+	if base == 0 {
+		return 1
+	}
+	return ParallelX(q, 1, d, env) / base
+}
+
+// Decision is the model's per-query execution recommendation.
+type Decision int
+
+const (
+	// RunAlone executes the query serially and unshared.
+	RunAlone Decision = iota
+	// Share merges the query into a sharing group at its pivot.
+	Share
+	// Parallelize splits the query into partitioned clones.
+	Parallelize
+)
+
+// String returns a short label for reports.
+func (d Decision) String() string {
+	switch d {
+	case RunAlone:
+		return "run-alone"
+	case Share:
+		return "share"
+	case Parallelize:
+		return "parallelize"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Choose evaluates the three execution regimes for m copies of q on env —
+// serial shared (the pivot pays s·m), parallel unshared (each copy's
+// bottleneck work drops toward w/d), and serial unshared — and returns the
+// predicted-fastest, with the clone degree to use when parallelizing
+// (degree 1 otherwise). maxDegree caps the parallel search (typically the
+// processor count). Simpler regimes win ties, so Parallelize must strictly
+// beat both Share and RunAlone: clones are never spawned for a predicted
+// wash.
+func Choose(q Query, m, maxDegree int, env Env) (Decision, int, float64) {
+	if m < 1 {
+		m = 1
+	}
+	best, degree, x := RunAlone, 1, UnsharedX(q, m, env)
+	if m >= 2 {
+		if xs := SharedX(q, m, env); xs > x {
+			best, x = Share, xs
+		}
+	}
+	for d := 2; d <= maxDegree; d++ {
+		if xp := ParallelX(q, m, d, env); xp > x {
+			best, degree, x = Parallelize, d, xp
+		}
+	}
+	return best, degree, x
+}

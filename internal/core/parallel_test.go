@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Splitting a query must help on an idle multicore (the bottleneck divides
+// by d) and saturate at the serial merge floor p_max/s.
+func TestParallelSpeedupShape(t *testing.T) {
+	q := Q6Paper() // w=9.66, s=10.34, above 0.97; p_max = 20
+	env := NewEnv(8)
+	s2 := ParallelSpeedup(q, 2, env)
+	s4 := ParallelSpeedup(q, 4, env)
+	if s2 <= 1 {
+		t.Fatalf("degree-2 speedup %g, want > 1", s2)
+	}
+	if s4 < s2 {
+		t.Fatalf("speedup not monotone: d=2 %g, d=4 %g", s2, s4)
+	}
+	// Merge floor: x_parallel can never exceed 1/s per query.
+	ceiling := q.PMax() / q.PivotS
+	for d := 2; d <= 32; d++ {
+		if sp := ParallelSpeedup(q, d, env); sp > ceiling+1e-9 {
+			t.Fatalf("d=%d speedup %g exceeds merge-floor ceiling %g", d, sp, ceiling)
+		}
+	}
+	// Degree 1 is never better than plain serial execution.
+	if x1, xu := ParallelX(q, 1, 1, env), UnsharedX(q, 1, env); x1 > xu+1e-12 {
+		t.Fatalf("ParallelX(d=1) %g > UnsharedX %g", x1, xu)
+	}
+}
+
+// Under saturation parallelism buys nothing (work is conserved), so the
+// saturated rate with clones must not beat the saturated serial rate.
+func TestParallelConservesWorkUnderSaturation(t *testing.T) {
+	q := Q6Paper()
+	env := NewEnv(2)
+	m := 16 // far beyond what 2 processors can serve at peak
+	xp := ParallelX(q, m, 4, env)
+	xu := UnsharedX(q, m, env)
+	if xp > xu+1e-12 {
+		t.Fatalf("saturated parallel %g beats saturated serial %g", xp, xu)
+	}
+}
+
+// The defining crossover: at low load the model parallelizes (idle
+// processors make rate the constraint), at high load it shares (work
+// elimination is all that matters once saturated). Q4's coefficients —
+// heavy work below the pivot, tiny per-consumer s — show both regimes on
+// one machine.
+func TestChooseCrossover(t *testing.T) {
+	q := Query{
+		Name:   "q4-like",
+		Below:  []float64{12, 8},
+		PivotW: 10,
+		PivotS: 0.01,
+		Above:  []float64{0.4},
+	}
+	env := NewEnv(4)
+	decLow, dLow, _ := Choose(q, 1, 4, env)
+	if decLow != Parallelize || dLow < 2 {
+		t.Fatalf("m=1: Choose = %v degree %d, want parallelize with degree ≥ 2", decLow, dLow)
+	}
+	decHigh, _, _ := Choose(q, 8, 4, env)
+	if decHigh != Share {
+		t.Fatalf("m=8: Choose = %v, want share", decHigh)
+	}
+}
+
+// On one processor nothing can beat serial execution: no idle contexts to
+// parallelize onto, and Choose must not fabricate clones.
+func TestChooseSingleProcessorNeverParallelizes(t *testing.T) {
+	env := NewEnv(1)
+	for _, q := range []Query{Q6Paper(), Fig3Query()} {
+		for m := 1; m <= 8; m++ {
+			dec, d, _ := Choose(q, m, 8, env)
+			if dec == Parallelize {
+				t.Fatalf("%s m=%d: parallelize degree %d on 1 processor", q.Name, m, d)
+			}
+		}
+	}
+}
+
+// Choose returns the max of the three modeled arms, so a hybrid policy that
+// follows it is by construction within any tolerance of the better of
+// always-share and always-parallelize at every swept point.
+func TestChooseDominatesStaticArms(t *testing.T) {
+	q := Q6Paper()
+	for _, n := range []float64{1, 2, 4, 8} {
+		env := NewEnv(n)
+		for m := 1; m <= 12; m++ {
+			_, _, x := Choose(q, m, int(n), env)
+			xs := SharedX(q, m, env)
+			var xpBest float64
+			for d := 2; d <= int(n); d++ {
+				xpBest = math.Max(xpBest, ParallelX(q, m, d, env))
+			}
+			if m >= 2 && x < xs-1e-12 {
+				t.Fatalf("n=%g m=%d: chosen %g below shared %g", n, m, x, xs)
+			}
+			if x < xpBest-1e-12 {
+				t.Fatalf("n=%g m=%d: chosen %g below parallel best %g", n, m, x, xpBest)
+			}
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for dec, want := range map[Decision]string{
+		RunAlone:     "run-alone",
+		Share:        "share",
+		Parallelize:  "parallelize",
+		Decision(42): "Decision(42)",
+	} {
+		if got := dec.String(); got != want {
+			t.Fatalf("Decision(%d).String() = %q, want %q", int(dec), got, want)
+		}
+	}
+}

@@ -60,6 +60,41 @@ type SharePolicy interface {
 	ShouldJoin(q core.Query, m int) bool
 }
 
+// ParallelPolicy extends SharePolicy with the share-vs-parallelize
+// decision: when a query will not join a sharing group, the engine asks the
+// policy for a clone degree and, if it exceeds 1 (and the plan supports
+// partitioned execution), runs the query unshared as that many partitioned
+// clones fanning into a synthesized merge node.
+type ParallelPolicy interface {
+	SharePolicy
+	// Degree returns the partitioned clone degree (1 = serial) for a query
+	// executing unshared while load queries (including it) are active.
+	Degree(q core.Query, load int) int
+}
+
+// LoadAwarePolicy lets a policy weigh group admission against the engine's
+// current load rather than only the prospective group size. Closed-loop
+// traffic grows groups one arrival at a time, so a pure m-based test
+// evaluates sharing at m = 2 even when eight queries are in flight — and a
+// hybrid share-vs-parallelize policy would then refuse the group it should
+// anchor. When a policy implements this interface the engine consults
+// ShouldJoinUnderLoad instead of ShouldJoin at submission time.
+type LoadAwarePolicy interface {
+	SharePolicy
+	// ShouldJoinUnderLoad reports whether a query should join a group that
+	// would then have m members, while load queries (including this one)
+	// are active engine-wide. canParallel reports whether the plan could
+	// alternatively run as partitioned clones — when false the policy must
+	// not refuse sharing in favor of a parallelize arm the engine cannot
+	// realize (the refusal would silently degrade to run-alone).
+	ShouldJoinUnderLoad(q core.Query, m, load int, canParallel bool) bool
+	// ShouldAttachUnderLoad is the in-flight counterpart: whether to attach
+	// to a scan with the given remaining shared fraction when the group
+	// would have m live members and load queries are active. Policies
+	// without in-flight reasoning can delegate to their ShouldAttach.
+	ShouldAttachUnderLoad(q core.Query, m int, remaining float64, load int, canParallel bool) bool
+}
+
 // AttachPolicy extends SharePolicy with the in-flight admission test:
 // whether a query should attach to a scan already in progress, given the
 // fraction of the table it would genuinely share (the residual circle of
@@ -156,8 +191,11 @@ type Engine struct {
 
 	mu               sync.Mutex
 	joinable         map[string]*shareGroup
+	active           int
 	completed        int64
 	inflightAttaches int64
+	parallelRuns     int64
+	parallelClones   int64
 }
 
 // New creates and starts an engine emulating opts.Workers processors.
@@ -208,6 +246,29 @@ func (e *Engine) InflightAttaches() int64 {
 	return e.inflightAttaches
 }
 
+// ParallelRuns returns the number of queries executed as partitioned
+// clones since startup.
+func (e *Engine) ParallelRuns() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parallelRuns
+}
+
+// ParallelClones returns the total clone pipelines spawned for parallel
+// runs since startup (Σ degree over ParallelRuns).
+func (e *Engine) ParallelClones() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parallelClones
+}
+
+// Active returns the number of submitted queries not yet completed.
+func (e *Engine) Active() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.active
+}
+
 // ScanRegistry exposes the engine's circular scan registry for monitoring.
 func (e *Engine) ScanRegistry() *storage.ScanRegistry { return e.scans }
 
@@ -242,15 +303,22 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				// inherit the doomed group's error.
 				if ap, ok := policy.(AttachPolicy); ok && g.firstError() == nil {
 					remaining, active, live := g.inflight.scan.Remaining()
+					admit := func() bool {
+						if lap, ok := policy.(LoadAwarePolicy); ok {
+							return lap.ShouldAttachUnderLoad(spec.Model, active+1, remaining, e.active+1, spec.CanParallel())
+						}
+						return ap.ShouldAttach(spec.Model, active+1, remaining)
+					}
 					if live &&
 						(e.opts.MaxGroupSize == 0 || active < e.opts.MaxGroupSize) &&
-						ap.ShouldAttach(spec.Model, active+1, remaining) {
+						admit() {
 						attached, err := e.attachInflightLocked(g, spec, h)
 						if err != nil {
 							return nil, err
 						}
 						if attached {
 							e.inflightAttaches++
+							e.active++
 							return h, nil
 						}
 						// The scan finished between the consult and the
@@ -262,14 +330,36 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				canJoin := !g.started && (e.opts.MaxGroupSize == 0 || g.size < e.opts.MaxGroupSize)
 				m := g.size + 1
 				g.mu.Unlock()
-				if canJoin && policy.ShouldJoin(spec.Model, m) {
+				if canJoin {
+					if lap, ok := policy.(LoadAwarePolicy); ok {
+						canJoin = lap.ShouldJoinUnderLoad(spec.Model, m, e.active+1, spec.CanParallel())
+					} else {
+						canJoin = policy.ShouldJoin(spec.Model, m)
+					}
+				}
+				if canJoin {
 					if err := e.attachLocked(g, spec, h); err != nil {
 						return nil, err
 					}
+					e.active++
 					return h, nil
 				}
 			}
 		}
+	}
+	// Not sharing. The share-vs-parallelize decision: an explicit spec
+	// degree wins, else a ParallelPolicy chooses one under the current load;
+	// degree > 1 on a parallelizable plan runs partitioned clones instead of
+	// the serial pipeline. Parallel runs are never joinable — they are the
+	// unshared alternative the model weighs sharing against.
+	if d := e.parallelDegreeLocked(spec, policy); d > 1 {
+		if err := e.newParallelGroupLocked(spec, h, d); err != nil {
+			return nil, err
+		}
+		e.parallelRuns++
+		e.parallelClones += int64(d)
+		e.active++
+		return h, nil
 	}
 	g, err := e.newGroupLocked(spec, h, policy != nil)
 	if err != nil {
@@ -278,7 +368,30 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	if policy != nil {
 		e.joinable[spec.Signature] = g
 	}
+	e.active++
 	return h, nil
+}
+
+// parallelDegreeLocked resolves the clone degree for an unshared execution
+// of spec: the spec's explicit request, else the policy's choice, clamped
+// to the emulated processor count. Caller holds e.mu.
+func (e *Engine) parallelDegreeLocked(spec QuerySpec, policy SharePolicy) int {
+	if !spec.CanParallel() {
+		return 1
+	}
+	d := spec.Parallel
+	if d == 0 {
+		if pp, ok := policy.(ParallelPolicy); ok {
+			d = pp.Degree(spec.Model, e.active+1)
+		}
+	}
+	if d > e.opts.Workers {
+		d = e.opts.Workers
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
 }
 
 // newGroupLocked instantiates the shared sub-plan and the first member's
@@ -458,7 +571,20 @@ func (e *Engine) buildChain(g *shareGroup, spec QuerySpec, h *Handle) (*PageQueu
 	if err != nil {
 		return nil, nil, err
 	}
-	sink := &sinkTask{in: cur, result: storage.NewBatch(rootSchema, 0)}
+	sink := e.newSinkTask(g, h, cur, rootSchema)
+	start := func() {
+		for _, p := range ops {
+			e.sched.Spawn(p.name, p.body.step)
+		}
+		e.sched.Spawn(spec.Signature+"/sink", sink.step)
+	}
+	return in, start, nil
+}
+
+// newSinkTask builds the sink that drains in into one member's result batch
+// and completes its handle (with the group's first error, if any).
+func (e *Engine) newSinkTask(g *shareGroup, h *Handle, in *PageQueue, schema storage.Schema) *sinkTask {
+	sink := &sinkTask{in: in, result: storage.NewBatch(schema, 0)}
 	sink.complete = func(res *storage.Batch) {
 		err := g.firstError()
 		h.mu.Lock()
@@ -468,19 +594,14 @@ func (e *Engine) buildChain(g *shareGroup, spec QuerySpec, h *Handle) (*PageQueu
 		h.mu.Unlock()
 		e.mu.Lock()
 		e.completed++
+		e.active--
 		e.mu.Unlock()
 		close(h.done)
 		if h.onDone != nil {
 			h.onDone(res, err)
 		}
 	}
-	start := func() {
-		for _, p := range ops {
-			e.sched.Spawn(p.name, p.body.step)
-		}
-		e.sched.Spawn(spec.Signature+"/sink", sink.step)
-	}
-	return in, start, nil
+	return sink
 }
 
 // sealGroup marks a group started and un-joinable. For submission-time

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// This file implements intra-query parallelism, the alternative the paper's
+// title weighs sharing against: instead of merging m queries into one
+// serial shared pipeline, a single query runs as d partitioned clone
+// pipelines. A morsel dispenser (registered in the same ScanRegistry as the
+// in-flight circular scans, so both kinds of scan coexist) hands each clone
+// disjoint spans of the base table; every clone runs the plan's
+// row-local operators plus the root's Partial form over its share; all
+// clones emit into one bounded fan-in queue; and a synthesized Merge node
+// combines the partial states into exactly the serial plan's output.
+
+// partitionedSource adapts one clone's table reader to the group's shared
+// morsel dispenser: every Next claims the next unclaimed span, so the d
+// clones collectively read the table exactly once.
+type partitionedSource struct {
+	src *tableSource
+	md  *storage.MorselDispenser
+}
+
+// Schema implements PageSource.
+func (p *partitionedSource) Schema() storage.Schema { return p.src.Schema() }
+
+// Next implements PageSource: one dispensed span per quantum.
+func (p *partitionedSource) Next() (*storage.Batch, bool, error) {
+	sp, ok := p.md.Next()
+	if !ok {
+		return nil, true, nil
+	}
+	b, err := p.src.readSpan(sp.Lo, sp.Hi)
+	return b, false, err
+}
+
+// fanInCloser closes the clones' shared fan-in queue once the last clone
+// retires its outbox — closing on the first clone's finish would cut off
+// its siblings mid-scan.
+type fanInCloser struct {
+	mu sync.Mutex
+	n  int
+	q  *PageQueue
+}
+
+func (f *fanInCloser) retire() {
+	f.mu.Lock()
+	f.n--
+	last := f.n == 0
+	f.mu.Unlock()
+	if last {
+		f.q.Close()
+	}
+}
+
+// newParallelGroupLocked executes spec as d partitioned clone pipelines
+// fanning into a synthesized merge node. The run is a group of one — it is
+// the unshared alternative — so it is born sealed and never joinable.
+// Caller holds e.mu; the caller has already validated spec.CanParallel()
+// and clamped d.
+func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int) error {
+	scanNode := spec.Nodes[0]
+	root := spec.Nodes[len(spec.Nodes)-1]
+	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1, started: true}
+
+	// One reader per clone plus a probe to learn the page quantum the
+	// dispenser should hand out.
+	probe, err := scanNode.Scan.newSource()
+	if err != nil {
+		return err
+	}
+	key := scanNode.Scan.Table.Name + "/" + spec.Signature
+	md := e.scans.PublishPartitioned(key, scanNode.Scan.Table.NumRows(), probe.pageRows)
+	ok := false
+	defer func() {
+		if !ok {
+			md.Close()
+		}
+	}()
+
+	fanIn := NewPageQueue(e.sched, spec.Signature+"/fan-in", e.opts.QueueCap)
+	closer := &fanInCloser{n: d, q: fanIn}
+	// A failed clone or merge stops draining queues; closing the dispenser
+	// and the fan-in queue lets every surviving task run off the end instead
+	// of parking forever (closed queues discard pushes).
+	g.onFail = func() {
+		md.Close()
+		fanIn.Close()
+	}
+
+	// Merge node and sink, wired before any clone spawns so the fan-in
+	// queue has its consumer from the start.
+	mergeName := root.Name + "/merge"
+	mergeOut := NewPageQueue(e.sched, mergeName+"-out", e.opts.QueueCap)
+	mergeOb := &outbox{outs: []*PageQueue{mergeOut}}
+	mop, err := root.Merge(func(b *storage.Batch) error { mergeOb.add(b); return nil })
+	if err != nil {
+		return err
+	}
+	mergeBody := &opTask{name: mergeName, push: mop.Push, finish: mop.Finish, in: fanIn, out: mergeOb, clock: e.clock, fail: g.fail}
+	sink := e.newSinkTask(g, h, mergeOut, mop.OutSchema())
+
+	// Build all d clone pipelines before spawning anything, so a mid-build
+	// error leaves no orphaned tasks.
+	type pending struct {
+		name string
+		step func(*Task) Status
+	}
+	var spawns []pending
+	for c := 0; c < d; c++ {
+		src, err := scanNode.Scan.newSource()
+		if err != nil {
+			return err
+		}
+		scanOut := NewPageQueue(e.sched, scanNode.Name, e.opts.QueueCap)
+		scanBody := &sourceTask{
+			name:  scanNode.Name,
+			src:   &partitionedSource{src: src, md: md},
+			out:   &outbox{outs: []*PageQueue{scanOut}},
+			clock: e.clock,
+			fail:  g.fail,
+		}
+		spawns = append(spawns, pending{scanNode.Name, scanBody.step})
+		cur := scanOut
+		// Interior nodes run their plain (partition-safe) operator per clone.
+		for i := 1; i < len(spec.Nodes)-1; i++ {
+			nd := spec.Nodes[i]
+			q := NewPageQueue(e.sched, nd.Name, e.opts.QueueCap)
+			ob := &outbox{outs: []*PageQueue{q}}
+			op, err := nd.Op(func(b *storage.Batch) error { ob.add(b); return nil })
+			if err != nil {
+				return err
+			}
+			body := &opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: cur, out: ob, clock: e.clock, fail: g.fail}
+			spawns = append(spawns, pending{nd.Name, body.step})
+			cur = q
+		}
+		// The root runs its Partial form, emitting into the shared fan-in.
+		pob := &outbox{outs: []*PageQueue{fanIn}, retire: closer.retire}
+		pop, err := root.Partial(func(b *storage.Batch) error { pob.add(b); return nil })
+		if err != nil {
+			return err
+		}
+		body := &opTask{name: root.Name, push: pop.Push, finish: pop.Finish, in: cur, out: pob, clock: e.clock, fail: g.fail}
+		spawns = append(spawns, pending{root.Name, body.step})
+	}
+
+	ok = true
+	for _, p := range spawns {
+		e.sched.Spawn(p.name, p.step)
+	}
+	e.sched.Spawn(mergeName, mergeBody.step)
+	e.sched.Spawn(spec.Signature+"/sink", sink.step)
+	return nil
+}
+
+var _ PageSource = (*partitionedSource)(nil)

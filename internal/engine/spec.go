@@ -72,6 +72,16 @@ type NodeSpec struct {
 	Op OpFactory
 	// Input is the child node index for unary operators.
 	Input int
+	// Partial and Merge, when both set on the root operator of a
+	// parallelizable spec, are its clone-local and fan-in forms: under
+	// parallel execution each clone runs Partial over its partition of the
+	// scan and the clone outputs fan in through one synthesized Merge node,
+	// which must emit exactly what Op over the whole input would have
+	// (e.g. relop.NewPartialHashAgg / relop.NewMergeHashAgg). Nodes between
+	// the scan and the root run their plain Op per clone and must therefore
+	// be partition-safe — row-local operators like Filter and Project.
+	Partial OpFactory
+	Merge   OpFactory
 	// Join makes this node a binary build/probe operator.
 	Join JoinFactory
 	// BuildInput and ProbeInput are the child node indices for joins.
@@ -117,6 +127,11 @@ type QuerySpec struct {
 	// Model carries the query's analytical-model coefficients, used by
 	// model-guided sharing policies at admission time.
 	Model core.Query
+	// Parallel requests unshared execution as this many partitioned clones
+	// (0 = let the submission policy decide, 1 = force serial). Degrees
+	// above 1 require a parallelizable plan (see CanParallel) and are
+	// clamped to the engine's worker count at submission.
+	Parallel int
 }
 
 // Spec validation errors.
@@ -124,12 +139,36 @@ var (
 	ErrBadSpec = errors.New("engine: invalid query spec")
 )
 
+// CanParallel reports whether the spec can run as partitioned clones: the
+// plan is a linear chain rooted at a declared base-table scan (node 0), so
+// morsels of the scan can be dispensed to clones, and the root operator
+// provides the Partial/Merge pair the synthesized fan-in needs.
+func (q QuerySpec) CanParallel() bool {
+	if len(q.Nodes) < 2 || q.Nodes[0].Scan == nil {
+		return false
+	}
+	for i := 1; i < len(q.Nodes); i++ {
+		if q.Nodes[i].Op == nil || q.Nodes[i].Input != i-1 {
+			return false
+		}
+	}
+	root := q.Nodes[len(q.Nodes)-1]
+	return root.Partial != nil && root.Merge != nil
+}
+
 // Validate checks structural constraints: node kinds, topological child
-// references, single consumption of every non-root node, and a linear
-// private chain above the pivot.
+// references, single consumption of every non-root node, a linear private
+// chain above the pivot, and a parallelizable plan when a clone degree is
+// requested.
 func (q QuerySpec) Validate() error {
 	if len(q.Nodes) == 0 {
 		return fmt.Errorf("%w: no nodes", ErrBadSpec)
+	}
+	if q.Parallel < 0 {
+		return fmt.Errorf("%w: negative parallel degree %d", ErrBadSpec, q.Parallel)
+	}
+	if q.Parallel > 1 && !q.CanParallel() {
+		return fmt.Errorf("%w: parallel degree %d on a non-parallelizable plan", ErrBadSpec, q.Parallel)
 	}
 	if q.Pivot < 0 || q.Pivot >= len(q.Nodes) {
 		return fmt.Errorf("%w: pivot %d out of range", ErrBadSpec, q.Pivot)

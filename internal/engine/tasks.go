@@ -19,8 +19,12 @@ type outbox struct {
 	nextConsumer int
 	copyOnFanOut bool
 	onFirstEmit  func()
-	emitted      bool
-	closed       bool
+	// retire, when set, replaces queue closure in closeAll: parallel clones
+	// share one fan-in queue, which must close only after the last clone
+	// retires (see fanInCloser), not when the first one finishes.
+	retire  func()
+	emitted bool
+	closed  bool
 }
 
 // add buffers a batch for delivery. The first add seals the sharing group
@@ -87,12 +91,22 @@ func (o *outbox) flush(t *Task) bool {
 	return true
 }
 
-// closeAll closes every consumer queue (idempotent).
+// closeAll closes every consumer queue, or defers to the retire hook when
+// one is set (idempotent either way).
 func (o *outbox) closeAll() {
 	o.mu.Lock()
-	outs := append([]*PageQueue(nil), o.outs...)
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
 	o.closed = true
+	outs := append([]*PageQueue(nil), o.outs...)
+	retire := o.retire
 	o.mu.Unlock()
+	if retire != nil {
+		retire()
+		return
+	}
 	for _, q := range outs {
 		q.Close()
 	}
@@ -308,9 +322,7 @@ func (sk *sinkTask) step(t *Task) Status {
 		b, ok, done := sk.in.TryPop(t)
 		switch {
 		case ok:
-			for i := 0; i < b.Len(); i++ {
-				sk.result.AppendBatchRow(b, i)
-			}
+			sk.result.AppendBatch(b)
 		case done:
 			sk.complete(sk.result)
 			return Done

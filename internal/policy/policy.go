@@ -28,19 +28,124 @@ func (Never) ShouldJoin(core.Query, int) bool { return false }
 // ShouldAttach implements engine.AttachPolicy: never attach.
 func (Never) ShouldAttach(core.Query, int, float64) bool { return false }
 
+// Parallel never shares and runs every parallelizable query as a fixed
+// number of partitioned clones — the pure intra-query-parallelism baseline
+// the ablation benchmarks pit against serial sharing.
+type Parallel struct {
+	// Clones is the clone degree every query requests (values below 2 leave
+	// execution serial; the engine clamps to its worker count).
+	Clones int
+}
+
+// ShouldJoin implements engine.SharePolicy: never share.
+func (Parallel) ShouldJoin(core.Query, int) bool { return false }
+
+// ShouldAttach implements engine.AttachPolicy: never attach.
+func (Parallel) ShouldAttach(core.Query, int, float64) bool { return false }
+
+// Degree implements engine.ParallelPolicy: the fixed clone degree.
+func (p Parallel) Degree(core.Query, int) int { return p.Clones }
+
 // ModelGuided admits a query to a group of prospective size m only when the
 // model predicts shared execution of m copies beats independent execution on
 // this hardware: Z(m, n) > 1 (Section 8.1's admission test; if no group
 // permits sharing the engine starts the query independently, where it may be
-// joined later).
+// joined later). With MaxDegree > 1 it becomes the hybrid
+// share-vs-parallelize policy: every admission evaluates all three regimes
+// (serial shared cost s·m, parallel unshared cost w/d under the current
+// load, serial alone) via core.Choose and the query shares only when
+// sharing is the predicted-fastest, parallelizes when splitting is, and
+// runs alone otherwise.
 type ModelGuided struct {
 	// Env is the hardware the model evaluates against.
 	Env core.Env
+	// MaxDegree caps the clone degree of the parallelize arm; 0 or 1
+	// disables it, restoring the paper's pure share-vs-alone test.
+	MaxDegree int
 }
 
 // ShouldJoin implements engine.SharePolicy.
 func (p ModelGuided) ShouldJoin(q core.Query, m int) bool {
+	if p.MaxDegree > 1 {
+		dec, _, _ := core.Choose(q, m, p.MaxDegree, p.Env)
+		return dec == core.Share
+	}
 	return core.ShouldShare(q, m, p.Env)
+}
+
+// ShouldJoinUnderLoad implements engine.LoadAwarePolicy. The hybrid policy
+// evaluates the share arm at the larger of the prospective group size and
+// the engine's current load: under closed-loop traffic a group grows one
+// arrival at a time, and judging sharing at m=2 while eight queries are in
+// flight would starve the group the model wants at load 8. The parallelize
+// arm competes only when the plan can actually run as clones — refusing to
+// share in favor of an infeasible regime would degrade to run-alone.
+// Without a parallel arm this reduces to the plain m-based Section 8 test.
+func (p ModelGuided) ShouldJoinUnderLoad(q core.Query, m, load int, canParallel bool) bool {
+	if p.MaxDegree <= 1 {
+		return p.ShouldJoin(q, m)
+	}
+	if load > m {
+		m = load
+	}
+	maxD := 1
+	if canParallel {
+		maxD = p.MaxDegree
+	}
+	dec, _, _ := core.Choose(q, m, maxD, p.Env)
+	return dec == core.Share
+}
+
+// ShouldAttachUnderLoad implements engine.LoadAwarePolicy for in-flight
+// admission. The hybrid evaluates the attach at the effective group size
+// (the larger of the live member count and the engine load, since under
+// closed-loop traffic everyone who keeps arriving will face the same
+// choice) with the per-consumer cost inflated by the wrap-around re-scan,
+// and attaches only when that adjusted shared rate beats both unshared
+// arms — running the copies alone and splitting each into clones. Without
+// a parallel arm this reduces to the plain ShouldAttach test.
+func (p ModelGuided) ShouldAttachUnderLoad(q core.Query, m int, remaining float64, load int, canParallel bool) bool {
+	if p.MaxDegree <= 1 {
+		return p.ShouldAttach(q, m, remaining)
+	}
+	if remaining <= 0 || m < 1 {
+		return false
+	}
+	if remaining > 1 {
+		remaining = 1
+	}
+	eff := m
+	if load > eff {
+		eff = load
+	}
+	adj := q
+	adj.PivotS = q.PivotS + (1-remaining)*q.PivotW/float64(eff)
+	xs := core.SharedX(adj, eff, p.Env)
+	if xs <= core.UnsharedX(q, eff, p.Env) {
+		return false
+	}
+	if canParallel {
+		for d := 2; d <= p.MaxDegree; d++ {
+			if core.ParallelX(q, eff, d, p.Env) >= xs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Degree implements engine.ParallelPolicy: the clone degree for a query
+// executing unshared under the given load, 1 unless the model predicts
+// parallelizing beats both sharing and running alone.
+func (p ModelGuided) Degree(q core.Query, load int) int {
+	if p.MaxDegree <= 1 {
+		return 1
+	}
+	dec, d, _ := core.Choose(q, load, p.MaxDegree, p.Env)
+	if dec == core.Parallelize {
+		return d
+	}
+	return 1
 }
 
 // ShouldAttach implements engine.AttachPolicy, extending the Section 8
@@ -67,21 +172,30 @@ func (p ModelGuided) ShouldAttach(q core.Query, m int, remaining float64) bool {
 }
 
 // Every built-in policy supports both submission-time and in-flight
-// admission.
+// admission; Parallel and ModelGuided also drive clone-degree selection.
 var (
-	_ engine.AttachPolicy = Always{}
-	_ engine.AttachPolicy = Never{}
-	_ engine.AttachPolicy = ModelGuided{}
+	_ engine.AttachPolicy    = Always{}
+	_ engine.AttachPolicy    = Never{}
+	_ engine.AttachPolicy    = ModelGuided{}
+	_ engine.AttachPolicy    = Parallel{}
+	_ engine.ParallelPolicy  = Parallel{}
+	_ engine.ParallelPolicy  = ModelGuided{}
+	_ engine.LoadAwarePolicy = ModelGuided{}
 )
 
 // Name returns a short policy label for reports.
 func Name(p engine.SharePolicy) string {
-	switch p.(type) {
+	switch pol := p.(type) {
 	case Always:
 		return "always"
 	case Never, nil:
 		return "never"
+	case Parallel:
+		return "parallel"
 	case ModelGuided:
+		if pol.MaxDegree > 1 {
+			return "hybrid"
+		}
 		return "model"
 	default:
 		return "custom"

@@ -99,8 +99,92 @@ func TestName(t *testing.T) {
 	if Name(ModelGuided{}) != "model" {
 		t.Error("model name wrong")
 	}
+	if Name(ModelGuided{MaxDegree: 4}) != "hybrid" {
+		t.Error("hybrid name wrong")
+	}
+	if Name(Parallel{Clones: 4}) != "parallel" {
+		t.Error("parallel name wrong")
+	}
 	if Name(customPolicy{}) != "custom" {
 		t.Error("custom name wrong")
+	}
+}
+
+// The fixed parallel policy never shares and always reports its degree.
+func TestParallelPolicy(t *testing.T) {
+	p := Parallel{Clones: 4}
+	q := core.Q6Paper()
+	if p.ShouldJoin(q, 2) {
+		t.Error("parallel policy agreed to share")
+	}
+	if p.ShouldAttach(q, 2, 1.0) {
+		t.Error("parallel policy agreed to attach")
+	}
+	if got := p.Degree(q, 1); got != 4 {
+		t.Errorf("Degree = %d, want 4", got)
+	}
+}
+
+// Hybrid ModelGuided follows core.Choose on both arms: at low load on a
+// multicore it parallelizes a Q4-like query (heavy work, tiny s) rather
+// than share or run alone; at high load it shares and reports degree 1.
+func TestModelGuidedHybrid(t *testing.T) {
+	q := core.Query{
+		Name:   "q4-like",
+		Below:  []float64{12, 8},
+		PivotW: 10,
+		PivotS: 0.01,
+		Above:  []float64{0.4},
+	}
+	p := ModelGuided{Env: core.NewEnv(4), MaxDegree: 4}
+	if d := p.Degree(q, 1); d < 2 {
+		t.Errorf("idle machine: Degree = %d, want ≥ 2", d)
+	}
+	if p.ShouldJoin(q, 1) {
+		t.Error("joined a group of one")
+	}
+	if !p.ShouldJoin(q, 8) {
+		t.Error("refused to share at high load")
+	}
+	if d := p.Degree(q, 8); d != 1 {
+		t.Errorf("saturated machine: Degree = %d, want 1", d)
+	}
+	// MaxDegree ≤ 1 restores the pure share-vs-alone policy.
+	serial := ModelGuided{Env: core.NewEnv(4)}
+	if d := serial.Degree(q, 1); d != 1 {
+		t.Errorf("degree without parallel arm = %d, want 1", d)
+	}
+}
+
+// Load-aware admission: the hybrid judges the share arm at the system load,
+// so a group of two is joined when eight queries are in flight (the group
+// it anchors will grow), while an idle machine still refuses.
+func TestModelGuidedLoadAwareJoin(t *testing.T) {
+	// A scan-pivot query with cheap fan-out: at m=2 on four contexts the
+	// model prefers splitting into clones, but at load 8 sharing wins.
+	q := core.Query{
+		Name:   "cheap-fanout-scan",
+		PivotW: 10,
+		PivotS: 0.3,
+		Above:  []float64{0.5},
+	}
+	p := ModelGuided{Env: core.NewEnv(4), MaxDegree: 4}
+	if p.ShouldJoinUnderLoad(q, 2, 2, true) {
+		t.Error("joined at m=2 with no extra load (model prefers parallel there)")
+	}
+	if !p.ShouldJoinUnderLoad(q, 2, 8, true) {
+		t.Error("refused a group of 2 under load 8")
+	}
+	// When the plan cannot run as clones the parallelize arm must not veto
+	// sharing: share competes against run-alone only, so the decision under
+	// load 8 stays "share" regardless of feasibility.
+	if !p.ShouldJoinUnderLoad(q, 2, 8, false) {
+		t.Error("infeasible parallel arm vetoed a share that beats run-alone")
+	}
+	// Without the parallel arm, load is ignored (pure Section 8 test).
+	serial := ModelGuided{Env: core.NewEnv(4)}
+	if serial.ShouldJoinUnderLoad(q, 2, 8, true) != serial.ShouldJoin(q, 2) {
+		t.Error("plain model policy changed behavior under load")
 	}
 }
 

@@ -55,7 +55,10 @@ type AggSpec struct {
 
 // HashAgg is a hash-based grouping aggregate. It is a stop-&-go operator:
 // Push accumulates, Finish emits one row per group (deterministically
-// ordered by group key for reproducibility).
+// ordered by group key for reproducibility). In partial mode (see
+// NewPartialHashAgg) Finish instead emits raw accumulator state for a
+// downstream MergeHashAgg to combine — the clone-local half of a
+// partitioned parallel aggregation.
 type HashAgg struct {
 	groupBy   []string
 	specs     []AggSpec
@@ -64,6 +67,7 @@ type HashAgg struct {
 	groups    map[string]*aggState
 	emit      Emit
 	batchRows int
+	partial   bool
 	done      bool
 }
 
@@ -153,36 +157,11 @@ func (h *HashAgg) Push(b *storage.Batch) error {
 	}
 	var keyBuf strings.Builder
 	for row := 0; row < b.Len(); row++ {
-		keyBuf.Reset()
-		keyVals := make([]any, len(keyVecs))
-		for i, v := range keyVecs {
-			switch v.Type {
-			case storage.Int64, storage.Date:
-				fmt.Fprintf(&keyBuf, "i%d|", v.I64[row])
-				keyVals[i] = v.I64[row]
-			case storage.Float64:
-				fmt.Fprintf(&keyBuf, "f%g|", v.F64[row])
-				keyVals[i] = v.F64[row]
-			case storage.String:
-				fmt.Fprintf(&keyBuf, "s%q|", v.Str[row])
-				keyVals[i] = v.Str[row]
-			}
-		}
-		st := h.groups[keyBuf.String()]
+		key, keyVals := groupKeyAt(keyVecs, row, &keyBuf)
+		st := h.groups[key]
 		if st == nil {
-			st = &aggState{
-				keyVals: keyVals,
-				sums:    make([]float64, len(h.specs)),
-				counts:  make([]int64, len(h.specs)),
-				mins:    make([]float64, len(h.specs)),
-				maxs:    make([]float64, len(h.specs)),
-				seen:    make([]bool, len(h.specs)),
-			}
-			for i := range st.mins {
-				st.mins[i] = math.Inf(1)
-				st.maxs[i] = math.Inf(-1)
-			}
-			h.groups[keyBuf.String()] = st
+			st = newAggState(keyVals, len(h.specs))
+			h.groups[key] = st
 		}
 		for i, sp := range h.specs {
 			var x float64
@@ -203,33 +182,84 @@ func (h *HashAgg) Push(b *storage.Batch) error {
 	return nil
 }
 
-// Finish implements Operator: emits one row per group, ordered by key.
+// Finish implements Operator: emits one row per group, ordered by key. In
+// partial mode it emits raw accumulator state instead (and nothing at all
+// over empty input — the merge side synthesizes the empty-global row).
 func (h *HashAgg) Finish() error {
 	if h.done {
 		return ErrFinished
 	}
 	h.done = true
-	if len(h.groupBy) == 0 && len(h.groups) == 0 {
-		// Global aggregate over empty input: one row of zeros.
-		h.groups[""] = &aggState{
-			sums:   make([]float64, len(h.specs)),
-			counts: make([]int64, len(h.specs)),
-			mins:   make([]float64, len(h.specs)),
-			maxs:   make([]float64, len(h.specs)),
-			seen:   make([]bool, len(h.specs)),
+	if h.partial {
+		return emitPartialState(h.groups, h.specs, h.outSchema, h.batchRows, h.emit)
+	}
+	return emitFinalRows(h.groups, h.groupBy, h.specs, h.outSchema, h.batchRows, h.emit)
+}
+
+// groupKeyAt renders the group key of one row: the canonical string used as
+// the hash key plus the key values in group-by order.
+func groupKeyAt(keyVecs []storage.Vector, row int, buf *strings.Builder) (string, []any) {
+	buf.Reset()
+	keyVals := make([]any, len(keyVecs))
+	for i, v := range keyVecs {
+		switch v.Type {
+		case storage.Int64, storage.Date:
+			fmt.Fprintf(buf, "i%d|", v.I64[row])
+			keyVals[i] = v.I64[row]
+		case storage.Float64:
+			fmt.Fprintf(buf, "f%g|", v.F64[row])
+			keyVals[i] = v.F64[row]
+		case storage.String:
+			fmt.Fprintf(buf, "s%q|", v.Str[row])
+			keyVals[i] = v.Str[row]
 		}
 	}
-	keys := make([]string, 0, len(h.groups))
-	for k := range h.groups {
+	return buf.String(), keyVals
+}
+
+// newAggState allocates accumulator state for one group of n aggregates.
+func newAggState(keyVals []any, n int) *aggState {
+	st := &aggState{
+		keyVals: keyVals,
+		sums:    make([]float64, n),
+		counts:  make([]int64, n),
+		mins:    make([]float64, n),
+		maxs:    make([]float64, n),
+		seen:    make([]bool, n),
+	}
+	for i := range st.mins {
+		st.mins[i] = math.Inf(1)
+		st.maxs[i] = math.Inf(-1)
+	}
+	return st
+}
+
+// sortedGroupKeys returns the group hash keys in deterministic order.
+func sortedGroupKeys(groups map[string]*aggState) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := storage.NewBatch(h.outSchema, h.batchRows)
-	for _, k := range keys {
-		st := h.groups[k]
-		row := make([]any, 0, h.outSchema.Arity())
+	return keys
+}
+
+// emitFinalRows streams final aggregate rows, one per group ordered by key,
+// synthesizing the single zero row a global aggregate owes over empty input.
+// Shared by HashAgg and MergeHashAgg so serial and partial+merge execution
+// emit identical results.
+func emitFinalRows(groups map[string]*aggState, groupBy []string, specs []AggSpec, outSchema storage.Schema, batchRows int, emit Emit) error {
+	if len(groupBy) == 0 && len(groups) == 0 {
+		// Global aggregate over empty input: one row of zeros (unseen
+		// min/max render as 0 via zeroIfUnseen).
+		groups[""] = newAggState(nil, len(specs))
+	}
+	out := storage.NewBatch(outSchema, batchRows)
+	for _, k := range sortedGroupKeys(groups) {
+		st := groups[k]
+		row := make([]any, 0, outSchema.Arity())
 		row = append(row, st.keyVals...)
-		for i, sp := range h.specs {
+		for i, sp := range specs {
 			switch sp.Func {
 			case Sum:
 				row = append(row, st.sums[i])
@@ -250,15 +280,15 @@ func (h *HashAgg) Finish() error {
 		if err := out.AppendRow(row...); err != nil {
 			return err
 		}
-		if out.Len() >= h.batchRows {
-			if err := h.emit(out); err != nil {
+		if out.Len() >= batchRows {
+			if err := emit(out); err != nil {
 				return err
 			}
-			out = storage.NewBatch(h.outSchema, h.batchRows)
+			out = storage.NewBatch(outSchema, batchRows)
 		}
 	}
 	if out.Len() > 0 {
-		return h.emit(out)
+		return emit(out)
 	}
 	return nil
 }

@@ -29,9 +29,7 @@ type Operator interface {
 func Collect(s storage.Schema) (Emit, func() *storage.Batch) {
 	out := storage.NewBatch(s, 0)
 	emit := func(b *storage.Batch) error {
-		for i := 0; i < b.Len(); i++ {
-			out.AppendBatchRow(b, i)
-		}
+		out.AppendBatch(b)
 		return nil
 	}
 	return emit, func() *storage.Batch { return out }

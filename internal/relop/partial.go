@@ -1,0 +1,222 @@
+package relop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// This file implements the partial/merge split of the grouping aggregate,
+// the operator-level half of intra-query parallelism: d partitioned clones
+// each run a partial aggregate over their share of the input and emit raw
+// accumulator state; the clone outputs fan in through a single MergeHashAgg
+// that combines the states and emits exactly what one serial HashAgg over
+// the whole input would have. The split is exact (Avg carries its sum and
+// count separately), so partial-over-partitions + merge ≡ serial.
+
+// avgCountSuffix names the hidden count column an Avg aggregate adds to the
+// partial layout.
+const avgCountSuffix = ":count"
+
+// PartialAggSchema returns the schema of the partial-state batches a
+// partial aggregate emits: the group-by columns followed by one accumulator
+// column per aggregate — two for Avg, whose sum and count must travel
+// separately to merge exactly.
+func PartialAggSchema(in storage.Schema, groupBy []string, specs []AggSpec) (storage.Schema, error) {
+	var cols []storage.Column
+	for _, g := range groupBy {
+		i, err := in.Index(g)
+		if err != nil {
+			return storage.Schema{}, err
+		}
+		cols = append(cols, in.Cols[i])
+	}
+	for _, sp := range specs {
+		switch sp.Func {
+		case Count:
+			cols = append(cols, storage.Column{Name: sp.As, Type: storage.Int64})
+		case Sum, Min, Max:
+			cols = append(cols, storage.Column{Name: sp.As, Type: storage.Float64})
+		case Avg:
+			cols = append(cols,
+				storage.Column{Name: sp.As, Type: storage.Float64},
+				storage.Column{Name: sp.As + avgCountSuffix, Type: storage.Int64})
+		default:
+			return storage.Schema{}, fmt.Errorf("%w: unknown aggregate %d", ErrType, int(sp.Func))
+		}
+	}
+	return storage.NewSchema(cols...)
+}
+
+// NewPartialHashAgg builds the clone-local form of NewHashAgg: it
+// accumulates exactly like the serial aggregate but Finish emits raw
+// accumulator state in PartialAggSchema layout — one row per group, nothing
+// at all over empty input (the merge side synthesizes the empty-global
+// row). Feed its output to a MergeHashAgg built with the same arguments.
+func NewPartialHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit Emit) (*HashAgg, error) {
+	h, err := NewHashAgg(in, groupBy, specs, emit)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := PartialAggSchema(in, groupBy, specs)
+	if err != nil {
+		return nil, err
+	}
+	h.partial = true
+	h.outSchema = ps
+	h.batchRows = storage.RowsPerPage(ps, storage.DefaultPageSize)
+	return h, nil
+}
+
+// emitPartialState streams raw accumulator rows in PartialAggSchema order.
+func emitPartialState(groups map[string]*aggState, specs []AggSpec, outSchema storage.Schema, batchRows int, emit Emit) error {
+	out := storage.NewBatch(outSchema, batchRows)
+	for _, k := range sortedGroupKeys(groups) {
+		st := groups[k]
+		row := make([]any, 0, outSchema.Arity())
+		row = append(row, st.keyVals...)
+		for i, sp := range specs {
+			switch sp.Func {
+			case Count:
+				row = append(row, st.counts[i])
+			case Sum:
+				row = append(row, st.sums[i])
+			case Min:
+				row = append(row, st.mins[i])
+			case Max:
+				row = append(row, st.maxs[i])
+			case Avg:
+				row = append(row, st.sums[i], st.counts[i])
+			}
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return err
+		}
+		if out.Len() >= batchRows {
+			if err := emit(out); err != nil {
+				return err
+			}
+			out = storage.NewBatch(outSchema, batchRows)
+		}
+	}
+	if out.Len() > 0 {
+		return emit(out)
+	}
+	return nil
+}
+
+// MergeHashAgg is the fan-in half of a partitioned aggregation: it consumes
+// partial-state batches (as emitted by NewPartialHashAgg instances over
+// disjoint partitions of the input), combines states per group, and emits
+// final rows identical to one serial NewHashAgg over the whole input —
+// including the single zero row a global aggregate owes over empty input.
+type MergeHashAgg struct {
+	groupBy   []string
+	specs     []AggSpec
+	inSchema  storage.Schema // PartialAggSchema layout
+	outSchema storage.Schema // identical to NewHashAgg's
+	groups    map[string]*aggState
+	emit      Emit
+	batchRows int
+	done      bool
+}
+
+// NewMergeHashAgg builds the merge aggregate. in, groupBy, and specs are
+// the same arguments the serial (and partial) aggregate was built with; the
+// merge derives the partial input layout and the final output schema from
+// them.
+func NewMergeHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit Emit) (*MergeHashAgg, error) {
+	// The serial constructor performs all spec validation and derives the
+	// final output schema.
+	serial, err := NewHashAgg(in, groupBy, specs, nil)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := PartialAggSchema(in, groupBy, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeHashAgg{
+		groupBy:   groupBy,
+		specs:     specs,
+		inSchema:  ps,
+		outSchema: serial.outSchema,
+		groups:    make(map[string]*aggState),
+		emit:      emit,
+		batchRows: serial.batchRows,
+	}, nil
+}
+
+// OutSchema implements Operator.
+func (m *MergeHashAgg) OutSchema() storage.Schema { return m.outSchema }
+
+// Push implements Operator: combines one batch of partial states.
+func (m *MergeHashAgg) Push(b *storage.Batch) error {
+	if m.done {
+		return ErrFinished
+	}
+	keyVecs := make([]storage.Vector, len(m.groupBy))
+	for i, g := range m.groupBy {
+		v, err := b.Col(g)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	// State columns follow the key columns positionally: one per aggregate,
+	// two for Avg.
+	stateVecs := make([][]storage.Vector, len(m.specs))
+	ci := len(m.groupBy)
+	for i, sp := range m.specs {
+		width := 1
+		if sp.Func == Avg {
+			width = 2
+		}
+		if ci+width > len(b.Vecs) {
+			return fmt.Errorf("%w: partial batch has %d columns, need %d", ErrType, len(b.Vecs), ci+width)
+		}
+		stateVecs[i] = b.Vecs[ci : ci+width]
+		ci += width
+	}
+	var keyBuf strings.Builder
+	for row := 0; row < b.Len(); row++ {
+		key, keyVals := groupKeyAt(keyVecs, row, &keyBuf)
+		st := m.groups[key]
+		if st == nil {
+			st = newAggState(keyVals, len(m.specs))
+			m.groups[key] = st
+		}
+		for i, sp := range m.specs {
+			vs := stateVecs[i]
+			switch sp.Func {
+			case Count:
+				st.counts[i] += vs[0].I64[row]
+			case Sum:
+				st.sums[i] += vs[0].F64[row]
+			case Min:
+				if x := vs[0].F64[row]; x < st.mins[i] {
+					st.mins[i] = x
+				}
+			case Max:
+				if x := vs[0].F64[row]; x > st.maxs[i] {
+					st.maxs[i] = x
+				}
+			case Avg:
+				st.sums[i] += vs[0].F64[row]
+				st.counts[i] += vs[1].I64[row]
+			}
+			st.seen[i] = true
+		}
+	}
+	return nil
+}
+
+// Finish implements Operator: emits final rows, ordered by group key.
+func (m *MergeHashAgg) Finish() error {
+	if m.done {
+		return ErrFinished
+	}
+	m.done = true
+	return emitFinalRows(m.groups, m.groupBy, m.specs, m.outSchema, m.batchRows, m.emit)
+}

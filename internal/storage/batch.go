@@ -84,6 +84,15 @@ func (b *Batch) AppendBatchRow(src *Batch, i int) {
 	}
 }
 
+// AppendBatch appends every row of src, which must share the schema layout,
+// with one vector-level copy per column — the bulk form of AppendBatchRow
+// for collectors and merge fan-in paths.
+func (b *Batch) AppendBatch(src *Batch) {
+	for c := range b.Vecs {
+		b.Vecs[c].AppendVector(src.Vecs[c])
+	}
+}
+
 // Slice returns the tuple range [lo, hi) as a batch sharing storage with b.
 func (b *Batch) Slice(lo, hi int) *Batch {
 	out := &Batch{Schema: b.Schema, Vecs: make([]Vector, len(b.Vecs))}

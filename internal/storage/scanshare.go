@@ -233,11 +233,16 @@ func (cs *CircularScan) closeLocked() {
 type ScanRegistry struct {
 	mu    sync.Mutex
 	scans map[string]*CircularScan
+	parts map[string]*MorselDispenser
+	seq   int
 }
 
 // NewScanRegistry creates an empty registry.
 func NewScanRegistry() *ScanRegistry {
-	return &ScanRegistry{scans: make(map[string]*CircularScan)}
+	return &ScanRegistry{
+		scans: make(map[string]*CircularScan),
+		parts: make(map[string]*MorselDispenser),
+	}
 }
 
 // Publish creates a circular scan over rows rows, registers it under key,

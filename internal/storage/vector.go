@@ -66,6 +66,19 @@ func (v *Vector) AppendFrom(src Vector, i int) {
 	}
 }
 
+// AppendVector appends all of src (which must share v's type family) with a
+// single slice-level copy.
+func (v *Vector) AppendVector(src Vector) {
+	switch v.Type {
+	case Int64, Date:
+		v.I64 = append(v.I64, src.I64...)
+	case Float64:
+		v.F64 = append(v.F64, src.F64...)
+	case String:
+		v.Str = append(v.Str, src.Str...)
+	}
+}
+
 // Slice returns the sub-vector [lo, hi). The result shares backing storage.
 func (v Vector) Slice(lo, hi int) Vector {
 	out := Vector{Type: v.Type}

@@ -39,25 +39,40 @@ func MustEngineSpec(q QueryID, db *DB, pageRows int) engine.QuerySpec {
 	return spec
 }
 
+// aggForms builds the serial, clone-partial, and merge factories of one
+// grouping aggregate, so scan-pivot plans can both share serially and run
+// as partitioned clones.
+func aggForms(in storage.Schema, groupBy []string, specs []relop.AggSpec) (op, partial, merge engine.OpFactory) {
+	op = func(emit relop.Emit) (relop.Operator, error) {
+		return relop.NewHashAgg(in, groupBy, specs, emit)
+	}
+	partial = func(emit relop.Emit) (relop.Operator, error) {
+		return relop.NewPartialHashAgg(in, groupBy, specs, emit)
+	}
+	merge = func(emit relop.Emit) (relop.Operator, error) {
+		return relop.NewMergeHashAgg(in, groupBy, specs, emit)
+	}
+	return op, partial, merge
+}
+
 func q6Spec(db *DB, pageRows int) engine.QuerySpec {
 	scanCols := []string{"l_extendedprice", "l_discount"}
 	scanSchema := storage.MustSchema(
 		storage.Column{Name: "l_extendedprice", Type: storage.Float64},
 		storage.Column{Name: "l_discount", Type: storage.Float64},
 	)
+	op, partial, merge := aggForms(scanSchema, nil, []relop.AggSpec{{
+		Func: relop.Sum,
+		Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
+		As:   "revenue",
+	}})
 	return engine.QuerySpec{
 		Signature: "tpch/q6",
 		Model:     Model(Q6),
 		Pivot:     0,
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q6/scan-lineitem", db.Lineitem, Q6Pred(), scanCols, pageRows),
-			{Name: "q6/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
-					Func: relop.Sum,
-					Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
-					As:   "revenue",
-				}}, emit)
-			}},
+			{Name: "q6/agg", Input: 0, Op: op, Partial: partial, Merge: merge},
 		},
 	}
 }
@@ -73,24 +88,23 @@ func q1Spec(db *DB, pageRows int) engine.QuerySpec {
 		R: relop.Arith{Op: relop.Sub, L: relop.ConstFloat{V: 1}, R: relop.Col("l_discount")}}
 	charge := relop.Arith{Op: relop.Mul, L: discPrice,
 		R: relop.Arith{Op: relop.Add, L: relop.ConstFloat{V: 1}, R: relop.Col("l_tax")}}
+	op, partial, merge := aggForms(scanSchema, []string{"l_returnflag", "l_linestatus"}, []relop.AggSpec{
+		{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
+		{Func: relop.Sum, Expr: relop.Col("l_extendedprice"), As: "sum_base_price"},
+		{Func: relop.Sum, Expr: discPrice, As: "sum_disc_price"},
+		{Func: relop.Sum, Expr: charge, As: "sum_charge"},
+		{Func: relop.Avg, Expr: relop.Col("l_quantity"), As: "avg_qty"},
+		{Func: relop.Avg, Expr: relop.Col("l_extendedprice"), As: "avg_price"},
+		{Func: relop.Avg, Expr: relop.Col("l_discount"), As: "avg_disc"},
+		{Func: relop.Count, As: "count_order"},
+	})
 	return engine.QuerySpec{
 		Signature: "tpch/q1",
 		Model:     Model(Q1),
 		Pivot:     0,
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q1/scan-lineitem", db.Lineitem, Q1Pred(), scanCols, pageRows),
-			{Name: "q1/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(scanSchema, []string{"l_returnflag", "l_linestatus"}, []relop.AggSpec{
-					{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
-					{Func: relop.Sum, Expr: relop.Col("l_extendedprice"), As: "sum_base_price"},
-					{Func: relop.Sum, Expr: discPrice, As: "sum_disc_price"},
-					{Func: relop.Sum, Expr: charge, As: "sum_charge"},
-					{Func: relop.Avg, Expr: relop.Col("l_quantity"), As: "avg_qty"},
-					{Func: relop.Avg, Expr: relop.Col("l_extendedprice"), As: "avg_price"},
-					{Func: relop.Avg, Expr: relop.Col("l_discount"), As: "avg_disc"},
-					{Func: relop.Count, As: "count_order"},
-				}, emit)
-			}},
+			{Name: "q1/agg", Input: 0, Op: op, Partial: partial, Merge: merge},
 		},
 	}
 }

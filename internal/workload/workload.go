@@ -287,6 +287,11 @@ type MixResult struct {
 	// progress (non-zero only when the engine runs with InflightSharing
 	// and an AttachPolicy).
 	InflightAttaches int64
+	// ParallelRuns counts queries executed as partitioned clones, and
+	// ParallelClones the clone pipelines spawned for them (non-zero only
+	// under a parallelizing policy or specs with an explicit degree).
+	ParallelRuns   int64
+	ParallelClones int64
 }
 
 // Run drives the engine until the deadline. Each client resubmits its
@@ -304,6 +309,8 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 	}
 	deadline := time.Now().Add(duration)
 	startAttaches := e.InflightAttaches()
+	startRuns := e.ParallelRuns()
+	startClones := e.ParallelClones()
 	var mu sync.Mutex
 	perClass := make(map[string]int)
 	total := 0
@@ -369,6 +376,8 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 		QueriesPerMinute: float64(total) / duration.Minutes(),
 		PerClass:         perClass,
 		InflightAttaches: e.InflightAttaches() - startAttaches,
+		ParallelRuns:     e.ParallelRuns() - startRuns,
+		ParallelClones:   e.ParallelClones() - startClones,
 	}, nil
 }
 

@@ -154,6 +154,31 @@ func TestEngineMixRun(t *testing.T) {
 	}
 }
 
+// A parallelizing policy shows up in the mix report: scan-pivot queries run
+// as clone groups and the counters carry through MixResult.
+func TestEngineMixReportsParallelClones(t *testing.T) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.001, Seed: 11})
+	e, err := engine.New(engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mix := EngineMix{
+		Specs:      map[string]engine.QuerySpec{"Q6": tpch.MustEngineSpec(tpch.Q6, db, 0)},
+		Assignment: Assign("Q6", "Q6", 2, 0),
+	}
+	res, err := mix.Run(e, policy.Parallel{Clones: 2}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions == 0 {
+		t.Fatal("no completions under parallel policy")
+	}
+	if res.ParallelRuns == 0 || res.ParallelClones != 2*res.ParallelRuns {
+		t.Fatalf("parallel counters: runs=%d clones=%d", res.ParallelRuns, res.ParallelClones)
+	}
+}
+
 func TestEngineMixErrors(t *testing.T) {
 	e, err := engine.New(engine.Options{Workers: 1})
 	if err != nil {
