@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench fmt examples ci
+.PHONY: build test bench bench-json fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,12 @@ test:
 # Full benchmark run (the paper's figures + ablations).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Machine-readable ablation results (policy sweep + pivot-level ablation),
+# emitted as BENCH_PR3.json and archived by CI as an artifact so the perf
+# trajectory is tracked run over run.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
 
 fmt:
 	gofmt -w .

@@ -199,7 +199,7 @@ func BenchmarkEngineQ6(b *testing.B) {
 		pol  engine.SharePolicy
 	}{{"shared", policy.Always{}}, {"unshared", nil}} {
 		b.Run(mode.name, func(b *testing.B) {
-			e, err := engine.New(engine.Options{Workers: 2, CopyOnFanOut: true})
+			e, err := engine.New(engine.Options{Workers: 2})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -242,15 +242,16 @@ func BenchmarkProfileEstimation(b *testing.B) {
 
 // --- Ablations (DESIGN.md §5) ---
 
-// BenchmarkAblationPivotFanout compares per-consumer page cloning against
-// zero-copy broadcast at the shared pivot on the real engine: the clone is
-// the physical cost s the model charges.
+// BenchmarkAblationPivotFanout compares the two pivot fan-out disciplines
+// on the real engine: eager per-consumer cloning (the physical cost s the
+// model charges) against refcounted read-only pages (clone only on the
+// write path).
 func BenchmarkAblationPivotFanout(b *testing.B) {
 	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.005, Seed: 42})
 	spec := tpch.MustEngineSpec(tpch.Q6, db, 0)
-	for _, copyOn := range []bool{true, false} {
-		b.Run(fmt.Sprintf("copy=%v", copyOn), func(b *testing.B) {
-			e, err := engine.New(engine.Options{Workers: 2, CopyOnFanOut: copyOn})
+	for _, mode := range []engine.FanOutMode{engine.FanOutClone, engine.FanOutShare} {
+		b.Run(fmt.Sprintf("fanout=%v", mode), func(b *testing.B) {
+			e, err := engine.New(engine.Options{Workers: 2, FanOut: mode})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -302,7 +303,7 @@ func BenchmarkAblationGroupCap(b *testing.B) {
 	spec := tpch.MustEngineSpec(tpch.Q6, db, 0)
 	for _, cap := range []int{0, 2, 4} {
 		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
-			e, err := engine.New(engine.Options{Workers: 2, CopyOnFanOut: true, MaxGroupSize: cap})
+			e, err := engine.New(engine.Options{Workers: 2, MaxGroupSize: cap})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -398,7 +399,7 @@ func BenchmarkAblationInflightSharing(b *testing.B) {
 				var qpm float64
 				var attaches int64
 				for i := 0; i < b.N; i++ {
-					e, err := engine.New(engine.Options{Workers: 1, CopyOnFanOut: true, InflightSharing: mode.inflight})
+					e, err := engine.New(engine.Options{Workers: 1, InflightSharing: mode.inflight})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -452,6 +453,10 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	model := engineCalibratedQ6()
 	spec := tpch.MustEngineSpec(tpch.Q6, db, 0)
 	spec.Model = model
+	// Drop the tpch-calibrated pivot candidates: this ablation pins the
+	// engine-calibrated scan-level model, and admission consults candidate
+	// models when candidates are present.
+	spec.Pivots = nil
 	specs := map[string]engine.QuerySpec{"Q6": spec}
 	for _, workers := range []int{2, 4} {
 		env := core.NewEnv(float64(workers))
@@ -485,7 +490,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 					var qpm float64
 					var clones int64
 					for i := 0; i < b.N; i++ {
-						e, err := engine.New(engine.Options{Workers: workers, CopyOnFanOut: true, InflightSharing: mode.inflight})
+						e, err := engine.New(engine.Options{Workers: workers, InflightSharing: mode.inflight})
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -506,6 +511,56 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPivotLevel sweeps the sharing pivot level × group size
+// on the real engine: batches of m identical Q6-family queries share at the
+// scan (level 0: one lineitem pass, every page fanned to m private
+// residual+agg chains) or at the aggregate (level 2: the whole plan runs
+// once, only final rows fan out), next to the model's predicted aggregate
+// rate for the same regime (pred_x, from the family model compiled at that
+// level). Higher pivots eliminate more work per sharer, so measured q/min
+// and predicted x must both rise with the level at every group size.
+func BenchmarkAblationPivotLevel(b *testing.B) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	const workers = 2
+	env := core.NewEnv(workers)
+	for _, level := range []int{0, 2} {
+		for _, m := range []int{2, 6} {
+			pred := core.SharedX(tpch.Q6FamilyModel(level), m, env)
+			b.Run(fmt.Sprintf("pivot=%d/m=%d", level, m), func(b *testing.B) {
+				var qpm float64
+				for i := 0; i < b.N; i++ {
+					e, err := engine.New(engine.Options{Workers: workers, StartPaused: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					spec := tpch.Q6FamilySpec(db, 0, 0)
+					spec.Pivot = level
+					spec.Pivots = nil // pin the level; no candidate probing
+					handles := make([]*engine.Handle, m)
+					start := time.Now()
+					for j := range handles {
+						h, err := e.Submit(spec, policy.Always{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						handles[j] = h
+					}
+					e.Start()
+					for _, h := range handles {
+						if _, err := h.Wait(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					qpm = float64(m) / time.Since(start).Minutes()
+					e.Close()
+				}
+				b.ReportMetric(qpm, "q/min")
+				b.ReportMetric(pred, "pred_x")
+			})
+		}
+	}
+}
+
 // BenchmarkWorkloadEngineMix measures the closed-loop engine driver under
 // the model policy (a miniature live Figure 6 cell).
 func BenchmarkWorkloadEngineMix(b *testing.B) {
@@ -519,7 +574,7 @@ func BenchmarkWorkloadEngineMix(b *testing.B) {
 	}
 	var qpm float64
 	for i := 0; i < b.N; i++ {
-		e, err := engine.New(engine.Options{Workers: 2, CopyOnFanOut: true})
+		e, err := engine.New(engine.Options{Workers: 2})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,190 @@
+// Command benchjson runs the PR 3 ablation measurements and emits them as
+// machine-readable JSON (BENCH_PR3.json), so CI can archive the perf
+// trajectory run over run instead of letting benchmark output scroll away.
+//
+// Two experiments run on the real staged engine:
+//
+//   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
+//     policy (never, always, model, inflight, parallel, hybrid, subplan),
+//     reporting measured q/min plus the sharing/parallelism counters;
+//   - the pivot-level ablation: batches of identical Q6-family queries
+//     sharing at the scan vs at the aggregate across group sizes, measured
+//     q/min next to the model's predicted rate for the same regime.
+//
+// Usage:
+//
+//	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
+//	          [-duration 300ms] [-out BENCH_PR3.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+var (
+	sfFlag       = flag.Float64("sf", 0.002, "TPC-H scale factor")
+	seedFlag     = flag.Uint64("seed", 42, "data generator seed")
+	workersFlag  = flag.Int("workers", 2, "emulated processors")
+	clientsFlag  = flag.Int("clients", 8, "closed-loop clients in the policy sweep")
+	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
+	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
+	outFlag      = flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
+)
+
+// PolicyResult is one policy sweep measurement.
+type PolicyResult struct {
+	Policy           string        `json:"policy"`
+	QueriesPerMinute float64       `json:"qpm"`
+	Completions      int           `json:"completions"`
+	InflightAttaches int64         `json:"inflight_attaches"`
+	ParallelRuns     int64         `json:"parallel_runs"`
+	ParallelClones   int64         `json:"parallel_clones"`
+	PivotJoins       map[int]int64 `json:"pivot_joins,omitempty"`
+}
+
+// PivotLevelResult is one pivot-level ablation cell.
+type PivotLevelResult struct {
+	Level            int     `json:"level"`
+	GroupSize        int     `json:"group_size"`
+	QueriesPerMinute float64 `json:"qpm"`
+	PredictedX       float64 `json:"pred_x"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Bench       string             `json:"bench"`
+	Config      map[string]any     `json:"config"`
+	Policies    []PolicyResult     `json:"policies"`
+	PivotLevels []PivotLevelResult `json:"pivot_levels"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	db, err := tpch.Generate(tpch.Config{ScaleFactor: *sfFlag, Seed: *seedFlag})
+	if err != nil {
+		return err
+	}
+	report := Report{
+		Bench: "PR3",
+		Config: map[string]any{
+			"sf":          *sfFlag,
+			"seed":        *seedFlag,
+			"workers":     *workersFlag,
+			"clients":     *clientsFlag,
+			"fq4":         *fq4Flag,
+			"duration_ms": durationFlag.Milliseconds(),
+		},
+	}
+
+	// Policy sweep on the closed-loop Q1/Q4 mix.
+	mix := workload.EngineMix{
+		Specs: map[string]engine.QuerySpec{
+			"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0),
+			"Q4": tpch.MustEngineSpec(tpch.Q4, db, 0),
+		},
+		Assignment: workload.Assign("Q1", "Q4", *clientsFlag, *fq4Flag),
+	}
+	for _, name := range policy.Names {
+		pol, inflight, err := policy.ByName(name, core.NewEnv(float64(*workersFlag)), *workersFlag)
+		if err != nil {
+			return err
+		}
+		e, err := engine.New(engine.Options{Workers: *workersFlag, InflightSharing: inflight})
+		if err != nil {
+			return err
+		}
+		res, err := mix.Run(e, policy.ForEngine(pol), *durationFlag)
+		e.Close()
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", name, err)
+		}
+		report.Policies = append(report.Policies, PolicyResult{
+			Policy:           name,
+			QueriesPerMinute: res.QueriesPerMinute,
+			Completions:      res.Completions,
+			InflightAttaches: res.InflightAttaches,
+			ParallelRuns:     res.ParallelRuns,
+			ParallelClones:   res.ParallelClones,
+			PivotJoins:       res.PivotJoins,
+		})
+	}
+
+	// Pivot-level ablation: measured q/min vs predicted x per (level, m).
+	env := core.NewEnv(float64(*workersFlag))
+	for _, level := range []int{0, 2} {
+		for _, m := range []int{2, 6} {
+			qpm, err := pivotLevelCell(db, level, m, *workersFlag)
+			if err != nil {
+				return err
+			}
+			report.PivotLevels = append(report.PivotLevels, PivotLevelResult{
+				Level:            level,
+				GroupSize:        m,
+				QueriesPerMinute: qpm,
+				PredictedX:       core.SharedX(tpch.Q6FamilyModel(level), m, env),
+			})
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *outFlag == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells)\n",
+		*outFlag, len(report.Policies), len(report.PivotLevels))
+	return nil
+}
+
+// pivotLevelCell measures one batch of m identical Q6-family queries
+// sharing at the pinned pivot level on a paused engine.
+func pivotLevelCell(db *tpch.DB, level, m, workers int) (float64, error) {
+	e, err := engine.New(engine.Options{Workers: workers, StartPaused: true})
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	spec := tpch.Q6FamilySpec(db, 0, 0)
+	spec.Pivot = level
+	spec.Pivots = nil
+	handles := make([]*engine.Handle, m)
+	start := time.Now()
+	for i := range handles {
+		h, err := e.Submit(spec, policy.Always{})
+		if err != nil {
+			return 0, err
+		}
+		handles[i] = h
+	}
+	e.Start()
+	for _, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(m) / time.Since(start).Minutes(), nil
+}

@@ -14,10 +14,16 @@
 // cost s·m wins, parallelize when w/d under the current load wins, run
 // alone otherwise.
 //
+// The subplan policy is the hybrid with model-guided pivot selection: the
+// scan-heavy specs offer their aggregate as a second pivot candidate, and a
+// fresh group anchors at the level whose shared execution the model
+// predicts fastest — identical queries then share the whole plan, not just
+// the scan. The run reports joins per pivot level (pivots=map[level]count).
+//
 // Usage:
 //
 //	cordoba [-sf 0.01] [-workers N] [-clients 8] [-fq4 0.5]
-//	        [-policy model|always|never|inflight|parallel|hybrid]
+//	        [-policy model|always|never|inflight|parallel|hybrid|subplan]
 //	        [-duration 2s] [-compare]
 //
 // -workers defaults to runtime.GOMAXPROCS(0) so sharing-vs-parallelism
@@ -45,7 +51,7 @@ var (
 	workersFlag  = flag.Int("workers", runtime.GOMAXPROCS(0), "emulated processors (engine workers)")
 	clientsFlag  = flag.Int("clients", 8, "closed-loop clients")
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4 (rest run Q1)")
-	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight, parallel, hybrid")
+	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight, parallel, hybrid, subplan")
 	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration")
 	compareFlag  = flag.Bool("compare", false, "run all policies and compare")
 )
@@ -86,7 +92,7 @@ func run() error {
 
 	var configs []runConfig
 	if *compareFlag {
-		for _, name := range []string{"model", "inflight", "parallel", "hybrid", "always", "never"} {
+		for _, name := range policy.Names {
 			cfg, err := configByName(name)
 			if err != nil {
 				return err
@@ -106,7 +112,7 @@ func run() error {
 		// measurements.
 		e, err := engine.New(engine.Options{
 			Workers:         *workersFlag,
-			CopyOnFanOut:    true,
+			FanOut:          engine.FanOutShare,
 			InflightSharing: cfg.inflight,
 		})
 		if err != nil {
@@ -124,6 +130,9 @@ func run() error {
 		if res.ParallelRuns > 0 {
 			extra += fmt.Sprintf(" parallel=%d(clones=%d)", res.ParallelRuns, res.ParallelClones)
 		}
+		if len(res.PivotJoins) > 0 {
+			extra += fmt.Sprintf(" pivots=%v", res.PivotJoins)
+		}
 		fmt.Printf("policy=%-8s clients=%d workers=%d fq4=%.0f%%: %d queries in %v (%.1f q/min) %v%s\n",
 			cfg.label, *clientsFlag, *workersFlag, *fq4Flag*100,
 			res.Completions, *durationFlag, res.QueriesPerMinute, res.PerClass, extra)
@@ -132,23 +141,9 @@ func run() error {
 }
 
 func configByName(name string) (runConfig, error) {
-	env := core.NewEnv(float64(*workersFlag))
-	switch name {
-	case "model":
-		return runConfig{label: name, pol: policy.ModelGuided{Env: env}}, nil
-	case "inflight":
-		return runConfig{label: name, pol: policy.ModelGuided{Env: env}, inflight: true}, nil
-	case "parallel":
-		return runConfig{label: name, pol: policy.Parallel{Clones: *workersFlag}}, nil
-	case "hybrid":
-		// The full system: model-guided share / parallelize / run-alone,
-		// with mid-scan attach so staggered arrivals can still share.
-		return runConfig{label: name, pol: policy.ModelGuided{Env: env, MaxDegree: *workersFlag}, inflight: true}, nil
-	case "always":
-		return runConfig{label: name, pol: policy.Always{}}, nil
-	case "never":
-		return runConfig{label: name, pol: policy.Never{}}, nil
-	default:
-		return runConfig{}, fmt.Errorf("unknown policy %q", name)
+	pol, inflight, err := policy.ByName(name, core.NewEnv(float64(*workersFlag)), *workersFlag)
+	if err != nil {
+		return runConfig{}, err
 	}
+	return runConfig{label: name, pol: pol, inflight: inflight}, nil
 }

@@ -38,7 +38,7 @@ func main() {
 		policy.Always{},
 		policy.Never{},
 	} {
-		e, err := engine.New(engine.Options{Workers: workers, CopyOnFanOut: true})
+		e, err := engine.New(engine.Options{Workers: workers})
 		if err != nil {
 			log.Fatal(err)
 		}

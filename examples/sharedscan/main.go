@@ -29,7 +29,7 @@ func main() {
 		{"always-share", policy.Always{}},
 		{"never-share", policy.ForEngine(policy.Never{})},
 	} {
-		e, err := engine.New(engine.Options{Workers: 2, CopyOnFanOut: true})
+		e, err := engine.New(engine.Options{Workers: 2})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -91,4 +91,40 @@
 // partial operators, and the synthesized merge node. See
 // policy.ModelGuided (MaxDegree), engine.ParallelPolicy, and
 // storage.MorselDispenser.
+//
+// # The pivot at an arbitrary level (beyond the paper)
+//
+// The paper defines φ as "the highest point where sharing is possible" and
+// charges p_φ(M) = w_φ + Σ_m s_mφ at whatever level sharing happens, but
+// an engine that can only merge at the scan leaf forces φ to the bottom:
+// every consumer re-runs the filters, projections, and aggregation the
+// group could execute once. The reproduction lifts the pivot above the
+// scan. The engine canonicalizes the prefix of a plan at each candidate
+// pivot into a subplan fingerprint (engine.ShareKey); queries merge
+// whenever their prefixes canonicalize identically, each member keeping
+// its own private chain above the pivot — so group-by variants of one
+// report share a single filtered table pass, date-window variants share a
+// superset scan and apply private residual filters, and identical queries
+// share everything down to the final fan-out of result rows. The same
+// Query type models every level: Compile flattens the plan against any
+// pivot node, and the unshared quantities (u', p_max) are invariant to
+// where the plan is split, so only the shared arms differ by level.
+// BestPivot picks the level with the fastest predicted shared rate, and
+// ChoosePivoted extends Choose to the full four-way decision — run-alone,
+// share at the best φ, parallelize into d clones, or attach to a scan
+// already in flight with remaining coverage f (share with s inflated by
+// the wrap-around re-scan; f = 1 reduces the attach arm to the plain share
+// arm, f < 0 meaning no compatible group removes both sharing arms).
+//
+// On the storage side all sharing primitives register, attach, and retire
+// through one unified work-exchange registry (storage.Exchange), keyed by
+// subplan fingerprint: circular scans (every page to every consumer),
+// morsel dispensers (every page to exactly one clone), and subplan outlets
+// (a shared operator pipeline above the scan). Pivot fan-out defaults to
+// refcounted read-only pages (storage.Batch.MarkShared / Writable): every
+// consumer receives the same page and a deep copy happens only on a
+// consumer's write path, with eager per-consumer cloning
+// (engine.FanOutClone) retained as the physical realization of s for
+// calibration and ablation. See policy.ModelGuided (PivotSelect),
+// engine.PivotPolicy, and tpch.Q1FamilySpec / tpch.Q6FamilySpec.
 package core

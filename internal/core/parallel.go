@@ -77,6 +77,10 @@ const (
 	Share
 	// Parallelize splits the query into partitioned clones.
 	Parallelize
+	// AttachInflight joins a scan already in progress, sharing only its
+	// remaining coverage and re-scanning the missed prefix on wrap-around
+	// (the fourth arm of ChoosePivoted).
+	AttachInflight
 )
 
 // String returns a short label for reports.
@@ -88,6 +92,8 @@ func (d Decision) String() string {
 		return "share"
 	case Parallelize:
 		return "parallelize"
+	case AttachInflight:
+		return "attach-in-flight"
 	default:
 		return fmt.Sprintf("Decision(%d)", int(d))
 	}
@@ -100,21 +106,9 @@ func (d Decision) String() string {
 // (degree 1 otherwise). maxDegree caps the parallel search (typically the
 // processor count). Simpler regimes win ties, so Parallelize must strictly
 // beat both Share and RunAlone: clones are never spawned for a predicted
-// wash.
+// wash. Choose is the single-pivot, full-coverage case of ChoosePivoted
+// (see pivot.go).
 func Choose(q Query, m, maxDegree int, env Env) (Decision, int, float64) {
-	if m < 1 {
-		m = 1
-	}
-	best, degree, x := RunAlone, 1, UnsharedX(q, m, env)
-	if m >= 2 {
-		if xs := SharedX(q, m, env); xs > x {
-			best, x = Share, xs
-		}
-	}
-	for d := 2; d <= maxDegree; d++ {
-		if xp := ParallelX(q, m, d, env); xp > x {
-			best, degree, x = Parallelize, d, xp
-		}
-	}
-	return best, degree, x
+	dec, _, degree, x := ChoosePivoted([]Query{q}, m, maxDegree, 1, env)
+	return dec, degree, x
 }

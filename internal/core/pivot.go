@@ -1,0 +1,100 @@
+package core
+
+// This file models the pivot at an arbitrary level. The paper defines the
+// pivot φ as the highest point where sharing is possible and charges
+// p_φ(M) = w_φ + Σ_m s_mφ at whatever level sharing happens; Compile already
+// flattens a plan against any pivot node, so a "level" here is simply one
+// Query compiled at one candidate pivot. Given the compilations for every
+// candidate level, the functions below answer the two questions PR 3's
+// engine asks at admission time: at which level should a fresh group anchor
+// (BestPivot), and which of the four execution regimes — run-alone, share
+// at some φ, parallelize, or attach to an in-flight scan — maximizes the
+// predicted rate of forward progress (ChoosePivoted).
+//
+// The unshared quantities are pivot-invariant: u' is the sum of every
+// operator's p and p_max their maximum, regardless of where the plan is
+// split into below/pivot/above. The run-alone and parallelize arms are
+// therefore evaluated once (on the first candidate), while the share and
+// attach arms vary by level.
+
+// AttachAdjusted returns the query's model with the pivot's per-consumer
+// cost inflated for an in-flight attach: a joiner sharing only the fraction
+// remaining of the pivot's pass makes the group re-execute (1-remaining) of
+// the pivot work w solely for its benefit, which amortized over m consumers
+// charges s + (1-remaining)·w/m per consumer (the attach-time analogue of
+// "share iff Z > 1"; see policy.ModelGuided.ShouldAttach).
+func AttachAdjusted(q Query, m int, remaining float64) Query {
+	if remaining < 0 {
+		remaining = 0
+	}
+	if remaining > 1 {
+		remaining = 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	adj := q
+	adj.PivotS = q.PivotS + (1-remaining)*q.PivotW/float64(m)
+	return adj
+}
+
+// BestPivot returns the candidate level whose shared execution of m copies
+// the model predicts fastest, with the predicted aggregate rate. Candidates
+// are Query compilations of one plan at different pivots, ordered however
+// the caller likes (the engine passes highest level first); earlier
+// candidates win ties, so with a highest-first ordering the model realizes
+// the paper's "highest point where sharing is possible" whenever levels
+// predict equal rates. m below 2 degenerates to 0 (sharing a single query
+// changes nothing, so the first candidate is as good as any).
+func BestPivot(cands []Query, m int, env Env) (int, float64) {
+	if len(cands) == 0 {
+		return -1, 0
+	}
+	best, bestX := 0, SharedX(cands[0], m, env)
+	for i := 1; i < len(cands); i++ {
+		if x := SharedX(cands[i], m, env); x > bestX {
+			best, bestX = i, x
+		}
+	}
+	return best, bestX
+}
+
+// ChoosePivoted extends Choose to the four-way decision across candidate
+// pivot levels: run-alone, share at the best φ, parallelize into clones, or
+// attach to an in-flight scan. remaining describes the sharing opportunity
+// the engine actually has: 1 is a not-yet-started group (submission-time
+// share, full coverage), a fraction in (0, 1) is a scan already in flight
+// (the attach arm, with the per-consumer cost inflated by the wrap-around
+// re-scan of the missed prefix), and a negative value means no compatible
+// group exists at all (both sharing arms are skipped). maxDegree caps the
+// parallel search as in Choose. It returns the predicted-fastest regime,
+// the candidate index of the pivot to use (0 when the decision has no
+// pivot), the clone degree (1 unless parallelizing), and the predicted
+// rate. Simpler regimes win ties: sharing must strictly beat run-alone and
+// parallelize must strictly beat both.
+func ChoosePivoted(cands []Query, m, maxDegree int, remaining float64, env Env) (Decision, int, int, float64) {
+	if len(cands) == 0 {
+		return RunAlone, 0, 1, 0
+	}
+	if m < 1 {
+		m = 1
+	}
+	best, pivot, degree, x := RunAlone, 0, 1, UnsharedX(cands[0], m, env)
+	if m >= 2 && remaining >= 0 {
+		dec := Share
+		if remaining < 1 {
+			dec = AttachInflight
+		}
+		for i, q := range cands {
+			if xs := SharedX(AttachAdjusted(q, m, remaining), m, env); xs > x {
+				best, pivot, x = dec, i, xs
+			}
+		}
+	}
+	for d := 2; d <= maxDegree; d++ {
+		if xp := ParallelX(cands[0], m, d, env); xp > x {
+			best, pivot, degree, x = Parallelize, 0, d, xp
+		}
+	}
+	return best, pivot, degree, x
+}

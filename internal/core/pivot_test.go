@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// pivotCandidates returns one plan compiled at two levels, highest first:
+// at the aggregate (everything below it runs once per group, tiny
+// per-consumer hand-off) and at the scan (large per-consumer output cost,
+// the aggregate replicated per sharer). The underlying plan is scan(w=10,
+// s=9) feeding agg(w=3.3, s=0.2), so the unshared quantities agree across
+// compilations: u' = 22.5, p_max = 19.
+func pivotCandidates() []Query {
+	agg := Query{Name: "q@agg", Below: []float64{19}, PivotW: 3.3, PivotS: 0.2}
+	scan := Query{Name: "q@scan", PivotW: 10, PivotS: 9, Above: []float64{3.5}}
+	return []Query{agg, scan}
+}
+
+// The unshared model must be pivot-invariant: the same plan compiled at any
+// level reports the same u', p_max, and unshared rate.
+func TestPivotCompilationUnsharedInvariant(t *testing.T) {
+	cands := pivotCandidates()
+	env := NewEnv(4)
+	for i := 1; i < len(cands); i++ {
+		if a, b := cands[0].UPrime(), cands[i].UPrime(); math.Abs(a-b) > 1e-9 {
+			t.Errorf("u' differs across pivot levels: %g vs %g", a, b)
+		}
+		if a, b := cands[0].PMax(), cands[i].PMax(); math.Abs(a-b) > 1e-9 {
+			t.Errorf("p_max differs across pivot levels: %g vs %g", a, b)
+		}
+		for _, m := range []int{1, 4, 16} {
+			if a, b := UnsharedX(cands[0], m, env), UnsharedX(cands[i], m, env); math.Abs(a-b) > 1e-9 {
+				t.Errorf("x_unshared(m=%d) differs across levels: %g vs %g", m, a, b)
+			}
+		}
+	}
+}
+
+// Sharing at the aggregate eliminates strictly more work per joiner than
+// sharing at the scan, so BestPivot must pick the higher level for every
+// group size that shares at all.
+func TestBestPivotPrefersHigherLevel(t *testing.T) {
+	cands := pivotCandidates()
+	env := NewEnv(1)
+	for _, m := range []int{2, 4, 8, 24} {
+		best, x := BestPivot(cands, m, env)
+		if best != 0 {
+			t.Errorf("m=%d: BestPivot = %d (x=%g), want 0 (agg level)", m, best, x)
+		}
+		if xs := SharedX(cands[1], m, env); x < xs {
+			t.Errorf("m=%d: best x %g below scan-level x %g", m, x, xs)
+		}
+	}
+	if best, _ := BestPivot(nil, 4, env); best != -1 {
+		t.Errorf("BestPivot(nil) = %d, want -1", best)
+	}
+}
+
+// AttachAdjusted inflates only the per-consumer cost, by the missed
+// fraction of the pivot work amortized over the group.
+func TestAttachAdjusted(t *testing.T) {
+	q := Query{Name: "q", PivotW: 10, PivotS: 2, Above: []float64{1}}
+	adj := AttachAdjusted(q, 4, 0.25)
+	want := 2 + 0.75*10/4
+	if math.Abs(adj.PivotS-want) > 1e-9 {
+		t.Errorf("adjusted s = %g, want %g", adj.PivotS, want)
+	}
+	if adj.PivotW != q.PivotW || len(adj.Above) != 1 {
+		t.Error("AttachAdjusted touched coefficients other than s")
+	}
+	// Full coverage adjusts nothing; remaining is clamped to [0, 1].
+	if full := AttachAdjusted(q, 4, 1); full.PivotS != q.PivotS {
+		t.Errorf("remaining=1 changed s: %g", full.PivotS)
+	}
+	if over := AttachAdjusted(q, 4, 1.7); over.PivotS != q.PivotS {
+		t.Errorf("remaining>1 changed s: %g", over.PivotS)
+	}
+	if zero, neg := AttachAdjusted(q, 4, 0), AttachAdjusted(q, 4, -0.5); zero.PivotS != neg.PivotS {
+		t.Errorf("negative remaining not clamped to 0: %g vs %g", neg.PivotS, zero.PivotS)
+	}
+}
+
+// ChoosePivoted must reach all four decisions in the regimes that favor
+// them, and report the pivot level sharing decisions anchor at.
+func TestChoosePivotedFourWay(t *testing.T) {
+	cands := pivotCandidates()
+
+	// One query, one processor: nothing to share or split.
+	if dec, _, _, _ := ChoosePivoted(cands, 1, 1, 1, NewEnv(1)); dec != RunAlone {
+		t.Errorf("m=1: decision %v, want run-alone", dec)
+	}
+
+	// Saturated machine, full-coverage group available: share, at the
+	// aggregate level.
+	dec, pivot, degree, x := ChoosePivoted(cands, 8, 1, 1, NewEnv(1))
+	if dec != Share || pivot != 0 || degree != 1 {
+		t.Errorf("saturated: (%v, pivot=%d, d=%d), want (share, 0, 1)", dec, pivot, degree)
+	}
+	if alone := UnsharedX(cands[0], 8, NewEnv(1)); x <= alone {
+		t.Errorf("shared x %g not above run-alone %g", x, alone)
+	}
+
+	// Idle machine, no group to join: splitting one query into clones is
+	// the only way to use the spare contexts.
+	dec, _, degree, _ = ChoosePivoted(cands, 1, 8, -1, NewEnv(8))
+	if dec != Parallelize || degree < 2 {
+		t.Errorf("idle: (%v, d=%d), want parallelize with d >= 2", dec, degree)
+	}
+
+	// Saturated machine, in-flight group with most coverage left: attach.
+	dec, pivot, _, _ = ChoosePivoted(cands, 8, 1, 0.9, NewEnv(1))
+	if dec != AttachInflight {
+		t.Errorf("in-flight: decision %v, want attach-in-flight", dec)
+	}
+	if pivot != 0 {
+		t.Errorf("in-flight: pivot %d, want 0", pivot)
+	}
+
+	// Nearly exhausted coverage makes attaching worse than running alone.
+	if dec, _, _, _ := ChoosePivoted(pivotCandidates()[1:], 2, 1, 0.01, NewEnv(4)); dec != RunAlone {
+		t.Errorf("exhausted coverage: decision %v, want run-alone", dec)
+	}
+}
+
+// The Decision labels feed reports; keep them stable.
+func TestDecisionStrings(t *testing.T) {
+	for dec, want := range map[Decision]string{
+		RunAlone:       "run-alone",
+		Share:          "share",
+		Parallelize:    "parallelize",
+		AttachInflight: "attach-in-flight",
+		Decision(42):   "Decision(42)",
+	} {
+		if got := dec.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(dec), got, want)
+		}
+	}
+}

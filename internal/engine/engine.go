@@ -10,6 +10,36 @@ import (
 	"repro/internal/storage"
 )
 
+// FanOutMode selects how a shared pivot fans one output page out to its m
+// consumers.
+type FanOutMode int
+
+const (
+	// FanOutShare (the default) hands every consumer the same refcounted
+	// read-only page (storage.Batch.MarkShared); a consumer deep-copies only
+	// on its write path (storage.Batch.Writable). The pivot still pays the
+	// per-consumer delivery s — the sequential hand-off the model charges —
+	// but no longer a full page copy per sharer.
+	FanOutShare FanOutMode = iota
+	// FanOutClone eagerly deep-copies the page for every consumer except the
+	// last, which receives the original (a move, not a copy). This is the
+	// physical realization of the model's per-consumer cost s as the paper's
+	// testbed paid it; profiling calibration and the fan-out ablation use it.
+	FanOutClone
+)
+
+// String returns the mode label.
+func (m FanOutMode) String() string {
+	switch m {
+	case FanOutShare:
+		return "share"
+	case FanOutClone:
+		return "clone"
+	default:
+		return fmt.Sprintf("FanOutMode(%d)", int(m))
+	}
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Workers is the emulated processor count n (required, ≥ 1).
@@ -17,10 +47,9 @@ type Options struct {
 	// QueueCap is the page capacity of inter-operator queues (default 8).
 	// Finite capacity makes slow consumers throttle producers.
 	QueueCap int
-	// CopyOnFanOut makes a shared pivot clone each page per extra consumer,
-	// physically paying the model's per-consumer cost s. Default true; the
-	// ablation benchmarks turn it off to emulate zero-copy broadcast.
-	CopyOnFanOut bool
+	// FanOut selects the pivot fan-out discipline (default FanOutShare:
+	// refcounted read-only pages, clone only on the write path).
+	FanOut FanOutMode
 	// MaxGroupSize caps sharers per group (0 = unlimited). Section 8.1's
 	// multiple-groups strategy bounds groups to preserve parallelism.
 	MaxGroupSize int
@@ -95,6 +124,21 @@ type LoadAwarePolicy interface {
 	ShouldAttachUnderLoad(q core.Query, m int, remaining float64, load int, canParallel bool) bool
 }
 
+// PivotPolicy extends SharePolicy with model-guided pivot selection: when a
+// query offering several candidate pivot levels (QuerySpec.Pivots) anchors a
+// fresh sharing group, the engine asks the policy which level to anchor at.
+// Joining an existing group needs no selection — the group's level is fixed
+// and the engine probes candidates highest-first.
+type PivotPolicy interface {
+	SharePolicy
+	// ChoosePivot returns the index (into cands, ordered highest pivot
+	// first) of the level a new group should anchor at, while load queries
+	// (including this one) are active. Each candidate is the query's model
+	// compiled at that level. Return a negative index to keep the spec's
+	// declared pivot.
+	ChoosePivot(cands []core.Query, load int) int
+}
+
 // AttachPolicy extends SharePolicy with the in-flight admission test:
 // whether a query should attach to a scan already in progress, given the
 // fraction of the table it would genuinely share (the residual circle of
@@ -141,10 +185,19 @@ func (h *Handle) Duration() time.Duration {
 
 // shareGroup is a set of queries merged at a pivot: one instance of the
 // shared sub-plan whose pivot output fans out to every member's private
-// chain.
+// chain. Members need not be identical queries — any spec whose shared
+// prefix canonicalizes to the group's key may join, each bringing its own
+// private chain (residual filters, different aggregates).
 type shareGroup struct {
 	signature string
-	pivot     *outbox
+	// key is the canonical fingerprint of the shared subplan at the group's
+	// pivot level (see fingerprint.go); the joinable map and the work
+	// exchange are keyed by it.
+	key   string
+	pivot *outbox
+	// outlet mirrors the group in the unified work-exchange registry so
+	// sharing above the scan is as observable as scan-level primitives.
+	outlet *storage.Outlet
 	// inflight is set instead of pivot when the group's pivot is a declared
 	// scan shared through the circular scan registry; such groups admit
 	// members after the pivot starts emitting.
@@ -190,12 +243,13 @@ type Engine struct {
 	scans *storage.ScanRegistry
 
 	mu               sync.Mutex
-	joinable         map[string]*shareGroup
+	joinable         map[string]*shareGroup // keyed by subplan share key
 	active           int
 	completed        int64
 	inflightAttaches int64
 	parallelRuns     int64
 	parallelClones   int64
+	pivotJoins       map[int]int64 // pivot level -> members merged there
 }
 
 // New creates and starts an engine emulating opts.Workers processors.
@@ -206,11 +260,12 @@ func New(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		sched:    sched,
-		opts:     opts,
-		clock:    newBusyClock(opts.Profile),
-		scans:    storage.NewScanRegistry(),
-		joinable: make(map[string]*shareGroup),
+		sched:      sched,
+		opts:       opts,
+		clock:      newBusyClock(opts.Profile),
+		scans:      storage.NewExchange(),
+		joinable:   make(map[string]*shareGroup),
+		pivotJoins: make(map[int]int64),
 	}
 	if !opts.StartPaused {
 		sched.Start()
@@ -269,8 +324,26 @@ func (e *Engine) Active() int {
 	return e.active
 }
 
-// ScanRegistry exposes the engine's circular scan registry for monitoring.
-func (e *Engine) ScanRegistry() *storage.ScanRegistry { return e.scans }
+// ScanRegistry exposes the engine's work-exchange registry — circular
+// scans, partitioned scans, and shared subplan outlets — for monitoring.
+func (e *Engine) ScanRegistry() *storage.Exchange { return e.scans }
+
+// Exchange is ScanRegistry under the registry's unified name.
+func (e *Engine) Exchange() *storage.Exchange { return e.scans }
+
+// PivotLevelJoins returns, per pivot node level, how many queries merged
+// into a sharing group anchored at that level (submission-time joins plus
+// in-flight attaches; group anchors are not counted — they share with no
+// one until someone joins).
+func (e *Engine) PivotLevelJoins() map[int]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int]int64, len(e.pivotJoins))
+	for k, v := range e.pivotJoins {
+		out[k] = v
+	}
+	return out
+}
 
 // Submit enqueues a query for execution. If policy is non-nil the engine
 // tries to share: join an existing compatible group when the policy agrees,
@@ -293,7 +366,20 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if policy != nil {
-		if g := e.joinable[spec.Signature]; g != nil {
+		// Probe the candidate pivots highest level first: the paper defines
+		// the pivot as the highest point where sharing is possible, and a
+		// group at a higher level eliminates strictly more work per joiner.
+		for _, opt := range spec.pivotOptions() {
+			g := e.joinable[shareKeyAt(spec, opt.Pivot)]
+			if g == nil {
+				continue
+			}
+			// The member's view of the spec at this group's level: the
+			// private chain starts above opt.Pivot and the model carries the
+			// coefficients compiled there.
+			mspec := spec
+			mspec.Pivot = opt.Pivot
+			mspec.Model = opt.Model
 			switch {
 			case g.inflight != nil:
 				// In-flight group: members attach to the circular scan at
@@ -305,19 +391,20 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					remaining, active, live := g.inflight.scan.Remaining()
 					admit := func() bool {
 						if lap, ok := policy.(LoadAwarePolicy); ok {
-							return lap.ShouldAttachUnderLoad(spec.Model, active+1, remaining, e.active+1, spec.CanParallel())
+							return lap.ShouldAttachUnderLoad(mspec.Model, active+1, remaining, e.active+1, spec.CanParallel())
 						}
-						return ap.ShouldAttach(spec.Model, active+1, remaining)
+						return ap.ShouldAttach(mspec.Model, active+1, remaining)
 					}
 					if live &&
 						(e.opts.MaxGroupSize == 0 || active < e.opts.MaxGroupSize) &&
 						admit() {
-						attached, err := e.attachInflightLocked(g, spec, h)
+						attached, err := e.attachInflightLocked(g, mspec, h)
 						if err != nil {
 							return nil, err
 						}
 						if attached {
 							e.inflightAttaches++
+							e.pivotJoins[opt.Pivot]++
 							e.active++
 							return h, nil
 						}
@@ -332,15 +419,16 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				g.mu.Unlock()
 				if canJoin {
 					if lap, ok := policy.(LoadAwarePolicy); ok {
-						canJoin = lap.ShouldJoinUnderLoad(spec.Model, m, e.active+1, spec.CanParallel())
+						canJoin = lap.ShouldJoinUnderLoad(mspec.Model, m, e.active+1, spec.CanParallel())
 					} else {
-						canJoin = policy.ShouldJoin(spec.Model, m)
+						canJoin = policy.ShouldJoin(mspec.Model, m)
 					}
 				}
 				if canJoin {
-					if err := e.attachLocked(g, spec, h); err != nil {
+					if err := e.attachLocked(g, mspec, h); err != nil {
 						return nil, err
 					}
+					e.pivotJoins[opt.Pivot]++
 					e.active++
 					return h, nil
 				}
@@ -361,12 +449,29 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		e.active++
 		return h, nil
 	}
-	g, err := e.newGroupLocked(spec, h, policy != nil)
+	// Fresh group. When the spec offers several pivot levels, a
+	// pivot-selecting policy chooses where to anchor it; otherwise the
+	// declared pivot stands.
+	gspec := spec
+	if policy != nil && len(spec.Pivots) > 0 {
+		if pp, ok := policy.(PivotPolicy); ok {
+			opts := spec.pivotOptions()
+			cands := make([]core.Query, len(opts))
+			for i, o := range opts {
+				cands[i] = o.Model
+			}
+			if i := pp.ChoosePivot(cands, e.active+1); i >= 0 && i < len(opts) {
+				gspec.Pivot = opts[i].Pivot
+				gspec.Model = opts[i].Model
+			}
+		}
+	}
+	g, err := e.newGroupLocked(gspec, h, policy != nil)
 	if err != nil {
 		return nil, err
 	}
 	if policy != nil {
-		e.joinable[spec.Signature] = g
+		e.joinable[g.key] = g
 	}
 	e.active++
 	return h, nil
@@ -402,10 +507,18 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 	if e.opts.InflightSharing && joinable && spec.Nodes[spec.Pivot].Scan != nil {
 		return e.newInflightGroupLocked(spec, h)
 	}
-	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1}
-	pivotOut := &outbox{copyOnFanOut: e.opts.CopyOnFanOut}
+	g := &shareGroup{signature: spec.Signature, key: ShareKey(spec), spec: spec, size: 1}
+	pivotOut := &outbox{fanOut: e.opts.FanOut}
 	pivotOut.onFirstEmit = func() { e.sealGroup(g) }
 	g.pivot = pivotOut
+	if joinable {
+		// Mirror the shared pipeline in the work-exchange registry: monitors
+		// see subplan outlets next to circular and partitioned scans, and
+		// the outlet retires when the pivot's output stream ends.
+		g.outlet = e.scans.PublishOutlet(g.key)
+		g.outlet.Attach()
+		pivotOut.onClosed = g.outlet.Retire
+	}
 
 	// Per-node output sinks for the shared part. Non-pivot nodes get a
 	// single-consumer outbox over one queue.
@@ -462,15 +575,14 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 // group; it stays joinable until the scan's last consumer completes. Caller
 // holds e.mu.
 func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) {
-	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1}
+	g := &shareGroup{signature: spec.Signature, key: ShareKey(spec), spec: spec, size: 1}
 	nd := spec.Nodes[spec.Pivot]
 	src, err := nd.Scan.newSource()
 	if err != nil {
 		return nil, err
 	}
-	key := nd.Scan.Table.Name + "/" + spec.Signature
-	cs := e.scans.Publish(key, nd.Scan.Table.NumRows(), src.pageRows)
-	fs := newInflightScan(nd.Name, src, cs, e.clock, g.fail, e.opts.CopyOnFanOut)
+	cs := e.scans.Publish(g.key, nd.Scan.Table.NumRows(), src.pageRows)
+	fs := newInflightScan(nd.Name, src, cs, e.clock, g.fail, e.opts.FanOut)
 	fs.retire = func() { e.sealGroup(g) }
 	g.inflight = fs
 	// Any member's failure aborts the whole group (its error already poisons
@@ -506,6 +618,9 @@ func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle) error {
 	g.mu.Lock()
 	g.size++
 	g.mu.Unlock()
+	if g.outlet != nil {
+		g.outlet.Attach()
+	}
 	return nil
 }
 
@@ -613,8 +728,8 @@ func (e *Engine) sealGroup(g *shareGroup) {
 	g.mu.Lock()
 	g.started = true
 	g.mu.Unlock()
-	if e.joinable[g.signature] == g {
-		delete(e.joinable, g.signature)
+	if e.joinable[g.key] == g {
+		delete(e.joinable, g.key)
 	}
 }
 
@@ -647,18 +762,31 @@ func (e *Engine) rootSchema(spec QuerySpec) (storage.Schema, error) {
 	}
 }
 
-// GroupSize reports the current member count of the joinable group for a
-// signature (0 if none), for tests and monitoring.
-func (e *Engine) GroupSize(signature string) int {
+// GroupSize reports the current member count of the joinable group matching
+// the argument — a subplan share key (exact) or a query signature (0 if
+// none). Several groups can share a signature at different pivot levels;
+// the largest wins.
+func (e *Engine) GroupSize(signatureOrKey string) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	g := e.joinable[signature]
-	if g == nil {
-		return 0
+	best := 0
+	measure := func(g *shareGroup) {
+		g.mu.Lock()
+		if g.size > best {
+			best = g.size
+		}
+		g.mu.Unlock()
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.size
+	if g := e.joinable[signatureOrKey]; g != nil {
+		measure(g)
+		return best
+	}
+	for _, g := range e.joinable {
+		if g.signature == signatureOrKey {
+			measure(g)
+		}
+	}
+	return best
 }
 
 // OpOf adapts a relop unary operator constructor into an OpFactory.

@@ -83,7 +83,7 @@ func TestEngineMatchesReference(t *testing.T) {
 			t.Fatalf("%s reference: %v", q, err)
 		}
 		for _, workers := range []int{1, 4} {
-			e := newEngine(t, engine.Options{Workers: workers, CopyOnFanOut: true})
+			e := newEngine(t, engine.Options{Workers: workers})
 			h, err := e.Submit(tpch.MustEngineSpec(q, db, 0), nil)
 			if err != nil {
 				t.Fatalf("%s submit: %v", q, err)
@@ -127,29 +127,34 @@ func TestEngineQ13Distribution(t *testing.T) {
 }
 
 // Sharing: identical queries submitted together under always-share must
-// merge into one group and all receive complete, correct results.
+// merge into one group and all receive complete, correct results — under
+// both pivot fan-out disciplines (refcounted share and eager clone).
 func TestEngineSharedExecutionCorrect(t *testing.T) {
 	db := testDB(t)
 	want, err := tpch.RunQ6(db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newEngine(t, engine.Options{Workers: 2, CopyOnFanOut: true})
-	const m = 6
-	handles := make([]*engine.Handle, m)
-	for i := range handles {
-		h, err := e.Submit(tpch.MustEngineSpec(tpch.Q6, db, 0), alwaysShare{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		handles[i] = h
-	}
-	for i, h := range handles {
-		got, err := h.Wait()
-		if err != nil {
-			t.Fatalf("sharer %d: %v", i, err)
-		}
-		assertSameResult(t, fmt.Sprintf("sharer %d", i), got, want)
+	for _, mode := range []engine.FanOutMode{engine.FanOutShare, engine.FanOutClone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newEngine(t, engine.Options{Workers: 2, FanOut: mode})
+			const m = 6
+			handles := make([]*engine.Handle, m)
+			for i := range handles {
+				h, err := e.Submit(tpch.MustEngineSpec(tpch.Q6, db, 0), alwaysShare{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles[i] = h
+			}
+			for i, h := range handles {
+				got, err := h.Wait()
+				if err != nil {
+					t.Fatalf("sharer %d: %v", i, err)
+				}
+				assertSameResult(t, fmt.Sprintf("sharer %d", i), got, want)
+			}
+		})
 	}
 }
 
@@ -161,7 +166,7 @@ func TestEngineSharedJoinPivot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newEngine(t, engine.Options{Workers: 4, CopyOnFanOut: true})
+	e := newEngine(t, engine.Options{Workers: 4})
 	const m = 4
 	handles := make([]*engine.Handle, m)
 	for i := range handles {

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// FanOutShare hands every consumer the same refcounted page, marked with
+// its extra-reader count, and Writable then clones for all but the last
+// owner.
+func TestOutboxFanOutShare(t *testing.T) {
+	s, err := NewScheduler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := NewPageQueue(s, "a", 4)
+	qb := NewPageQueue(s, "b", 4)
+	qc := NewPageQueue(s, "c", 4)
+	ob := &outbox{outs: []*PageQueue{qa, qb, qc}, fanOut: FanOutShare}
+	sch := storage.MustSchema(storage.Column{Name: "x", Type: storage.Int64})
+	b := storage.NewBatch(sch, 1)
+	if err := b.AppendRow(int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	ob.add(b)
+	tsk := &Task{name: "x"}
+	if !ob.flush(tsk) {
+		t.Fatal("flush blocked unexpectedly")
+	}
+	got := make([]*storage.Batch, 3)
+	for i, q := range []*PageQueue{qa, qb, qc} {
+		got[i], _, _ = q.TryPop(tsk)
+		if got[i] != b {
+			t.Fatalf("consumer %d did not receive the shared original", i)
+		}
+	}
+	if !b.Shared() {
+		t.Fatal("fanned-out page not marked shared")
+	}
+	// Two consumers clone on write; the last inherits the original.
+	w0, w1 := got[0].Writable(), got[1].Writable()
+	if w0 == b || w1 == b {
+		t.Error("Writable returned the shared page while readers remain")
+	}
+	if w2 := got[2].Writable(); w2 != b {
+		t.Error("last owner did not get the original back (move)")
+	}
+}
+
+// A delivery that blocks mid-fan-out and resumes must not double-count the
+// page's readers.
+func TestOutboxShareMarksOnce(t *testing.T) {
+	s, err := NewScheduler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := NewPageQueue(s, "a", 1)
+	qb := NewPageQueue(s, "b", 1)
+	ob := &outbox{outs: []*PageQueue{qa, qb}, fanOut: FanOutShare}
+	sch := storage.MustSchema(storage.Column{Name: "x", Type: storage.Int64})
+	mk := func(v int64) *storage.Batch {
+		b := storage.NewBatch(sch, 1)
+		if err := b.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first, second := mk(1), mk(2)
+	ob.add(first)
+	ob.add(second)
+	tsk := &Task{name: "producer"}
+	// Capacity 1: the first batch delivers, the second blocks on qa.
+	if ob.flush(tsk) {
+		t.Fatal("flush should have blocked on the full queue")
+	}
+	// Drain one page from qa and resume; repeat until everything delivered.
+	for tries := 0; tries < 4 && !ob.flush(tsk); tries++ {
+		if bb, ok, _ := qa.TryPop(tsk); ok {
+			_ = bb
+		}
+		if bb, ok, _ := qb.TryPop(tsk); ok {
+			_ = bb
+		}
+	}
+	// Each page was fanned to 2 consumers: exactly 1 extra reader each,
+	// despite the blocked and resumed deliveries.
+	for i, b := range []*storage.Batch{first, second} {
+		w := b.Writable() // drops one claim (clone)
+		if w == b {
+			t.Fatalf("batch %d had no reader claim", i)
+		}
+		if b.Shared() {
+			t.Errorf("batch %d still shared after one release: readers were double-counted", i)
+		}
+	}
+}
+
+// A joinable submission-time group must appear in the work exchange as a
+// subplan outlet with its member count, and retire when the pivot's output
+// ends.
+func TestEngineOutletRegistration(t *testing.T) {
+	tbl := scanTable(t, 512)
+	e, err := New(Options{Workers: 1, StartPaused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	spec := scanSpec(tbl, 32)
+	h1, err := e.Submit(spec, joinOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Submit(spec, joinOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := e.Exchange().LookupOutlet(ShareKey(spec))
+	if o == nil {
+		t.Fatal("joinable group published no outlet")
+	}
+	if got := o.Consumers(); got != 2 {
+		t.Errorf("outlet consumers = %d, want 2", got)
+	}
+	if got := e.Exchange().OutletsInFlight(); got != 1 {
+		t.Errorf("OutletsInFlight = %d, want 1", got)
+	}
+	e.Start()
+	for _, h := range []*Handle{h1, h2} {
+		if _, err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Exchange().OutletsInFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("outlet never retired after the pivot finished")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file canonicalizes NodeSpec prefixes into subplan fingerprints — the
+// identity under which work is shared. PR 1/PR 2 matched whole queries by an
+// opaque Signature string, which pins the sharing pivot to "queries that are
+// identical end to end". Fingerprinting the shared prefix instead lifts the
+// pivot: two queries merge whenever the nodes at and below a candidate pivot
+// canonicalize identically, no matter how their private chains differ. A Q1
+// group-by variant and plain Q1 share one filtered lineitem pass; two
+// identical Q1s share all the way up at the aggregate; Q6 date-range
+// variants share a superset scan and diverge at their residual filters.
+//
+// Canonical form per node:
+//
+//   - Declared scans (NodeSpec.Scan) canonicalize structurally: table
+//     identity, projected columns, the predicate tree (relop predicates are
+//     plain value trees, so Go's %#v rendering is a faithful canonical
+//     form), and the page quantum.
+//   - Operators and joins are closures the engine cannot inspect, so they
+//     canonicalize through the explicit NodeSpec.Fingerprint the plan
+//     builder declares. A node without one is opaque: its identity falls
+//     back to (Signature, node index), which reproduces PR 1's
+//     whole-signature matching exactly — unfingerprinted specs share
+//     neither more nor less than before.
+//
+// A share key is the canonical prefix joined with the pivot level, so the
+// same plan offered at two pivot levels occupies two distinct keys and the
+// engine's joinable map needs no second index.
+
+// nodeFingerprint returns the canonical identity of one node within spec.
+func nodeFingerprint(spec QuerySpec, i int) string {
+	nd := spec.Nodes[i]
+	switch {
+	case nd.Scan != nil:
+		sc := nd.Scan
+		return fmt.Sprintf("scan(%s@%p|cols=%v|pred=%#v|rows=%d)",
+			sc.Table.Name, sc.Table, sc.Cols, sc.Pred, sc.PageRows)
+	case nd.Fingerprint != "":
+		switch {
+		case nd.Op != nil:
+			return fmt.Sprintf("op(%s|in=%d)", nd.Fingerprint, nd.Input)
+		case nd.Join != nil:
+			return fmt.Sprintf("join(%s|build=%d|probe=%d)", nd.Fingerprint, nd.BuildInput, nd.ProbeInput)
+		default: // opaque Source with a declared identity
+			return fmt.Sprintf("source(%s)", nd.Fingerprint)
+		}
+	default:
+		return fmt.Sprintf("opaque(%s|%d)", spec.Signature, i)
+	}
+}
+
+// shareKeyAt canonicalizes the shared prefix of spec at the given pivot
+// level: the fingerprints of nodes 0..pivot (the prefix is self-contained —
+// Validate guarantees every node at or below the pivot is consumed within
+// it) joined with the pivot index. Queries whose keys are equal run the same
+// subplan below the pivot and may merge there.
+func shareKeyAt(spec QuerySpec, pivot int) string {
+	var sb strings.Builder
+	for i := 0; i <= pivot; i++ {
+		sb.WriteString(nodeFingerprint(spec, i))
+		sb.WriteByte(';')
+	}
+	fmt.Fprintf(&sb, "@%d", pivot)
+	return sb.String()
+}
+
+// ShareKey returns the canonical identity of spec's shared subplan at its
+// declared pivot — the key the engine's joinable map and the work-exchange
+// registry use. Exposed for tests and monitors that need to find a group's
+// registry entries.
+func ShareKey(spec QuerySpec) string { return shareKeyAt(spec, spec.Pivot) }

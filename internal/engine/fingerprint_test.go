@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// sumSpec is a scan feeding a global sum, with a settable signature and an
+// optional aggregate fingerprint.
+func sumSpec(tbl *storage.Table, sig, aggFp string) QuerySpec {
+	scanSchema := storage.MustSchema(storage.Column{Name: "v", Type: storage.Int64})
+	return QuerySpec{
+		Signature: sig,
+		Pivot:     0,
+		Nodes: []NodeSpec{
+			ScanNode("fp/scan", tbl, nil, []string{"v"}, 16),
+			{Name: "fp/agg", Input: 0, Fingerprint: aggFp, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{
+					{Func: relop.Sum, Expr: relop.Col("v"), As: "total"},
+				}, emit)
+			}},
+		},
+	}
+}
+
+// Declared scans canonicalize structurally: specs with different signatures
+// but the same scan share a key at the scan pivot, while any difference in
+// predicate, projection, quantum, or table breaks the match.
+func TestShareKeyScanStructural(t *testing.T) {
+	tbl := scanTable(t, 64)
+	a := sumSpec(tbl, "sig/a", "")
+	b := sumSpec(tbl, "sig/b", "")
+	if ShareKey(a) != ShareKey(b) {
+		t.Error("identical scans under different signatures do not share a key")
+	}
+	narrower := sumSpec(tbl, "sig/a", "")
+	narrower.Nodes[0].Scan.PageRows = 8
+	if ShareKey(a) == ShareKey(narrower) {
+		t.Error("different scan quanta share a key")
+	}
+	pred := sumSpec(tbl, "sig/a", "")
+	pred.Nodes[0].Scan.Pred = relop.Cmp{Op: relop.Lt, L: relop.Col("v"), R: relop.ConstInt{V: 10}}
+	if ShareKey(a) == ShareKey(pred) {
+		t.Error("different scan predicates share a key")
+	}
+	other := scanTable(t, 64)
+	elsewhere := sumSpec(other, "sig/a", "")
+	if ShareKey(a) == ShareKey(elsewhere) {
+		t.Error("scans of different tables share a key")
+	}
+}
+
+// Opaque operators (no declared fingerprint) fall back to signature-scoped
+// identity — PR 1 semantics — while fingerprinted ones share across
+// signatures.
+func TestShareKeyOpaqueFallback(t *testing.T) {
+	tbl := scanTable(t, 64)
+	mk := func(sig, fp string) QuerySpec {
+		s := sumSpec(tbl, sig, fp)
+		s.Pivot = 1 // put the aggregate inside the shared prefix
+		return s
+	}
+	if ShareKey(mk("sig/a", "")) == ShareKey(mk("sig/b", "")) {
+		t.Error("opaque nodes shared across different signatures")
+	}
+	if ShareKey(mk("sig/a", "")) != ShareKey(mk("sig/a", "")) {
+		t.Error("opaque nodes do not share within one signature")
+	}
+	if ShareKey(mk("sig/a", "sum-v")) != ShareKey(mk("sig/b", "sum-v")) {
+		t.Error("fingerprinted nodes do not share across signatures")
+	}
+	if ShareKey(mk("sig/a", "sum-v")) == ShareKey(mk("sig/a", "sum-w")) {
+		t.Error("different fingerprints share a key")
+	}
+}
+
+// Two queries with different signatures but a fingerprint-equal prefix must
+// physically merge into one group and both complete correctly.
+func TestCrossSignatureSharing(t *testing.T) {
+	const rows = 1024
+	tbl := scanTable(t, rows)
+	e, err := New(Options{Workers: 2, StartPaused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a := sumSpec(tbl, "cross/a", "sum-v")
+	b := sumSpec(tbl, "cross/b", "sum-v")
+	ha, err := e.Submit(a, joinOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := e.Submit(b, joinOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.GroupSize(ShareKey(a)); got != 2 {
+		t.Fatalf("cross-signature group size = %d, want 2", got)
+	}
+	e.Start()
+	wantSum := float64(rows) * float64(rows-1) / 2
+	for i, h := range []*Handle{ha, hb} {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if got := res.MustCol("total").F64[0]; got != wantSum {
+			t.Errorf("member %d sum = %v, want %v", i, got, wantSum)
+		}
+	}
+}

@@ -15,22 +15,24 @@ import (
 // every consumer still sees every page exactly once.
 //
 // Delivery remains sequential across consumers, preserving the pivot's
-// fundamental per-consumer cost s; under CopyOnFanOut every consumer beyond
-// the first in a delivery receives a private clone, and that copy work is
-// accounted to the scan node's busy clock like any pivot work.
+// fundamental per-consumer cost s; the fan-out mode decides what each
+// consumer receives (refcounted shared page or private clone — see
+// FanOutMode), and any copy work is accounted to the scan node's busy
+// clock like any pivot work.
 type inflightScan struct {
-	name         string
-	src          *tableSource
-	scan         *storage.CircularScan
-	clock        *busyClock
-	fail         func(error)
-	retire       func() // removes the group from the joinable map; called once
-	copyOnFanOut bool
+	name   string
+	src    *tableSource
+	scan   *storage.CircularScan
+	clock  *busyClock
+	fail   func(error)
+	retire func() // removes the group from the joinable map; called once
+	fanOut FanOutMode
 
 	mu           sync.Mutex
 	queues       map[int]*PageQueue // scan-consumer id -> member chain head
 	pending      []scanDelivery
 	nextConsumer int
+	headMarked   bool
 	finished     bool
 }
 
@@ -45,15 +47,15 @@ type scanDelivery struct {
 	closeAfter []int
 }
 
-func newInflightScan(name string, src *tableSource, scan *storage.CircularScan, clock *busyClock, fail func(error), copyOnFanOut bool) *inflightScan {
+func newInflightScan(name string, src *tableSource, scan *storage.CircularScan, clock *busyClock, fail func(error), fanOut FanOutMode) *inflightScan {
 	return &inflightScan{
-		name:         name,
-		src:          src,
-		scan:         scan,
-		clock:        clock,
-		fail:         fail,
-		copyOnFanOut: copyOnFanOut,
-		queues:       make(map[int]*PageQueue),
+		name:   name,
+		src:    src,
+		scan:   scan,
+		clock:  clock,
+		fail:   fail,
+		fanOut: fanOut,
+		queues: make(map[int]*PageQueue),
 	}
 }
 
@@ -81,8 +83,11 @@ func (fs *inflightScan) flush(t *Task) bool {
 	defer fs.mu.Unlock()
 	for len(fs.pending) > 0 {
 		d := &fs.pending[0]
-		if d.b != nil && !deliverSeq(t, d.b, d.targets, &fs.nextConsumer, fs.copyOnFanOut) {
-			return false
+		if d.b != nil {
+			markShared(d.b, len(d.targets), fs.fanOut, &fs.headMarked)
+			if !deliverSeq(t, d.b, d.targets, &fs.nextConsumer, fs.fanOut) {
+				return false
+			}
 		}
 		for _, id := range d.closeAfter {
 			if q := fs.queues[id]; q != nil {
@@ -92,6 +97,7 @@ func (fs *inflightScan) flush(t *Task) bool {
 		}
 		fs.pending = fs.pending[1:]
 		fs.nextConsumer = 0
+		fs.headMarked = false
 	}
 	return true
 }
@@ -110,6 +116,7 @@ func (fs *inflightScan) abort() {
 	fs.queues = make(map[int]*PageQueue)
 	fs.pending = nil
 	fs.nextConsumer = 0
+	fs.headMarked = false
 	fs.mu.Unlock()
 	for _, q := range queues {
 		q.Close()

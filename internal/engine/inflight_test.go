@@ -74,7 +74,7 @@ func sumResult(t *testing.T, b *storage.Batch, rows int) {
 func TestInflightAttachBeforeStart(t *testing.T) {
 	const rows = 512
 	tbl := scanTable(t, rows)
-	e, err := New(Options{Workers: 2, CopyOnFanOut: true, StartPaused: true, InflightSharing: true})
+	e, err := New(Options{Workers: 2, FanOut: FanOutClone, StartPaused: true, InflightSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,27 +104,60 @@ func TestInflightAttachBeforeStart(t *testing.T) {
 	}
 }
 
+// gateOp passes pages through unchanged, but each Push first waits for the
+// gate channel to close. Blocking inside Push parks one scheduler worker,
+// so gated tests need Workers >= 2.
+type gateOp struct {
+	schema storage.Schema
+	gate   <-chan struct{}
+	emit   relop.Emit
+}
+
+func (g *gateOp) OutSchema() storage.Schema { return g.schema }
+func (g *gateOp) Push(b *storage.Batch) error {
+	<-g.gate
+	return g.emit(b)
+}
+func (g *gateOp) Finish() error { return nil }
+
 // TestInflightLateJoinerWrapAround submits a second query after the first
 // group's scan has demonstrably advanced: the joiner must attach mid-flight,
 // consume to the end, and recover its missed prefix on the wrap-around lap.
+// The first member's private chain is gated shut, so backpressure parks the
+// scan mid-table deterministically — the attach cannot race the scan's
+// completion no matter how fast the host is.
 func TestInflightLateJoinerWrapAround(t *testing.T) {
 	const rows = 20000
+	const pageRows = 16
 	tbl := scanTable(t, rows)
-	e, err := New(Options{Workers: 1, CopyOnFanOut: true, InflightSharing: true})
+	e, err := New(Options{Workers: 2, FanOut: FanOutClone, InflightSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	spec := scanSpec(tbl, 4)
-	h1, err := e.Submit(spec, attachAlways{})
+	gate := make(chan struct{})
+	schema := storage.MustSchema(storage.Column{Name: "v", Type: storage.Int64})
+	gated := QuerySpec{
+		Signature: "scan/t",
+		Pivot:     0,
+		Nodes: []NodeSpec{
+			ScanNode("t/scan", tbl, nil, []string{"v"}, pageRows),
+			{Name: "t/gate", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return &gateOp{schema: schema, gate: gate, emit: emit}, nil
+			}},
+		},
+	}
+	h1, err := e.Submit(gated, attachAlways{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wait for the cursor to move so the attach is genuinely mid-flight.
-	cs := e.ScanRegistry().Lookup("t/scan/t")
+	// The scan registers in the work exchange under the group's share key.
+	cs := e.ScanRegistry().Lookup(ShareKey(gated))
 	if cs == nil {
 		t.Fatal("scan not published in the registry")
 	}
+	// With the gate shut the member's head queue fills and the scan parks a
+	// bounded number of quanta in — far past 64 rows, far short of the end.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if pos, lap := cs.Progress(); pos > 64 || lap > 0 {
@@ -135,7 +168,9 @@ func TestInflightLateJoinerWrapAround(t *testing.T) {
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
-	h2, err := e.Submit(spec, attachAlways{})
+	// The joiner's scan prefix fingerprints identically (same declared
+	// scan), so it attaches mid-flight despite its different private chain.
+	h2, err := e.Submit(scanSpec(tbl, pageRows), attachAlways{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,6 +178,7 @@ func TestInflightLateJoinerWrapAround(t *testing.T) {
 		t.Fatalf("InflightAttaches = %d, want 1 (scan had %d of %d rows left)",
 			got, rows-func() int { p, _ := cs.Progress(); return p }(), rows)
 	}
+	close(gate)
 	for _, h := range []*Handle{h1, h2} {
 		res, err := h.Wait()
 		if err != nil {
@@ -157,7 +193,7 @@ func TestInflightLateJoinerWrapAround(t *testing.T) {
 func TestInflightRefusedRunsIndependently(t *testing.T) {
 	const rows = 2048
 	tbl := scanTable(t, rows)
-	e, err := New(Options{Workers: 2, CopyOnFanOut: true, StartPaused: true, InflightSharing: true})
+	e, err := New(Options{Workers: 2, FanOut: FanOutClone, StartPaused: true, InflightSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +268,7 @@ func TestInflightDisabledUsesSubmitTimeGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.mu.Lock()
-	g := e.joinable[spec.Signature]
+	g := e.joinable[ShareKey(spec)]
 	e.mu.Unlock()
 	if g == nil || g.inflight != nil {
 		t.Fatal("inflight machinery built despite InflightSharing=false")
@@ -284,7 +320,7 @@ func TestInflightMemberFailureAbortsGroup(t *testing.T) {
 			}},
 		},
 	}
-	e, err := New(Options{Workers: 2, CopyOnFanOut: true, StartPaused: true, InflightSharing: true})
+	e, err := New(Options{Workers: 2, FanOut: FanOutClone, StartPaused: true, InflightSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +379,7 @@ func TestInflightAggChain(t *testing.T) {
 			}},
 		},
 	}
-	e, err := New(Options{Workers: 2, CopyOnFanOut: true, StartPaused: true, InflightSharing: true})
+	e, err := New(Options{Workers: 2, FanOut: FanOutClone, StartPaused: true, InflightSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,8 +72,10 @@ func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int) error 
 	if err != nil {
 		return err
 	}
-	key := scanNode.Scan.Table.Name + "/" + spec.Signature
-	md := e.scans.PublishPartitioned(key, scanNode.Scan.Table.NumRows(), probe.pageRows)
+	// The dispenser covers exactly the scan, so it registers in the work
+	// exchange under the scan-level fingerprint: monitors see partitioned
+	// and shared coverage of one subplan side by side.
+	md := e.scans.PublishPartitioned(shareKeyAt(spec, 0), scanNode.Scan.Table.NumRows(), probe.pageRows)
 	ok := false
 	defer func() {
 		if !ok {

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// twoColTable builds a table with int and string columns and n rows.
+func twoColTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable("edge", storage.MustSchema(
+		storage.Column{Name: "v", Type: storage.Int64},
+		storage.Column{Name: "tag", Type: storage.String},
+	))
+	for i := 0; i < n; i++ {
+		tbl.MustAppend(int64(i), "row")
+	}
+	return tbl
+}
+
+// A nil Cols projection must scan every column of the table, in schema
+// order.
+func TestScanSpecNilColsProjectsAll(t *testing.T) {
+	tbl := twoColTable(t, 8)
+	sc := &ScanSpec{Table: tbl}
+	src, err := sc.newSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := src.Schema()
+	want := tbl.Schema()
+	if got.Arity() != want.Arity() {
+		t.Fatalf("nil-Cols schema arity = %d, want %d", got.Arity(), want.Arity())
+	}
+	for i, c := range want.Cols {
+		if got.Cols[i].Name != c.Name || got.Cols[i].Type != c.Type {
+			t.Errorf("column %d = %+v, want %+v", i, got.Cols[i], c)
+		}
+	}
+	b, eof, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == nil || b.Len() != 8 || !eof {
+		t.Fatalf("Next over 8 rows: batch=%v eof=%v", b, eof)
+	}
+	if b.MustCol("tag").Str[0] != "row" {
+		t.Error("string column not scanned")
+	}
+}
+
+// An empty table must report eof without producing a batch, and a full
+// engine query over it must still complete (a global aggregate owes one
+// zero row over empty input).
+func TestScanSpecEmptyTable(t *testing.T) {
+	tbl := twoColTable(t, 0)
+	sc := &ScanSpec{Table: tbl, Cols: []string{"v"}}
+	src, err := sc.newSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, eof, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nil || !eof {
+		t.Fatalf("empty table scan: batch=%v eof=%v, want nil/true", b, eof)
+	}
+
+	e, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	scanSchema := storage.MustSchema(storage.Column{Name: "v", Type: storage.Int64})
+	spec := QuerySpec{
+		Signature: "edge/empty",
+		Pivot:     0,
+		Nodes: []NodeSpec{
+			ScanNode("edge/scan", tbl, nil, []string{"v"}, 16),
+			{Name: "edge/agg", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{
+					{Func: relop.Count, As: "cnt"},
+				}, emit)
+			}},
+		},
+	}
+	h, err := e.Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.MustCol("cnt").I64[0] != 0 {
+		t.Errorf("empty-table aggregate = %v rows, want one zero row", res.Len())
+	}
+}
+
+// PageRows <= 0 derives the quantum from the page size and the projected
+// schema — not the table's full schema — and explicit values are honored.
+func TestScanSpecPageRowsDerivation(t *testing.T) {
+	tbl := twoColTable(t, 100)
+	derived := &ScanSpec{Table: tbl, Cols: []string{"v"}}
+	src, err := derived.newSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := tbl.Schema().Project("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := storage.RowsPerPage(proj, storage.DefaultPageSize); src.pageRows != want {
+		t.Errorf("derived pageRows = %d, want %d", src.pageRows, want)
+	}
+	negative := &ScanSpec{Table: tbl, Cols: []string{"v"}, PageRows: -7}
+	nsrc, err := negative.newSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsrc.pageRows != src.pageRows {
+		t.Errorf("negative PageRows = %d, want derived %d", nsrc.pageRows, src.pageRows)
+	}
+	explicit := &ScanSpec{Table: tbl, Cols: []string{"v"}, PageRows: 13}
+	esrc, err := explicit.newSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esrc.pageRows != 13 {
+		t.Errorf("explicit PageRows = %d, want 13", esrc.pageRows)
+	}
+	// The explicit quantum drives batch sizes: 100 rows in pages of 13.
+	rows, pages := 0, 0
+	for {
+		b, eof, err := esrc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != nil {
+			rows += b.Len()
+			pages++
+			if b.Len() > 13 {
+				t.Errorf("page of %d rows exceeds quantum 13", b.Len())
+			}
+		}
+		if eof {
+			break
+		}
+	}
+	if rows != 100 || pages != 8 {
+		t.Errorf("scan delivered %d rows in %d pages, want 100 in 8", rows, pages)
+	}
+}

@@ -279,7 +279,7 @@ func TestOutboxFanOutCopies(t *testing.T) {
 	}
 	qa := NewPageQueue(s, "a", 4)
 	qb := NewPageQueue(s, "b", 4)
-	ob := &outbox{outs: []*PageQueue{qa, qb}, copyOnFanOut: true}
+	ob := &outbox{outs: []*PageQueue{qa, qb}, fanOut: FanOutClone}
 	sch := storage.MustSchema(storage.Column{Name: "x", Type: storage.Int64})
 	b := storage.NewBatch(sch, 1)
 	if err := b.AppendRow(int64(7)); err != nil {
@@ -300,14 +300,15 @@ func TestOutboxFanOutCopies(t *testing.T) {
 	if ba == nil || bb == nil {
 		t.Fatal("fan-out did not deliver to both consumers")
 	}
-	// First consumer gets the original; the second a private clone.
-	if ba != b {
-		t.Error("first consumer did not receive the original page")
+	// The last consumer receives the original (a move); earlier consumers
+	// get private clones.
+	if bb != b {
+		t.Error("last consumer did not receive the original page (move)")
 	}
-	if bb == b {
-		t.Error("second consumer shares the original page despite copyOnFanOut")
+	if ba == b {
+		t.Error("first consumer shares the original page despite FanOutClone")
 	}
-	if bb.MustCol("x").I64[0] != 7 {
+	if ba.MustCol("x").I64[0] != 7 {
 		t.Error("clone corrupted")
 	}
 }

@@ -63,6 +63,15 @@ type NodeSpec struct {
 	// Name identifies the node; it doubles as the stage name for
 	// profiling/busy-time accounting.
 	Name string
+	// Fingerprint is the node's canonical identity for subplan sharing:
+	// two nodes with equal fingerprints (and equally-fingerprinted inputs)
+	// compute the same thing. Declared scans fingerprint themselves
+	// structurally and may leave this empty; operator and join factories are
+	// opaque closures, so a plan builder that wants the node inside a shared
+	// prefix must declare its identity here. Empty on a non-scan node means
+	// opaque: sharing through that node falls back to whole-Signature
+	// matching (PR 1 semantics).
+	Fingerprint string
 	// Source makes this node a leaf producer.
 	Source SourceFactory
 	// Scan makes this node a declared base-table scan — a leaf producer the
@@ -127,6 +136,14 @@ type QuerySpec struct {
 	// Model carries the query's analytical-model coefficients, used by
 	// model-guided sharing policies at admission time.
 	Model core.Query
+	// Pivots optionally offers alternative sharing pivots: each option is a
+	// node index at which the plan may merge with a group, paired with the
+	// model compiled against that pivot. When empty the spec shares only at
+	// Pivot. At submission the engine probes options from the highest level
+	// down ("the highest point where sharing is possible") for a joinable
+	// group, and a pivot-selecting policy chooses the level a fresh group
+	// anchors at.
+	Pivots []PivotOption
 	// Parallel requests unshared execution as this many partitioned clones
 	// (0 = let the submission policy decide, 1 = force serial). Degrees
 	// above 1 require a parallelizable plan (see CanParallel) and are
@@ -134,10 +151,35 @@ type QuerySpec struct {
 	Parallel int
 }
 
+// PivotOption is one candidate sharing pivot: a node index the plan may
+// merge at, with the model coefficients compiled against that pivot (the
+// split of work into below/pivot/above depends on the level).
+type PivotOption struct {
+	// Pivot indexes the candidate pivot node.
+	Pivot int
+	// Model is the query's work model compiled at this pivot.
+	Model core.Query
+}
+
 // Spec validation errors.
 var (
 	ErrBadSpec = errors.New("engine: invalid query spec")
 )
+
+// pivotOptions returns the spec's candidate pivots ordered highest level
+// first, falling back to the declared (Pivot, Model) when none are offered.
+func (q QuerySpec) pivotOptions() []PivotOption {
+	if len(q.Pivots) == 0 {
+		return []PivotOption{{Pivot: q.Pivot, Model: q.Model}}
+	}
+	out := append([]PivotOption(nil), q.Pivots...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pivot > out[j-1].Pivot; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
 
 // CanParallel reports whether the spec can run as partitioned clones: the
 // plan is a linear chain rooted at a declared base-table scan (node 0), so
@@ -221,8 +263,26 @@ func (q QuerySpec) Validate() error {
 			return fmt.Errorf("%w: node %d (%s) consumed %d times, want %d", ErrBadSpec, i, q.Nodes[i].Name, consumed[i], want)
 		}
 	}
-	// Private part above the pivot must be a linear chain of unary ops.
-	for i := q.Pivot + 1; i < len(q.Nodes); i++ {
+	// Private part above the pivot must be a linear chain of unary ops —
+	// for the declared pivot and for every candidate level.
+	if err := q.validateChainAbove(q.Pivot); err != nil {
+		return err
+	}
+	for _, opt := range q.Pivots {
+		if opt.Pivot < 0 || opt.Pivot >= len(q.Nodes) {
+			return fmt.Errorf("%w: candidate pivot %d out of range", ErrBadSpec, opt.Pivot)
+		}
+		if err := q.validateChainAbove(opt.Pivot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateChainAbove checks the nodes above a (candidate) pivot form a
+// linear chain of unary operators to the root.
+func (q QuerySpec) validateChainAbove(pivot int) error {
+	for i := pivot + 1; i < len(q.Nodes); i++ {
 		nd := q.Nodes[i]
 		if nd.Op == nil {
 			return fmt.Errorf("%w: node %d (%s) above the pivot must be a unary operator", ErrBadSpec, i, nd.Name)

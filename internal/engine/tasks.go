@@ -17,14 +17,19 @@ type outbox struct {
 	outs         []*PageQueue
 	pending      []*storage.Batch
 	nextConsumer int
-	copyOnFanOut bool
+	fanOut       FanOutMode
 	onFirstEmit  func()
 	// retire, when set, replaces queue closure in closeAll: parallel clones
 	// share one fan-in queue, which must close only after the last clone
 	// retires (see fanInCloser), not when the first one finishes.
-	retire  func()
-	emitted bool
-	closed  bool
+	retire func()
+	// onClosed, when set, runs once after the output stream has ended (all
+	// consumer queues closed); the engine retires the group's work-exchange
+	// outlet through it.
+	onClosed   func()
+	headMarked bool
+	emitted    bool
+	closed     bool
 }
 
 // add buffers a batch for delivery. The first add seals the sharing group
@@ -56,16 +61,19 @@ func (o *outbox) consumers() int {
 }
 
 // deliverSeq pushes b to queues[*next:] sequentially — the serialization
-// the paper identifies as the pivot's fundamental cost. Fan-out pays the
-// per-consumer copy: every sharer beyond the first receives a private
-// clone of the page (the physical s of the model); single-consumer
-// hand-off moves the pointer. Returns false when a full queue blocked
-// progress, leaving *next at the resume position (the task should return
-// Blocked; the queue registered it for wake-up).
-func deliverSeq(t *Task, b *storage.Batch, queues []*PageQueue, next *int, copyOnFanOut bool) bool {
+// the paper identifies as the pivot's fundamental cost. What each consumer
+// receives depends on the fan-out mode: FanOutShare hands every consumer
+// the same refcounted read-only pointer (the caller marks the page's reader
+// count once, via markShared, before the first delivery); FanOutClone
+// deep-copies per consumer except the last, which receives the original (a
+// move — the physical s of the model). Single-consumer hand-off always
+// moves. Returns false when a full queue blocked progress, leaving *next
+// at the resume position (the task should return Blocked; the queue
+// registered it for wake-up).
+func deliverSeq(t *Task, b *storage.Batch, queues []*PageQueue, next *int, mode FanOutMode) bool {
 	for *next < len(queues) {
 		out := b
-		if copyOnFanOut && len(queues) > 1 && *next > 0 {
+		if mode == FanOutClone && *next < len(queues)-1 {
 			out = b.Clone()
 		}
 		if !queues[*next].TryPush(t, out) {
@@ -76,23 +84,35 @@ func deliverSeq(t *Task, b *storage.Batch, queues []*PageQueue, next *int, copyO
 	return true
 }
 
+// markShared applies FanOutShare's reader accounting exactly once per batch:
+// marked tracks whether the head batch was already marked, so a delivery
+// that blocks mid-fan-out and resumes does not double-count its readers.
+func markShared(b *storage.Batch, consumers int, mode FanOutMode, marked *bool) {
+	if mode == FanOutShare && consumers > 1 && !*marked {
+		b.MarkShared(consumers - 1)
+	}
+	*marked = true
+}
+
 // flush delivers pending batches to all consumers in order. It returns true
 // when everything was delivered, false when a full queue blocked progress.
 func (o *outbox) flush(t *Task) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for len(o.pending) > 0 {
-		if !deliverSeq(t, o.pending[0], o.outs, &o.nextConsumer, o.copyOnFanOut) {
+		markShared(o.pending[0], len(o.outs), o.fanOut, &o.headMarked)
+		if !deliverSeq(t, o.pending[0], o.outs, &o.nextConsumer, o.fanOut) {
 			return false
 		}
 		o.pending = o.pending[1:]
 		o.nextConsumer = 0
+		o.headMarked = false
 	}
 	return true
 }
 
 // closeAll closes every consumer queue, or defers to the retire hook when
-// one is set (idempotent either way).
+// one is set; either way onClosed then fires once (idempotent overall).
 func (o *outbox) closeAll() {
 	o.mu.Lock()
 	if o.closed {
@@ -102,13 +122,17 @@ func (o *outbox) closeAll() {
 	o.closed = true
 	outs := append([]*PageQueue(nil), o.outs...)
 	retire := o.retire
+	onClosed := o.onClosed
 	o.mu.Unlock()
 	if retire != nil {
 		retire()
-		return
+	} else {
+		for _, q := range outs {
+			q.Close()
+		}
 	}
-	for _, q := range outs {
-		q.Close()
+	if onClosed != nil {
+		onClosed()
 	}
 }
 
@@ -322,7 +346,16 @@ func (sk *sinkTask) step(t *Task) Status {
 		b, ok, done := sk.in.TryPop(t)
 		switch {
 		case ok:
-			sk.result.AppendBatch(b)
+			if sk.result.Len() == 0 {
+				// Adopt the first page wholesale through the refcounted
+				// write path: when this sink is the page's only owner the
+				// adoption is a move (zero copy — the common case for
+				// single-page aggregate results); while other readers hold
+				// it, Writable yields a private clone instead.
+				sk.result = b.Writable()
+			} else {
+				sk.result.AppendBatch(b)
+			}
 		case done:
 			sk.complete(sk.result)
 			return Done

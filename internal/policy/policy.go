@@ -5,6 +5,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 )
@@ -62,6 +64,12 @@ type ModelGuided struct {
 	// MaxDegree caps the clone degree of the parallelize arm; 0 or 1
 	// disables it, restoring the paper's pure share-vs-alone test.
 	MaxDegree int
+	// PivotSelect enables model-guided pivot selection: when a query offers
+	// several candidate sharing pivots, a fresh group anchors at the level
+	// whose shared execution the model predicts fastest under the current
+	// load (engine.PivotPolicy). Off, groups anchor at the spec's declared
+	// pivot and candidates only matter for joining existing groups.
+	PivotSelect bool
 }
 
 // ShouldJoin implements engine.SharePolicy.
@@ -118,9 +126,7 @@ func (p ModelGuided) ShouldAttachUnderLoad(q core.Query, m int, remaining float6
 	if load > eff {
 		eff = load
 	}
-	adj := q
-	adj.PivotS = q.PivotS + (1-remaining)*q.PivotW/float64(eff)
-	xs := core.SharedX(adj, eff, p.Env)
+	xs := core.SharedX(core.AttachAdjusted(q, eff, remaining), eff, p.Env)
 	if xs <= core.UnsharedX(q, eff, p.Env) {
 		return false
 	}
@@ -132,6 +138,24 @@ func (p ModelGuided) ShouldAttachUnderLoad(q core.Query, m int, remaining float6
 		}
 	}
 	return true
+}
+
+// ChoosePivot implements engine.PivotPolicy: the candidate level (highest
+// first, as the engine orders them) whose shared execution the model
+// predicts fastest at the anticipated group size — the engine's current
+// load, since under closed-loop traffic everyone active will face the same
+// merge opportunity. A negative return keeps the spec's declared pivot,
+// which is what a non-selecting policy gets.
+func (p ModelGuided) ChoosePivot(cands []core.Query, load int) int {
+	if !p.PivotSelect {
+		return -1
+	}
+	m := load
+	if m < 2 {
+		m = 2 // a group is only worth anchoring if someone may join
+	}
+	best, _ := core.BestPivot(cands, m, p.Env)
+	return best
 }
 
 // Degree implements engine.ParallelPolicy: the clone degree for a query
@@ -166,8 +190,7 @@ func (p ModelGuided) ShouldAttach(q core.Query, m int, remaining float64) bool {
 	if remaining > 1 {
 		remaining = 1
 	}
-	adj := q
-	adj.PivotS = q.PivotS + (1-remaining)*q.PivotW/float64(m)
+	adj := core.AttachAdjusted(q, m, remaining)
 	return core.SharedX(adj, m, p.Env) > core.UnsharedX(q, m, p.Env)
 }
 
@@ -181,6 +204,7 @@ var (
 	_ engine.ParallelPolicy  = Parallel{}
 	_ engine.ParallelPolicy  = ModelGuided{}
 	_ engine.LoadAwarePolicy = ModelGuided{}
+	_ engine.PivotPolicy     = ModelGuided{}
 )
 
 // Name returns a short policy label for reports.
@@ -193,10 +217,14 @@ func Name(p engine.SharePolicy) string {
 	case Parallel:
 		return "parallel"
 	case ModelGuided:
-		if pol.MaxDegree > 1 {
+		switch {
+		case pol.PivotSelect:
+			return "subplan"
+		case pol.MaxDegree > 1:
 			return "hybrid"
+		default:
+			return "model"
 		}
-		return "model"
 	default:
 		return "custom"
 	}
@@ -211,3 +239,37 @@ func ForEngine(p engine.SharePolicy) engine.SharePolicy {
 	}
 	return p
 }
+
+// ByName resolves a policy label (the inverse of Name, plus the CLI-only
+// "inflight" alias) into the policy and whether the engine should run with
+// in-flight scan sharing for it. env is the hardware the model-guided
+// policies evaluate against and maxDegree the clone-degree cap of their
+// parallelize arm (typically the worker count). Shared by cordoba and
+// benchjson so the two never drift.
+func ByName(name string, env core.Env, maxDegree int) (pol engine.SharePolicy, inflight bool, err error) {
+	switch name {
+	case "never":
+		return Never{}, false, nil
+	case "always":
+		return Always{}, false, nil
+	case "model":
+		return ModelGuided{Env: env}, false, nil
+	case "inflight":
+		// The model policy with mid-flight scan attach enabled.
+		return ModelGuided{Env: env}, true, nil
+	case "parallel":
+		return Parallel{Clones: maxDegree}, false, nil
+	case "hybrid":
+		// Model-guided share / parallelize / run-alone with mid-scan attach.
+		return ModelGuided{Env: env, MaxDegree: maxDegree}, true, nil
+	case "subplan":
+		// Hybrid plus model-guided pivot selection: fresh groups anchor at
+		// the candidate level with the fastest predicted shared rate.
+		return ModelGuided{Env: env, MaxDegree: maxDegree, PivotSelect: true}, true, nil
+	default:
+		return nil, false, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// Names lists the labels ByName accepts, in comparison order.
+var Names = []string{"model", "inflight", "parallel", "hybrid", "subplan", "always", "never"}

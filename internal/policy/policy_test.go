@@ -99,6 +99,9 @@ func TestName(t *testing.T) {
 	if Name(ModelGuided{}) != "model" {
 		t.Error("model name wrong")
 	}
+	if Name(ModelGuided{MaxDegree: 4, PivotSelect: true}) != "subplan" {
+		t.Error("pivot-selecting hybrid not named subplan")
+	}
 	if Name(ModelGuided{MaxDegree: 4}) != "hybrid" {
 		t.Error("hybrid name wrong")
 	}
@@ -185,6 +188,27 @@ func TestModelGuidedLoadAwareJoin(t *testing.T) {
 	serial := ModelGuided{Env: core.NewEnv(4)}
 	if serial.ShouldJoinUnderLoad(q, 2, 8, true) != serial.ShouldJoin(q, 2) {
 		t.Error("plain model policy changed behavior under load")
+	}
+}
+
+// Pivot selection: off by default (keep the declared pivot), on it picks
+// the candidate level with the fastest predicted shared rate — the
+// aggregate level when sharing there eliminates nearly all work.
+func TestModelGuidedChoosePivot(t *testing.T) {
+	aggLevel := core.Query{Name: "q@agg", Below: []float64{19}, PivotW: 3.3, PivotS: 0.2}
+	scanLevel := core.Query{Name: "q@scan", PivotW: 10, PivotS: 9, Above: []float64{3.5}}
+	cands := []core.Query{aggLevel, scanLevel}
+	off := ModelGuided{Env: core.NewEnv(2)}
+	if got := off.ChoosePivot(cands, 4); got != -1 {
+		t.Errorf("PivotSelect off: ChoosePivot = %d, want -1", got)
+	}
+	on := ModelGuided{Env: core.NewEnv(2), PivotSelect: true}
+	if got := on.ChoosePivot(cands, 4); got != 0 {
+		t.Errorf("ChoosePivot = %d, want 0 (agg level)", got)
+	}
+	// Even a lone arrival anchors where a prospective joiner would profit.
+	if got := on.ChoosePivot(cands, 1); got != 0 {
+		t.Errorf("ChoosePivot under load 1 = %d, want 0", got)
 	}
 }
 

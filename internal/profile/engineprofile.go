@@ -68,7 +68,7 @@ func oneEngineRound(cfg EngineRuns, m int) (map[string]float64, error) {
 	opts := cfg.Options
 	opts.Profile = true
 	opts.StartPaused = true
-	opts.CopyOnFanOut = true
+	opts.FanOut = engine.FanOutClone
 	e, err := engine.New(opts)
 	if err != nil {
 		return nil, err

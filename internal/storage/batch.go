@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Batch is a column-major group of tuples flowing between operators. All
 // vectors have the same length.
@@ -9,6 +12,9 @@ type Batch struct {
 	Schema Schema
 	// Vecs holds one vector per schema column.
 	Vecs []Vector
+	// shared counts extra readers beyond the owner when the batch is fanned
+	// out read-only to several consumers (see MarkShared / Writable).
+	shared atomic.Int32
 }
 
 // NewBatch allocates an empty batch with capacity hint n rows.

@@ -2,8 +2,9 @@ package storage
 
 // Clone returns a deep copy of the batch: fresh vectors whose mutation never
 // affects the original. The staged engine clones pages when a shared pivot
-// fans out results to multiple consumers — the physical realization of the
-// per-consumer output cost s the model charges the pivot.
+// fans out results under its eager-copy mode — the physical realization of
+// the per-consumer output cost s the model charges the pivot. Under the
+// default refcounted fan-out, Clone runs only on the write path (Writable).
 func (b *Batch) Clone() *Batch {
 	out := &Batch{Schema: b.Schema, Vecs: make([]Vector, len(b.Vecs))}
 	for i, v := range b.Vecs {
@@ -19,4 +20,31 @@ func (b *Batch) Clone() *Batch {
 		out.Vecs[i] = cp
 	}
 	return out
+}
+
+// MarkShared records n additional readers of the batch beyond its owner: the
+// pivot fanning one page out to m consumers marks it with m-1 extra readers
+// and hands every consumer the same pointer. Shared batches are read-only by
+// contract; a consumer that needs to mutate goes through Writable.
+func (b *Batch) MarkShared(n int) {
+	if n > 0 {
+		b.shared.Add(int32(n))
+	}
+}
+
+// Shared reports whether the batch currently has extra readers and must be
+// treated as read-only.
+func (b *Batch) Shared() bool { return b.shared.Load() > 0 }
+
+// Writable is the write path of refcounted fan-out: it returns the batch
+// itself when exclusively owned (a move — the common case for the last or
+// only consumer) and a deep clone when other readers still hold it, giving
+// up this consumer's claim on the shared original. Clone-on-write means the
+// fan-out itself copies nothing; only consumers that mutate pay.
+func (b *Batch) Writable() *Batch {
+	if b.shared.Load() == 0 {
+		return b
+	}
+	b.shared.Add(-1)
+	return b.Clone()
 }

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the unified work-exchange registry: the single
+// subsystem through which every in-flight work-sharing primitive registers,
+// is discovered, and retires. Three kinds of entry coexist, all keyed by the
+// canonical fingerprint of the subplan whose work they carry:
+//
+//   - circular scans (scanshare.go): every page to every consumer, late
+//     joiners attach mid-flight and recover the missed prefix on wrap-around;
+//   - partitioned scans (partition.go): every page to exactly one clone of a
+//     consumer group (morsel-driven intra-query parallelism);
+//   - subplan outlets: a shared operator pipeline above the scan whose pivot
+//     fans each output page to its member chains. The exchange tracks the
+//     outlet's live consumer count so monitors see sharing at any level, not
+//     just at the leaf.
+//
+// Before this unification the engine juggled a scan registry and a dispenser
+// map with separate lifecycles; now publish, lookup, and retire flow through
+// one keyed map with kind-tagged entries.
+
+// ExchangeKind tags one work-exchange entry.
+type ExchangeKind int
+
+const (
+	// KindCircular is an in-flight circular (elevator) scan.
+	KindCircular ExchangeKind = iota
+	// KindPartitioned is a morsel-dispensed partitioned scan group.
+	KindPartitioned
+	// KindOutlet is a shared subplan pivot fanning pages to member chains.
+	KindOutlet
+)
+
+// String returns the kind label.
+func (k ExchangeKind) String() string {
+	switch k {
+	case KindCircular:
+		return "circular"
+	case KindPartitioned:
+		return "partitioned"
+	case KindOutlet:
+		return "outlet"
+	default:
+		return fmt.Sprintf("ExchangeKind(%d)", int(k))
+	}
+}
+
+// Outlet is the exchange's record of a shared subplan pipeline: the common
+// prefix of a sharing group that runs once while its pivot fans each output
+// page out to the member chains. The outlet carries no data itself (pages
+// flow through the engine's queues); it exists so sharing above the scan is
+// as observable and retireable as the scan-level primitives.
+type Outlet struct {
+	mu        sync.Mutex
+	key       string
+	consumers int
+	closed    bool
+	onClose   func()
+}
+
+// Key returns the fingerprint the outlet was published under.
+func (o *Outlet) Key() string { return o.key }
+
+// Attach records one more member chain drawing from the outlet. It returns
+// false once the outlet has retired.
+func (o *Outlet) Attach() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return false
+	}
+	o.consumers++
+	return true
+}
+
+// Consumers returns the current member count.
+func (o *Outlet) Consumers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.consumers
+}
+
+// Retire closes the outlet and unregisters it. Idempotent.
+func (o *Outlet) Retire() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	hook := o.onClose
+	o.onClose = nil
+	o.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// Closed reports whether the outlet has retired.
+func (o *Outlet) Closed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.closed
+}
+
+// exchangeEntry is one kind-tagged registration.
+type exchangeEntry struct {
+	kind ExchangeKind
+	circ *CircularScan
+	part *MorselDispenser
+	out  *Outlet
+}
+
+// Exchange is the unified work-exchange registry. All methods are safe for
+// concurrent use. Entries unregister themselves when their primitive closes.
+type Exchange struct {
+	mu      sync.Mutex
+	entries map[string]exchangeEntry
+	seq     int
+}
+
+// ScanRegistry is the exchange's historical name; the engine and older
+// call sites still reach the registry through it.
+type ScanRegistry = Exchange
+
+// NewExchange creates an empty work-exchange registry.
+func NewExchange() *Exchange {
+	return &Exchange{entries: make(map[string]exchangeEntry)}
+}
+
+// NewScanRegistry creates an empty registry (alias of NewExchange).
+func NewScanRegistry() *Exchange { return NewExchange() }
+
+// Publish creates a circular scan over rows rows, registers it under key,
+// and returns it. A still-live entry previously registered under the same
+// key is superseded (its consumers finish undisturbed; it simply stops
+// being discoverable).
+func (r *Exchange) Publish(key string, rows, pageRows int) *CircularScan {
+	cs := NewCircularScan(rows, pageRows)
+	r.mu.Lock()
+	r.entries[key] = exchangeEntry{kind: KindCircular, circ: cs}
+	r.mu.Unlock()
+	cs.mu.Lock()
+	cs.onClose = func() { r.unregisterCircular(key, cs) }
+	cs.mu.Unlock()
+	return cs
+}
+
+// PublishPartitioned creates a morsel dispenser over rows rows and registers
+// it under a key derived from key plus a unique sequence number: every call
+// starts a fresh consumer group, so two concurrent partitioned runs of the
+// same query never steal each other's spans (exactly-once is per group, not
+// per table). The dispenser unregisters itself once fully dispensed or
+// closed. Partitioned entries live alongside circular scans and outlets;
+// the same subplan may be covered by several kinds at once.
+func (r *Exchange) PublishPartitioned(key string, rows, morselRows int) *MorselDispenser {
+	md := NewMorselDispenser(rows, morselRows)
+	r.mu.Lock()
+	r.seq++
+	id := fmt.Sprintf("%s#%d", key, r.seq)
+	r.entries[id] = exchangeEntry{kind: KindPartitioned, part: md}
+	r.mu.Unlock()
+	md.mu.Lock()
+	if md.closed {
+		// Zero-row dispensers may have closed before the hook was set.
+		md.mu.Unlock()
+		r.mu.Lock()
+		delete(r.entries, id)
+		r.mu.Unlock()
+		return md
+	}
+	md.onClose = func() { r.unregisterPartitioned(id, md) }
+	md.mu.Unlock()
+	return md
+}
+
+// PublishOutlet registers a shared subplan outlet under key and returns it.
+// A still-live outlet under the same key is superseded.
+func (r *Exchange) PublishOutlet(key string) *Outlet {
+	o := &Outlet{key: key}
+	r.mu.Lock()
+	r.entries[key] = exchangeEntry{kind: KindOutlet, out: o}
+	r.mu.Unlock()
+	o.mu.Lock()
+	o.onClose = func() { r.unregisterOutlet(key, o) }
+	o.mu.Unlock()
+	return o
+}
+
+// Lookup returns the in-flight circular scan registered under key, or nil.
+func (r *Exchange) Lookup(key string) *CircularScan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[key].circ
+}
+
+// LookupOutlet returns the live outlet registered under key, or nil.
+func (r *Exchange) LookupOutlet(key string) *Outlet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[key].out
+}
+
+// countKind returns the number of live entries of one kind.
+func (r *Exchange) countKind(k ExchangeKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns the number of registered (live) circular scans.
+func (r *Exchange) InFlight() int { return r.countKind(KindCircular) }
+
+// PartitionedInFlight returns the number of registered (live) partitioned
+// scan groups.
+func (r *Exchange) PartitionedInFlight() int { return r.countKind(KindPartitioned) }
+
+// OutletsInFlight returns the number of registered (live) subplan outlets.
+func (r *Exchange) OutletsInFlight() int { return r.countKind(KindOutlet) }
+
+// Entries returns the total number of live registrations of all kinds.
+func (r *Exchange) Entries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+func (r *Exchange) unregisterCircular(key string, cs *CircularScan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries[key].circ == cs {
+		delete(r.entries, key)
+	}
+}
+
+func (r *Exchange) unregisterPartitioned(id string, md *MorselDispenser) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries[id].part == md {
+		delete(r.entries, id)
+	}
+}
+
+func (r *Exchange) unregisterOutlet(key string, o *Outlet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries[key].out == o {
+		delete(r.entries, key)
+	}
+}

@@ -1,0 +1,101 @@
+package storage
+
+import "testing"
+
+// All three entry kinds must coexist in one exchange under their own keys
+// and be counted separately and together.
+func TestExchangeKindsCoexist(t *testing.T) {
+	x := NewExchange()
+	cs := x.Publish("scan-key", 128, 16)
+	md := x.PublishPartitioned("scan-key", 128, 16)
+	o := x.PublishOutlet("outlet-key")
+	if got := x.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	if got := x.PartitionedInFlight(); got != 1 {
+		t.Errorf("PartitionedInFlight = %d, want 1", got)
+	}
+	if got := x.OutletsInFlight(); got != 1 {
+		t.Errorf("OutletsInFlight = %d, want 1", got)
+	}
+	if got := x.Entries(); got != 3 {
+		t.Errorf("Entries = %d, want 3", got)
+	}
+	if x.Lookup("scan-key") != cs {
+		t.Error("Lookup did not return the circular scan")
+	}
+	if x.LookupOutlet("outlet-key") != o {
+		t.Error("LookupOutlet did not return the outlet")
+	}
+	// Each kind retires through its own lifecycle.
+	cs.Close()
+	md.Close()
+	o.Retire()
+	if got := x.Entries(); got != 0 {
+		t.Errorf("Entries after retiring all = %d, want 0", got)
+	}
+}
+
+// Outlet lifecycle: attach counts consumers, retire closes and unregisters,
+// and closed outlets refuse further attaches. Retire is idempotent.
+func TestOutletLifecycle(t *testing.T) {
+	x := NewExchange()
+	o := x.PublishOutlet("k")
+	if o.Key() != "k" {
+		t.Errorf("Key = %q, want k", o.Key())
+	}
+	if !o.Attach() || !o.Attach() {
+		t.Fatal("attach to a live outlet refused")
+	}
+	if got := o.Consumers(); got != 2 {
+		t.Errorf("Consumers = %d, want 2", got)
+	}
+	if o.Closed() {
+		t.Error("live outlet reports closed")
+	}
+	o.Retire()
+	o.Retire() // idempotent
+	if !o.Closed() {
+		t.Error("retired outlet not closed")
+	}
+	if o.Attach() {
+		t.Error("attach to a retired outlet succeeded")
+	}
+	if x.LookupOutlet("k") != nil {
+		t.Error("retired outlet still discoverable")
+	}
+}
+
+// A newer outlet under the same key supersedes the older one: the old
+// outlet keeps serving its consumers but stops being discoverable, and its
+// late retire must not unregister its successor.
+func TestOutletSupersede(t *testing.T) {
+	x := NewExchange()
+	old := x.PublishOutlet("k")
+	nw := x.PublishOutlet("k")
+	if x.LookupOutlet("k") != nw {
+		t.Fatal("newest outlet not discoverable")
+	}
+	old.Retire()
+	if x.LookupOutlet("k") != nw {
+		t.Error("old outlet's retire unregistered its successor")
+	}
+	nw.Retire()
+	if got := x.OutletsInFlight(); got != 0 {
+		t.Errorf("OutletsInFlight = %d, want 0", got)
+	}
+}
+
+// ExchangeKind labels feed monitors; keep them stable.
+func TestExchangeKindStrings(t *testing.T) {
+	for kind, want := range map[ExchangeKind]string{
+		KindCircular:    "circular",
+		KindPartitioned: "partitioned",
+		KindOutlet:      "outlet",
+		ExchangeKind(9): "ExchangeKind(9)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"fmt"
 	"sync"
 )
 
@@ -103,46 +102,5 @@ func (md *MorselDispenser) closeLocked() {
 	}
 }
 
-// PublishPartitioned creates a morsel dispenser over rows rows and registers
-// it under a key derived from key plus a unique sequence number: every call
-// starts a fresh consumer group, so two concurrent partitioned runs of the
-// same query never steal each other's spans (exactly-once is per group, not
-// per table). The dispenser unregisters itself once fully dispensed or
-// closed. Partitioned entries live alongside the circular scans of Publish;
-// the same table may be covered by both at once.
-func (r *ScanRegistry) PublishPartitioned(key string, rows, morselRows int) *MorselDispenser {
-	md := NewMorselDispenser(rows, morselRows)
-	r.mu.Lock()
-	r.seq++
-	id := fmt.Sprintf("%s#%d", key, r.seq)
-	r.parts[id] = md
-	r.mu.Unlock()
-	md.mu.Lock()
-	if md.closed {
-		// Zero-row dispensers may have closed before the hook was set.
-		md.mu.Unlock()
-		r.mu.Lock()
-		delete(r.parts, id)
-		r.mu.Unlock()
-		return md
-	}
-	md.onClose = func() { r.unregisterPartitioned(id, md) }
-	md.mu.Unlock()
-	return md
-}
-
-// PartitionedInFlight returns the number of registered (live) partitioned
-// scan groups.
-func (r *ScanRegistry) PartitionedInFlight() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.parts)
-}
-
-func (r *ScanRegistry) unregisterPartitioned(id string, md *MorselDispenser) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.parts[id] == md {
-		delete(r.parts, id)
-	}
-}
+// Registration of dispensers (PublishPartitioned) lives in exchange.go with
+// the rest of the unified work-exchange registry.

@@ -225,59 +225,6 @@ func (cs *CircularScan) closeLocked() {
 	}
 }
 
-// ScanRegistry tracks the circular scans currently in flight, keyed by
-// table-qualified scan identity (e.g. "lineitem/tpch/q1"). The execution
-// engine publishes a scan when a sharing group's pivot starts reading a
-// base table and late-arriving queries look the scan up to attach mid
-// flight. Closed scans unregister themselves.
-type ScanRegistry struct {
-	mu    sync.Mutex
-	scans map[string]*CircularScan
-	parts map[string]*MorselDispenser
-	seq   int
-}
-
-// NewScanRegistry creates an empty registry.
-func NewScanRegistry() *ScanRegistry {
-	return &ScanRegistry{
-		scans: make(map[string]*CircularScan),
-		parts: make(map[string]*MorselDispenser),
-	}
-}
-
-// Publish creates a circular scan over rows rows, registers it under key,
-// and returns it. A still-live scan previously registered under the same
-// key is superseded (its consumers finish undisturbed; it simply stops
-// being discoverable).
-func (r *ScanRegistry) Publish(key string, rows, pageRows int) *CircularScan {
-	cs := NewCircularScan(rows, pageRows)
-	r.mu.Lock()
-	r.scans[key] = cs
-	r.mu.Unlock()
-	cs.mu.Lock()
-	cs.onClose = func() { r.unregister(key, cs) }
-	cs.mu.Unlock()
-	return cs
-}
-
-// Lookup returns the in-flight scan registered under key, or nil.
-func (r *ScanRegistry) Lookup(key string) *CircularScan {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.scans[key]
-}
-
-// InFlight returns the number of registered (live) scans.
-func (r *ScanRegistry) InFlight() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.scans)
-}
-
-func (r *ScanRegistry) unregister(key string, cs *CircularScan) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.scans[key] == cs {
-		delete(r.scans, key)
-	}
-}
+// The registry the circular scans publish into lives in exchange.go: the
+// unified work-exchange registry tracks circular scans, partitioned scans,
+// and shared subplan outlets through one keyed subsystem.

@@ -14,7 +14,11 @@ import (
 // sharing policy consults. All base-table scans are declared (NodeSpec.Scan)
 // rather than opaque, so the scan-pivot queries Q1 and Q6 can additionally
 // share their scans in flight through the circular scan registry when the
-// engine runs with InflightSharing.
+// engine runs with InflightSharing. The scan-heavy specs also offer their
+// aggregate as a second pivot candidate (QuerySpec.Pivots, models compiled
+// per level via ModelAt), so a pivot-selecting policy can lift identical
+// queries to whole-plan sharing; see families.go for specs whose prefixes
+// are shared across non-identical queries.
 func EngineSpec(q QueryID, db *DB, pageRows int) (engine.QuerySpec, error) {
 	switch q {
 	case Q6:
@@ -70,9 +74,13 @@ func q6Spec(db *DB, pageRows int) engine.QuerySpec {
 		Signature: "tpch/q6",
 		Model:     Model(Q6),
 		Pivot:     0,
+		Pivots: []engine.PivotOption{
+			{Pivot: 1, Model: ModelAt(Q6, 1)},
+			{Pivot: 0, Model: ModelAt(Q6, 0)},
+		},
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q6/scan-lineitem", db.Lineitem, Q6Pred(), scanCols, pageRows),
-			{Name: "q6/agg", Input: 0, Op: op, Partial: partial, Merge: merge},
+			{Name: "q6/agg", Input: 0, Fingerprint: "q6/agg", Op: op, Partial: partial, Merge: merge},
 		},
 	}
 }
@@ -83,28 +91,18 @@ func q1Spec(db *DB, pageRows int) engine.QuerySpec {
 	if err != nil {
 		panic(err)
 	}
-	discPrice := relop.Arith{Op: relop.Mul,
-		L: relop.Col("l_extendedprice"),
-		R: relop.Arith{Op: relop.Sub, L: relop.ConstFloat{V: 1}, R: relop.Col("l_discount")}}
-	charge := relop.Arith{Op: relop.Mul, L: discPrice,
-		R: relop.Arith{Op: relop.Add, L: relop.ConstFloat{V: 1}, R: relop.Col("l_tax")}}
-	op, partial, merge := aggForms(scanSchema, []string{"l_returnflag", "l_linestatus"}, []relop.AggSpec{
-		{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
-		{Func: relop.Sum, Expr: relop.Col("l_extendedprice"), As: "sum_base_price"},
-		{Func: relop.Sum, Expr: discPrice, As: "sum_disc_price"},
-		{Func: relop.Sum, Expr: charge, As: "sum_charge"},
-		{Func: relop.Avg, Expr: relop.Col("l_quantity"), As: "avg_qty"},
-		{Func: relop.Avg, Expr: relop.Col("l_extendedprice"), As: "avg_price"},
-		{Func: relop.Avg, Expr: relop.Col("l_discount"), As: "avg_disc"},
-		{Func: relop.Count, As: "count_order"},
-	})
+	op, partial, merge := aggForms(scanSchema, []string{"l_returnflag", "l_linestatus"}, q1AggSpecs())
 	return engine.QuerySpec{
 		Signature: "tpch/q1",
 		Model:     Model(Q1),
 		Pivot:     0,
+		Pivots: []engine.PivotOption{
+			{Pivot: 1, Model: ModelAt(Q1, 1)},
+			{Pivot: 0, Model: ModelAt(Q1, 0)},
+		},
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q1/scan-lineitem", db.Lineitem, Q1Pred(), scanCols, pageRows),
-			{Name: "q1/agg", Input: 0, Op: op, Partial: partial, Merge: merge},
+			{Name: "q1/agg", Input: 0, Fingerprint: "q1/agg", Op: op, Partial: partial, Merge: merge},
 		},
 	}
 }

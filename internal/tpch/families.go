@@ -1,0 +1,273 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// This file defines query families: groups of related-but-not-identical
+// queries whose plans share a common subplan prefix, exercising the
+// pivot-above-the-scan machinery of PR 3.
+//
+//   - The Q1 family varies the grouping of the pricing summary report. All
+//     variants run the identical filtered lineitem pass (one share key at
+//     the scan), then diverge at their aggregates. Two arrivals of the SAME
+//     variant additionally offer the aggregate itself as a pivot candidate:
+//     the whole query runs once and only final rows fan out.
+//   - The Q6 family varies the forecasting query's shipdate window inside
+//     the spec's one-year range. Variants scan with the family's superset
+//     predicate (the full year) and each member applies its variant's
+//     residual date filter in its private chain — the superset-scan +
+//     residual-filter pattern. Identical variants may again lift the pivot
+//     to the aggregate.
+//
+// Every spec declares pivot candidates highest level first, with the work
+// model compiled at each level, so model-guided policies can pick the
+// highest beneficial sharing point per group.
+
+// Q6FamilyVariants and Q1FamilyVariants are the family sizes.
+const (
+	Q6FamilyVariants = 3
+	Q1FamilyVariants = 3
+)
+
+// q6FamilyWindow returns the variant's shipdate window [lo, hi) inside the
+// family's superset range. Variant 0 is the full spec year; 1 and 2 are its
+// halves.
+func q6FamilyWindow(variant int) (lo, hi int64) {
+	mid := MustDate(1994, 7, 1)
+	switch variant % Q6FamilyVariants {
+	case 1:
+		return DateQ6Start, mid
+	case 2:
+		return mid, DateQ6End
+	default:
+		return DateQ6Start, DateQ6End
+	}
+}
+
+// q6SupersetPred is the family's shared scan predicate: every clause of
+// Q6Pred except the variant-specific shipdate bounds, plus the widest
+// window, so each variant's rows are a subset of the scan's output.
+func q6SupersetPred() relop.Pred {
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: DateQ6Start}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: DateQ6End}},
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_discount"), R: relop.ConstFloat{V: 0.05}},
+		relop.Cmp{Op: relop.Le, L: relop.Col("l_discount"), R: relop.ConstFloat{V: 0.07}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_quantity"), R: relop.ConstInt{V: 24}},
+	}}
+}
+
+// q6ResidualPred is the variant's private filter over the superset scan.
+func q6ResidualPred(variant int) relop.Pred {
+	lo, hi := q6FamilyWindow(variant)
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: lo}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: hi}},
+	}}
+}
+
+// Q6FamilyModel returns the variant-independent work model of a Q6 family
+// member compiled at a pivot level: level 0 is the scan (the paper's Q6
+// coefficients with the residual filter as extra above-pivot work), level 1
+// the residual filter, level 2 the aggregate (everything below runs once
+// per group; only final rows are handed to each consumer).
+func Q6FamilyModel(level int) core.Query {
+	base := core.Q6Paper() // w=9.66 s=10.34 at the scan, p=0.97 above
+	const residual = 0.5
+	scanP := base.PivotW + base.PivotS
+	switch level {
+	case 2:
+		return core.Query{
+			Name:   "TPC-H Q6 family @agg",
+			Below:  []float64{scanP, residual},
+			PivotW: base.Above[0],
+			PivotS: 0.05,
+		}
+	case 1:
+		return core.Query{
+			Name:   "TPC-H Q6 family @residual",
+			Below:  []float64{scanP},
+			PivotW: residual,
+			PivotS: base.PivotS * 0.5, // residual output is a subset of the scan's
+			Above:  append([]float64(nil), base.Above...),
+		}
+	default:
+		return core.Query{
+			Name:   "TPC-H Q6 family @scan",
+			PivotW: base.PivotW,
+			PivotS: base.PivotS,
+			Above:  []float64{residual, base.Above[0]},
+		}
+	}
+}
+
+// Q6FamilySpec builds the engine spec of one Q6 family variant: superset
+// scan (shared prefix), residual date filter, revenue aggregate. The spec
+// anchors at the scan by default and offers the aggregate as the higher
+// pivot candidate.
+func Q6FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	variant = variant % Q6FamilyVariants
+	scanCols := []string{"l_extendedprice", "l_discount", "l_shipdate"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		panic(err)
+	}
+	agg := func(emit relop.Emit) (relop.Operator, error) {
+		return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
+			Func: relop.Sum,
+			Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
+			As:   "revenue",
+		}}, emit)
+	}
+	residual := q6ResidualPred(variant)
+	return engine.QuerySpec{
+		Signature: fmt.Sprintf("tpch/q6f/v%d", variant),
+		Model:     Q6FamilyModel(0),
+		Pivot:     0,
+		Pivots: []engine.PivotOption{
+			{Pivot: 2, Model: Q6FamilyModel(2)},
+			{Pivot: 0, Model: Q6FamilyModel(0)},
+		},
+		Nodes: []engine.NodeSpec{
+			engine.ScanNode("q6f/scan-lineitem", db.Lineitem, q6SupersetPred(), scanCols, pageRows),
+			{
+				Name:        "q6f/residual",
+				Input:       0,
+				Fingerprint: fmt.Sprintf("q6f/residual[v=%d]", variant),
+				Op: func(emit relop.Emit) (relop.Operator, error) {
+					return relop.NewFilter(residual, scanSchema, emit), nil
+				},
+			},
+			{
+				Name:        "q6f/agg",
+				Input:       1,
+				Fingerprint: fmt.Sprintf("q6f/agg[v=%d]", variant),
+				Op:          agg,
+			},
+		},
+	}
+}
+
+// Q6FamilyReference executes a Q6 family variant single-threaded (scan with
+// the variant's full predicate, no sharing machinery), the ground truth the
+// engine's shared execution is checked against.
+func Q6FamilyReference(db *DB, variant int) (*storage.Batch, error) {
+	lo, hi := q6FamilyWindow(variant)
+	pred := relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: lo}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_shipdate"), R: relop.ConstInt{V: hi}},
+		relop.Cmp{Op: relop.Ge, L: relop.Col("l_discount"), R: relop.ConstFloat{V: 0.05}},
+		relop.Cmp{Op: relop.Le, L: relop.Col("l_discount"), R: relop.ConstFloat{V: 0.07}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_quantity"), R: relop.ConstInt{V: 24}},
+	}}
+	scanCols := []string{"l_extendedprice", "l_discount", "l_shipdate"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
+		Func: relop.Sum,
+		Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
+		As:   "revenue",
+	}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(agg.OutSchema())
+	return runScanInto(db.Lineitem, pred, scanCols, agg, emit, result)
+}
+
+// q1FamilyGroupBy returns the variant's grouping columns: the classic
+// (l_returnflag, l_linestatus) report and its two single-column rollups.
+func q1FamilyGroupBy(variant int) []string {
+	switch variant % Q1FamilyVariants {
+	case 1:
+		return []string{"l_returnflag"}
+	case 2:
+		return []string{"l_linestatus"}
+	default:
+		return []string{"l_returnflag", "l_linestatus"}
+	}
+}
+
+// Q1FamilyModel returns the work model of a Q1 family member at a pivot
+// level: 0 the scan (the calibrated Q1 coefficients), 1 the aggregate.
+// The family plan is shaped exactly like the benchmark Q1 plan, so both
+// levels delegate to ModelAt.
+func Q1FamilyModel(level int) core.Query { return ModelAt(Q1, level) }
+
+// Q1FamilySpec builds the engine spec of one Q1 family variant: the shared
+// Q1 lineitem pass feeding a variant grouping of the full aggregate list.
+// Variants share the scan with each other and the whole plan with arrivals
+// of the same variant; the parallel forms are kept, so the spec also
+// remains eligible for partitioned-clone execution.
+func Q1FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	variant = variant % Q1FamilyVariants
+	scanCols := []string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		panic(err)
+	}
+	groupBy := q1FamilyGroupBy(variant)
+	op, partial, merge := aggForms(scanSchema, groupBy, q1AggSpecs())
+	return engine.QuerySpec{
+		Signature: fmt.Sprintf("tpch/q1f/v%d", variant),
+		Model:     Q1FamilyModel(0),
+		Pivot:     0,
+		Pivots: []engine.PivotOption{
+			{Pivot: 1, Model: Q1FamilyModel(1)},
+			{Pivot: 0, Model: Q1FamilyModel(0)},
+		},
+		Nodes: []engine.NodeSpec{
+			engine.ScanNode("q1f/scan-lineitem", db.Lineitem, Q1Pred(), scanCols, pageRows),
+			{
+				Name:        "q1f/agg",
+				Input:       0,
+				Fingerprint: fmt.Sprintf("q1f/agg[gb=%v]", groupBy),
+				Op:          op,
+				Partial:     partial,
+				Merge:       merge,
+			},
+		},
+	}
+}
+
+// q1AggSpecs is the Q1 aggregate list shared by every family variant.
+func q1AggSpecs() []relop.AggSpec {
+	discPrice := relop.Arith{Op: relop.Mul,
+		L: relop.Col("l_extendedprice"),
+		R: relop.Arith{Op: relop.Sub, L: relop.ConstFloat{V: 1}, R: relop.Col("l_discount")}}
+	charge := relop.Arith{Op: relop.Mul, L: discPrice,
+		R: relop.Arith{Op: relop.Add, L: relop.ConstFloat{V: 1}, R: relop.Col("l_tax")}}
+	return []relop.AggSpec{
+		{Func: relop.Sum, Expr: relop.Col("l_quantity"), As: "sum_qty"},
+		{Func: relop.Sum, Expr: relop.Col("l_extendedprice"), As: "sum_base_price"},
+		{Func: relop.Sum, Expr: discPrice, As: "sum_disc_price"},
+		{Func: relop.Sum, Expr: charge, As: "sum_charge"},
+		{Func: relop.Avg, Expr: relop.Col("l_quantity"), As: "avg_qty"},
+		{Func: relop.Avg, Expr: relop.Col("l_extendedprice"), As: "avg_price"},
+		{Func: relop.Avg, Expr: relop.Col("l_discount"), As: "avg_disc"},
+		{Func: relop.Count, As: "count_order"},
+	}
+}
+
+// Q1FamilyReference executes a Q1 family variant single-threaded.
+func Q1FamilyReference(db *DB, variant int) (*storage.Batch, error) {
+	scanCols := []string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"}
+	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := relop.NewHashAgg(scanSchema, q1FamilyGroupBy(variant), q1AggSpecs(), nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(agg.OutSchema())
+	return runScanInto(db.Lineitem, Q1Pred(), scanCols, agg, emit, result)
+}

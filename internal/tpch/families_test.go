@@ -1,0 +1,211 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+// renderBatch renders a batch row by row in emitted order — the exact form,
+// so comparisons assert byte-identical results, not just equal row sets
+// (aggregates emit in deterministic key order, making this well-defined).
+func renderBatch(t *testing.T, b *storage.Batch) string {
+	t.Helper()
+	out := ""
+	for i := 0; i < b.Len(); i++ {
+		for c, col := range b.Schema.Cols {
+			switch col.Type {
+			case storage.Int64, storage.Date:
+				out += fmt.Sprintf("|%d", b.Vecs[c].I64[i])
+			case storage.Float64:
+				out += fmt.Sprintf("|%.9f", b.Vecs[c].F64[i])
+			case storage.String:
+				out += "|" + b.Vecs[c].Str[i]
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func familyEngine(t *testing.T, opts engine.Options) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestFamilyShareKeys pins the fingerprint algebra the families rely on:
+// all variants coincide at the scan prefix, no two variants coincide at
+// their aggregates, and identical variants coincide everywhere.
+func TestFamilyShareKeys(t *testing.T) {
+	db := smallDB(t)
+	q6 := func(v int) engine.QuerySpec { return Q6FamilySpec(db, 0, v) }
+	q1 := func(v int) engine.QuerySpec { return Q1FamilySpec(db, 0, v) }
+	for v := 1; v < Q6FamilyVariants; v++ {
+		a, b := q6(0), q6(v)
+		a.Pivot, b.Pivot = 0, 0
+		if engine.ShareKey(a) != engine.ShareKey(b) {
+			t.Errorf("q6 variants 0 and %d do not share the scan prefix", v)
+		}
+		a.Pivot, b.Pivot = 2, 2
+		if engine.ShareKey(a) == engine.ShareKey(b) {
+			t.Errorf("q6 variants 0 and %d wrongly share at the aggregate", v)
+		}
+	}
+	for v := 1; v < Q1FamilyVariants; v++ {
+		a, b := q1(0), q1(v)
+		if engine.ShareKey(a) != engine.ShareKey(b) {
+			t.Errorf("q1 variants 0 and %d do not share the scan prefix", v)
+		}
+		a.Pivot, b.Pivot = 1, 1
+		if engine.ShareKey(a) == engine.ShareKey(b) {
+			t.Errorf("q1 variants 0 and %d wrongly share at the aggregate", v)
+		}
+	}
+	same1, same2 := q1(1), q1(1)
+	same1.Pivot, same2.Pivot = 1, 1
+	if engine.ShareKey(same1) != engine.ShareKey(same2) {
+		t.Error("identical q1 variants do not share at the aggregate")
+	}
+}
+
+// TestQ6FamilySupersetResidual is the acceptance check for superset-scan +
+// residual-filter sharing: all three date-window variants submitted to a
+// paused engine merge into one group at the scan, and every member's result
+// is byte-identical to the same query run alone (single-threaded reference
+// and an unshared engine run). Run under -race this also exercises the
+// refcounted fan-out of one page to divergent private chains.
+func TestQ6FamilySupersetResidual(t *testing.T) {
+	db := smallDB(t)
+	for _, fanOut := range []engine.FanOutMode{engine.FanOutShare, engine.FanOutClone} {
+		t.Run(fanOut.String(), func(t *testing.T) {
+			e := familyEngine(t, engine.Options{Workers: 2, FanOut: fanOut, StartPaused: true})
+			var handles []*engine.Handle
+			for v := 0; v < Q6FamilyVariants; v++ {
+				h, err := e.Submit(Q6FamilySpec(db, 0, v), policy.Always{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			// All three variants must have merged into one scan-level group.
+			scanKey := engine.ShareKey(Q6FamilySpec(db, 0, 0))
+			if got := e.GroupSize(scanKey); got != Q6FamilyVariants {
+				t.Fatalf("scan group size = %d, want %d", got, Q6FamilyVariants)
+			}
+			e.Start()
+			for v, h := range handles {
+				got, err := h.Wait()
+				if err != nil {
+					t.Fatalf("variant %d: %v", v, err)
+				}
+				want, err := Q6FamilyReference(db, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if renderBatch(t, got) != renderBatch(t, want) {
+					t.Errorf("variant %d: shared result differs from reference", v)
+				}
+				alone := familyEngine(t, engine.Options{Workers: 2, FanOut: fanOut})
+				ha, err := alone.Submit(Q6FamilySpec(db, 0, v), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aloneRes, err := ha.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if renderBatch(t, got) != renderBatch(t, aloneRes) {
+					t.Errorf("variant %d: shared result differs from run-alone", v)
+				}
+			}
+			if joins := e.PivotLevelJoins(); joins[0] != Q6FamilyVariants-1 {
+				t.Errorf("pivot-level joins = %v, want %d at level 0", joins, Q6FamilyVariants-1)
+			}
+		})
+	}
+}
+
+// TestQ1FamilySharedAtScan checks the group-by variants of Q1 share the
+// lineitem pass while producing each variant's own correct rollup.
+func TestQ1FamilySharedAtScan(t *testing.T) {
+	db := smallDB(t)
+	e := familyEngine(t, engine.Options{Workers: 2, StartPaused: true})
+	var handles []*engine.Handle
+	for v := 0; v < Q1FamilyVariants; v++ {
+		h, err := e.Submit(Q1FamilySpec(db, 0, v), policy.Always{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if got := e.GroupSize(engine.ShareKey(Q1FamilySpec(db, 0, 0))); got != Q1FamilyVariants {
+		t.Fatalf("scan group size = %d, want %d", got, Q1FamilyVariants)
+	}
+	e.Start()
+	for v, h := range handles {
+		got, err := h.Wait()
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		want, err := Q1FamilyReference(db, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderBatch(t, got) != renderBatch(t, want) {
+			t.Errorf("variant %d: shared result differs from reference", v)
+		}
+	}
+}
+
+// TestQ1FamilyPivotLift checks model-guided pivot selection lifts identical
+// queries to the aggregate: under the subplan policy a fresh group anchors
+// at the agg level (the model's best), the second arrival merges there, and
+// results stay byte-identical to the reference.
+func TestQ1FamilyPivotLift(t *testing.T) {
+	db := smallDB(t)
+	pol := policy.ModelGuided{Env: core.NewEnv(2), PivotSelect: true}
+	e := familyEngine(t, engine.Options{Workers: 2, StartPaused: true})
+	spec := Q1FamilySpec(db, 0, 0)
+	h1, err := e.Submit(spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSpec := spec
+	aggSpec.Pivot = 1
+	if got := e.GroupSize(engine.ShareKey(aggSpec)); got != 1 {
+		t.Fatalf("no agg-level group after first submit (size %d)", got)
+	}
+	h2, err := e.Submit(spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.GroupSize(engine.ShareKey(aggSpec)); got != 2 {
+		t.Fatalf("agg-level group size = %d, want 2", got)
+	}
+	e.Start()
+	want, err := Q1FamilyReference(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range []*engine.Handle{h1, h2} {
+		got, err := h.Wait()
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if renderBatch(t, got) != renderBatch(t, want) {
+			t.Errorf("member %d: agg-pivot shared result differs from reference", i)
+		}
+	}
+	if joins := e.PivotLevelJoins(); joins[1] != 1 {
+		t.Errorf("pivot-level joins = %v, want 1 at level 1", joins)
+	}
+}

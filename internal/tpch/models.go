@@ -60,6 +60,26 @@ func Model(q QueryID) core.Query {
 	}
 }
 
+// ModelAt returns the calibrated model of a scan-heavy query compiled at a
+// pivot level of its engine plan: level 0 is the scan (identical to Model),
+// level 1 the aggregate — the whole plan below the pivot runs once per
+// group and each consumer receives only final summary rows. Join-heavy
+// queries keep their single join-level compilation.
+func ModelAt(q QueryID, level int) core.Query {
+	base := Model(q)
+	if level == 0 || !q.ScanHeavy() {
+		return base
+	}
+	scanP := base.PivotW + base.PivotS
+	aggW := base.Above[0]
+	return core.Query{
+		Name:   base.Name + " @agg",
+		Below:  []float64{scanP},
+		PivotW: aggW,
+		PivotS: 0.1, // a page of summary rows per consumer
+	}
+}
+
 // Plan returns the query's operator tree with the calibrated coefficients
 // attached, pivot node named "pivot". The tree form feeds the simulator
 // (which needs the operator topology, not just the flattened Query).

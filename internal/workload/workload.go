@@ -292,6 +292,10 @@ type MixResult struct {
 	// under a parallelizing policy or specs with an explicit degree).
 	ParallelRuns   int64
 	ParallelClones int64
+	// PivotJoins counts, per pivot node level, the queries that merged into
+	// a sharing group anchored there — level 0 is the scan; higher levels
+	// mean the group shared operator work above it.
+	PivotJoins map[int]int64
 }
 
 // Run drives the engine until the deadline. Each client resubmits its
@@ -311,6 +315,7 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 	startAttaches := e.InflightAttaches()
 	startRuns := e.ParallelRuns()
 	startClones := e.ParallelClones()
+	startJoins := e.PivotLevelJoins()
 	var mu sync.Mutex
 	perClass := make(map[string]int)
 	total := 0
@@ -371,6 +376,12 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 	if firstErr != nil {
 		return MixResult{}, firstErr
 	}
+	joins := e.PivotLevelJoins()
+	for level, n := range startJoins {
+		if joins[level] -= n; joins[level] == 0 {
+			delete(joins, level)
+		}
+	}
 	return MixResult{
 		Completions:      total,
 		QueriesPerMinute: float64(total) / duration.Minutes(),
@@ -378,6 +389,7 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 		InflightAttaches: e.InflightAttaches() - startAttaches,
 		ParallelRuns:     e.ParallelRuns() - startRuns,
 		ParallelClones:   e.ParallelClones() - startClones,
+		PivotJoins:       joins,
 	}, nil
 }
 

@@ -179,6 +179,47 @@ func TestEngineMixReportsParallelClones(t *testing.T) {
 	}
 }
 
+// Pivot-level join counters carry through MixResult, and they are deltas:
+// a second run must not inherit the first run's joins.
+func TestEngineMixReportsPivotJoins(t *testing.T) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.001, Seed: 11})
+	e, err := engine.New(engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mix := EngineMix{
+		Specs:      map[string]engine.QuerySpec{"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0)},
+		Assignment: Assign("Q1", "Q1", 4, 0),
+	}
+	pol := policy.ModelGuided{Env: core.NewEnv(2), PivotSelect: true}
+	res, err := mix.Run(e, pol, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, n := range res.PivotJoins {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("no pivot-level joins recorded under the subplan policy: %v", res.PivotJoins)
+	}
+	// Q1 offers the aggregate as its highest candidate; the subplan policy
+	// must have anchored at least one group there.
+	if res.PivotJoins[1] == 0 {
+		t.Errorf("no joins at the aggregate level: %v", res.PivotJoins)
+	}
+	again, err := mix.Run(e, pol, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level, n := range again.PivotJoins {
+		if n < 0 {
+			t.Errorf("negative join delta at level %d: %d", level, n)
+		}
+	}
+}
+
 func TestEngineMixErrors(t *testing.T) {
 	e, err := engine.New(engine.Options{Workers: 1})
 	if err != nil {
