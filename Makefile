@@ -12,11 +12,11 @@ test:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# Machine-readable ablation results (policy sweep + pivot-level ablation),
-# emitted as BENCH_PR3.json and archived by CI as an artifact so the perf
-# trajectory is tracked run over run.
+# Machine-readable ablation results (policy sweep + pivot-level ablation +
+# build-share ablation), emitted as BENCH_PR4.json and archived by CI as an
+# artifact so the perf trajectory is tracked run over run.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 fmt:
 	gofmt -w .

@@ -561,6 +561,67 @@ func BenchmarkAblationPivotLevel(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBuildShare measures build-side sharing: batches of m
+// different Q4-family variants — plans that agree only on the semi-join's
+// build subtree — amortizing one hash build, swept over probe fan-in ×
+// build cost (the fraction of the orderkey space the build hashes), with
+// the model's predicted amortization speedup reported next to measured
+// q/min. The shared=0 rows are the run-alone baseline (every variant
+// builds privately).
+func BenchmarkAblationBuildShare(b *testing.B) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	const workers = 2
+	env := core.NewEnv(workers)
+	for _, shared := range []int{1, 0} {
+		for _, m := range []int{2, 6} {
+			for _, frac := range []float64{0.25, 1.0} {
+				model := tpch.Q4FamilyModel(0)
+				model.PivotW *= frac
+				pred := core.BuildShareSpeedup(model, m, env)
+				name := fmt.Sprintf("shared=%d/m=%d/buildfrac=%.2f", shared, m, frac)
+				b.Run(name, func(b *testing.B) {
+					var qpm float64
+					var builds int64
+					for i := 0; i < b.N; i++ {
+						e, err := engine.New(engine.Options{Workers: workers, StartPaused: true})
+						if err != nil {
+							b.Fatal(err)
+						}
+						var pol engine.SharePolicy
+						if shared == 1 {
+							pol = policy.Always{}
+						}
+						handles := make([]*engine.Handle, m)
+						start := time.Now()
+						for j := range handles {
+							spec := tpch.Q4FamilySpecSized(db, 0, j%tpch.Q4FamilyVariants, frac)
+							h, err := e.Submit(spec, pol)
+							if err != nil {
+								b.Fatal(err)
+							}
+							handles[j] = h
+						}
+						e.Start()
+						for _, h := range handles {
+							if _, err := h.Wait(); err != nil {
+								b.Fatal(err)
+							}
+						}
+						qpm = float64(m) / time.Since(start).Minutes()
+						builds = e.HashBuilds()
+						e.Close()
+					}
+					if shared == 1 && builds != 1 {
+						b.Fatalf("HashBuilds = %d, want exactly 1 for the shared batch", builds)
+					}
+					b.ReportMetric(qpm, "q/min")
+					b.ReportMetric(pred, "pred_speedup")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkWorkloadEngineMix measures the closed-loop engine driver under
 // the model policy (a miniature live Figure 6 cell).
 func BenchmarkWorkloadEngineMix(b *testing.B) {

@@ -1,20 +1,26 @@
-// Command benchjson runs the PR 3 ablation measurements and emits them as
-// machine-readable JSON (BENCH_PR3.json), so CI can archive the perf
+// Command benchjson runs the ablation measurements and emits them as
+// machine-readable JSON (BENCH_PR4.json), so CI can archive the perf
 // trajectory run over run instead of letting benchmark output scroll away.
 //
-// Two experiments run on the real staged engine:
+// Three experiments run on the real staged engine:
 //
 //   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
 //     policy (never, always, model, inflight, parallel, hybrid, subplan),
 //     reporting measured q/min plus the sharing/parallelism counters;
 //   - the pivot-level ablation: batches of identical Q6-family queries
 //     sharing at the scan vs at the aggregate across group sizes, measured
-//     q/min next to the model's predicted rate for the same regime.
+//     q/min next to the model's predicted rate for the same regime;
+//   - the build-share ablation: batches of different Q4-family variants
+//     amortizing one hash build, swept over probe fan-in (group size) ×
+//     build cost (the fraction of the orderkey space the build hashes),
+//     measured shared vs run-alone q/min next to the model's predicted
+//     build-share speedup, with the executed-build counter asserting the
+//     build ran exactly once per shared batch.
 //
 // Usage:
 //
 //	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
-//	          [-duration 300ms] [-out BENCH_PR3.json]
+//	          [-duration 300ms] [-out BENCH_PR4.json]
 package main
 
 import (
@@ -38,7 +44,7 @@ var (
 	clientsFlag  = flag.Int("clients", 8, "closed-loop clients in the policy sweep")
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
 	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
-	outFlag      = flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
+	outFlag      = flag.String("out", "BENCH_PR4.json", "output file (- for stdout)")
 )
 
 // PolicyResult is one policy sweep measurement.
@@ -50,6 +56,20 @@ type PolicyResult struct {
 	ParallelRuns     int64         `json:"parallel_runs"`
 	ParallelClones   int64         `json:"parallel_clones"`
 	PivotJoins       map[int]int64 `json:"pivot_joins,omitempty"`
+	HashBuilds       int64         `json:"hash_builds,omitempty"`
+	BuildJoins       int64         `json:"build_joins,omitempty"`
+}
+
+// BuildShareResult is one build-share ablation cell: m different Q4-family
+// variants amortizing one hash build of the given cost fraction, vs the
+// same batch run alone.
+type BuildShareResult struct {
+	Probes           int     `json:"probes"`
+	BuildFrac        float64 `json:"build_frac"`
+	QueriesPerMinute float64 `json:"qpm_shared"`
+	AloneQPM         float64 `json:"qpm_alone"`
+	HashBuilds       int64   `json:"hash_builds"`
+	PredictedSpeedup float64 `json:"pred_speedup"`
 }
 
 // PivotLevelResult is one pivot-level ablation cell.
@@ -66,6 +86,7 @@ type Report struct {
 	Config      map[string]any     `json:"config"`
 	Policies    []PolicyResult     `json:"policies"`
 	PivotLevels []PivotLevelResult `json:"pivot_levels"`
+	BuildShare  []BuildShareResult `json:"build_share"`
 }
 
 func main() {
@@ -82,7 +103,7 @@ func run() error {
 		return err
 	}
 	report := Report{
-		Bench: "PR3",
+		Bench: "PR4",
 		Config: map[string]any{
 			"sf":          *sfFlag,
 			"seed":        *seedFlag,
@@ -123,6 +144,8 @@ func run() error {
 			ParallelRuns:     res.ParallelRuns,
 			ParallelClones:   res.ParallelClones,
 			PivotJoins:       res.PivotJoins,
+			HashBuilds:       res.HashBuilds,
+			BuildJoins:       res.BuildJoins,
 		})
 	}
 
@@ -143,6 +166,21 @@ func run() error {
 		}
 	}
 
+	// Build-share ablation: probe fan-in × build cost, measured shared and
+	// alone q/min next to the model's predicted amortization speedup.
+	for _, m := range []int{2, 6} {
+		for _, frac := range []float64{0.25, 1.0} {
+			cell, err := buildShareCell(db, m, frac, *workersFlag)
+			if err != nil {
+				return err
+			}
+			model := tpch.Q4FamilyModel(0)
+			model.PivotW *= frac
+			cell.PredictedSpeedup = core.BuildShareSpeedup(model, m, env)
+			report.BuildShare = append(report.BuildShare, cell)
+		}
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -155,9 +193,55 @@ func run() error {
 	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d policies, %d pivot-level cells)\n",
-		*outFlag, len(report.Policies), len(report.PivotLevels))
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells)\n",
+		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare))
 	return nil
+}
+
+// buildShareCell measures one build-share batch: m different Q4-family
+// variants submitted to a paused engine under always-share (the anchor's
+// group publishes the build state; every other variant attaches to it),
+// against the same batch run with sharing disabled.
+func buildShareCell(db *tpch.DB, m int, buildFrac float64, workers int) (BuildShareResult, error) {
+	run := func(pol engine.SharePolicy) (float64, int64, error) {
+		e, err := engine.New(engine.Options{Workers: workers, StartPaused: true})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer e.Close()
+		handles := make([]*engine.Handle, m)
+		start := time.Now()
+		for i := range handles {
+			spec := tpch.Q4FamilySpecSized(db, 0, i%tpch.Q4FamilyVariants, buildFrac)
+			h, err := e.Submit(spec, pol)
+			if err != nil {
+				return 0, 0, err
+			}
+			handles[i] = h
+		}
+		e.Start()
+		for _, h := range handles {
+			if _, err := h.Wait(); err != nil {
+				return 0, 0, err
+			}
+		}
+		return float64(m) / time.Since(start).Minutes(), e.HashBuilds(), nil
+	}
+	sharedQPM, builds, err := run(policy.Always{})
+	if err != nil {
+		return BuildShareResult{}, err
+	}
+	aloneQPM, _, err := run(nil)
+	if err != nil {
+		return BuildShareResult{}, err
+	}
+	return BuildShareResult{
+		Probes:           m,
+		BuildFrac:        buildFrac,
+		QueriesPerMinute: sharedQPM,
+		AloneQPM:         aloneQPM,
+		HashBuilds:       builds,
+	}, nil
 }
 
 // pivotLevelCell measures one batch of m identical Q6-family queries

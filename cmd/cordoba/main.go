@@ -20,9 +20,18 @@
 // predicts fastest — identical queries then share the whole plan, not just
 // the scan. The run reports joins per pivot level (pivots=map[level]count).
 //
+// The -families mode swaps the Q1/Q4 mix for closed-loop traffic over the
+// query families: each client rotates through Q1 group-by variants, Q6
+// date-window variants, Q4 order-window variants, and Q13 customer-segment
+// variants, so superset+residual sharing (Q6), cross-variant scan sharing
+// (Q1), and build-side sharing (Q4/Q13 — one hash build amortized over
+// every variant's probes) all run under live traffic, not just in tests.
+// The report then includes builds=N(joins=M) counters next to the
+// per-pivot-level join counts.
+//
 // Usage:
 //
-//	cordoba [-sf 0.01] [-workers N] [-clients 8] [-fq4 0.5]
+//	cordoba [-sf 0.01] [-workers N] [-clients 8] [-fq4 0.5] [-families]
 //	        [-policy model|always|never|inflight|parallel|hybrid|subplan]
 //	        [-duration 2s] [-compare]
 //
@@ -54,6 +63,7 @@ var (
 	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight, parallel, hybrid, subplan")
 	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration")
 	compareFlag  = flag.Bool("compare", false, "run all policies and compare")
+	familiesFlag = flag.Bool("families", false, "rotate Q1/Q6/Q4/Q13 family variants per client instead of the Q1/Q4 mix")
 )
 
 // runConfig pairs a sharing policy with the engine mode it needs.
@@ -79,15 +89,20 @@ func run() error {
 	}
 	fmt.Printf("lineitem: %d rows, orders: %d rows, customers: %d rows\n",
 		db.Lineitem.NumRows(), db.Orders.NumRows(), db.Customer.NumRows())
-	fmt.Printf("run: workers=%d clients=%d fq4=%.0f%% duration=%v seed=%d\n",
-		*workersFlag, *clientsFlag, *fq4Flag*100, *durationFlag, *seedFlag)
+	fmt.Printf("run: workers=%d clients=%d fq4=%.0f%% families=%v duration=%v seed=%d\n",
+		*workersFlag, *clientsFlag, *fq4Flag*100, *familiesFlag, *durationFlag, *seedFlag)
 
-	mix := workload.EngineMix{
-		Specs: map[string]engine.QuerySpec{
-			"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0),
-			"Q4": tpch.MustEngineSpec(tpch.Q4, db, 0),
-		},
-		Assignment: workload.Assign("Q1", "Q4", *clientsFlag, *fq4Flag),
+	var mix workload.EngineMix
+	if *familiesFlag {
+		mix = familiesMix(db, *clientsFlag)
+	} else {
+		mix = workload.EngineMix{
+			Specs: map[string]engine.QuerySpec{
+				"Q1": tpch.MustEngineSpec(tpch.Q1, db, 0),
+				"Q4": tpch.MustEngineSpec(tpch.Q4, db, 0),
+			},
+			Assignment: workload.Assign("Q1", "Q4", *clientsFlag, *fq4Flag),
+		}
 	}
 
 	var configs []runConfig
@@ -133,11 +148,48 @@ func run() error {
 		if len(res.PivotJoins) > 0 {
 			extra += fmt.Sprintf(" pivots=%v", res.PivotJoins)
 		}
+		if res.HashBuilds > 0 || res.BuildJoins > 0 {
+			extra += fmt.Sprintf(" builds=%d(joins=%d)", res.HashBuilds, res.BuildJoins)
+		}
+		if res.Supersedes > 0 || res.SweepReclaims > 0 {
+			extra += fmt.Sprintf(" supersedes=%d(reclaimed=%d)", res.Supersedes, res.SweepReclaims)
+		}
 		fmt.Printf("policy=%-8s clients=%d workers=%d fq4=%.0f%%: %d queries in %v (%.1f q/min) %v%s\n",
 			cfg.label, *clientsFlag, *workersFlag, *fq4Flag*100,
 			res.Completions, *durationFlag, res.QueriesPerMinute, res.PerClass, extra)
 	}
 	return nil
+}
+
+// familiesMix assigns each client one class from the rotating family list:
+// Q1 group-by variants, Q6 date-window variants, Q4 order-window variants,
+// and Q13 customer segments. Same-variant arrivals merge at the whole plan,
+// cross-variant arrivals at the scan prefix (Q1/Q6) or the join's build
+// side (Q4/Q13), exercising every sharing level under closed-loop traffic.
+func familiesMix(db *tpch.DB, clients int) workload.EngineMix {
+	specs := make(map[string]engine.QuerySpec)
+	var order []string
+	add := func(name string, spec engine.QuerySpec) {
+		specs[name] = spec
+		order = append(order, name)
+	}
+	for v := 0; v < tpch.Q1FamilyVariants; v++ {
+		add(fmt.Sprintf("Q1Fv%d", v), tpch.Q1FamilySpec(db, 0, v))
+	}
+	for v := 0; v < tpch.Q6FamilyVariants; v++ {
+		add(fmt.Sprintf("Q6Fv%d", v), tpch.Q6FamilySpec(db, 0, v))
+	}
+	for v := 0; v < tpch.Q4FamilyVariants; v++ {
+		add(fmt.Sprintf("Q4Fv%d", v), tpch.Q4FamilySpec(db, 0, v))
+	}
+	for v := 0; v < tpch.Q13FamilyVariants; v++ {
+		add(fmt.Sprintf("Q13Fv%d", v), tpch.Q13FamilySpec(db, 0, v))
+	}
+	assignment := make([]string, clients)
+	for i := range assignment {
+		assignment[i] = order[i%len(order)]
+	}
+	return workload.EngineMix{Specs: specs, Assignment: assignment}
 }
 
 func configByName(name string) (runConfig, error) {

@@ -1,0 +1,72 @@
+package core
+
+// This file extends the analytical model to hash-join build sharing — the
+// paper's "many probes amortizing one build" reuse case, generalized by the
+// hybrid-hash-join design-space analysis (Jahangiri et al.) to treat the
+// build side as a first-class shareable artifact. A query compiled at the
+// build pivot has exactly the shape SharedX already prices:
+//
+//	Below  — the operators feeding the build subtree (run once per group)
+//	PivotW — w_b, the build work itself: scanning/filtering the build input
+//	         and hashing it into the table (run once per group)
+//	PivotS — s_b, the pivot's per-consumer cost. For a build-state pivot
+//	         this is a pointer hand-off to an immutable table, not a page
+//	         stream, so s_b is tiny — the regime where sharing keeps winning
+//	         long after scan-level sharing has collapsed
+//	Above  — the probe subtree, the probe phase, and everything over the
+//	         join, replicated per member
+//
+// The functions below name that regime explicitly: one build amortized over
+// m probes against m parallel builds (each member building privately).
+// Because s_b ≈ 0, the shared bottleneck stays near max(p_below, w_b,
+// p_above) no matter how large m grows, while the unshared group pays the
+// whole build m times — build sharing is therefore the rare arm whose
+// benefit grows monotonically with m on any processor count. ChoosePivoted
+// needs no special casing: a build candidate enters the pivot comparison as
+// its compiled Query, and BestPivot picks it whenever the amortization
+// beats fan-out sharing at the other levels.
+
+// BuildShareX returns the aggregate rate of forward progress of m join
+// queries sharing one hash build, for q compiled at the build pivot: the
+// build subtree runs once, the sealed table is handed to each member at
+// per-consumer cost s_b, and every member probes privately.
+func BuildShareX(q Query, m int, env Env) float64 { return SharedX(q, m, env) }
+
+// BuildAloneX returns the rate of the unshared alternative: each of the m
+// queries runs its own build (k parallel builds for k probes).
+func BuildAloneX(q Query, m int, env Env) float64 { return UnsharedX(q, m, env) }
+
+// BuildShareZ returns the benefit of sharing the build: the ratio of one
+// build amortized over m probes to m parallel builds. Sharing the build is
+// a net win iff the ratio exceeds 1.
+func BuildShareZ(q Query, m int, env Env) float64 {
+	xa := BuildAloneX(q, m, env)
+	xs := BuildShareX(q, m, env)
+	switch {
+	case xa == 0 && xs == 0:
+		return 1
+	case xa == 0:
+		return BuildShareZInf
+	default:
+		return xs / xa
+	}
+}
+
+// BuildShareZInf is the Z value reported when the unshared arm makes no
+// progress at all.
+const BuildShareZInf = 1e308
+
+// ShouldShareBuild reports the model's recommendation: run one build for the
+// m queries iff the amortized rate beats m private builds.
+func ShouldShareBuild(q Query, m int, env Env) bool { return BuildShareZ(q, m, env) > 1 }
+
+// BuildShareSpeedup returns the predicted speedup of build sharing for m
+// queries over running them with private builds — the number the build-share
+// ablation prints next to measured q/min.
+func BuildShareSpeedup(q Query, m int, env Env) float64 {
+	base := BuildAloneX(q, m, env)
+	if base == 0 {
+		return 1
+	}
+	return BuildShareX(q, m, env) / base
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// q4Build mirrors the tpch Q4 build-pivot compilation: the build work runs
+// once per group, the table hand-off is near free, and the probe side plus
+// the aggregate replicate per member.
+func q4Build() Query {
+	return Query{
+		Name:   "q4@build",
+		PivotW: 12,
+		PivotS: 0.005,
+		Above:  []float64{8, 10, 0.4},
+	}
+}
+
+// Amortizing one build over m probes must beat m parallel builds, with the
+// benefit growing monotonically in m — the signature of a near-zero
+// per-consumer cost.
+func TestBuildShareZMonotone(t *testing.T) {
+	q := q4Build()
+	env := NewEnv(4)
+	if z := BuildShareZ(q, 1, env); math.Abs(z-1) > 1e-9 {
+		t.Errorf("BuildShareZ(1) = %v, want 1 (sharing a single query changes nothing)", z)
+	}
+	prev := 1.0
+	for m := 2; m <= 16; m *= 2 {
+		z := BuildShareZ(q, m, env)
+		if z <= prev {
+			t.Errorf("BuildShareZ(%d) = %v, not monotonically increasing (prev %v)", m, z, prev)
+		}
+		if !ShouldShareBuild(q, m, env) {
+			t.Errorf("ShouldShareBuild(%d) = false, want true", m)
+		}
+		prev = z
+	}
+}
+
+// BuildShareSpeedup is the ratio the ablation prints; it must agree with
+// the raw rates and stay finite.
+func TestBuildShareSpeedupConsistent(t *testing.T) {
+	q := q4Build()
+	env := NewEnv(2)
+	for _, m := range []int{2, 6} {
+		want := BuildShareX(q, m, env) / BuildAloneX(q, m, env)
+		if got := BuildShareSpeedup(q, m, env); math.Abs(got-want) > 1e-12 {
+			t.Errorf("BuildShareSpeedup(%d) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+// A build candidate competes in ChoosePivoted like any other level: with a
+// heavy build and light probes it wins the share arm outright under
+// saturation.
+func TestChoosePivotedPicksBuildCandidate(t *testing.T) {
+	// Candidate 0: a join-level compilation whose fan-out stream is so
+	// expensive (s·m) that merging there adds more work than it removes.
+	// Candidate 1: the build compilation, whose table hand-off is free.
+	joinLevel := Query{Name: "join", PivotW: 10, PivotS: 20, Above: []float64{0.4}, Below: []float64{12, 8}}
+	buildLevel := q4Build()
+	dec, pivot, _, _ := ChoosePivoted([]Query{joinLevel, buildLevel}, 8, 1, 1, NewEnv(1))
+	if dec != Share {
+		t.Fatalf("decision = %v, want Share", dec)
+	}
+	if pivot != 1 {
+		t.Errorf("chosen candidate = %d, want 1 (the build level)", pivot)
+	}
+}

@@ -116,14 +116,49 @@
 // the wrap-around re-scan; f = 1 reduces the attach arm to the plain share
 // arm, f < 0 meaning no compatible group removes both sharing arms).
 //
+// # Build-side sharing (beyond the paper)
+//
+// Chain-shaped pivots stop short of the paper's join reuse case: two join
+// queries whose probe sides differ can never fingerprint-match at or above
+// the join, yet everything below the join's build branch may be identical.
+// Tree-shaped plan specs fix this. Fingerprints canonicalize recursively
+// per branch, any subtree may anchor sharing (members privately
+// instantiate the arbitrary tree that remains, including other leaf scans
+// and joins), and a join declaring split build/probe forms offers its
+// build subtree as a pivot candidate whose shared artifact is the sealed,
+// immutable hash table rather than a page stream: the group runs the
+// build once, publishes the table through the work exchange as a
+// refcounted buildstate entry, and every member attaches a private probe
+// — before the seal (parking until the table is ready) or long after
+// (sealed tables lose nothing to late joiners; the state retires with its
+// last prober).
+//
+// The model needs no new equation, only a new compilation: a Query
+// compiled at the build pivot has the build work w_b as PivotW (run once
+// per group), a near-zero PivotS (handing a member an immutable table is
+// a pointer hand-off, not a page stream), and the probe subtree plus
+// everything above as per-member Above work. BuildShareZ names the
+// comparison — one build amortized over m probes versus m parallel builds
+// — and because s_b ≈ 0 the shared bottleneck does not grow with m, so
+// build sharing is the rare arm whose benefit increases monotonically
+// with the group size on any processor count. BestPivot and ChoosePivoted
+// treat a build candidate like any other level. See engine.PivotOption
+// (Build), relop.JoinBuild / HashJoinProbe, storage.BuildState, and
+// tpch.Q4FamilySpec / tpch.Q13FamilySpec.
+//
 // On the storage side all sharing primitives register, attach, and retire
 // through one unified work-exchange registry (storage.Exchange), keyed by
 // subplan fingerprint: circular scans (every page to every consumer),
-// morsel dispensers (every page to exactly one clone), and subplan outlets
-// (a shared operator pipeline above the scan). Pivot fan-out defaults to
-// refcounted read-only pages (storage.Batch.MarkShared / Writable): every
-// consumer receives the same page and a deep copy happens only on a
-// consumer's write path, with eager per-consumer cloning
+// morsel dispensers (every page to exactly one clone), subplan outlets
+// (a shared operator pipeline above the scan), and buildstate entries
+// (sealed hash-join tables, refcounted by their probers); an age-based
+// sweep reclaims superseded orphans and wedged builds, with supersede and
+// reclaim counters surfaced in workload stats. Pivot fan-out defaults to
+// refcounted read-only pages (storage.Batch.MarkShared / Writable /
+// Release): every consumer receives the same page, a deep copy happens
+// only on a consumer's write path, and sinks and page-consuming operators
+// release their reader claims as soon as they finish so the last adopter
+// takes the original by move, with eager per-consumer cloning
 // (engine.FanOutClone) retained as the physical realization of s for
 // calibration and ablation. See policy.ModelGuided (PivotSelect),
 // engine.PivotPolicy, and tpch.Q1FamilySpec / tpch.Q6FamilySpec.

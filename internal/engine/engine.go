@@ -202,6 +202,14 @@ type shareGroup struct {
 	// scan shared through the circular scan registry; such groups admit
 	// members after the pivot starts emitting.
 	inflight *inflightScan
+	// build is set when the group shares a hash-join build side: alone for a
+	// pure build group (the whole shared part is the build subtree plus the
+	// collector), or next to pivot for a mixed group (a fan-out group whose
+	// shared join runs split, its table additionally published under
+	// buildKey). Build membership outlives the pivot seal — the table stays
+	// attachable until its last prober releases it.
+	build    *buildShare
+	buildKey string
 	spec     QuerySpec
 
 	mu      sync.Mutex
@@ -249,6 +257,8 @@ type Engine struct {
 	inflightAttaches int64
 	parallelRuns     int64
 	parallelClones   int64
+	hashBuilds       int64
+	buildJoins       int64
 	pivotJoins       map[int]int64 // pivot level -> members merged there
 }
 
@@ -317,6 +327,41 @@ func (e *Engine) ParallelClones() int64 {
 	return e.parallelClones
 }
 
+// HashBuilds returns the number of shared hash-join builds executed (sealed)
+// since startup — one per build-sharing group however many members probed
+// the table. Joins executed through the opaque single-query path are not
+// counted.
+func (e *Engine) HashBuilds() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hashBuilds
+}
+
+// BuildJoins returns the number of queries that attached to an existing
+// shared hash build (the group's anchor is not counted — it shares with no
+// one until someone joins).
+func (e *Engine) BuildJoins() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.buildJoins
+}
+
+// SweepExchange force-retires work-exchange entries no consumer will ever
+// reclaim — superseded orphans and wedged or unreferenced build states older
+// than maxAge — returning the number reclaimed, and prunes joinable build
+// groups whose table has retired. Long-running drivers call it periodically.
+func (e *Engine) SweepExchange(maxAge time.Duration) int {
+	n := e.scans.Sweep(maxAge)
+	e.mu.Lock()
+	for k, g := range e.joinable {
+		if g.build != nil && k == g.buildKey && g.build.state.Retired() {
+			delete(e.joinable, k)
+		}
+	}
+	e.mu.Unlock()
+	return n
+}
+
 // Active returns the number of submitted queries not yet completed.
 func (e *Engine) Active() int {
 	e.mu.Lock()
@@ -370,6 +415,52 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		// the pivot as the highest point where sharing is possible, and a
 		// group at a higher level eliminates strictly more work per joiner.
 		for _, opt := range spec.pivotOptions() {
+			if opt.Build {
+				// Build-side candidate: the joinable entry is a shared hash
+				// build (pure or published by a mixed group); members attach
+				// to the table — before or after it seals — and run
+				// everything outside the build subtree privately.
+				key := buildShareKeyAt(spec, opt.Pivot)
+				g := e.joinable[key]
+				if g == nil || g.build == nil {
+					continue
+				}
+				if g.build.state.Retired() {
+					// The table's last prober released it (or the sweep
+					// reclaimed a wedged build); prune the stale entry.
+					delete(e.joinable, key)
+					continue
+				}
+				mspec := spec
+				mspec.Pivot = opt.Pivot
+				mspec.Model = opt.Model
+				g.mu.Lock()
+				m := g.size + 1
+				g.mu.Unlock()
+				admit := e.opts.MaxGroupSize == 0 || m <= e.opts.MaxGroupSize
+				if admit {
+					if lap, ok := policy.(LoadAwarePolicy); ok {
+						admit = lap.ShouldJoinUnderLoad(mspec.Model, m, e.active+1, spec.CanParallel())
+					} else {
+						admit = policy.ShouldJoin(mspec.Model, m)
+					}
+				}
+				if admit {
+					attached, err := e.attachBuildLocked(g, mspec, h)
+					if err != nil {
+						return nil, err
+					}
+					if attached {
+						e.buildJoins++
+						e.pivotJoins[opt.Pivot]++
+						e.active++
+						return h, nil
+					}
+					// The table retired between the lookup and the attach;
+					// fall through to the remaining candidates.
+				}
+				continue
+			}
 			g := e.joinable[shareKeyAt(spec, opt.Pivot)]
 			if g == nil {
 				continue
@@ -450,9 +541,11 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		return h, nil
 	}
 	// Fresh group. When the spec offers several pivot levels, a
-	// pivot-selecting policy chooses where to anchor it; otherwise the
-	// declared pivot stands.
+	// pivot-selecting policy chooses where to anchor it — possibly at a
+	// build-side candidate, making the fresh group a pure build group;
+	// otherwise the declared pivot stands.
 	gspec := spec
+	anchorBuild := PivotOption{Pivot: -1}
 	if policy != nil && len(spec.Pivots) > 0 {
 		if pp, ok := policy.(PivotPolicy); ok {
 			opts := spec.pivotOptions()
@@ -461,10 +554,23 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				cands[i] = o.Model
 			}
 			if i := pp.ChoosePivot(cands, e.active+1); i >= 0 && i < len(opts) {
-				gspec.Pivot = opts[i].Pivot
-				gspec.Model = opts[i].Model
+				if opts[i].Build {
+					anchorBuild = opts[i]
+				} else {
+					gspec.Pivot = opts[i].Pivot
+					gspec.Model = opts[i].Model
+				}
 			}
 		}
+	}
+	if anchorBuild.Pivot >= 0 {
+		g, err := e.newBuildGroupLocked(gspec, anchorBuild, h)
+		if err != nil {
+			return nil, err
+		}
+		e.joinable[g.key] = g
+		e.active++
+		return h, nil
 	}
 	g, err := e.newGroupLocked(gspec, h, policy != nil)
 	if err != nil {
@@ -472,6 +578,10 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	}
 	if policy != nil {
 		e.joinable[g.key] = g
+		if g.build != nil {
+			// A mixed group is additionally joinable at its build subtree.
+			e.joinable[g.buildKey] = g
+		}
 	}
 	e.active++
 	return h, nil
@@ -499,10 +609,13 @@ func (e *Engine) parallelDegreeLocked(spec QuerySpec, policy SharePolicy) int {
 	return d
 }
 
-// newGroupLocked instantiates the shared sub-plan and the first member's
-// private chain. Caller holds e.mu. joinable reports whether the group will
-// accept further members (a non-nil policy); only joinable groups with a
-// declared scan pivot get the in-flight machinery.
+// newGroupLocked instantiates the shared sub-plan — the subtree rooted at
+// the pivot — and the first member's private part. Caller holds e.mu.
+// joinable reports whether the group will accept further members (a non-nil
+// policy); only joinable groups with a declared scan pivot get the in-flight
+// machinery. When the shared subtree contains a join with split Build/Probe
+// forms declared as a build candidate, the join runs split and the group
+// additionally publishes its hash table under the build key (a mixed group).
 func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shareGroup, error) {
 	if e.opts.InflightSharing && joinable && spec.Nodes[spec.Pivot].Scan != nil {
 		return e.newInflightGroupLocked(spec, h)
@@ -520,11 +633,45 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 		pivotOut.onClosed = g.outlet.Retire
 	}
 
+	// A shareable build side inside the shared subtree: run the join split
+	// and publish the table so different-shaped queries can still amortize
+	// the build even when they cannot match the anchor level.
+	splitJoin := -1
+	var bs *buildShare
+	if joinable {
+		if opt, joinIdx, ok := buildOptionWithin(spec, spec.Pivot); ok {
+			splitJoin = joinIdx
+			bs = e.newBuildShareLocked(g, spec, opt.Pivot)
+			// A member failure poisons the whole group (its error reaches
+			// every sink), so stop recruiting into it on either key: retire
+			// the build state and seal the group. Without this a mixed
+			// group's sealed, still-referenced state would keep admitting
+			// fingerprint-matching queries into the stale failure — and a
+			// wedged dead chain would make it unsweepable too.
+			g.onFail = func() {
+				bs.failShare()
+				e.sealGroup(g)
+			}
+		}
+	}
+	// A construction error below must not strand the published build state:
+	// abort it so waiters fail fast and the exchange entry retires.
+	built := false
+	defer func() {
+		if !built && bs != nil {
+			bs.failShare()
+		}
+	}()
+
 	// Per-node output sinks for the shared part. Non-pivot nodes get a
 	// single-consumer outbox over one queue.
-	outs := make([]*outbox, spec.Pivot+1)
-	queues := make([]*PageQueue, spec.Pivot+1)
-	for i := 0; i <= spec.Pivot; i++ {
+	mask := spec.SubtreeMask(spec.Pivot)
+	outs := make([]*outbox, len(spec.Nodes))
+	queues := make([]*PageQueue, len(spec.Nodes))
+	for i, in := range mask {
+		if !in {
+			continue
+		}
 		if i == spec.Pivot {
 			outs[i] = pivotOut
 			continue
@@ -533,41 +680,201 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 		queues[i] = q
 		outs[i] = &outbox{outs: []*PageQueue{q}}
 	}
-	// Wire the first member's private chain before spawning anything so the
+	// Wire the first member's private part before spawning anything so the
 	// pivot has a consumer from the start.
 	if err := e.attachChain(g, spec, h); err != nil {
 		return nil, err
 	}
 	// Instantiate and spawn shared tasks.
-	for i := 0; i <= spec.Pivot; i++ {
-		nd := spec.Nodes[i]
-		switch {
-		case nd.IsSource():
-			src, err := nd.NewSource()
-			if err != nil {
-				return nil, err
-			}
-			body := &sourceTask{name: nd.Name, src: src, out: outs[i], clock: e.clock, fail: g.fail}
-			e.sched.Spawn(nd.Name, body.step)
-		case nd.Op != nil:
-			ob := outs[i]
-			op, err := nd.Op(func(b *storage.Batch) error { ob.add(b); return nil })
-			if err != nil {
-				return nil, err
-			}
-			body := &opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: queues[nd.Input], out: ob, clock: e.clock, fail: g.fail}
-			e.sched.Spawn(nd.Name, body.step)
-		case nd.Join != nil:
-			ob := outs[i]
-			jn, err := nd.Join(func(b *storage.Batch) error { ob.add(b); return nil })
-			if err != nil {
-				return nil, err
-			}
-			body := &joinTask{name: nd.Name, join: jn, build: queues[nd.BuildInput], probe: queues[nd.ProbeInput], out: ob, clock: e.clock, fail: g.fail, building: true}
-			e.sched.Spawn(nd.Name, body.step)
+	qOf := func(idx int) *PageQueue { return queues[idx] }
+	for i, in := range mask {
+		if !in {
+			continue
 		}
+		nd := spec.Nodes[i]
+		if nd.Join != nil && i == splitJoin {
+			// The split form: a collector builds the shared table once; one
+			// shared probe streams the group's probe side against it into
+			// the usual fan-out. The group holds the probe's reference.
+			if !bs.attachProber() {
+				return nil, fmt.Errorf("%w: fresh build state rejected attach", ErrBadSpec)
+			}
+			jb, err := nd.Build()
+			if err != nil {
+				return nil, err
+			}
+			ob := outs[i]
+			pr, err := nd.Probe(func(b *storage.Batch) error { ob.add(b); return nil })
+			if err != nil {
+				return nil, err
+			}
+			collector := &buildCollectorTask{name: nd.Name + "/build", jb: jb, in: queues[nd.BuildInput], bs: bs, clock: e.clock, fail: g.fail}
+			prober := &probeAttachTask{name: nd.Name, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: queues[nd.ProbeInput], out: ob, clock: e.clock, fail: g.fail}
+			e.sched.Spawn(collector.name, collector.step)
+			e.sched.Spawn(nd.Name, prober.step)
+			continue
+		}
+		step, err := e.nodeTask(nd, qOf, outs[i], g.fail)
+		if err != nil {
+			return nil, err
+		}
+		e.sched.Spawn(nd.Name, step)
 	}
+	built = true
 	return g, nil
+}
+
+// nodeTask instantiates the execution task for one plan node whose output
+// goes to ob, resolving input queues through qOf. It covers the three plain
+// node kinds — shared-subtree and member instantiation both route through
+// it; only the build-share split forms (collector, probe-attach) are wired
+// at the call sites.
+func (e *Engine) nodeTask(nd NodeSpec, qOf func(int) *PageQueue, ob *outbox, fail func(error)) (func(*Task) Status, error) {
+	emit := func(b *storage.Batch) error { ob.add(b); return nil }
+	switch {
+	case nd.IsSource():
+		src, err := nd.NewSource()
+		if err != nil {
+			return nil, err
+		}
+		return (&sourceTask{name: nd.Name, src: src, out: ob, clock: e.clock, fail: fail}).step, nil
+	case nd.Op != nil:
+		op, err := nd.Op(emit)
+		if err != nil {
+			return nil, err
+		}
+		return (&opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: qOf(nd.Input), out: ob, clock: e.clock, fail: fail, releaseInput: relop.Consumes(op)}).step, nil
+	case nd.Join != nil:
+		jn, err := nd.Join(emit)
+		if err != nil {
+			return nil, err
+		}
+		return (&joinTask{name: nd.Name, join: jn, build: qOf(nd.BuildInput), probe: qOf(nd.ProbeInput), out: ob, clock: e.clock, fail: fail, building: true, releaseInput: relop.Consumes(jn)}).step, nil
+	default:
+		return nil, fmt.Errorf("%w: node %s has no executable form", ErrBadSpec, nd.Name)
+	}
+}
+
+// newBuildShareLocked publishes a build state for the subtree of spec rooted
+// at buildPivot and wires it to group g. The state's seal bumps the engine's
+// executed-build counter; a retired state (last prober released, failure, or
+// sweep) is pruned from the joinable map lazily — at the next probe of its
+// key or the next SweepExchange — so retirement never needs e.mu. Caller
+// holds e.mu.
+func (e *Engine) newBuildShareLocked(g *shareGroup, spec QuerySpec, buildPivot int) *buildShare {
+	key := buildShareKeyAt(spec, buildPivot)
+	bs := &buildShare{key: key, pivot: buildPivot, state: e.scans.PublishBuildState(key)}
+	bs.onSeal = func() {
+		e.mu.Lock()
+		e.hashBuilds++
+		e.mu.Unlock()
+	}
+	g.build = bs
+	g.buildKey = key
+	return bs
+}
+
+// newBuildGroupLocked instantiates a pure build group anchored at a
+// build-side pivot candidate: the shared part is the build subtree plus the
+// collector that seals the hash table; every member — the anchor included —
+// attaches a private probe phase to the table and runs everything outside
+// the build subtree itself. The group stays joinable until the last prober
+// releases the table (or the build fails, or the sweep retires a wedged
+// build). Caller holds e.mu.
+func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle) (*shareGroup, error) {
+	gspec := spec
+	gspec.Pivot = opt.Pivot
+	gspec.Model = opt.Model
+	g := &shareGroup{signature: spec.Signature, spec: gspec, size: 1}
+	bs := e.newBuildShareLocked(g, gspec, opt.Pivot)
+	g.key = g.buildKey
+	g.onFail = func() {
+		bs.failShare()
+		e.sealGroup(g)
+	}
+
+	// A construction error below must not strand the published state (or a
+	// half-wired first member): abort so waiters fail fast and the exchange
+	// entry retires.
+	built := false
+	defer func() {
+		if !built {
+			bs.failShare()
+		}
+	}()
+
+	// First member (probe side and above), wired before the build spawns.
+	if !bs.attachProber() {
+		return nil, fmt.Errorf("%w: fresh build state rejected attach", ErrBadSpec)
+	}
+	_, start, err := e.buildMember(g, gspec, h, bs)
+	if err != nil {
+		bs.releaseProber()
+		return nil, err
+	}
+	start()
+
+	// Shared part: the build subtree feeding the collector.
+	mask := gspec.SubtreeMask(opt.Pivot)
+	joinIdx := gspec.pivotConsumer(opt.Pivot)
+	jb, err := gspec.Nodes[joinIdx].Build()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*outbox, len(gspec.Nodes))
+	queues := make([]*PageQueue, len(gspec.Nodes))
+	for i, in := range mask {
+		if !in {
+			continue
+		}
+		q := NewPageQueue(e.sched, gspec.Nodes[i].Name, e.opts.QueueCap)
+		queues[i] = q
+		outs[i] = &outbox{outs: []*PageQueue{q}}
+	}
+	type pendingSpawn struct {
+		name string
+		step func(*Task) Status
+	}
+	var spawns []pendingSpawn
+	qOf := func(idx int) *PageQueue { return queues[idx] }
+	for i, in := range mask {
+		if !in {
+			continue
+		}
+		nd := gspec.Nodes[i]
+		step, err := e.nodeTask(nd, qOf, outs[i], g.fail)
+		if err != nil {
+			return nil, err
+		}
+		spawns = append(spawns, pendingSpawn{nd.Name, step})
+	}
+	collector := &buildCollectorTask{name: gspec.Nodes[joinIdx].Name + "/build", jb: jb, in: queues[opt.Pivot], bs: bs, clock: e.clock, fail: g.fail}
+	for _, p := range spawns {
+		e.sched.Spawn(p.name, p.step)
+	}
+	e.sched.Spawn(collector.name, collector.step)
+	built = true
+	return g, nil
+}
+
+// attachBuildLocked adds a member to a group's shared hash build. It returns
+// false (without error) when the table retired concurrently — the caller
+// then proceeds to other candidates or a fresh group. Caller holds e.mu.
+func (e *Engine) attachBuildLocked(g *shareGroup, spec QuerySpec, h *Handle) (bool, error) {
+	bs := g.build
+	if !bs.attachProber() {
+		return false, nil
+	}
+	_, start, err := e.buildMember(g, spec, h, bs)
+	if err != nil {
+		bs.releaseProber()
+		return false, err
+	}
+	g.mu.Lock()
+	g.size++
+	g.mu.Unlock()
+	start()
+	return true, nil
 }
 
 // newInflightGroupLocked instantiates a group whose pivot is a declared
@@ -595,7 +902,7 @@ func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle) (*shareGroup,
 
 	// Wire the first member's chain before spawning the scan task so the
 	// pivot has a consumer from the start.
-	in, start, err := e.buildChain(g, spec, h)
+	in, start, err := e.buildMember(g, spec, h, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +935,7 @@ func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle) error {
 // It returns false (without error) when the scan completed concurrently —
 // the caller then starts a fresh group for the query. Caller holds e.mu.
 func (e *Engine) attachInflightLocked(g *shareGroup, spec QuerySpec, h *Handle) (bool, error) {
-	in, start, err := e.buildChain(g, spec, h)
+	in, start, err := e.buildMember(g, spec, h, nil)
 	if err != nil {
 		return false, err
 	}
@@ -643,10 +950,10 @@ func (e *Engine) attachInflightLocked(g *shareGroup, spec QuerySpec, h *Handle) 
 	return true, nil
 }
 
-// attachChain wires one member's private chain (nodes above the pivot plus
-// the sink) to the group's pivot outbox.
+// attachChain wires one member's private part (every node outside the
+// pivot's subtree, plus the sink) to the group's pivot outbox.
 func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
-	in, start, err := e.buildChain(g, spec, h)
+	in, start, err := e.buildMember(g, spec, h, nil)
 	if err != nil {
 		return err
 	}
@@ -657,43 +964,86 @@ func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
 	return nil
 }
 
-// buildChain constructs one member's private chain (nodes above the pivot
-// plus the sink) without wiring it to a pivot or spawning its tasks. It
-// returns the chain's head queue and a start function that spawns the
-// chain's tasks; the caller attaches the head to a pivot first, then calls
-// start.
-func (e *Engine) buildChain(g *shareGroup, spec QuerySpec, h *Handle) (*PageQueue, func(), error) {
-	in := NewPageQueue(e.sched, spec.Signature+"/pivot-out", e.opts.QueueCap)
-	type pendingOp struct {
-		body *opTask
-		name string
+// buildMember constructs one member's private part — every node outside the
+// subtree rooted at spec.Pivot, plus the sink — without spawning its tasks.
+// The private part is an arbitrary tree: further leaf scans run their own
+// source tasks, private joins their own build/probe, unary operators their
+// chains. What feeds the member from the shared side depends on bs:
+//
+//   - bs nil (fan-out and in-flight groups): the node consuming the pivot
+//     is fed from the returned head queue, which the caller attaches to the
+//     group's fan-out before calling start;
+//   - bs non-nil (build-share membership): the join consuming the pivot as
+//     its build input runs as a probe phase attached to the shared hash
+//     table (head is nil — no pages cross the share boundary at all).
+//
+// The caller has already taken the member's prober reference when bs is
+// non-nil; the spawned probe task releases it when it retires.
+func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *buildShare) (*PageQueue, func(), error) {
+	var head *PageQueue
+	if bs == nil {
+		head = NewPageQueue(e.sched, spec.Signature+"/pivot-out", e.opts.QueueCap)
 	}
-	var ops []pendingOp
-	cur := in
-	for i := spec.Pivot + 1; i < len(spec.Nodes); i++ {
-		nd := spec.Nodes[i]
-		q := NewPageQueue(e.sched, nd.Name, e.opts.QueueCap)
-		ob := &outbox{outs: []*PageQueue{q}}
-		op, err := nd.Op(func(b *storage.Batch) error { ob.add(b); return nil })
-		if err != nil {
-			return nil, nil, err
+	rootIdx := len(spec.Nodes) - 1
+	type pendingSpawn struct {
+		name string
+		step func(*Task) Status
+	}
+	var spawns []pendingSpawn
+	sinkIn := head
+	if spec.Pivot != rootIdx {
+		mask := spec.SubtreeMask(spec.Pivot)
+		outQ := make([]*PageQueue, len(spec.Nodes))
+		for i, in := range mask {
+			if !in {
+				outQ[i] = NewPageQueue(e.sched, spec.Nodes[i].Name, e.opts.QueueCap)
+			}
 		}
-		body := &opTask{name: nd.Name, push: op.Push, finish: op.Finish, in: cur, out: ob, clock: e.clock, fail: g.fail}
-		ops = append(ops, pendingOp{body: body, name: nd.Name})
-		cur = q
+		// qOf resolves a private node's input: the shared pivot's output
+		// arrives on the head queue; everything else is private.
+		qOf := func(idx int) *PageQueue {
+			if idx == spec.Pivot {
+				return head
+			}
+			return outQ[idx]
+		}
+		sinkIn = outQ[rootIdx]
+		for i, in := range mask {
+			if in {
+				continue
+			}
+			nd := spec.Nodes[i]
+			ob := &outbox{outs: []*PageQueue{outQ[i]}}
+			if nd.Join != nil && bs != nil && nd.BuildInput == spec.Pivot {
+				// The member's side of the shared build: probe privately
+				// against the group's sealed table.
+				pr, err := nd.Probe(func(b *storage.Batch) error { ob.add(b); return nil })
+				if err != nil {
+					return nil, nil, err
+				}
+				body := &probeAttachTask{name: nd.Name, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: qOf(nd.ProbeInput), out: ob, clock: e.clock, fail: g.fail}
+				spawns = append(spawns, pendingSpawn{nd.Name, body.step})
+				continue
+			}
+			step, err := e.nodeTask(nd, qOf, ob, g.fail)
+			if err != nil {
+				return nil, nil, err
+			}
+			spawns = append(spawns, pendingSpawn{nd.Name, step})
+		}
 	}
 	rootSchema, err := e.rootSchema(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	sink := e.newSinkTask(g, h, cur, rootSchema)
+	sink := e.newSinkTask(g, h, sinkIn, rootSchema)
 	start := func() {
-		for _, p := range ops {
-			e.sched.Spawn(p.name, p.body.step)
+		for _, p := range spawns {
+			e.sched.Spawn(p.name, p.step)
 		}
 		e.sched.Spawn(spec.Signature+"/sink", sink.step)
 	}
-	return in, start, nil
+	return head, start, nil
 }
 
 // newSinkTask builds the sink that drains in into one member's result batch

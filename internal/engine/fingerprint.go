@@ -2,18 +2,20 @@ package engine
 
 import (
 	"fmt"
-	"strings"
 )
 
-// This file canonicalizes NodeSpec prefixes into subplan fingerprints — the
+// This file canonicalizes NodeSpec subtrees into subplan fingerprints — the
 // identity under which work is shared. PR 1/PR 2 matched whole queries by an
 // opaque Signature string, which pins the sharing pivot to "queries that are
-// identical end to end". Fingerprinting the shared prefix instead lifts the
-// pivot: two queries merge whenever the nodes at and below a candidate pivot
-// canonicalize identically, no matter how their private chains differ. A Q1
-// group-by variant and plain Q1 share one filtered lineitem pass; two
-// identical Q1s share all the way up at the aggregate; Q6 date-range
-// variants share a superset scan and diverge at their residual filters.
+// identical end to end". PR 3 fingerprinted the shared prefix of a linear
+// chain; with tree-shaped plans the canonical form is recursive: a node's
+// fingerprint combines its own identity with the canonical form of each
+// input branch, so two queries merge whenever the subtrees rooted at a
+// candidate pivot canonicalize identically — regardless of how the nodes are
+// numbered, how the plans differ elsewhere, or which branch of a join the
+// subtree hangs off. A Q4 date-window variant and its sibling share one
+// lineitem build subplan even though their orders scans (and everything
+// above) differ.
 //
 // Canonical form per node:
 //
@@ -23,17 +25,23 @@ import (
 //     form), and the page quantum.
 //   - Operators and joins are closures the engine cannot inspect, so they
 //     canonicalize through the explicit NodeSpec.Fingerprint the plan
-//     builder declares. A node without one is opaque: its identity falls
-//     back to (Signature, node index), which reproduces PR 1's
+//     builder declares, combined per branch with their inputs' canonical
+//     forms (join branches are labeled build/probe, so swapping the sides
+//     changes the identity).
+//   - A node without a fingerprint is opaque: its identity is (Signature,
+//     node index) plus its inputs' canonical forms, which reproduces PR 1's
 //     whole-signature matching exactly — unfingerprinted specs share
 //     neither more nor less than before.
 //
-// A share key is the canonical prefix joined with the pivot level, so the
-// same plan offered at two pivot levels occupies two distinct keys and the
-// engine's joinable map needs no second index.
+// A share key is the canonical form of the subtree rooted at the pivot.
+// Build-side sharing uses the same canonical subtree with a "!build" marker,
+// since attaching to a materialized hash table is a different contract than
+// consuming a fanned-out page stream: the two kinds of group must never
+// collide in the joinable map.
 
-// nodeFingerprint returns the canonical identity of one node within spec.
-func nodeFingerprint(spec QuerySpec, i int) string {
+// subplanFingerprint returns the canonical form of the subtree of spec
+// rooted at node i.
+func subplanFingerprint(spec QuerySpec, i int) string {
 	nd := spec.Nodes[i]
 	switch {
 	case nd.Scan != nil:
@@ -43,30 +51,39 @@ func nodeFingerprint(spec QuerySpec, i int) string {
 	case nd.Fingerprint != "":
 		switch {
 		case nd.Op != nil:
-			return fmt.Sprintf("op(%s|in=%d)", nd.Fingerprint, nd.Input)
+			return fmt.Sprintf("op(%s|%s)", nd.Fingerprint, subplanFingerprint(spec, nd.Input))
 		case nd.Join != nil:
-			return fmt.Sprintf("join(%s|build=%d|probe=%d)", nd.Fingerprint, nd.BuildInput, nd.ProbeInput)
+			return fmt.Sprintf("join(%s|build=%s|probe=%s)", nd.Fingerprint,
+				subplanFingerprint(spec, nd.BuildInput), subplanFingerprint(spec, nd.ProbeInput))
 		default: // opaque Source with a declared identity
 			return fmt.Sprintf("source(%s)", nd.Fingerprint)
 		}
 	default:
-		return fmt.Sprintf("opaque(%s|%d)", spec.Signature, i)
+		switch {
+		case nd.Op != nil:
+			return fmt.Sprintf("opaque(%s|%d|%s)", spec.Signature, i, subplanFingerprint(spec, nd.Input))
+		case nd.Join != nil:
+			return fmt.Sprintf("opaque(%s|%d|build=%s|probe=%s)", spec.Signature, i,
+				subplanFingerprint(spec, nd.BuildInput), subplanFingerprint(spec, nd.ProbeInput))
+		default:
+			return fmt.Sprintf("opaque(%s|%d)", spec.Signature, i)
+		}
 	}
 }
 
-// shareKeyAt canonicalizes the shared prefix of spec at the given pivot
-// level: the fingerprints of nodes 0..pivot (the prefix is self-contained —
-// Validate guarantees every node at or below the pivot is consumed within
-// it) joined with the pivot index. Queries whose keys are equal run the same
-// subplan below the pivot and may merge there.
+// shareKeyAt canonicalizes the subtree of spec rooted at the given pivot.
+// Queries whose keys are equal run the same subplan at and below the pivot
+// and may merge there, each keeping its own private remainder.
 func shareKeyAt(spec QuerySpec, pivot int) string {
-	var sb strings.Builder
-	for i := 0; i <= pivot; i++ {
-		sb.WriteString(nodeFingerprint(spec, i))
-		sb.WriteByte(';')
-	}
-	fmt.Fprintf(&sb, "@%d", pivot)
-	return sb.String()
+	return subplanFingerprint(spec, pivot)
+}
+
+// buildShareKeyAt canonicalizes the build subtree rooted at pivot for
+// build-state sharing: the same subplan identity as shareKeyAt under a
+// distinct namespace, because a build-state group hands members a sealed
+// hash table where a fan-out group hands them a page stream.
+func buildShareKeyAt(spec QuerySpec, pivot int) string {
+	return subplanFingerprint(spec, pivot) + "!build"
 }
 
 // ShareKey returns the canonical identity of spec's shared subplan at its
@@ -74,3 +91,8 @@ func shareKeyAt(spec QuerySpec, pivot int) string {
 // registry use. Exposed for tests and monitors that need to find a group's
 // registry entries.
 func ShareKey(spec QuerySpec) string { return shareKeyAt(spec, spec.Pivot) }
+
+// BuildShareKey returns the canonical identity under which spec's build-side
+// candidate at the given pivot publishes its hash table. Exposed for tests
+// and monitors.
+func BuildShareKey(spec QuerySpec, pivot int) string { return buildShareKeyAt(spec, pivot) }

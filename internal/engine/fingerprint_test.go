@@ -76,6 +76,96 @@ func TestShareKeyOpaqueFallback(t *testing.T) {
 	}
 }
 
+// Multi-child canonicalization: subplan identity is recursive and per
+// branch, so node numbering is irrelevant, build and probe branches are
+// distinguished, and nested joins canonicalize through their whole subtree.
+func TestShareKeyJoinCanonical(t *testing.T) {
+	bt, pt := buildTables(t, 8, 8)
+	dummyJoin := func(emit relop.Emit) (JoinOperator, error) {
+		bs := storage.MustSchema(storage.Column{Name: "bv", Type: storage.Int64})
+		ps := storage.MustSchema(storage.Column{Name: "pv", Type: storage.Int64})
+		return relop.NewHashJoin(relop.Semi, bs, "bv", ps, "pv", emit)
+	}
+	// One join, two node orderings: [build, probe, join] vs [probe, build,
+	// join]. The subtree keys at the join and at the build must agree.
+	a := QuerySpec{
+		Signature: "jc/a",
+		Pivot:     2,
+		Nodes: []NodeSpec{
+			ScanNode("jc/build", bt, nil, []string{"bv"}, 16),
+			ScanNode("jc/probe", pt, nil, []string{"pv"}, 16),
+			{Name: "jc/join", Fingerprint: "semi", BuildInput: 0, ProbeInput: 1, Join: dummyJoin},
+		},
+	}
+	b := QuerySpec{
+		Signature: "jc/b",
+		Pivot:     2,
+		Nodes: []NodeSpec{
+			ScanNode("jc/probe", pt, nil, []string{"pv"}, 16),
+			ScanNode("jc/build", bt, nil, []string{"bv"}, 16),
+			{Name: "jc/join", Fingerprint: "semi", BuildInput: 1, ProbeInput: 0, Join: dummyJoin},
+		},
+	}
+	if ShareKey(a) != ShareKey(b) {
+		t.Error("same join tree under different node numbering does not share a key")
+	}
+	if shareKeyAt(a, 0) != shareKeyAt(b, 1) {
+		t.Error("same build subtree at different node indices does not share a key")
+	}
+	if BuildShareKey(a, 0) != BuildShareKey(b, 1) {
+		t.Error("same build subtree does not share a build key")
+	}
+	if BuildShareKey(a, 0) == shareKeyAt(a, 0) {
+		t.Error("build-state key must not collide with the fan-out key of the same subtree")
+	}
+	// Swapping the branches is a different join.
+	swapped := a
+	swapped.Nodes = append([]NodeSpec(nil), a.Nodes...)
+	swapped.Nodes[2].BuildInput, swapped.Nodes[2].ProbeInput = 1, 0
+	if ShareKey(a) == ShareKey(swapped) {
+		t.Error("swapped build/probe branches share a key")
+	}
+	// Nested joins: the inner join's subtree feeds the outer build branch;
+	// reordering the nodes must not change any level's key.
+	nested := func(sig string, perm bool) QuerySpec {
+		inner := NodeSpec{Name: "jc/inner", Fingerprint: "semi", Join: dummyJoin}
+		outer := NodeSpec{Name: "jc/outer", Fingerprint: "semi2", Join: dummyJoin}
+		if !perm {
+			inner.BuildInput, inner.ProbeInput = 0, 1
+			outer.BuildInput, outer.ProbeInput = 2, 3
+			return QuerySpec{Signature: sig, Pivot: 4, Nodes: []NodeSpec{
+				ScanNode("jc/build", bt, nil, []string{"bv"}, 16),
+				ScanNode("jc/probe", pt, nil, []string{"pv"}, 16),
+				inner,
+				ScanNode("jc/probe2", pt, nil, []string{"pv"}, 32),
+				outer,
+			}}
+		}
+		inner.BuildInput, inner.ProbeInput = 1, 2
+		outer.BuildInput, outer.ProbeInput = 3, 0
+		return QuerySpec{Signature: sig, Pivot: 4, Nodes: []NodeSpec{
+			ScanNode("jc/probe2", pt, nil, []string{"pv"}, 32),
+			ScanNode("jc/build", bt, nil, []string{"bv"}, 16),
+			ScanNode("jc/probe", pt, nil, []string{"pv"}, 16),
+			inner,
+			outer,
+		}}
+	}
+	n1, n2 := nested("jc/n1", false), nested("jc/n2", true)
+	if err := n1.Validate(); err != nil {
+		t.Fatalf("nested spec invalid: %v", err)
+	}
+	if err := n2.Validate(); err != nil {
+		t.Fatalf("permuted nested spec invalid: %v", err)
+	}
+	if ShareKey(n1) != ShareKey(n2) {
+		t.Error("nested join trees under different numbering do not share a key")
+	}
+	if shareKeyAt(n1, 2) != shareKeyAt(n2, 3) {
+		t.Error("inner join subtrees do not share a key across numberings")
+	}
+}
+
 // Two queries with different signatures but a fingerprint-equal prefix must
 // physically merge into one group and both complete correctly.
 func TestCrossSignatureSharing(t *testing.T) {

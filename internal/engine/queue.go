@@ -34,11 +34,14 @@ func NewPageQueue(s *Scheduler, name string, capacity int) *PageQueue {
 // TryPush appends a page. It returns false — after registering t to be
 // woken — when the queue is full; the task should return Blocked. Pushing
 // to a closed queue discards the page and reports success (the consumer is
-// gone; drop output on the floor so upstream can drain and finish).
+// gone; drop output on the floor so upstream can drain and finish) after
+// releasing the departed consumer's reader claim, so surviving fan-out
+// siblings are not forced to clone against a reader that will never come.
 func (q *PageQueue) TryPush(t *Task, b *storage.Batch) bool {
 	q.s.mu.Lock()
 	defer q.s.mu.Unlock()
 	if q.closed {
+		b.Release()
 		return true
 	}
 	if len(q.items) >= q.capacity {

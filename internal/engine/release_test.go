@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// Pushing a shared page to a closed queue (its consumer retired) must drop
+// that consumer's reader claim, not just discard the page — otherwise the
+// surviving sibling is forced to clone against a reader that will never
+// come.
+func TestClosedQueueReleasesClaim(t *testing.T) {
+	sched, err := NewScheduler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPageQueue(sched, "q", 4)
+	q.Close()
+	b := storage.NewBatch(storage.MustSchema(storage.Column{Name: "v", Type: storage.Int64}), 0)
+	b.MarkShared(1)
+	if !q.TryPush(&Task{}, b) {
+		t.Fatal("push to closed queue did not report success")
+	}
+	if b.Shared() {
+		t.Error("discarded page kept its reader claim")
+	}
+	if w := b.Writable(); w != b {
+		t.Error("surviving owner cloned after the departed consumer's claim was dropped")
+	}
+}
+
+// Fan-out consumers that finish with a page without writing it release
+// their claims: a scan shared between an aggregate chain (which consumes
+// each page and releases on push) and a bare sink (which appends and
+// releases all pages after its first) must leave claim releases — and at
+// most one adoption — in the share counters.
+func TestFanOutConsumersReleaseClaims(t *testing.T) {
+	const rows, pageRows = 256, 16
+	tbl := scanTable(t, rows)
+	aggSchema := storage.MustSchema(storage.Column{Name: "v", Type: storage.Int64})
+	aggSpec := QuerySpec{
+		Signature: "rel/agg",
+		Pivot:     0,
+		Nodes: []NodeSpec{
+			ScanNode("rel/scan", tbl, nil, []string{"v"}, pageRows),
+			{Name: "rel/sum", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(aggSchema, nil, []relop.AggSpec{
+					{Func: relop.Sum, Expr: relop.Col("v"), As: "total"},
+				}, emit)
+			}},
+		},
+	}
+	bareSpec := QuerySpec{
+		Signature: "rel/bare",
+		Pivot:     0,
+		Nodes:     []NodeSpec{ScanNode("rel/scan", tbl, nil, []string{"v"}, pageRows)},
+	}
+	m0, c0, r0 := storage.ShareStats()
+	e, err := New(Options{Workers: 1, StartPaused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ha, err := e.Submit(aggSpec, joinOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := e.Submit(bareSpec, joinOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.GroupSize(ShareKey(bareSpec)); got != 2 {
+		t.Fatalf("scan group size = %d, want 2", got)
+	}
+	e.Start()
+	ra, err := ha.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ra.MustCol("total").F64[0]; got != float64(rows)*float64(rows-1)/2 {
+		t.Errorf("agg member sum = %v", got)
+	}
+	rb, err := hb.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumResult(t, rb, rows)
+	m1, c1, r1 := storage.ShareStats()
+	pages := rows / pageRows
+	// The aggregate releases every page it consumes; the bare sink releases
+	// every page after the one it adopts.
+	if minWant := int64(pages); r1-r0 < minWant {
+		t.Errorf("claim releases = %d, want at least %d", r1-r0, minWant)
+	}
+	// Exactly one shared page is ever adopted (the bare sink's first); it is
+	// a move when the aggregate released first, a copy otherwise — never
+	// more than one of either.
+	if adoptions := (m1 - m0) + (c1 - c0); adoptions != 1 {
+		t.Errorf("adoptions (moves+copies) = %d, want 1", adoptions)
+	}
+}

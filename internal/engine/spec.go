@@ -41,6 +41,24 @@ type JoinOperator interface {
 // JoinFactory creates a fresh join operator per query instantiation.
 type JoinFactory func(emit relop.Emit) (JoinOperator, error)
 
+// ProbeOperator is the probe phase of a split hash join: the engine attaches
+// it to a sealed hash table — its own group's, or one built once and shared
+// across queries — then streams the probe side through Push/Finish.
+// *relop.HashJoinProbe satisfies it.
+type ProbeOperator interface {
+	OutSchema() storage.Schema
+	AttachTable(*relop.HashTable) error
+	Push(*storage.Batch) error
+	Finish() error
+}
+
+// ProbeFactory creates a fresh probe-phase operator per member.
+type ProbeFactory func(emit relop.Emit) (ProbeOperator, error)
+
+// BuildFactory creates the build-phase operator that materializes a join's
+// hash table (run once per shared build, not per member).
+type BuildFactory func() (*relop.JoinBuild, error)
+
 // ScanSpec declares a base-table scan transparently enough for the engine
 // to share it in flight: unlike an opaque SourceFactory, the engine can see
 // the table (so it can publish a circular scan in the registry) and read
@@ -95,6 +113,17 @@ type NodeSpec struct {
 	Join JoinFactory
 	// BuildInput and ProbeInput are the child node indices for joins.
 	BuildInput, ProbeInput int
+	// Build and Probe, when both set on a Join node, are its split forms:
+	// Build materializes the immutable hash table (run once per shared
+	// build) and Probe attaches to a sealed table and streams the probe side
+	// (run per member). Declaring them makes the join's build side a
+	// first-class shareable artifact — a PivotOption with Build set may then
+	// anchor sharing on the build subtree, and concurrent queries whose
+	// build subplans fingerprint-match run the build once and probe
+	// privately. Absent, the join executes only through the opaque Join
+	// factory (PR 3 semantics).
+	Build BuildFactory
+	Probe ProbeFactory
 }
 
 // IsSource reports whether the node is a leaf producer (Source or Scan).
@@ -120,9 +149,12 @@ func ScanNode(name string, tbl *storage.Table, pred relop.Pred, cols []string, p
 }
 
 // QuerySpec describes an executable query: nodes in topological order (root
-// last) plus the sharing pivot. Everything at or below the pivot is the
-// shared sub-plan; the nodes above it must form a linear chain to the root
-// and are instantiated privately per sharer.
+// last) plus the sharing pivot. The subtree rooted at the pivot is the
+// shared sub-plan; every node outside it — an arbitrary tree of operators,
+// joins, and even other leaf scans — is instantiated privately per sharer,
+// with the member's node that consumes the pivot fed from the group's
+// fan-out (or, for build-side pivots, attached to the group's sealed hash
+// table).
 type QuerySpec struct {
 	// Signature identifies the shareable sub-plan; only queries with equal
 	// signatures may merge (Cordoba detects sharing opportunities by
@@ -157,6 +189,13 @@ type QuerySpec struct {
 type PivotOption struct {
 	// Pivot indexes the candidate pivot node.
 	Pivot int
+	// Build marks a build-side candidate: Pivot is the root of the build
+	// subtree of a join declaring split Build/Probe forms, and the shared
+	// artifact is the sealed hash table that subtree builds — members run
+	// the build once and probe privately — rather than a fanned-out page
+	// stream. The group stays joinable for as long as the table is live
+	// (sealed tables lose nothing to late joiners).
+	Build bool
 	// Model is the query's work model compiled at this pivot.
 	Model core.Query
 }
@@ -198,10 +237,67 @@ func (q QuerySpec) CanParallel() bool {
 	return root.Partial != nil && root.Merge != nil
 }
 
+// SubtreeMask returns, per node, whether it belongs to the subtree rooted at
+// pivot — the shared sub-plan when sharing anchors there. Because every
+// non-root node is consumed exactly once, the subtree is self-contained: no
+// node inside it is consumed outside it except the pivot itself.
+func (q QuerySpec) SubtreeMask(pivot int) []bool {
+	in := make([]bool, len(q.Nodes))
+	var mark func(i int)
+	mark = func(i int) {
+		in[i] = true
+		nd := q.Nodes[i]
+		switch {
+		case nd.Op != nil:
+			mark(nd.Input)
+		case nd.Join != nil:
+			mark(nd.BuildInput)
+			mark(nd.ProbeInput)
+		}
+	}
+	if pivot >= 0 && pivot < len(q.Nodes) {
+		mark(pivot)
+	}
+	return in
+}
+
+// pivotConsumer returns the index of the node consuming pivot's output, or
+// -1 for the root (the sink consumes it).
+func (q QuerySpec) pivotConsumer(pivot int) int {
+	for i, nd := range q.Nodes {
+		if nd.Op != nil && nd.Input == pivot {
+			return i
+		}
+		if nd.Join != nil && (nd.BuildInput == pivot || nd.ProbeInput == pivot) {
+			return i
+		}
+	}
+	return -1
+}
+
+// validateBuildOption checks a build-side pivot candidate: the candidate
+// node must be the build input of a join declaring split Build/Probe forms.
+func (q QuerySpec) validateBuildOption(pivot int) error {
+	c := q.pivotConsumer(pivot)
+	if c < 0 {
+		return fmt.Errorf("%w: build pivot %d has no consuming join", ErrBadSpec, pivot)
+	}
+	nd := q.Nodes[c]
+	if nd.Join == nil || nd.BuildInput != pivot {
+		return fmt.Errorf("%w: build pivot %d is not the build input of a join", ErrBadSpec, pivot)
+	}
+	if nd.Build == nil || nd.Probe == nil {
+		return fmt.Errorf("%w: join %d (%s) lacks the Build/Probe split a build pivot needs", ErrBadSpec, c, nd.Name)
+	}
+	return nil
+}
+
 // Validate checks structural constraints: node kinds, topological child
-// references, single consumption of every non-root node, a linear private
-// chain above the pivot, and a parallelizable plan when a clone degree is
-// requested.
+// references, single consumption of every non-root node, well-formed pivot
+// candidates (build-side candidates must anchor the build input of a join
+// with split forms), and a parallelizable plan when a clone degree is
+// requested. The part outside a pivot's subtree may be any tree — operators,
+// joins, further leaf scans — since members instantiate it privately.
 func (q QuerySpec) Validate() error {
 	if len(q.Nodes) == 0 {
 		return fmt.Errorf("%w: no nodes", ErrBadSpec)
@@ -233,6 +329,12 @@ func (q QuerySpec) Validate() error {
 		if kinds != 1 {
 			return fmt.Errorf("%w: node %d (%s) must set exactly one of Source/Scan/Op/Join", ErrBadSpec, i, nd.Name)
 		}
+		if (nd.Build != nil) != (nd.Probe != nil) {
+			return fmt.Errorf("%w: node %d (%s) must set Build and Probe together", ErrBadSpec, i, nd.Name)
+		}
+		if nd.Build != nil && nd.Join == nil {
+			return fmt.Errorf("%w: node %d (%s) declares Build/Probe without Join", ErrBadSpec, i, nd.Name)
+		}
 		if nd.Scan != nil && nd.Scan.Table == nil {
 			return fmt.Errorf("%w: node %d (%s) scan has no table", ErrBadSpec, i, nd.Name)
 		}
@@ -263,32 +365,14 @@ func (q QuerySpec) Validate() error {
 			return fmt.Errorf("%w: node %d (%s) consumed %d times, want %d", ErrBadSpec, i, q.Nodes[i].Name, consumed[i], want)
 		}
 	}
-	// Private part above the pivot must be a linear chain of unary ops —
-	// for the declared pivot and for every candidate level.
-	if err := q.validateChainAbove(q.Pivot); err != nil {
-		return err
-	}
 	for _, opt := range q.Pivots {
 		if opt.Pivot < 0 || opt.Pivot >= len(q.Nodes) {
 			return fmt.Errorf("%w: candidate pivot %d out of range", ErrBadSpec, opt.Pivot)
 		}
-		if err := q.validateChainAbove(opt.Pivot); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// validateChainAbove checks the nodes above a (candidate) pivot form a
-// linear chain of unary operators to the root.
-func (q QuerySpec) validateChainAbove(pivot int) error {
-	for i := pivot + 1; i < len(q.Nodes); i++ {
-		nd := q.Nodes[i]
-		if nd.Op == nil {
-			return fmt.Errorf("%w: node %d (%s) above the pivot must be a unary operator", ErrBadSpec, i, nd.Name)
-		}
-		if nd.Input != i-1 {
-			return fmt.Errorf("%w: node %d (%s) above the pivot must consume node %d", ErrBadSpec, i, nd.Name, i-1)
+		if opt.Build {
+			if err := q.validateBuildOption(opt.Pivot); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -208,15 +208,20 @@ func (st *sourceTask) step(t *Task) Status {
 }
 
 // opTask drives a unary operator: pop one page, Push it, flush outputs.
+// releaseInput marks operators that consume their input (relop.Consuming):
+// the task drops the page's reader claim the moment Push returns, so a
+// sibling fan-out consumer that later adopts the page can move it instead
+// of cloning. Pass-through operators keep the claim alive downstream.
 type opTask struct {
-	name     string
-	push     func(*storage.Batch) error
-	finish   func() error
-	in       *PageQueue
-	out      *outbox
-	clock    *busyClock
-	fail     func(error)
-	finished bool
+	name         string
+	push         func(*storage.Batch) error
+	finish       func() error
+	in           *PageQueue
+	out          *outbox
+	clock        *busyClock
+	fail         func(error)
+	releaseInput bool
+	finished     bool
 }
 
 func (ot *opTask) step(t *Task) Status {
@@ -239,6 +244,9 @@ func (ot *opTask) step(t *Task) Status {
 			ot.out.closeAll()
 			return Done
 		}
+		if ot.releaseInput {
+			b.Release()
+		}
 		return Again
 	case done:
 		var err error
@@ -260,15 +268,16 @@ func (ot *opTask) step(t *Task) Status {
 // probe-side producer while the build runs — the stop-&-go decoupling of
 // Section 5.3.3 falls out of the queue discipline.
 type joinTask struct {
-	name     string
-	join     JoinOperator
-	build    *PageQueue
-	probe    *PageQueue
-	out      *outbox
-	clock    *busyClock
-	fail     func(error)
-	building bool
-	finished bool
+	name         string
+	join         JoinOperator
+	build        *PageQueue
+	probe        *PageQueue
+	out          *outbox
+	clock        *busyClock
+	fail         func(error)
+	releaseInput bool
+	building     bool
+	finished     bool
 }
 
 func (jt *joinTask) step(t *Task) Status {
@@ -291,6 +300,9 @@ func (jt *joinTask) step(t *Task) Status {
 				jt.fail(err)
 				jt.out.closeAll()
 				return Done
+			}
+			if jt.releaseInput {
+				b.Release()
 			}
 			return Again
 		case done:
@@ -316,6 +328,9 @@ func (jt *joinTask) step(t *Task) Status {
 			jt.fail(err)
 			jt.out.closeAll()
 			return Done
+		}
+		if jt.releaseInput {
+			b.Release()
 		}
 		return Again
 	case done:
@@ -355,6 +370,9 @@ func (sk *sinkTask) step(t *Task) Status {
 				sk.result = b.Writable()
 			} else {
 				sk.result.AppendBatch(b)
+				// The content is copied; drop this sink's reader claim so a
+				// sibling that has yet to adopt the page can move it.
+				b.Release()
 			}
 		case done:
 			sk.complete(sk.result)

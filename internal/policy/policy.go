@@ -67,8 +67,14 @@ type ModelGuided struct {
 	// PivotSelect enables model-guided pivot selection: when a query offers
 	// several candidate sharing pivots, a fresh group anchors at the level
 	// whose shared execution the model predicts fastest under the current
-	// load (engine.PivotPolicy). Off, groups anchor at the spec's declared
-	// pivot and candidates only matter for joining existing groups.
+	// load (engine.PivotPolicy). Candidates include build-side pivots
+	// (engine.PivotOption.Build): their models are compiled at the build —
+	// w_b once per group, a near-zero table hand-off s_b, probe work per
+	// member (core's build-share model, see core.BuildShareZ) — so the same
+	// BestPivot comparison decides between fan-out levels and amortizing
+	// one hash build over the group's probes. Off, groups anchor at the
+	// spec's declared pivot and candidates only matter for joining existing
+	// groups.
 	PivotSelect bool
 }
 

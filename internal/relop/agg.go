@@ -131,6 +131,9 @@ func NewHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit Emit)
 // OutSchema implements Operator.
 func (h *HashAgg) OutSchema() storage.Schema { return h.outSchema }
 
+// ConsumesInput reports that Push folds each batch into accumulators.
+func (h *HashAgg) ConsumesInput() bool { return true }
+
 // Push implements Operator.
 func (h *HashAgg) Push(b *storage.Batch) error {
 	if h.done {

@@ -17,8 +17,11 @@ func (h *HashAgg) SetEmit(e Emit) { h.emit = e }
 // SetEmit implements late emit binding for Sort.
 func (s *Sort) SetEmit(e Emit) { s.emit = e }
 
-// SetEmit implements late emit binding for HashJoin.
-func (h *HashJoin) SetEmit(e Emit) { h.emit = e }
+// SetEmit implements late emit binding for HashJoin (probe-phase output).
+func (h *HashJoin) SetEmit(e Emit) { h.probe.emit = e }
+
+// SetEmit implements late emit binding for HashJoinProbe.
+func (h *HashJoinProbe) SetEmit(e Emit) { h.emit = e }
 
 // SetEmit implements late emit binding for NLJoin.
 func (j *NLJoin) SetEmit(e Emit) { j.emit = e }

@@ -38,14 +38,125 @@ func (k JoinKind) String() string {
 	}
 }
 
-// HashJoin joins a build side and a probe side on int64 key columns. The
-// build phase is stop-&-go (Section 5.3.3): call PushBuild for every build
-// batch, then FinishBuild, then stream the probe side through Push/Finish.
+// HashTable is the sealed, immutable build side of a hash join: the
+// materialized build rows plus the key index over them. Once sealed it is
+// read-only by contract, so any number of probe operators — within one query
+// or across concurrently executing queries that fingerprint-match the build
+// subplan — may share the one table, each probing privately. Its row storage
+// participates in the refcounted shared-page protocol (storage.Batch
+// MarkShared/Release) so probers account for their claims like any fan-out
+// consumer.
+type HashTable struct {
+	schema storage.Schema
+	key    string
+	keyIdx int
+	rows   *storage.Batch
+	index  map[int64][]int
+}
+
+// Schema returns the build-side schema.
+func (t *HashTable) Schema() storage.Schema { return t.schema }
+
+// Key returns the build key column name.
+func (t *HashTable) Key() string { return t.key }
+
+// Rows returns the materialized build rows. Shared tables are read-only.
+func (t *HashTable) Rows() *storage.Batch { return t.rows }
+
+// Len returns the number of build rows.
+func (t *HashTable) Len() int { return t.rows.Len() }
+
+// Matches returns the build-row indices matching k (nil when none).
+func (t *HashTable) Matches(k int64) []int { return t.index[k] }
+
+// MatchCounts returns, for each key in probeKeys, how many build rows match.
+// Q13 uses this to count orders per customer including zero counts.
+func (t *HashTable) MatchCounts(probeKeys []int64) []int64 {
+	out := make([]int64, len(probeKeys))
+	for i, k := range probeKeys {
+		out[i] = int64(len(t.index[k]))
+	}
+	return out
+}
+
+// JoinBuild is the stop-&-go build phase of a hash join, split out so the
+// engine can run one build for a whole group of join queries: Push every
+// build-side batch, Finish, then hand Table to each prober.
+type JoinBuild struct {
+	tbl  *HashTable
+	done bool
+}
+
+// NewJoinBuild constructs a build over the given schema keyed on buildKey.
+func NewJoinBuild(build storage.Schema, buildKey string) (*JoinBuild, error) {
+	bi, err := build.Index(buildKey)
+	if err != nil {
+		return nil, err
+	}
+	if t := build.Cols[bi].Type; t != storage.Int64 && t != storage.Date {
+		return nil, fmt.Errorf("%w: join key %q must be integer, is %v", ErrType, buildKey, t)
+	}
+	return &JoinBuild{tbl: &HashTable{
+		schema: build,
+		key:    buildKey,
+		keyIdx: bi,
+		rows:   storage.NewBatch(build, 0),
+		index:  make(map[int64][]int),
+	}}, nil
+}
+
+// OutSchema implements Operator (the build "emits" nothing; the schema is
+// the build side's, for fan-in adapters).
+func (jb *JoinBuild) OutSchema() storage.Schema { return jb.tbl.schema }
+
+// Push implements Operator: hashes one build-side batch into the table.
+func (jb *JoinBuild) Push(b *storage.Batch) error {
+	if jb.done {
+		return ErrFinished
+	}
+	keys, err := b.Col(jb.tbl.key)
+	if err != nil {
+		return err
+	}
+	base := jb.tbl.rows.Len()
+	for i := 0; i < b.Len(); i++ {
+		jb.tbl.rows.AppendBatchRow(b, i)
+		k := keys.I64[i]
+		jb.tbl.index[k] = append(jb.tbl.index[k], base+i)
+	}
+	return nil
+}
+
+// Finish implements Operator: seals the table.
+func (jb *JoinBuild) Finish() error {
+	if jb.done {
+		return ErrFinished
+	}
+	jb.done = true
+	return nil
+}
+
+// ConsumesInput reports that Push copies what it needs from each batch.
+func (jb *JoinBuild) ConsumesInput() bool { return true }
+
+// Table returns the sealed table; it panics before Finish (an unsealed
+// table is mutable and must not escape).
+func (jb *JoinBuild) Table() *HashTable {
+	if !jb.done {
+		panic("relop: JoinBuild.Table before Finish")
+	}
+	return jb.tbl
+}
+
+// HashJoinProbe is the pipelined probe phase of a hash join: constructed
+// against the build and probe schemas, attached to a sealed HashTable (its
+// own build's, or one shared across queries), then streamed through
+// Push/Finish like any operator.
 //
 // Output schema: probe columns followed by build columns (except the build
 // key, which duplicates the probe key). Semi and Anti joins emit only probe
 // columns.
-type HashJoin struct {
+type HashJoinProbe struct {
 	kind        JoinKind
 	buildKey    string
 	probeKey    string
@@ -53,15 +164,14 @@ type HashJoin struct {
 	probeSchema storage.Schema
 	outSchema   storage.Schema
 	buildCols   []int // indices of emitted build columns
-	table       map[int64][]int
-	buildRows   *storage.Batch
+	tbl         *HashTable
 	emit        Emit
-	buildDone   bool
 	done        bool
 }
 
-// NewHashJoin constructs a hash join of the given kind.
-func NewHashJoin(kind JoinKind, build storage.Schema, buildKey string, probe storage.Schema, probeKey string, emit Emit) (*HashJoin, error) {
+// NewHashJoinProbe constructs the probe phase of a hash join of the given
+// kind; AttachTable must be called before the first Push.
+func NewHashJoinProbe(kind JoinKind, build storage.Schema, buildKey string, probe storage.Schema, probeKey string, emit Emit) (*HashJoinProbe, error) {
 	bi, err := build.Index(buildKey)
 	if err != nil {
 		return nil, err
@@ -76,14 +186,12 @@ func NewHashJoin(kind JoinKind, build storage.Schema, buildKey string, probe sto
 	if t := probe.Cols[pi].Type; t != storage.Int64 && t != storage.Date {
 		return nil, fmt.Errorf("%w: join key %q must be integer, is %v", ErrType, probeKey, t)
 	}
-	h := &HashJoin{
+	h := &HashJoinProbe{
 		kind:        kind,
 		buildKey:    buildKey,
 		probeKey:    probeKey,
 		buildSchema: build,
 		probeSchema: probe,
-		table:       make(map[int64][]int),
-		buildRows:   storage.NewBatch(build, 0),
 		emit:        emit,
 	}
 	var outCols []storage.Column
@@ -106,42 +214,31 @@ func NewHashJoin(kind JoinKind, build storage.Schema, buildKey string, probe sto
 }
 
 // OutSchema implements Operator.
-func (h *HashJoin) OutSchema() storage.Schema { return h.outSchema }
+func (h *HashJoinProbe) OutSchema() storage.Schema { return h.outSchema }
 
-// PushBuild consumes one build-side batch.
-func (h *HashJoin) PushBuild(b *storage.Batch) error {
-	if h.buildDone {
-		return ErrFinished
+// AttachTable points the probe at a sealed hash table. The table's schema
+// and key must match what the probe was constructed against.
+func (h *HashJoinProbe) AttachTable(t *HashTable) error {
+	if t == nil {
+		return fmt.Errorf("relop: attach of nil hash table")
 	}
-	keys, err := b.Col(h.buildKey)
-	if err != nil {
-		return err
+	if t.key != h.buildKey || !t.schema.Equal(h.buildSchema) {
+		return fmt.Errorf("relop: hash table (key %q) does not match probe build side (key %q)", t.key, h.buildKey)
 	}
-	base := h.buildRows.Len()
-	for i := 0; i < b.Len(); i++ {
-		h.buildRows.AppendBatchRow(b, i)
-		k := keys.I64[i]
-		h.table[k] = append(h.table[k], base+i)
-	}
+	h.tbl = t
 	return nil
 }
 
-// FinishBuild seals the hash table; Push may be called afterwards.
-func (h *HashJoin) FinishBuild() error {
-	if h.buildDone {
-		return ErrFinished
-	}
-	h.buildDone = true
-	return nil
-}
+// Attached reports whether a table has been attached.
+func (h *HashJoinProbe) Attached() bool { return h.tbl != nil }
 
 // Push implements Operator: probes one batch.
-func (h *HashJoin) Push(b *storage.Batch) error {
+func (h *HashJoinProbe) Push(b *storage.Batch) error {
 	if h.done {
 		return ErrFinished
 	}
-	if !h.buildDone {
-		return fmt.Errorf("relop: probe before FinishBuild")
+	if h.tbl == nil {
+		return fmt.Errorf("relop: probe before AttachTable")
 	}
 	keys, err := b.Col(h.probeKey)
 	if err != nil {
@@ -149,7 +246,7 @@ func (h *HashJoin) Push(b *storage.Batch) error {
 	}
 	out := storage.NewBatch(h.outSchema, b.Len())
 	for i := 0; i < b.Len(); i++ {
-		matches := h.table[keys.I64[i]]
+		matches := h.tbl.index[keys.I64[i]]
 		switch h.kind {
 		case Semi:
 			if len(matches) > 0 {
@@ -183,7 +280,7 @@ func (h *HashJoin) Push(b *storage.Batch) error {
 }
 
 // Finish implements Operator.
-func (h *HashJoin) Finish() error {
+func (h *HashJoinProbe) Finish() error {
 	if h.done {
 		return ErrFinished
 	}
@@ -191,13 +288,71 @@ func (h *HashJoin) Finish() error {
 	return nil
 }
 
+// ConsumesInput reports that Push copies matching rows into fresh output.
+func (h *HashJoinProbe) ConsumesInput() bool { return true }
+
+// HashJoin joins a build side and a probe side on int64 key columns: the
+// classic single-query composition of the split build/probe phases. The
+// build phase is stop-&-go (Section 5.3.3): call PushBuild for every build
+// batch, then FinishBuild (which seals the table and attaches the probe),
+// then stream the probe side through Push/Finish.
+type HashJoin struct {
+	build *JoinBuild
+	probe *HashJoinProbe
+}
+
+// NewHashJoin constructs a hash join of the given kind.
+func NewHashJoin(kind JoinKind, build storage.Schema, buildKey string, probe storage.Schema, probeKey string, emit Emit) (*HashJoin, error) {
+	jb, err := NewJoinBuild(build, buildKey)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := NewHashJoinProbe(kind, build, buildKey, probe, probeKey, emit)
+	if err != nil {
+		return nil, err
+	}
+	return &HashJoin{build: jb, probe: pr}, nil
+}
+
+// OutSchema implements Operator.
+func (h *HashJoin) OutSchema() storage.Schema { return h.probe.OutSchema() }
+
+// PushBuild consumes one build-side batch.
+func (h *HashJoin) PushBuild(b *storage.Batch) error { return h.build.Push(b) }
+
+// FinishBuild seals the hash table and attaches the probe phase to it; Push
+// may be called afterwards.
+func (h *HashJoin) FinishBuild() error {
+	if err := h.build.Finish(); err != nil {
+		return err
+	}
+	return h.probe.AttachTable(h.build.Table())
+}
+
+// Push implements Operator: probes one batch.
+func (h *HashJoin) Push(b *storage.Batch) error {
+	if !h.probe.Attached() && !h.build.done {
+		return fmt.Errorf("relop: probe before FinishBuild")
+	}
+	return h.probe.Push(b)
+}
+
+// Finish implements Operator.
+func (h *HashJoin) Finish() error { return h.probe.Finish() }
+
+// ConsumesInput reports that both phases copy what they need per batch.
+func (h *HashJoin) ConsumesInput() bool { return true }
+
+// Table returns the sealed hash table (valid after FinishBuild).
+func (h *HashJoin) Table() *HashTable { return h.build.Table() }
+
 // BuildFanIn adapts the build side to the Operator interface so a producer
 // can Push/Finish into it like any other consumer.
 func (h *HashJoin) BuildFanIn() Operator { return &buildSide{h: h} }
 
 type buildSide struct{ h *HashJoin }
 
-func (b *buildSide) OutSchema() storage.Schema   { return b.h.buildSchema }
+func (b *buildSide) OutSchema() storage.Schema   { return b.h.build.tbl.schema }
 func (b *buildSide) Push(x *storage.Batch) error { return b.h.PushBuild(x) }
 func (b *buildSide) Finish() error               { return b.h.FinishBuild() }
 
@@ -207,13 +362,13 @@ func appendProbeRow(out *storage.Batch, probe *storage.Batch, row int) {
 	}
 }
 
-func (h *HashJoin) appendBuildRow(out *storage.Batch, offset, row int) {
+func (h *HashJoinProbe) appendBuildRow(out *storage.Batch, offset, row int) {
 	for j, ci := range h.buildCols {
-		out.Vecs[offset+j].AppendFrom(h.buildRows.Vecs[ci], row)
+		out.Vecs[offset+j].AppendFrom(h.tbl.rows.Vecs[ci], row)
 	}
 }
 
-func (h *HashJoin) appendNullBuildRow(out *storage.Batch, offset int) {
+func (h *HashJoinProbe) appendNullBuildRow(out *storage.Batch, offset int) {
 	for j, ci := range h.buildCols {
 		switch h.buildSchema.Cols[ci].Type {
 		case storage.Int64, storage.Date:
@@ -226,14 +381,10 @@ func (h *HashJoin) appendNullBuildRow(out *storage.Batch, offset int) {
 	}
 }
 
-// MatchCounts returns, for each key in probeKeys, how many build rows match.
-// Q13 uses this to count orders per customer including zero counts.
+// MatchCounts returns, for each key in probeKeys, how many build rows match
+// (valid after FinishBuild).
 func (h *HashJoin) MatchCounts(probeKeys []int64) []int64 {
-	out := make([]int64, len(probeKeys))
-	for i, k := range probeKeys {
-		out[i] = int64(len(h.table[k]))
-	}
-	return out
+	return h.build.Table().MatchCounts(probeKeys)
 }
 
 // NLJoin is a (block) nested-loop join: the inner side is fully

@@ -52,7 +52,7 @@ func TestHashJoinInner(t *testing.T) {
 		t.Fatal(err)
 	}
 	emit, result := Collect(hj.OutSchema())
-	hj.emit = emit
+	hj.SetEmit(emit)
 	if err := hj.PushBuild(makeLines(t, []int64{1, 2, 2, 5})); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestHashJoinSemiAndAnti(t *testing.T) {
 			t.Fatal(err)
 		}
 		emit, result := Collect(hj.OutSchema())
-		hj.emit = emit
+		hj.SetEmit(emit)
 		if err := hj.PushBuild(makeLines(t, []int64{1, 2, 2, 5})); err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func TestHashJoinLeftOuter(t *testing.T) {
 		t.Fatal(err)
 	}
 	emit, result := Collect(hj.OutSchema())
-	hj.emit = emit
+	hj.SetEmit(emit)
 	if err := hj.PushBuild(makeLines(t, []int64{2, 2})); err != nil {
 		t.Fatal(err)
 	}
@@ -236,8 +236,11 @@ func TestHashJoinBuildFanIn(t *testing.T) {
 	if err := side.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	if !hj.buildDone {
+	if !hj.build.done {
 		t.Error("BuildFanIn.Finish did not seal the build")
+	}
+	if !hj.probe.Attached() {
+		t.Error("BuildFanIn.Finish did not attach the probe to the table")
 	}
 }
 
@@ -385,7 +388,7 @@ func TestQuickHashJoinMatchesBruteForce(t *testing.T) {
 			return false
 		}
 		got := 0
-		hj.emit = func(b *storage.Batch) error { got += b.Len(); return nil }
+		hj.SetEmit(func(b *storage.Batch) error { got += b.Len(); return nil })
 		bb := storage.NewBatch(linesSchemaQuick(), nb)
 		for i, k := range buildKeys {
 			if err := bb.AppendRow(k, float64(i)); err != nil {

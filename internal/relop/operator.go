@@ -24,6 +24,25 @@ type Operator interface {
 	Finish() error
 }
 
+// Consuming marks operators whose Push neither retains nor forwards the
+// input batch — they copy whatever they need (aggregate accumulators,
+// buffered row copies, fresh output vectors) before returning. The engine
+// may release such an operator's reader claim on a shared page the moment
+// Push returns, which lets a sibling consumer's Writable take the original
+// instead of cloning. Pass-through operators (Filter, Project) must NOT
+// implement this: they may hand the input batch — or vectors aliasing it —
+// downstream, where the claim still guards it.
+type Consuming interface {
+	// ConsumesInput reports that pushed batches never escape the operator.
+	ConsumesInput() bool
+}
+
+// Consumes reports whether op declares itself input-consuming.
+func Consumes(op any) bool {
+	c, ok := op.(Consuming)
+	return ok && c.ConsumesInput()
+}
+
 // Collect returns an Emit that appends emitted rows into a single batch,
 // plus a getter for the result. Convenient for tests and examples.
 func Collect(s storage.Schema) (Emit, func() *storage.Batch) {

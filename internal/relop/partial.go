@@ -151,6 +151,9 @@ func NewMergeHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit 
 // OutSchema implements Operator.
 func (m *MergeHashAgg) OutSchema() storage.Schema { return m.outSchema }
 
+// ConsumesInput reports that Push folds partial states into accumulators.
+func (m *MergeHashAgg) ConsumesInput() bool { return true }
+
 // Push implements Operator: combines one batch of partial states.
 func (m *MergeHashAgg) Push(b *storage.Batch) error {
 	if m.done {

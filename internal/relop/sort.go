@@ -47,6 +47,9 @@ func NewSort(schema storage.Schema, keys []SortKey, emit Emit) (*Sort, error) {
 // OutSchema implements Operator.
 func (s *Sort) OutSchema() storage.Schema { return s.schema }
 
+// ConsumesInput reports that Push buffers a vector-level copy of each batch.
+func (s *Sort) ConsumesInput() bool { return true }
+
 // Push implements Operator: buffers rows (one vector-level copy per column).
 func (s *Sort) Push(b *storage.Batch) error {
 	if s.done {

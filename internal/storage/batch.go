@@ -13,8 +13,11 @@ type Batch struct {
 	// Vecs holds one vector per schema column.
 	Vecs []Vector
 	// shared counts extra readers beyond the owner when the batch is fanned
-	// out read-only to several consumers (see MarkShared / Writable).
-	shared atomic.Int32
+	// out read-only to several consumers (see MarkShared / Writable /
+	// Release); everShared records that the batch was fanned out at least
+	// once, so Writable can classify its zero-claim path as a move.
+	shared     atomic.Int32
+	everShared bool
 }
 
 // NewBatch allocates an empty batch with capacity hint n rows.

@@ -1,5 +1,7 @@
 package storage
 
+import "sync/atomic"
+
 // Clone returns a deep copy of the batch: fresh vectors whose mutation never
 // affects the original. The staged engine clones pages when a shared pivot
 // fans out results under its eager-copy mode — the physical realization of
@@ -22,12 +24,32 @@ func (b *Batch) Clone() *Batch {
 	return out
 }
 
+// Process-wide accounting of refcounted fan-out outcomes (see ShareStats).
+var (
+	shareMoves    atomic.Int64
+	shareCopies   atomic.Int64
+	shareReleases atomic.Int64
+)
+
+// ShareStats reports the cumulative outcomes of the refcounted fan-out
+// protocol process-wide: moves (a Writable call found no outstanding reader
+// claims on a page that had been shared and took the original, zero-copy),
+// copies (a Writable call found live claims and paid a deep clone), and
+// releases (a consumer finished with a shared page without writing it and
+// dropped its claim via Release). More releases ahead of adoption mean more
+// moves — the point of sink-side claim release.
+func ShareStats() (moves, copies, releases int64) {
+	return shareMoves.Load(), shareCopies.Load(), shareReleases.Load()
+}
+
 // MarkShared records n additional readers of the batch beyond its owner: the
 // pivot fanning one page out to m consumers marks it with m-1 extra readers
 // and hands every consumer the same pointer. Shared batches are read-only by
-// contract; a consumer that needs to mutate goes through Writable.
+// contract; a consumer that needs to mutate goes through Writable, and one
+// that finishes without writing drops its claim through Release.
 func (b *Batch) MarkShared(n int) {
 	if n > 0 {
+		b.everShared = true
 		b.shared.Add(int32(n))
 	}
 }
@@ -42,9 +64,37 @@ func (b *Batch) Shared() bool { return b.shared.Load() > 0 }
 // up this consumer's claim on the shared original. Clone-on-write means the
 // fan-out itself copies nothing; only consumers that mutate pay.
 func (b *Batch) Writable() *Batch {
-	if b.shared.Load() == 0 {
-		return b
+	for {
+		n := b.shared.Load()
+		if n <= 0 {
+			if b.everShared {
+				shareMoves.Add(1)
+			}
+			return b
+		}
+		if b.shared.CompareAndSwap(n, n-1) {
+			shareCopies.Add(1)
+			return b.Clone()
+		}
 	}
-	b.shared.Add(-1)
-	return b.Clone()
+}
+
+// Release drops one reader claim without taking a copy: the retire path for
+// sinks and fan-out consumers that finish with a shared page they never
+// wrote. Releasing early lets a later adopter's Writable find zero claims
+// and take the original — the zero-copy move — instead of cloning against a
+// reader that no longer exists. Safe to call on never-shared batches (no-op)
+// and idempotent past zero; each consumer must release or adopt at most
+// once per page.
+func (b *Batch) Release() {
+	for {
+		n := b.shared.Load()
+		if n <= 0 {
+			return
+		}
+		if b.shared.CompareAndSwap(n, n-1) {
+			shareReleases.Add(1)
+			return
+		}
+	}
 }

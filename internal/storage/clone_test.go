@@ -123,3 +123,43 @@ func TestBatchSharedWritable(t *testing.T) {
 		t.Error("non-positive MarkShared made the batch shared")
 	}
 }
+
+// Release drops reader claims without copying, is a guarded no-op past
+// zero, and feeds the process-wide share counters next to Writable's
+// move/copy split.
+func TestBatchReleaseAndShareStats(t *testing.T) {
+	m0, _, r0 := ShareStats()
+	b := cloneFixture(t)
+	b.Release() // never shared: no-op, no counter movement
+	if _, _, r := ShareStats(); r != r0 {
+		t.Error("Release on a never-shared batch counted")
+	}
+	// Fan out to 3 consumers (2 claims). Two consumers finish without
+	// writing and release; the last adopter then moves instead of cloning.
+	b.MarkShared(2)
+	b.Release()
+	b.Release()
+	b.Release() // past zero: guarded no-op
+	if b.Shared() {
+		t.Fatal("batch still shared after releases")
+	}
+	if w := b.Writable(); w != b {
+		t.Fatal("adopter cloned although every other reader released")
+	}
+	m1, c1, r1 := ShareStats()
+	if r1-r0 != 2 {
+		t.Errorf("releases counted = %d, want 2", r1-r0)
+	}
+	if m1-m0 != 1 {
+		t.Errorf("moves counted = %d, want 1", m1-m0)
+	}
+	// A batch with a live claim still pays the clone.
+	b2 := cloneFixture(t)
+	b2.MarkShared(1)
+	if w := b2.Writable(); w == b2 {
+		t.Fatal("Writable returned the original while a reader remains")
+	}
+	if _, c2, _ := ShareStats(); c2-c1 != 1 {
+		t.Errorf("copies counted = %d, want 1", c2-c1)
+	}
+}

@@ -1,6 +1,9 @@
 package storage
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // All three entry kinds must coexist in one exchange under their own keys
 // and be counted separately and together.
@@ -97,5 +100,145 @@ func TestExchangeKindStrings(t *testing.T) {
 		if got := kind.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", int(kind), got, want)
 		}
+	}
+}
+
+func TestBuildStateLifecycle(t *testing.T) {
+	x := NewExchange()
+	bs := x.PublishBuildState("k!build")
+	if x.LookupBuildState("k!build") != bs {
+		t.Fatal("build state not discoverable")
+	}
+	if got := x.BuildStatesInFlight(); got != 1 {
+		t.Fatalf("BuildStatesInFlight = %d, want 1", got)
+	}
+	if !bs.Attach() || !bs.Attach() {
+		t.Fatal("attach to a live build state refused")
+	}
+	if got := bs.Refs(); got != 2 {
+		t.Fatalf("Refs = %d, want 2", got)
+	}
+	if _, ok := bs.Sealed(); ok {
+		t.Fatal("unsealed state reports sealed")
+	}
+	// Releasing below zero pre-seal must not retire: a group whose only
+	// member failed admission keeps its in-flight build alive.
+	if bs.Release() {
+		t.Fatal("pre-seal release retired the state")
+	}
+	bs.Seal("table")
+	v, ok := bs.Sealed()
+	if !ok || v != "table" {
+		t.Fatalf("Sealed = (%v, %v), want (table, true)", v, ok)
+	}
+	// Last prober releases a sealed state: it retires and unregisters.
+	if !bs.Release() {
+		t.Fatal("last release of a sealed state did not retire it")
+	}
+	if !bs.Retired() {
+		t.Fatal("state not retired")
+	}
+	if x.LookupBuildState("k!build") != nil {
+		t.Error("retired state still discoverable")
+	}
+	if bs.Attach() {
+		t.Error("attach to a retired state succeeded")
+	}
+	// Sealing a retired state must not resurrect the value.
+	bs.Seal("zombie")
+	if v, _ := bs.Sealed(); v != nil {
+		t.Errorf("retired state resurrected value %v", v)
+	}
+}
+
+func TestBuildStateOnRetireHook(t *testing.T) {
+	x := NewExchange()
+	bs := x.PublishBuildState("k")
+	fired := 0
+	bs.OnRetire(func() { fired++ })
+	bs.Retire()
+	bs.Retire() // idempotent
+	if fired != 1 {
+		t.Fatalf("retire hook fired %d times, want 1", fired)
+	}
+	// Setting a hook after retirement fires immediately.
+	late := 0
+	bs.OnRetire(func() { late++ })
+	if late != 1 {
+		t.Errorf("late hook fired %d times, want 1", late)
+	}
+}
+
+// Superseded entries whose consumers never finish are reclaimed by the
+// age-based sweep, and the supersede/reclaim counters feed workload stats.
+func TestSweepReclaimsOrphans(t *testing.T) {
+	x := NewExchange()
+	old := x.Publish("scan", 100, 10)
+	if _, ok := old.Attach(); !ok {
+		t.Fatal("attach to fresh scan failed")
+	}
+	nw := x.Publish("scan", 100, 10) // supersedes old, which stays live
+	if got := x.SupersedeCount(); got != 1 {
+		t.Fatalf("SupersedeCount = %d, want 1", got)
+	}
+	if got := x.Orphans(); got != 1 {
+		t.Fatalf("Orphans = %d, want 1", got)
+	}
+	if got := x.Sweep(time.Hour); got != 0 {
+		t.Fatalf("young orphan swept: %d", got)
+	}
+	if got := x.Sweep(0); got != 1 {
+		t.Fatalf("Sweep(0) reclaimed %d, want 1", got)
+	}
+	if !old.Closed() {
+		t.Error("swept orphan scan not closed")
+	}
+	if nw.Closed() {
+		t.Error("sweep closed the live successor")
+	}
+	if got := x.SweepReclaims(); got != 1 {
+		t.Errorf("SweepReclaims = %d, want 1", got)
+	}
+	if got := x.Orphans(); got != 0 {
+		t.Errorf("Orphans after sweep = %d, want 0", got)
+	}
+}
+
+// An orphan whose consumers complete on their own is dropped from the
+// orphan list without counting as a reclaim.
+func TestSweepSkipsCompletedOrphans(t *testing.T) {
+	x := NewExchange()
+	old := x.PublishOutlet("k")
+	x.PublishOutlet("k")
+	old.Retire() // consumer group finished by itself
+	if got := x.Sweep(0); got != 0 {
+		t.Errorf("Sweep reclaimed %d self-closed orphans, want 0", got)
+	}
+	if got := x.SweepReclaims(); got != 0 {
+		t.Errorf("SweepReclaims = %d, want 0", got)
+	}
+}
+
+// A wedged build — published, never sealed, its group hung — is force
+// retired by the sweep so waiters and memory are reclaimed.
+func TestSweepReclaimsWedgedBuild(t *testing.T) {
+	x := NewExchange()
+	bs := x.PublishBuildState("k!build")
+	bs.Attach() // a waiter that will never be served
+	if got := x.Sweep(time.Hour); got != 0 {
+		t.Fatalf("young build swept: %d", got)
+	}
+	if got := x.Sweep(0); got != 1 {
+		t.Fatalf("Sweep(0) reclaimed %d, want 1", got)
+	}
+	if !bs.Retired() {
+		t.Error("wedged build not retired")
+	}
+	// A sealed, referenced build is never swept.
+	bs2 := x.PublishBuildState("k2!build")
+	bs2.Attach()
+	bs2.Seal("t")
+	if got := x.Sweep(0); got != 0 {
+		t.Errorf("Sweep reclaimed %d live sealed builds, want 0", got)
 	}
 }

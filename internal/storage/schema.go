@@ -116,6 +116,19 @@ func (s Schema) MustIndex(name string) int {
 // Arity returns the number of columns.
 func (s Schema) Arity() int { return len(s.Cols) }
 
+// Equal reports whether two schemas agree column for column (name and type).
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i, c := range s.Cols {
+		if c != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Project returns a schema containing only the named columns, in order.
 func (s Schema) Project(names ...string) (Schema, error) {
 	out := Schema{Cols: make([]Column, 0, len(names))}

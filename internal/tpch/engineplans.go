@@ -17,8 +17,11 @@ import (
 // engine runs with InflightSharing. The scan-heavy specs also offer their
 // aggregate as a second pivot candidate (QuerySpec.Pivots, models compiled
 // per level via ModelAt), so a pivot-selecting policy can lift identical
-// queries to whole-plan sharing; see families.go for specs whose prefixes
-// are shared across non-identical queries.
+// queries to whole-plan sharing; the join-heavy specs declare split
+// Build/Probe forms and offer their build subtree as a build-side
+// candidate (BuildModel), so queries that agree only below the build run
+// one hash build and probe it privately. See families.go for specs whose
+// subplans are shared across non-identical queries.
 func EngineSpec(q QueryID, db *DB, pageRows int) (engine.QuerySpec, error) {
 	switch q {
 	case Q6:
@@ -118,17 +121,43 @@ func q4Spec(db *DB, pageRows int) engine.QuerySpec {
 		Signature: "tpch/q4",
 		Model:     Model(Q4),
 		Pivot:     2,
+		// Candidates highest level first: the whole-plan join pivot, then
+		// the build side — two identical Q4s share the join outright, while
+		// a query that only matches the lineitem build subplan (a date-window
+		// variant) still amortizes the one hash build.
+		Pivots: []engine.PivotOption{
+			{Pivot: 2, Model: Model(Q4)},
+			{Pivot: 0, Build: true, Model: BuildModel(Q4)},
+		},
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q4/scan-lineitem", db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows),
 			engine.ScanNode("q4/scan-orders", db.Orders, Q4OrdersPred(), orderCols, pageRows),
-			{Name: "q4/semijoin", BuildInput: 0, ProbeInput: 1, Join: func(emit relop.Emit) (engine.JoinOperator, error) {
-				return relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
-			}},
-			{Name: "q4/agg", Input: 2, Op: func(emit relop.Emit) (relop.Operator, error) {
+			semiJoinNode("q4/semijoin", lineSchema, orderSchema, 0, 1),
+			{Name: "q4/agg", Input: 2, Fingerprint: "q4/agg", Op: func(emit relop.Emit) (relop.Operator, error) {
 				return relop.NewHashAgg(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
 					{Func: relop.Count, As: "order_count"},
 				}, emit)
 			}},
+		},
+	}
+}
+
+// semiJoinNode builds the Q4-shaped semi-join node with its split
+// Build/Probe forms declared, so the build side is a shareable pivot.
+func semiJoinNode(name string, lineSchema, orderSchema storage.Schema, buildIn, probeIn int) engine.NodeSpec {
+	return engine.NodeSpec{
+		Name:        name,
+		Fingerprint: name,
+		BuildInput:  buildIn,
+		ProbeInput:  probeIn,
+		Join: func(emit relop.Emit) (engine.JoinOperator, error) {
+			return relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
+		},
+		Build: func() (*relop.JoinBuild, error) {
+			return relop.NewJoinBuild(lineSchema, "l_orderkey")
+		},
+		Probe: func(emit relop.Emit) (engine.ProbeOperator, error) {
+			return relop.NewHashJoinProbe(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
 		},
 	}
 }
@@ -152,18 +181,23 @@ func q13Spec(db *DB, pageRows int) engine.QuerySpec {
 		Signature: "tpch/q13",
 		Model:     Model(Q13),
 		Pivot:     3,
+		// The join pivot first, then the build subtree (orders scan + tag):
+		// Q13 variants that share only the filtered-orders side run one
+		// build and probe their own customer sets against it.
+		Pivots: []engine.PivotOption{
+			{Pivot: 3, Model: Model(Q13)},
+			{Pivot: 1, Build: true, Model: BuildModel(Q13)},
+		},
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q13/scan-orders", db.Orders, Q13CommentPred(), []string{"o_custkey"}, pageRows),
-			{Name: "q13/tag", Input: 0, Op: func(emit relop.Emit) (relop.Operator, error) {
+			{Name: "q13/tag", Input: 0, Fingerprint: "q13/tag", Op: func(emit relop.Emit) (relop.Operator, error) {
 				return relop.NewProject(orderScanSchema, []relop.ProjectCol{
 					{As: "o_custkey", Expr: relop.Col("o_custkey")},
 					{As: "one", Expr: relop.ConstInt{V: 1}},
 				}, emit)
 			}},
 			engine.ScanNode("q13/scan-customer", db.Customer, nil, []string{"c_custkey"}, pageRows),
-			{Name: "q13/outerjoin", BuildInput: 1, ProbeInput: 2, Join: func(emit relop.Emit) (engine.JoinOperator, error) {
-				return relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)
-			}},
+			outerJoinNode("q13/outerjoin", buildSchema, custSchema, 1, 2),
 			{Name: "q13/percust", Input: 3, Op: func(emit relop.Emit) (relop.Operator, error) {
 				return relop.NewHashAgg(joinOut, []string{"c_custkey"}, []relop.AggSpec{
 					{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
@@ -174,6 +208,26 @@ func q13Spec(db *DB, pageRows int) engine.QuerySpec {
 					{Func: relop.Count, As: "custdist"},
 				}, emit)
 			}},
+		},
+	}
+}
+
+// outerJoinNode builds the Q13-shaped left-outer join node with its split
+// Build/Probe forms declared, so the build side is a shareable pivot.
+func outerJoinNode(name string, buildSchema, custSchema storage.Schema, buildIn, probeIn int) engine.NodeSpec {
+	return engine.NodeSpec{
+		Name:        name,
+		Fingerprint: name,
+		BuildInput:  buildIn,
+		ProbeInput:  probeIn,
+		Join: func(emit relop.Emit) (engine.JoinOperator, error) {
+			return relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)
+		},
+		Build: func() (*relop.JoinBuild, error) {
+			return relop.NewJoinBuild(buildSchema, "o_custkey")
+		},
+		Probe: func(emit relop.Emit) (engine.ProbeOperator, error) {
+			return relop.NewHashJoinProbe(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)
 		},
 	}
 }

@@ -29,10 +29,24 @@ import (
 // model compiled at each level, so model-guided policies can pick the
 // highest beneficial sharing point per group.
 
-// Q6FamilyVariants and Q1FamilyVariants are the family sizes.
+//   - The Q4 family varies the order-priority query's orderdate window
+//     inside the spec's quarter. Every variant probes a different slice of
+//     orders, but the semi-join's build side — the late-commit lineitem
+//     subplan — is byte-for-byte the same subtree, so variants cannot merge
+//     at the join yet fingerprint-match at the build: the engine runs one
+//     hash build and each variant probes it privately (the hybrid-hash-join
+//     reuse case).
+//   - The Q13 family varies which customer segment is counted (custkey
+//     ranges standing in for market segments). The probe side differs per
+//     variant while the filtered-orders build subtree (scan + tag) is
+//     shared, again one build for the whole family.
+//
+// Q6FamilyVariants and friends are the family sizes.
 const (
-	Q6FamilyVariants = 3
-	Q1FamilyVariants = 3
+	Q6FamilyVariants  = 3
+	Q1FamilyVariants  = 3
+	Q4FamilyVariants  = 3
+	Q13FamilyVariants = 3
 )
 
 // q6FamilyWindow returns the variant's shipdate window [lo, hi) inside the
@@ -181,6 +195,313 @@ func Q6FamilyReference(db *DB, variant int) (*storage.Batch, error) {
 	}
 	emit, result := relop.Collect(agg.OutSchema())
 	return runScanInto(db.Lineitem, pred, scanCols, agg, emit, result)
+}
+
+// q4FamilyWindow returns the variant's orderdate window [lo, hi) inside the
+// spec quarter. Variant 0 is the full quarter; 1 and 2 are its halves.
+func q4FamilyWindow(variant int) (lo, hi int64) {
+	mid := MustDate(1993, 8, 15)
+	switch variant % Q4FamilyVariants {
+	case 1:
+		return DateQ4Start, mid
+	case 2:
+		return mid, DateQ4End
+	default:
+		return DateQ4Start, DateQ4End
+	}
+}
+
+// q4FamilyOrdersPred is the variant's orders selection.
+func q4FamilyOrdersPred(variant int) relop.Pred {
+	lo, hi := q4FamilyWindow(variant)
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("o_orderdate"), R: relop.ConstInt{V: lo}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("o_orderdate"), R: relop.ConstInt{V: hi}},
+	}}
+}
+
+// Q4FamilyModel returns the work model of a Q4 family member at a pivot
+// level: 2 the semi-join (variants with identical windows merge there), 0
+// the lineitem build side (any two variants merge there — one hash build
+// amortized over the family's probes).
+func Q4FamilyModel(level int) core.Query {
+	if level == 0 {
+		m := BuildModel(Q4)
+		m.Name = "TPC-H Q4 family @build"
+		return m
+	}
+	m := Model(Q4)
+	m.Name = "TPC-H Q4 family @join"
+	return m
+}
+
+// Q4FamilySpec builds the engine spec of one Q4 family variant: the shared
+// late-commit lineitem build feeding a semi-join probed by the variant's
+// orderdate window, counted per priority. The spec anchors at the join and
+// offers the build subtree as the lower, cross-variant candidate.
+func Q4FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	variant = variant % Q4FamilyVariants
+	lineSchema := storage.MustSchema(storage.Column{Name: "l_orderkey", Type: storage.Int64})
+	orderCols := []string{"o_orderkey", "o_orderpriority"}
+	orderSchema, err := db.Orders.Schema().Project(orderCols...)
+	if err != nil {
+		panic(err)
+	}
+	return engine.QuerySpec{
+		Signature: fmt.Sprintf("tpch/q4f/v%d", variant),
+		Model:     Q4FamilyModel(2),
+		Pivot:     2,
+		Pivots: []engine.PivotOption{
+			{Pivot: 2, Model: Q4FamilyModel(2)},
+			{Pivot: 0, Build: true, Model: Q4FamilyModel(0)},
+		},
+		Nodes: []engine.NodeSpec{
+			engine.ScanNode("q4f/scan-lineitem", db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows),
+			engine.ScanNode("q4f/scan-orders", db.Orders, q4FamilyOrdersPred(variant), orderCols, pageRows),
+			semiJoinNode("q4f/semijoin", lineSchema, orderSchema, 0, 1),
+			{Name: "q4f/agg", Input: 2, Fingerprint: "q4f/agg", Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
+					{Func: relop.Count, As: "order_count"},
+				}, emit)
+			}},
+		},
+	}
+}
+
+// Q4FamilyBuildPred returns the family's build-side predicate restricted to
+// the first buildFrac of the orderkey space: the late-commit clause plus
+// l_orderkey < cut, so the hash build's row count — and therefore the build
+// cost w_b — scales with buildFrac. The build-share ablation sweeps it
+// against the probe fan-in. buildFrac ≥ 1 keeps the full build.
+func Q4FamilyBuildPred(db *DB, buildFrac float64) relop.Pred {
+	if buildFrac >= 1 {
+		return Q4LineitemPred()
+	}
+	cut := int64(1 + buildFrac*float64(db.Orders.NumRows()))
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_commitdate"), R: relop.Col("l_receiptdate")},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("l_orderkey"), R: relop.ConstInt{V: cut}},
+	}}
+}
+
+// Q4FamilySpecSized is Q4FamilySpec with the build side restricted to
+// buildFrac of the orderkey space — the ablation's build-cost axis. All
+// variants at one buildFrac still share one build (the build subtree is
+// variant-independent).
+func Q4FamilySpecSized(db *DB, pageRows, variant int, buildFrac float64) engine.QuerySpec {
+	spec := Q4FamilySpec(db, pageRows, variant)
+	spec.Signature = fmt.Sprintf("%s/bf%.2f", spec.Signature, buildFrac)
+	spec.Nodes[0].Scan.Pred = Q4FamilyBuildPred(db, buildFrac)
+	return spec
+}
+
+// Q4FamilyReference executes a Q4 family variant single-threaded: the
+// ground truth shared execution is checked against.
+func Q4FamilyReference(db *DB, variant int) (*storage.Batch, error) {
+	lineCols := []string{"l_orderkey"}
+	lineSchema, err := db.Lineitem.Schema().Project(lineCols...)
+	if err != nil {
+		return nil, err
+	}
+	orderCols := []string{"o_orderkey", "o_orderpriority"}
+	orderSchema, err := db.Orders.Schema().Project(orderCols...)
+	if err != nil {
+		return nil, err
+	}
+	hj, err := relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", nil)
+	if err != nil {
+		return nil, err
+	}
+	buildScan, err := relop.NewScan(db.Lineitem, Q4LineitemPred(), lineCols, 0, hj.PushBuild)
+	if err != nil {
+		return nil, err
+	}
+	if err := buildScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.FinishBuild(); err != nil {
+		return nil, err
+	}
+	agg, err := relop.NewHashAgg(hj.OutSchema(), []string{"o_orderpriority"}, []relop.AggSpec{
+		{Func: relop.Count, As: "order_count"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(agg.OutSchema())
+	agg.SetEmit(emit)
+	hj.SetEmit(agg.Push)
+	probeScan, err := relop.NewScan(db.Orders, q4FamilyOrdersPred(variant), orderCols, 0, hj.Push)
+	if err != nil {
+		return nil, err
+	}
+	if err := probeScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.Finish(); err != nil {
+		return nil, err
+	}
+	if err := agg.Finish(); err != nil {
+		return nil, err
+	}
+	return result(), nil
+}
+
+// q13FamilyCustRange returns the variant's customer key range [lo, hi):
+// variant 0 is every customer, 1 and 2 split the key space in half.
+func q13FamilyCustRange(db *DB, variant int) (lo, hi int64) {
+	n := int64(db.Customer.NumRows())
+	switch variant % Q13FamilyVariants {
+	case 1:
+		return 1, n/2 + 1
+	case 2:
+		return n/2 + 1, n + 1
+	default:
+		return 1, n + 1
+	}
+}
+
+// q13FamilyCustPred is the variant's customer selection.
+func q13FamilyCustPred(db *DB, variant int) relop.Pred {
+	lo, hi := q13FamilyCustRange(db, variant)
+	return relop.And{Preds: []relop.Pred{
+		relop.Cmp{Op: relop.Ge, L: relop.Col("c_custkey"), R: relop.ConstInt{V: lo}},
+		relop.Cmp{Op: relop.Lt, L: relop.Col("c_custkey"), R: relop.ConstInt{V: hi}},
+	}}
+}
+
+// Q13FamilyModel returns the work model of a Q13 family member at a pivot
+// level: 3 the outer join, 1 the filtered-orders build subtree.
+func Q13FamilyModel(level int) core.Query {
+	if level == 1 {
+		m := BuildModel(Q13)
+		m.Name = "TPC-H Q13 family @build"
+		return m
+	}
+	m := Model(Q13)
+	m.Name = "TPC-H Q13 family @join"
+	return m
+}
+
+// Q13FamilySpec builds the engine spec of one Q13 family variant: the
+// shared filtered-orders build (scan + tag) outer-joined against the
+// variant's customer segment, counted into the order-count distribution.
+func Q13FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	variant = variant % Q13FamilyVariants
+	orderScanSchema := storage.MustSchema(storage.Column{Name: "o_custkey", Type: storage.Int64})
+	buildSchema := storage.MustSchema(
+		storage.Column{Name: "o_custkey", Type: storage.Int64},
+		storage.Column{Name: "one", Type: storage.Int64},
+	)
+	custSchema := storage.MustSchema(storage.Column{Name: "c_custkey", Type: storage.Int64})
+	joinOut := storage.MustSchema(
+		storage.Column{Name: "c_custkey", Type: storage.Int64},
+		storage.Column{Name: "one", Type: storage.Int64},
+	)
+	perCustOut := storage.MustSchema(
+		storage.Column{Name: "c_custkey", Type: storage.Int64},
+		storage.Column{Name: "c_count", Type: storage.Float64},
+	)
+	return engine.QuerySpec{
+		Signature: fmt.Sprintf("tpch/q13f/v%d", variant),
+		Model:     Q13FamilyModel(3),
+		Pivot:     3,
+		Pivots: []engine.PivotOption{
+			{Pivot: 3, Model: Q13FamilyModel(3)},
+			{Pivot: 1, Build: true, Model: Q13FamilyModel(1)},
+		},
+		Nodes: []engine.NodeSpec{
+			engine.ScanNode("q13f/scan-orders", db.Orders, Q13CommentPred(), []string{"o_custkey"}, pageRows),
+			{Name: "q13f/tag", Input: 0, Fingerprint: "q13f/tag", Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewProject(orderScanSchema, []relop.ProjectCol{
+					{As: "o_custkey", Expr: relop.Col("o_custkey")},
+					{As: "one", Expr: relop.ConstInt{V: 1}},
+				}, emit)
+			}},
+			engine.ScanNode("q13f/scan-customer", db.Customer, q13FamilyCustPred(db, variant), []string{"c_custkey"}, pageRows),
+			outerJoinNode("q13f/outerjoin", buildSchema, custSchema, 1, 2),
+			{Name: "q13f/percust", Input: 3, Fingerprint: "q13f/percust", Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(joinOut, []string{"c_custkey"}, []relop.AggSpec{
+					{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
+				}, emit)
+			}},
+			{Name: "q13f/dist", Input: 4, Fingerprint: "q13f/dist", Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAgg(perCustOut, []string{"c_count"}, []relop.AggSpec{
+					{Func: relop.Count, As: "custdist"},
+				}, emit)
+			}},
+		},
+	}
+}
+
+// Q13FamilyReference executes a Q13 family variant single-threaded with the
+// engine plan's operators (float c_count, like q13Spec), so shared engine
+// results can be compared byte for byte.
+func Q13FamilyReference(db *DB, variant int) (*storage.Batch, error) {
+	buildSchema := storage.MustSchema(
+		storage.Column{Name: "o_custkey", Type: storage.Int64},
+		storage.Column{Name: "one", Type: storage.Int64},
+	)
+	custSchema := storage.MustSchema(storage.Column{Name: "c_custkey", Type: storage.Int64})
+	hj, err := relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", nil)
+	if err != nil {
+		return nil, err
+	}
+	buildBatch := storage.NewBatch(buildSchema, 1024)
+	orderScan, err := relop.NewScan(db.Orders, Q13CommentPred(), []string{"o_custkey"}, 0, func(b *storage.Batch) error {
+		keys := b.MustCol("o_custkey")
+		for i := 0; i < b.Len(); i++ {
+			if err := buildBatch.AppendRow(keys.I64[i], int64(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := orderScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.PushBuild(buildBatch); err != nil {
+		return nil, err
+	}
+	if err := hj.FinishBuild(); err != nil {
+		return nil, err
+	}
+	perCust, err := relop.NewHashAgg(hj.OutSchema(), []string{"c_custkey"}, []relop.AggSpec{
+		{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := relop.NewHashAgg(perCust.OutSchema(), []string{"c_count"}, []relop.AggSpec{
+		{Func: relop.Count, As: "custdist"},
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	emit, result := relop.Collect(dist.OutSchema())
+	dist.SetEmit(emit)
+	perCust.SetEmit(dist.Push)
+	hj.SetEmit(perCust.Push)
+	custScan, err := relop.NewScan(db.Customer, q13FamilyCustPred(db, variant), []string{"c_custkey"}, 0, hj.Push)
+	if err != nil {
+		return nil, err
+	}
+	if err := custScan.Run(); err != nil {
+		return nil, err
+	}
+	if err := hj.Finish(); err != nil {
+		return nil, err
+	}
+	if err := perCust.Finish(); err != nil {
+		return nil, err
+	}
+	if err := dist.Finish(); err != nil {
+		return nil, err
+	}
+	return result(), nil
 }
 
 // q1FamilyGroupBy returns the variant's grouping columns: the classic

@@ -209,3 +209,131 @@ func TestQ1FamilyPivotLift(t *testing.T) {
 		t.Errorf("pivot-level joins = %v, want 1 at level 1", joins)
 	}
 }
+
+// TestJoinFamilyBuildKeys pins the fingerprint algebra build sharing relies
+// on: no two Q4 (or Q13) variants coincide at the join, every pair
+// coincides at the build subtree, and the build key is distinct from the
+// fan-out key of the same subtree.
+func TestJoinFamilyBuildKeys(t *testing.T) {
+	db := smallDB(t)
+	for v := 1; v < Q4FamilyVariants; v++ {
+		a, b := Q4FamilySpec(db, 0, 0), Q4FamilySpec(db, 0, v)
+		if engine.ShareKey(a) == engine.ShareKey(b) {
+			t.Errorf("q4 variants 0 and %d wrongly share at the join", v)
+		}
+		if engine.BuildShareKey(a, 0) != engine.BuildShareKey(b, 0) {
+			t.Errorf("q4 variants 0 and %d do not share the build subplan", v)
+		}
+	}
+	for v := 1; v < Q13FamilyVariants; v++ {
+		a, b := Q13FamilySpec(db, 0, 0), Q13FamilySpec(db, 0, v)
+		if engine.ShareKey(a) == engine.ShareKey(b) {
+			t.Errorf("q13 variants 0 and %d wrongly share at the join", v)
+		}
+		if engine.BuildShareKey(a, 1) != engine.BuildShareKey(b, 1) {
+			t.Errorf("q13 variants 0 and %d do not share the build subplan", v)
+		}
+	}
+	// The standard Q4 spec scans lineitem identically, so it amortizes the
+	// same build as the family variants.
+	if engine.BuildShareKey(MustEngineSpec(Q4, db, 0), 0) != engine.BuildShareKey(Q4FamilySpec(db, 0, 0), 0) {
+		t.Error("standard Q4 and the Q4 family do not share the lineitem build")
+	}
+}
+
+// TestQ4FamilyBuildShare is the acceptance check for build-side sharing:
+// two concurrently submitted Q4-family variants execute exactly one hash
+// build — the first anchors a group at the join whose shared subtree
+// publishes the build state, the second matches only the build subplan and
+// attaches to the table — and each member's result is byte-identical to the
+// single-threaded reference and to the same query run alone. Run under
+// -race this also exercises the seal/attach handshake.
+func TestQ4FamilyBuildShare(t *testing.T) {
+	db := smallDB(t)
+	e := familyEngine(t, engine.Options{Workers: 2, StartPaused: true})
+	variants := []int{1, 2}
+	var handles []*engine.Handle
+	for _, v := range variants {
+		h, err := e.Submit(Q4FamilySpec(db, 0, v), policy.Always{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	key := engine.BuildShareKey(Q4FamilySpec(db, 0, 0), 0)
+	if got := e.GroupSize(key); got != 2 {
+		t.Fatalf("build group size = %d, want 2", got)
+	}
+	e.Start()
+	for i, h := range handles {
+		v := variants[i]
+		got, err := h.Wait()
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		want, err := Q4FamilyReference(db, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderBatch(t, got) != renderBatch(t, want) {
+			t.Errorf("variant %d: shared result differs from reference", v)
+		}
+		alone := familyEngine(t, engine.Options{Workers: 2})
+		ha, err := alone.Submit(Q4FamilySpec(db, 0, v), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aloneRes, err := ha.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderBatch(t, got) != renderBatch(t, aloneRes) {
+			t.Errorf("variant %d: shared result differs from run-alone", v)
+		}
+	}
+	if got := e.HashBuilds(); got != 1 {
+		t.Errorf("HashBuilds = %d, want exactly 1", got)
+	}
+	if got := e.BuildJoins(); got != 1 {
+		t.Errorf("BuildJoins = %d, want 1", got)
+	}
+	if got := e.Exchange().BuildStatesInFlight(); got != 0 {
+		t.Errorf("build states in flight after completion = %d, want 0", got)
+	}
+}
+
+// TestQ13FamilyBuildShare checks the outer-join family: all three customer
+// segments amortize one filtered-orders build (scan + tag project — a
+// multi-node build subtree), each producing its own correct distribution.
+func TestQ13FamilyBuildShare(t *testing.T) {
+	db := smallDB(t)
+	e := familyEngine(t, engine.Options{Workers: 2, StartPaused: true})
+	var handles []*engine.Handle
+	for v := 0; v < Q13FamilyVariants; v++ {
+		h, err := e.Submit(Q13FamilySpec(db, 0, v), policy.Always{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	e.Start()
+	for v, h := range handles {
+		got, err := h.Wait()
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		want, err := Q13FamilyReference(db, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderBatch(t, got) != renderBatch(t, want) {
+			t.Errorf("variant %d: shared result differs from reference", v)
+		}
+	}
+	if got := e.HashBuilds(); got != 1 {
+		t.Errorf("HashBuilds = %d, want exactly 1", got)
+	}
+	if got := e.BuildJoins(); got != int64(Q13FamilyVariants-1) {
+		t.Errorf("BuildJoins = %d, want %d", got, Q13FamilyVariants-1)
+	}
+}

@@ -80,6 +80,37 @@ func ModelAt(q QueryID, level int) core.Query {
 	}
 }
 
+// BuildModel returns the join-heavy query's model compiled at its build-side
+// pivot: the whole build subtree — scanning, filtering, and hashing the
+// build input — folds into the pivot's work w (run once per group), the
+// per-consumer cost s is a hand-off of the sealed table (a pointer, not a
+// page stream, so s is even smaller than the join-pivot s), and the probe
+// subtree, the probe phase, and the aggregates above replicate per member.
+// This is the "one build amortized over k probes" arm of core's build-share
+// model; because s ≈ 0 its benefit grows with the group size on any
+// processor count.
+func BuildModel(q QueryID) core.Query {
+	base := Model(q)
+	switch q {
+	case Q4:
+		return core.Query{
+			Name:   "TPC-H Q4 @build",
+			PivotW: base.Below[0], // lineitem scan + hash build
+			PivotS: 0.005,
+			Above:  []float64{base.Below[1], base.PivotW, base.Above[0]}, // orders scan, probe, agg
+		}
+	case Q13:
+		return core.Query{
+			Name:   "TPC-H Q13 @build",
+			PivotW: base.Below[0], // orders scan+filter+tag + hash build
+			PivotS: 0.005,
+			Above:  append([]float64{base.Below[1], base.PivotW}, base.Above...), // customer scan, probe, counts
+		}
+	default:
+		panic("tpch: no build model for query " + q.String())
+	}
+}
+
 // Plan returns the query's operator tree with the calibrated coefficients
 // attached, pivot node named "pivot". The tree form feeds the simulator
 // (which needs the operator topology, not just the flattened Query).

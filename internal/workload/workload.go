@@ -296,6 +296,16 @@ type MixResult struct {
 	// a sharing group anchored there — level 0 is the scan; higher levels
 	// mean the group shared operator work above it.
 	PivotJoins map[int]int64
+	// HashBuilds counts shared hash-join builds executed (one per
+	// build-sharing group), and BuildJoins the queries that attached to an
+	// existing build instead of running their own.
+	HashBuilds int64
+	BuildJoins int64
+	// Supersedes counts work-exchange registrations that displaced a
+	// still-live entry, and SweepReclaims the entries the age-based sweep
+	// force-retired — the registry-hygiene metrics from the eviction work.
+	Supersedes    int64
+	SweepReclaims int64
 }
 
 // Run drives the engine until the deadline. Each client resubmits its
@@ -316,6 +326,10 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 	startRuns := e.ParallelRuns()
 	startClones := e.ParallelClones()
 	startJoins := e.PivotLevelJoins()
+	startBuilds := e.HashBuilds()
+	startBuildJoins := e.BuildJoins()
+	startSupersedes := e.Exchange().SupersedeCount()
+	startReclaims := e.Exchange().SweepReclaims()
 	var mu sync.Mutex
 	perClass := make(map[string]int)
 	total := 0
@@ -390,6 +404,10 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 		ParallelRuns:     e.ParallelRuns() - startRuns,
 		ParallelClones:   e.ParallelClones() - startClones,
 		PivotJoins:       joins,
+		HashBuilds:       e.HashBuilds() - startBuilds,
+		BuildJoins:       e.BuildJoins() - startBuildJoins,
+		Supersedes:       e.Exchange().SupersedeCount() - startSupersedes,
+		SweepReclaims:    e.Exchange().SweepReclaims() - startReclaims,
 	}, nil
 }
 
