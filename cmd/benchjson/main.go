@@ -1,8 +1,8 @@
 // Command benchjson runs the ablation measurements and emits them as
-// machine-readable JSON (BENCH_PR4.json), so CI can archive the perf
+// machine-readable JSON (BENCH_PR5.json), so CI can archive the perf
 // trajectory run over run instead of letting benchmark output scroll away.
 //
-// Three experiments run on the real staged engine:
+// Four experiments run on the real staged engine:
 //
 //   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
 //     policy (never, always, model, inflight, parallel, hybrid, subplan),
@@ -15,12 +15,18 @@
 //     build cost (the fraction of the orderkey space the build hashes),
 //     measured shared vs run-alone q/min next to the model's predicted
 //     build-share speedup, with the executed-build counter asserting the
-//     build ran exactly once per shared batch.
+//     build ran exactly once per shared batch;
+//   - the cache ablation: two bursts of Q4-family variants separated by an
+//     idle gap, swept over gap (below vs above the keep-alive TTL) × cache
+//     byte budget (ample vs too small for the build). qpm_warm vs qpm_cold
+//     shows what retention buys; when the gap is inside the window and the
+//     budget admits the table, the warm burst must execute zero hash builds
+//     (asserted — the run fails otherwise).
 //
 // Usage:
 //
 //	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
-//	          [-duration 300ms] [-out BENCH_PR4.json]
+//	          [-duration 300ms] [-out BENCH_PR5.json]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
@@ -44,7 +51,7 @@ var (
 	clientsFlag  = flag.Int("clients", 8, "closed-loop clients in the policy sweep")
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
 	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
-	outFlag      = flag.String("out", "BENCH_PR4.json", "output file (- for stdout)")
+	outFlag      = flag.String("out", "BENCH_PR5.json", "output file (- for stdout)")
 )
 
 // PolicyResult is one policy sweep measurement.
@@ -80,13 +87,31 @@ type PivotLevelResult struct {
 	PredictedX       float64 `json:"pred_x"`
 }
 
+// CacheAblationResult is one cache ablation cell: two bursts of Q4-family
+// variants separated by IdleGapMS, on an engine whose keep-alive cache holds
+// BudgetBytes. The cold burst builds the family's hash table; whether the
+// warm burst rebuilds depends on the gap (inside or past the keep-alive TTL)
+// and on whether the budget admitted the table.
+type CacheAblationResult struct {
+	IdleGapMS   int64   `json:"idle_gap_ms"`
+	TTLMS       int64   `json:"ttl_ms"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	QPMCold     float64 `json:"qpm_cold"`
+	QPMWarm     float64 `json:"qpm_warm"`
+	ColdBuilds  int64   `json:"cold_builds"`
+	WarmBuilds  int64   `json:"warm_builds"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheBytes  int64   `json:"cache_bytes"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Bench       string             `json:"bench"`
-	Config      map[string]any     `json:"config"`
-	Policies    []PolicyResult     `json:"policies"`
-	PivotLevels []PivotLevelResult `json:"pivot_levels"`
-	BuildShare  []BuildShareResult `json:"build_share"`
+	Bench         string                `json:"bench"`
+	Config        map[string]any        `json:"config"`
+	Policies      []PolicyResult        `json:"policies"`
+	PivotLevels   []PivotLevelResult    `json:"pivot_levels"`
+	BuildShare    []BuildShareResult    `json:"build_share"`
+	CacheAblation []CacheAblationResult `json:"cache_ablation"`
 }
 
 func main() {
@@ -103,7 +128,7 @@ func run() error {
 		return err
 	}
 	report := Report{
-		Bench: "PR4",
+		Bench: "PR5",
 		Config: map[string]any{
 			"sf":          *sfFlag,
 			"seed":        *seedFlag,
@@ -181,6 +206,24 @@ func run() error {
 		}
 	}
 
+	// Cache ablation: idle gap × memory budget over two bursts of the Q4
+	// family. The keep-alive window is fixed; a gap inside it with an ample
+	// budget must make the warm burst build-free.
+	const cacheTTL = 250 * time.Millisecond
+	for _, gap := range []time.Duration{30 * time.Millisecond, 400 * time.Millisecond} {
+		for _, budget := range []int64{2 << 10, 64 << 20} {
+			cell, err := cacheCell(db, 3, gap, cacheTTL, budget, *workersFlag)
+			if err != nil {
+				return err
+			}
+			if gap < cacheTTL && budget >= 64<<20 && cell.WarmBuilds != 0 {
+				return fmt.Errorf("cache ablation: warm burst executed %d hash builds with gap %v inside TTL %v and an ample budget, want 0",
+					cell.WarmBuilds, gap, cacheTTL)
+			}
+			report.CacheAblation = append(report.CacheAblation, cell)
+		}
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -193,9 +236,60 @@ func run() error {
 	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells)\n",
-		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare))
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells)\n",
+		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation))
 	return nil
+}
+
+// cacheCell measures one cache ablation cell: two bursts of m Q4-family
+// variants on an engine retaining artifacts under the given budget and
+// keep-alive window, separated by an idle gap. Each burst drains completely
+// before the gap, so only the cache can carry the hash build across it.
+func cacheCell(db *tpch.DB, m int, gap, ttl time.Duration, budget int64, workers int) (CacheAblationResult, error) {
+	cache := artifact.New(artifact.Config{BudgetBytes: budget, TTL: ttl})
+	e, err := engine.New(engine.Options{Workers: workers, Cache: cache})
+	if err != nil {
+		return CacheAblationResult{}, err
+	}
+	defer e.Close()
+	burst := func() (float64, error) {
+		handles := make([]*engine.Handle, m)
+		start := time.Now()
+		for i := range handles {
+			h, err := e.Submit(tpch.Q4FamilySpec(db, 0, i%tpch.Q4FamilyVariants), policy.Always{})
+			if err != nil {
+				return 0, err
+			}
+			handles[i] = h
+		}
+		for _, h := range handles {
+			if _, err := h.Wait(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(m) / time.Since(start).Minutes(), nil
+	}
+	coldQPM, err := burst()
+	if err != nil {
+		return CacheAblationResult{}, err
+	}
+	coldBuilds := e.HashBuilds()
+	time.Sleep(gap)
+	warmQPM, err := burst()
+	if err != nil {
+		return CacheAblationResult{}, err
+	}
+	return CacheAblationResult{
+		IdleGapMS:   gap.Milliseconds(),
+		TTLMS:       ttl.Milliseconds(),
+		BudgetBytes: budget,
+		QPMCold:     coldQPM,
+		QPMWarm:     warmQPM,
+		ColdBuilds:  coldBuilds,
+		WarmBuilds:  e.HashBuilds() - coldBuilds,
+		CacheHits:   e.CacheHits(),
+		CacheBytes:  e.CacheBytes(),
+	}, nil
 }
 
 // buildShareCell measures one build-share batch: m different Q4-family

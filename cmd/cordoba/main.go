@@ -29,11 +29,28 @@
 // The report then includes builds=N(joins=M) counters next to the
 // per-pivot-level join counts.
 //
+// The -cache-mb flag enables keep-alive retention: retired shared artifacts
+// (sealed hash builds, completed whole-plan result runs) are held for
+// -cache-ttl under the given byte budget instead of dying with their last
+// consumer, and fingerprint-matching arrivals attach to the retained work.
+// The -bursty mode exercises exactly that path: clients run on/off duty
+// cycles (-burst-on active, -burst-idle idle, every burst drained before the
+// gap), so without the cache each burst rebuilds what the previous one just
+// dropped, and with it the first burst's builds serve the whole run. Reports
+// then include cache=hits/misses/evictions.
+//
+// The -sweep flag runs Engine.SweepExchange on the given cadence — the
+// wedged-consumer reclaim path under live traffic. The sweep and the cache
+// do not interfere: sweeping reclaims abandoned exchange entries, while
+// cached artifacts age out only by their own keep-alive clock.
+//
 // Usage:
 //
 //	cordoba [-sf 0.01] [-workers N] [-clients 8] [-fq4 0.5] [-families]
 //	        [-policy model|always|never|inflight|parallel|hybrid|subplan]
-//	        [-duration 2s] [-compare]
+//	        [-duration 2s] [-compare] [-sweep 500ms]
+//	        [-cache-mb 64] [-cache-ttl 500ms]
+//	        [-bursty] [-burst-on 400ms] [-burst-idle 150ms]
 //
 // -workers defaults to runtime.GOMAXPROCS(0) so sharing-vs-parallelism
 // comparisons are reproducible across machines when set explicitly; the
@@ -47,6 +64,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
@@ -55,15 +73,21 @@ import (
 )
 
 var (
-	sfFlag       = flag.Float64("sf", 0.005, "TPC-H scale factor")
-	seedFlag     = flag.Uint64("seed", 42, "data generator seed")
-	workersFlag  = flag.Int("workers", runtime.GOMAXPROCS(0), "emulated processors (engine workers)")
-	clientsFlag  = flag.Int("clients", 8, "closed-loop clients")
-	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4 (rest run Q1)")
-	policyFlag   = flag.String("policy", "model", "sharing policy: model, always, never, inflight, parallel, hybrid, subplan")
-	durationFlag = flag.Duration("duration", 2*time.Second, "measurement duration")
-	compareFlag  = flag.Bool("compare", false, "run all policies and compare")
-	familiesFlag = flag.Bool("families", false, "rotate Q1/Q6/Q4/Q13 family variants per client instead of the Q1/Q4 mix")
+	sfFlag        = flag.Float64("sf", 0.005, "TPC-H scale factor")
+	seedFlag      = flag.Uint64("seed", 42, "data generator seed")
+	workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "emulated processors (engine workers)")
+	clientsFlag   = flag.Int("clients", 8, "closed-loop clients")
+	fq4Flag       = flag.Float64("fq4", 0.5, "fraction of clients running Q4 (rest run Q1)")
+	policyFlag    = flag.String("policy", "model", "sharing policy: model, always, never, inflight, parallel, hybrid, subplan")
+	durationFlag  = flag.Duration("duration", 2*time.Second, "measurement duration")
+	compareFlag   = flag.Bool("compare", false, "run all policies and compare")
+	familiesFlag  = flag.Bool("families", false, "rotate Q1/Q6/Q4/Q13 family variants per client instead of the Q1/Q4 mix")
+	sweepFlag     = flag.Duration("sweep", 0, "exchange sweep cadence (0 = no periodic sweep)")
+	cacheMBFlag   = flag.Int("cache-mb", 0, "keep-alive artifact cache budget in MiB (0 = retention off)")
+	cacheTTLFlag  = flag.Duration("cache-ttl", 500*time.Millisecond, "keep-alive window for retained artifacts")
+	burstyFlag    = flag.Bool("bursty", false, "on/off duty-cycle traffic instead of a continuous closed loop")
+	burstOnFlag   = flag.Duration("burst-on", 400*time.Millisecond, "active phase of a bursty duty cycle")
+	burstIdleFlag = flag.Duration("burst-idle", 150*time.Millisecond, "idle gap between bursts")
 )
 
 // runConfig pairs a sharing policy with the engine mode it needs.
@@ -123,22 +147,41 @@ func run() error {
 	}
 
 	for _, cfg := range configs {
-		// A fresh engine per policy keeps group state from leaking across
-		// measurements.
-		e, err := engine.New(engine.Options{
+		// A fresh engine (and cache) per policy keeps group and retention
+		// state from leaking across measurements.
+		opts := engine.Options{
 			Workers:         *workersFlag,
 			FanOut:          engine.FanOutShare,
 			InflightSharing: cfg.inflight,
-		})
+			SweepInterval:   *sweepFlag,
+		}
+		if *cacheMBFlag > 0 {
+			opts.Cache = artifact.New(artifact.Config{
+				BudgetBytes: int64(*cacheMBFlag) << 20,
+				TTL:         *cacheTTLFlag,
+			})
+		}
+		e, err := engine.New(opts)
 		if err != nil {
 			return err
 		}
-		res, err := mix.Run(e, policy.ForEngine(cfg.pol), *durationFlag)
+		var res workload.MixResult
+		if *burstyFlag {
+			res, err = mix.RunBursty(e, policy.ForEngine(cfg.pol), *durationFlag, *burstOnFlag, *burstIdleFlag)
+		} else {
+			res, err = mix.Run(e, policy.ForEngine(cfg.pol), *durationFlag)
+		}
 		e.Close()
 		if err != nil {
 			return err
 		}
 		extra := ""
+		if res.Bursts > 1 {
+			extra += fmt.Sprintf(" bursts=%d", res.Bursts)
+		}
+		if opts.Cache != nil {
+			extra += fmt.Sprintf(" cache=%d/%d/%d", res.CacheHits, res.CacheMisses, res.CacheEvictions)
+		}
 		if cfg.inflight {
 			extra += fmt.Sprintf(" attaches=%d", res.InflightAttaches)
 		}

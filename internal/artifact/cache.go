@@ -1,0 +1,287 @@
+// Package artifact implements the shared-artifact keep-alive cache: a
+// memory-budgeted, epoch-invalidated store for shared artifacts that have
+// lost their last consumer — sealed hash-join build states and completed
+// pivot result runs — keyed by the canonical subtree fingerprint they were
+// shared under.
+//
+// The work exchange (internal/storage) owns artifacts while they are in
+// flight: a build state is refcounted by its probers and retires at the last
+// release. This cache picks up where the exchange leaves off. Instead of the
+// artifact's memory dying with its last consumer, the engine hands the
+// retired value here, and a fingerprint-matching arrival within the
+// keep-alive window attaches to the retained artifact with zero rebuild work
+// — sharing across bursts, not just within one.
+//
+// Three policies govern residency:
+//
+//   - Admission is cost-model-driven: an artifact is retained only when the
+//     model's retain-vs-evict ratio favors it (core.ShouldRetain — predicted
+//     rebuild cost × expected re-arrival probability against the footprint's
+//     claim on the budget).
+//   - Eviction under memory pressure is LRU-by-benefit: the byte budget is a
+//     hard ceiling, and when an admission needs room the cache drops the
+//     entry with the lowest benefit density (expected work saved per pinned
+//     byte, core.RetainScore), breaking ties by least recent use.
+//   - Invalidation is epoch-based: every artifact records the invalidation
+//     epoch of its source tables at build time, any mutation-path publish
+//     bumps the tables' epochs (storage.Table.Epoch), and a lookup whose
+//     current epoch differs from the entry's drops the stale artifact
+//     instead of serving it.
+//
+// Entries also expire after the keep-alive TTL, measured from last use — a
+// hit refreshes the window, an idle artifact ages out even under no memory
+// pressure. All methods are safe for concurrent use.
+package artifact
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultRearrival is the expected re-arrival probability used when the
+// configuration leaves Rearrival zero: a coin flip, the neutral prior for
+// closed-loop traffic whose burst structure the cache cannot observe.
+const DefaultRearrival = 0.5
+
+// Config configures a Cache.
+type Config struct {
+	// BudgetBytes is the hard ceiling on retained bytes (0 = unbounded).
+	// Admissions that would exceed it evict lower-benefit entries first and
+	// are rejected when the artifact alone exceeds the budget.
+	BudgetBytes int64
+	// TTL is the keep-alive window measured from an entry's last use
+	// (0 = entries never expire by age).
+	TTL time.Duration
+	// Rearrival is the expected probability that a fingerprint-matching
+	// query re-arrives within the keep-alive window, the weight on the
+	// model's rebuild cost at admission (0 = DefaultRearrival).
+	Rearrival float64
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Stats is a snapshot of the cache's counters: cumulative outcomes plus the
+// current footprint gauge.
+type Stats struct {
+	// Hits counts lookups served from a retained artifact; Misses counts
+	// lookups that found nothing usable (absent, expired, or stale).
+	Hits, Misses int64
+	// Evictions counts entries dropped for memory pressure, Expirations
+	// entries aged out by the TTL, Invalidations entries rejected because
+	// their epoch went stale, and Rejects admissions the retain model or the
+	// budget refused.
+	Evictions, Expirations, Invalidations, Rejects int64
+	// Bytes is the current retained footprint and Entries the current count.
+	Bytes   int64
+	Entries int
+}
+
+// entry is one retained artifact.
+type entry struct {
+	value   any
+	bytes   int64
+	score   float64 // benefit density: expected work saved per byte
+	epoch   uint64
+	lastUse time.Time
+}
+
+// Cache is the keep-alive store. The zero value is not usable; construct
+// with New.
+type Cache struct {
+	budget    int64
+	ttl       time.Duration
+	rearrival float64
+	now       func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	bytes   int64
+	stats   Stats
+}
+
+// New creates a cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.Rearrival <= 0 {
+		cfg.Rearrival = DefaultRearrival
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Cache{
+		budget:    cfg.BudgetBytes,
+		ttl:       cfg.TTL,
+		rearrival: cfg.Rearrival,
+		now:       cfg.Now,
+		entries:   make(map[string]*entry),
+	}
+}
+
+// Budget returns the configured byte ceiling (0 = unbounded).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// TTL returns the configured keep-alive window.
+func (c *Cache) TTL() time.Duration { return c.ttl }
+
+// Rearrival returns the expected re-arrival probability admissions weigh
+// rebuild cost by.
+func (c *Cache) Rearrival() float64 { return c.rearrival }
+
+// Put offers a retired artifact for retention: value under key, footprint
+// bytes, the work model of the subplan that built it (compiled at the
+// artifact's pivot — rebuild cost is what a hit saves), and the invalidation
+// epoch of its source tables at build time. It reports whether the artifact
+// was retained. A re-offer under a live key replaces the entry (a refresh,
+// not an eviction); admission applies the retain model and never lets the
+// footprint exceed the budget, evicting lowest-benefit-density entries first
+// to make room.
+func (c *Cache) Put(key string, value any, bytes int64, model core.Query, epoch uint64) bool {
+	if value == nil {
+		return false
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !core.ShouldRetain(model, c.rearrival, bytes, c.budget) {
+		c.stats.Rejects++
+		return false
+	}
+	if old, ok := c.entries[key]; ok {
+		c.bytes -= old.bytes
+		delete(c.entries, key)
+	}
+	for c.budget > 0 && c.bytes+bytes > c.budget {
+		if !c.evictOneLocked() {
+			// Nothing left to evict and still no room: refuse (unreachable
+			// while ShouldRetain rejects oversized artifacts, kept as a
+			// guard so Bytes can never exceed the budget).
+			c.stats.Rejects++
+			return false
+		}
+	}
+	c.entries[key] = &entry{
+		value:   value,
+		bytes:   bytes,
+		score:   core.RetainScore(model, c.rearrival, bytes),
+		epoch:   epoch,
+		lastUse: c.now(),
+	}
+	c.bytes += bytes
+	return true
+}
+
+// Get returns the retained artifact under key, provided it has neither aged
+// past the keep-alive window nor gone stale (epoch is the current
+// invalidation epoch of the subplan's source tables; a mismatch drops the
+// entry). A hit refreshes the entry's keep-alive window. The entry stays
+// resident — the caller shares the artifact, it does not take it over.
+func (c *Cache) Get(key string, epoch uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	if c.expiredLocked(e) {
+		c.removeLocked(key, e)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return nil, false
+	}
+	if e.epoch != epoch {
+		c.removeLocked(key, e)
+		c.stats.Invalidations++
+		c.stats.Misses++
+		return nil, false
+	}
+	e.lastUse = c.now()
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Invalidate drops the entry under key regardless of epoch, reporting
+// whether one was resident. Mutation paths that know a key is stale can
+// call it eagerly instead of waiting for the lookup to notice.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(key, e)
+	c.stats.Invalidations++
+	return true
+}
+
+// ExpireTTL drops every entry idle past the keep-alive window, returning the
+// number dropped. Long-running drivers call it on the sweep cadence so
+// expired artifacts release their bytes without waiting for a lookup.
+func (c *Cache) ExpireTTL() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, e := range c.entries {
+		if c.expiredLocked(e) {
+			c.removeLocked(key, e)
+			c.stats.Expirations++
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters plus the current footprint.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Bytes = c.bytes
+	s.Entries = len(c.entries)
+	return s
+}
+
+// expiredLocked reports whether the entry has idled past the TTL.
+func (c *Cache) expiredLocked(e *entry) bool {
+	return c.ttl > 0 && c.now().Sub(e.lastUse) > c.ttl
+}
+
+// removeLocked drops one entry and its bytes. Caller holds c.mu.
+func (c *Cache) removeLocked(key string, e *entry) {
+	c.bytes -= e.bytes
+	delete(c.entries, key)
+}
+
+// evictOneLocked drops the entry the retention model values least — expired
+// entries first (they are free), then the lowest benefit density, least
+// recently used among equals (LRU-by-benefit). It reports whether anything
+// was evicted. Caller holds c.mu.
+func (c *Cache) evictOneLocked() bool {
+	var victimKey string
+	var victim *entry
+	victimExpired := false
+	for key, e := range c.entries {
+		expired := c.expiredLocked(e)
+		switch {
+		case victim == nil,
+			expired && !victimExpired,
+			expired == victimExpired && e.score < victim.score,
+			expired == victimExpired && e.score == victim.score && e.lastUse.Before(victim.lastUse):
+			victimKey, victim, victimExpired = key, e, expired
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.removeLocked(victimKey, victim)
+	if victimExpired {
+		c.stats.Expirations++
+	} else {
+		c.stats.Evictions++
+	}
+	return true
+}

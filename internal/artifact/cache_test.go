@@ -1,0 +1,190 @@
+package artifact
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// clock is a manual test clock.
+type clock struct{ t time.Time }
+
+func newClock() *clock                   { return &clock{t: time.Unix(1000, 0)} }
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// model returns a retain model whose rebuild cost is w.
+func model(w float64) core.Query { return core.Query{Name: "m", PivotW: w} }
+
+func TestHitWithinTTLMissAfterExpiry(t *testing.T) {
+	ck := newClock()
+	c := New(Config{BudgetBytes: 1 << 20, TTL: 100 * time.Millisecond, Now: ck.now})
+	if !c.Put("k", "artifact", 64, model(10), 7) {
+		t.Fatal("Put rejected a cheap, beneficial artifact")
+	}
+	ck.advance(50 * time.Millisecond)
+	v, ok := c.Get("k", 7)
+	if !ok || v != "artifact" {
+		t.Fatalf("Get within TTL = (%v, %v), want hit", v, ok)
+	}
+	// The hit refreshed the window: another 80ms is still within TTL of the
+	// last use, then 120ms idle ages it out.
+	ck.advance(80 * time.Millisecond)
+	if _, ok := c.Get("k", 7); !ok {
+		t.Fatal("Get after refresh missed, want hit")
+	}
+	ck.advance(120 * time.Millisecond)
+	if _, ok := c.Get("k", 7); ok {
+		t.Fatal("Get past TTL hit, want miss")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Expirations != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 expiration", s)
+	}
+	if s.Bytes != 0 || s.Entries != 0 {
+		t.Fatalf("expired entry still resident: %+v", s)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(Config{BudgetBytes: 1 << 20})
+	c.Put("k", "stale", 64, model(10), 3)
+	if _, ok := c.Get("k", 4); ok {
+		t.Fatal("Get with bumped epoch hit, want stale rejection")
+	}
+	s := c.Stats()
+	if s.Invalidations != 1 || s.Misses != 1 || s.Entries != 0 {
+		t.Fatalf("stats = %+v, want the stale entry dropped and counted", s)
+	}
+	// Invalidate drops eagerly without an epoch.
+	c.Put("k2", "x", 64, model(10), 1)
+	if !c.Invalidate("k2") {
+		t.Fatal("Invalidate of resident key = false")
+	}
+	if c.Invalidate("k2") {
+		t.Fatal("Invalidate of absent key = true")
+	}
+}
+
+func TestEvictionOrderUnderTightBudget(t *testing.T) {
+	ck := newClock()
+	// Budget fits two 100-byte artifacts, not three.
+	c := New(Config{BudgetBytes: 200, Now: ck.now})
+	c.Put("low", "a", 100, model(3), 0) // lowest benefit density
+	ck.advance(time.Millisecond)
+	c.Put("high", "b", 100, model(50), 0)
+	ck.advance(time.Millisecond)
+	if !c.Put("mid", "c", 100, model(10), 0) {
+		t.Fatal("admission under pressure rejected, want eviction instead")
+	}
+	if _, ok := c.Get("low", 0); ok {
+		t.Fatal("lowest-benefit entry survived eviction")
+	}
+	if _, ok := c.Get("high", 0); !ok {
+		t.Fatal("highest-benefit entry was evicted")
+	}
+	if _, ok := c.Get("mid", 0); !ok {
+		t.Fatal("newly admitted entry missing")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes != 200 {
+		t.Fatalf("Bytes = %d, want 200", s.Bytes)
+	}
+}
+
+func TestEvictionTieBreaksLRU(t *testing.T) {
+	ck := newClock()
+	c := New(Config{BudgetBytes: 200, Now: ck.now})
+	c.Put("old", "a", 100, model(10), 0)
+	ck.advance(time.Millisecond)
+	c.Put("new", "b", 100, model(10), 0)
+	ck.advance(time.Millisecond)
+	c.Put("next", "c", 100, model(10), 0)
+	if _, ok := c.Get("old", 0); ok {
+		t.Fatal("least-recently-used equal-benefit entry survived")
+	}
+	if _, ok := c.Get("new", 0); !ok {
+		t.Fatal("more recent equal-benefit entry was evicted")
+	}
+}
+
+func TestBudgetIsAHardCeiling(t *testing.T) {
+	c := New(Config{BudgetBytes: 100})
+	// An artifact alone exceeding the budget is rejected outright.
+	if c.Put("huge", "x", 101, model(1000), 0) {
+		t.Fatal("oversized artifact admitted")
+	}
+	if s := c.Stats(); s.Rejects != 1 || s.Bytes != 0 {
+		t.Fatalf("stats = %+v, want 1 reject, 0 bytes", s)
+	}
+	// Fill the budget exactly, then verify every admission keeps Bytes under
+	// the ceiling.
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "x", 40, model(10), 0)
+		if s := c.Stats(); s.Bytes > 100 {
+			t.Fatalf("Bytes = %d exceeds budget 100 after insert %d", s.Bytes, i)
+		}
+	}
+}
+
+func TestAdmissionRejectsZeroBenefit(t *testing.T) {
+	c := New(Config{BudgetBytes: 1 << 20})
+	if c.Put("k", "x", 64, model(0), 0) {
+		t.Fatal("artifact with zero rebuild cost admitted")
+	}
+	if c.Put("nil", nil, 64, model(10), 0) {
+		t.Fatal("nil artifact admitted")
+	}
+	if s := c.Stats(); s.Rejects != 1 {
+		t.Fatalf("Rejects = %d, want 1 (nil values are not counted)", s.Rejects)
+	}
+}
+
+func TestPutRefreshesExistingKey(t *testing.T) {
+	c := New(Config{BudgetBytes: 1 << 20})
+	c.Put("k", "v1", 100, model(10), 1)
+	c.Put("k", "v2", 200, model(10), 2)
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes != 200 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want a single refreshed 200-byte entry, no eviction", s)
+	}
+	if v, ok := c.Get("k", 2); !ok || v != "v2" {
+		t.Fatalf("Get = (%v, %v), want refreshed value at the new epoch", v, ok)
+	}
+}
+
+func TestExpireTTLSweep(t *testing.T) {
+	ck := newClock()
+	c := New(Config{BudgetBytes: 1 << 20, TTL: 10 * time.Millisecond, Now: ck.now})
+	c.Put("a", "x", 10, model(10), 0)
+	c.Put("b", "y", 10, model(10), 0)
+	ck.advance(5 * time.Millisecond)
+	c.Put("c", "z", 10, model(10), 0)
+	ck.advance(7 * time.Millisecond)
+	if n := c.ExpireTTL(); n != 2 {
+		t.Fatalf("ExpireTTL = %d, want 2 (a and b idled past the window)", n)
+	}
+	if _, ok := c.Get("c", 0); !ok {
+		t.Fatal("entry within the window was swept")
+	}
+	if s := c.Stats(); s.Expirations != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 expirations and c resident", s)
+	}
+}
+
+func TestUnboundedBudget(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 100; i++ {
+		if !c.Put(fmt.Sprintf("k%d", i), i, 1<<20, model(10), 0) {
+			t.Fatalf("unbounded cache rejected admission %d", i)
+		}
+	}
+	if s := c.Stats(); s.Entries != 100 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want all 100 retained", s)
+	}
+}

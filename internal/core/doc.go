@@ -146,6 +146,38 @@
 // (Build), relop.JoinBuild / HashJoinProbe, storage.BuildState, and
 // tpch.Q4FamilySpec / tpch.Q13FamilySpec.
 //
+// # Keep-alive retention (beyond the paper)
+//
+// All of the above shares work among queries alive at the same time; the
+// group's economics end with its last consumer. Bursty traffic breaks that
+// boundary in a predictable way: a burst amortizes one hash build over its
+// members, drains, and the next burst — arriving after an idle gap of
+// milliseconds — rebuilds the very table the previous one just dropped.
+// The reproduction therefore retains retired shared artifacts (sealed
+// build-state hash tables, completed whole-plan result runs) in a
+// memory-budgeted keep-alive cache (internal/artifact) keyed by the same
+// canonical subtree fingerprints, converting the across-burst rebuild into
+// a late attach with zero build work.
+//
+// The model extends with the retain-vs-evict decision, the cache-side
+// sibling of the build-share test. The work a retained artifact saves per
+// re-arrival is its rebuild cost — everything at and below its pivot,
+// RebuildCost = Σ below + w_φ (for a build state, the build subtree plus
+// the hashing pass w_b; for a result run, the whole plan). Weighted by the
+// probability that a fingerprint-matching query re-arrives within the
+// keep-alive window this gives RetainBenefit, and relative to the
+// artifact's claim on the cache budget (footprint/budget) it gives the
+// benefit ratio RetainZ — retain iff RetainZ > 1, exactly parallel to
+// "share iff Z > 1" (ShouldRetain). Under memory pressure the cache evicts
+// in benefit-density order (RetainScore, expected work saved per pinned
+// byte), least recently used among equals: LRU-by-benefit. Correctness is
+// epoch-guarded rather than modeled — every artifact records the
+// invalidation epoch of its source tables at build time
+// (storage.Table.Epoch, bumped by any mutation-path publish), and a lookup
+// at a different epoch drops the entry instead of serving it. See
+// artifact.Cache, engine.Options (Cache, SweepInterval), and the
+// engine's CacheHits/CacheMisses/CacheEvictions/CacheBytes counters.
+//
 // On the storage side all sharing primitives register, attach, and retire
 // through one unified work-exchange registry (storage.Exchange), keyed by
 // subplan fingerprint: circular scans (every page to every consumer),

@@ -1,0 +1,111 @@
+package core
+
+// This file extends the analytical model to keep-alive retention: the
+// retain-vs-evict decision for a shared artifact (a sealed hash-join build
+// state, a materialized pivot result run) that has lost its last consumer.
+// The sharing economics of the paper — one execution amortized over k
+// consumers — stop at the lifetime of the group: the artifact retires with
+// its last release, so bursty arrivals separated by a short idle gap pay the
+// full rebuild of work they amortized moments earlier. Retention converts
+// that rebuild into a late attach, extending sharing from in-flight to
+// across-burst; the memory-pressure and recycling trade-offs mirror those of
+// dynamic hybrid hash joins (Jahangiri et al., arXiv:2112.02480), where a
+// spilled or retired build side is a candidate for reuse rather than
+// reconstruction.
+//
+// The model needs no new execution equation — a retained artifact serves a
+// re-arrival exactly like a late attach with zero pivot work — only an
+// accounting identity for the cache: how much predicted work does keeping
+// the artifact save, and is that worth the memory it pins?
+//
+//	RebuildCost   the work a cache hit avoids: everything at and below the
+//	              artifact's pivot (Σ Below + PivotW), run once per rebuild
+//	RetainBenefit RebuildCost × P(re-arrival within the keep-alive window)
+//	RetainZ       RetainBenefit relative to the artifact's claim on the
+//	              cache budget (footprint/budget) — the retain-vs-evict
+//	              analogue of the sharing benefit Z; retain iff Z > 1
+//
+// Eviction under pressure orders candidates by benefit density
+// (RetainBenefit per byte): the cache drops the artifact whose expected
+// savings per pinned byte is lowest, breaking ties by least recent use —
+// LRU-by-benefit. See internal/artifact for the cache that applies these.
+
+// RebuildCost returns the work a retained artifact saves per re-arrival: the
+// operators strictly below the artifact's pivot plus the pivot's own work,
+// all of which a cold arrival would re-execute to reconstruct the artifact
+// (for a build-state pivot this is the build subtree plus the hashing pass
+// w_b; for a whole-plan result run it is everything below the root plus the
+// root's work).
+func RebuildCost(q Query) float64 {
+	c := q.PivotW
+	for _, p := range q.Below {
+		c += p
+	}
+	return c
+}
+
+// RetainBenefit returns the expected work retaining an artifact saves:
+// the predicted rebuild cost weighted by the probability that a
+// fingerprint-matching query re-arrives within the keep-alive window.
+// Probabilities are clamped to [0, 1].
+func RetainBenefit(q Query, rearrival float64) float64 {
+	if rearrival < 0 {
+		rearrival = 0
+	}
+	if rearrival > 1 {
+		rearrival = 1
+	}
+	return RebuildCost(q) * rearrival
+}
+
+// RetainScore returns the benefit density of a retained artifact: expected
+// work saved per byte of footprint. The cache evicts lowest density first
+// under memory pressure. A non-positive footprint scores the full benefit
+// (an artifact that costs nothing to keep is never the right eviction).
+func RetainScore(q Query, rearrival float64, footprintBytes int64) float64 {
+	b := RetainBenefit(q, rearrival)
+	if footprintBytes <= 0 {
+		return b
+	}
+	return b / float64(footprintBytes)
+}
+
+// RetainZ returns the retain-vs-evict benefit ratio: the expected rebuild
+// work saved relative to the artifact's claim on the cache budget (its
+// footprint as a fraction of budgetBytes). Retaining is modeled worthwhile
+// iff the ratio exceeds 1 — a tiny artifact with any benefit is kept, an
+// artifact monopolizing the budget must promise commensurate savings.
+// budgetBytes <= 0 means an unbounded budget: any positive benefit retains
+// (the ratio degenerates to RetainZInf), no benefit does not.
+func RetainZ(q Query, rearrival float64, footprintBytes, budgetBytes int64) float64 {
+	b := RetainBenefit(q, rearrival)
+	if budgetBytes <= 0 {
+		if b > 0 {
+			return RetainZInf
+		}
+		return 0
+	}
+	if footprintBytes > budgetBytes {
+		return 0 // cannot be held at all
+	}
+	frac := float64(footprintBytes) / float64(budgetBytes)
+	if frac <= 0 {
+		if b > 0 {
+			return RetainZInf
+		}
+		return 0
+	}
+	return b / frac
+}
+
+// RetainZInf is the Z value reported when retention is free (zero footprint
+// or unbounded budget) and the benefit is positive.
+const RetainZInf = 1e308
+
+// ShouldRetain reports the model's admission recommendation for the
+// keep-alive cache: hold the artifact iff its retain-vs-evict ratio exceeds
+// 1 (the cache may still evict it later under pressure, in benefit-density
+// order).
+func ShouldRetain(q Query, rearrival float64, footprintBytes, budgetBytes int64) bool {
+	return RetainZ(q, rearrival, footprintBytes, budgetBytes) > 1
+}

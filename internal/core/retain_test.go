@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+func retainQ() Query {
+	return Query{Name: "retain", Below: []float64{2, 3}, PivotW: 5, PivotS: 0.1, Above: []float64{1}}
+}
+
+func TestRebuildCost(t *testing.T) {
+	q := retainQ()
+	if got := RebuildCost(q); got != 10 {
+		t.Fatalf("RebuildCost = %v, want 10 (below 2+3 plus pivot 5)", got)
+	}
+	if got := RebuildCost(Query{}); got != 0 {
+		t.Fatalf("RebuildCost(zero) = %v, want 0", got)
+	}
+}
+
+func TestRetainBenefitClamps(t *testing.T) {
+	q := retainQ()
+	if got := RetainBenefit(q, 0.5); got != 5 {
+		t.Fatalf("RetainBenefit(0.5) = %v, want 5", got)
+	}
+	if got := RetainBenefit(q, -1); got != 0 {
+		t.Fatalf("RetainBenefit(-1) = %v, want 0", got)
+	}
+	if got := RetainBenefit(q, 7); got != RebuildCost(q) {
+		t.Fatalf("RetainBenefit(7) = %v, want clamped to rebuild cost %v", got, RebuildCost(q))
+	}
+}
+
+func TestRetainScoreDensity(t *testing.T) {
+	q := retainQ()
+	small := RetainScore(q, 1, 100)
+	big := RetainScore(q, 1, 1000)
+	if small <= big {
+		t.Fatalf("density must fall with footprint: %v (100B) vs %v (1000B)", small, big)
+	}
+	if got := RetainScore(q, 1, 0); got != RetainBenefit(q, 1) {
+		t.Fatalf("zero footprint scores the full benefit, got %v", got)
+	}
+}
+
+func TestRetainZAndShouldRetain(t *testing.T) {
+	q := retainQ()
+	// Tiny footprint against a big budget: Z far above 1, retain.
+	if z := RetainZ(q, 0.5, 1<<10, 1<<30); z <= 1 {
+		t.Fatalf("RetainZ(small artifact) = %v, want > 1", z)
+	}
+	if !ShouldRetain(q, 0.5, 1<<10, 1<<30) {
+		t.Fatal("ShouldRetain(small artifact) = false, want true")
+	}
+	// An artifact that monopolizes the budget must promise commensurate
+	// savings: with benefit 10·p and footprint == budget, Z == benefit.
+	if z := RetainZ(q, 1, 1<<20, 1<<20); z != RetainBenefit(q, 1) {
+		t.Fatalf("RetainZ(full budget) = %v, want benefit %v", z, RetainBenefit(q, 1))
+	}
+	// Larger than the budget: cannot be held.
+	if z := RetainZ(q, 1, 2<<20, 1<<20); z != 0 {
+		t.Fatalf("RetainZ(oversized) = %v, want 0", z)
+	}
+	if ShouldRetain(q, 1, 2<<20, 1<<20) {
+		t.Fatal("ShouldRetain(oversized) = true, want false")
+	}
+	// Zero re-arrival probability: no benefit, never retain.
+	if ShouldRetain(q, 0, 1, 1<<30) {
+		t.Fatal("ShouldRetain(rearrival 0) = true, want false")
+	}
+	// Unbounded budget: positive benefit retains, zero benefit does not.
+	if z := RetainZ(q, 1, 1<<20, 0); z != RetainZInf {
+		t.Fatalf("RetainZ(unbounded) = %v, want RetainZInf", z)
+	}
+	if ShouldRetain(Query{}, 1, 1<<20, 0) {
+		t.Fatal("ShouldRetain(zero-work artifact, unbounded) = true, want false")
+	}
+}

@@ -129,9 +129,35 @@ func (bs *buildShare) seal(tbl *relop.HashTable) {
 	}
 }
 
+// sealCached publishes a table served from the keep-alive cache: the share
+// starts life sealed, so waiters (there are none yet on a fresh group, but
+// the path is uniform) proceed immediately and every prober attaches
+// post-seal. Unlike seal it fires no onSeal hook — no build executed — and
+// marks no reader claims, since no prober has attached yet.
+func (bs *buildShare) sealCached(tbl *relop.HashTable) {
+	bs.mu.Lock()
+	if bs.sealed || bs.failed {
+		bs.mu.Unlock()
+		return
+	}
+	bs.sealed = true
+	bs.table = tbl
+	ready := bs.ready
+	bs.ready = nil
+	bs.mu.Unlock()
+	bs.state.Seal(tbl)
+	for _, q := range ready {
+		q.Close()
+	}
+}
+
 // failShare aborts the build: waiters are woken into the failure path and
-// the exchange entry retires so no further query discovers the group.
+// the exchange entry retires so no further query discovers the group. The
+// keep-alive hand-off is cleared first — a group that failed must not seed
+// the cache, even when its table had already sealed (the artifact may be
+// fine, but a poisoned group is not the provenance to trust).
 func (bs *buildShare) failShare() {
+	bs.state.SetHandoff(nil)
 	bs.mu.Lock()
 	if bs.sealed || bs.failed {
 		bs.mu.Unlock()

@@ -43,7 +43,12 @@ func semiSpec(bt, pt *storage.Table, sig string, probePred relop.Pred) QuerySpec
 		Pivot:     2,
 		Pivots: []PivotOption{
 			{Pivot: 2},
-			{Pivot: 0, Build: true},
+			// The build candidate carries a nominal work model so keep-alive
+			// retention (which prices the rebuild a cache hit saves) has a
+			// positive benefit; sharing tests ignore it.
+			{Pivot: 0, Build: true, Model: core.Query{
+				Name: sig + "@build", PivotW: 2, PivotS: 0.01, Above: []float64{1},
+			}},
 		},
 		Nodes: []NodeSpec{
 			ScanNode(sig+"/build-scan", bt, nil, []string{"bv"}, 16),

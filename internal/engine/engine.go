@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/relop"
 	"repro/internal/storage"
@@ -70,12 +71,31 @@ type Options struct {
 	// joiners. Off by default, which preserves the paper's submission-time
 	// grouping semantics exactly.
 	InflightSharing bool
+	// Cache, when set, retains retired shared artifacts — sealed hash-join
+	// build states and completed root-pivot result runs — for the cache's
+	// keep-alive window instead of dropping them with their last consumer.
+	// Lookups consult it before anchoring fresh groups, so bursty arrivals
+	// separated by an idle gap attach to retained work (zero rebuild)
+	// rather than re-executing it. Nil (the default) preserves
+	// retire-at-last-release semantics exactly. Entries are invalidated by
+	// source-table epoch, so mutation-path publishes are never served stale.
+	Cache *artifact.Cache
+	// SweepInterval, when positive, runs SweepExchange on a background
+	// ticker with SweepAge as the reclaim age — the wedged-consumer reclaim
+	// path under live traffic, without the driver having to call it.
+	SweepInterval time.Duration
+	// SweepAge is the age beyond which the periodic sweep force-retires
+	// orphaned or wedged exchange entries (default: SweepInterval).
+	SweepAge time.Duration
 }
 
 // withDefaults fills zero fields.
 func (o Options) withDefaults() Options {
 	if o.QueueCap == 0 {
 		o.QueueCap = 8
+	}
+	if o.SweepAge == 0 {
+		o.SweepAge = o.SweepInterval
 	}
 	return o
 }
@@ -159,6 +179,15 @@ type Handle struct {
 	name   string
 	done   chan struct{}
 	onDone func(*storage.Batch, error)
+
+	// resultKey/resultModel/resultEpoch describe the query's result as a
+	// cacheable artifact (set at submit when the engine runs with a
+	// keep-alive cache and the spec's fingerprint covers the whole plan):
+	// the sink offers the finished batch to the cache under resultKey, and
+	// a fingerprint-matching arrival at the same epoch is served from it.
+	resultKey   string
+	resultModel core.Query
+	resultEpoch uint64
 
 	mu     sync.Mutex
 	result *storage.Batch
@@ -249,6 +278,11 @@ type Engine struct {
 	opts  Options
 	clock *busyClock
 	scans *storage.ScanRegistry
+	// cache is the keep-alive shared-artifact cache (nil = retention off).
+	cache *artifact.Cache
+	// sweepStop ends the periodic sweep goroutine (nil when no cadence set).
+	sweepStop chan struct{}
+	closeOnce sync.Once
 
 	mu               sync.Mutex
 	joinable         map[string]*shareGroup // keyed by subplan share key
@@ -274,8 +308,13 @@ func New(opts Options) (*Engine, error) {
 		opts:       opts,
 		clock:      newBusyClock(opts.Profile),
 		scans:      storage.NewExchange(),
+		cache:      opts.Cache,
 		joinable:   make(map[string]*shareGroup),
 		pivotJoins: make(map[int]int64),
+	}
+	if opts.SweepInterval > 0 {
+		e.sweepStop = make(chan struct{})
+		go e.sweepLoop(opts.SweepInterval, opts.SweepAge)
 	}
 	if !opts.StartPaused {
 		sched.Start()
@@ -287,8 +326,16 @@ func New(opts Options) (*Engine, error) {
 // for engines created running.
 func (e *Engine) Start() { e.sched.Start() }
 
-// Close shuts the engine down. Outstanding queries are abandoned.
-func (e *Engine) Close() { e.sched.Stop() }
+// Close shuts the engine down. Outstanding queries are abandoned, the
+// periodic sweep (if any) stops. Idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.sweepStop != nil {
+			close(e.sweepStop)
+		}
+		e.sched.Stop()
+	})
+}
 
 // Workers returns the emulated processor count.
 func (e *Engine) Workers() int { return e.opts.Workers }
@@ -346,12 +393,44 @@ func (e *Engine) BuildJoins() int64 {
 	return e.buildJoins
 }
 
+// CacheStats returns the keep-alive cache's counters and footprint (zero
+// when the engine runs without a cache).
+func (e *Engine) CacheStats() artifact.Stats {
+	if e.cache == nil {
+		return artifact.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// CacheHits returns the number of lookups served from a retained artifact —
+// each one a late attach (or a whole result) that cost zero rebuild work.
+func (e *Engine) CacheHits() int64 { return e.CacheStats().Hits }
+
+// CacheMisses returns the number of cache lookups that found nothing usable
+// (absent, expired, or stale).
+func (e *Engine) CacheMisses() int64 { return e.CacheStats().Misses }
+
+// CacheEvictions returns the number of retained artifacts dropped for
+// memory pressure.
+func (e *Engine) CacheEvictions() int64 { return e.CacheStats().Evictions }
+
+// CacheBytes returns the cache's current retained footprint. It never
+// exceeds the cache's byte budget.
+func (e *Engine) CacheBytes() int64 { return e.CacheStats().Bytes }
+
 // SweepExchange force-retires work-exchange entries no consumer will ever
 // reclaim — superseded orphans and wedged or unreferenced build states older
 // than maxAge — returning the number reclaimed, and prunes joinable build
-// groups whose table has retired. Long-running drivers call it periodically.
+// groups whose table has retired. Long-running drivers call it periodically
+// (or set Options.SweepInterval and let the engine do so). The keep-alive
+// cache runs its own clock: the sweep only releases bytes held by entries
+// already past their keep-alive window, never live ones — sweeping and
+// caching do not interfere.
 func (e *Engine) SweepExchange(maxAge time.Duration) int {
 	n := e.scans.Sweep(maxAge)
+	if e.cache != nil {
+		e.cache.ExpireTTL()
+	}
 	e.mu.Lock()
 	for k, g := range e.joinable {
 		if g.build != nil && k == g.buildKey && g.build.state.Retired() {
@@ -408,8 +487,30 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	}
 	h := &Handle{name: spec.Signature, done: make(chan struct{}), onDone: onDone, submitted: time.Now()}
 
+	// With a keep-alive cache and a whole-plan fingerprint, the query's
+	// result is itself a shareable artifact: tag the handle so the sink
+	// offers the finished batch to the cache. A nil policy means
+	// never-share, which extends to never seeding or reading retained work.
+	if e.cache != nil && policy != nil {
+		if key, model, ok := resultCacheOption(spec); ok {
+			h.resultKey = key
+			h.resultModel = model
+			h.resultEpoch = specEpochAt(spec, len(spec.Nodes)-1)
+		}
+	}
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Serve the query outright when a fingerprint-matching result run at
+	// the current epoch is retained — the across-burst analogue of joining
+	// a group whose pivot is the root, so it passes the same admission test
+	// as a size-2 group.
+	if h.resultKey != "" && e.admitSharedLocked(policy, h.resultModel, 2, spec.CanParallel()) {
+		if res, ok := e.lookupCachedResult(h); ok {
+			e.serveResult(h, res)
+			return h, nil
+		}
+	}
 	if policy != nil {
 		// Probe the candidate pivots highest level first: the paper defines
 		// the pivot as the highest point where sharing is possible, and a
@@ -422,13 +523,38 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				// everything outside the build subtree privately.
 				key := buildShareKeyAt(spec, opt.Pivot)
 				g := e.joinable[key]
-				if g == nil || g.build == nil {
-					continue
-				}
-				if g.build.state.Retired() {
+				if g != nil && g.build != nil && g.build.state.Retired() {
 					// The table's last prober released it (or the sweep
-					// reclaimed a wedged build); prune the stale entry.
+					// reclaimed a wedged build); prune the stale entry. The
+					// retired table may live on in the keep-alive cache,
+					// where the consult below finds it.
 					delete(e.joinable, key)
+					g = nil
+				}
+				if g == nil || g.build == nil {
+					// No live group at this level: consult the keep-alive
+					// cache before giving up on it, under the same
+					// admission test as joining a size-2 group (attaching
+					// to retained work is sharing with the departed group
+					// that produced it). A hit anchors a cache-served group
+					// — the table is already sealed, the build subtree
+					// never runs, and this query registers as a late attach
+					// with zero build work — which the rest of the burst
+					// then joins like any build group.
+					if e.admitSharedLocked(policy, opt.Model, 2, spec.CanParallel()) {
+						epoch := specEpochAt(spec, opt.Pivot)
+						if tbl, ok := e.lookupCachedTable(key, epoch); ok {
+							ng, err := e.newCachedBuildGroupLocked(spec, opt, h, tbl, epoch)
+							if err != nil {
+								return nil, err
+							}
+							e.joinable[ng.key] = ng
+							e.buildJoins++
+							e.pivotJoins[opt.Pivot]++
+							e.active++
+							return h, nil
+						}
+					}
 					continue
 				}
 				mspec := spec
@@ -439,11 +565,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				g.mu.Unlock()
 				admit := e.opts.MaxGroupSize == 0 || m <= e.opts.MaxGroupSize
 				if admit {
-					if lap, ok := policy.(LoadAwarePolicy); ok {
-						admit = lap.ShouldJoinUnderLoad(mspec.Model, m, e.active+1, spec.CanParallel())
-					} else {
-						admit = policy.ShouldJoin(mspec.Model, m)
-					}
+					admit = e.admitSharedLocked(policy, mspec.Model, m, spec.CanParallel())
 				}
 				if admit {
 					attached, err := e.attachBuildLocked(g, mspec, h)
@@ -509,11 +631,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				m := g.size + 1
 				g.mu.Unlock()
 				if canJoin {
-					if lap, ok := policy.(LoadAwarePolicy); ok {
-						canJoin = lap.ShouldJoinUnderLoad(mspec.Model, m, e.active+1, spec.CanParallel())
-					} else {
-						canJoin = policy.ShouldJoin(mspec.Model, m)
-					}
+					canJoin = e.admitSharedLocked(policy, mspec.Model, m, spec.CanParallel())
 				}
 				if canJoin {
 					if err := e.attachLocked(g, mspec, h); err != nil {
@@ -572,7 +690,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		e.active++
 		return h, nil
 	}
-	g, err := e.newGroupLocked(gspec, h, policy != nil)
+	g, err := e.newGroupLocked(gspec, h, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -585,6 +703,22 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	}
 	e.active++
 	return h, nil
+}
+
+// admitSharedLocked runs the submission-time admission test shared by every
+// sharing path: the load-aware form when the policy supports it, the plain
+// m-based Section 8 test otherwise, never for a nil policy. Cache-served
+// attaches use it with m = 2 — attaching to retained work is sharing with
+// the departed group that produced it — so never-share-style policies are
+// not quietly handed shared artifacts. Caller holds e.mu.
+func (e *Engine) admitSharedLocked(policy SharePolicy, model core.Query, m int, canParallel bool) bool {
+	if policy == nil {
+		return false
+	}
+	if lap, ok := policy.(LoadAwarePolicy); ok {
+		return lap.ShouldJoinUnderLoad(model, m, e.active+1, canParallel)
+	}
+	return policy.ShouldJoin(model, m)
 }
 
 // parallelDegreeLocked resolves the clone degree for an unshared execution
@@ -610,13 +744,16 @@ func (e *Engine) parallelDegreeLocked(spec QuerySpec, policy SharePolicy) int {
 }
 
 // newGroupLocked instantiates the shared sub-plan — the subtree rooted at
-// the pivot — and the first member's private part. Caller holds e.mu.
-// joinable reports whether the group will accept further members (a non-nil
-// policy); only joinable groups with a declared scan pivot get the in-flight
+// the pivot — and the first member's private part. Caller holds e.mu. A
+// non-nil policy makes the group joinable (it will accept further members);
+// only joinable groups with a declared scan pivot get the in-flight
 // machinery. When the shared subtree contains a join with split Build/Probe
 // forms declared as a build candidate, the join runs split and the group
-// additionally publishes its hash table under the build key (a mixed group).
-func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shareGroup, error) {
+// additionally publishes its hash table under the build key (a mixed
+// group) — served from the keep-alive cache when the policy admits retained
+// work and a fingerprint-matching table is live at the current epoch.
+func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy) (*shareGroup, error) {
+	joinable := policy != nil
 	if e.opts.InflightSharing && joinable && spec.Nodes[spec.Pivot].Scan != nil {
 		return e.newInflightGroupLocked(spec, h)
 	}
@@ -635,13 +772,33 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 
 	// A shareable build side inside the shared subtree: run the join split
 	// and publish the table so different-shaped queries can still amortize
-	// the build even when they cannot match the anchor level.
+	// the build even when they cannot match the anchor level. When the
+	// keep-alive cache retains a fingerprint-matching table at the current
+	// epoch, the group's own build is served from it instead: the share
+	// starts sealed, cachedBuild masks the build-subtree nodes that never
+	// spawn, and the anchor registers as a late attach with zero build work.
 	splitJoin := -1
 	var bs *buildShare
+	var cachedBuild []bool
 	if joinable {
 		if opt, joinIdx, ok := buildOptionWithin(spec, spec.Pivot); ok {
 			splitJoin = joinIdx
-			bs = e.newBuildShareLocked(g, spec, opt.Pivot)
+			var epoch uint64
+			var tbl *relop.HashTable
+			hit := false
+			if e.cache != nil {
+				epoch = specEpochAt(spec, opt.Pivot)
+				if e.admitSharedLocked(policy, opt.Model, 2, spec.CanParallel()) {
+					tbl, hit = e.lookupCachedTable(buildShareKeyAt(spec, opt.Pivot), epoch)
+				}
+			}
+			bs = e.newBuildShareLocked(g, spec, opt, epoch)
+			if hit {
+				bs.sealCached(tbl)
+				cachedBuild = spec.SubtreeMask(opt.Pivot)
+				e.buildJoins++
+				e.pivotJoins[opt.Pivot]++
+			}
 			// A member failure poisons the whole group (its error reaches
 			// every sink), so stop recruiting into it on either key: retire
 			// the build state and seal the group. Without this a mixed
@@ -669,7 +826,7 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 	outs := make([]*outbox, len(spec.Nodes))
 	queues := make([]*PageQueue, len(spec.Nodes))
 	for i, in := range mask {
-		if !in {
+		if !in || (cachedBuild != nil && cachedBuild[i]) {
 			continue
 		}
 		if i == spec.Pivot {
@@ -685,32 +842,37 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, joinable bool) (*shar
 	if err := e.attachChain(g, spec, h); err != nil {
 		return nil, err
 	}
-	// Instantiate and spawn shared tasks.
+	// Instantiate and spawn shared tasks. Build-subtree nodes served from
+	// the cache never spawn — their work is the rebuild the retained table
+	// saves.
 	qOf := func(idx int) *PageQueue { return queues[idx] }
 	for i, in := range mask {
-		if !in {
+		if !in || (cachedBuild != nil && cachedBuild[i]) {
 			continue
 		}
 		nd := spec.Nodes[i]
 		if nd.Join != nil && i == splitJoin {
-			// The split form: a collector builds the shared table once; one
-			// shared probe streams the group's probe side against it into
-			// the usual fan-out. The group holds the probe's reference.
+			// The split form: a collector builds the shared table once
+			// (skipped when the table came from the cache); one shared
+			// probe streams the group's probe side against it into the
+			// usual fan-out. The group holds the probe's reference.
 			if !bs.attachProber() {
 				return nil, fmt.Errorf("%w: fresh build state rejected attach", ErrBadSpec)
-			}
-			jb, err := nd.Build()
-			if err != nil {
-				return nil, err
 			}
 			ob := outs[i]
 			pr, err := nd.Probe(func(b *storage.Batch) error { ob.add(b); return nil })
 			if err != nil {
 				return nil, err
 			}
-			collector := &buildCollectorTask{name: nd.Name + "/build", jb: jb, in: queues[nd.BuildInput], bs: bs, clock: e.clock, fail: g.fail}
+			if cachedBuild == nil {
+				jb, err := nd.Build()
+				if err != nil {
+					return nil, err
+				}
+				collector := &buildCollectorTask{name: nd.Name + "/build", jb: jb, in: queues[nd.BuildInput], bs: bs, clock: e.clock, fail: g.fail}
+				e.sched.Spawn(collector.name, collector.step)
+			}
 			prober := &probeAttachTask{name: nd.Name, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: queues[nd.ProbeInput], out: ob, clock: e.clock, fail: g.fail}
-			e.sched.Spawn(collector.name, collector.step)
 			e.sched.Spawn(nd.Name, prober.step)
 			continue
 		}
@@ -756,18 +918,30 @@ func (e *Engine) nodeTask(nd NodeSpec, qOf func(int) *PageQueue, ob *outbox, fai
 }
 
 // newBuildShareLocked publishes a build state for the subtree of spec rooted
-// at buildPivot and wires it to group g. The state's seal bumps the engine's
-// executed-build counter; a retired state (last prober released, failure, or
-// sweep) is pruned from the joinable map lazily — at the next probe of its
-// key or the next SweepExchange — so retirement never needs e.mu. Caller
+// at the candidate pivot and wires it to group g. The state's seal bumps the
+// engine's executed-build counter; a retired state (last prober released,
+// failure, or sweep) is pruned from the joinable map lazily — at the next
+// probe of its key or the next SweepExchange — so retirement never needs
+// e.mu. With a keep-alive cache the state's retire hand-off offers the
+// sealed table for retention: epoch is the source tables' invalidation
+// epoch the artifact was (or will be) built at, and opt.Model — compiled at
+// the build pivot — prices the rebuild a future hit would save. Caller
 // holds e.mu.
-func (e *Engine) newBuildShareLocked(g *shareGroup, spec QuerySpec, buildPivot int) *buildShare {
-	key := buildShareKeyAt(spec, buildPivot)
-	bs := &buildShare{key: key, pivot: buildPivot, state: e.scans.PublishBuildState(key)}
+func (e *Engine) newBuildShareLocked(g *shareGroup, spec QuerySpec, opt PivotOption, epoch uint64) *buildShare {
+	key := buildShareKeyAt(spec, opt.Pivot)
+	bs := &buildShare{key: key, pivot: opt.Pivot, state: e.scans.PublishBuildState(key)}
 	bs.onSeal = func() {
 		e.mu.Lock()
 		e.hashBuilds++
 		e.mu.Unlock()
+	}
+	if e.cache != nil {
+		cache, model := e.cache, opt.Model
+		bs.state.SetHandoff(func(v any) {
+			if tbl, ok := v.(*relop.HashTable); ok {
+				cache.Put(key, tbl, tbl.FootprintBytes(), model, epoch)
+			}
+		})
 	}
 	g.build = bs
 	g.buildKey = key
@@ -786,7 +960,7 @@ func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle)
 	gspec.Pivot = opt.Pivot
 	gspec.Model = opt.Model
 	g := &shareGroup{signature: spec.Signature, spec: gspec, size: 1}
-	bs := e.newBuildShareLocked(g, gspec, opt.Pivot)
+	bs := e.newBuildShareLocked(g, gspec, opt, specEpochAt(gspec, opt.Pivot))
 	g.key = g.buildKey
 	g.onFail = func() {
 		bs.failShare()
@@ -1052,6 +1226,11 @@ func (e *Engine) newSinkTask(g *shareGroup, h *Handle, in *PageQueue, schema sto
 	sink := &sinkTask{in: in, result: storage.NewBatch(schema, 0)}
 	sink.complete = func(res *storage.Batch) {
 		err := g.firstError()
+		if err == nil {
+			// A successful whole-plan-fingerprinted result is a shareable
+			// artifact: offer it to the keep-alive cache (no-op without one).
+			e.captureResult(h, res)
+		}
 		h.mu.Lock()
 		h.result = res
 		h.err = err

@@ -66,6 +66,19 @@ func (t *HashTable) Rows() *storage.Batch { return t.rows }
 // Len returns the number of build rows.
 func (t *HashTable) Len() int { return t.rows.Len() }
 
+// FootprintBytes approximates the resident size of the sealed table: the
+// materialized build rows plus the key index (one bucket header and one
+// 8-byte row reference per indexed row). The keep-alive cache charges this
+// against its byte budget when deciding whether retaining the table beats
+// rebuilding it.
+func (t *HashTable) FootprintBytes() int64 {
+	bytes := int64(t.rows.EstimatedBytes())
+	for _, rows := range t.index {
+		bytes += 16 + 8*int64(len(rows))
+	}
+	return bytes
+}
+
 // Matches returns the build-row indices matching k (nil when none).
 func (t *HashTable) Matches(k int64) []int { return t.index[k] }
 

@@ -495,3 +495,36 @@ func ordersSchemaQuick() storage.Schema {
 		storage.Column{Name: "prio", Type: storage.String},
 	)
 }
+
+// FootprintBytes charges the cache for the materialized rows plus the key
+// index, and grows with the build.
+func TestHashTableFootprintBytes(t *testing.T) {
+	schema := storage.MustSchema(storage.Column{Name: "k", Type: storage.Int64})
+	build := func(rows int) *HashTable {
+		jb, err := NewJoinBuild(schema, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := storage.NewBatch(schema, rows)
+		for i := 0; i < rows; i++ {
+			b.Vecs[0].AppendInt(int64(i % 8)) // 8 buckets, rows/8 refs each
+		}
+		if err := jb.Push(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := jb.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return jb.Table()
+	}
+	small := build(16)
+	large := build(256)
+	if small.FootprintBytes() <= int64(small.Rows().EstimatedBytes()) {
+		t.Errorf("footprint %d must exceed raw row bytes %d (index overhead)",
+			small.FootprintBytes(), small.Rows().EstimatedBytes())
+	}
+	if large.FootprintBytes() <= small.FootprintBytes() {
+		t.Errorf("footprint must grow with the build: %d rows -> %d bytes, %d rows -> %d bytes",
+			16, small.FootprintBytes(), 256, large.FootprintBytes())
+	}
+}

@@ -137,8 +137,9 @@ type BuildState struct {
 	sealed   bool
 	value    any
 	retired  bool
-	onClose  func() // unregisters from the exchange
-	onRetire func() // owner hook: fail waiters, unseal joinable group
+	onClose  func()    // unregisters from the exchange
+	onRetire func()    // owner hook: fail waiters, unseal joinable group
+	handoff  func(any) // keep-alive hook: receives the sealed value at retire
 }
 
 // Key returns the fingerprint the build state was published under.
@@ -207,7 +208,9 @@ func (b *BuildState) Age() time.Duration {
 
 // Retire drops the state and unregisters it, firing the owner's retire hook.
 // Idempotent. Probers already holding the sealed table are unaffected — the
-// artifact is immutable — only discoverability ends.
+// artifact is immutable — only discoverability ends. A sealed state with a
+// hand-off hook installed (SetHandoff) passes its artifact to the hook
+// instead of silently dropping it: the retire path of the keep-alive cache.
 func (b *BuildState) Retire() {
 	b.mu.Lock()
 	if b.retired {
@@ -215,17 +218,40 @@ func (b *BuildState) Retire() {
 		return
 	}
 	b.retired = true
+	var val any
+	if b.sealed {
+		val = b.value
+	}
 	b.value = nil
 	unreg := b.onClose
 	hook := b.onRetire
-	b.onClose, b.onRetire = nil, nil
+	keep := b.handoff
+	b.onClose, b.onRetire, b.handoff = nil, nil, nil
 	b.mu.Unlock()
 	if unreg != nil {
 		unreg()
 	}
+	if keep != nil && val != nil {
+		keep(val)
+	}
 	if hook != nil {
 		hook()
 	}
+}
+
+// SetHandoff installs (or, with nil, clears) the keep-alive hand-off hook:
+// fired once with the sealed artifact when the state retires while sealed,
+// however the retirement happens — last release, sweep, or owner retire.
+// Unsealed retirements (a failed or wedged build) have no artifact and never
+// fire it. Setting a hook on an already-retired state is a no-op: the value
+// is gone.
+func (b *BuildState) SetHandoff(fn func(any)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.retired {
+		return
+	}
+	b.handoff = fn
 }
 
 // Retired reports whether the state has retired.

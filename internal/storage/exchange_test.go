@@ -242,3 +242,60 @@ func TestSweepReclaimsWedgedBuild(t *testing.T) {
 		t.Errorf("Sweep reclaimed %d live sealed builds, want 0", got)
 	}
 }
+
+// The hand-off hook receives the sealed artifact at retire — the path that
+// feeds the keep-alive cache — and never fires for unsealed retirements or
+// after being cleared.
+func TestBuildStateHandoff(t *testing.T) {
+	x := NewExchange()
+	bs := x.PublishBuildState("h1")
+	var got any
+	bs.SetHandoff(func(v any) { got = v })
+	bs.Attach()
+	bs.Seal("table")
+	if bs.Release() != true {
+		t.Fatal("last release of sealed state did not retire")
+	}
+	if got != "table" {
+		t.Fatalf("handoff received %v, want the sealed table", got)
+	}
+
+	// Unsealed retirement (a failed build) has no artifact to hand off.
+	bs2 := x.PublishBuildState("h2")
+	fired := false
+	bs2.SetHandoff(func(any) { fired = true })
+	bs2.Retire()
+	if fired {
+		t.Error("handoff fired for an unsealed retirement")
+	}
+
+	// A cleared hook stays silent, and setting one post-retire is a no-op.
+	bs3 := x.PublishBuildState("h3")
+	bs3.SetHandoff(func(any) { fired = true })
+	bs3.SetHandoff(nil)
+	bs3.Seal("t3")
+	bs3.Retire()
+	if fired {
+		t.Error("cleared handoff fired")
+	}
+	bs3.SetHandoff(func(any) { fired = true })
+	if fired {
+		t.Error("post-retire SetHandoff fired")
+	}
+}
+
+// A sweep-forced retirement of a sealed, unreferenced build hands its
+// artifact off too: the sweep reclaims the exchange entry, not the value.
+func TestSweepHandsOffSealedBuild(t *testing.T) {
+	x := NewExchange()
+	bs := x.PublishBuildState("hs")
+	var got any
+	bs.SetHandoff(func(v any) { got = v })
+	bs.Seal("table")
+	if n := x.Sweep(0); n != 1 {
+		t.Fatalf("Sweep = %d, want 1 (unreferenced sealed build)", n)
+	}
+	if got != "table" {
+		t.Fatalf("handoff received %v, want the sealed table", got)
+	}
+}

@@ -326,3 +326,28 @@ func TestQuickSliceGatherComposition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Table epochs advance on the mutation path (Append) and via BumpEpoch, so
+// cached artifacts derived from a table can detect staleness.
+func TestTableEpochBumps(t *testing.T) {
+	tbl := NewTable("t", MustSchema(Column{Name: "v", Type: Int64}))
+	if got := tbl.Epoch(); got != 0 {
+		t.Fatalf("fresh table epoch = %d, want 0", got)
+	}
+	tbl.MustAppend(int64(1))
+	tbl.MustAppend(int64(2))
+	if got := tbl.Epoch(); got != 2 {
+		t.Fatalf("epoch after two appends = %d, want 2", got)
+	}
+	tbl.BumpEpoch()
+	if got := tbl.Epoch(); got != 3 {
+		t.Fatalf("epoch after BumpEpoch = %d, want 3", got)
+	}
+	// A failed append does not publish and must not bump.
+	if err := tbl.Append("wrong type"); err == nil {
+		t.Fatal("append of mistyped row succeeded")
+	}
+	if got := tbl.Epoch(); got != 3 {
+		t.Fatalf("epoch after failed append = %d, want 3", got)
+	}
+}

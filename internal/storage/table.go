@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Table is an in-memory, column-major base table.
 type Table struct {
@@ -8,6 +11,11 @@ type Table struct {
 	Name string
 	// data holds all rows as one large batch.
 	data *Batch
+	// epoch is the table's invalidation epoch: every mutation-path publish
+	// bumps it, so a cached artifact derived from the table (a sealed hash
+	// build, a materialized result run) records the epoch it was built at
+	// and is rejected at lookup once the table has moved on.
+	epoch atomic.Uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -21,8 +29,25 @@ func (t *Table) Schema() Schema { return t.data.Schema }
 // NumRows returns the row count.
 func (t *Table) NumRows() int { return t.data.Len() }
 
-// Append appends one tuple (same conventions as Batch.AppendRow).
-func (t *Table) Append(vals ...any) error { return t.data.AppendRow(vals...) }
+// Epoch returns the table's current invalidation epoch. Artifacts derived
+// from the table are valid only while the epoch they recorded at build time
+// still matches.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// BumpEpoch advances the invalidation epoch without appending — for callers
+// that mutate through Data() (documented read-only, but the escape hatch
+// exists) or that need to force cached artifacts stale.
+func (t *Table) BumpEpoch() { t.epoch.Add(1) }
+
+// Append appends one tuple (same conventions as Batch.AppendRow) and bumps
+// the invalidation epoch — Append is the mutation-path publish.
+func (t *Table) Append(vals ...any) error {
+	if err := t.data.AppendRow(vals...); err != nil {
+		return err
+	}
+	t.epoch.Add(1)
+	return nil
+}
 
 // MustAppend is Append that panics on error, for generators.
 func (t *Table) MustAppend(vals ...any) {

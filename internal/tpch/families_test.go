@@ -3,7 +3,9 @@ package tpch
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
@@ -335,5 +337,66 @@ func TestQ13FamilyBuildShare(t *testing.T) {
 	}
 	if got := e.BuildJoins(); got != int64(Q13FamilyVariants-1) {
 		t.Errorf("BuildJoins = %d, want %d", got, Q13FamilyVariants-1)
+	}
+}
+
+// TestQ4FamilyCacheAcrossBursts is the acceptance check for across-burst
+// sharing: three bursts of all Q4-family variants, each burst fully drained
+// before the next (so every burst's build state retires), with an idle gap
+// far below the keep-alive window. With the cache the whole run executes
+// exactly one hash build — burst 1 builds, its retired table is retained,
+// and every later burst's anchor attaches to it with zero build work. The
+// identical run with the cache disabled rebuilds per burst. Every result is
+// byte-identical to the single-threaded reference, cached or cold.
+func TestQ4FamilyCacheAcrossBursts(t *testing.T) {
+	db := smallDB(t)
+	const bursts = 3
+	runBursts := func(e *engine.Engine) {
+		t.Helper()
+		for b := 0; b < bursts; b++ {
+			var handles []*engine.Handle
+			for v := 0; v < Q4FamilyVariants; v++ {
+				h, err := e.Submit(Q4FamilySpec(db, 0, v), policy.Always{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			for v, h := range handles {
+				got, err := h.Wait()
+				if err != nil {
+					t.Fatalf("burst %d variant %d: %v", b, v, err)
+				}
+				want, err := Q4FamilyReference(db, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if renderBatch(t, got) != renderBatch(t, want) {
+					t.Errorf("burst %d variant %d: result differs from reference", b, v)
+				}
+			}
+			if got := e.Exchange().BuildStatesInFlight(); got != 0 {
+				t.Fatalf("burst %d: %d build states survived the drain", b, got)
+			}
+		}
+	}
+
+	cache := artifact.New(artifact.Config{BudgetBytes: 64 << 20, TTL: time.Minute})
+	warm := familyEngine(t, engine.Options{Workers: 2, Cache: cache})
+	runBursts(warm)
+	if got := warm.HashBuilds(); got != 1 {
+		t.Errorf("HashBuilds with cache = %d, want exactly 1 across %d bursts", got, bursts)
+	}
+	if got := warm.CacheHits(); got < int64(bursts-1) {
+		t.Errorf("CacheHits = %d, want at least one per warm burst (%d)", got, bursts-1)
+	}
+	if got, budget := warm.CacheBytes(), int64(64<<20); got <= 0 || got > budget {
+		t.Errorf("CacheBytes = %d, want within (0, %d]", got, budget)
+	}
+
+	cold := familyEngine(t, engine.Options{Workers: 2})
+	runBursts(cold)
+	if got := cold.HashBuilds(); got < int64(bursts) {
+		t.Errorf("HashBuilds without cache = %d, want at least one per burst (%d)", got, bursts)
 	}
 }

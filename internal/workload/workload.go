@@ -306,6 +306,47 @@ type MixResult struct {
 	// force-retired — the registry-hygiene metrics from the eviction work.
 	Supersedes    int64
 	SweepReclaims int64
+	// CacheHits counts queries served from the keep-alive artifact cache
+	// (a retained hash build attached with zero rebuild, or a whole result
+	// run), CacheMisses lookups that found nothing usable, and
+	// CacheEvictions artifacts dropped for memory pressure — all zero when
+	// the engine runs without a cache. CacheBytes is the cache's retained
+	// footprint at the end of the run (a gauge, not a delta).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheBytes     int64
+	// Bursts counts the duty cycles of a bursty run (1 for a plain Run).
+	Bursts int
+}
+
+// accumulate folds another run's result into r (for multi-burst drivers).
+func (r *MixResult) accumulate(o MixResult) {
+	r.Completions += o.Completions
+	if r.PerClass == nil {
+		r.PerClass = make(map[string]int)
+	}
+	for k, v := range o.PerClass {
+		r.PerClass[k] += v
+	}
+	if r.PivotJoins == nil {
+		r.PivotJoins = make(map[int]int64)
+	}
+	for k, v := range o.PivotJoins {
+		r.PivotJoins[k] += v
+	}
+	r.InflightAttaches += o.InflightAttaches
+	r.ParallelRuns += o.ParallelRuns
+	r.ParallelClones += o.ParallelClones
+	r.HashBuilds += o.HashBuilds
+	r.BuildJoins += o.BuildJoins
+	r.Supersedes += o.Supersedes
+	r.SweepReclaims += o.SweepReclaims
+	r.CacheHits += o.CacheHits
+	r.CacheMisses += o.CacheMisses
+	r.CacheEvictions += o.CacheEvictions
+	r.CacheBytes = o.CacheBytes
+	r.Bursts += o.Bursts
 }
 
 // Run drives the engine until the deadline. Each client resubmits its
@@ -330,6 +371,7 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 	startBuildJoins := e.BuildJoins()
 	startSupersedes := e.Exchange().SupersedeCount()
 	startReclaims := e.Exchange().SweepReclaims()
+	startCache := e.CacheStats()
 	var mu sync.Mutex
 	perClass := make(map[string]int)
 	total := 0
@@ -396,6 +438,7 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 			delete(joins, level)
 		}
 	}
+	endCache := e.CacheStats()
 	return MixResult{
 		Completions:      total,
 		QueriesPerMinute: float64(total) / duration.Minutes(),
@@ -408,7 +451,45 @@ func (w EngineMix) Run(e *engine.Engine, pol engine.SharePolicy, duration time.D
 		BuildJoins:       e.BuildJoins() - startBuildJoins,
 		Supersedes:       e.Exchange().SupersedeCount() - startSupersedes,
 		SweepReclaims:    e.Exchange().SweepReclaims() - startReclaims,
+		CacheHits:        endCache.Hits - startCache.Hits,
+		CacheMisses:      endCache.Misses - startCache.Misses,
+		CacheEvictions:   endCache.Evictions - startCache.Evictions,
+		CacheBytes:       endCache.Bytes,
+		Bursts:           1,
 	}, nil
+}
+
+// RunBursty drives the engine with on/off duty-cycle traffic: closed-loop
+// bursts of burstOn separated by idle gaps of idleGap, until duration
+// elapses. Every burst drains completely before the gap starts, so whatever
+// the engine retained across the gap (keep-alive cached artifacts) — not
+// in-flight sharing — carries work from one burst to the next. The result
+// accumulates all bursts, with QueriesPerMinute measured over the whole
+// wall-clock span (idle gaps included: retention pays for the work the whole
+// duty cycle would otherwise redo).
+func (w EngineMix) RunBursty(e *engine.Engine, pol engine.SharePolicy, duration, burstOn, idleGap time.Duration) (MixResult, error) {
+	if burstOn <= 0 {
+		return MixResult{}, fmt.Errorf("workload: non-positive burst duration %v", burstOn)
+	}
+	start := time.Now()
+	deadline := start.Add(duration)
+	var total MixResult
+	for {
+		res, err := w.Run(e, pol, burstOn)
+		if err != nil {
+			return MixResult{}, err
+		}
+		total.accumulate(res)
+		if !time.Now().Add(idleGap).Before(deadline) {
+			break
+		}
+		time.Sleep(idleGap)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		total.QueriesPerMinute = float64(total.Completions) / elapsed.Minutes()
+	}
+	return total, nil
 }
 
 // Assign builds a client assignment: clients total, a fraction running the
