@@ -1,8 +1,9 @@
 // Command benchjson runs the ablation measurements and emits them as
-// machine-readable JSON (BENCH_PR5.json), so CI can archive the perf
-// trajectory run over run instead of letting benchmark output scroll away.
+// machine-readable JSON (BENCH_PR6.json by default; -out picks the file),
+// so CI can archive the perf trajectory run over run instead of letting
+// benchmark output scroll away.
 //
-// Four experiments run on the real staged engine:
+// Five experiments run on the real staged engine:
 //
 //   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
 //     policy (never, always, model, inflight, parallel, hybrid, subplan),
@@ -22,17 +23,24 @@
 //     shows what retention buys; when the gap is inside the window and the
 //     budget admits the table, the warm burst must execute zero hash builds
 //     (asserted — the run fails otherwise).
+//   - the open-loop ablation: a live cordobad server per policy (never,
+//     model, subplan) fed the same Poisson arrival schedule, calibrated to
+//     ~3× the measured single-query capacity so admission control must act.
+//     Each cell reports the offered/ok/shed accounting and the p50/p95/p99
+//     latency tail — the run fails if any arrival goes unanswered or errors,
+//     or if the saturated never-share server never sheds.
 //
 // Usage:
 //
 //	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
-//	          [-duration 300ms] [-out BENCH_PR5.json]
+//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR6.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
@@ -40,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
+	"repro/internal/server"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -51,7 +60,8 @@ var (
 	clientsFlag  = flag.Int("clients", 8, "closed-loop clients in the policy sweep")
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
 	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
-	outFlag      = flag.String("out", "BENCH_PR5.json", "output file (- for stdout)")
+	arrivalsFlag = flag.Int("arrivals", 120, "open-loop arrivals offered per policy")
+	outFlag      = flag.String("out", "BENCH_PR6.json", "output file (- for stdout)")
 )
 
 // PolicyResult is one policy sweep measurement.
@@ -104,14 +114,31 @@ type CacheAblationResult struct {
 	CacheBytes  int64   `json:"cache_bytes"`
 }
 
+// OpenLoopPolicyResult is one open-loop ablation cell: a live cordobad
+// server under one sharing policy, offered the same Poisson schedule above
+// single-query capacity, with the admission accounting and the latency tail.
+type OpenLoopPolicyResult struct {
+	Policy     string  `json:"policy"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Offered    int     `json:"offered"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	QueuedOK   int     `json:"queued_ok"`
+	SharedOK   int     `json:"shared_ok"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Bench         string                `json:"bench"`
-	Config        map[string]any        `json:"config"`
-	Policies      []PolicyResult        `json:"policies"`
-	PivotLevels   []PivotLevelResult    `json:"pivot_levels"`
-	BuildShare    []BuildShareResult    `json:"build_share"`
-	CacheAblation []CacheAblationResult `json:"cache_ablation"`
+	Bench         string                 `json:"bench"`
+	Config        map[string]any         `json:"config"`
+	Policies      []PolicyResult         `json:"policies"`
+	PivotLevels   []PivotLevelResult     `json:"pivot_levels"`
+	BuildShare    []BuildShareResult     `json:"build_share"`
+	CacheAblation []CacheAblationResult  `json:"cache_ablation"`
+	OpenLoop      []OpenLoopPolicyResult `json:"open_loop"`
 }
 
 func main() {
@@ -128,7 +155,7 @@ func run() error {
 		return err
 	}
 	report := Report{
-		Bench: "PR5",
+		Bench: "PR6",
 		Config: map[string]any{
 			"sf":          *sfFlag,
 			"seed":        *seedFlag,
@@ -136,6 +163,7 @@ func run() error {
 			"clients":     *clientsFlag,
 			"fq4":         *fq4Flag,
 			"duration_ms": durationFlag.Milliseconds(),
+			"arrivals":    *arrivalsFlag,
 		},
 	}
 
@@ -224,6 +252,13 @@ func run() error {
 		}
 	}
 
+	// Open-loop ablation: the same over-capacity Poisson schedule against a
+	// live server per policy.
+	report.OpenLoop, err = openLoopSweep(db, *workersFlag, *arrivalsFlag, *seedFlag)
+	if err != nil {
+		return err
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -236,9 +271,110 @@ func run() error {
 	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells)\n",
-		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation))
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells)\n",
+		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation), len(report.OpenLoop))
 	return nil
+}
+
+// openLoopSweep runs the open-loop ablation: one live server per policy, all
+// fed Poisson arrivals on the same seed at a rate calibrated (on the first,
+// never-share server) to ~3× the measured single-query capacity — far enough
+// past saturation that queues fill and admission control must queue and shed
+// rather than hang. Sharing policies face the identical offered schedule, so
+// their lower tails are attributable to sharing, not luck.
+func openLoopSweep(db *tpch.DB, workers, arrivals int, seed uint64) ([]OpenLoopPolicyResult, error) {
+	var out []OpenLoopPolicyResult
+	var rate float64
+	for _, name := range []string{"never", "model", "subplan"} {
+		pol, inflight, err := policy.ByName(name, core.NewEnv(float64(workers)), workers)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			DB:         db,
+			Engine:     engine.Options{Workers: workers, FanOut: engine.FanOutShare, InflightSharing: inflight},
+			Policy:     policy.ForEngine(pol),
+			Window:     workers,     // saturation point ≈ the hardware
+			QueueLimit: 4 * workers, // small backlog: overflow must shed
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Shutdown()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		addr := ln.Addr().String()
+		if rate == 0 {
+			if rate, err = calibrateRate(addr, workers); err != nil {
+				srv.Shutdown()
+				return nil, err
+			}
+		}
+		res, err := workload.RunOpenLoop(workload.OpenLoopConfig{
+			Addr:        addr,
+			Arrivals:    workload.NewPoisson(rate, seed),
+			MaxArrivals: arrivals,
+			Conns:       4,
+		})
+		srv.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("open loop %s: %w", name, err)
+		}
+		if res.Errors != 0 || res.Lost != 0 {
+			return nil, fmt.Errorf("open loop %s: %d errors, %d lost of %d offered", name, res.Errors, res.Lost, res.Offered)
+		}
+		if res.OK+res.Shed != res.Offered {
+			return nil, fmt.Errorf("open loop %s: %d ok + %d shed != %d offered — an arrival went unanswered", name, res.OK, res.Shed, res.Offered)
+		}
+		if name == "never" && res.Shed == 0 {
+			return nil, fmt.Errorf("open loop never: no sheds at %.0f/s over a %d-slot queue — admission control never acted", rate, 4*workers)
+		}
+		out = append(out, OpenLoopPolicyResult{
+			Policy:     name,
+			RatePerSec: rate,
+			Offered:    res.Offered,
+			OK:         res.OK,
+			Shed:       res.Shed,
+			QueuedOK:   res.QueuedOK,
+			SharedOK:   res.SharedOK,
+			P50MS:      float64(res.Latency.P50()) / float64(time.Millisecond),
+			P95MS:      float64(res.Latency.P95()) / float64(time.Millisecond),
+			P99MS:      float64(res.Latency.P99()) / float64(time.Millisecond),
+		})
+	}
+	return out, nil
+}
+
+// calibrateRate measures the mean single-query service time over one variant
+// of each family on an otherwise idle server, and returns an offered rate of
+// ~3× the corresponding capacity (workers / mean service). Calibrating on
+// the live machine keeps "above saturation" true on fast and slow hosts
+// alike.
+func calibrateRate(addr string, workers int) (float64, error) {
+	c, err := workload.DialServer(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	families := []string{"Q1", "Q6", "Q4", "Q13"}
+	start := time.Now()
+	for _, f := range families {
+		resp, err := c.Do(server.Request{Family: f})
+		if err != nil {
+			return 0, err
+		}
+		if resp.Status != server.StatusOK {
+			return 0, fmt.Errorf("calibration query %s: %s (%s)", f, resp.Status, resp.Error)
+		}
+	}
+	service := time.Since(start) / time.Duration(len(families))
+	if service <= 0 {
+		service = time.Millisecond
+	}
+	return 3 * float64(workers) / service.Seconds(), nil
 }
 
 // cacheCell measures one cache ablation cell: two bursts of m Q4-family

@@ -212,21 +212,12 @@ func run() error {
 func familiesMix(db *tpch.DB, clients int) workload.EngineMix {
 	specs := make(map[string]engine.QuerySpec)
 	var order []string
-	add := func(name string, spec engine.QuerySpec) {
-		specs[name] = spec
-		order = append(order, name)
-	}
-	for v := 0; v < tpch.Q1FamilyVariants; v++ {
-		add(fmt.Sprintf("Q1Fv%d", v), tpch.Q1FamilySpec(db, 0, v))
-	}
-	for v := 0; v < tpch.Q6FamilyVariants; v++ {
-		add(fmt.Sprintf("Q6Fv%d", v), tpch.Q6FamilySpec(db, 0, v))
-	}
-	for v := 0; v < tpch.Q4FamilyVariants; v++ {
-		add(fmt.Sprintf("Q4Fv%d", v), tpch.Q4FamilySpec(db, 0, v))
-	}
-	for v := 0; v < tpch.Q13FamilyVariants; v++ {
-		add(fmt.Sprintf("Q13Fv%d", v), tpch.Q13FamilySpec(db, 0, v))
+	for _, f := range tpch.Families() {
+		for v := 0; v < f.Variants; v++ {
+			name := fmt.Sprintf("%sFv%d", f.Name, v)
+			specs[name] = f.Spec(db, 0, v)
+			order = append(order, name)
+		}
 	}
 	assignment := make([]string, clients)
 	for i := range assignment {

@@ -1,0 +1,213 @@
+// Command cordobad is the long-running query server: the staged sharing
+// engine behind a TCP front door, with model-driven admission control in
+// front of it. Clients speak newline-delimited JSON (see internal/server):
+// submit a (family, variant) query, get back a result, a queued-then-served
+// result, or a shed refusal — the server never hangs a saturated client.
+//
+// Admission is priced by core.Admit from the same coefficients the sharing
+// policies use: a beneficial share admits even past saturation, an unshared
+// query admits only into headroom, saturated arrivals queue on per-tenant
+// FIFOs while the predicted wait fits the patience bound, and the rest shed
+// immediately. Queue overflow sheds the lowest-benefit entry.
+//
+// SIGTERM (or SIGINT) drains gracefully: stop accepting, shed the backlog,
+// finish every in-flight query, flush the cache counters, exit 0.
+//
+// Usage:
+//
+//	cordobad [-addr 127.0.0.1:7432] [-addr-file path] [-sf 0.005] [-seed 42]
+//	         [-workers N] [-policy subplan] [-window 0] [-queue-limit 0]
+//	         [-patience 0] [-cache-mb 0] [-cache-ttl 500ms] [-sweep 0]
+//
+// The same binary doubles as the open-loop traffic driver:
+//
+//	cordobad -client [-addr host:port] [-arrival poisson|diurnal|flash]
+//	         [-rate 200] [-arrivals 100] [-duration 0] [-conns 4]
+//	         [-families Q1,Q6,Q4,Q13] [-tenants a,b] [-peak 0] [-period 10s]
+//
+// The client prints offered/ok/shed accounting and the p50/p95/p99 latency
+// tail of the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+var (
+	addrFlag     = flag.String("addr", "127.0.0.1:7432", "listen address (server) or target address (client); port 0 picks a random port")
+	addrFileFlag = flag.String("addr-file", "", "write the bound address to this file once listening (for scripted startups against port 0)")
+	sfFlag       = flag.Float64("sf", 0.005, "TPC-H scale factor")
+	seedFlag     = flag.Uint64("seed", 42, "data generator seed")
+	workersFlag  = flag.Int("workers", runtime.GOMAXPROCS(0), "engine workers (emulated processors)")
+	policyFlag   = flag.String("policy", "subplan", "sharing policy: model, always, never, inflight, parallel, hybrid, subplan")
+	windowFlag   = flag.Int("window", 0, "admission window: max concurrently admitted queries (0 = 2×workers)")
+	queueFlag    = flag.Int("queue-limit", 0, "global backlog cap across tenant FIFOs (0 = 8×window)")
+	patienceFlag = flag.Float64("patience", 0, "model-time patience bound for queued submitters (0 = model default)")
+	cacheMBFlag  = flag.Int("cache-mb", 0, "keep-alive artifact cache budget in MiB (0 = retention off)")
+	cacheTTLFlag = flag.Duration("cache-ttl", 500*time.Millisecond, "keep-alive window for retained artifacts")
+	sweepFlag    = flag.Duration("sweep", 0, "exchange sweep cadence (0 = no periodic sweep)")
+
+	clientFlag   = flag.Bool("client", false, "run as open-loop traffic driver against -addr instead of serving")
+	arrivalFlag  = flag.String("arrival", "poisson", "arrival process: poisson, diurnal, flash")
+	rateFlag     = flag.Float64("rate", 200, "offered arrival rate per second (base rate for diurnal/flash)")
+	arrivalsFlag = flag.Int("arrivals", 100, "number of arrivals to offer (0 = until -duration)")
+	durationFlag = flag.Duration("duration", 0, "offered-traffic window (0 = until -arrivals)")
+	connsFlag    = flag.Int("conns", 4, "client connections to spread traffic over")
+	familiesFlag = flag.String("families", "", "comma-separated family rotation (default: full registry)")
+	tenantsFlag  = flag.String("tenants", "", "comma-separated tenant rotation (default: one tenant)")
+	peakFlag     = flag.Float64("peak", 0, "flash-crowd peak rate per second (0 = 10×rate)")
+	periodFlag   = flag.Duration("period", 10*time.Second, "diurnal period / flash-crowd burst length")
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	if *clientFlag {
+		err = runClient()
+	} else {
+		err = runServer()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cordobad:", err)
+		os.Exit(1)
+	}
+}
+
+func runServer() error {
+	fmt.Printf("generating TPC-H data (sf=%g, seed=%d)...\n", *sfFlag, *seedFlag)
+	db, err := tpch.Generate(tpch.Config{ScaleFactor: *sfFlag, Seed: *seedFlag})
+	if err != nil {
+		return err
+	}
+	pol, inflight, err := policy.ByName(*policyFlag, core.NewEnv(float64(*workersFlag)), *workersFlag)
+	if err != nil {
+		return err
+	}
+	opts := engine.Options{
+		Workers:         *workersFlag,
+		FanOut:          engine.FanOutShare,
+		InflightSharing: inflight,
+		SweepInterval:   *sweepFlag,
+	}
+	if *cacheMBFlag > 0 {
+		opts.Cache = artifact.New(artifact.Config{
+			BudgetBytes: int64(*cacheMBFlag) << 20,
+			TTL:         *cacheTTLFlag,
+		})
+	}
+	s, err := server.New(server.Config{
+		DB:         db,
+		Engine:     opts,
+		Policy:     policy.ForEngine(pol),
+		Window:     *windowFlag,
+		QueueLimit: *queueFlag,
+		Patience:   *patienceFlag,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cordobad: serving on %s (policy=%s workers=%d)\n", ln.Addr(), *policyFlag, *workersFlag)
+	if *addrFileFlag != "" {
+		if err := os.WriteFile(*addrFileFlag, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	// Serve in the background; the main goroutine owns the shutdown sequence
+	// so the drain report is always flushed before exit.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("cordobad: %v, draining (admission stopped, finishing in-flight)...\n", sig)
+		s.Shutdown()
+		st := s.Stats()
+		fmt.Printf("drained: completed=%d shed=%d errors=%d admissions=%v cache=%d/%d/%d bytes=%d\n",
+			st.Completed, st.Shed, st.Errors, st.Admissions,
+			st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes)
+		return nil
+	}
+}
+
+func runClient() error {
+	arrivals, err := arrivalProcess()
+	if err != nil {
+		return err
+	}
+	cfg := workload.OpenLoopConfig{
+		Addr:        *addrFlag,
+		Arrivals:    arrivals,
+		Duration:    *durationFlag,
+		MaxArrivals: *arrivalsFlag,
+		Conns:       *connsFlag,
+		Families:    splitList(*familiesFlag),
+		Tenants:     splitList(*tenantsFlag),
+	}
+	fmt.Printf("cordobad client: %s arrivals at %s (rate=%g/s)\n", *arrivalFlag, *addrFlag, *rateFlag)
+	res, err := workload.RunOpenLoop(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if res.QueuedOK > 0 {
+		fmt.Printf("queue wait: %s\n", res.QueueWait)
+	}
+	return nil
+}
+
+func arrivalProcess() (workload.ArrivalProcess, error) {
+	switch *arrivalFlag {
+	case "poisson":
+		return workload.NewPoisson(*rateFlag, *seedFlag), nil
+	case "diurnal":
+		return workload.NewDiurnal(*rateFlag, 0.8, *periodFlag, *seedFlag), nil
+	case "flash":
+		peak := *peakFlag
+		if peak <= 0 {
+			peak = 10 * *rateFlag
+		}
+		// The crowd arrives one period in and stays for one period.
+		return workload.NewFlashCrowd(*rateFlag, peak, *periodFlag, *periodFlag, *seedFlag), nil
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q (want poisson, diurnal, flash)", *arrivalFlag)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

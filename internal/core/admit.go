@@ -1,0 +1,261 @@
+package core
+
+import "math"
+
+// This file extends the model from execution-regime selection to admission
+// control: what a long-running server should do with a query that arrives
+// while other queries are active — admit it into a sharing group, admit it
+// alone, park it in a queue, or shed it. The point of deriving the decision
+// here, rather than hard-coding limits in the server, is that overload
+// behavior then falls out of the same currency as sharing: the coefficients
+// ChoosePivoted already prices (w, s, u', p_max) are all the decision needs.
+//
+// The four arms, priced per arriving query q on n processors with `active`
+// queries running and `queued` waiting:
+//
+//   - admit-shared: the query joins a sharing group (or retained artifact).
+//     Its marginal demand is only its above-pivot work plus the pivot's
+//     per-consumer s — the group's below-pivot work is already being paid —
+//     so a beneficial share (the ChoosePivoted share/attach arm winning) is
+//     admissible even past saturation. Sharing IS the server's first line of
+//     overload defense.
+//   - admit-alone: the query runs unshared (serially or as clones). This
+//     adds its full u' to the system; it is admissible only while the
+//     unshared demand of the active set plus the newcomer fits the hardware:
+//     (active+1)·u' ≤ n.
+//   - queue: the system is saturated, but the wait for a slot is bounded.
+//     Saturated, the system completes one query per u'/n model-time, so a
+//     queue of depth k drains in k·u'/n; the newcomer's predicted response
+//     is that wait plus its own saturated service time. Queue while
+//     wait + service ≤ patience.
+//   - shed: the predicted response exceeds the submitter's patience. Better
+//     to refuse now than to time out later — shedding is the model saying
+//     the query's slot would be wasted work.
+//
+// The queue-vs-shed crossover depth is exact and exported (QueueCrossover)
+// so the server can size queues — and tests can pin the flip point.
+
+// AdmitDecision is the admission controller's verdict on an arriving query.
+type AdmitDecision int
+
+const (
+	// AdmitShared admits the query into a sharing group (or onto a retained
+	// artifact): marginal demand ≈ its private work only.
+	AdmitShared AdmitDecision = iota
+	// AdmitAlone admits the query to run unshared; the system has headroom
+	// for its full demand.
+	AdmitAlone
+	// AdmitQueue parks the query: the system is saturated but the predicted
+	// wait still fits the submitter's patience.
+	AdmitQueue
+	// AdmitShed refuses the query: even after queueing it would miss its
+	// patience bound, so executing it would only slow everyone else.
+	AdmitShed
+)
+
+// String returns the decision label used in wire responses and reports.
+func (d AdmitDecision) String() string {
+	switch d {
+	case AdmitShared:
+		return "admit-shared"
+	case AdmitAlone:
+		return "admit-alone"
+	case AdmitQueue:
+		return "queue"
+	case AdmitShed:
+		return "shed"
+	default:
+		return "AdmitDecision(?)"
+	}
+}
+
+// DefaultPatienceFactor scales a query's unloaded standalone response time
+// into the default patience bound: a submitter is assumed to tolerate a
+// response this many times slower than an idle system before queueing stops
+// being worth it.
+const DefaultPatienceFactor = 8.0
+
+// AdmitLoad is the system state an admission decision is made against.
+type AdmitLoad struct {
+	// Active is the number of admitted queries currently executing.
+	Active int
+	// Queued is the number of queries already waiting ahead of this one.
+	Queued int
+	// Patience is the model-time response bound the submitter will tolerate
+	// (wait plus service). Zero or negative selects the default:
+	// DefaultPatienceFactor × the query's unloaded standalone response time.
+	Patience float64
+}
+
+// Admission is a priced admission decision.
+type Admission struct {
+	// Decision is the verdict.
+	Decision AdmitDecision
+	// Exec is the execution regime ChoosePivoted chose when the query is
+	// admitted (RunAlone for queued/shed arrivals — the regime they would
+	// get once a slot opens is re-decided then).
+	Exec Decision
+	// Pivot is the candidate index of the chosen pivot level (meaningful for
+	// AdmitShared).
+	Pivot int
+	// Degree is the clone degree of the chosen regime (1 unless
+	// parallelizing).
+	Degree int
+	// Rate is the predicted per-query rate of forward progress of the chosen
+	// arm — the benefit currency shed ordering compares (see ShedVictim).
+	Rate float64
+	// Wait is the predicted queue wait in model time (nonzero only for
+	// AdmitQueue).
+	Wait float64
+	// Crossover is the queue depth at which the decision flips from queue to
+	// shed: depths ≤ Crossover queue, deeper ones shed. Negative means even
+	// an empty queue sheds.
+	Crossover int
+}
+
+// patienceFor resolves the effective patience bound: the load's explicit
+// bound, or the default factor times the query's unloaded standalone
+// response time.
+func patienceFor(q Query, load AdmitLoad, env Env) float64 {
+	if load.Patience > 0 {
+		return load.Patience
+	}
+	x1 := UnsharedX(q, 1, env)
+	if x1 <= 0 || math.IsInf(x1, 0) {
+		return 0
+	}
+	return DefaultPatienceFactor / x1
+}
+
+// saturatedResponse returns the newcomer's predicted service time once
+// running among active+1 unshared queries.
+func saturatedResponse(q Query, active int, env Env) float64 {
+	m := active + 1
+	x := UnsharedX(q, m, env)
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m) / x
+}
+
+// Admit prices the four admission arms for a query arriving at the given
+// load and returns the verdict. cands are the query's pivot-candidate
+// compilations exactly as ChoosePivoted takes them (highest level first);
+// m is the prospective sharing group size and remaining the sharing
+// opportunity (1 = submission-time group, (0,1) = in-flight scan, negative =
+// no compatible group — both sharing arms skipped); maxDegree caps the
+// parallelize arm.
+//
+// The effective contention the sharing and parallel arms are priced at is
+// max(m, active+1): under live traffic everyone active faces the same
+// choice, so judging a group at m=2 while ten queries run would starve the
+// group the model wants at load ten (the same correction
+// policy.ModelGuided.ShouldJoinUnderLoad applies).
+func Admit(cands []Query, m, maxDegree int, remaining float64, load AdmitLoad, env Env) Admission {
+	if len(cands) == 0 {
+		return Admission{Decision: AdmitShed, Exec: RunAlone, Degree: 1, Crossover: -1}
+	}
+	q := cands[0] // unshared quantities are pivot-invariant
+	if load.Active < 0 {
+		load.Active = 0
+	}
+	if load.Queued < 0 {
+		load.Queued = 0
+	}
+	eff := load.Active + 1
+	if m > eff {
+		eff = m
+	}
+	dec, pivot, degree, x := ChoosePivoted(cands, eff, maxDegree, remaining, env)
+	perQuery := x / float64(eff)
+
+	// A winning share or attach arm admits outright: the group is already
+	// paying its below-pivot work, so the newcomer's marginal demand is only
+	// its private chain plus one more s at the pivot.
+	if dec == Share || dec == AttachInflight {
+		return Admission{Decision: AdmitShared, Exec: dec, Pivot: pivot, Degree: degree, Rate: perQuery, Crossover: QueueCrossover(q, load, env)}
+	}
+
+	// Unshared arms carry the query's full demand. An empty system always
+	// admits — there is nothing to contend with, whatever u' says about
+	// saturating the hardware.
+	demand := float64(load.Active+1) * q.UPrime()
+	if load.Active == 0 || demand <= env.EffectiveUnshared() {
+		return Admission{Decision: AdmitAlone, Exec: dec, Pivot: pivot, Degree: degree, Rate: perQuery, Crossover: QueueCrossover(q, load, env)}
+	}
+
+	// Saturated: queue while the predicted response fits the patience bound.
+	patience := patienceFor(q, load, env)
+	wait := queueWait(q, load.Queued, env)
+	service := saturatedResponse(q, load.Active, env)
+	crossover := QueueCrossover(q, load, env)
+	if patience > 0 && wait+service <= patience {
+		return Admission{Decision: AdmitQueue, Exec: RunAlone, Degree: 1, Rate: perQuery, Wait: wait, Crossover: crossover}
+	}
+	return Admission{Decision: AdmitShed, Exec: RunAlone, Degree: 1, Rate: perQuery, Wait: wait, Crossover: crossover}
+}
+
+// queueWait returns the predicted model-time wait behind `queued` earlier
+// arrivals: a saturated system completes one query per u'/n, so the queue
+// drains at rate n/u'.
+func queueWait(q Query, queued int, env Env) float64 {
+	n := env.EffectiveUnshared()
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return float64(queued) * q.UPrime() / n
+}
+
+// QueueCrossover returns the largest queue depth at which the model still
+// queues q rather than shedding it: depths ≤ the crossover satisfy
+// wait(k) + service ≤ patience, i.e. k ≤ (patience − service)·n/u'. A
+// negative result means even an empty queue sheds (the saturated service
+// time alone already exceeds the patience bound).
+func QueueCrossover(q Query, load AdmitLoad, env Env) int {
+	patience := patienceFor(q, load, env)
+	service := saturatedResponse(q, load.Active, env)
+	up := q.UPrime()
+	n := env.EffectiveUnshared()
+	if up <= 0 || n <= 0 || math.IsInf(service, 0) {
+		return -1
+	}
+	slack := patience - service
+	if slack < 0 {
+		return -1
+	}
+	return int(math.Floor(slack * n / up))
+}
+
+// AdmitBenefit returns the benefit currency shedding compares: the predicted
+// per-query rate of the best execution arm available to the query at the
+// given load. A query that can ride an existing group scores its shared
+// rate; one that can only run alone scores its (lower, contended) unshared
+// rate — so when the window overflows, the sharer is the one worth keeping.
+func AdmitBenefit(cands []Query, m, maxDegree int, remaining float64, active int, env Env) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	eff := active + 1
+	if m > eff {
+		eff = m
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	_, _, _, x := ChoosePivoted(cands, eff, maxDegree, remaining, env)
+	return x / float64(eff)
+}
+
+// ShedVictim returns the index of the lowest-benefit entry — the one a
+// saturated server sheds first when its admission window overflows. Ties go
+// to the later index (the younger arrival yields to the older one). An empty
+// slice returns -1.
+func ShedVictim(benefits []float64) int {
+	victim := -1
+	for i, b := range benefits {
+		if victim < 0 || b <= benefits[victim] {
+			victim = i
+		}
+	}
+	return victim
+}

@@ -178,6 +178,43 @@
 // artifact.Cache, engine.Options (Cache, SweepInterval), and the
 // engine's CacheHits/CacheMisses/CacheEvictions/CacheBytes counters.
 //
+// # Admission control (beyond the paper)
+//
+// A long-running server faces a decision the paper's closed loops never do:
+// what to do with a query that arrives while the system is busy. The same
+// coefficients price it (Admit). Four arms, for a query q arriving on n
+// processors with `active` queries running and `queued` waiting:
+//
+//   - admit-shared: ChoosePivoted's share (or attach) arm wins at the
+//     effective contention max(m, active+1). The group is already paying
+//     its below-pivot work, so q's marginal demand is only its private
+//     above-pivot chain plus one more s at the pivot — admissible even past
+//     saturation. Sharing is the server's first line of overload defense,
+//     which is the paper's thesis restated as a queueing policy.
+//   - admit-alone: q runs unshared, adding its full u' to the system.
+//     Admissible only while the unshared demand fits the hardware,
+//     (active+1)·u' ≤ n·k (an empty system always admits).
+//   - queue: the system is saturated. A saturated system completes one
+//     query per u'/n model-time, so a FIFO of depth k drains in k·u'/n and
+//     q's predicted response is wait(k) + service, with service =
+//     (active+1)/x(active+1, n). Queue while that response fits the
+//     submitter's patience bound (default: DefaultPatienceFactor × the
+//     unloaded standalone response time).
+//   - shed: the predicted response exceeds the patience bound even at the
+//     current depth — refuse now rather than time out later. The
+//     queue-vs-shed crossover depth is exact and exported, k* =
+//     ⌊(patience − service)·n/u'⌋ (QueueCrossover), so servers can size
+//     queues and tests can pin the flip point.
+//
+// When a bounded queue overflows, the entry to shed is the one whose best
+// execution arm forwards the least progress per unit time — AdmitBenefit
+// prices each entry's winning arm at the current load, ShedVictim takes the
+// minimum (ties shed the youngest). A query riding a sharing group scores
+// its shared rate, one that must run alone scores its contended unshared
+// rate, so the sharer survives the cut: work elimination, not arrival
+// order, decides who stays. See internal/server for the serving front door
+// wired to these decisions, and cmd/cordobad for the daemon.
+//
 // On the storage side all sharing primitives register, attach, and retire
 // through one unified work-exchange registry (storage.Exchange), keyed by
 // subplan fingerprint: circular scans (every page to every consumer),

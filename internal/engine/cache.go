@@ -177,15 +177,16 @@ func (e *Engine) newCachedBuildGroupLocked(spec QuerySpec, opt PivotOption, h *H
 }
 
 // sweepLoop runs the engine's background exchange sweep on a fixed cadence
-// until Close.
-func (e *Engine) sweepLoop(every, maxAge time.Duration) {
+// until Close. The stop channel is passed in (rather than read from the
+// engine) so the loop observes exactly the channel its StartSweep created.
+func (e *Engine) sweepLoop(every, maxAge time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
 			e.SweepExchange(maxAge)
-		case <-e.sweepStop:
+		case <-stop:
 			return
 		}
 	}

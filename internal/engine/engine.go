@@ -279,12 +279,18 @@ type Engine struct {
 	clock *busyClock
 	scans *storage.ScanRegistry
 	// cache is the keep-alive shared-artifact cache (nil = retention off).
-	cache *artifact.Cache
-	// sweepStop ends the periodic sweep goroutine (nil when no cadence set).
-	sweepStop chan struct{}
+	cache     *artifact.Cache
 	closeOnce sync.Once
 
-	mu               sync.Mutex
+	mu sync.Mutex
+	// sweepStop ends the periodic sweep goroutine (nil when none running).
+	sweepStop chan struct{}
+	// closed is set by Close; it gates StartSweep so a late sweep can never
+	// outlive the engine.
+	closed bool
+	// drained is created by Drain and closed when active reaches zero; a
+	// non-nil value means the engine refuses new submissions.
+	drained          chan struct{}
 	joinable         map[string]*shareGroup // keyed by subplan share key
 	active           int
 	completed        int64
@@ -313,8 +319,7 @@ func New(opts Options) (*Engine, error) {
 		pivotJoins: make(map[int]int64),
 	}
 	if opts.SweepInterval > 0 {
-		e.sweepStop = make(chan struct{})
-		go e.sweepLoop(opts.SweepInterval, opts.SweepAge)
+		e.StartSweep(opts.SweepInterval, opts.SweepAge)
 	}
 	if !opts.StartPaused {
 		sched.Start()
@@ -326,15 +331,74 @@ func New(opts Options) (*Engine, error) {
 // for engines created running.
 func (e *Engine) Start() { e.sched.Start() }
 
+// StartSweep launches the background exchange sweep on the given cadence —
+// the late counterpart of Options.SweepInterval, for drivers that decide on
+// a sweep after construction (a server enabling reclamation once it starts
+// accepting traffic). maxAge ≤ 0 defaults to the cadence. It reports whether
+// the sweep started: false when a sweep is already running, the cadence is
+// non-positive, or the engine is closed. The closed check is what keeps a
+// late start from leaking the ticker goroutine — a sweep started after
+// Close would otherwise never receive the stop signal Close already sent.
+func (e *Engine) StartSweep(every, maxAge time.Duration) bool {
+	if every <= 0 {
+		return false
+	}
+	if maxAge <= 0 {
+		maxAge = every
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.sweepStop != nil {
+		return false
+	}
+	e.sweepStop = make(chan struct{})
+	go e.sweepLoop(every, maxAge, e.sweepStop)
+	return true
+}
+
 // Close shuts the engine down. Outstanding queries are abandoned, the
 // periodic sweep (if any) stops. Idempotent.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		if e.sweepStop != nil {
-			close(e.sweepStop)
+		e.mu.Lock()
+		e.closed = true
+		stop := e.sweepStop
+		e.mu.Unlock()
+		if stop != nil {
+			close(stop)
 		}
 		e.sched.Stop()
 	})
+}
+
+// ErrDraining is returned by Submit once Drain has been called: the engine
+// finishes what it has but admits nothing new.
+var ErrDraining = fmt.Errorf("engine: draining, not accepting new queries")
+
+// Drain stops admission and blocks until every in-flight query has
+// completed. Subsequent Submits fail with ErrDraining; groups already
+// running finish normally (their members' results and callbacks are
+// delivered). Drain is idempotent and safe to call concurrently; every
+// caller returns once the engine is idle. The caller typically follows with
+// Close.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	if e.drained == nil {
+		e.drained = make(chan struct{})
+		if e.active == 0 {
+			close(e.drained)
+		}
+	}
+	ch := e.drained
+	e.mu.Unlock()
+	<-ch
+}
+
+// Draining reports whether Drain has been called.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.drained != nil
 }
 
 // Workers returns the emulated processor count.
@@ -501,6 +565,9 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.drained != nil {
+		return nil, ErrDraining
+	}
 	// Serve the query outright when a fingerprint-matching result run at
 	// the current epoch is retained — the across-burst analogue of joining
 	// a group whose pivot is the root, so it passes the same admission test
@@ -1239,6 +1306,9 @@ func (e *Engine) newSinkTask(g *shareGroup, h *Handle, in *PageQueue, schema sto
 		e.mu.Lock()
 		e.completed++
 		e.active--
+		if e.active == 0 && e.drained != nil {
+			close(e.drained)
+		}
 		e.mu.Unlock()
 		close(h.done)
 		if h.onDone != nil {

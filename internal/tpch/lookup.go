@@ -1,0 +1,61 @@
+package tpch
+
+import (
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Family is one named parameterized query family: a plan shape whose
+// variants share work at some level (whole plan, scan prefix, or hash-join
+// build side). The server's wire protocol submits queries as
+// (family, variant) pairs, and the workload drivers rotate through the same
+// registry — one definition, every front end.
+type Family struct {
+	// Name is the lookup key ("Q1", "Q6", "Q4", "Q13").
+	Name string
+	// Variants is the number of parameterizations; Spec reduces any variant
+	// argument modulo this.
+	Variants int
+	// Spec builds the engine spec of one variant.
+	Spec func(db *DB, pageRows, variant int) engine.QuerySpec
+	// Reference executes one variant single-threaded — the ground truth
+	// shared execution is checked against.
+	Reference func(db *DB, variant int) (*storage.Batch, error)
+}
+
+// families is the registry, in rotation order.
+var families = []Family{
+	{Name: "Q1", Variants: Q1FamilyVariants, Spec: Q1FamilySpec, Reference: Q1FamilyReference},
+	{Name: "Q6", Variants: Q6FamilyVariants, Spec: Q6FamilySpec, Reference: Q6FamilyReference},
+	{Name: "Q4", Variants: Q4FamilyVariants, Spec: Q4FamilySpec, Reference: Q4FamilyReference},
+	{Name: "Q13", Variants: Q13FamilyVariants, Spec: Q13FamilySpec, Reference: Q13FamilyReference},
+}
+
+// Families returns the registered query families in rotation order. The
+// slice is a copy; callers may reorder it freely.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyByName resolves a family by case-insensitive name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range families {
+		if strings.EqualFold(f.Name, name) {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// FamilyNames returns the registered names in rotation order.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.Name
+	}
+	return out
+}

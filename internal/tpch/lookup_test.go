@@ -1,0 +1,39 @@
+package tpch
+
+import "testing"
+
+// Every registered family must resolve by name (case-insensitively), build
+// a valid spec for every variant (including out-of-range arguments, reduced
+// modulo the family size), and agree with its reference on the variant
+// count.
+func TestFamilyLookup(t *testing.T) {
+	db := MustGenerate(Config{ScaleFactor: 0.002, Seed: 42})
+	if len(Families()) != len(FamilyNames()) {
+		t.Fatalf("Families()/FamilyNames() length mismatch")
+	}
+	for _, name := range FamilyNames() {
+		f, ok := FamilyByName(name)
+		if !ok {
+			t.Fatalf("FamilyByName(%q) missing", name)
+		}
+		lower, ok := FamilyByName("q" + name[1:])
+		if !ok || lower.Name != f.Name {
+			t.Fatalf("FamilyByName is not case-insensitive for %q", name)
+		}
+		if f.Variants < 1 {
+			t.Fatalf("family %s: %d variants", name, f.Variants)
+		}
+		for v := 0; v < f.Variants+1; v++ { // +1 exercises the modulo path
+			spec := f.Spec(db, 0, v)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("family %s variant %d: invalid spec: %v", name, v, err)
+			}
+		}
+		if _, err := f.Reference(db, 0); err != nil {
+			t.Fatalf("family %s reference: %v", name, err)
+		}
+	}
+	if _, ok := FamilyByName("Q99"); ok {
+		t.Fatal("FamilyByName(Q99) resolved")
+	}
+}

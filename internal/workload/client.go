@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client is a pipelined cordobad wire client: one TCP connection, any
+// number of in-flight requests, responses correlated back to their waiters
+// by id. Safe for concurrent use.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[string]chan server.Response
+	nextID  uint64
+	readErr error
+	closed  bool
+}
+
+// DialServer connects to a cordobad address.
+func DialServer(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		w:       bufio.NewWriter(nc),
+		pending: make(map[string]chan server.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop fans responses out to their waiters. On connection loss every
+// waiter (present and future) fails fast instead of hanging.
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var resp server.Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = fmt.Errorf("connection closed")
+	}
+	c.mu.Lock()
+	c.readErr = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// Submit sends a request and returns a channel that yields its response.
+// A closed channel (zero Response, ok=false on receive) means the
+// connection died. An empty ID is auto-assigned.
+func (c *Client) Submit(req server.Request) (<-chan server.Response, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if req.ID == "" {
+		c.nextID++
+		req.ID = fmt.Sprintf("r%d", c.nextID)
+	}
+	ch := make(chan server.Response, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	line, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c.wmu.Lock()
+	_, werr := c.w.Write(append(line, '\n'))
+	if werr == nil {
+		werr = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, werr
+	}
+	return ch, nil
+}
+
+// Do sends a request and waits for its response.
+func (c *Client) Do(req server.Request) (server.Response, error) {
+	ch, err := c.Submit(req)
+	if err != nil {
+		return server.Response{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return server.Response{}, err
+	}
+	return resp, nil
+}
+
+// ServerStats fetches the server's counters.
+func (c *Client) ServerStats() (server.Stats, error) {
+	resp, err := c.Do(server.Request{Op: "stats"})
+	if err != nil {
+		return server.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return server.Stats{}, fmt.Errorf("stats response carried no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Close tears the connection down; outstanding waiters fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.nc.Close()
+}
+
+// OpenLoopConfig drives RunOpenLoop against a live server.
+type OpenLoopConfig struct {
+	// Addr is the server address.
+	Addr string
+	// Arrivals generates the inter-arrival gaps (required).
+	Arrivals ArrivalProcess
+	// Duration bounds the offered-traffic window (0 = until MaxArrivals).
+	Duration time.Duration
+	// MaxArrivals caps the number of arrivals (0 = until Duration). At least
+	// one bound must be set.
+	MaxArrivals int
+	// Families is the rotation of family names per arrival (default: Q1,
+	// Q6, Q4, Q13 — the full registry).
+	Families []string
+	// Variants is the per-family variant rotation length (default 3).
+	Variants int
+	// Tenants is the tenant rotation (default one "default" tenant).
+	Tenants []string
+	// Conns spreads traffic over this many connections (default 4).
+	Conns int
+}
+
+// OpenLoopResult summarizes one open-loop run.
+type OpenLoopResult struct {
+	// Offered counts arrivals sent.
+	Offered int
+	// OK, Shed and Errors partition the responses.
+	OK, Shed, Errors int
+	// Lost counts arrivals whose connection died before answering.
+	Lost int
+	// QueuedOK counts OK responses that waited in a tenant FIFO first.
+	QueuedOK int
+	// SharedOK counts OK responses admitted into sharing.
+	SharedOK int
+	// Latency is the end-to-end histogram of OK responses.
+	Latency *Hist
+	// QueueWait is the histogram of FIFO waits among queued-then-served
+	// responses.
+	QueueWait *Hist
+	// Elapsed is the wall-clock time from first arrival to last response.
+	Elapsed time.Duration
+}
+
+// String renders the one-line run report.
+func (r OpenLoopResult) String() string {
+	return fmt.Sprintf("offered=%d ok=%d shed=%d err=%d lost=%d queued=%d shared=%d %s",
+		r.Offered, r.OK, r.Shed, r.Errors, r.Lost, r.QueuedOK, r.SharedOK, r.Latency)
+}
+
+// RunOpenLoop offers open-loop traffic to a cordobad server: arrivals fire
+// on the process's schedule regardless of outstanding responses, rotate
+// through the family/variant/tenant mix, and every response lands in the
+// latency histogram. The run returns after the offered window closes and
+// every outstanding arrival has been answered (or its connection lost).
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if cfg.Arrivals == nil {
+		return OpenLoopResult{}, fmt.Errorf("openloop: Arrivals is required")
+	}
+	if cfg.Duration <= 0 && cfg.MaxArrivals <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("openloop: set Duration or MaxArrivals")
+	}
+	families := cfg.Families
+	if len(families) == 0 {
+		families = []string{"Q1", "Q6", "Q4", "Q13"}
+	}
+	variants := cfg.Variants
+	if variants <= 0 {
+		variants = 3
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = []string{"default"}
+	}
+	nconns := cfg.Conns
+	if nconns <= 0 {
+		nconns = 4
+	}
+	conns := make([]*Client, nconns)
+	for i := range conns {
+		c, err := DialServer(cfg.Addr)
+		if err != nil {
+			for _, done := range conns[:i] {
+				done.Close()
+			}
+			return OpenLoopResult{}, err
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	res := OpenLoopResult{Latency: &Hist{}, QueueWait: &Hist{}}
+	var (
+		resMu sync.Mutex
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	next := start
+	for i := 0; cfg.MaxArrivals <= 0 || i < cfg.MaxArrivals; i++ {
+		gap := cfg.Arrivals.Next(time.Since(start))
+		next = next.Add(gap)
+		// Open loop: sleep to the schedule, never to the responses. A late
+		// wake keeps the backlogged schedule (no gap re-synthesis), which is
+		// exactly the bursty catch-up an open system exhibits.
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		req := server.Request{
+			Family:  families[i%len(families)],
+			Variant: (i / len(families)) % variants,
+			Tenant:  tenants[i%len(tenants)],
+		}
+		sent := time.Now()
+		ch, err := conns[i%len(conns)].Submit(req)
+		res.Offered++
+		if err != nil {
+			res.Lost++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, ok := <-ch
+			resMu.Lock()
+			defer resMu.Unlock()
+			switch {
+			case !ok:
+				res.Lost++
+			case resp.Status == server.StatusOK:
+				res.OK++
+				res.Latency.Observe(time.Since(sent))
+				if resp.QueueMS > 0 {
+					res.QueuedOK++
+					res.QueueWait.Observe(time.Duration(resp.QueueMS * float64(time.Millisecond)))
+				}
+				if resp.Decision == "admit-shared" {
+					res.SharedOK++
+				}
+			case resp.Status == server.StatusShed:
+				res.Shed++
+			default:
+				res.Errors++
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

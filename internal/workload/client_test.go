@@ -1,0 +1,105 @@
+package workload_test
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// startServer brings a cordobad server up on a random loopback port.
+func startServer(t *testing.T, workers int) (*server.Server, string) {
+	t.Helper()
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	pol, _, err := policy.ByName("subplan", core.NewEnv(float64(workers)), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{
+		DB:     db,
+		Engine: engine.Options{Workers: workers, FanOut: engine.FanOutShare},
+		Policy: policy.ForEngine(pol),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(s.Shutdown)
+	return s, ln.Addr().String()
+}
+
+// The pipelined client must correlate concurrent in-flight requests and
+// fetch server stats.
+func TestClientPipelines(t *testing.T) {
+	_, addr := startServer(t, 2)
+	c, err := workload.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var chans []<-chan server.Response
+	for i := 0; i < 6; i++ {
+		ch, err := c.Submit(server.Request{Family: "Q6", Variant: i % 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	for i, ch := range chans {
+		resp, ok := <-ch
+		if !ok || resp.Status != server.StatusOK || resp.Rows <= 0 {
+			t.Fatalf("request %d: ok=%v resp=%+v", i, ok, resp)
+		}
+	}
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 6 {
+		t.Fatalf("server completed %d, want 6", st.Completed)
+	}
+}
+
+// An open-loop Poisson run above single-query pace must complete without
+// errors: every arrival is answered (ok or shed, never a hang), latencies
+// land in the histogram, and the tail quantiles are nonzero.
+func TestRunOpenLoopPoisson(t *testing.T) {
+	_, addr := startServer(t, 2)
+	res, err := workload.RunOpenLoop(workload.OpenLoopConfig{
+		Addr:        addr,
+		Arrivals:    workload.NewPoisson(300, 11),
+		MaxArrivals: 60,
+		Conns:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered != 60 {
+		t.Fatalf("offered %d, want 60", res.Offered)
+	}
+	if got := res.OK + res.Shed + res.Errors + res.Lost; got != res.Offered {
+		t.Fatalf("response accounting: ok=%d shed=%d err=%d lost=%d vs offered=%d",
+			res.OK, res.Shed, res.Errors, res.Lost, res.Offered)
+	}
+	if res.Errors != 0 || res.Lost != 0 {
+		t.Fatalf("open-loop run errored: %+v", res)
+	}
+	if res.OK == 0 {
+		t.Fatal("open-loop run completed nothing")
+	}
+	if uint64(res.OK) != res.Latency.Count() {
+		t.Fatalf("histogram holds %d samples for %d OK responses", res.Latency.Count(), res.OK)
+	}
+	if res.Latency.P99() <= 0 || res.Latency.P50() > res.Latency.P99() {
+		t.Fatalf("tail quantiles inconsistent: %s", res.Latency)
+	}
+}

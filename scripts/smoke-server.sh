@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Smoke-test the cordobad server end to end: boot it on a random port, offer
+# ~100 open-loop queries, then SIGTERM and assert a clean drain (exit 0, the
+# "drained:" report flushed) and a nonzero p99 in the client's tail report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'kill -9 "$srv" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/cordobad" ./cmd/cordobad
+
+addr_file="$work/addr"
+"$work/cordobad" -sf 0.002 -workers 2 -addr 127.0.0.1:0 -addr-file "$addr_file" \
+  >"$work/server.log" 2>&1 &
+srv=$!
+
+for _ in $(seq 1 150); do
+  [ -s "$addr_file" ] && break
+  kill -0 "$srv" 2>/dev/null || { echo "server died during startup:"; cat "$work/server.log"; exit 1; }
+  sleep 0.2
+done
+[ -s "$addr_file" ] || { echo "server did not publish its address:"; cat "$work/server.log"; exit 1; }
+addr=$(cat "$addr_file")
+echo "server up at $addr"
+
+client_out=$("$work/cordobad" -client -addr "$addr" -rate 300 -arrivals 100 -conns 4)
+echo "$client_out"
+
+kill -TERM "$srv"
+rc=0
+wait "$srv" || rc=$?
+echo "--- server log ---"
+cat "$work/server.log"
+
+[ "$rc" -eq 0 ] || { echo "FAIL: server exited $rc on SIGTERM (want 0)"; exit 1; }
+grep -q '^drained: completed=' "$work/server.log" \
+  || { echo "FAIL: no drain report in server log"; exit 1; }
+echo "$client_out" | grep -q 'offered=100' \
+  || { echo "FAIL: client did not offer 100 arrivals"; exit 1; }
+echo "$client_out" | grep -Eq ' ok=[1-9][0-9]* ' \
+  || { echo "FAIL: no queries completed"; exit 1; }
+echo "$client_out" | grep -q ' err=0 ' \
+  || { echo "FAIL: client saw errors"; exit 1; }
+echo "$client_out" | grep -q 'p99=' \
+  || { echo "FAIL: no p99 in client report"; exit 1; }
+if echo "$client_out" | grep -q 'p99=0s'; then
+  echo "FAIL: p99 is zero"; exit 1
+fi
+echo "smoke-server OK"
