@@ -1,10 +1,10 @@
 GO ?= go
 
 # Output file for the machine-readable ablation report; the CI artifact name
-# is derived from this (BENCH_PR6.json -> bench-pr6).
-BENCH_OUT ?= BENCH_PR6.json
+# is derived from this (BENCH_PR7.json -> bench-pr7).
+BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: build test bench bench-json bench-pr5 bench-pr6 smoke-server fmt examples ci
+.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-hotpath smoke-server fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -17,17 +17,28 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
 # Machine-readable ablation results (policy sweep + pivot-level ablation +
-# build-share ablation + cache ablation + open-loop server ablation),
-# emitted as $(BENCH_OUT) and archived by CI as an artifact so the perf
-# trajectory is tracked run over run. bench-pr6 is the current alias;
-# bench-pr5 re-emits under the previous filename for trajectory comparisons.
+# build-share ablation + cache ablation + open-loop server ablation +
+# hot-path ablation), emitted as $(BENCH_OUT) and archived by CI as an
+# artifact so the perf trajectory is tracked run over run. bench-pr7 is the
+# current alias; bench-pr5/bench-pr6 re-emit under the previous filenames
+# for trajectory comparisons.
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-bench-pr6: bench-json
+bench-pr7: bench-json
+
+bench-pr6:
+	$(MAKE) bench-json BENCH_OUT=BENCH_PR6.json
 
 bench-pr5:
 	$(MAKE) bench-json BENCH_OUT=BENCH_PR5.json
+
+# Hot-path microbenchmarks only (submit path, compile step, page filtering),
+# with allocation counts; CI runs these through benchstat for readable
+# ns/op + allocs/op tables.
+bench-hotpath:
+	$(GO) test -run='^$$' -bench='SubmitPath|CompileStep|PredFilter' -benchmem \
+		./internal/tpch/ ./internal/relop/
 
 # End-to-end server smoke: boot cordobad on a random port, drive ~100
 # open-loop queries, SIGTERM, assert a clean drain and a nonzero p99

@@ -1,9 +1,9 @@
 // Command benchjson runs the ablation measurements and emits them as
-// machine-readable JSON (BENCH_PR6.json by default; -out picks the file),
+// machine-readable JSON (BENCH_PR7.json by default; -out picks the file),
 // so CI can archive the perf trajectory run over run instead of letting
 // benchmark output scroll away.
 //
-// Five experiments run on the real staged engine:
+// Six experiments run on the real staged engine:
 //
 //   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
 //     policy (never, always, model, inflight, parallel, hybrid, subplan),
@@ -29,11 +29,18 @@
 //     Each cell reports the offered/ok/shed accounting and the p50/p95/p99
 //     latency tail — the run fails if any arrival goes unanswered or errors,
 //     or if the saturated never-share server never sheds.
+//   - the hot-path ablation: the submit-path compile step cold (full
+//     canonicalization) vs warm (the epoch + structural guard of a memoized
+//     artifact), whole submits cold vs warm, pre-sized vs unsized hash-build
+//     construction (allocs/op), and pooled vs fresh selection vectors. The
+//     run fails unless the warm compile check is ≥2× faster than the cold
+//     compile, pre-sized builds allocate less, and all arms produce
+//     byte-identical results.
 //
 // Usage:
 //
 //	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
-//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR6.json]
+//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR7.json]
 package main
 
 import (
@@ -42,13 +49,16 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"testing"
 	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
+	"repro/internal/relop"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -61,7 +71,7 @@ var (
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
 	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
 	arrivalsFlag = flag.Int("arrivals", 120, "open-loop arrivals offered per policy")
-	outFlag      = flag.String("out", "BENCH_PR6.json", "output file (- for stdout)")
+	outFlag      = flag.String("out", "BENCH_PR7.json", "output file (- for stdout)")
 )
 
 // PolicyResult is one policy sweep measurement.
@@ -130,6 +140,23 @@ type OpenLoopPolicyResult struct {
 	P99MS      float64 `json:"p99_ms"`
 }
 
+// HotPathResult is the hot-path ablation: the submit-path compile step cold
+// vs warm, whole submits cold vs warm, pre-sized vs unsized hash-build
+// construction, and pooled vs fresh selection vectors.
+type HotPathResult struct {
+	ColdCompileNS      float64 `json:"cold_compile_ns_op"`
+	WarmCheckNS        float64 `json:"warm_check_ns_op"`
+	CompileSpeedupX    float64 `json:"compile_speedup_x"`
+	ColdSubmitQPM      float64 `json:"qpm_submit_cold"`
+	WarmSubmitQPM      float64 `json:"qpm_submit_warm"`
+	WarmCompileHits    int64   `json:"warm_compile_hits"`
+	SizedBuildAllocs   float64 `json:"sized_build_allocs_op"`
+	UnsizedBuildAllocs float64 `json:"unsized_build_allocs_op"`
+	PooledSelAllocs    float64 `json:"pooled_sel_allocs_op"`
+	FreshSelAllocs     float64 `json:"fresh_sel_allocs_op"`
+	ResultsIdentical   bool    `json:"results_identical"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Bench         string                 `json:"bench"`
@@ -139,6 +166,7 @@ type Report struct {
 	BuildShare    []BuildShareResult     `json:"build_share"`
 	CacheAblation []CacheAblationResult  `json:"cache_ablation"`
 	OpenLoop      []OpenLoopPolicyResult `json:"open_loop"`
+	HotPath       HotPathResult          `json:"hot_path"`
 }
 
 func main() {
@@ -155,7 +183,7 @@ func run() error {
 		return err
 	}
 	report := Report{
-		Bench: "PR6",
+		Bench: "PR7",
 		Config: map[string]any{
 			"sf":          *sfFlag,
 			"seed":        *seedFlag,
@@ -259,6 +287,25 @@ func run() error {
 		return err
 	}
 
+	// Hot-path ablation, with its hard gates: the warm compile check must
+	// be ≥2× faster than a cold compile, pre-sized builds must allocate
+	// less, and every arm must produce byte-identical results.
+	report.HotPath, err = hotPathCell(db, *workersFlag)
+	if err != nil {
+		return err
+	}
+	if report.HotPath.CompileSpeedupX < 2 {
+		return fmt.Errorf("hot path: warm compile check only %.2fx faster than cold compile, want >= 2x",
+			report.HotPath.CompileSpeedupX)
+	}
+	if report.HotPath.SizedBuildAllocs >= report.HotPath.UnsizedBuildAllocs {
+		return fmt.Errorf("hot path: pre-sized build allocates %.1f/op vs %.1f/op unsized, want fewer",
+			report.HotPath.SizedBuildAllocs, report.HotPath.UnsizedBuildAllocs)
+	}
+	if !report.HotPath.ResultsIdentical {
+		return fmt.Errorf("hot path: arms disagree on query results")
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -271,8 +318,9 @@ func run() error {
 	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells)\n",
-		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation), len(report.OpenLoop))
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells, compile warm %.1fx)\n",
+		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation), len(report.OpenLoop),
+		report.HotPath.CompileSpeedupX)
 	return nil
 }
 
@@ -472,6 +520,198 @@ func buildShareCell(db *tpch.DB, m int, buildFrac float64, workers int) (BuildSh
 		AloneQPM:         aloneQPM,
 		HashBuilds:       builds,
 	}, nil
+}
+
+// hotPathCell measures the hot-path ablation: the compile step in isolation
+// (cold Compile vs the warm Valid+Matches guard), whole submits cold (no
+// PlanKey, recanonicalizing every arrival) vs warm (memoized artifact),
+// pre-sized vs unsized hash-build construction, and pooled vs fresh
+// selection vectors — then cross-checks that every arm computed the same
+// answer.
+func hotPathCell(db *tpch.DB, workers int) (HotPathResult, error) {
+	var res HotPathResult
+	spec := tpch.MustEngineSpec(tpch.Q4, db, 0)
+
+	// The compile step alone. The warm arm runs exactly the guard the
+	// engine's memo runs on a hit: epoch validation plus the structural
+	// PlanKey-misuse check.
+	const iters = 5000
+	var sink *engine.Compiled
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sink = engine.Compile(spec)
+	}
+	res.ColdCompileNS = float64(time.Since(start).Nanoseconds()) / iters
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if !sink.Valid() || !sink.Matches(spec) {
+			return res, fmt.Errorf("hot path: warm guard rejected an unchanged spec")
+		}
+	}
+	res.WarmCheckNS = float64(time.Since(start).Nanoseconds()) / iters
+	if res.WarmCheckNS > 0 {
+		res.CompileSpeedupX = res.ColdCompileNS / res.WarmCheckNS
+	}
+
+	// Whole submits, sequentially drained so the arms differ only in
+	// canonicalization work: cold strips the PlanKey (every submit
+	// recompiles), warm keeps it (every submit after the first hits).
+	const submits = 24
+	submitArm := func(planKey string) (float64, int64, *storage.Batch, error) {
+		e, err := engine.New(engine.Options{Workers: workers})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		defer e.Close()
+		s := spec
+		s.PlanKey = planKey
+		var last *storage.Batch
+		start := time.Now()
+		for i := 0; i < submits; i++ {
+			h, err := e.Submit(s, nil)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if last, err = h.Wait(); err != nil {
+				return 0, 0, nil, err
+			}
+		}
+		return float64(submits) / time.Since(start).Minutes(), e.CompileHits(), last, nil
+	}
+	coldQPM, _, coldRes, err := submitArm("")
+	if err != nil {
+		return res, err
+	}
+	warmQPM, warmHits, warmRes, err := submitArm(spec.PlanKey)
+	if err != nil {
+		return res, err
+	}
+	res.ColdSubmitQPM, res.WarmSubmitQPM, res.WarmCompileHits = coldQPM, warmQPM, warmHits
+	if warmHits != submits-1 {
+		return res, fmt.Errorf("hot path: warm arm hit the compile cache %d times over %d submits, want %d",
+			warmHits, submits, submits-1)
+	}
+
+	// Pre-sized vs unsized hash-build construction over the real Q4 build
+	// input, pushed page by page the way the engine feeds it.
+	lineSchema := storage.MustSchema(storage.Column{Name: "l_orderkey", Type: storage.Int64})
+	buildRows := storage.NewBatch(lineSchema, 0)
+	sc, err := relop.NewScan(db.Lineitem, tpch.Q4LineitemPred(), []string{"l_orderkey"}, 0, func(b *storage.Batch) error {
+		buildRows.AppendBatch(b)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := sc.Run(); err != nil {
+		return res, err
+	}
+	hint := tpch.EstimateQ4BuildRows(db)
+	const page = 1024
+	runBuild := func(mk func() (*relop.JoinBuild, error)) func() {
+		return func() {
+			jb, err := mk()
+			if err != nil {
+				panic(err)
+			}
+			for lo := 0; lo < buildRows.Len(); lo += page {
+				hi := lo + page
+				if hi > buildRows.Len() {
+					hi = buildRows.Len()
+				}
+				if err := jb.Push(buildRows.Slice(lo, hi)); err != nil {
+					panic(err)
+				}
+			}
+			if err := jb.Finish(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	res.SizedBuildAllocs = testing.AllocsPerRun(20, runBuild(func() (*relop.JoinBuild, error) {
+		return relop.NewJoinBuildSized(lineSchema, "l_orderkey", hint)
+	}))
+	res.UnsizedBuildAllocs = testing.AllocsPerRun(20, runBuild(func() (*relop.JoinBuild, error) {
+		return relop.NewJoinBuild(lineSchema, "l_orderkey")
+	}))
+
+	// Pooled vs fresh selection vectors over the Q6 page filter.
+	pred := tpch.Q6Pred()
+	data := db.Lineitem.Data()
+	pageRows := storage.RowsPerPage(db.Lineitem.Schema(), storage.DefaultPageSize)
+	filterPages := func(reuse bool) func() {
+		return func() {
+			var buf []int
+			for lo := 0; lo < data.Len(); lo += pageRows {
+				hi := lo + pageRows
+				if hi > data.Len() {
+					hi = data.Len()
+				}
+				w := data.Slice(lo, hi)
+				cand := []int(nil)
+				if reuse {
+					cand = relop.FillSel(buf, w.Len())
+				}
+				sel, err := pred.Filter(w, cand)
+				if err != nil {
+					panic(err)
+				}
+				if reuse {
+					buf = sel
+				}
+			}
+		}
+	}
+	res.PooledSelAllocs = testing.AllocsPerRun(20, filterPages(true))
+	res.FreshSelAllocs = testing.AllocsPerRun(20, filterPages(false))
+
+	// Byte-identical results across arms: cold vs warm submits above, and
+	// the hinted vs NoHints plan family on fresh engines.
+	sizedRes, err := runOnce(tpch.Q4FamilySpec(db, 0, 0), workers)
+	if err != nil {
+		return res, err
+	}
+	unsizedRes, err := runOnce(tpch.Q4FamilySpecNoHints(db, 0, 0), workers)
+	if err != nil {
+		return res, err
+	}
+	res.ResultsIdentical = renderBatch(coldRes) == renderBatch(warmRes) &&
+		renderBatch(sizedRes) == renderBatch(unsizedRes)
+	return res, nil
+}
+
+// runOnce executes one spec on a fresh engine and returns its result.
+func runOnce(spec engine.QuerySpec, workers int) (*storage.Batch, error) {
+	e, err := engine.New(engine.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	h, err := e.Submit(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
+
+// renderBatch renders a batch row by row in emitted order, so equality means
+// byte-identical results rather than just equal row sets.
+func renderBatch(b *storage.Batch) string {
+	out := ""
+	for i := 0; i < b.Len(); i++ {
+		for c, col := range b.Schema.Cols {
+			switch col.Type {
+			case storage.Int64, storage.Date:
+				out += fmt.Sprintf("|%d", b.Vecs[c].I64[i])
+			case storage.Float64:
+				out += fmt.Sprintf("|%.9f", b.Vecs[c].F64[i])
+			case storage.String:
+				out += "|" + b.Vecs[c].Str[i]
+			}
+		}
+		out += "\n"
+	}
+	return out
 }
 
 // pivotLevelCell measures one batch of m identical Q6-family queries

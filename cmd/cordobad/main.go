@@ -147,9 +147,10 @@ func runServer() error {
 		fmt.Printf("cordobad: %v, draining (admission stopped, finishing in-flight)...\n", sig)
 		s.Shutdown()
 		st := s.Stats()
-		fmt.Printf("drained: completed=%d shed=%d errors=%d admissions=%v cache=%d/%d/%d bytes=%d\n",
+		fmt.Printf("drained: completed=%d shed=%d errors=%d admissions=%v cache=%d/%d/%d bytes=%d compile=%d/%d\n",
 			st.Completed, st.Shed, st.Errors, st.Admissions,
-			st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes)
+			st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes,
+			st.CompileHits, st.CompileMisses)
 		return nil
 	}
 }
@@ -176,6 +177,14 @@ func runClient() error {
 	fmt.Println(res)
 	if res.QueuedOK > 0 {
 		fmt.Printf("queue wait: %s\n", res.QueueWait)
+	}
+	// Repeated families should be riding the server's compile cache; show
+	// the reuse the run achieved.
+	if c, err := workload.DialServer(*addrFlag); err == nil {
+		if st, err := c.ServerStats(); err == nil && st.CompileHits+st.CompileMisses > 0 {
+			fmt.Printf("server compile cache: %d hits / %d misses\n", st.CompileHits, st.CompileMisses)
+		}
+		c.Close()
 	}
 	return nil
 }

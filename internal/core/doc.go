@@ -231,4 +231,13 @@
 // (engine.FanOutClone) retained as the physical realization of s for
 // calibration and ablation. See policy.ModelGuided (PivotSelect),
 // engine.PivotPolicy, and tpch.Q1FamilySpec / tpch.Q6FamilySpec.
+//
+// Cardinality estimates are one currency with two consumers. The same
+// closed-form row-count estimates in internal/tpch that feed this model's
+// work coefficients (pricing share-vs-parallelize and admit-vs-shed
+// decisions) also pre-size the physical operators — hash-join builds, hash
+// aggregates, sorts, and collectors start at their estimated final size
+// (relop.NewJoinBuildSized and friends). Both consumers tolerate error the
+// same way: a wrong estimate shifts a decision or costs a reallocation,
+// never correctness.
 package core

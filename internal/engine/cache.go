@@ -151,12 +151,12 @@ func (e *Engine) lookupCachedTable(key string, epoch uint64) (*relop.HashTable, 
 // its last prober releases, the hand-off re-offers the table to the cache
 // with its original epoch, refreshing the keep-alive window. The executed-
 // build counter is untouched: no build ran. Caller holds e.mu.
-func (e *Engine) newCachedBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle, tbl *relop.HashTable, epoch uint64) (*shareGroup, error) {
+func (e *Engine) newCachedBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle, tbl *relop.HashTable, epoch uint64, cp *Compiled) (*shareGroup, error) {
 	gspec := spec
 	gspec.Pivot = opt.Pivot
 	gspec.Model = opt.Model
 	g := &shareGroup{signature: spec.Signature, spec: gspec, size: 1}
-	bs := e.newBuildShareLocked(g, gspec, opt, epoch)
+	bs := e.newBuildShareLocked(g, cp.buildKeyAt(opt.Pivot), opt, epoch)
 	g.key = g.buildKey
 	g.onFail = func() {
 		bs.failShare()
@@ -166,7 +166,7 @@ func (e *Engine) newCachedBuildGroupLocked(spec QuerySpec, opt PivotOption, h *H
 	if !bs.attachProber() {
 		return nil, fmt.Errorf("%w: fresh cached build state rejected attach", ErrBadSpec)
 	}
-	_, start, err := e.buildMember(g, gspec, h, bs)
+	_, start, err := e.buildMember(g, gspec, h, bs, cp)
 	if err != nil {
 		bs.releaseProber()
 		bs.failShare()

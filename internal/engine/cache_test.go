@@ -134,8 +134,11 @@ func TestBuildCacheEpochInvalidation(t *testing.T) {
 	if builds := e.HashBuilds(); builds != 2 {
 		t.Errorf("HashBuilds = %d, want 2 (stale entry rejected, rebuilt)", builds)
 	}
-	if s := c.Stats(); s.Invalidations != 1 {
-		t.Errorf("Invalidations = %d, want 1", s.Invalidations)
+	// The epoch is baked into the canonical scan fingerprint, so the
+	// post-mutation lookup probes a different key entirely: staleness
+	// registers as a miss, never an epoch-mismatch hit on the old entry.
+	if s := c.Stats(); s.Invalidations != 0 {
+		t.Errorf("Invalidations = %d, want 0 (epoch change rotates the key)", s.Invalidations)
 	}
 }
 
@@ -259,8 +262,10 @@ func TestResultRunEpochInvalidation(t *testing.T) {
 	if n := got.MustCol("n").I64[0]; n != 65 {
 		t.Errorf("count after mutation = %d, want 65 (stale run must not be served)", n)
 	}
-	if s := c.Stats(); s.Invalidations != 1 {
-		t.Errorf("Invalidations = %d, want 1", s.Invalidations)
+	// Epoch-in-fingerprint: the mutated re-arrival looks up a rotated key,
+	// so the stale run is simply never found (a miss), not invalidated.
+	if s := c.Stats(); s.Invalidations != 0 {
+		t.Errorf("Invalidations = %d, want 0 (epoch change rotates the key)", s.Invalidations)
 	}
 }
 

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// This file is the submit-path compile cache. Canonicalizing a spec —
+// rendering every subtree's fingerprint, sorting the pivot candidates,
+// deriving per-option share keys and epoch sums, resolving the result-run
+// cache option, instantiating throwaway operators for the root schema — is
+// pure recomputation for the traffic this engine actually serves: closed-loop
+// and cordobad arrivals are almost entirely repeated query families. Compile
+// performs that work once, bottom-up, into a Compiled artifact; engines
+// memoize the artifact per QuerySpec.PlanKey so a repeated family's submit
+// skips straight to admission and the joinable-group probe.
+//
+// Correctness has two guards, both cheap:
+//
+//   - epoch validation: the artifact records the invalidation epoch of every
+//     table the spec scans at compile time (atomic loads). A submit whose
+//     tables have since mutated fails Valid() and recompiles — and because
+//     the epoch is baked into the scan fingerprints themselves
+//     (fingerprint.go), the recompiled keys can never collide with groups or
+//     cached artifacts keyed before the mutation. Stale instantiated
+//     artifacts never serve.
+//   - structural guard: PlanKey is a caller promise, and callers get reuse
+//     wrong. The artifact snapshots each node's identity-bearing fields
+//     (fingerprint, scanned table, page quantum, child indices, pivot
+//     candidates); a submit whose spec disagrees recompiles instead of
+//     serving another plan's keys.
+
+// Compiled is one spec's canonical compile artifact: everything the submit
+// path derives from the plan's shape, computed once. Safe for concurrent
+// reuse — all fields are immutable after Compile except the lazily resolved
+// root schema, which is guarded by a sync.Once.
+type Compiled struct {
+	signature string
+	planKey   string
+
+	// fps holds the canonical fingerprint of every node's subtree
+	// (children before parents, one bottom-up pass).
+	fps []string
+	// opts are the spec's pivot candidates ordered highest level first,
+	// keys the corresponding share keys (build namespace applied), and
+	// epochs the per-option source-table epoch sums at compile time.
+	opts   []PivotOption
+	keys   []string
+	epochs []uint64
+	// epochAt is the per-node source-table epoch sum over each subtree.
+	epochAt []uint64
+
+	// scanTables/scanEpochs record every scanned table and its epoch at
+	// compile time; Valid compares them against the live tables.
+	scanTables []*storage.Table
+	scanEpochs []uint64
+
+	// guard snapshots the structural identity of each node for PlanKey
+	// misuse detection; declaredPivot/declaredOpts snapshot the pivot
+	// declaration in spec order (matches must not sort or allocate).
+	guard         []nodeGuard
+	declaredPivot int
+	declaredOpts  []pivotGuard
+
+	// resultKey/resultModel describe the whole-plan result-run cache option
+	// (resultOK false = the spec's fingerprint does not cover the plan).
+	resultKey   string
+	resultModel core.Query
+	resultOK    bool
+
+	// rootSchema is resolved lazily (it instantiates throwaway operators)
+	// and memoized: repeated members of a family skip the instantiation.
+	schemaOnce sync.Once
+	rootSchema storage.Schema
+	schemaErr  error
+	rootHint   int
+}
+
+// nodeGuard is the cheap structural identity of one node.
+type nodeGuard struct {
+	fingerprint            string
+	table                  *storage.Table
+	pageRows               int
+	input                  int
+	buildInput, probeInput int
+}
+
+// pivotGuard is one declared pivot candidate's identity.
+type pivotGuard struct {
+	pivot int
+	build bool
+}
+
+// Compile canonicalizes a validated spec into its compile artifact: one
+// bottom-up fingerprint pass, sorted pivot options with precomputed share
+// keys and epoch sums, the result-run option, and the epoch/structure
+// snapshots reuse is validated against. Exported so benchmarks can measure
+// the cold compile step against the warm Valid() check directly.
+func Compile(spec QuerySpec) *Compiled {
+	n := len(spec.Nodes)
+	c := &Compiled{
+		signature:     spec.Signature,
+		planKey:       spec.PlanKey,
+		fps:           make([]string, n),
+		epochAt:       make([]uint64, n),
+		guard:         make([]nodeGuard, n),
+		rootHint:      spec.Nodes[n-1].RowsHint,
+		declaredPivot: spec.Pivot,
+	}
+	for _, opt := range spec.Pivots {
+		c.declaredOpts = append(c.declaredOpts, pivotGuard{pivot: opt.Pivot, build: opt.Build})
+	}
+	appendSubplanFingerprints(spec, c.fps)
+	for i, nd := range spec.Nodes {
+		g := nodeGuard{fingerprint: nd.Fingerprint, input: nd.Input,
+			buildInput: nd.BuildInput, probeInput: nd.ProbeInput}
+		switch {
+		case nd.Scan != nil:
+			g.table = nd.Scan.Table
+			g.pageRows = nd.Scan.PageRows
+			c.scanTables = append(c.scanTables, nd.Scan.Table)
+			c.scanEpochs = append(c.scanEpochs, nd.Scan.Table.Epoch())
+			c.epochAt[i] = nd.Scan.Table.Epoch()
+		case nd.Op != nil:
+			c.epochAt[i] = c.epochAt[nd.Input]
+		case nd.Join != nil:
+			c.epochAt[i] = c.epochAt[nd.BuildInput] + c.epochAt[nd.ProbeInput]
+		}
+		c.guard[i] = g
+	}
+	c.opts = spec.pivotOptions()
+	c.keys = make([]string, len(c.opts))
+	c.epochs = make([]uint64, len(c.opts))
+	for j, opt := range c.opts {
+		if opt.Build {
+			c.keys[j] = c.fps[opt.Pivot] + buildKeySuffix
+		} else {
+			c.keys[j] = c.fps[opt.Pivot]
+		}
+		c.epochs[j] = c.epochAt[opt.Pivot]
+	}
+	// The whole-plan result-run option: the root offered as a non-build
+	// pivot candidate (or declared as the only pivot) means fingerprint
+	// equality implies result equality.
+	root := n - 1
+	for _, opt := range spec.Pivots {
+		if !opt.Build && opt.Pivot == root {
+			c.resultKey, c.resultModel, c.resultOK = c.fps[root]+resultKeySuffix, opt.Model, true
+			break
+		}
+	}
+	if !c.resultOK && len(spec.Pivots) == 0 && spec.Pivot == root {
+		c.resultKey, c.resultModel, c.resultOK = c.fps[root]+resultKeySuffix, spec.Model, true
+	}
+	return c
+}
+
+// Valid reports whether the artifact still describes its tables: every
+// scanned table's invalidation epoch matches the value observed at compile
+// time. The check is a handful of atomic loads — the warm path's entire
+// canonicalization cost.
+func (c *Compiled) Valid() bool {
+	for i, t := range c.scanTables {
+		if t.Epoch() != c.scanEpochs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether spec has the structure the artifact was compiled
+// from — the PlanKey-misuse guard. A mismatch recompiles; it never errors.
+// It must not allocate: it runs on every warm hit. Exported (with Valid) so
+// benchmarks can measure the warm-hit guard against the cold Compile.
+func (c *Compiled) Matches(spec QuerySpec) bool {
+	if spec.Signature != c.signature || len(spec.Nodes) != len(c.guard) ||
+		spec.Pivot != c.declaredPivot || len(spec.Pivots) != len(c.declaredOpts) {
+		return false
+	}
+	for i, nd := range spec.Nodes {
+		g := c.guard[i]
+		if nd.Fingerprint != g.fingerprint || nd.Input != g.input ||
+			nd.BuildInput != g.buildInput || nd.ProbeInput != g.probeInput {
+			return false
+		}
+		if nd.Scan != nil {
+			if nd.Scan.Table != g.table || nd.Scan.PageRows != g.pageRows {
+				return false
+			}
+		} else if g.table != nil {
+			return false
+		}
+	}
+	for j, opt := range spec.Pivots {
+		if opt.Pivot != c.declaredOpts[j].pivot || opt.Build != c.declaredOpts[j].build {
+			return false
+		}
+	}
+	return true
+}
+
+// shareKeyAt returns the canonical share key of the subtree at pivot.
+func (c *Compiled) shareKeyAt(pivot int) string { return c.fps[pivot] }
+
+// buildKeyAt returns the build-state share key of the subtree at pivot.
+func (c *Compiled) buildKeyAt(pivot int) string { return c.fps[pivot] + buildKeySuffix }
+
+// epochAtNode returns the compile-time source-table epoch sum of the subtree
+// at pivot (current while Valid holds).
+func (c *Compiled) epochAtNode(pivot int) uint64 { return c.epochAt[pivot] }
+
+// schema resolves (and memoizes) the root node's output schema by
+// instantiating throwaway operators on first use.
+func (c *Compiled) schema(spec QuerySpec, resolve func(QuerySpec) (storage.Schema, error)) (storage.Schema, error) {
+	c.schemaOnce.Do(func() {
+		c.rootSchema, c.schemaErr = resolve(spec)
+	})
+	return c.rootSchema, c.schemaErr
+}
+
+// maxCompiled bounds the per-engine compile cache. Plan families number in
+// the dozens; the bound only matters when a caller generates unbounded
+// distinct PlanKeys, in which case the whole map resets (simple, and the
+// steady state for real traffic is always far below the cap).
+const maxCompiled = 1024
+
+// compileFor resolves the spec's compile artifact: the memoized one when the
+// spec declares a PlanKey and the cached artifact is still structurally and
+// epoch-valid, a fresh compile otherwise. Fresh compiles under a PlanKey
+// replace the stale entry. Called without e.mu held.
+func (e *Engine) compileFor(spec QuerySpec) *Compiled {
+	if spec.PlanKey != "" {
+		e.mu.Lock()
+		c := e.compiled[spec.PlanKey]
+		if c != nil && c.Valid() && c.Matches(spec) {
+			e.compileHits++
+			e.mu.Unlock()
+			return c
+		}
+		e.mu.Unlock()
+	}
+	c := Compile(spec)
+	e.mu.Lock()
+	e.compileMisses++
+	if spec.PlanKey != "" {
+		if len(e.compiled) >= maxCompiled {
+			e.compiled = make(map[string]*Compiled)
+		}
+		e.compiled[spec.PlanKey] = c
+	}
+	e.mu.Unlock()
+	return c
+}
+
+// CompileHits returns the number of submissions served by a memoized compile
+// artifact — each one a submit that skipped canonicalization entirely.
+func (e *Engine) CompileHits() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compileHits
+}
+
+// CompileMisses returns the number of submissions that compiled fresh: no
+// PlanKey, first sight of a family, a table epoch bump, or a structural
+// mismatch under a reused PlanKey.
+func (e *Engine) CompileMisses() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compileMisses
+}

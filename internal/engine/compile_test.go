@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/relop"
+)
+
+// newPlain builds a bare engine without a cache.
+func newPlain(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// A PlanKey-bearing family compiles once: the first submit misses, every
+// repeat hits, and the hit serves the exact keys a fresh compile would.
+func TestCompileCacheHitsOnRepeatedFamily(t *testing.T) {
+	e := newPlain(t, Options{Workers: 2})
+	tbl := scanTable(t, 64)
+	for i := 0; i < 4; i++ {
+		spec := sumSpec(tbl, "cc/a", "sum-v")
+		spec.PlanKey = "cc/a"
+		runOne(t, e, spec, nil)
+	}
+	if h, m := e.CompileHits(), e.CompileMisses(); h != 3 || m != 1 {
+		t.Errorf("compile hits/misses = %d/%d, want 3/1", h, m)
+	}
+	spec := sumSpec(tbl, "cc/a", "sum-v")
+	spec.PlanKey = "cc/a"
+	cp := e.compileFor(spec)
+	if got, want := cp.shareKeyAt(spec.Pivot), ShareKey(spec); got != want {
+		t.Errorf("memoized share key = %q, want %q", got, want)
+	}
+}
+
+// Specs without a PlanKey never consult or populate the cache: every submit
+// is a miss and the map stays empty.
+func TestCompileCacheSkippedWithoutPlanKey(t *testing.T) {
+	e := newPlain(t, Options{Workers: 2})
+	tbl := scanTable(t, 64)
+	for i := 0; i < 3; i++ {
+		runOne(t, e, sumSpec(tbl, "cc/b", ""), nil)
+	}
+	if h, m := e.CompileHits(), e.CompileMisses(); h != 0 || m != 3 {
+		t.Errorf("compile hits/misses = %d/%d, want 0/3", h, m)
+	}
+	e.mu.Lock()
+	n := len(e.compiled)
+	e.mu.Unlock()
+	if n != 0 {
+		t.Errorf("compiled map holds %d entries, want 0", n)
+	}
+}
+
+// A table epoch bump invalidates the memoized artifact: the next submit under
+// the same PlanKey recompiles (a miss), and the fresh artifact carries the
+// post-bump keys — a stale instantiated artifact never serves.
+func TestCompileCacheEpochInvalidation(t *testing.T) {
+	e := newPlain(t, Options{Workers: 2})
+	tbl := scanTable(t, 64)
+	mk := func() QuerySpec {
+		s := sumSpec(tbl, "cc/c", "sum-v")
+		s.PlanKey = "cc/c"
+		return s
+	}
+	runOne(t, e, mk(), nil)
+	staleKey := ShareKey(mk())
+	tbl.BumpEpoch()
+	runOne(t, e, mk(), nil)
+	if h, m := e.CompileHits(), e.CompileMisses(); h != 0 || m != 2 {
+		t.Errorf("compile hits/misses = %d/%d, want 0/2 (epoch bump forces recompile)", h, m)
+	}
+	cp := e.compileFor(mk())
+	if cp.shareKeyAt(0) == staleKey {
+		t.Error("post-bump artifact still serves the pre-bump key")
+	}
+}
+
+// Reusing a PlanKey for a structurally different spec — the caller breaking
+// the contract — degrades to a recompile, never to serving the other plan's
+// keys.
+func TestCompileCachePlanKeyMisuseRecompiles(t *testing.T) {
+	e := newPlain(t, Options{Workers: 2})
+	tbl := scanTable(t, 64)
+	a := sumSpec(tbl, "cc/d", "sum-v")
+	a.PlanKey = "cc/shared"
+	runOne(t, e, a, nil)
+
+	// Same PlanKey, different page quantum: the structural guard must catch
+	// the mismatch and compile b on its own terms.
+	b := sumSpec(tbl, "cc/d", "sum-v")
+	b.PlanKey = "cc/shared"
+	b.Nodes[0].Scan.PageRows = 8
+	cp := e.compileFor(b)
+	if got, want := cp.shareKeyAt(0), ShareKey(b); got != want {
+		t.Errorf("misused PlanKey served the other plan's key %q, want %q", got, want)
+	}
+	if h, m := e.CompileHits(), e.CompileMisses(); h != 0 || m != 2 {
+		t.Errorf("compile hits/misses = %d/%d, want 0/2", h, m)
+	}
+}
+
+// The memoized artifact's precomputed pivot-option keys and epochs agree
+// with a from-scratch canonicalization at every candidate level.
+func TestCompiledKeysMatchFreshCanonicalization(t *testing.T) {
+	bt, pt := buildTables(t, 32, 64)
+	spec := semiSpec(bt, pt, "cc/e", relop.Cmp{Op: relop.Lt, L: relop.Col("pv"), R: relop.ConstInt{V: 32}})
+	cp := Compile(spec)
+	if len(cp.opts) == 0 {
+		t.Fatal("spec offers no pivot candidates")
+	}
+	for j, opt := range cp.opts {
+		want := shareKeyAt(spec, opt.Pivot)
+		if opt.Build {
+			want = buildShareKeyAt(spec, opt.Pivot)
+		}
+		if cp.keys[j] != want {
+			t.Errorf("opt %d (pivot %d, build=%v): key %q, want %q", j, opt.Pivot, opt.Build, cp.keys[j], want)
+		}
+		if got, want := cp.epochs[j], specEpochAt(spec, opt.Pivot); got != want {
+			t.Errorf("opt %d: epoch %d, want %d", j, got, want)
+		}
+	}
+	key, model, ok := resultCacheOption(spec)
+	if ok != cp.resultOK || key != cp.resultKey || model.Name != cp.resultModel.Name {
+		t.Errorf("result option (%q,%q,%v) disagrees with fresh (%q,%q,%v)",
+			cp.resultKey, cp.resultModel.Name, cp.resultOK, key, model.Name, ok)
+	}
+}
+
+// The cache caps its footprint: overflowing maxCompiled distinct PlanKeys
+// resets the map rather than growing without bound.
+func TestCompileCacheBounded(t *testing.T) {
+	e := newPlain(t, Options{Workers: 2})
+	tbl := scanTable(t, 16)
+	for i := 0; i <= maxCompiled; i++ {
+		s := sumSpec(tbl, "cc/f", "")
+		s.PlanKey = "cc/f/" + itoa(i)
+		e.compileFor(s)
+	}
+	e.mu.Lock()
+	n := len(e.compiled)
+	e.mu.Unlock()
+	if n > maxCompiled {
+		t.Errorf("compiled map holds %d entries, want ≤ %d", n, maxCompiled)
+	}
+}
+
+// itoa is a minimal strconv.Itoa stand-in to keep the imports small.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

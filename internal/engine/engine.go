@@ -290,8 +290,13 @@ type Engine struct {
 	closed bool
 	// drained is created by Drain and closed when active reaches zero; a
 	// non-nil value means the engine refuses new submissions.
-	drained          chan struct{}
-	joinable         map[string]*shareGroup // keyed by subplan share key
+	drained  chan struct{}
+	joinable map[string]*shareGroup // keyed by subplan share key
+	// compiled memoizes submit-path compile artifacts per QuerySpec.PlanKey
+	// (see compile.go); compileHits/compileMisses count reuse.
+	compiled         map[string]*Compiled
+	compileHits      int64
+	compileMisses    int64
 	active           int
 	completed        int64
 	inflightAttaches int64
@@ -316,6 +321,7 @@ func New(opts Options) (*Engine, error) {
 		scans:      storage.NewExchange(),
 		cache:      opts.Cache,
 		joinable:   make(map[string]*shareGroup),
+		compiled:   make(map[string]*Compiled),
 		pivotJoins: make(map[int]int64),
 	}
 	if opts.SweepInterval > 0 {
@@ -549,18 +555,20 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve the spec's compile artifact — memoized per PlanKey, so a
+	// repeated family pays a few atomic epoch loads instead of re-rendering
+	// every canonical fingerprint (see compile.go).
+	cp := e.compileFor(spec)
 	h := &Handle{name: spec.Signature, done: make(chan struct{}), onDone: onDone, submitted: time.Now()}
 
 	// With a keep-alive cache and a whole-plan fingerprint, the query's
 	// result is itself a shareable artifact: tag the handle so the sink
 	// offers the finished batch to the cache. A nil policy means
 	// never-share, which extends to never seeding or reading retained work.
-	if e.cache != nil && policy != nil {
-		if key, model, ok := resultCacheOption(spec); ok {
-			h.resultKey = key
-			h.resultModel = model
-			h.resultEpoch = specEpochAt(spec, len(spec.Nodes)-1)
-		}
+	if e.cache != nil && policy != nil && cp.resultOK {
+		h.resultKey = cp.resultKey
+		h.resultModel = cp.resultModel
+		h.resultEpoch = cp.epochAtNode(len(spec.Nodes) - 1)
 	}
 
 	e.mu.Lock()
@@ -582,13 +590,13 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		// Probe the candidate pivots highest level first: the paper defines
 		// the pivot as the highest point where sharing is possible, and a
 		// group at a higher level eliminates strictly more work per joiner.
-		for _, opt := range spec.pivotOptions() {
+		for j, opt := range cp.opts {
 			if opt.Build {
 				// Build-side candidate: the joinable entry is a shared hash
 				// build (pure or published by a mixed group); members attach
 				// to the table — before or after it seals — and run
 				// everything outside the build subtree privately.
-				key := buildShareKeyAt(spec, opt.Pivot)
+				key := cp.keys[j]
 				g := e.joinable[key]
 				if g != nil && g.build != nil && g.build.state.Retired() {
 					// The table's last prober released it (or the sweep
@@ -609,9 +617,9 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					// with zero build work — which the rest of the burst
 					// then joins like any build group.
 					if e.admitSharedLocked(policy, opt.Model, 2, spec.CanParallel()) {
-						epoch := specEpochAt(spec, opt.Pivot)
+						epoch := cp.epochs[j]
 						if tbl, ok := e.lookupCachedTable(key, epoch); ok {
-							ng, err := e.newCachedBuildGroupLocked(spec, opt, h, tbl, epoch)
+							ng, err := e.newCachedBuildGroupLocked(spec, opt, h, tbl, epoch, cp)
 							if err != nil {
 								return nil, err
 							}
@@ -635,7 +643,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					admit = e.admitSharedLocked(policy, mspec.Model, m, spec.CanParallel())
 				}
 				if admit {
-					attached, err := e.attachBuildLocked(g, mspec, h)
+					attached, err := e.attachBuildLocked(g, mspec, h, cp)
 					if err != nil {
 						return nil, err
 					}
@@ -650,7 +658,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 				}
 				continue
 			}
-			g := e.joinable[shareKeyAt(spec, opt.Pivot)]
+			g := e.joinable[cp.keys[j]]
 			if g == nil {
 				continue
 			}
@@ -678,7 +686,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					if live &&
 						(e.opts.MaxGroupSize == 0 || active < e.opts.MaxGroupSize) &&
 						admit() {
-						attached, err := e.attachInflightLocked(g, mspec, h)
+						attached, err := e.attachInflightLocked(g, mspec, h, cp)
 						if err != nil {
 							return nil, err
 						}
@@ -701,7 +709,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					canJoin = e.admitSharedLocked(policy, mspec.Model, m, spec.CanParallel())
 				}
 				if canJoin {
-					if err := e.attachLocked(g, mspec, h); err != nil {
+					if err := e.attachLocked(g, mspec, h, cp); err != nil {
 						return nil, err
 					}
 					e.pivotJoins[opt.Pivot]++
@@ -717,7 +725,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	// the serial pipeline. Parallel runs are never joinable — they are the
 	// unshared alternative the model weighs sharing against.
 	if d := e.parallelDegreeLocked(spec, policy); d > 1 {
-		if err := e.newParallelGroupLocked(spec, h, d); err != nil {
+		if err := e.newParallelGroupLocked(spec, h, d, cp); err != nil {
 			return nil, err
 		}
 		e.parallelRuns++
@@ -733,7 +741,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	anchorBuild := PivotOption{Pivot: -1}
 	if policy != nil && len(spec.Pivots) > 0 {
 		if pp, ok := policy.(PivotPolicy); ok {
-			opts := spec.pivotOptions()
+			opts := cp.opts
 			cands := make([]core.Query, len(opts))
 			for i, o := range opts {
 				cands[i] = o.Model
@@ -749,7 +757,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		}
 	}
 	if anchorBuild.Pivot >= 0 {
-		g, err := e.newBuildGroupLocked(gspec, anchorBuild, h)
+		g, err := e.newBuildGroupLocked(gspec, anchorBuild, h, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -757,7 +765,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		e.active++
 		return h, nil
 	}
-	g, err := e.newGroupLocked(gspec, h, policy)
+	g, err := e.newGroupLocked(gspec, h, policy, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -819,12 +827,12 @@ func (e *Engine) parallelDegreeLocked(spec QuerySpec, policy SharePolicy) int {
 // additionally publishes its hash table under the build key (a mixed
 // group) — served from the keep-alive cache when the policy admits retained
 // work and a fingerprint-matching table is live at the current epoch.
-func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy) (*shareGroup, error) {
+func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy, cp *Compiled) (*shareGroup, error) {
 	joinable := policy != nil
 	if e.opts.InflightSharing && joinable && spec.Nodes[spec.Pivot].Scan != nil {
-		return e.newInflightGroupLocked(spec, h)
+		return e.newInflightGroupLocked(spec, h, cp)
 	}
-	g := &shareGroup{signature: spec.Signature, key: ShareKey(spec), spec: spec, size: 1}
+	g := &shareGroup{signature: spec.Signature, key: cp.shareKeyAt(spec.Pivot), spec: spec, size: 1}
 	pivotOut := &outbox{fanOut: e.opts.FanOut}
 	pivotOut.onFirstEmit = func() { e.sealGroup(g) }
 	g.pivot = pivotOut
@@ -854,12 +862,12 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy) (
 			var tbl *relop.HashTable
 			hit := false
 			if e.cache != nil {
-				epoch = specEpochAt(spec, opt.Pivot)
+				epoch = cp.epochAtNode(opt.Pivot)
 				if e.admitSharedLocked(policy, opt.Model, 2, spec.CanParallel()) {
-					tbl, hit = e.lookupCachedTable(buildShareKeyAt(spec, opt.Pivot), epoch)
+					tbl, hit = e.lookupCachedTable(cp.buildKeyAt(opt.Pivot), epoch)
 				}
 			}
-			bs = e.newBuildShareLocked(g, spec, opt, epoch)
+			bs = e.newBuildShareLocked(g, cp.buildKeyAt(opt.Pivot), opt, epoch)
 			if hit {
 				bs.sealCached(tbl)
 				cachedBuild = spec.SubtreeMask(opt.Pivot)
@@ -906,7 +914,7 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy) (
 	}
 	// Wire the first member's private part before spawning anything so the
 	// pivot has a consumer from the start.
-	if err := e.attachChain(g, spec, h); err != nil {
+	if err := e.attachChain(g, spec, h, cp); err != nil {
 		return nil, err
 	}
 	// Instantiate and spawn shared tasks. Build-subtree nodes served from
@@ -992,10 +1000,10 @@ func (e *Engine) nodeTask(nd NodeSpec, qOf func(int) *PageQueue, ob *outbox, fai
 // e.mu. With a keep-alive cache the state's retire hand-off offers the
 // sealed table for retention: epoch is the source tables' invalidation
 // epoch the artifact was (or will be) built at, and opt.Model — compiled at
-// the build pivot — prices the rebuild a future hit would save. Caller
-// holds e.mu.
-func (e *Engine) newBuildShareLocked(g *shareGroup, spec QuerySpec, opt PivotOption, epoch uint64) *buildShare {
-	key := buildShareKeyAt(spec, opt.Pivot)
+// the build pivot — prices the rebuild a future hit would save. key is the
+// build-state share key of the subtree at opt.Pivot (already canonicalized
+// by the caller's compile artifact). Caller holds e.mu.
+func (e *Engine) newBuildShareLocked(g *shareGroup, key string, opt PivotOption, epoch uint64) *buildShare {
 	bs := &buildShare{key: key, pivot: opt.Pivot, state: e.scans.PublishBuildState(key)}
 	bs.onSeal = func() {
 		e.mu.Lock()
@@ -1022,12 +1030,12 @@ func (e *Engine) newBuildShareLocked(g *shareGroup, spec QuerySpec, opt PivotOpt
 // the build subtree itself. The group stays joinable until the last prober
 // releases the table (or the build fails, or the sweep retires a wedged
 // build). Caller holds e.mu.
-func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle) (*shareGroup, error) {
+func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle, cp *Compiled) (*shareGroup, error) {
 	gspec := spec
 	gspec.Pivot = opt.Pivot
 	gspec.Model = opt.Model
 	g := &shareGroup{signature: spec.Signature, spec: gspec, size: 1}
-	bs := e.newBuildShareLocked(g, gspec, opt, specEpochAt(gspec, opt.Pivot))
+	bs := e.newBuildShareLocked(g, cp.buildKeyAt(opt.Pivot), opt, cp.epochAtNode(opt.Pivot))
 	g.key = g.buildKey
 	g.onFail = func() {
 		bs.failShare()
@@ -1048,7 +1056,7 @@ func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle)
 	if !bs.attachProber() {
 		return nil, fmt.Errorf("%w: fresh build state rejected attach", ErrBadSpec)
 	}
-	_, start, err := e.buildMember(g, gspec, h, bs)
+	_, start, err := e.buildMember(g, gspec, h, bs, cp)
 	if err != nil {
 		bs.releaseProber()
 		return nil, err
@@ -1101,12 +1109,12 @@ func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle)
 // attachBuildLocked adds a member to a group's shared hash build. It returns
 // false (without error) when the table retired concurrently — the caller
 // then proceeds to other candidates or a fresh group. Caller holds e.mu.
-func (e *Engine) attachBuildLocked(g *shareGroup, spec QuerySpec, h *Handle) (bool, error) {
+func (e *Engine) attachBuildLocked(g *shareGroup, spec QuerySpec, h *Handle, cp *Compiled) (bool, error) {
 	bs := g.build
 	if !bs.attachProber() {
 		return false, nil
 	}
-	_, start, err := e.buildMember(g, spec, h, bs)
+	_, start, err := e.buildMember(g, spec, h, bs, cp)
 	if err != nil {
 		bs.releaseProber()
 		return false, err
@@ -1122,8 +1130,8 @@ func (e *Engine) attachBuildLocked(g *shareGroup, spec QuerySpec, h *Handle) (bo
 // scan shared through the circular scan registry. The pivot never seals the
 // group; it stays joinable until the scan's last consumer completes. Caller
 // holds e.mu.
-func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle) (*shareGroup, error) {
-	g := &shareGroup{signature: spec.Signature, key: ShareKey(spec), spec: spec, size: 1}
+func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle, cp *Compiled) (*shareGroup, error) {
+	g := &shareGroup{signature: spec.Signature, key: cp.shareKeyAt(spec.Pivot), spec: spec, size: 1}
 	nd := spec.Nodes[spec.Pivot]
 	src, err := nd.Scan.newSource()
 	if err != nil {
@@ -1143,7 +1151,7 @@ func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle) (*shareGroup,
 
 	// Wire the first member's chain before spawning the scan task so the
 	// pivot has a consumer from the start.
-	in, start, err := e.buildMember(g, spec, h, nil)
+	in, start, err := e.buildMember(g, spec, h, nil, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -1159,8 +1167,8 @@ func (e *Engine) newInflightGroupLocked(spec QuerySpec, h *Handle) (*shareGroup,
 // attachLocked adds a member to an existing, not-yet-started group. Caller
 // holds e.mu; group non-started status is stable because sealGroup also
 // takes e.mu.
-func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle) error {
-	if err := e.attachChain(g, spec, h); err != nil {
+func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle, cp *Compiled) error {
+	if err := e.attachChain(g, spec, h, cp); err != nil {
 		return err
 	}
 	g.mu.Lock()
@@ -1175,8 +1183,8 @@ func (e *Engine) attachLocked(g *shareGroup, spec QuerySpec, h *Handle) error {
 // attachInflightLocked adds a member to a group whose scan is in progress.
 // It returns false (without error) when the scan completed concurrently —
 // the caller then starts a fresh group for the query. Caller holds e.mu.
-func (e *Engine) attachInflightLocked(g *shareGroup, spec QuerySpec, h *Handle) (bool, error) {
-	in, start, err := e.buildMember(g, spec, h, nil)
+func (e *Engine) attachInflightLocked(g *shareGroup, spec QuerySpec, h *Handle, cp *Compiled) (bool, error) {
+	in, start, err := e.buildMember(g, spec, h, nil, cp)
 	if err != nil {
 		return false, err
 	}
@@ -1193,8 +1201,8 @@ func (e *Engine) attachInflightLocked(g *shareGroup, spec QuerySpec, h *Handle) 
 
 // attachChain wires one member's private part (every node outside the
 // pivot's subtree, plus the sink) to the group's pivot outbox.
-func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
-	in, start, err := e.buildMember(g, spec, h, nil)
+func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle, cp *Compiled) error {
+	in, start, err := e.buildMember(g, spec, h, nil, cp)
 	if err != nil {
 		return err
 	}
@@ -1220,7 +1228,7 @@ func (e *Engine) attachChain(g *shareGroup, spec QuerySpec, h *Handle) error {
 //
 // The caller has already taken the member's prober reference when bs is
 // non-nil; the spawned probe task releases it when it retires.
-func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *buildShare) (*PageQueue, func(), error) {
+func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *buildShare, cp *Compiled) (*PageQueue, func(), error) {
 	var head *PageQueue
 	if bs == nil {
 		head = NewPageQueue(e.sched, spec.Signature+"/pivot-out", e.opts.QueueCap)
@@ -1273,11 +1281,11 @@ func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *build
 			spawns = append(spawns, pendingSpawn{nd.Name, step})
 		}
 	}
-	rootSchema, err := e.rootSchema(spec)
+	rootSchema, err := cp.schema(spec, e.rootSchema)
 	if err != nil {
 		return nil, nil, err
 	}
-	sink := e.newSinkTask(g, h, sinkIn, rootSchema)
+	sink := e.newSinkTask(g, h, sinkIn, rootSchema, cp.rootHint)
 	start := func() {
 		for _, p := range spawns {
 			e.sched.Spawn(p.name, p.step)
@@ -1288,9 +1296,12 @@ func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *build
 }
 
 // newSinkTask builds the sink that drains in into one member's result batch
-// and completes its handle (with the group's first error, if any).
-func (e *Engine) newSinkTask(g *shareGroup, h *Handle, in *PageQueue, schema storage.Schema) *sinkTask {
-	sink := &sinkTask{in: in, result: storage.NewBatch(schema, 0)}
+// and completes its handle (with the group's first error, if any). hint
+// pre-sizes the result's column buffers to the plan's estimated output
+// cardinality — the same currency the sharing model prices, spent here on
+// allocation instead of admission.
+func (e *Engine) newSinkTask(g *shareGroup, h *Handle, in *PageQueue, schema storage.Schema, hint int) *sinkTask {
+	sink := &sinkTask{in: in, result: storage.NewBatch(schema, hint)}
 	sink.complete = func(res *storage.Batch) {
 		err := g.firstError()
 		if err == nil {

@@ -19,10 +19,16 @@ import (
 //
 // Canonical form per node:
 //
-//   - Declared scans (NodeSpec.Scan) canonicalize structurally: table
-//     identity, projected columns, the predicate tree (relop predicates are
-//     plain value trees, so Go's %#v rendering is a faithful canonical
-//     form), and the page quantum.
+//   - Declared scans (NodeSpec.Scan) canonicalize structurally: table name,
+//     table schema, the table's invalidation epoch, projected columns, the
+//     predicate tree (relop predicates are plain value trees, so Go's %#v
+//     rendering is a faithful canonical form), and the page quantum. Keying
+//     by (name, schema, epoch) rather than the *storage.Table pointer makes
+//     canonical keys deterministic across processes — two engines over
+//     equal catalogs produce equal ShareKeys, so fingerprints are usable as
+//     persistent cache keys — while the epoch term retires every key
+//     derived from a table the moment it mutates (a stale artifact keyed on
+//     the old epoch can never match a post-mutation arrival).
 //   - Operators and joins are closures the engine cannot inspect, so they
 //     canonicalize through the explicit NodeSpec.Fingerprint the plan
 //     builder declares, combined per branch with their inputs' canonical
@@ -38,38 +44,68 @@ import (
 // since attaching to a materialized hash table is a different contract than
 // consuming a fanned-out page stream: the two kinds of group must never
 // collide in the joinable map.
+//
+// Rendering is bottom-up: one pass over the topologically ordered nodes
+// computes every subtree's canonical form exactly once (children are always
+// rendered before the parents that embed them), where the old recursive form
+// re-rendered each subtree once per ancestor — O(depth²) string work per
+// submit on deep plans, paid again for every pivot candidate probed. The
+// per-spec result is what the submit-path compile cache memoizes (see
+// compile.go).
+
+// appendSubplanFingerprints fills fps[:len(spec.Nodes)] with the canonical
+// form of every node's subtree in one bottom-up pass. fps must have
+// len(spec.Nodes); entries are overwritten.
+func appendSubplanFingerprints(spec QuerySpec, fps []string) {
+	for i, nd := range spec.Nodes {
+		switch {
+		case nd.Scan != nil:
+			sc := nd.Scan
+			fps[i] = fmt.Sprintf("scan(%s|schema=%v|epoch=%d|cols=%v|pred=%#v|rows=%d)",
+				sc.Table.Name, sc.Table.Schema(), sc.Table.Epoch(), sc.Cols, sc.Pred, sc.PageRows)
+		case nd.Fingerprint != "":
+			switch {
+			case nd.Op != nil:
+				fps[i] = fmt.Sprintf("op(%s|%s)", nd.Fingerprint, fps[nd.Input])
+			case nd.Join != nil:
+				fps[i] = fmt.Sprintf("join(%s|build=%s|probe=%s)", nd.Fingerprint,
+					fps[nd.BuildInput], fps[nd.ProbeInput])
+			default: // opaque Source with a declared identity
+				fps[i] = fmt.Sprintf("source(%s)", nd.Fingerprint)
+			}
+		default:
+			switch {
+			case nd.Op != nil:
+				fps[i] = fmt.Sprintf("opaque(%s|%d|%s)", spec.Signature, i, fps[nd.Input])
+			case nd.Join != nil:
+				fps[i] = fmt.Sprintf("opaque(%s|%d|build=%s|probe=%s)", spec.Signature, i,
+					fps[nd.BuildInput], fps[nd.ProbeInput])
+			default:
+				fps[i] = fmt.Sprintf("opaque(%s|%d)", spec.Signature, i)
+			}
+		}
+	}
+}
+
+// subplanFingerprints returns the canonical form of every node's subtree.
+func subplanFingerprints(spec QuerySpec) []string {
+	fps := make([]string, len(spec.Nodes))
+	appendSubplanFingerprints(spec, fps)
+	return fps
+}
 
 // subplanFingerprint returns the canonical form of the subtree of spec
 // rooted at node i.
 func subplanFingerprint(spec QuerySpec, i int) string {
-	nd := spec.Nodes[i]
-	switch {
-	case nd.Scan != nil:
-		sc := nd.Scan
-		return fmt.Sprintf("scan(%s@%p|cols=%v|pred=%#v|rows=%d)",
-			sc.Table.Name, sc.Table, sc.Cols, sc.Pred, sc.PageRows)
-	case nd.Fingerprint != "":
-		switch {
-		case nd.Op != nil:
-			return fmt.Sprintf("op(%s|%s)", nd.Fingerprint, subplanFingerprint(spec, nd.Input))
-		case nd.Join != nil:
-			return fmt.Sprintf("join(%s|build=%s|probe=%s)", nd.Fingerprint,
-				subplanFingerprint(spec, nd.BuildInput), subplanFingerprint(spec, nd.ProbeInput))
-		default: // opaque Source with a declared identity
-			return fmt.Sprintf("source(%s)", nd.Fingerprint)
-		}
-	default:
-		switch {
-		case nd.Op != nil:
-			return fmt.Sprintf("opaque(%s|%d|%s)", spec.Signature, i, subplanFingerprint(spec, nd.Input))
-		case nd.Join != nil:
-			return fmt.Sprintf("opaque(%s|%d|build=%s|probe=%s)", spec.Signature, i,
-				subplanFingerprint(spec, nd.BuildInput), subplanFingerprint(spec, nd.ProbeInput))
-		default:
-			return fmt.Sprintf("opaque(%s|%d)", spec.Signature, i)
-		}
-	}
+	return subplanFingerprints(spec)[i]
 }
+
+// buildKeySuffix namespaces build-state share keys away from fan-out share
+// keys, and resultKeySuffix namespaces whole-plan result runs away from both.
+const (
+	buildKeySuffix  = "!build"
+	resultKeySuffix = "!result"
+)
 
 // shareKeyAt canonicalizes the subtree of spec rooted at the given pivot.
 // Queries whose keys are equal run the same subplan at and below the pivot
@@ -83,7 +119,7 @@ func shareKeyAt(spec QuerySpec, pivot int) string {
 // distinct namespace, because a build-state group hands members a sealed
 // hash table where a fan-out group hands them a page stream.
 func buildShareKeyAt(spec QuerySpec, pivot int) string {
-	return subplanFingerprint(spec, pivot) + "!build"
+	return subplanFingerprint(spec, pivot) + buildKeySuffix
 }
 
 // ShareKey returns the canonical identity of spec's shared subplan at its

@@ -45,10 +45,35 @@ func TestShareKeyScanStructural(t *testing.T) {
 	if ShareKey(a) == ShareKey(pred) {
 		t.Error("different scan predicates share a key")
 	}
-	other := scanTable(t, 64)
+	other := storage.NewTable("t2", storage.MustSchema(storage.Column{Name: "v", Type: storage.Int64}))
+	for i := 0; i < 64; i++ {
+		other.MustAppend(int64(i))
+	}
 	elsewhere := sumSpec(other, "sig/a", "")
 	if ShareKey(a) == ShareKey(elsewhere) {
 		t.Error("scans of different tables share a key")
+	}
+}
+
+// Scan canonicalization is structural — table name, schema, epoch — never the
+// *storage.Table pointer, so two engines over equal catalogs (two processes,
+// two runs) derive equal ShareKeys and fingerprints are usable as persistent
+// cache keys. A mutation to either catalog's table breaks the match until the
+// epochs align again.
+func TestShareKeyDeterministicAcrossCatalogs(t *testing.T) {
+	mkCatalog := func() *storage.Table { return scanTable(t, 64) }
+	a := sumSpec(mkCatalog(), "sig/a", "sum-v")
+	b := sumSpec(mkCatalog(), "sig/a", "sum-v")
+	if ShareKey(a) != ShareKey(b) {
+		t.Error("equal catalogs in distinct engines do not produce equal ShareKeys")
+	}
+	a.Pivot, b.Pivot = 1, 1
+	if ShareKey(a) != ShareKey(b) {
+		t.Error("equal catalogs do not produce equal root ShareKeys")
+	}
+	b.Nodes[0].Scan.Table.BumpEpoch()
+	if ShareKey(a) == ShareKey(b) {
+		t.Error("mutated table still matches its unmutated twin")
 	}
 }
 

@@ -61,7 +61,7 @@ func (f *fanInCloser) retire() {
 // the unshared alternative — so it is born sealed and never joinable.
 // Caller holds e.mu; the caller has already validated spec.CanParallel()
 // and clamped d.
-func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int) error {
+func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int, cp *Compiled) error {
 	scanNode := spec.Nodes[0]
 	root := spec.Nodes[len(spec.Nodes)-1]
 	g := &shareGroup{signature: spec.Signature, spec: spec, size: 1, started: true}
@@ -75,7 +75,7 @@ func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int) error 
 	// The dispenser covers exactly the scan, so it registers in the work
 	// exchange under the scan-level fingerprint: monitors see partitioned
 	// and shared coverage of one subplan side by side.
-	md := e.scans.PublishPartitioned(shareKeyAt(spec, 0), scanNode.Scan.Table.NumRows(), probe.pageRows)
+	md := e.scans.PublishPartitioned(cp.shareKeyAt(0), scanNode.Scan.Table.NumRows(), probe.pageRows)
 	ok := false
 	defer func() {
 		if !ok {
@@ -103,7 +103,7 @@ func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int) error 
 		return err
 	}
 	mergeBody := &opTask{name: mergeName, push: mop.Push, finish: mop.Finish, in: fanIn, out: mergeOb, clock: e.clock, fail: g.fail}
-	sink := e.newSinkTask(g, h, mergeOut, mop.OutSchema())
+	sink := e.newSinkTask(g, h, mergeOut, mop.OutSchema(), cp.rootHint)
 
 	// Build all d clone pipelines before spawning anything, so a mid-build
 	// error leaves no orphaned tasks.

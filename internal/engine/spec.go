@@ -81,6 +81,14 @@ type NodeSpec struct {
 	// Name identifies the node; it doubles as the stage name for
 	// profiling/busy-time accounting.
 	Name string
+	// RowsHint estimates the node's output cardinality (0 = unknown). The
+	// engine pre-sizes the sink's result buffer from the root node's hint;
+	// plan builders additionally close their operator factories over
+	// per-node hints (relop.NewJoinBuildSized, relop.NewHashAggSized) so
+	// hash maps and buffers start at their final size instead of growing
+	// through doubling. Hints come from the same cardinality estimates the
+	// sharing model prices work with — one currency, two consumers.
+	RowsHint int
 	// Fingerprint is the node's canonical identity for subplan sharing:
 	// two nodes with equal fingerprints (and equally-fingerprinted inputs)
 	// compute the same thing. Declared scans fingerprint themselves
@@ -161,6 +169,17 @@ type QuerySpec struct {
 	// matching packets at stage queues; signature equality is our packet
 	// match).
 	Signature string
+	// PlanKey, when non-empty, declares the spec a member of a stable plan
+	// family: every spec submitted under the same PlanKey has the same node
+	// structure (same tables, predicates, fingerprints, pivot candidates),
+	// so the engine may reuse one compiled artifact — canonical
+	// fingerprints, share keys, sorted pivot options, the root schema —
+	// across submissions instead of re-rendering them (see compile.go). The
+	// compiled artifact is epoch-validated against the scanned tables and
+	// structurally guarded against key misuse, so a wrong or reused PlanKey
+	// degrades to a recompile, never to a wrong plan. Empty means compile
+	// fresh on every submit.
+	PlanKey string
 	// Nodes are the operators, children before parents, root last.
 	Nodes []NodeSpec
 	// Pivot indexes the sharing pivot node.
@@ -416,6 +435,7 @@ type tableSource struct {
 	out      storage.Schema
 	pageRows int
 	offset   int
+	sel      []int // reused selection buffer; output batches never alias it
 }
 
 // Schema implements PageSource.
@@ -444,10 +464,11 @@ func (t *tableSource) Next() (*storage.Batch, bool, error) {
 // (including wrap-around re-reads for late joiners).
 func (t *tableSource) readSpan(lo, hi int) (*storage.Batch, error) {
 	window := t.tbl.Data().Slice(lo, hi)
-	sel, err := t.pred.Filter(window, nil)
+	sel, err := t.pred.Filter(window, relop.FillSel(t.sel, window.Len()))
 	if err != nil {
 		return nil, err
 	}
+	t.sel = sel // retain the backing array for the next span
 	if len(sel) == 0 {
 		return nil, nil
 	}

@@ -84,6 +84,14 @@ type aggState struct {
 // aggregate (which emits exactly one row even over empty input, matching
 // SQL semantics for COUNT/SUM over empty tables).
 func NewHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit Emit) (*HashAgg, error) {
+	return NewHashAggSized(in, groupBy, specs, 0, emit)
+}
+
+// NewHashAggSized is NewHashAgg with a group-count hint: the group map is
+// pre-sized to the estimated number of distinct keys, sparing the incremental
+// rehashes a growing map pays. Advisory only — zero or a wrong estimate never
+// affects results.
+func NewHashAggSized(in storage.Schema, groupBy []string, specs []AggSpec, hint int, emit Emit) (*HashAgg, error) {
 	var outCols []storage.Column
 	for _, g := range groupBy {
 		i, err := in.Index(g)
@@ -117,12 +125,15 @@ func NewHashAgg(in storage.Schema, groupBy []string, specs []AggSpec, emit Emit)
 	if err != nil {
 		return nil, err
 	}
+	if hint < 0 {
+		hint = 0
+	}
 	return &HashAgg{
 		groupBy:   groupBy,
 		specs:     specs,
 		inSchema:  in,
 		outSchema: out,
-		groups:    make(map[string]*aggState),
+		groups:    make(map[string]*aggState, hint),
 		emit:      emit,
 		batchRows: storage.RowsPerPage(out, storage.DefaultPageSize),
 	}, nil

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -283,6 +284,9 @@ type Cmp struct {
 
 // Filter implements Pred.
 func (c Cmp) Filter(b *storage.Batch, sel []int) ([]int, error) {
+	if out, ok, err := c.fastFilter(b, sel); ok {
+		return out, err
+	}
 	lv, err := c.L.Eval(b)
 	if err != nil {
 		return nil, err
@@ -305,6 +309,98 @@ func (c Cmp) Filter(b *storage.Batch, sel []int) ([]int, error) {
 	return out, nil
 }
 
+// fastFilter handles the dominant predicate shapes — column vs literal and
+// column vs column — without Eval: literals stay scalar instead of being
+// materialized into a constant vector per page. ok=false falls back to the
+// general path. Comparison semantics match cmpAt exactly (numeric operands
+// compare as float64).
+func (c Cmp) fastFilter(b *storage.Batch, sel []int) ([]int, bool, error) {
+	lc, isCol := c.L.(ColRef)
+	if !isCol {
+		return nil, false, nil
+	}
+	lv, err := b.Col(lc.Name)
+	if err != nil {
+		return nil, true, err
+	}
+	switch r := c.R.(type) {
+	case ConstInt:
+		if lv.Type == storage.String {
+			return nil, true, fmt.Errorf("%w: comparing %v to %v", ErrType, lv.Type, storage.Int64)
+		}
+		out, err := filterScalar(c.Op, lv, float64(r.V), b, sel)
+		return out, true, err
+	case ConstFloat:
+		if lv.Type == storage.String {
+			return nil, true, fmt.Errorf("%w: comparing %v to %v", ErrType, lv.Type, storage.Float64)
+		}
+		out, err := filterScalar(c.Op, lv, r.V, b, sel)
+		return out, true, err
+	case ColRef:
+		rv, err := b.Col(r.Name)
+		if err != nil {
+			return nil, true, err
+		}
+		sel = allRows(b, sel)
+		out := sel[:0]
+		for _, i := range sel {
+			ok, err := cmpAt(c.Op, lv, rv, i)
+			if err != nil {
+				return nil, true, err
+			}
+			if ok {
+				out = append(out, i)
+			}
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+// filterScalar filters a numeric column against a scalar literal.
+func filterScalar(op CmpOp, lv storage.Vector, y float64, b *storage.Batch, sel []int) ([]int, error) {
+	sel = allRows(b, sel)
+	out := sel[:0]
+	for _, i := range sel {
+		x := asFloat(lv, i)
+		var ord int
+		switch {
+		case x < y:
+			ord = -1
+		case x > y:
+			ord = 1
+		}
+		ok, err := ordMatches(op, ord)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// ordMatches translates a three-way comparison into the operator's verdict.
+func ordMatches(op CmpOp, ord int) (bool, error) {
+	switch op {
+	case Eq:
+		return ord == 0, nil
+	case Ne:
+		return ord != 0, nil
+	case Lt:
+		return ord < 0, nil
+	case Le:
+		return ord <= 0, nil
+	case Gt:
+		return ord > 0, nil
+	case Ge:
+		return ord >= 0, nil
+	default:
+		return false, fmt.Errorf("%w: unknown comparison %d", ErrType, int(op))
+	}
+}
+
 // String implements Pred.
 func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
 
@@ -324,22 +420,7 @@ func cmpAt(op CmpOp, lv, rv storage.Vector, i int) (bool, error) {
 	default:
 		return false, fmt.Errorf("%w: comparing %v to %v", ErrType, lv.Type, rv.Type)
 	}
-	switch op {
-	case Eq:
-		return ord == 0, nil
-	case Ne:
-		return ord != 0, nil
-	case Lt:
-		return ord < 0, nil
-	case Le:
-		return ord <= 0, nil
-	case Gt:
-		return ord > 0, nil
-	case Ge:
-		return ord >= 0, nil
-	default:
-		return false, fmt.Errorf("%w: unknown comparison %d", ErrType, int(op))
-	}
+	return ordMatches(op, ord)
 }
 
 // And is predicate conjunction with short-circuit filtering.
@@ -379,13 +460,37 @@ type Or struct {
 	Preds []Pred
 }
 
+// predScratch is the per-page working set of the set-algebra predicates: a
+// row-mark vector and a candidate-copy buffer. Pooled so steady-state Or/Not
+// filtering over a page stream allocates nothing.
+type predScratch struct {
+	marks []bool
+	cand  []int
+}
+
+var predScratchPool = sync.Pool{New: func() any { return new(predScratch) }}
+
+// marksFor returns the mark vector cleared and sized for n rows.
+func (s *predScratch) marksFor(n int) []bool {
+	if cap(s.marks) < n {
+		s.marks = make([]bool, n)
+	}
+	s.marks = s.marks[:n]
+	clear(s.marks)
+	return s.marks
+}
+
 // Filter implements Pred.
 func (o Or) Filter(b *storage.Batch, sel []int) ([]int, error) {
 	sel = allRows(b, sel)
-	keep := make(map[int]bool)
+	sc := predScratchPool.Get().(*predScratch)
+	defer predScratchPool.Put(sc)
+	keep := sc.marksFor(b.Len())
 	for _, p := range o.Preds {
-		cand := append([]int(nil), sel...)
-		got, err := p.Filter(b, cand)
+		// Each disjunct gets a private candidate copy: Filter may destroy
+		// its argument's backing, and sel must survive for the next one.
+		sc.cand = append(sc.cand[:0], sel...)
+		got, err := p.Filter(b, sc.cand)
 		if err != nil {
 			return nil, err
 		}
@@ -420,12 +525,14 @@ type Not struct {
 // Filter implements Pred.
 func (n Not) Filter(b *storage.Batch, sel []int) ([]int, error) {
 	sel = allRows(b, sel)
-	cand := append([]int(nil), sel...)
-	got, err := n.P.Filter(b, cand)
+	sc := predScratchPool.Get().(*predScratch)
+	defer predScratchPool.Put(sc)
+	sc.cand = append(sc.cand[:0], sel...)
+	got, err := n.P.Filter(b, sc.cand)
 	if err != nil {
 		return nil, err
 	}
-	drop := make(map[int]bool, len(got))
+	drop := sc.marksFor(b.Len())
 	for _, i := range got {
 		drop[i] = true
 	}
@@ -495,6 +602,22 @@ func allRows(b *storage.Batch, sel []int) []int {
 		out[i] = i
 	}
 	return out
+}
+
+// FillSel resizes buf to the full selection 0..n-1, reusing its backing
+// array when capacity allows. This is the owner half of Pred.Filter's
+// may-reuse-sel contract: a page-loop that passes FillSel of a retained
+// buffer (keeping whatever Filter returns as the next buffer) filters every
+// page after the first without allocating a selection vector.
+func FillSel(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
 }
 
 // True is a predicate that keeps every row.

@@ -1,0 +1,116 @@
+package relop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// These tests pin the may-reuse-sel contract of Pred.Filter under the
+// zero-alloc page loop: an owner that retains the returned selection and
+// refills it with FillSel for the next page must see exactly the rows a
+// fresh nil-sel call selects — no row leaking across pages through the
+// reused backing array or the pooled Or/Not scratch.
+
+// randomPred builds a random predicate tree of Cmp leaves under And/Or/Not,
+// over the two-column (a int64, b float64) test schema.
+func randomPred(rng *rand.Rand, depth int) Pred {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		op := CmpOp(rng.Intn(6))
+		if rng.Intn(2) == 0 {
+			return Cmp{Op: op, L: Col("a"), R: ConstInt{V: int64(rng.Intn(10))}}
+		}
+		return Cmp{Op: op, L: Col("b"), R: ConstFloat{V: rng.Float64() * 10}}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := 2 + rng.Intn(2)
+		ps := make([]Pred, n)
+		for i := range ps {
+			ps[i] = randomPred(rng, depth-1)
+		}
+		return And{Preds: ps}
+	case 1:
+		n := 2 + rng.Intn(2)
+		ps := make([]Pred, n)
+		for i := range ps {
+			ps[i] = randomPred(rng, depth-1)
+		}
+		return Or{Preds: ps}
+	default:
+		return Not{P: randomPred(rng, depth-1)}
+	}
+}
+
+// randomBatch builds a batch of n rows with small-domain values so random
+// predicates select non-trivial subsets.
+func randomBatch(t *testing.T, rng *rand.Rand, n int) *storage.Batch {
+	t.Helper()
+	s := storage.MustSchema(
+		storage.Column{Name: "a", Type: storage.Int64},
+		storage.Column{Name: "b", Type: storage.Float64},
+	)
+	b := storage.NewBatch(s, n)
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(int64(rng.Intn(10)), rng.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestPredFilterReusedBufferMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		pred := randomPred(rng, 3)
+		var buf []int
+		for page := 0; page < 16; page++ {
+			b := randomBatch(t, rng, 1+rng.Intn(64))
+			fresh, err := pred.Filter(b, nil)
+			if err != nil {
+				t.Fatalf("trial %d page %d: fresh filter: %v", trial, page, err)
+			}
+			// Copy before the reused-buffer call: fresh and the reused
+			// buffer must not be confused by the comparison itself.
+			want := append([]int(nil), fresh...)
+			got, err := pred.Filter(b, FillSel(buf, b.Len()))
+			if err != nil {
+				t.Fatalf("trial %d page %d: reused filter: %v", trial, page, err)
+			}
+			buf = got
+			if len(got) != len(want) {
+				t.Fatalf("trial %d page %d (%s): reused sel has %d rows, fresh has %d",
+					trial, page, pred, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d page %d (%s): row %d: reused %d != fresh %d",
+						trial, page, pred, i, got[i], want[i])
+				}
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("trial %d page %d: sel not strictly increasing at %d", trial, page, i)
+				}
+			}
+			if len(got) > 0 && got[len(got)-1] >= b.Len() {
+				t.Fatalf("trial %d page %d: sel row %d out of range (page has %d rows) — stale index leaked",
+					trial, page, got[len(got)-1], b.Len())
+			}
+		}
+	}
+}
+
+// TestFillSelReusesBacking pins the zero-alloc property itself: refilling a
+// large-enough buffer must not allocate.
+func TestFillSelReusesBacking(t *testing.T) {
+	buf := FillSel(nil, 128)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = FillSel(buf, 64)
+		buf = FillSel(buf, 128)
+	})
+	if allocs != 0 {
+		t.Errorf("FillSel on a retained buffer allocates %v times per run, want 0", allocs)
+	}
+}

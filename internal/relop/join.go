@@ -102,6 +102,15 @@ type JoinBuild struct {
 
 // NewJoinBuild constructs a build over the given schema keyed on buildKey.
 func NewJoinBuild(build storage.Schema, buildKey string) (*JoinBuild, error) {
+	return NewJoinBuildSized(build, buildKey, 0)
+}
+
+// NewJoinBuildSized is NewJoinBuild with a row-count hint: the row buffer and
+// the key index are pre-sized to the estimated build cardinality, so a build
+// whose model guessed right never rehashes or regrows mid-build. The hint is
+// advisory — zero (or a wrong estimate) only costs the usual incremental
+// growth, never correctness.
+func NewJoinBuildSized(build storage.Schema, buildKey string, hint int) (*JoinBuild, error) {
 	bi, err := build.Index(buildKey)
 	if err != nil {
 		return nil, err
@@ -109,12 +118,15 @@ func NewJoinBuild(build storage.Schema, buildKey string) (*JoinBuild, error) {
 	if t := build.Cols[bi].Type; t != storage.Int64 && t != storage.Date {
 		return nil, fmt.Errorf("%w: join key %q must be integer, is %v", ErrType, buildKey, t)
 	}
+	if hint < 0 {
+		hint = 0
+	}
 	return &JoinBuild{tbl: &HashTable{
 		schema: build,
 		key:    buildKey,
 		keyIdx: bi,
-		rows:   storage.NewBatch(build, 0),
-		index:  make(map[int64][]int),
+		rows:   storage.NewBatch(build, hint),
+		index:  make(map[int64][]int, hint),
 	}}, nil
 }
 

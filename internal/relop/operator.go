@@ -46,7 +46,15 @@ func Consumes(op any) bool {
 // Collect returns an Emit that appends emitted rows into a single batch,
 // plus a getter for the result. Convenient for tests and examples.
 func Collect(s storage.Schema) (Emit, func() *storage.Batch) {
-	out := storage.NewBatch(s, 0)
+	return CollectSized(s, 0)
+}
+
+// CollectSized is Collect with a row-count hint pre-sizing the result batch.
+func CollectSized(s storage.Schema, hint int) (Emit, func() *storage.Batch) {
+	if hint < 0 {
+		hint = 0
+	}
+	out := storage.NewBatch(s, hint)
 	emit := func(b *storage.Batch) error {
 		out.AppendBatch(b)
 		return nil
@@ -101,12 +109,14 @@ func (s *Scan) Finish() error { return nil }
 // Run executes the scan to completion.
 func (s *Scan) Run() error {
 	var runErr error
+	var selBuf []int
 	s.table.Scan(s.batchRows, func(b *storage.Batch) bool {
-		sel, err := s.pred.Filter(b, nil)
+		sel, err := s.pred.Filter(b, FillSel(selBuf, b.Len()))
 		if err != nil {
 			runErr = err
 			return false
 		}
+		selBuf = sel // retain the backing array for the next page
 		if len(sel) == 0 {
 			return true
 		}
@@ -142,6 +152,7 @@ type Filter struct {
 	pred   Pred
 	schema storage.Schema
 	emit   Emit
+	sel    []int // reused selection buffer; emitted batches never alias it
 	done   bool
 }
 
@@ -161,10 +172,11 @@ func (f *Filter) Push(b *storage.Batch) error {
 	if f.done {
 		return ErrFinished
 	}
-	sel, err := f.pred.Filter(b, nil)
+	sel, err := f.pred.Filter(b, FillSel(f.sel, b.Len()))
 	if err != nil {
 		return err
 	}
+	f.sel = sel
 	if len(sel) == 0 {
 		return nil
 	}

@@ -30,15 +30,25 @@ type Sort struct {
 
 // NewSort builds a sort over the given schema.
 func NewSort(schema storage.Schema, keys []SortKey, emit Emit) (*Sort, error) {
+	return NewSortSized(schema, keys, 0, emit)
+}
+
+// NewSortSized is NewSort with a row-count hint pre-sizing the sort buffer to
+// the estimated input cardinality, so a well-estimated sort buffers without
+// reallocating. Advisory only.
+func NewSortSized(schema storage.Schema, keys []SortKey, hint int, emit Emit) (*Sort, error) {
 	for _, k := range keys {
 		if _, err := schema.Index(k.Column); err != nil {
 			return nil, err
 		}
 	}
+	if hint < 0 {
+		hint = 0
+	}
 	return &Sort{
 		keys:      keys,
 		schema:    schema,
-		buf:       storage.NewBatch(schema, 0),
+		buf:       storage.NewBatch(schema, hint),
 		emit:      emit,
 		batchRows: storage.RowsPerPage(schema, storage.DefaultPageSize),
 	}, nil

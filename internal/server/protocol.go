@@ -93,4 +93,8 @@ type Stats struct {
 	CacheMisses    int64 `json:"cache_misses,omitempty"`
 	CacheEvictions int64 `json:"cache_evictions,omitempty"`
 	CacheBytes     int64 `json:"cache_bytes,omitempty"`
+	// CompileHits/CompileMisses mirror the engine's submit-path compile
+	// cache: hits are submits served by a memoized compile artifact.
+	CompileHits   int64 `json:"compile_hits,omitempty"`
+	CompileMisses int64 `json:"compile_misses,omitempty"`
 }

@@ -433,5 +433,6 @@ func (s *Server) Stats() Stats {
 	}
 	cs := s.eng.CacheStats()
 	st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes = cs.Hits, cs.Misses, cs.Evictions, cs.Bytes
+	st.CompileHits, st.CompileMisses = s.eng.CompileHits(), s.eng.CompileMisses()
 	return st
 }

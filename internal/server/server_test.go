@@ -197,6 +197,11 @@ func TestServerQueuesThenShedsAtSaturation(t *testing.T) {
 	if st.Completed != 2 || st.Shed != 1 {
 		t.Fatalf("stats after saturation: %+v", st)
 	}
+	// Both admitted queries were the same family: the second submit must
+	// have been served by the memoized compile artifact.
+	if st.CompileHits < 1 || st.CompileMisses < 1 {
+		t.Fatalf("repeated family should hit the compile cache: hits=%d misses=%d", st.CompileHits, st.CompileMisses)
+	}
 }
 
 // Drain must shed the backlog immediately (decision "draining"), refuse new

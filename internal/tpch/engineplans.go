@@ -48,10 +48,11 @@ func MustEngineSpec(q QueryID, db *DB, pageRows int) engine.QuerySpec {
 
 // aggForms builds the serial, clone-partial, and merge factories of one
 // grouping aggregate, so scan-pivot plans can both share serially and run
-// as partitioned clones.
-func aggForms(in storage.Schema, groupBy []string, specs []relop.AggSpec) (op, partial, merge engine.OpFactory) {
+// as partitioned clones. groupHint pre-sizes the serial form's group map to
+// the estimated distinct-key count (see cardinality.go); zero means unsized.
+func aggForms(in storage.Schema, groupBy []string, specs []relop.AggSpec, groupHint int) (op, partial, merge engine.OpFactory) {
 	op = func(emit relop.Emit) (relop.Operator, error) {
-		return relop.NewHashAgg(in, groupBy, specs, emit)
+		return relop.NewHashAggSized(in, groupBy, specs, groupHint, emit)
 	}
 	partial = func(emit relop.Emit) (relop.Operator, error) {
 		return relop.NewPartialHashAgg(in, groupBy, specs, emit)
@@ -72,9 +73,10 @@ func q6Spec(db *DB, pageRows int) engine.QuerySpec {
 		Func: relop.Sum,
 		Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
 		As:   "revenue",
-	}})
+	}}, 1)
 	return engine.QuerySpec{
 		Signature: "tpch/q6",
+		PlanKey:   "tpch/q6",
 		Model:     Model(Q6),
 		Pivot:     0,
 		Pivots: []engine.PivotOption{
@@ -83,7 +85,7 @@ func q6Spec(db *DB, pageRows int) engine.QuerySpec {
 		},
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q6/scan-lineitem", db.Lineitem, Q6Pred(), scanCols, pageRows),
-			{Name: "q6/agg", Input: 0, Fingerprint: "q6/agg", Op: op, Partial: partial, Merge: merge},
+			{Name: "q6/agg", Input: 0, Fingerprint: "q6/agg", Op: op, Partial: partial, Merge: merge, RowsHint: 1},
 		},
 	}
 }
@@ -94,9 +96,10 @@ func q1Spec(db *DB, pageRows int) engine.QuerySpec {
 	if err != nil {
 		panic(err)
 	}
-	op, partial, merge := aggForms(scanSchema, []string{"l_returnflag", "l_linestatus"}, q1AggSpecs())
+	op, partial, merge := aggForms(scanSchema, []string{"l_returnflag", "l_linestatus"}, q1AggSpecs(), Q1Groups)
 	return engine.QuerySpec{
 		Signature: "tpch/q1",
+		PlanKey:   "tpch/q1",
 		Model:     Model(Q1),
 		Pivot:     0,
 		Pivots: []engine.PivotOption{
@@ -105,7 +108,7 @@ func q1Spec(db *DB, pageRows int) engine.QuerySpec {
 		},
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q1/scan-lineitem", db.Lineitem, Q1Pred(), scanCols, pageRows),
-			{Name: "q1/agg", Input: 0, Fingerprint: "q1/agg", Op: op, Partial: partial, Merge: merge},
+			{Name: "q1/agg", Input: 0, Fingerprint: "q1/agg", Op: op, Partial: partial, Merge: merge, RowsHint: Q1Groups},
 		},
 	}
 }
@@ -117,8 +120,10 @@ func q4Spec(db *DB, pageRows int) engine.QuerySpec {
 	if err != nil {
 		panic(err)
 	}
+	buildHint := EstimateQ4BuildRows(db)
 	return engine.QuerySpec{
 		Signature: "tpch/q4",
+		PlanKey:   "tpch/q4",
 		Model:     Model(Q4),
 		Pivot:     2,
 		// Candidates highest level first: the whole-plan join pivot, then
@@ -132,11 +137,11 @@ func q4Spec(db *DB, pageRows int) engine.QuerySpec {
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q4/scan-lineitem", db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows),
 			engine.ScanNode("q4/scan-orders", db.Orders, Q4OrdersPred(), orderCols, pageRows),
-			semiJoinNode("q4/semijoin", lineSchema, orderSchema, 0, 1),
-			{Name: "q4/agg", Input: 2, Fingerprint: "q4/agg", Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
+			semiJoinNode("q4/semijoin", lineSchema, orderSchema, 0, 1, buildHint),
+			{Name: "q4/agg", Input: 2, Fingerprint: "q4/agg", RowsHint: Q4Groups, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAggSized(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
 					{Func: relop.Count, As: "order_count"},
-				}, emit)
+				}, Q4Groups, emit)
 			}},
 		},
 	}
@@ -144,7 +149,9 @@ func q4Spec(db *DB, pageRows int) engine.QuerySpec {
 
 // semiJoinNode builds the Q4-shaped semi-join node with its split
 // Build/Probe forms declared, so the build side is a shareable pivot.
-func semiJoinNode(name string, lineSchema, orderSchema storage.Schema, buildIn, probeIn int) engine.NodeSpec {
+// buildHint pre-sizes the split build's hash table to the estimated
+// build-side cardinality (zero = unsized).
+func semiJoinNode(name string, lineSchema, orderSchema storage.Schema, buildIn, probeIn, buildHint int) engine.NodeSpec {
 	return engine.NodeSpec{
 		Name:        name,
 		Fingerprint: name,
@@ -154,7 +161,7 @@ func semiJoinNode(name string, lineSchema, orderSchema storage.Schema, buildIn, 
 			return relop.NewHashJoin(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
 		},
 		Build: func() (*relop.JoinBuild, error) {
-			return relop.NewJoinBuild(lineSchema, "l_orderkey")
+			return relop.NewJoinBuildSized(lineSchema, "l_orderkey", buildHint)
 		},
 		Probe: func(emit relop.Emit) (engine.ProbeOperator, error) {
 			return relop.NewHashJoinProbe(relop.Semi, lineSchema, "l_orderkey", orderSchema, "o_orderkey", emit)
@@ -177,8 +184,11 @@ func q13Spec(db *DB, pageRows int) engine.QuerySpec {
 		storage.Column{Name: "c_custkey", Type: storage.Int64},
 		storage.Column{Name: "c_count", Type: storage.Float64},
 	)
+	buildHint := EstimateQ13BuildRows(db)
+	custHint := db.Customer.NumRows()
 	return engine.QuerySpec{
 		Signature: "tpch/q13",
+		PlanKey:   "tpch/q13",
 		Model:     Model(Q13),
 		Pivot:     3,
 		// The join pivot first, then the build subtree (orders scan + tag):
@@ -197,16 +207,16 @@ func q13Spec(db *DB, pageRows int) engine.QuerySpec {
 				}, emit)
 			}},
 			engine.ScanNode("q13/scan-customer", db.Customer, nil, []string{"c_custkey"}, pageRows),
-			outerJoinNode("q13/outerjoin", buildSchema, custSchema, 1, 2),
+			outerJoinNode("q13/outerjoin", buildSchema, custSchema, 1, 2, buildHint),
 			{Name: "q13/percust", Input: 3, Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(joinOut, []string{"c_custkey"}, []relop.AggSpec{
+				return relop.NewHashAggSized(joinOut, []string{"c_custkey"}, []relop.AggSpec{
 					{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
-				}, emit)
+				}, custHint, emit)
 			}},
-			{Name: "q13/dist", Input: 4, Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(perCustOut, []string{"c_count"}, []relop.AggSpec{
+			{Name: "q13/dist", Input: 4, RowsHint: Q13DistGroups, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAggSized(perCustOut, []string{"c_count"}, []relop.AggSpec{
 					{Func: relop.Count, As: "custdist"},
-				}, emit)
+				}, Q13DistGroups, emit)
 			}},
 		},
 	}
@@ -214,7 +224,8 @@ func q13Spec(db *DB, pageRows int) engine.QuerySpec {
 
 // outerJoinNode builds the Q13-shaped left-outer join node with its split
 // Build/Probe forms declared, so the build side is a shareable pivot.
-func outerJoinNode(name string, buildSchema, custSchema storage.Schema, buildIn, probeIn int) engine.NodeSpec {
+// buildHint pre-sizes the split build's hash table (zero = unsized).
+func outerJoinNode(name string, buildSchema, custSchema storage.Schema, buildIn, probeIn, buildHint int) engine.NodeSpec {
 	return engine.NodeSpec{
 		Name:        name,
 		Fingerprint: name,
@@ -224,7 +235,7 @@ func outerJoinNode(name string, buildSchema, custSchema storage.Schema, buildIn,
 			return relop.NewHashJoin(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)
 		},
 		Build: func() (*relop.JoinBuild, error) {
-			return relop.NewJoinBuild(buildSchema, "o_custkey")
+			return relop.NewJoinBuildSized(buildSchema, "o_custkey", buildHint)
 		},
 		Probe: func(emit relop.Emit) (engine.ProbeOperator, error) {
 			return relop.NewHashJoinProbe(relop.LeftOuter, buildSchema, "o_custkey", custSchema, "c_custkey", emit)

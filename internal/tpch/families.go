@@ -133,15 +133,17 @@ func Q6FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 		panic(err)
 	}
 	agg := func(emit relop.Emit) (relop.Operator, error) {
-		return relop.NewHashAgg(scanSchema, nil, []relop.AggSpec{{
+		return relop.NewHashAggSized(scanSchema, nil, []relop.AggSpec{{
 			Func: relop.Sum,
 			Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
 			As:   "revenue",
-		}}, emit)
+		}}, 1, emit)
 	}
 	residual := q6ResidualPred(variant)
+	sig := fmt.Sprintf("tpch/q6f/v%d", variant)
 	return engine.QuerySpec{
-		Signature: fmt.Sprintf("tpch/q6f/v%d", variant),
+		Signature: sig,
+		PlanKey:   sig,
 		Model:     Q6FamilyModel(0),
 		Pivot:     0,
 		Pivots: []engine.PivotOption{
@@ -163,6 +165,7 @@ func Q6FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 				Input:       1,
 				Fingerprint: fmt.Sprintf("q6f/agg[v=%d]", variant),
 				Op:          agg,
+				RowsHint:    1,
 			},
 		},
 	}
@@ -240,6 +243,17 @@ func Q4FamilyModel(level int) core.Query {
 // orderdate window, counted per priority. The spec anchors at the join and
 // offers the build subtree as the lower, cross-variant candidate.
 func Q4FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	return q4FamilySpec(db, pageRows, variant, true)
+}
+
+// Q4FamilySpecNoHints is Q4FamilySpec with the cardinality-model pre-sizing
+// hints disabled — the unsized arm of the pre-sizing ablation. Results are
+// byte-identical to the hinted spec; only allocation behavior differs.
+func Q4FamilySpecNoHints(db *DB, pageRows, variant int) engine.QuerySpec {
+	return q4FamilySpec(db, pageRows, variant, false)
+}
+
+func q4FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 	variant = variant % Q4FamilyVariants
 	lineSchema := storage.MustSchema(storage.Column{Name: "l_orderkey", Type: storage.Int64})
 	orderCols := []string{"o_orderkey", "o_orderpriority"}
@@ -247,8 +261,15 @@ func Q4FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 	if err != nil {
 		panic(err)
 	}
+	buildHint, aggHint := 0, 0
+	if hints {
+		buildHint = EstimateQ4BuildRows(db)
+		aggHint = Q4Groups
+	}
+	sig := fmt.Sprintf("tpch/q4f/v%d", variant)
 	return engine.QuerySpec{
-		Signature: fmt.Sprintf("tpch/q4f/v%d", variant),
+		Signature: sig,
+		PlanKey:   sig,
 		Model:     Q4FamilyModel(2),
 		Pivot:     2,
 		Pivots: []engine.PivotOption{
@@ -258,11 +279,11 @@ func Q4FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 		Nodes: []engine.NodeSpec{
 			engine.ScanNode("q4f/scan-lineitem", db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows),
 			engine.ScanNode("q4f/scan-orders", db.Orders, q4FamilyOrdersPred(variant), orderCols, pageRows),
-			semiJoinNode("q4f/semijoin", lineSchema, orderSchema, 0, 1),
-			{Name: "q4f/agg", Input: 2, Fingerprint: "q4f/agg", Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
+			semiJoinNode("q4f/semijoin", lineSchema, orderSchema, 0, 1, buildHint),
+			{Name: "q4f/agg", Input: 2, Fingerprint: "q4f/agg", RowsHint: aggHint, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAggSized(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
 					{Func: relop.Count, As: "order_count"},
-				}, emit)
+				}, aggHint, emit)
 			}},
 		},
 	}
@@ -291,6 +312,9 @@ func Q4FamilyBuildPred(db *DB, buildFrac float64) relop.Pred {
 func Q4FamilySpecSized(db *DB, pageRows, variant int, buildFrac float64) engine.QuerySpec {
 	spec := Q4FamilySpec(db, pageRows, variant)
 	spec.Signature = fmt.Sprintf("%s/bf%.2f", spec.Signature, buildFrac)
+	// The restricted build side changes the plan, so the compile-cache key
+	// must carry the buildFrac suffix too.
+	spec.PlanKey = spec.Signature
 	spec.Nodes[0].Scan.Pred = Q4FamilyBuildPred(db, buildFrac)
 	return spec
 }
@@ -387,6 +411,16 @@ func Q13FamilyModel(level int) core.Query {
 // shared filtered-orders build (scan + tag) outer-joined against the
 // variant's customer segment, counted into the order-count distribution.
 func Q13FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	return q13FamilySpec(db, pageRows, variant, true)
+}
+
+// Q13FamilySpecNoHints is Q13FamilySpec with the cardinality-model
+// pre-sizing hints disabled — the unsized arm of the pre-sizing ablation.
+func Q13FamilySpecNoHints(db *DB, pageRows, variant int) engine.QuerySpec {
+	return q13FamilySpec(db, pageRows, variant, false)
+}
+
+func q13FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 	variant = variant % Q13FamilyVariants
 	orderScanSchema := storage.MustSchema(storage.Column{Name: "o_custkey", Type: storage.Int64})
 	buildSchema := storage.MustSchema(
@@ -402,8 +436,17 @@ func Q13FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 		storage.Column{Name: "c_custkey", Type: storage.Int64},
 		storage.Column{Name: "c_count", Type: storage.Float64},
 	)
+	buildHint, custHint, distHint := 0, 0, 0
+	if hints {
+		lo, hi := q13FamilyCustRange(db, variant)
+		buildHint = EstimateQ13BuildRows(db)
+		custHint = EstimateCustomerRangeRows(db, lo, hi)
+		distHint = Q13DistGroups
+	}
+	sig := fmt.Sprintf("tpch/q13f/v%d", variant)
 	return engine.QuerySpec{
-		Signature: fmt.Sprintf("tpch/q13f/v%d", variant),
+		Signature: sig,
+		PlanKey:   sig,
 		Model:     Q13FamilyModel(3),
 		Pivot:     3,
 		Pivots: []engine.PivotOption{
@@ -419,16 +462,16 @@ func Q13FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 				}, emit)
 			}},
 			engine.ScanNode("q13f/scan-customer", db.Customer, q13FamilyCustPred(db, variant), []string{"c_custkey"}, pageRows),
-			outerJoinNode("q13f/outerjoin", buildSchema, custSchema, 1, 2),
-			{Name: "q13f/percust", Input: 3, Fingerprint: "q13f/percust", Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(joinOut, []string{"c_custkey"}, []relop.AggSpec{
+			outerJoinNode("q13f/outerjoin", buildSchema, custSchema, 1, 2, buildHint),
+			{Name: "q13f/percust", Input: 3, Fingerprint: "q13f/percust", RowsHint: custHint, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAggSized(joinOut, []string{"c_custkey"}, []relop.AggSpec{
 					{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
-				}, emit)
+				}, custHint, emit)
 			}},
-			{Name: "q13f/dist", Input: 4, Fingerprint: "q13f/dist", Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAgg(perCustOut, []string{"c_count"}, []relop.AggSpec{
+			{Name: "q13f/dist", Input: 4, Fingerprint: "q13f/dist", RowsHint: distHint, Op: func(emit relop.Emit) (relop.Operator, error) {
+				return relop.NewHashAggSized(perCustOut, []string{"c_count"}, []relop.AggSpec{
 					{Func: relop.Count, As: "custdist"},
-				}, emit)
+				}, distHint, emit)
 			}},
 		},
 	}
@@ -529,6 +572,16 @@ func Q1FamilyModel(level int) core.Query { return ModelAt(Q1, level) }
 // of the same variant; the parallel forms are kept, so the spec also
 // remains eligible for partitioned-clone execution.
 func Q1FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
+	return q1FamilySpec(db, pageRows, variant, true)
+}
+
+// Q1FamilySpecNoHints is Q1FamilySpec with the cardinality-model pre-sizing
+// hints disabled — the unsized arm of the pre-sizing ablation.
+func Q1FamilySpecNoHints(db *DB, pageRows, variant int) engine.QuerySpec {
+	return q1FamilySpec(db, pageRows, variant, false)
+}
+
+func q1FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 	variant = variant % Q1FamilyVariants
 	scanCols := []string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"}
 	scanSchema, err := db.Lineitem.Schema().Project(scanCols...)
@@ -536,9 +589,17 @@ func Q1FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 		panic(err)
 	}
 	groupBy := q1FamilyGroupBy(variant)
-	op, partial, merge := aggForms(scanSchema, groupBy, q1AggSpecs())
+	groupHint := 0
+	if hints {
+		// Q1Groups bounds every variant: the rollups see no more distinct
+		// keys than the full (returnflag, linestatus) grouping.
+		groupHint = Q1Groups
+	}
+	op, partial, merge := aggForms(scanSchema, groupBy, q1AggSpecs(), groupHint)
+	sig := fmt.Sprintf("tpch/q1f/v%d", variant)
 	return engine.QuerySpec{
-		Signature: fmt.Sprintf("tpch/q1f/v%d", variant),
+		Signature: sig,
+		PlanKey:   sig,
 		Model:     Q1FamilyModel(0),
 		Pivot:     0,
 		Pivots: []engine.PivotOption{
@@ -554,6 +615,7 @@ func Q1FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 				Op:          op,
 				Partial:     partial,
 				Merge:       merge,
+				RowsHint:    groupHint,
 			},
 		},
 	}
