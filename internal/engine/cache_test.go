@@ -269,6 +269,52 @@ func TestResultRunEpochInvalidation(t *testing.T) {
 	}
 }
 
+// Drop-and-recreate: a replacement table restarts its epoch, so its
+// (name, schema, epoch) triple can exactly collide with the retired table's
+// retained artifacts. The engine's table-identity qualifier keeps the two
+// instances apart — the recreated table's run recomputes over the new data
+// instead of being served the retired table's result.
+func TestResultRunNotServedAcrossTableRecreate(t *testing.T) {
+	mkTable := func(val func(i int) int64) *storage.Table {
+		tbl := storage.NewTable("rc", storage.MustSchema(storage.Column{Name: "rv", Type: storage.Int64}))
+		for i := 0; i < 64; i++ {
+			tbl.MustAppend(val(i))
+		}
+		return tbl
+	}
+	schema := storage.MustSchema(storage.Column{Name: "rv", Type: storage.Int64})
+	sumResultSpec := func(tbl *storage.Table) QuerySpec {
+		return QuerySpec{
+			Signature: "rc/a",
+			Pivot:     0,
+			Pivots: []PivotOption{
+				{Pivot: 1, Model: core.Query{Name: "rc@agg", Below: []float64{2}, PivotW: 1, PivotS: 0.01}},
+			},
+			Nodes: []NodeSpec{
+				ScanNode("rc/scan", tbl, nil, []string{"rv"}, 16),
+				{Name: "rc/agg", Input: 0, Fingerprint: "rc/sum", Op: func(emit relop.Emit) (relop.Operator, error) {
+					return relop.NewHashAgg(schema, nil, []relop.AggSpec{{Func: relop.Sum, Expr: relop.Col("rv"), As: "total"}}, emit)
+				}},
+			},
+		}
+	}
+	e, _ := cacheEngine(t, artifact.Config{BudgetBytes: 1 << 20, TTL: time.Minute}, Options{Workers: 2})
+	old := mkTable(func(i int) int64 { return int64(i) })
+	first := runOne(t, e, sumResultSpec(old), joinOnly{})
+	if got := first.MustCol("total").F64[0]; got != 2016 {
+		t.Fatalf("cold run sum = %v, want 2016", got)
+	}
+	// Same name, same schema, same append count (equal epoch), new contents.
+	replacement := mkTable(func(i int) int64 { return 1 })
+	second := runOne(t, e, sumResultSpec(replacement), joinOnly{})
+	if got := second.MustCol("total").F64[0]; got != 64 {
+		t.Errorf("recreated table served the retired table's result: sum = %v, want 64", got)
+	}
+	if got := e.CacheHits(); got != 0 {
+		t.Errorf("CacheHits = %d, want 0 (recreated table must miss)", got)
+	}
+}
+
 // The periodic sweep (Options.SweepInterval) reclaims wedged exchange
 // entries on its own cadence and leaves unexpired cached artifacts alone —
 // sweep-vs-cache non-interference.

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/relop"
 	"repro/internal/storage"
 )
 
@@ -28,9 +30,17 @@ import (
 //     artifacts never serve.
 //   - structural guard: PlanKey is a caller promise, and callers get reuse
 //     wrong. The artifact snapshots each node's identity-bearing fields
-//     (fingerprint, scanned table, page quantum, child indices, pivot
-//     candidates); a submit whose spec disagrees recompiles instead of
-//     serving another plan's keys.
+//     (fingerprint, scanned table, predicate, projected columns, page
+//     quantum, child indices, pivot candidates); a submit whose spec
+//     disagrees recompiles instead of serving another plan's keys.
+//
+// Models and hints are deliberately outside both guards: PivotOption.Model,
+// QuerySpec.Model, and RowsHint are advisory estimates, so the submit path
+// reads them from the incoming spec on every submission (optModel,
+// resultModelFor, the spec's root RowsHint) rather than from the artifact. A
+// caller that refreshes its cost models under an unchanged PlanKey gets
+// admission priced and sinks pre-sized with the new numbers immediately —
+// no epoch bump or recompile required.
 
 // Compiled is one spec's canonical compile artifact: everything the submit
 // path derives from the plan's shape, computed once. Safe for concurrent
@@ -45,10 +55,17 @@ type Compiled struct {
 	fps []string
 	// opts are the spec's pivot candidates ordered highest level first,
 	// keys the corresponding share keys (build namespace applied), and
-	// epochs the per-option source-table epoch sums at compile time.
+	// epochs the per-option source-table epoch sums at compile time. The
+	// Model fields inside opts are compile-time copies; the submit path
+	// reads models through optModel so refreshed estimates under an
+	// unchanged PlanKey are never served stale.
 	opts   []PivotOption
 	keys   []string
 	epochs []uint64
+	// optSrc maps each entry of opts back to its index in the spec's
+	// declared Pivots (-1 = the (Pivot, Model) fallback of a spec offering
+	// no candidates); optModel resolves per-submit models through it.
+	optSrc []int
 	// epochAt is the per-node source-table epoch sum over each subtree.
 	epochAt []uint64
 
@@ -64,24 +81,34 @@ type Compiled struct {
 	declaredPivot int
 	declaredOpts  []pivotGuard
 
-	// resultKey/resultModel describe the whole-plan result-run cache option
-	// (resultOK false = the spec's fingerprint does not cover the plan).
-	resultKey   string
-	resultModel core.Query
-	resultOK    bool
+	// resultKey describes the whole-plan result-run cache option (resultOK
+	// false = the spec's fingerprint does not cover the plan); resultSrc
+	// indexes the declared pivot candidate it came from (-1 = the spec's
+	// own Pivot/Model), through which resultModelFor reads the per-submit
+	// model.
+	resultKey string
+	resultSrc int
+	resultOK  bool
 
 	// rootSchema is resolved lazily (it instantiates throwaway operators)
-	// and memoized: repeated members of a family skip the instantiation.
-	schemaOnce sync.Once
-	rootSchema storage.Schema
-	schemaErr  error
-	rootHint   int
+	// and memoized — but only a successful resolution latches: a transient
+	// factory error is returned to its submit and retried on the next one,
+	// never served for the artifact's lifetime.
+	schemaMu    sync.Mutex
+	schemaReady atomic.Bool
+	rootSchema  storage.Schema
 }
 
-// nodeGuard is the cheap structural identity of one node.
+// nodeGuard is the cheap structural identity of one node. For scans it
+// snapshots every field the fingerprint renders — predicate and projection
+// included, since ScanNode leaves NodeSpec.Fingerprint empty — so two specs
+// under one PlanKey that differ only in a scan's predicate or columns can
+// never pass Matches and be served each other's keys.
 type nodeGuard struct {
 	fingerprint            string
 	table                  *storage.Table
+	pred                   relop.Pred
+	cols                   []string
 	pageRows               int
 	input                  int
 	buildInput, probeInput int
@@ -97,8 +124,14 @@ type pivotGuard struct {
 // bottom-up fingerprint pass, sorted pivot options with precomputed share
 // keys and epoch sums, the result-run option, and the epoch/structure
 // snapshots reuse is validated against. Exported so benchmarks can measure
-// the cold compile step against the warm Valid() check directly.
-func Compile(spec QuerySpec) *Compiled {
+// the cold compile step against the warm Valid() check directly. It renders
+// the engine-free canonical form (tid=0 on every scan); engines compile
+// through compileWith with their table-identity resolver.
+func Compile(spec QuerySpec) *Compiled { return compileWith(spec, nil) }
+
+// compileWith is Compile with an in-process table-identity resolver
+// qualifying same-named distinct tables apart (see fingerprint.go).
+func compileWith(spec QuerySpec, ident tableIdentFn) *Compiled {
 	n := len(spec.Nodes)
 	c := &Compiled{
 		signature:     spec.Signature,
@@ -106,19 +139,25 @@ func Compile(spec QuerySpec) *Compiled {
 		fps:           make([]string, n),
 		epochAt:       make([]uint64, n),
 		guard:         make([]nodeGuard, n),
-		rootHint:      spec.Nodes[n-1].RowsHint,
 		declaredPivot: spec.Pivot,
 	}
 	for _, opt := range spec.Pivots {
 		c.declaredOpts = append(c.declaredOpts, pivotGuard{pivot: opt.Pivot, build: opt.Build})
 	}
-	appendSubplanFingerprints(spec, c.fps)
+	appendSubplanFingerprints(spec, c.fps, ident)
 	for i, nd := range spec.Nodes {
 		g := nodeGuard{fingerprint: nd.Fingerprint, input: nd.Input,
 			buildInput: nd.BuildInput, probeInput: nd.ProbeInput}
 		switch {
 		case nd.Scan != nil:
 			g.table = nd.Scan.Table
+			g.pred = nd.Scan.Pred
+			g.cols = nd.Scan.Cols
+			if nd.Scan.Cols != nil {
+				// Snapshot the projection: the guard must not see a
+				// caller's later mutation of the slice it submitted with.
+				g.cols = append([]string(nil), nd.Scan.Cols...)
+			}
 			g.pageRows = nd.Scan.PageRows
 			c.scanTables = append(c.scanTables, nd.Scan.Table)
 			c.scanEpochs = append(c.scanEpochs, nd.Scan.Table.Epoch())
@@ -133,6 +172,7 @@ func Compile(spec QuerySpec) *Compiled {
 	c.opts = spec.pivotOptions()
 	c.keys = make([]string, len(c.opts))
 	c.epochs = make([]uint64, len(c.opts))
+	c.optSrc = make([]int, len(c.opts))
 	for j, opt := range c.opts {
 		if opt.Build {
 			c.keys[j] = c.fps[opt.Pivot] + buildKeySuffix
@@ -140,19 +180,27 @@ func Compile(spec QuerySpec) *Compiled {
 			c.keys[j] = c.fps[opt.Pivot]
 		}
 		c.epochs[j] = c.epochAt[opt.Pivot]
+		c.optSrc[j] = -1
+		for i, p := range spec.Pivots {
+			if p.Pivot == opt.Pivot && p.Build == opt.Build {
+				c.optSrc[j] = i
+				break
+			}
+		}
 	}
 	// The whole-plan result-run option: the root offered as a non-build
 	// pivot candidate (or declared as the only pivot) means fingerprint
 	// equality implies result equality.
 	root := n - 1
-	for _, opt := range spec.Pivots {
+	c.resultSrc = -1
+	for i, opt := range spec.Pivots {
 		if !opt.Build && opt.Pivot == root {
-			c.resultKey, c.resultModel, c.resultOK = c.fps[root]+resultKeySuffix, opt.Model, true
+			c.resultKey, c.resultSrc, c.resultOK = c.fps[root]+resultKeySuffix, i, true
 			break
 		}
 	}
 	if !c.resultOK && len(spec.Pivots) == 0 && spec.Pivot == root {
-		c.resultKey, c.resultModel, c.resultOK = c.fps[root]+resultKeySuffix, spec.Model, true
+		c.resultKey, c.resultOK = c.fps[root]+resultKeySuffix, true
 	}
 	return c
 }
@@ -172,8 +220,11 @@ func (c *Compiled) Valid() bool {
 
 // Matches reports whether spec has the structure the artifact was compiled
 // from — the PlanKey-misuse guard. A mismatch recompiles; it never errors.
-// It must not allocate: it runs on every warm hit. Exported (with Valid) so
-// benchmarks can measure the warm-hit guard against the cold Compile.
+// It runs on every warm hit, so it compares snapshots rather than rendering
+// anything: allocation-free for plans built from the standard relop
+// predicates (exotic Pred implementations fall back to reflect.DeepEqual).
+// Exported (with Valid) so benchmarks can measure the warm-hit guard against
+// the cold Compile.
 func (c *Compiled) Matches(spec QuerySpec) bool {
 	if spec.Signature != c.signature || len(spec.Nodes) != len(c.guard) ||
 		spec.Pivot != c.declaredPivot || len(spec.Pivots) != len(c.declaredOpts) {
@@ -186,7 +237,8 @@ func (c *Compiled) Matches(spec QuerySpec) bool {
 			return false
 		}
 		if nd.Scan != nil {
-			if nd.Scan.Table != g.table || nd.Scan.PageRows != g.pageRows {
+			if nd.Scan.Table != g.table || nd.Scan.PageRows != g.pageRows ||
+				!colsEqual(nd.Scan.Cols, g.cols) || !relop.PredEqual(nd.Scan.Pred, g.pred) {
 				return false
 			}
 		} else if g.table != nil {
@@ -195,6 +247,20 @@ func (c *Compiled) Matches(spec QuerySpec) bool {
 	}
 	for j, opt := range spec.Pivots {
 		if opt.Pivot != c.declaredOpts[j].pivot || opt.Build != c.declaredOpts[j].build {
+			return false
+		}
+	}
+	return true
+}
+
+// colsEqual compares two scan projections, distinguishing nil (every column)
+// from an empty projection — the same distinction the fingerprint renders.
+func colsEqual(a, b []string) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -211,13 +277,47 @@ func (c *Compiled) buildKeyAt(pivot int) string { return c.fps[pivot] + buildKey
 // at pivot (current while Valid holds).
 func (c *Compiled) epochAtNode(pivot int) uint64 { return c.epochAt[pivot] }
 
+// optModel returns the model for pivot candidate j read from the incoming
+// spec — models are advisory and must track the caller's current estimates,
+// so a warm hit never serves the compile-time copy. Valid only for a spec
+// that passed Matches (candidate order is guarded, so optSrc indexes apply).
+func (c *Compiled) optModel(spec QuerySpec, j int) core.Query {
+	if src := c.optSrc[j]; src >= 0 {
+		return spec.Pivots[src].Model
+	}
+	return spec.Model
+}
+
+// resultModelFor returns the result-run cache option's model read from the
+// incoming spec, under the same contract as optModel.
+func (c *Compiled) resultModelFor(spec QuerySpec) core.Query {
+	if c.resultSrc >= 0 {
+		return spec.Pivots[c.resultSrc].Model
+	}
+	return spec.Model
+}
+
 // schema resolves (and memoizes) the root node's output schema by
-// instantiating throwaway operators on first use.
+// instantiating throwaway operators on first use. Only success latches: a
+// transient resolve error fails this submit and the next one retries, so a
+// long-lived artifact can never pin a recoverable error until an epoch bump
+// happens to evict it.
 func (c *Compiled) schema(spec QuerySpec, resolve func(QuerySpec) (storage.Schema, error)) (storage.Schema, error) {
-	c.schemaOnce.Do(func() {
-		c.rootSchema, c.schemaErr = resolve(spec)
-	})
-	return c.rootSchema, c.schemaErr
+	if c.schemaReady.Load() {
+		return c.rootSchema, nil
+	}
+	c.schemaMu.Lock()
+	defer c.schemaMu.Unlock()
+	if c.schemaReady.Load() {
+		return c.rootSchema, nil
+	}
+	s, err := resolve(spec)
+	if err != nil {
+		return storage.Schema{}, err
+	}
+	c.rootSchema = s
+	c.schemaReady.Store(true)
+	return s, nil
 }
 
 // maxCompiled bounds the per-engine compile cache. Plan families number in
@@ -241,7 +341,7 @@ func (e *Engine) compileFor(spec QuerySpec) *Compiled {
 		}
 		e.mu.Unlock()
 	}
-	c := Compile(spec)
+	c := compileWith(spec, e.tableIdentity)
 	e.mu.Lock()
 	e.compileMisses++
 	if spec.PlanKey != "" {

@@ -297,6 +297,15 @@ type Engine struct {
 	compiled         map[string]*Compiled
 	compileHits      int64
 	compileMisses    int64
+	// tableIdent binds each scanned table name to the first *storage.Table
+	// instance this engine saw under it (guarded by identMu, not e.mu —
+	// compiles run without the engine lock). Share keys canonicalize scans
+	// by name, and names are not an in-process identity: a same-named
+	// distinct instance (drop-and-recreate, a second catalog) is qualified
+	// by its process-unique ID so its groups and cached artifacts can never
+	// cross with the first instance's (see tableIdentity).
+	identMu          sync.Mutex
+	tableIdent       map[string]*storage.Table
 	active           int
 	completed        int64
 	inflightAttaches int64
@@ -322,6 +331,7 @@ func New(opts Options) (*Engine, error) {
 		cache:      opts.Cache,
 		joinable:   make(map[string]*shareGroup),
 		compiled:   make(map[string]*Compiled),
+		tableIdent: make(map[string]*storage.Table),
 		pivotJoins: make(map[int]int64),
 	}
 	if opts.SweepInterval > 0 {
@@ -567,7 +577,7 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	// never-share, which extends to never seeding or reading retained work.
 	if e.cache != nil && policy != nil && cp.resultOK {
 		h.resultKey = cp.resultKey
-		h.resultModel = cp.resultModel
+		h.resultModel = cp.resultModelFor(spec)
 		h.resultEpoch = cp.epochAtNode(len(spec.Nodes) - 1)
 	}
 
@@ -590,7 +600,11 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		// Probe the candidate pivots highest level first: the paper defines
 		// the pivot as the highest point where sharing is possible, and a
 		// group at a higher level eliminates strictly more work per joiner.
+		// opt is a local copy whose model comes from the incoming spec —
+		// admission always prices with the caller's current estimates, even
+		// on a warm compile hit.
 		for j, opt := range cp.opts {
+			opt.Model = cp.optModel(spec, j)
 			if opt.Build {
 				// Build-side candidate: the joinable entry is a shared hash
 				// build (pure or published by a mixed group); members attach
@@ -743,15 +757,16 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		if pp, ok := policy.(PivotPolicy); ok {
 			opts := cp.opts
 			cands := make([]core.Query, len(opts))
-			for i, o := range opts {
-				cands[i] = o.Model
+			for i := range opts {
+				cands[i] = cp.optModel(spec, i)
 			}
 			if i := pp.ChoosePivot(cands, e.active+1); i >= 0 && i < len(opts) {
 				if opts[i].Build {
 					anchorBuild = opts[i]
+					anchorBuild.Model = cands[i]
 				} else {
 					gspec.Pivot = opts[i].Pivot
-					gspec.Model = opts[i].Model
+					gspec.Model = cands[i]
 				}
 			}
 		}
@@ -1285,7 +1300,9 @@ func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *build
 	if err != nil {
 		return nil, nil, err
 	}
-	sink := e.newSinkTask(g, h, sinkIn, rootSchema, cp.rootHint)
+	// The hint is read from the incoming spec, not the artifact: like the
+	// models, it is advisory and must track the caller's current estimates.
+	sink := e.newSinkTask(g, h, sinkIn, rootSchema, spec.Nodes[rootIdx].RowsHint)
 	start := func() {
 		for _, p := range spawns {
 			e.sched.Spawn(p.name, p.step)
@@ -1341,6 +1358,30 @@ func (e *Engine) sealGroup(g *shareGroup) {
 	if e.joinable[g.key] == g {
 		delete(e.joinable, g.key)
 	}
+}
+
+// tableIdentity resolves a scanned table's in-process identity qualifier for
+// canonical fingerprints: 0 while the table is the only instance this engine
+// has seen under its name — the canonical, cross-process form, so equal
+// catalogs in distinct engines still derive equal keys — and the table's
+// process-unique ID once the name is already bound to a different instance.
+// Qualified keys can never collide with the first instance's groups or
+// keep-alive artifacts, even when a drop-and-recreate restarts the epoch at
+// 0. The binding is first-sight and permanent for the engine's lifetime
+// (one pointer retained per name); engines sharing one artifact cache across
+// disagreeing same-named catalogs remain out of scope, exactly as before.
+func (e *Engine) tableIdentity(t *storage.Table) uint64 {
+	e.identMu.Lock()
+	defer e.identMu.Unlock()
+	first, ok := e.tableIdent[t.Name]
+	if !ok {
+		e.tableIdent[t.Name] = t
+		return 0
+	}
+	if first == t {
+		return 0
+	}
+	return t.ID()
 }
 
 // rootSchema derives the output schema of the spec's root node by

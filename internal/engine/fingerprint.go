@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+
+	"repro/internal/storage"
 )
 
 // This file canonicalizes NodeSpec subtrees into subplan fingerprints — the
@@ -28,7 +30,16 @@ import (
 //     equal catalogs produce equal ShareKeys, so fingerprints are usable as
 //     persistent cache keys — while the epoch term retires every key
 //     derived from a table the moment it mutates (a stale artifact keyed on
-//     the old epoch can never match a post-mutation arrival).
+//     the old epoch can never match a post-mutation arrival). Names alone
+//     are not an in-process identity, though: two live Table instances may
+//     share a name (drop-and-recreate restarts the epoch at 0; two catalogs
+//     can coexist in one engine), and their derived artifacts must never
+//     cross. The fingerprint therefore carries a table-identity qualifier
+//     (tid): 0 when the name is unambiguous — the canonical, persistent
+//     form — and the table's process-unique storage ID when the engine has
+//     already bound the name to a different instance (see
+//     Engine.tableIdentity). Engine-free canonicalization (ShareKey, tests,
+//     monitors) always renders tid=0.
 //   - Operators and joins are closures the engine cannot inspect, so they
 //     canonicalize through the explicit NodeSpec.Fingerprint the plan
 //     builder declares, combined per branch with their inputs' canonical
@@ -53,16 +64,33 @@ import (
 // per-spec result is what the submit-path compile cache memoizes (see
 // compile.go).
 
+// tableIdentFn resolves the in-process identity qualifier of a scanned
+// table: 0 when the table name alone is unambiguous (the canonical,
+// cross-process form), nonzero to disambiguate a same-named distinct
+// instance. nil means "always 0" — the engine-free canonical form.
+type tableIdentFn func(*storage.Table) uint64
+
 // appendSubplanFingerprints fills fps[:len(spec.Nodes)] with the canonical
 // form of every node's subtree in one bottom-up pass. fps must have
-// len(spec.Nodes); entries are overwritten.
-func appendSubplanFingerprints(spec QuerySpec, fps []string) {
+// len(spec.Nodes); entries are overwritten. ident qualifies scanned-table
+// identity (nil = canonical form, tid always 0).
+func appendSubplanFingerprints(spec QuerySpec, fps []string, ident tableIdentFn) {
 	for i, nd := range spec.Nodes {
 		switch {
 		case nd.Scan != nil:
 			sc := nd.Scan
-			fps[i] = fmt.Sprintf("scan(%s|schema=%v|epoch=%d|cols=%v|pred=%#v|rows=%d)",
-				sc.Table.Name, sc.Table.Schema(), sc.Table.Epoch(), sc.Cols, sc.Pred, sc.PageRows)
+			var tid uint64
+			if ident != nil {
+				tid = ident(sc.Table)
+			}
+			// nil Cols (every column) and empty Cols (no columns) project
+			// differently; render nil as "*" so the two never share a key.
+			cols := "*"
+			if sc.Cols != nil {
+				cols = fmt.Sprint(sc.Cols)
+			}
+			fps[i] = fmt.Sprintf("scan(%s|tid=%d|schema=%v|epoch=%d|cols=%s|pred=%#v|rows=%d)",
+				sc.Table.Name, tid, sc.Table.Schema(), sc.Table.Epoch(), cols, sc.Pred, sc.PageRows)
 		case nd.Fingerprint != "":
 			switch {
 			case nd.Op != nil:
@@ -90,7 +118,7 @@ func appendSubplanFingerprints(spec QuerySpec, fps []string) {
 // subplanFingerprints returns the canonical form of every node's subtree.
 func subplanFingerprints(spec QuerySpec) []string {
 	fps := make([]string, len(spec.Nodes))
-	appendSubplanFingerprints(spec, fps)
+	appendSubplanFingerprints(spec, fps, nil)
 	return fps
 }
 

@@ -77,6 +77,38 @@ func TestShareKeyDeterministicAcrossCatalogs(t *testing.T) {
 	}
 }
 
+// Names are catalog identity, not in-process identity: when one engine has
+// already bound a table name to a different live instance, a same-named
+// distinct table compiles under a qualified key, so the two can never merge
+// into each other's groups or hit each other's retained artifacts — while
+// the engine-free canonical form stays name-keyed, preserving cross-process
+// determinism, and the first-bound instance keeps the canonical key.
+func TestSameNamedDistinctTablesKeepDistinctEngineKeys(t *testing.T) {
+	e := newPlain(t, Options{Workers: 2})
+	t1 := scanTable(t, 64)
+	t2 := scanTable(t, 64) // same name "t", same schema, same epoch
+	a := sumSpec(t1, "sn/a", "sum-v")
+	b := sumSpec(t2, "sn/a", "sum-v")
+	if ShareKey(a) != ShareKey(b) {
+		t.Error("engine-free canonical keys must stay name-keyed for equal catalogs")
+	}
+	ca, cb := e.compileFor(a), e.compileFor(b)
+	if ca.shareKeyAt(0) == cb.shareKeyAt(0) {
+		t.Error("same-named distinct tables compiled to one in-process key")
+	}
+	if got, want := ca.shareKeyAt(0), ShareKey(a); got != want {
+		t.Errorf("first-bound instance key = %q, want the canonical %q", got, want)
+	}
+	// The binding is stable: recompiling either table resolves the same
+	// identity again.
+	if got := e.compileFor(b).shareKeyAt(0); got != cb.shareKeyAt(0) {
+		t.Errorf("identity qualifier unstable across compiles: %q then %q", cb.shareKeyAt(0), got)
+	}
+	if got := e.compileFor(a).shareKeyAt(0); got != ca.shareKeyAt(0) {
+		t.Error("first-bound instance lost its canonical key")
+	}
+}
+
 // Opaque operators (no declared fingerprint) fall back to signature-scoped
 // identity — PR 1 semantics — while fingerprinted ones share across
 // signatures.

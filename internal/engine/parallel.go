@@ -103,7 +103,7 @@ func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int, cp *Co
 		return err
 	}
 	mergeBody := &opTask{name: mergeName, push: mop.Push, finish: mop.Finish, in: fanIn, out: mergeOb, clock: e.clock, fail: g.fail}
-	sink := e.newSinkTask(g, h, mergeOut, mop.OutSchema(), cp.rootHint)
+	sink := e.newSinkTask(g, h, mergeOut, mop.OutSchema(), root.RowsHint)
 
 	// Build all d clone pipelines before spawning anything, so a mid-build
 	// error leaves no orphaned tasks.

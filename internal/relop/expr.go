@@ -11,6 +11,7 @@ package relop
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 
@@ -628,3 +629,82 @@ func (True) Filter(b *storage.Batch, sel []int) ([]int, error) { return allRows(
 
 // String implements Pred.
 func (True) String() string { return "TRUE" }
+
+// PredEqual reports whether two predicate trees are structurally identical:
+// the same shape built from the same operators, columns, and literals. It is
+// the comparison half of the engine's plan-identity guards — two predicates
+// for which PredEqual holds filter any batch identically. nil equals only
+// nil (an absent predicate is a distinct identity from an explicit True).
+// The standard predicate kinds compare without allocating; unknown Pred
+// implementations fall back to reflect.DeepEqual.
+func PredEqual(a, b Pred) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case True:
+		_, ok := b.(True)
+		return ok
+	case Cmp:
+		y, ok := b.(Cmp)
+		return ok && x.Op == y.Op && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case And:
+		y, ok := b.(And)
+		return ok && predsEqual(x.Preds, y.Preds)
+	case Or:
+		y, ok := b.(Or)
+		return ok && predsEqual(x.Preds, y.Preds)
+	case Not:
+		y, ok := b.(Not)
+		return ok && PredEqual(x.P, y.P)
+	case ContainsAll:
+		y, ok := b.(ContainsAll)
+		if !ok || x.Column != y.Column || len(x.Substrings) != len(y.Substrings) {
+			return false
+		}
+		for i := range x.Substrings {
+			if x.Substrings[i] != y.Substrings[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func predsEqual(a, b []Pred) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !PredEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExprEqual reports whether two scalar expression trees are structurally
+// identical, under the same contract as PredEqual.
+func ExprEqual(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case ColRef:
+		y, ok := b.(ColRef)
+		return ok && x == y
+	case ConstInt:
+		y, ok := b.(ConstInt)
+		return ok && x == y
+	case ConstFloat:
+		y, ok := b.(ConstFloat)
+		return ok && x == y
+	case Arith:
+		y, ok := b.(Arith)
+		return ok && x.Op == y.Op && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}

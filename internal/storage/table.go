@@ -9,6 +9,8 @@ import (
 type Table struct {
 	// Name is the table name ("lineitem").
 	Name string
+	// id is the table's process-unique identity nonce (see ID).
+	id uint64
 	// data holds all rows as one large batch.
 	data *Batch
 	// epoch is the table's invalidation epoch: every mutation-path publish
@@ -18,10 +20,21 @@ type Table struct {
 	epoch atomic.Uint64
 }
 
+// nextTableID issues process-unique table identity nonces (first ID is 1, so
+// zero is free to mean "identity carried by the name alone").
+var nextTableID atomic.Uint64
+
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, s Schema) *Table {
-	return &Table{Name: name, data: NewBatch(s, 0)}
+	return &Table{Name: name, id: nextTableID.Add(1), data: NewBatch(s, 0)}
 }
+
+// ID returns the table's process-unique identity nonce, assigned at
+// construction and never reused within a process. Names are a catalog-level
+// identity — nothing stops two live Table instances from sharing one — so
+// consumers that key derived artifacts by name (the engine's share keys)
+// use the ID to tell same-named instances apart.
+func (t *Table) ID() uint64 { return t.id }
 
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.data.Schema }
