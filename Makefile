@@ -1,10 +1,10 @@
 GO ?= go
 
 # Output file for the machine-readable ablation report; the CI artifact name
-# is derived from this (BENCH_PR7.json -> bench-pr7).
-BENCH_OUT ?= BENCH_PR7.json
+# is derived from this (BENCH_PR8.json -> bench-pr8).
+BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-hotpath smoke-server fmt examples ci
+.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-hotpath smoke-server fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,19 @@ bench:
 
 # Machine-readable ablation results (policy sweep + pivot-level ablation +
 # build-share ablation + cache ablation + open-loop server ablation +
-# hot-path ablation), emitted as $(BENCH_OUT) and archived by CI as an
-# artifact so the perf trajectory is tracked run over run. bench-pr7 is the
-# current alias; bench-pr5/bench-pr6 re-emit under the previous filenames
-# for trajectory comparisons.
+# hot-path ablation + shard ablation), emitted as $(BENCH_OUT) and archived
+# by CI as an artifact so the perf trajectory is tracked run over run. The
+# shard ablation hard-fails unless 4-shard subplan capacity beats 1-shard by
+# >= 2x and the cross-shard bus runs exactly one hash build per shared
+# family. bench-pr8 is the current alias; bench-pr5..pr7 re-emit under the
+# previous filenames for trajectory comparisons.
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-bench-pr7: bench-json
+bench-pr8: bench-json
+
+bench-pr7:
+	$(MAKE) bench-json BENCH_OUT=BENCH_PR7.json
 
 bench-pr6:
 	$(MAKE) bench-json BENCH_OUT=BENCH_PR6.json

@@ -1,9 +1,9 @@
 // Command benchjson runs the ablation measurements and emits them as
-// machine-readable JSON (BENCH_PR7.json by default; -out picks the file),
+// machine-readable JSON (BENCH_PR8.json by default; -out picks the file),
 // so CI can archive the perf trajectory run over run instead of letting
 // benchmark output scroll away.
 //
-// Six experiments run on the real staged engine:
+// Seven experiments run on the real staged engine:
 //
 //   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
 //     policy (never, always, model, inflight, parallel, hybrid, subplan),
@@ -36,17 +36,29 @@
 //     run fails unless the warm compile check is ≥2× faster than the cold
 //     compile, pre-sized builds allocate less, and all arms produce
 //     byte-identical results.
+//   - the shard ablation: the full scatter-gather family mix over clusters
+//     of 1, 2 and 4 engine shards under the never and subplan policies.
+//     Each cell reports wall-clock q/min alongside emulated-capacity q/min
+//     (completions over the busiest shard's busy-time makespan — the
+//     machine-independent metric on hosts with fewer cores than shards),
+//     plus the cluster's scatter/build/bus counters, and every scattered
+//     result is checked against the single-engine reference. The run fails
+//     if 4-shard subplan capacity is not >= 2x the 1-shard capacity, if the
+//     cross-shard bus lets any shard rebuild an artifact already sealed on
+//     it (one hash build per shared family, counter-asserted), or if any
+//     scattered result disagrees with the reference.
 //
 // Usage:
 //
 //	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
-//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR7.json]
+//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR8.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"testing"
@@ -71,7 +83,7 @@ var (
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
 	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
 	arrivalsFlag = flag.Int("arrivals", 120, "open-loop arrivals offered per policy")
-	outFlag      = flag.String("out", "BENCH_PR7.json", "output file (- for stdout)")
+	outFlag      = flag.String("out", "BENCH_PR8.json", "output file (- for stdout)")
 )
 
 // PolicyResult is one policy sweep measurement.
@@ -157,6 +169,43 @@ type HotPathResult struct {
 	ResultsIdentical   bool    `json:"results_identical"`
 }
 
+// ShardAblationResult is one shard ablation cell: the full scatter-gather
+// family mix (every family × every variant, twice) over a cluster of Shards
+// engines under one sharing policy. QPMWall is measured wall-clock
+// throughput; QPMCapacity is the emulated-machine metric — completions over
+// the busiest shard's busy-time makespan (Σ busy / workers, maxed over
+// shards) — which measures what the topology buys even when the host has
+// fewer physical cores than the cluster has shards.
+type ShardAblationResult struct {
+	Shards        int     `json:"shards"`
+	Policy        string  `json:"policy"`
+	Completions   int     `json:"completions"`
+	QPMWall       float64 `json:"qpm_wall"`
+	QPMCapacity   float64 `json:"qpm_capacity"`
+	Scatters      int64   `json:"scatters"`
+	Routed        int64   `json:"routed"`
+	HashBuilds    int64   `json:"hash_builds"`
+	BusJoins      int64   `json:"bus_joins"`
+	CompileMisses int64   `json:"compile_misses"`
+	CompileHits   int64   `json:"compile_hits"`
+	// Identical reports the scattered results matched the single-engine
+	// reference: byte-identical for the integer-count families, within
+	// summation-order float jitter (1e-9 relative) for the sum-heavy ones.
+	Identical bool `json:"results_identical"`
+}
+
+// ShardOneBuildResult is the cross-shard bus gate: one Q4 and one Q13
+// scattered over four paused shards must run exactly one hash build per
+// family cluster-wide, with every other shard attaching through the bus
+// before any work runs.
+type ShardOneBuildResult struct {
+	Shards     int   `json:"shards"`
+	Families   int   `json:"families"`
+	HashBuilds int64 `json:"hash_builds"`
+	BusJoins   int64 `json:"bus_joins"`
+	Identical  bool  `json:"results_identical"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Bench         string                 `json:"bench"`
@@ -167,6 +216,8 @@ type Report struct {
 	CacheAblation []CacheAblationResult  `json:"cache_ablation"`
 	OpenLoop      []OpenLoopPolicyResult `json:"open_loop"`
 	HotPath       HotPathResult          `json:"hot_path"`
+	ShardAblation []ShardAblationResult  `json:"shard_ablation"`
+	ShardOneBuild ShardOneBuildResult    `json:"shard_one_build"`
 }
 
 func main() {
@@ -183,7 +234,7 @@ func run() error {
 		return err
 	}
 	report := Report{
-		Bench: "PR7",
+		Bench: "PR8",
 		Config: map[string]any{
 			"sf":          *sfFlag,
 			"seed":        *seedFlag,
@@ -306,6 +357,43 @@ func run() error {
 		return fmt.Errorf("hot path: arms disagree on query results")
 	}
 
+	// Shard ablation: shard count × policy over the scatter-gather family
+	// mix, with the throughput, one-build, and correctness gates.
+	capacity := map[string]float64{}
+	for _, k := range []int{1, 2, 4} {
+		for _, polName := range []string{"never", "subplan"} {
+			cell, err := shardCell(db, k, polName, *workersFlag)
+			if err != nil {
+				return fmt.Errorf("shard ablation %d/%s: %w", k, polName, err)
+			}
+			if !cell.Identical {
+				return fmt.Errorf("shard ablation: %d-shard %s results disagree with the single-engine reference", k, polName)
+			}
+			capacity[fmt.Sprintf("%d/%s", k, polName)] = cell.QPMCapacity
+			report.ShardAblation = append(report.ShardAblation, cell)
+		}
+	}
+	if c1, c4 := capacity["1/subplan"], capacity["4/subplan"]; c4 < 2*c1 {
+		return fmt.Errorf("shard ablation: 4-shard subplan capacity %.0f q/min is not >= 2x the 1-shard %.0f q/min",
+			c4, c1)
+	}
+	report.ShardOneBuild, err = shardOneBuildCell(db, *workersFlag)
+	if err != nil {
+		return err
+	}
+	ob := report.ShardOneBuild
+	if ob.HashBuilds != int64(ob.Families) {
+		return fmt.Errorf("shard bus: %d hash builds for %d shared families over %d shards — a shard rebuilt an artifact already sealed on the bus",
+			ob.HashBuilds, ob.Families, ob.Shards)
+	}
+	if want := int64(ob.Families * (ob.Shards - 1)); ob.BusJoins != want {
+		return fmt.Errorf("shard bus: %d bus joins, want %d (%d families × %d non-anchor shards)",
+			ob.BusJoins, want, ob.Families, ob.Shards-1)
+	}
+	if !ob.Identical {
+		return fmt.Errorf("shard bus: bus-shared scattered results disagree with the reference")
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -318,10 +406,213 @@ func run() error {
 	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells, compile warm %.1fx)\n",
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells, compile warm %.1fx, %d shard cells, 4-shard capacity %.1fx)\n",
 		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation), len(report.OpenLoop),
-		report.HotPath.CompileSpeedupX)
+		report.HotPath.CompileSpeedupX, len(report.ShardAblation),
+		capacity["4/subplan"]/capacity["1/subplan"])
 	return nil
+}
+
+// shardCell measures one shard ablation cell: two full rotations of every
+// scatter-gather family variant, submitted to a paused k-shard cluster and
+// released at once — the same batch shape on every topology, so the cells
+// differ only in how the cluster decomposes the work. The capacity metric
+// reads each shard's profiled busy time: the cluster is done no sooner than
+// its busiest shard, so completions / max_shard(Σ busy / workers) is the
+// throughput a machine with one core per emulated worker would sustain,
+// independent of how many cores this host actually has.
+func shardCell(db *tpch.DB, shards int, polName string, workers int) (ShardAblationResult, error) {
+	sdb, err := tpch.NewShardedDB(db, shards)
+	if err != nil {
+		return ShardAblationResult{}, err
+	}
+	plans, err := tpch.CompileShardPlans(sdb, 0)
+	if err != nil {
+		return ShardAblationResult{}, err
+	}
+	pol, inflight, err := policy.ByName(polName, core.NewEnv(float64(workers*shards)), workers)
+	if err != nil {
+		return ShardAblationResult{}, err
+	}
+	c, err := engine.NewCluster(shards, engine.Options{
+		Workers:         workers,
+		FanOut:          engine.FanOutShare,
+		InflightSharing: inflight,
+		Profile:         true,
+		StartPaused:     true,
+	})
+	if err != nil {
+		return ShardAblationResult{}, err
+	}
+	defer c.Close()
+
+	type sub struct {
+		fam     string
+		variant int
+		h       *engine.Handle
+	}
+	var subs []sub
+	const reps = 2
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, f := range tpch.ShardFamilies() {
+			for v := 0; v < f.Variants; v++ {
+				h, err := c.Submit(plans[fmt.Sprintf("%s/%d", f.Name, v)], policy.ForEngine(pol))
+				if err != nil {
+					return ShardAblationResult{}, err
+				}
+				subs = append(subs, sub{f.Name, v, h})
+			}
+		}
+	}
+	c.Start()
+	results := make([]*storage.Batch, len(subs))
+	for i, s := range subs {
+		if results[i], err = s.h.Wait(); err != nil {
+			return ShardAblationResult{}, fmt.Errorf("%s/%d: %w", s.fam, s.variant, err)
+		}
+	}
+	wall := time.Since(start)
+	c.Drain()
+
+	// Every (family, variant) result against the single-engine reference.
+	identical := true
+	checked := map[string]bool{}
+	for i, s := range subs {
+		key := fmt.Sprintf("%s/%d", s.fam, s.variant)
+		if checked[key] {
+			continue
+		}
+		checked[key] = true
+		f, _ := tpch.ShardFamilyByName(s.fam)
+		want, err := f.Reference(db, s.variant)
+		if err != nil {
+			return ShardAblationResult{}, err
+		}
+		if !batchesMatch(s.fam, results[i], want) {
+			identical = false
+		}
+	}
+
+	var makespan time.Duration
+	for i := 0; i < c.NumShards(); i++ {
+		var busy time.Duration
+		for _, d := range c.Shard(i).BusyTimes() {
+			busy += d
+		}
+		if per := busy / time.Duration(workers); per > makespan {
+			makespan = per
+		}
+	}
+	cell := ShardAblationResult{
+		Shards:        shards,
+		Policy:        polName,
+		Completions:   len(subs),
+		QPMWall:       float64(len(subs)) / wall.Minutes(),
+		Scatters:      c.Scatters(),
+		Routed:        c.Routed(),
+		HashBuilds:    c.HashBuilds(),
+		BusJoins:      c.BusJoins(),
+		CompileMisses: c.CompileMisses(),
+		CompileHits:   c.CompileHits(),
+		Identical:     identical,
+	}
+	if makespan > 0 {
+		cell.QPMCapacity = float64(len(subs)) / makespan.Minutes()
+	}
+	return cell, nil
+}
+
+// shardOneBuildCell asserts the cross-shard bus contract with counters: one
+// Q4 and one Q13 scattered over four paused shards. Both families replicate
+// their build side, so all four shard submissions of each family land before
+// any work runs, one shard anchors each family's build, and the other three
+// attach through the bus — exactly one hash build per family cluster-wide.
+func shardOneBuildCell(db *tpch.DB, workers int) (ShardOneBuildResult, error) {
+	const shards = 4
+	sdb, err := tpch.NewShardedDB(db, shards)
+	if err != nil {
+		return ShardOneBuildResult{}, err
+	}
+	c, err := engine.NewCluster(shards, engine.Options{Workers: workers, StartPaused: true})
+	if err != nil {
+		return ShardOneBuildResult{}, err
+	}
+	defer c.Close()
+	plans := []struct {
+		fam  string
+		plan func(pageRows, variant int) (engine.ShardPlan, error)
+		ref  func(*tpch.DB, int) (*storage.Batch, error)
+	}{
+		{"Q4", sdb.Q4FamilyShardPlan, tpch.Q4FamilyReference},
+		{"Q13", sdb.Q13FamilyShardPlan, tpch.Q13FamilyReference},
+	}
+	var handles []*engine.Handle
+	for _, p := range plans {
+		plan, err := p.plan(0, 0)
+		if err != nil {
+			return ShardOneBuildResult{}, err
+		}
+		h, err := c.Submit(plan, policy.Always{})
+		if err != nil {
+			return ShardOneBuildResult{}, err
+		}
+		handles = append(handles, h)
+	}
+	// Every shard submission landed while the cluster is paused; the bus
+	// joins are already decided before any build runs.
+	res := ShardOneBuildResult{Shards: shards, Families: len(plans), BusJoins: c.BusJoins()}
+	c.Start()
+	res.Identical = true
+	for i, p := range plans {
+		got, err := handles[i].Wait()
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", p.fam, err)
+		}
+		want, err := p.ref(db, 0)
+		if err != nil {
+			return res, err
+		}
+		if renderBatch(got) != renderBatch(want) {
+			res.Identical = false
+		}
+	}
+	res.HashBuilds = c.HashBuilds()
+	c.Drain()
+	return res, nil
+}
+
+// batchesMatch compares a scattered result against the reference:
+// byte-identical for the integer-count families (Q4, Q13), and within
+// summation-order float jitter (1e-9 relative) for the sum-heavy ones.
+func batchesMatch(family string, got, want *storage.Batch) bool {
+	switch family {
+	case "Q4", "Q13":
+		return renderBatch(got) == renderBatch(want)
+	}
+	if got.Len() != want.Len() {
+		return false
+	}
+	for c, col := range want.Schema.Cols {
+		for i := 0; i < want.Len(); i++ {
+			switch col.Type {
+			case storage.Int64, storage.Date:
+				if got.Vecs[c].I64[i] != want.Vecs[c].I64[i] {
+					return false
+				}
+			case storage.String:
+				if got.Vecs[c].Str[i] != want.Vecs[c].Str[i] {
+					return false
+				}
+			case storage.Float64:
+				g, w := got.Vecs[c].F64[i], want.Vecs[c].F64[i]
+				if diff := math.Abs(g - w); diff > 1e-9*math.Max(1, math.Abs(w)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // openLoopSweep runs the open-loop ablation: one live server per policy, all

@@ -16,8 +16,14 @@
 // Usage:
 //
 //	cordobad [-addr 127.0.0.1:7432] [-addr-file path] [-sf 0.005] [-seed 42]
-//	         [-workers N] [-policy subplan] [-window 0] [-queue-limit 0]
-//	         [-patience 0] [-cache-mb 0] [-cache-ttl 500ms] [-sweep 0]
+//	         [-workers N] [-shards 1] [-policy subplan] [-window 0]
+//	         [-queue-limit 0] [-patience 0] [-cache-mb 0] [-cache-ttl 500ms]
+//	         [-sweep 0]
+//
+// With -shards N > 1 the server range-partitions the data across N engine
+// shards, compiles every family's scatter-gather plan at startup, and routes
+// queries through the cluster; the drain report then adds one counter line
+// per shard.
 //
 // The same binary doubles as the open-loop traffic driver:
 //
@@ -55,6 +61,7 @@ var (
 	sfFlag       = flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seedFlag     = flag.Uint64("seed", 42, "data generator seed")
 	workersFlag  = flag.Int("workers", runtime.GOMAXPROCS(0), "engine workers (emulated processors)")
+	shardsFlag   = flag.Int("shards", 1, "engine shards: >1 range-partitions the data and runs scatter-gather plans over a cluster with a cross-shard artifact bus")
 	policyFlag   = flag.String("policy", "subplan", "sharing policy: model, always, never, inflight, parallel, hybrid, subplan")
 	windowFlag   = flag.Int("window", 0, "admission window: max concurrently admitted queries (0 = 2×workers)")
 	queueFlag    = flag.Int("queue-limit", 0, "global backlog cap across tenant FIFOs (0 = 8×window)")
@@ -113,6 +120,7 @@ func runServer() error {
 	}
 	s, err := server.New(server.Config{
 		DB:         db,
+		Shards:     *shardsFlag,
 		Engine:     opts,
 		Policy:     policy.ForEngine(pol),
 		Window:     *windowFlag,
@@ -126,7 +134,7 @@ func runServer() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cordobad: serving on %s (policy=%s workers=%d)\n", ln.Addr(), *policyFlag, *workersFlag)
+	fmt.Printf("cordobad: serving on %s (policy=%s workers=%d shards=%d)\n", ln.Addr(), *policyFlag, *workersFlag, *shardsFlag)
 	if *addrFileFlag != "" {
 		if err := os.WriteFile(*addrFileFlag, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			ln.Close()
@@ -151,6 +159,9 @@ func runServer() error {
 			st.Completed, st.Shed, st.Errors, st.Admissions,
 			st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes,
 			st.CompileHits, st.CompileMisses)
+		if len(st.Shards) > 0 {
+			fmt.Print(workload.ShardReport(st))
+		}
 		return nil
 	}
 }
@@ -179,10 +190,16 @@ func runClient() error {
 		fmt.Printf("queue wait: %s\n", res.QueueWait)
 	}
 	// Repeated families should be riding the server's compile cache; show
-	// the reuse the run achieved.
+	// the reuse the run achieved, and on a sharded server where the work
+	// landed shard by shard.
 	if c, err := workload.DialServer(*addrFlag); err == nil {
-		if st, err := c.ServerStats(); err == nil && st.CompileHits+st.CompileMisses > 0 {
-			fmt.Printf("server compile cache: %d hits / %d misses\n", st.CompileHits, st.CompileMisses)
+		if st, err := c.ServerStats(); err == nil {
+			if st.CompileHits+st.CompileMisses > 0 {
+				fmt.Printf("server compile cache: %d hits / %d misses\n", st.CompileHits, st.CompileMisses)
+			}
+			if len(st.Shards) > 0 {
+				fmt.Print(workload.ShardReport(st))
+			}
 		}
 		c.Close()
 	}

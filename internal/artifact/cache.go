@@ -34,6 +34,7 @@
 package artifact
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -45,6 +46,28 @@ import (
 // closed-loop traffic whose burst structure the cache cannot observe.
 const DefaultRearrival = 0.5
 
+// Per-key re-arrival estimation: every lookup under a key is an arrival of
+// a fingerprint-matching query, and the cache keeps an exponentially
+// weighted moving average of each key's inter-arrival gap. Admission then
+// weighs rebuild cost by that key's own re-arrival probability — hot
+// fingerprints (gap ≪ TTL) approach certainty, cold ones (gap ≫ TTL) decay
+// toward zero — instead of one fixed prior for the whole workload. The
+// configured Rearrival remains the prior for keys with no observed gap yet.
+const (
+	// rearrivalAlpha is the EWMA weight on the newest gap: heavy enough to
+	// converge within a handful of arrivals, light enough to smooth jitter.
+	rearrivalAlpha = 0.3
+	// maxArrivalKeys bounds the tracker map; when full, inserting a new key
+	// evicts the key whose last arrival is oldest.
+	maxArrivalKeys = 4096
+)
+
+// arrival is one key's observed inter-arrival structure.
+type arrival struct {
+	last time.Time
+	gap  float64 // EWMA inter-arrival gap in seconds; 0 until two arrivals
+}
+
 // Config configures a Cache.
 type Config struct {
 	// BudgetBytes is the hard ceiling on retained bytes (0 = unbounded).
@@ -54,9 +77,12 @@ type Config struct {
 	// TTL is the keep-alive window measured from an entry's last use
 	// (0 = entries never expire by age).
 	TTL time.Duration
-	// Rearrival is the expected probability that a fingerprint-matching
-	// query re-arrives within the keep-alive window, the weight on the
-	// model's rebuild cost at admission (0 = DefaultRearrival).
+	// Rearrival is the prior probability that a fingerprint-matching query
+	// re-arrives within the keep-alive window, the weight on the model's
+	// rebuild cost at admission (0 = DefaultRearrival). It applies to keys
+	// whose arrival history the cache has not yet observed; once a key shows
+	// two or more arrivals, its own EWMA inter-arrival estimate takes over
+	// (see RearrivalFor).
 	Rearrival float64
 	// Now overrides the clock (tests); nil uses time.Now.
 	Now func() time.Time
@@ -95,10 +121,11 @@ type Cache struct {
 	rearrival float64
 	now       func() time.Time
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	bytes   int64
-	stats   Stats
+	mu       sync.Mutex
+	entries  map[string]*entry
+	arrivals map[string]*arrival
+	bytes    int64
+	stats    Stats
 }
 
 // New creates a cache with the given configuration.
@@ -115,6 +142,7 @@ func New(cfg Config) *Cache {
 		rearrival: cfg.Rearrival,
 		now:       cfg.Now,
 		entries:   make(map[string]*entry),
+		arrivals:  make(map[string]*arrival),
 	}
 }
 
@@ -124,9 +152,72 @@ func (c *Cache) Budget() int64 { return c.budget }
 // TTL returns the configured keep-alive window.
 func (c *Cache) TTL() time.Duration { return c.ttl }
 
-// Rearrival returns the expected re-arrival probability admissions weigh
-// rebuild cost by.
+// Rearrival returns the configured re-arrival prior: the probability used
+// for keys whose inter-arrival structure the cache has not yet observed.
 func (c *Cache) Rearrival() float64 { return c.rearrival }
+
+// RearrivalFor returns the expected probability that a query matching key
+// re-arrives within the keep-alive window: the per-key EWMA estimate once
+// two arrivals have been observed, the configured prior before that (or
+// whenever the cache has no TTL window to estimate against).
+func (c *Cache) RearrivalFor(key string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rearrivalForLocked(key)
+}
+
+// rearrivalForLocked estimates key's re-arrival probability within the TTL
+// assuming exponential inter-arrivals at the observed EWMA rate:
+// P = 1 - exp(-TTL/gap), clamped away from the extremes so one burst can
+// never make an artifact look permanently free or permanently worthless.
+// Caller holds c.mu.
+func (c *Cache) rearrivalForLocked(key string) float64 {
+	a, ok := c.arrivals[key]
+	if !ok || a.gap <= 0 || c.ttl <= 0 {
+		return c.rearrival
+	}
+	p := 1 - math.Exp(-c.ttl.Seconds()/a.gap)
+	return math.Min(0.99, math.Max(0.01, p))
+}
+
+// observeLocked records one arrival of a query matching key, updating the
+// key's EWMA inter-arrival gap. Caller holds c.mu.
+func (c *Cache) observeLocked(key string) {
+	now := c.now()
+	a, ok := c.arrivals[key]
+	if !ok {
+		if len(c.arrivals) >= maxArrivalKeys {
+			c.evictArrivalLocked()
+		}
+		c.arrivals[key] = &arrival{last: now}
+		return
+	}
+	gap := now.Sub(a.last).Seconds()
+	a.last = now
+	if gap <= 0 {
+		return
+	}
+	if a.gap == 0 {
+		a.gap = gap
+	} else {
+		a.gap = rearrivalAlpha*gap + (1-rearrivalAlpha)*a.gap
+	}
+}
+
+// evictArrivalLocked drops the tracker whose last arrival is oldest — the
+// key least likely to matter to a near-future admission. Caller holds c.mu.
+func (c *Cache) evictArrivalLocked() {
+	var victim string
+	var oldest time.Time
+	for key, a := range c.arrivals {
+		if victim == "" || a.last.Before(oldest) {
+			victim, oldest = key, a.last
+		}
+	}
+	if victim != "" {
+		delete(c.arrivals, victim)
+	}
+}
 
 // Put offers a retired artifact for retention: value under key, footprint
 // bytes, the work model of the subplan that built it (compiled at the
@@ -145,7 +236,7 @@ func (c *Cache) Put(key string, value any, bytes int64, model core.Query, epoch 
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !core.ShouldRetain(model, c.rearrival, bytes, c.budget) {
+	if !core.ShouldRetain(model, c.rearrivalForLocked(key), bytes, c.budget) {
 		c.stats.Rejects++
 		return false
 	}
@@ -181,6 +272,9 @@ func (c *Cache) Put(key string, value any, bytes int64, model core.Query, epoch 
 func (c *Cache) Get(key string, epoch uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Every lookup — hit or miss — is an arrival of a matching query: the
+	// signal the per-key re-arrival estimate is built from.
+	c.observeLocked(key)
 	e, ok := c.entries[key]
 	if !ok {
 		c.stats.Misses++

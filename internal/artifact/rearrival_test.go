@@ -1,0 +1,135 @@
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// arrive records n arrivals of key spaced gap apart on the test clock.
+func arrive(c *Cache, ck *clock, key string, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		c.Get(key, 0)
+		ck.advance(gap)
+	}
+}
+
+// The per-key EWMA must converge to the analytic re-arrival probability of a
+// steady arrival process — P = 1 - exp(-TTL/gap) — and keep distinct
+// estimates for keys with distinct rates, while unseen keys stay on the
+// configured prior.
+func TestRearrivalEWMAConvergence(t *testing.T) {
+	ck := newClock()
+	ttl := 2 * time.Second
+	c := New(Config{TTL: ttl, Now: ck.now})
+
+	if got := c.RearrivalFor("unseen"); got != DefaultRearrival {
+		t.Fatalf("unseen key estimate = %g, want the prior %g", got, DefaultRearrival)
+	}
+
+	arrive(c, ck, "hot", 30, time.Second)     // gap 1s << TTL
+	arrive(c, ck, "cold", 30, 20*time.Second) // gap 20s >> TTL
+	hotWant := 1 - math.Exp(-ttl.Seconds()/1.0)
+	coldWant := 1 - math.Exp(-ttl.Seconds()/20.0)
+	if got := c.RearrivalFor("hot"); math.Abs(got-hotWant) > 0.01 {
+		t.Errorf("hot key estimate = %g, want ~%g", got, hotWant)
+	}
+	if got := c.RearrivalFor("cold"); math.Abs(got-coldWant) > 0.01 {
+		t.Errorf("cold key estimate = %g, want ~%g", got, coldWant)
+	}
+	if c.RearrivalFor("hot") <= c.RearrivalFor("cold") {
+		t.Error("hot key must estimate a higher re-arrival than cold")
+	}
+	// The prior is untouched by observation.
+	if got := c.Rearrival(); got != DefaultRearrival {
+		t.Errorf("prior drifted to %g", got)
+	}
+}
+
+// A rate change must pull the EWMA toward the new regime geometrically: after
+// k new-regime gaps the residual error shrinks by (1-alpha)^k.
+func TestRearrivalEWMATracksRegimeShift(t *testing.T) {
+	ck := newClock()
+	c := New(Config{TTL: 2 * time.Second, Now: ck.now})
+	arrive(c, ck, "k", 20, time.Second)
+	before := c.RearrivalFor("k")
+	// Slow down 8x; the estimate must fall monotonically toward the new rate.
+	prev := before
+	for i := 0; i < 20; i++ {
+		arrive(c, ck, "k", 1, 8*time.Second)
+		got := c.RearrivalFor("k")
+		if got > prev+1e-12 {
+			t.Fatalf("estimate rose from %g to %g while the key slowed", prev, got)
+		}
+		prev = got
+	}
+	want := 1 - math.Exp(-2.0/8.0)
+	if math.Abs(prev-want) > 0.02 {
+		t.Errorf("after regime shift estimate = %g, want ~%g", prev, want)
+	}
+	if prev >= before {
+		t.Errorf("slowing key kept estimate %g >= %g", prev, before)
+	}
+}
+
+// Admission must use the per-key estimate: an artifact whose rebuild cost is
+// marginal under the prior is retained for a hot key and refused for a cold
+// one.
+func TestRearrivalDrivesAdmission(t *testing.T) {
+	ck := newClock()
+	ttl := 2 * time.Second
+	c := New(Config{BudgetBytes: 1 << 20, TTL: ttl, Now: ck.now})
+	arrive(c, ck, "hot", 30, time.Second)
+	arrive(c, ck, "cold", 30, time.Minute)
+	// Pick a rebuild cost between the two estimates' retain thresholds:
+	// retain iff p * w >= threshold(bytes, budget); calibrate w so that
+	// hot admits and cold rejects under the same footprint.
+	const bytes = 1 << 10
+	var w float64
+	for try := 0.1; try < 1e6; try *= 1.5 {
+		m := model(try)
+		hotOK := core.ShouldRetain(m, c.RearrivalFor("hot"), bytes, c.Budget())
+		coldOK := core.ShouldRetain(m, c.RearrivalFor("cold"), bytes, c.Budget())
+		if hotOK && !coldOK {
+			w = try
+			break
+		}
+	}
+	if w == 0 {
+		t.Skip("no rebuild cost separates the two estimates under this budget")
+	}
+	if !c.Put("hot", "tbl", bytes, model(w), 0) {
+		t.Error("hot key's artifact refused despite frequent re-arrivals")
+	}
+	if c.Put("cold", "tbl", bytes, model(w), 0) {
+		t.Error("cold key's artifact retained despite rare re-arrivals")
+	}
+}
+
+// The tracker map must stay bounded: far more keys than the cap leave at
+// most maxArrivalKeys trackers, evicting the stalest.
+func TestRearrivalTrackerBounded(t *testing.T) {
+	ck := newClock()
+	c := New(Config{TTL: time.Second, Now: ck.now})
+	for i := 0; i < maxArrivalKeys+512; i++ {
+		c.Get(fmt.Sprintf("k%d", i), 0)
+		ck.advance(time.Millisecond)
+	}
+	c.mu.Lock()
+	n := len(c.arrivals)
+	_, oldestAlive := c.arrivals["k0"]
+	_, newestAlive := c.arrivals[fmt.Sprintf("k%d", maxArrivalKeys+511)]
+	c.mu.Unlock()
+	if n > maxArrivalKeys {
+		t.Fatalf("%d trackers, cap is %d", n, maxArrivalKeys)
+	}
+	if oldestAlive {
+		t.Error("stalest tracker survived the bound")
+	}
+	if !newestAlive {
+		t.Error("newest tracker evicted")
+	}
+}

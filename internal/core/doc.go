@@ -215,6 +215,35 @@
 // order, decides who stays. See internal/server for the serving front door
 // wired to these decisions, and cmd/cordobad for the daemon.
 //
+// # Scatter-gather sharding (beyond the paper)
+//
+// Partitioning a table across N engine shards poses the model one more
+// question: is scattering a query across all shards worth the gather?
+// The answer reuses the coefficients unchanged. Running a plan whole on
+// one shard costs its full utilization demand u'; scattering runs each
+// shard's partial over 1/k of the input but adds a gather stage that
+// folds k partial results into one, and folding is priced exactly like
+// pivot fan-out — one hand-off of cost s per extra producer. So
+//
+//	T(k) = u'/k + s·(k−1)
+//
+// (ShardT), scatter iff T(k) < T(1) (ShouldScatter), and the optimal
+// shard count interior to the trade-off is k* ≈ √(u'/s) (BestShards):
+// scan-heavy plans with large u' scatter wide, while plans whose cost
+// already concentrates in a fan-out-priced root see the gather term
+// dominate immediately and route whole to a single shard, round-robin.
+// One subtlety: the s in the gather term is the ROOT pivot's hand-off
+// cost — the merge folds final partial aggregates — not the anchor
+// pivot's. Pricing the gather at a below-root anchor (e.g. a shared
+// scan's per-page s) would veto scattering for exactly the scan-heavy
+// plans that benefit most. engine.ShardPlan.Gather carries the
+// root-level (u', s) pair on every compiled scatter plan for this
+// reason. See engine.Cluster, engine.CompileScatter, and
+// tpch.CompileShardPlans;
+// replicated build subtrees fingerprint identically on every shard, so
+// the cross-shard work-exchange bus (below) runs one hash build
+// cluster-wide and every other shard attaches to the sealed table.
+//
 // On the storage side all sharing primitives register, attach, and retire
 // through one unified work-exchange registry (storage.Exchange), keyed by
 // subplan fingerprint: circular scans (every page to every consumer),

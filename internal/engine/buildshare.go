@@ -42,6 +42,14 @@ type buildShare struct {
 	key   string
 	pivot int // root of the build subtree
 	state *storage.BuildState
+	// foreign marks a share wrapping a build state owned by another engine on
+	// a shared exchange (the cross-shard artifact bus): the build subtree runs
+	// on the owner's shard, this engine only parks probers until the owner
+	// seals (adoptForeign) and never retires the state on a local failure —
+	// other shards may still be sharing it. Every local prober of a foreign
+	// share claims a reader mark (the owner's group holds the table's base
+	// ownership), so claim accounting stays balanced across engines.
+	foreign bool
 	// onSeal runs once when the build seals (the engine counts executed
 	// builds through it).
 	onSeal func()
@@ -81,7 +89,7 @@ func (bs *buildShare) attachProber() bool {
 	}
 	bs.mu.Lock()
 	bs.probers++
-	if bs.sealed && bs.probers > 1 && bs.table != nil {
+	if bs.sealed && bs.table != nil && (bs.probers > 1 || bs.foreign) {
 		bs.table.Rows().MarkShared(1)
 	}
 	bs.mu.Unlock()
@@ -146,6 +154,52 @@ func (bs *buildShare) sealCached(tbl *relop.HashTable) {
 	bs.ready = nil
 	bs.mu.Unlock()
 	bs.state.Seal(tbl)
+	for _, q := range ready {
+		q.Close()
+	}
+}
+
+// adoptForeign publishes a table sealed by another engine's build into this
+// engine's share: local waiters wake, and every local prober claims a reader
+// mark on the table rows (the owner's group holds the base ownership, so
+// local claims and releases must balance exactly — probers, not probers-1).
+// It fires no onSeal hook (the build executed, and was counted, on the
+// owner's shard) and never touches the shared state, which the owner has
+// already sealed.
+func (bs *buildShare) adoptForeign(tbl *relop.HashTable) {
+	bs.mu.Lock()
+	if bs.sealed || bs.failed {
+		bs.mu.Unlock()
+		return
+	}
+	bs.sealed = true
+	bs.table = tbl
+	if bs.probers > 0 {
+		tbl.Rows().MarkShared(bs.probers)
+	}
+	ready := bs.ready
+	bs.ready = nil
+	bs.mu.Unlock()
+	for _, q := range ready {
+		q.Close()
+	}
+}
+
+// failLocal aborts this engine's side of a foreign share — the owner's build
+// died, or a local member poisoned the local group. Waiters wake into the
+// failure path, but the shared state is left alone: it belongs to the owner's
+// engine and other shards may still be probing it. The probers' state
+// references are dropped by their tasks' usual retire path.
+func (bs *buildShare) failLocal() {
+	bs.mu.Lock()
+	if bs.sealed || bs.failed {
+		bs.mu.Unlock()
+		return
+	}
+	bs.failed = true
+	ready := bs.ready
+	bs.ready = nil
+	bs.mu.Unlock()
 	for _, q := range ready {
 		q.Close()
 	}

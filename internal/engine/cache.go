@@ -119,7 +119,7 @@ func (e *Engine) captureResult(h *Handle, res *storage.Batch) {
 		return
 	}
 	bytes := int64(res.EstimatedBytes())
-	if !core.ShouldRetain(h.resultModel, e.cache.Rearrival(), bytes, e.cache.Budget()) {
+	if !core.ShouldRetain(h.resultModel, e.cache.RearrivalFor(h.resultKey), bytes, e.cache.Budget()) {
 		return
 	}
 	e.cache.Put(h.resultKey, res.Clone(), bytes, h.resultModel, h.resultEpoch)

@@ -1,0 +1,470 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// This file implements partitioned multi-instance execution: a Cluster of
+// engine shards over range-partitioned tables, scatter-gather plans compiled
+// from a single-engine template, and the submit-path half of the cross-shard
+// artifact bus (the shared storage.Exchange wired through Options.Bus).
+//
+// The decomposition mirrors the single-engine parallel path (parallel.go):
+// where that path clones one plan across partitions of a scan inside one
+// engine, CompileScatter clones a whole plan across shards — each shard runs
+// the root's Partial form over its partition of the data, and the cluster's
+// gather stage runs the one Merge the clone fan-in would have run. What is
+// new is the boundary the clones cross: each shard is a full Engine with its
+// own scheduler, sharing groups, and policies, so every shard-local
+// work-sharing mechanism (fan-out groups, circular scans, build shares, the
+// keep-alive cache) keeps operating on the scattered fragments — and the
+// shared bus extends build-side sharing across the shards themselves.
+
+// newBusBuildGroupLocked anchors a local build-sharing group on a build state
+// published by another engine on the shared bus: the build subtree runs (or
+// already ran) on the owner's shard, and this engine's members only park
+// until the owner seals, then probe the one table privately — the cross-shard
+// counterpart of newCachedBuildGroupLocked, for artifacts still in flight.
+// The share is foreign: a local failure never retires the owner's state, and
+// local claim accounting covers every local prober (the owner's group holds
+// the table's base ownership). It returns (nil, nil) when the state retired
+// between the caller's lookup and the attach — the caller then falls through
+// to its remaining candidates. Caller holds e.mu.
+func (e *Engine) newBusBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle, st *storage.BuildState, cp *Compiled) (*shareGroup, error) {
+	gspec := spec
+	gspec.Pivot = opt.Pivot
+	gspec.Model = opt.Model
+	g := &shareGroup{signature: spec.Signature, spec: gspec, size: 1}
+	bs := &buildShare{key: cp.buildKeyAt(opt.Pivot), pivot: opt.Pivot, state: st, foreign: true}
+	g.build = bs
+	g.buildKey = bs.key
+	g.key = bs.key
+	g.onFail = func() {
+		bs.failLocal()
+		e.sealGroup(g)
+	}
+	if !bs.attachProber() {
+		return nil, nil
+	}
+	// Subscribe after the attach: the prober reference pins the state, so the
+	// subscription always resolves — immediately when the owner has already
+	// sealed, at the owner's seal otherwise, and with sealed=false if the
+	// owner's build fails (waking local waiters into the failure path).
+	st.Subscribe(func(v any, sealed bool) {
+		if sealed {
+			if tbl, ok := v.(*relop.HashTable); ok {
+				bs.adoptForeign(tbl)
+				return
+			}
+		}
+		bs.failLocal()
+	})
+	_, start, err := e.buildMember(g, gspec, h, bs, cp)
+	if err != nil {
+		bs.releaseProber()
+		return nil, err
+	}
+	start()
+	return g, nil
+}
+
+// ShardPlan is one query compiled for scatter-gather execution: the original
+// single-engine form (the template), one partial-form spec per shard, and the
+// merge operator the gather stage runs over the shards' partial results. A
+// plan whose Shards is empty (a 1-shard compile, or a family that cannot
+// decompose) always routes whole to a single shard.
+type ShardPlan struct {
+	// Template is the single-engine form, routed whole to one shard when the
+	// cluster decides not to scatter.
+	Template QuerySpec
+	// Shards are the per-shard partial forms (index i runs on shard i).
+	Shards []QuerySpec
+	// Merge creates the fan-in operator combining the shards' partial outputs
+	// into exactly what Template's root would have emitted.
+	Merge OpFactory
+	// Gather is the routing model the cluster prices scatter against: the
+	// template's total work u' with PivotS set to the cost of handing one
+	// shard's ROOT output to the coordinator — the root-level pivot option's
+	// s when the template declares one, else the template model's own s. The
+	// anchor-level s (a scan's page stream) can be orders of magnitude larger
+	// than the root's (a page of aggregate rows) and would wrongly veto
+	// scattering scan-heavy plans.
+	Gather core.Query
+}
+
+// CompileScatter compiles a single-engine template into its scatter-gather
+// form over the given shard count. The template's root must declare the
+// Partial/Merge pair (the same contract partitioned clone execution uses):
+// shard i runs a copy of the plan whose root is the Partial form and whose
+// scans are remapped through remap(i, table) — return the shard's partition
+// for partitioned tables, or the table itself (or nil) for replicated ones.
+//
+// Each shard spec's identity is qualified so shard work never collides with
+// template work or with another shard's:
+//
+//   - the root fingerprint gains a "|partial" namespace — a shard's partial
+//     result is a different artifact than the template's final result, and
+//     must never serve a result-cache lookup for it;
+//   - the Signature and PlanKey gain an "@s<i>/<n>" qualifier, so per-shard
+//     compile artifacts and sharing groups are tracked per shard;
+//   - remapped scans fingerprint over the partition's qualified name
+//     (storage.PartitionName), keeping shard-local artifacts distinct on a
+//     shared bus, while unmapped (replicated) subtrees canonicalize
+//     identically on every shard — exactly the subplans the bus may share
+//     cluster-wide.
+//
+// shards == 1 returns a route-whole plan (Shards empty): a one-shard cluster
+// runs templates unmodified under their canonical identity.
+func CompileScatter(template QuerySpec, shards int, remap func(shard int, tbl *storage.Table) *storage.Table) (ShardPlan, error) {
+	if err := template.Validate(); err != nil {
+		return ShardPlan{}, err
+	}
+	if shards < 1 {
+		return ShardPlan{}, fmt.Errorf("%w: scatter over %d shards", ErrBadSpec, shards)
+	}
+	if shards == 1 {
+		return ShardPlan{Template: template}, nil
+	}
+	root := len(template.Nodes) - 1
+	if template.Nodes[root].Partial == nil || template.Nodes[root].Merge == nil {
+		return ShardPlan{}, fmt.Errorf("%w: %s: root %s lacks the Partial/Merge pair scatter-gather needs",
+			ErrBadSpec, template.Signature, template.Nodes[root].Name)
+	}
+	plan := ShardPlan{Template: template, Merge: template.Nodes[root].Merge, Gather: template.Model}
+	for _, opt := range template.Pivots {
+		if opt.Pivot == root && !opt.Build {
+			plan.Gather.PivotS = opt.Model.PivotS
+			break
+		}
+	}
+	for s := 0; s < shards; s++ {
+		spec := template
+		spec.Nodes = append([]NodeSpec(nil), template.Nodes...)
+		if remap != nil {
+			for i := range spec.Nodes {
+				sc := spec.Nodes[i].Scan
+				if sc == nil {
+					continue
+				}
+				if nt := remap(s, sc.Table); nt != nil && nt != sc.Table {
+					resc := *sc
+					resc.Table = nt
+					spec.Nodes[i].Scan = &resc
+				}
+			}
+		}
+		nd := spec.Nodes[root]
+		nd.Op = nd.Partial
+		nd.Partial, nd.Merge = nil, nil
+		nd.Fingerprint += "|partial"
+		spec.Nodes[root] = nd
+		q := fmt.Sprintf("@s%d/%d", s, shards)
+		spec.Signature += q
+		if spec.PlanKey != "" {
+			spec.PlanKey += q
+		}
+		// The partial form is not clone-parallelizable (its root lost the
+		// Partial/Merge pair); intra-shard parallelism is the shard policy's
+		// call, never an inherited degree.
+		spec.Parallel = 0
+		plan.Shards = append(plan.Shards, spec)
+	}
+	return plan, nil
+}
+
+// Cluster is a set of engine shards sharing a cross-shard artifact bus: one
+// storage.Exchange every shard publishes to and discovers through, so a hash
+// table built on any shard serves probers on all of them, plus (when the
+// options carry one) one keep-alive cache. Submit routes each ShardPlan
+// either whole to a single shard (small queries, round-robin) or scattered —
+// every shard runs its partial form and a gather stage merges the partials in
+// shard-index order, so scattered results are deterministic for a fixed shard
+// count.
+type Cluster struct {
+	bus    *storage.Exchange
+	shards []*Engine
+
+	// gathers tracks in-flight gather completions so Drain covers the window
+	// between the last shard's sink and the merged result's delivery.
+	gathers sync.WaitGroup
+
+	mu       sync.Mutex
+	rr       int // round-robin cursor for route-whole submissions
+	scatters int64
+	routed   int64
+	finished int64
+}
+
+// NewCluster creates n engine shards over a shared artifact bus. Each shard
+// is configured from opts with the bus wired in; opts.Bus, when set, is used
+// as the cluster's bus (letting tests observe it), otherwise a fresh exchange
+// is created. Only shard 0 keeps the periodic sweep — one sweeper per bus,
+// not one per shard, so sweep cadence does not scale with the shard count.
+func NewCluster(n int, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("engine: cluster of %d shards", n)
+	}
+	bus := opts.Bus
+	if bus == nil {
+		bus = storage.NewExchange()
+	}
+	c := &Cluster{bus: bus}
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Bus = bus
+		if i > 0 {
+			o.SweepInterval = 0
+		}
+		e, err := New(o)
+		if err != nil {
+			for _, prev := range c.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		c.shards = append(c.shards, e)
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i's engine (for per-shard stats and direct submission).
+func (c *Cluster) Shard(i int) *Engine { return c.shards[i] }
+
+// Bus returns the shared artifact bus.
+func (c *Cluster) Bus() *storage.Exchange { return c.bus }
+
+// Start launches every paused shard's processors (no-op for shards created
+// running).
+func (c *Cluster) Start() {
+	for _, e := range c.shards {
+		e.Start()
+	}
+}
+
+// Drain stops admission on every shard and blocks until all in-flight
+// queries — including scattered ones awaiting their gather — have completed.
+func (c *Cluster) Drain() {
+	for _, e := range c.shards {
+		e.Drain()
+	}
+	c.gathers.Wait()
+}
+
+// Close shuts every shard down. Idempotent per shard.
+func (c *Cluster) Close() {
+	for _, e := range c.shards {
+		e.Close()
+	}
+}
+
+// Scatters returns the number of plans executed scatter-gather.
+func (c *Cluster) Scatters() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scatters
+}
+
+// Routed returns the number of plans routed whole to a single shard.
+func (c *Cluster) Routed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routed
+}
+
+// Finished returns the number of cluster-level queries completed: each
+// scattered plan counts once (at its gather), each routed plan once.
+func (c *Cluster) Finished() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.finished
+}
+
+// HashBuilds sums executed shared hash builds across shards. With the bus
+// deduplicating builds cluster-wide, a shared family contributes one build
+// to this total however many shards probed it.
+func (c *Cluster) HashBuilds() int64 { return c.sum((*Engine).HashBuilds) }
+
+// BuildJoins sums build-share attaches across shards (local and cross-shard).
+func (c *Cluster) BuildJoins() int64 { return c.sum((*Engine).BuildJoins) }
+
+// BusJoins sums cross-shard bus attaches across shards.
+func (c *Cluster) BusJoins() int64 { return c.sum((*Engine).BusJoins) }
+
+// Completed sums per-shard completed queries (a scattered plan counts once
+// per shard here; see Finished for the cluster-level count).
+func (c *Cluster) Completed() int64 { return c.sum((*Engine).Completed) }
+
+// CompileHits sums per-shard compile-cache hits.
+func (c *Cluster) CompileHits() int64 { return c.sum((*Engine).CompileHits) }
+
+// CompileMisses sums per-shard compile-cache misses.
+func (c *Cluster) CompileMisses() int64 { return c.sum((*Engine).CompileMisses) }
+
+// CacheStats returns the keep-alive cache counters. Shards share one cache
+// instance (when the options carry one), so shard 0's view is the cluster's.
+func (c *Cluster) CacheStats() artifact.Stats { return c.shards[0].CacheStats() }
+
+func (c *Cluster) sum(get func(*Engine) int64) int64 {
+	var n int64
+	for _, e := range c.shards {
+		n += get(e)
+	}
+	return n
+}
+
+// Submit routes one ShardPlan: see SubmitFn.
+func (c *Cluster) Submit(plan ShardPlan, policy SharePolicy) (*Handle, error) {
+	return c.SubmitFn(plan, policy, nil)
+}
+
+// SubmitFn submits one ShardPlan with a completion callback. Plans without
+// shard forms route whole to one shard (round-robin). Plans with shard forms
+// consult the gather-cost model when the template carries one — a query whose
+// per-shard saving does not cover the gather term runs whole — and otherwise
+// scatter: every shard runs its partial form under the cluster's policy
+// (shard-local sharing and the cross-shard bus both apply), and a gather
+// stage merges the partial results in shard-index order into the handle's
+// result. The callback runs once, with the merged result, after the handle
+// resolves.
+func (c *Cluster) SubmitFn(plan ShardPlan, policy SharePolicy, onDone func(*storage.Batch, error)) (*Handle, error) {
+	k := len(plan.Shards)
+	if k != 0 && k != len(c.shards) {
+		return nil, fmt.Errorf("%w: %s: plan compiled for %d shards, cluster has %d",
+			ErrBadSpec, plan.Template.Signature, k, len(c.shards))
+	}
+	scatter := k > 1
+	gq := plan.Gather
+	if gq.UPrime() == 0 {
+		gq = plan.Template.Model
+	}
+	if scatter && gq.UPrime() > 0 && !core.ShouldScatter(gq, k) {
+		scatter = false
+	}
+	if !scatter {
+		return c.routeWhole(plan.Template, policy, onDone)
+	}
+	if plan.Merge == nil {
+		return nil, fmt.Errorf("%w: %s: scatter plan without a merge factory", ErrBadSpec, plan.Template.Signature)
+	}
+
+	h := &Handle{name: plan.Template.Signature, done: make(chan struct{}), onDone: onDone, submitted: time.Now()}
+	n := len(plan.Shards)
+	results := make([]*storage.Batch, n)
+	errs := make([]error, n)
+	var pending atomic.Int32
+	pending.Store(int32(n))
+	c.gathers.Add(1)
+	c.mu.Lock()
+	c.scatters++
+	c.mu.Unlock()
+	finish := func() {
+		defer c.gathers.Done()
+		var err error
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+		var out *storage.Batch
+		if err == nil {
+			out, err = gatherPartials(plan, results)
+		}
+		c.mu.Lock()
+		c.finished++
+		c.mu.Unlock()
+		h.mu.Lock()
+		h.result = out
+		h.err = err
+		h.completed = time.Now()
+		h.mu.Unlock()
+		close(h.done)
+		if h.onDone != nil {
+			h.onDone(out, err)
+		}
+	}
+	for i := range plan.Shards {
+		i := i
+		_, err := c.shards[i].SubmitFn(plan.Shards[i], policy, func(b *storage.Batch, err error) {
+			results[i], errs[i] = b, err
+			if pending.Add(-1) == 0 {
+				// The gather runs off the engine worker that delivered the last
+				// partial: merging is coordinator work, not shard work.
+				go finish()
+			}
+		})
+		if err != nil {
+			// This shard never ran; record the failure and count it down so
+			// the shards already submitted still gather (into the error).
+			errs[i] = err
+			if pending.Add(-1) == 0 {
+				go finish()
+			}
+		}
+	}
+	return h, nil
+}
+
+// routeWhole submits the template unmodified to one shard, round-robin.
+func (c *Cluster) routeWhole(spec QuerySpec, policy SharePolicy, onDone func(*storage.Batch, error)) (*Handle, error) {
+	c.mu.Lock()
+	e := c.shards[c.rr%len(c.shards)]
+	c.rr++
+	c.routed++
+	c.mu.Unlock()
+	h, err := e.SubmitFn(spec, policy, func(b *storage.Batch, err error) {
+		c.mu.Lock()
+		c.finished++
+		c.mu.Unlock()
+		if onDone != nil {
+			onDone(b, err)
+		}
+	})
+	return h, err
+}
+
+// gatherPartials runs the plan's merge operator over the shards' partial
+// results in shard-index order — a deterministic fold, so a scattered query's
+// output is byte-stable for a fixed shard count — and returns the merged
+// batch under the merge operator's schema.
+func gatherPartials(plan ShardPlan, parts []*storage.Batch) (*storage.Batch, error) {
+	var pages []*storage.Batch
+	op, err := plan.Merge(func(b *storage.Batch) error {
+		pages = append(pages, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		if p == nil || p.Len() == 0 {
+			continue
+		}
+		if err := op.Push(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := op.Finish(); err != nil {
+		return nil, err
+	}
+	rows := 0
+	for _, p := range pages {
+		rows += p.Len()
+	}
+	out := storage.NewBatch(op.OutSchema(), rows)
+	for _, p := range pages {
+		out.AppendBatch(p)
+	}
+	return out, nil
+}

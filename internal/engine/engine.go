@@ -87,6 +87,19 @@ type Options struct {
 	// SweepAge is the age beyond which the periodic sweep force-retires
 	// orphaned or wedged exchange entries (default: SweepInterval).
 	SweepAge time.Duration
+	// Bus, when set, replaces the engine's private work exchange with a
+	// shared one — the cross-shard artifact bus. Engines sharing a bus (the
+	// shards of a Cluster) publish and discover build states through it, so a
+	// hash table built on any shard serves probers on every shard: the submit
+	// path, finding no local group and no cached table, consults the bus for
+	// a live build state under the same canonical key and attaches to it as a
+	// foreign share — build once per cluster, not once per shard. Sharing a
+	// bus only composes with shard-agnostic fingerprints: subplans over
+	// replicated tables (the same *storage.Table instance on every shard)
+	// canonicalize identically everywhere, while range-partitioned shard
+	// tables carry shard-qualified names so shard-local artifacts never
+	// collide. Nil (the default) keeps a private exchange.
+	Bus *storage.Exchange
 }
 
 // withDefaults fills zero fields.
@@ -294,9 +307,9 @@ type Engine struct {
 	joinable map[string]*shareGroup // keyed by subplan share key
 	// compiled memoizes submit-path compile artifacts per QuerySpec.PlanKey
 	// (see compile.go); compileHits/compileMisses count reuse.
-	compiled         map[string]*Compiled
-	compileHits      int64
-	compileMisses    int64
+	compiled      map[string]*Compiled
+	compileHits   int64
+	compileMisses int64
 	// tableIdent binds each scanned table name to the first *storage.Table
 	// instance this engine saw under it (guarded by identMu, not e.mu —
 	// compiles run without the engine lock). Share keys canonicalize scans
@@ -313,6 +326,7 @@ type Engine struct {
 	parallelClones   int64
 	hashBuilds       int64
 	buildJoins       int64
+	busJoins         int64
 	pivotJoins       map[int]int64 // pivot level -> members merged there
 }
 
@@ -323,11 +337,15 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	scans := opts.Bus
+	if scans == nil {
+		scans = storage.NewExchange()
+	}
 	e := &Engine{
 		sched:      sched,
 		opts:       opts,
 		clock:      newBusyClock(opts.Profile),
-		scans:      storage.NewExchange(),
+		scans:      scans,
 		cache:      opts.Cache,
 		joinable:   make(map[string]*shareGroup),
 		compiled:   make(map[string]*Compiled),
@@ -471,6 +489,15 @@ func (e *Engine) BuildJoins() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.buildJoins
+}
+
+// BusJoins returns the number of queries that attached through the shared
+// bus to a build state published by another engine — the cross-shard subset
+// of BuildJoins. Always zero without Options.Bus.
+func (e *Engine) BusJoins() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.busJoins
 }
 
 // CacheStats returns the keep-alive cache's counters and footprint (zero
@@ -621,15 +648,42 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					g = nil
 				}
 				if g == nil || g.build == nil {
-					// No live group at this level: consult the keep-alive
-					// cache before giving up on it, under the same
-					// admission test as joining a size-2 group (attaching
-					// to retained work is sharing with the departed group
-					// that produced it). A hit anchors a cache-served group
-					// — the table is already sealed, the build subtree
-					// never runs, and this query registers as a late attach
-					// with zero build work — which the rest of the burst
-					// then joins like any build group.
+					// No live local group at this level. On a shared bus the
+					// build may be live on another engine — in flight or
+					// sealed but not yet retired; attaching is sharing with
+					// that engine's group, so it passes the usual admission
+					// test with m counting the state's cluster-wide probers.
+					// A successful attach anchors a local foreign share the
+					// rest of this shard's burst then joins like any build
+					// group.
+					if e.opts.Bus != nil {
+						if st := e.scans.LookupBuildState(key); st != nil &&
+							e.admitSharedLocked(policy, opt.Model, st.Refs()+1, spec.CanParallel()) {
+							ng, err := e.newBusBuildGroupLocked(spec, opt, h, st, cp)
+							if err != nil {
+								return nil, err
+							}
+							if ng != nil {
+								e.joinable[ng.key] = ng
+								e.buildJoins++
+								e.busJoins++
+								e.pivotJoins[opt.Pivot]++
+								e.active++
+								return h, nil
+							}
+							// The state retired between the lookup and the
+							// attach; fall through to the cache consult.
+						}
+					}
+					// Consult the keep-alive cache before giving up on this
+					// level, under the same admission test as joining a
+					// size-2 group (attaching to retained work is sharing
+					// with the departed group that produced it). A hit
+					// anchors a cache-served group — the table is already
+					// sealed, the build subtree never runs, and this query
+					// registers as a late attach with zero build work —
+					// which the rest of the burst then joins like any build
+					// group.
 					if e.admitSharedLocked(policy, opt.Model, 2, spec.CanParallel()) {
 						epoch := cp.epochs[j]
 						if tbl, ok := e.lookupCachedTable(key, epoch); ok {
@@ -857,7 +911,15 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy, c
 		// the outlet retires when the pivot's output stream ends.
 		g.outlet = e.scans.PublishOutlet(g.key)
 		g.outlet.Attach()
-		pivotOut.onClosed = g.outlet.Retire
+		outlet := g.outlet
+		pivotOut.onClosed = func() {
+			outlet.Retire()
+			// A pivot stream that ends without emitting a single page never
+			// fires onFirstEmit; seal here too, or the spent group stays in
+			// e.joinable and later same-key arrivals attach to a closed
+			// outbox that can never feed or close their input queues.
+			e.sealGroup(g)
+		}
 	}
 
 	// A shareable build side inside the shared subtree: run the join split

@@ -46,11 +46,20 @@ func (o *outbox) add(b *storage.Batch) {
 }
 
 // attach adds a consumer queue. Only valid before the first emit (enforced
-// by the engine's group admission under its own lock).
+// by the engine's group admission under its own lock). A closed outbox can
+// still be reached by an attach racing closeAll's seal of the group: the
+// stream ended with zero emissions, so the consumer's correct input is the
+// empty, already-ended stream — close its queue instead of stranding it.
 func (o *outbox) attach(q *PageQueue) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.outs = append(o.outs, q)
+	closed := o.closed
+	if !closed {
+		o.outs = append(o.outs, q)
+	}
+	o.mu.Unlock()
+	if closed {
+		q.Close()
+	}
 }
 
 // consumers returns the current fan-out width.

@@ -97,4 +97,41 @@ type Stats struct {
 	// cache: hits are submits served by a memoized compile artifact.
 	CompileHits   int64 `json:"compile_hits,omitempty"`
 	CompileMisses int64 `json:"compile_misses,omitempty"`
+	// BusJoins counts cross-shard attaches through the artifact bus: queries
+	// that probed a hash table built on a different shard (sharded servers
+	// only).
+	BusJoins int64 `json:"bus_joins,omitempty"`
+	// Scatters/Routed count the cluster's routing decisions: plans executed
+	// scatter-gather across every shard versus routed whole to one shard
+	// (sharded servers only).
+	Scatters int64 `json:"scatters,omitempty"`
+	Routed   int64 `json:"routed,omitempty"`
+	// Shards holds one counter row per engine shard when the server runs
+	// sharded (Config.Shards > 1); the top-level engine counters then
+	// aggregate the whole cluster.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one engine shard's slice of a sharded server's counters.
+// A scattered query contributes to Completed on every shard it ran a
+// partial on; the server-level Completed counts it once.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Active is this shard's in-flight query count.
+	Active int `json:"active"`
+	// Completed counts queries (whole or partial) this shard finished.
+	Completed int64 `json:"completed"`
+	// HashBuilds counts shared hash builds this shard executed; with the
+	// cross-shard bus deduplicating, a replicated build subtree runs on
+	// exactly one shard however many probed it.
+	HashBuilds int64 `json:"hash_builds"`
+	// BuildJoins counts build-share attaches on this shard (local and bus).
+	BuildJoins int64 `json:"build_joins"`
+	// BusJoins counts this shard's attaches to build states owned by OTHER
+	// shards.
+	BusJoins int64 `json:"bus_joins"`
+	// CompileHits/CompileMisses mirror this shard's compile cache.
+	CompileHits   int64 `json:"compile_hits"`
+	CompileMisses int64 `json:"compile_misses"`
 }

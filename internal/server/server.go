@@ -24,6 +24,14 @@ type Config struct {
 	// PageRows overrides the page granule of family scans (0 = family
 	// default).
 	PageRows int
+	// Shards partitions execution across this many engine shards (0 or 1 =
+	// one engine, the classic topology). Sharded servers range-partition the
+	// database once at startup, compile every family's scatter-gather plan,
+	// and route submissions through an engine.Cluster: scatterable queries
+	// fan out across the shards and merge at a gather stage, small ones
+	// route whole round-robin, and the cross-shard artifact bus deduplicates
+	// replicated build subtrees cluster-wide.
+	Shards int
 	// Engine configures the embedded engine (Workers required).
 	Engine engine.Options
 	// Policy is the sharing policy submissions run under (nil = never
@@ -51,6 +59,8 @@ type Config struct {
 type Server struct {
 	cfg       Config
 	eng       *engine.Engine
+	cluster   *engine.Cluster             // non-nil when Config.Shards > 1
+	plans     map[string]engine.ShardPlan // "<family>/<variant>" → scatter-gather plan
 	env       core.Env
 	maxDegree int
 	window    int
@@ -82,13 +92,42 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("server: Config.DB is required")
 	}
-	eng, err := engine.New(cfg.Engine)
-	if err != nil {
-		return nil, err
+	var (
+		eng     *engine.Engine
+		cluster *engine.Cluster
+		plans   map[string]engine.ShardPlan
+	)
+	if cfg.Shards > 1 {
+		sdb, err := tpch.NewShardedDB(cfg.DB, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		plans, err = tpch.CompileShardPlans(sdb, cfg.PageRows)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err = engine.NewCluster(cfg.Shards, cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		eng = cluster.Shard(0)
+	} else {
+		var err error
+		eng, err = engine.New(cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Capacity-dependent defaults scale with the topology: a k-shard cluster
+	// has k×Workers emulated processors, so the model environment and the
+	// admission window both widen with it.
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
 	}
 	env := cfg.Env
 	if env == (core.Env{}) {
-		env = core.NewEnv(float64(cfg.Engine.Workers))
+		env = core.NewEnv(float64(cfg.Engine.Workers * shards))
 	}
 	maxDegree := cfg.MaxDegree
 	if maxDegree <= 0 {
@@ -96,7 +135,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	window := cfg.Window
 	if window <= 0 {
-		window = 2 * cfg.Engine.Workers
+		window = 2 * cfg.Engine.Workers * shards
 	}
 	quLimit := cfg.QueueLimit
 	if quLimit <= 0 {
@@ -105,6 +144,8 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:        cfg,
 		eng:        eng,
+		cluster:    cluster,
+		plans:      plans,
 		env:        env,
 		maxDegree:  maxDegree,
 		window:     window,
@@ -116,7 +157,12 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Engine exposes the embedded engine (benchmarks warm its cache directly).
+// On a sharded server it is shard 0.
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Cluster exposes the engine cluster of a sharded server (nil when
+// Config.Shards <= 1).
+func (s *Server) Cluster() *engine.Cluster { return s.cluster }
 
 // Serve accepts connections on ln until the listener is closed (by Shutdown
 // or externally). It blocks; run it in a goroutine.
@@ -233,11 +279,29 @@ func candidates(spec engine.QuerySpec) []core.Query {
 // groupProspect reports the sharing opportunity the admission model prices:
 // the prospective group size (live members + the newcomer) and the
 // remaining-coverage argument (1 for a joinable group, negative when no
-// compatible group exists).
-func (s *Server) groupProspect(spec engine.QuerySpec) (m int, remaining float64) {
-	g := s.eng.GroupSize(spec.Signature)
-	if k := s.eng.GroupSize(engine.ShareKey(spec)); k > g {
-		g = k
+// compatible group exists). On a sharded server the prospect spans the
+// cluster: each shard is consulted for its shard-qualified scattered form
+// and for the build-subtree share key, which canonicalizes identically on
+// every shard when the build side is replicated — exactly the groups the
+// cross-shard bus merges.
+func (s *Server) groupProspect(p *pending) (m int, remaining float64) {
+	var g int
+	if s.cluster != nil && len(p.plan.Shards) > 0 {
+		bk := engine.ShareKey(p.plan.Shards[0])
+		for i, sh := range p.plan.Shards {
+			e := s.cluster.Shard(i)
+			if k := e.GroupSize(sh.Signature); k > g {
+				g = k
+			}
+			if k := e.GroupSize(bk); k > g {
+				g = k
+			}
+		}
+	} else {
+		g = s.eng.GroupSize(p.spec.Signature)
+		if k := s.eng.GroupSize(engine.ShareKey(p.spec)); k > g {
+			g = k
+		}
 	}
 	if g >= 1 {
 		return g + 1, 1
@@ -256,8 +320,30 @@ func (s *Server) handleQuery(c *conn, req Request) {
 			Error: fmt.Sprintf("unknown family %q (have %s)", req.Family, strings.Join(tpch.FamilyNames(), ", "))})
 		return
 	}
-	spec := fam.Spec(s.cfg.DB, s.cfg.PageRows, req.Variant)
-	p := &pending{req: req, conn: c, spec: spec, cands: candidates(spec), arrived: time.Now()}
+	p := &pending{req: req, conn: c, arrived: time.Now()}
+	if s.plans != nil {
+		// Sharded: route through the precompiled scatter-gather plan. The
+		// admission candidates come from the template — the plan's single-
+		// engine form — so sharded and unsharded servers price arrivals
+		// identically.
+		sf, ok := tpch.ShardFamilyByName(req.Family)
+		if !ok {
+			s.countError()
+			c.write(Response{ID: req.ID, Status: StatusError,
+				Error: fmt.Sprintf("family %q has no shard plan", req.Family)})
+			return
+		}
+		v := req.Variant % sf.Variants
+		if v < 0 {
+			v += sf.Variants
+		}
+		p.plan = s.plans[fmt.Sprintf("%s/%d", sf.Name, v)]
+		p.sharded = true
+		p.spec = p.plan.Template
+	} else {
+		p.spec = fam.Spec(s.cfg.DB, s.cfg.PageRows, req.Variant)
+	}
+	p.cands = candidates(p.spec)
 
 	s.mu.Lock()
 	if s.draining {
@@ -266,7 +352,7 @@ func (s *Server) handleQuery(c *conn, req Request) {
 		c.write(Response{ID: req.ID, Status: StatusShed, Decision: DecisionDraining})
 		return
 	}
-	m, remaining := s.groupProspect(spec)
+	m, remaining := s.groupProspect(p)
 	load := core.AdmitLoad{Active: s.inflight, Queued: s.queued, Patience: s.cfg.Patience}
 	adm := core.Admit(p.cands, m, s.maxDegree, remaining, load, s.env)
 	p.benefit = adm.Rate
@@ -316,7 +402,7 @@ func (s *Server) submitLocked(p *pending, decision string, waited time.Duration)
 	s.admissions[decision]++
 	req, c := p.req, p.conn
 	arrived := p.arrived
-	_, err := s.eng.SubmitFn(p.spec, s.cfg.Policy, func(res *storage.Batch, qerr error) {
+	done := func(res *storage.Batch, qerr error) {
 		s.onComplete()
 		if qerr != nil {
 			s.countError()
@@ -334,7 +420,13 @@ func (s *Server) submitLocked(p *pending, decision string, waited time.Duration)
 			QueueMS:   float64(waited) / float64(time.Millisecond),
 			LatencyMS: float64(time.Since(arrived)) / float64(time.Millisecond),
 		})
-	})
+	}
+	var err error
+	if p.sharded {
+		_, err = s.cluster.SubmitFn(p.plan, s.cfg.Policy, done)
+	} else {
+		_, err = s.eng.SubmitFn(p.spec, s.cfg.Policy, done)
+	}
 	if err != nil {
 		s.inflight--
 		s.errored++
@@ -385,7 +477,11 @@ func (s *Server) Drain() {
 	for _, p := range backlog {
 		p.conn.write(Response{ID: p.req.ID, Status: StatusShed, Decision: DecisionDraining})
 	}
-	s.eng.Drain()
+	if s.cluster != nil {
+		s.cluster.Drain()
+	} else {
+		s.eng.Drain()
+	}
 }
 
 // Shutdown is the SIGTERM path: close listeners (stop accepting), drain,
@@ -406,7 +502,11 @@ func (s *Server) Shutdown() {
 	}
 	s.lnMu.Unlock()
 	s.connWG.Wait()
-	s.eng.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	} else {
+		s.eng.Close()
+	}
 }
 
 // Stats snapshots the server and engine counters.
@@ -424,6 +524,42 @@ func (s *Server) Stats() Stats {
 		Admissions: adm,
 	}
 	s.mu.Unlock()
+	if s.cluster != nil {
+		// Sharded: the engine counters aggregate the cluster, and Shards
+		// carries one row per engine so a stats probe sees where the work
+		// actually landed.
+		st.Scatters = s.cluster.Scatters()
+		st.Routed = s.cluster.Routed()
+		st.HashBuilds = s.cluster.HashBuilds()
+		st.BuildJoins = s.cluster.BuildJoins()
+		st.BusJoins = s.cluster.BusJoins()
+		st.CompileHits, st.CompileMisses = s.cluster.CompileHits(), s.cluster.CompileMisses()
+		pj := make(map[int]int64)
+		for i := 0; i < s.cluster.NumShards(); i++ {
+			e := s.cluster.Shard(i)
+			st.Active += e.Active()
+			st.InflightAttaches += e.InflightAttaches()
+			for lvl, n := range e.PivotLevelJoins() {
+				pj[lvl] += n
+			}
+			st.Shards = append(st.Shards, ShardStats{
+				Shard:         i,
+				Active:        e.Active(),
+				Completed:     e.Completed(),
+				HashBuilds:    e.HashBuilds(),
+				BuildJoins:    e.BuildJoins(),
+				BusJoins:      e.BusJoins(),
+				CompileHits:   e.CompileHits(),
+				CompileMisses: e.CompileMisses(),
+			})
+		}
+		if len(pj) > 0 {
+			st.PivotJoins = pj
+		}
+		cs := s.cluster.CacheStats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes = cs.Hits, cs.Misses, cs.Evictions, cs.Bytes
+		return st
+	}
 	st.Active = s.eng.Active()
 	st.HashBuilds = s.eng.HashBuilds()
 	st.BuildJoins = s.eng.BuildJoins()

@@ -157,6 +157,86 @@ func TestServerServesFamilies(t *testing.T) {
 	}
 }
 
+// A sharded server must answer every family over the wire through its
+// cluster — scattering the scatterable plans — and its stats probe must
+// carry one counter row per shard whose completions and builds sum to the
+// cluster aggregate.
+func TestServerSharded(t *testing.T) {
+	const workers, shards = 2, 2
+	s, addr := startServer(t, server.Config{
+		DB:     db(t),
+		Shards: shards,
+		Engine: engine.Options{Workers: workers, FanOut: engine.FanOutShare},
+		Policy: subplanPolicy(t, workers),
+	})
+	if s.Cluster() == nil || s.Cluster().NumShards() != shards {
+		t.Fatal("sharded server did not build its cluster")
+	}
+	w := dialWire(t, addr)
+
+	var n int
+	for _, f := range tpch.Families() {
+		for v := 0; v < 2; v++ {
+			w.send(server.Request{ID: fmt.Sprintf("%s-%d", f.Name, v), Family: f.Name, Variant: v})
+			n++
+		}
+	}
+	for id, resp := range w.recv(n) {
+		if resp.Status != server.StatusOK {
+			t.Fatalf("%s: status %q (err %q)", id, resp.Status, resp.Error)
+		}
+		if resp.Rows <= 0 {
+			t.Fatalf("%s: %d rows", id, resp.Rows)
+		}
+	}
+
+	w.send(server.Request{ID: "stats", Op: "stats"})
+	resp := w.recv(1)["stats"]
+	if resp.Status != server.StatusOK || resp.Stats == nil {
+		t.Fatalf("stats response: %+v", resp)
+	}
+	st := resp.Stats
+	if st.Completed != int64(n) {
+		t.Fatalf("completed %d, want %d", st.Completed, n)
+	}
+	if st.Scatters == 0 {
+		t.Error("no plan scattered across the shards")
+	}
+	if int64(st.Scatters+st.Routed) != int64(n) {
+		t.Errorf("scatters %d + routed %d != %d submissions", st.Scatters, st.Routed, n)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("%d shard rows, want %d", len(st.Shards), shards)
+	}
+	var completed, builds, compileHits, compileMisses int64
+	for i, row := range st.Shards {
+		if row.Shard != i {
+			t.Errorf("shard row %d labeled %d", i, row.Shard)
+		}
+		completed += row.Completed
+		builds += row.HashBuilds
+		compileHits += row.CompileHits
+		compileMisses += row.CompileMisses
+	}
+	// Every scattered plan completes once per shard, every routed plan once;
+	// the per-shard rows must account for exactly that.
+	if want := int64(shards)*st.Scatters + st.Routed; completed != want {
+		t.Errorf("shard completions sum to %d, want %d", completed, want)
+	}
+	if builds != st.HashBuilds {
+		t.Errorf("shard builds sum to %d, aggregate says %d", builds, st.HashBuilds)
+	}
+	if compileHits != st.CompileHits || compileMisses != st.CompileMisses {
+		t.Errorf("shard compile rows (%d/%d) disagree with aggregate (%d/%d)",
+			compileHits, compileMisses, st.CompileHits, st.CompileMisses)
+	}
+	// The bus deduplicated the replicated build sides: Q4 and Q13 ran twice
+	// each, so cross-shard attaches must have happened.
+	if st.BusJoins == 0 {
+		t.Error("no cross-shard bus attaches for the replicated build sides")
+	}
+}
+
 // With a window of one and a queue of one, a paused engine must hold the
 // first query in flight, queue the second, and shed the third — then serve
 // both admitted queries after the engine starts. Saturation never hangs a

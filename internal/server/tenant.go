@@ -16,6 +16,10 @@ type pending struct {
 	spec    engine.QuerySpec
 	cands   []core.Query
 	arrived time.Time
+	// plan is the precompiled scatter-gather form a sharded server routes
+	// through; sharded marks it valid (spec then aliases plan.Template).
+	plan    engine.ShardPlan
+	sharded bool
 	// benefit is the predicted post-admission completion rate of this query
 	// (core.AdmitBenefit at enqueue time); when the global queue overflows,
 	// the entry with the lowest benefit is shed first.

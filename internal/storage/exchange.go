@@ -140,6 +140,11 @@ type BuildState struct {
 	onClose  func()    // unregisters from the exchange
 	onRetire func()    // owner hook: fail waiters, unseal joinable group
 	handoff  func(any) // keep-alive hook: receives the sealed value at retire
+	// subs are cross-engine seal subscribers: when the exchange is shared as
+	// an artifact bus between engine shards, a shard that attaches to a build
+	// in flight on another shard has no access to the owner's wakeup queues,
+	// so it subscribes here instead (see Subscribe).
+	subs []func(any, bool)
 }
 
 // Key returns the fingerprint the build state was published under.
@@ -180,16 +185,50 @@ func (b *BuildState) Refs() int {
 }
 
 // Seal publishes the built artifact; probers attached before the seal are
-// woken by the owner (the exchange carries no queues). Sealing a retired
-// state is a no-op so a swept wedged build cannot resurrect itself.
+// woken by the owner (the exchange carries no queues), and cross-engine
+// subscribers (Subscribe) are notified here. Sealing a retired state is a
+// no-op so a swept wedged build cannot resurrect itself.
 func (b *BuildState) Seal(value any) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.retired || b.sealed {
+		b.mu.Unlock()
 		return
 	}
 	b.sealed = true
 	b.value = value
+	subs := b.subs
+	b.subs = nil
+	b.mu.Unlock()
+	// Fire outside b.mu: subscribers take their own locks and may call back
+	// into the state (Refs, Sealed).
+	for _, fn := range subs {
+		fn(value, true)
+	}
+}
+
+// Subscribe registers a one-shot notification of the state's outcome: fn is
+// called with (artifact, true) when the state seals, or (nil, false) when it
+// retires without ever sealing — a failed or swept build. A state that has
+// already resolved fires fn immediately (a retired-while-sealed state fires
+// (nil, false): its artifact has been dropped or handed off, so a late
+// subscriber must rebuild or go through the cache). This is the cross-engine
+// half of the build-state contract: an engine attaching to a build owned by
+// another engine on a shared exchange has no access to the owner's wakeup
+// queues and waits through this hook instead.
+func (b *BuildState) Subscribe(fn func(value any, sealed bool)) {
+	b.mu.Lock()
+	switch {
+	case b.retired:
+		b.mu.Unlock()
+		fn(nil, false)
+	case b.sealed:
+		v := b.value
+		b.mu.Unlock()
+		fn(v, true)
+	default:
+		b.subs = append(b.subs, fn)
+		b.mu.Unlock()
+	}
 }
 
 // Sealed reports whether the artifact is published, returning it when so.
@@ -226,7 +265,8 @@ func (b *BuildState) Retire() {
 	unreg := b.onClose
 	hook := b.onRetire
 	keep := b.handoff
-	b.onClose, b.onRetire, b.handoff = nil, nil, nil
+	subs := b.subs
+	b.onClose, b.onRetire, b.handoff, b.subs = nil, nil, nil, nil
 	b.mu.Unlock()
 	if unreg != nil {
 		unreg()
@@ -236,6 +276,11 @@ func (b *BuildState) Retire() {
 	}
 	if hook != nil {
 		hook()
+	}
+	// Pending subscribers on an unsealed retirement learn the build died; a
+	// sealed state has already drained its list at Seal.
+	for _, fn := range subs {
+		fn(nil, false)
 	}
 }
 

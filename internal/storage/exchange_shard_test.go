@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests exercise the cross-shard life of a build state: several
+// "engines" (goroutines) discovering, attaching to, subscribing to, and
+// releasing one state published on a shared exchange while the owner seals
+// it and a sweeper runs concurrently. Run under -race this pins the
+// cross-engine memory-safety the artifact bus depends on.
+
+// Multiple engines racing attach/subscribe/release against the owner's seal
+// must all observe the sealed value exactly once, and the state must retire
+// only after the last reference drops.
+func TestBuildStateCrossEngineConcurrency(t *testing.T) {
+	const engines = 8
+	ex := NewExchange()
+	st := ex.PublishBuildState("bus/build")
+	if st == nil {
+		t.Fatal("publish returned nil state")
+	}
+	// The owner's build group pins the state for the duration of its own
+	// probe, exactly as the engine's anchor member does — without it, the
+	// first releasing engine would retire the sealed state under the rest.
+	if !st.Attach() {
+		t.Fatal("owner attach failed")
+	}
+
+	sealed := "the-table"
+	var got atomic.Int64    // subscribers that saw the sealed value
+	var misses atomic.Int64 // subscribers woken with sealed=false
+	var retired atomic.Bool
+	st.OnRetire(func() { retired.Store(true) })
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			found := ex.LookupBuildState("bus/build")
+			if found == nil || !found.Attach() {
+				misses.Add(1)
+				return
+			}
+			var seen sync.WaitGroup
+			seen.Add(1)
+			found.Subscribe(func(v any, ok bool) {
+				defer seen.Done()
+				if ok && v == sealed {
+					got.Add(1)
+				} else {
+					misses.Add(1)
+				}
+			})
+			seen.Wait()
+			found.Release()
+		}()
+	}
+	// A concurrent sweeper with a generous age bound must never reclaim the
+	// live entry out from under the attachers.
+	stopSweep := make(chan struct{})
+	var sweep sync.WaitGroup
+	sweep.Add(1)
+	go func() {
+		defer sweep.Done()
+		for {
+			select {
+			case <-stopSweep:
+				return
+			default:
+				ex.Sweep(time.Hour)
+			}
+		}
+	}()
+
+	close(start)
+	st.Seal(sealed)
+	wg.Wait()
+	close(stopSweep)
+	sweep.Wait()
+
+	if m := misses.Load(); m != 0 {
+		t.Fatalf("%d engines missed the sealed value", m)
+	}
+	if g := got.Load(); g != engines {
+		t.Fatalf("%d engines saw the sealed value, want %d", g, engines)
+	}
+	if retired.Load() {
+		t.Fatal("state retired while the publisher still owns it")
+	}
+	if ex.LookupBuildState("bus/build") == nil {
+		t.Fatal("live sealed state not discoverable after the races")
+	}
+	// The owner's release is the last: the sealed state now retires and
+	// leaves the exchange.
+	st.Release()
+	if !retired.Load() {
+		t.Fatal("state survived its last release")
+	}
+	if ex.LookupBuildState("bus/build") != nil {
+		t.Fatal("retired state still discoverable")
+	}
+}
+
+// The age sweep must spare a sealed build state that still has live
+// cross-shard references — an in-use bus artifact is never "leaked" however
+// old it grows — and reclaim it only once unreferenced.
+func TestSweepSparesLiveCrossShardBuild(t *testing.T) {
+	ex := NewExchange()
+	st := ex.PublishBuildState("bus/live")
+	if !st.Attach() {
+		t.Fatal("attach failed on a fresh state")
+	}
+	st.Seal("tbl")
+	// Sealed and referenced: even a zero age bound must not reclaim it.
+	ex.Sweep(0)
+	if ex.LookupBuildState("bus/live") == nil {
+		t.Fatal("sweep reclaimed a sealed state with live references")
+	}
+	if st.Retired() {
+		t.Fatal("state retired while referenced")
+	}
+	// Dropping the last reference retires a sealed state without the sweep.
+	st.Release()
+	if !st.Retired() {
+		t.Fatal("sealed state not retired at zero references")
+	}
+	if ex.LookupBuildState("bus/live") != nil {
+		t.Fatal("retired state still discoverable")
+	}
+}
+
+// A wedged build — published, never sealed, past the age bound — must be
+// swept even while its publisher nominally holds it, waking subscribers into
+// the failure path rather than starving them forever.
+func TestSweepWakesWedgedSubscribers(t *testing.T) {
+	ex := NewExchange()
+	st := ex.PublishBuildState("bus/wedged")
+	var failed atomic.Bool
+	st.Subscribe(func(v any, sealed bool) {
+		if !sealed {
+			failed.Store(true)
+		}
+	})
+	time.Sleep(time.Millisecond)
+	if n := ex.Sweep(time.Nanosecond); n == 0 {
+		t.Fatal("sweep spared a wedged unsealed build")
+	}
+	if !failed.Load() {
+		t.Fatal("subscriber not woken into the failure path")
+	}
+	if ex.LookupBuildState("bus/wedged") != nil {
+		t.Fatal("swept state still discoverable")
+	}
+}

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keyTable(t *testing.T, name string, keys []int64) *Table {
+	t.Helper()
+	tbl := NewTable(name, MustSchema(
+		Column{Name: "k", Type: Int64},
+		Column{Name: "v", Type: Float64},
+	))
+	for i, k := range keys {
+		if err := tbl.Append(k, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// RangePartition must produce an exact disjoint cover: every source row in
+// exactly one partition, partition keys inside disjoint contiguous bands,
+// names shard-qualified, and ids distinct from the base table's.
+func TestRangePartitionDisjointCover(t *testing.T) {
+	keys := []int64{7, 1, 42, 13, 99, 5, 64, 28, 100, 3, 77, 51}
+	tbl := keyTable(t, "orders", keys)
+	for _, n := range []int{2, 3, 4, 7} {
+		parts, err := RangePartition(tbl, "k", n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("n=%d: got %d partitions", n, len(parts))
+		}
+		total := 0
+		seen := map[int64]int{}
+		var prevMax int64 = -1 << 62
+		for i, p := range parts {
+			if want := PartitionName("orders", i, n); p.Name != want {
+				t.Errorf("n=%d: partition %d named %q, want %q", n, i, p.Name, want)
+			}
+			if p.ID() == tbl.ID() {
+				t.Errorf("n=%d: partition %d shares the base table's id", n, i)
+			}
+			v, err := p.Col("k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += p.NumRows()
+			var lo, hi int64 = 1 << 62, -1 << 62
+			for _, k := range v.I64 {
+				seen[k]++
+				if k < lo {
+					lo = k
+				}
+				if k > hi {
+					hi = k
+				}
+			}
+			if p.NumRows() > 0 {
+				if lo <= prevMax {
+					t.Errorf("n=%d: partition %d range [%d,%d] overlaps earlier partitions", n, i, lo, hi)
+				}
+				prevMax = hi
+			}
+		}
+		if total != tbl.NumRows() {
+			t.Fatalf("n=%d: partitions hold %d rows, base has %d", n, total, tbl.NumRows())
+		}
+		for _, k := range keys {
+			if seen[k] != 1 {
+				t.Fatalf("n=%d: key %d appears %d times across partitions", n, k, seen[k])
+			}
+		}
+	}
+}
+
+// A one-shard partition is the base table itself — same instance, canonical
+// name — so a 1-shard cluster's plans keep their unqualified identity.
+func TestRangePartitionSingleShard(t *testing.T) {
+	tbl := keyTable(t, "t", []int64{1, 2, 3})
+	parts, err := RangePartition(tbl, "k", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0] != tbl {
+		t.Fatal("n=1 must return the base table itself")
+	}
+}
+
+// Non-integer key columns and degenerate shard counts must be rejected.
+func TestRangePartitionErrors(t *testing.T) {
+	tbl := keyTable(t, "t", []int64{1, 2, 3})
+	if _, err := RangePartition(tbl, "v", 2); err == nil {
+		t.Error("float key column accepted")
+	}
+	if _, err := RangePartition(tbl, "missing", 2); err == nil {
+		t.Error("missing key column accepted")
+	}
+	if _, err := RangePartition(tbl, "k", 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+}
+
+// Partitioning an empty table yields n valid empty partitions.
+func TestRangePartitionEmpty(t *testing.T) {
+	tbl := keyTable(t, "t", nil)
+	parts, err := RangePartition(tbl, "k", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p.NumRows() != 0 {
+			t.Errorf("partition %d has %d rows", i, p.NumRows())
+		}
+		if p.Name != fmt.Sprintf("t@s%d/3", i) {
+			t.Errorf("partition %d named %q", i, p.Name)
+		}
+	}
+}

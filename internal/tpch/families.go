@@ -132,13 +132,11 @@ func Q6FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 	if err != nil {
 		panic(err)
 	}
-	agg := func(emit relop.Emit) (relop.Operator, error) {
-		return relop.NewHashAggSized(scanSchema, nil, []relop.AggSpec{{
-			Func: relop.Sum,
-			Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
-			As:   "revenue",
-		}}, 1, emit)
-	}
+	agg, aggPartial, aggMerge := aggForms(scanSchema, nil, []relop.AggSpec{{
+		Func: relop.Sum,
+		Expr: relop.Arith{Op: relop.Mul, L: relop.Col("l_extendedprice"), R: relop.Col("l_discount")},
+		As:   "revenue",
+	}}, 1)
 	residual := q6ResidualPred(variant)
 	sig := fmt.Sprintf("tpch/q6f/v%d", variant)
 	return engine.QuerySpec{
@@ -165,6 +163,8 @@ func Q6FamilySpec(db *DB, pageRows, variant int) engine.QuerySpec {
 				Input:       1,
 				Fingerprint: fmt.Sprintf("q6f/agg[v=%d]", variant),
 				Op:          agg,
+				Partial:     aggPartial,
+				Merge:       aggMerge,
 				RowsHint:    1,
 			},
 		},
@@ -266,6 +266,9 @@ func q4FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 		buildHint = EstimateQ4BuildRows(db)
 		aggHint = Q4Groups
 	}
+	q4AggOp, q4AggPartial, q4AggMerge := aggForms(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
+		{Func: relop.Count, As: "order_count"},
+	}, aggHint)
 	sig := fmt.Sprintf("tpch/q4f/v%d", variant)
 	return engine.QuerySpec{
 		Signature: sig,
@@ -280,11 +283,8 @@ func q4FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 			engine.ScanNode("q4f/scan-lineitem", db.Lineitem, Q4LineitemPred(), []string{"l_orderkey"}, pageRows),
 			engine.ScanNode("q4f/scan-orders", db.Orders, q4FamilyOrdersPred(variant), orderCols, pageRows),
 			semiJoinNode("q4f/semijoin", lineSchema, orderSchema, 0, 1, buildHint),
-			{Name: "q4f/agg", Input: 2, Fingerprint: "q4f/agg", RowsHint: aggHint, Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAggSized(orderSchema, []string{"o_orderpriority"}, []relop.AggSpec{
-					{Func: relop.Count, As: "order_count"},
-				}, aggHint, emit)
-			}},
+			{Name: "q4f/agg", Input: 2, Fingerprint: "q4f/agg", RowsHint: aggHint,
+				Op: q4AggOp, Partial: q4AggPartial, Merge: q4AggMerge},
 		},
 	}
 }
@@ -443,6 +443,9 @@ func q13FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 		custHint = EstimateCustomerRangeRows(db, lo, hi)
 		distHint = Q13DistGroups
 	}
+	distOp, distPartial, distMerge := aggForms(perCustOut, []string{"c_count"}, []relop.AggSpec{
+		{Func: relop.Count, As: "custdist"},
+	}, distHint)
 	sig := fmt.Sprintf("tpch/q13f/v%d", variant)
 	return engine.QuerySpec{
 		Signature: sig,
@@ -468,11 +471,8 @@ func q13FamilySpec(db *DB, pageRows, variant int, hints bool) engine.QuerySpec {
 					{Func: relop.Sum, Expr: relop.Col("one"), As: "c_count"},
 				}, custHint, emit)
 			}},
-			{Name: "q13f/dist", Input: 4, Fingerprint: "q13f/dist", RowsHint: distHint, Op: func(emit relop.Emit) (relop.Operator, error) {
-				return relop.NewHashAggSized(perCustOut, []string{"c_count"}, []relop.AggSpec{
-					{Func: relop.Count, As: "custdist"},
-				}, distHint, emit)
-			}},
+			{Name: "q13f/dist", Input: 4, Fingerprint: "q13f/dist", RowsHint: distHint,
+				Op: distOp, Partial: distPartial, Merge: distMerge},
 		},
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -136,6 +137,25 @@ func (c *Client) ServerStats() (server.Stats, error) {
 		return server.Stats{}, fmt.Errorf("stats response carried no stats")
 	}
 	return *resp.Stats, nil
+}
+
+// ShardReport renders a sharded server's stats as one counter row per shard
+// plus the cluster aggregate — the tail of the open-loop client report and
+// of cordobad's drain output. Empty when the server runs unsharded.
+func ShardReport(st server.Stats) string {
+	if len(st.Shards) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, sh := range st.Shards {
+		fmt.Fprintf(&sb, "  shard %d: completed=%d builds=%d buildJoins=%d busJoins=%d compile=%d/%d\n",
+			sh.Shard, sh.Completed, sh.HashBuilds, sh.BuildJoins, sh.BusJoins,
+			sh.CompileHits, sh.CompileMisses)
+	}
+	fmt.Fprintf(&sb, "  cluster: shards=%d scatters=%d routed=%d builds=%d busJoins=%d compile=%d/%d cache=%d/%d shed=%d\n",
+		len(st.Shards), st.Scatters, st.Routed, st.HashBuilds, st.BusJoins,
+		st.CompileHits, st.CompileMisses, st.CacheHits, st.CacheMisses, st.Shed)
+	return sb.String()
 }
 
 // Close tears the connection down; outstanding waiters fail.

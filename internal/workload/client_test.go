@@ -2,6 +2,7 @@ package workload_test
 
 import (
 	"net"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -14,6 +15,11 @@ import (
 
 // startServer brings a cordobad server up on a random loopback port.
 func startServer(t *testing.T, workers int) (*server.Server, string) {
+	return startShardedServer(t, workers, 1)
+}
+
+// startShardedServer brings up a server over a cluster of engine shards.
+func startShardedServer(t *testing.T, workers, shards int) (*server.Server, string) {
 	t.Helper()
 	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
 	pol, _, err := policy.ByName("subplan", core.NewEnv(float64(workers)), workers)
@@ -22,6 +28,7 @@ func startServer(t *testing.T, workers int) (*server.Server, string) {
 	}
 	s, err := server.New(server.Config{
 		DB:     db,
+		Shards: shards,
 		Engine: engine.Options{Workers: workers, FanOut: engine.FanOutShare},
 		Policy: policy.ForEngine(pol),
 	})
@@ -101,5 +108,45 @@ func TestRunOpenLoopPoisson(t *testing.T) {
 	}
 	if res.Latency.P99() <= 0 || res.Latency.P50() > res.Latency.P99() {
 		t.Fatalf("tail quantiles inconsistent: %s", res.Latency)
+	}
+}
+
+// Against a sharded server the open-loop report must carry one counter row
+// per shard plus the cluster aggregate; an unsharded server's stats render
+// nothing.
+func TestShardReport(t *testing.T) {
+	_, addr := startShardedServer(t, 2, 2)
+	res, err := workload.RunOpenLoop(workload.OpenLoopConfig{
+		Addr:        addr,
+		Arrivals:    workload.NewPoisson(300, 7),
+		MaxArrivals: 12,
+		Conns:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 {
+		t.Fatal("open-loop run against the sharded server completed nothing")
+	}
+	c, err := workload.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := workload.ShardReport(st)
+	for _, want := range []string{"shard 0:", "shard 1:", "cluster: shards=2"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("shard report lacks %q:\n%s", want, rep)
+		}
+	}
+	if strings.Count(rep, "\n") != 3 {
+		t.Errorf("shard report should be 3 lines (2 shards + aggregate):\n%s", rep)
+	}
+	if workload.ShardReport(server.Stats{}) != "" {
+		t.Error("unsharded stats rendered a shard report")
 	}
 }
