@@ -1,10 +1,10 @@
 GO ?= go
 
 # Output file for the machine-readable ablation report; the CI artifact name
-# is derived from this (BENCH_PR8.json -> bench-pr8).
-BENCH_OUT ?= BENCH_PR8.json
+# is derived from this (BENCH_PR9.json -> bench-pr9).
+BENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-hotpath smoke-server fmt examples ci
+.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-hotpath bench-execcore smoke-server fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -18,16 +18,23 @@ bench:
 
 # Machine-readable ablation results (policy sweep + pivot-level ablation +
 # build-share ablation + cache ablation + open-loop server ablation +
-# hot-path ablation + shard ablation), emitted as $(BENCH_OUT) and archived
-# by CI as an artifact so the perf trajectory is tracked run over run. The
-# shard ablation hard-fails unless 4-shard subplan capacity beats 1-shard by
-# >= 2x and the cross-shard bus runs exactly one hash build per shared
-# family. bench-pr8 is the current alias; bench-pr5..pr7 re-emit under the
-# previous filenames for trajectory comparisons.
+# hot-path ablation + shard ablation + execution-core ablation), emitted as
+# $(BENCH_OUT) and archived by CI as an artifact so the perf trajectory is
+# tracked run over run. The shard ablation hard-fails unless 4-shard subplan
+# capacity beats 1-shard by >= 2x and the cross-shard bus runs exactly one
+# hash build per shared family; the execution-core ablation hard-fails
+# unless 8-worker capacity beats 1-worker by >= 2x on the subplan closed
+# loop, fused chains beat staged on q/min with fewer allocs/op, and every
+# fused result is byte-identical to the unfused single-worker reference.
+# bench-pr9 is the current alias; bench-pr5..pr8 re-emit under the previous
+# filenames for trajectory comparisons.
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-bench-pr8: bench-json
+bench-pr9: bench-json
+
+bench-pr8:
+	$(MAKE) bench-json BENCH_OUT=BENCH_PR8.json
 
 bench-pr7:
 	$(MAKE) bench-json BENCH_OUT=BENCH_PR7.json
@@ -44,6 +51,12 @@ bench-pr5:
 bench-hotpath:
 	$(GO) test -run='^$$' -bench='SubmitPath|CompileStep|PredFilter' -benchmem \
 		./internal/tpch/ ./internal/relop/
+
+# Execution-core microbenchmarks only (scheduler worker sweep with the steal
+# counter, fused vs staged chains with allocation counts); CI runs these
+# through benchstat and pairs the fused/staged arms into a comparison table.
+bench-execcore:
+	$(GO) test -run='^$$' -bench='SchedulerScaling|FusedChain' -benchmem .
 
 # End-to-end server smoke: boot cordobad on a random port, drive ~100
 # open-loop queries, SIGTERM, assert a clean drain and a nonzero p99

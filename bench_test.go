@@ -622,6 +622,97 @@ func BenchmarkAblationBuildShare(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerScaling measures the work-stealing scheduler's dispatch
+// core: a burst of short cooperative tasks across worker counts. The host
+// may have fewer cores than workers, so wall time need not drop linearly —
+// the interesting outputs are ns/op (dispatch overhead), allocs/op (the
+// steady state must not allocate per quantum), and steals (work actually
+// migrating between per-worker queues).
+func BenchmarkSchedulerScaling(b *testing.B) {
+	const (
+		tasks  = 64
+		quanta = 50
+	)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, err := engine.NewScheduler(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Start()
+			defer s.Stop()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for t := 0; t < tasks; t++ {
+					n := 0
+					acc := uint64(1)
+					s.Spawn("w", func(*engine.Task) engine.Status {
+						for k := 0; k < 256; k++ {
+							acc = acc*2654435761 + uint64(k)
+						}
+						n++
+						if n >= quanta {
+							if acc == 0 {
+								b.Error("impossible")
+							}
+							return engine.Done
+						}
+						return engine.Again
+					})
+				}
+				s.WaitIdle()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.Steals())/float64(b.N), "steals/op")
+		})
+	}
+}
+
+// BenchmarkFusedChain compares fused operator chains (the default) against
+// the staged one-task-per-node ablation on plans with real linear segments:
+// the Q6-family superset-scan → residual-filter → aggregate chain and Q13's
+// tag / per-customer / distribution chains. Fused must win q/min with fewer
+// allocs/op: every intermediate PageQueue hop it removes was a push, a pop,
+// and a wake.
+func BenchmarkFusedChain(b *testing.B) {
+	db := tpch.MustGenerate(tpch.Config{ScaleFactor: 0.005, Seed: 42})
+	q6f := tpch.Q6FamilySpec(db, 0, 0)
+	q6f.Pivots = nil // pin the scan pivot so the residual chain stays private
+	specs := []struct {
+		name string
+		spec engine.QuerySpec
+	}{{"q6f", q6f}, {"q13", tpch.MustEngineSpec(tpch.Q13, db, 0)}}
+	for _, sp := range specs {
+		for _, mode := range []struct {
+			name     string
+			noFusion bool
+		}{{"fused", false}, {"staged", true}} {
+			b.Run(sp.name+"/"+mode.name, func(b *testing.B) {
+				e, err := engine.New(engine.Options{Workers: 2, NoFusion: mode.noFusion})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				b.ReportAllocs()
+				start := time.Now()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h, err := e.Submit(sp.spec, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := h.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/time.Since(start).Minutes(), "q/min")
+			})
+		}
+	}
+}
+
 // BenchmarkWorkloadEngineMix measures the closed-loop engine driver under
 // the model policy (a miniature live Figure 6 cell).
 func BenchmarkWorkloadEngineMix(b *testing.B) {

@@ -18,7 +18,10 @@
 //	cordobad [-addr 127.0.0.1:7432] [-addr-file path] [-sf 0.005] [-seed 42]
 //	         [-workers N] [-shards 1] [-policy subplan] [-window 0]
 //	         [-queue-limit 0] [-patience 0] [-cache-mb 0] [-cache-ttl 500ms]
-//	         [-sweep 0]
+//	         [-sweep 0] [-pprof 127.0.0.1:6060]
+//
+// -pprof serves net/http/pprof on the given address with mutex and block
+// profiling enabled, for inspecting contention in the execution core.
 //
 // With -shards N > 1 the server range-partitions the data across N engine
 // shards, compiles every family's scatter-gather plan at startup, and routes
@@ -39,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -69,6 +74,7 @@ var (
 	cacheMBFlag  = flag.Int("cache-mb", 0, "keep-alive artifact cache budget in MiB (0 = retention off)")
 	cacheTTLFlag = flag.Duration("cache-ttl", 500*time.Millisecond, "keep-alive window for retained artifacts")
 	sweepFlag    = flag.Duration("sweep", 0, "exchange sweep cadence (0 = no periodic sweep)")
+	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) with mutex and block profiling enabled; empty = off")
 
 	clientFlag   = flag.Bool("client", false, "run as open-loop traffic driver against -addr instead of serving")
 	arrivalFlag  = flag.String("arrival", "poisson", "arrival process: poisson, diurnal, flash")
@@ -97,6 +103,23 @@ func main() {
 }
 
 func runServer() error {
+	if *pprofFlag != "" {
+		// Contention profiling for the execution core: mutex contention and
+		// blocking events are sampled so /debug/pprof/mutex and /block show
+		// where the scheduler, page queues, and share groups actually wait.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(time.Microsecond))
+		pln, err := net.Listen("tcp", *pprofFlag)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		fmt.Printf("cordobad: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cordobad: pprof server:", err)
+			}
+		}()
+	}
 	fmt.Printf("generating TPC-H data (sf=%g, seed=%d)...\n", *sfFlag, *seedFlag)
 	db, err := tpch.Generate(tpch.Config{ScaleFactor: *sfFlag, Seed: *seedFlag})
 	if err != nil {

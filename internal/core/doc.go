@@ -261,6 +261,19 @@
 // calibration and ablation. See policy.ModelGuided (PivotSelect),
 // engine.PivotPolicy, and tpch.Q1FamilySpec / tpch.Q6FamilySpec.
 //
+// A note on where the engine actually pays s. The model charges the
+// per-consumer hand-off cost s at pivots — the points where one producer's
+// forward progress fans out to multiple consumers. The execution engine's
+// fused operator chains (internal/engine) make the physical cost structure
+// match that accounting: a linear scan→filter→project→partial-agg segment
+// between pivots compiles into a single task whose operators are direct
+// calls, so pages cross a queue, and thus incur a hand-off, only at pivot
+// and join boundaries. A fused segment pays s once, at the pivot boundary
+// where the model charges it — not once per operator hop, which is what the
+// fully staged execution of earlier revisions paid and what Options.NoFusion
+// still pays for comparison. Fusion never crosses a pivot candidate, so the
+// set of places s is paid is exactly the set of places sharing is possible.
+//
 // Cardinality estimates are one currency with two consumers. The same
 // closed-form row-count estimates in internal/tpch that feed this model's
 // work coefficients (pricing share-vs-parallelize and admit-vs-shed

@@ -67,7 +67,9 @@ type buildShare struct {
 // build already sealed or failed hands back a closed queue, so late probers
 // proceed immediately.
 func (bs *buildShare) newWaiter(s *Scheduler, name string) *PageQueue {
-	q := NewPageQueue(s, name+"/build-ready", 1)
+	// MinQueueCap, not a literal: this queue is a pure close-signal and must
+	// stay at the floor so it can never buffer a page by accident.
+	q := NewPageQueue(s, name+"/build-ready", MinQueueCap)
 	bs.mu.Lock()
 	done := bs.sealed || bs.failed
 	if !done {

@@ -34,6 +34,15 @@ import (
 //     quantum, child indices, pivot candidates); a submit whose spec
 //     disagrees recompiles instead of serving another plan's keys.
 //
+// The artifact is also deliberately fusion-blind. Operator-chain fusion
+// (fused.go) is a group-construction-time decision: it collapses the private
+// linear segments between pivots into single tasks but never alters a node's
+// fingerprint, share key, or pivot candidacy — so a Compiled artifact serves
+// fused and staged (Options.NoFusion, Profile) engines identically, and a
+// warm hit on one engine can never leak the other's physical plan shape.
+// Whether a segment runs fused is re-derived from the engine's options on
+// every group build, not memoized here.
+//
 // Models and hints are deliberately outside both guards: PivotOption.Model,
 // QuerySpec.Model, and RowsHint are advisory estimates, so the submit path
 // reads them from the incoming spec on every submission (optModel,

@@ -55,8 +55,15 @@ type Options struct {
 	// multiple-groups strategy bounds groups to preserve parallelism.
 	MaxGroupSize int
 	// Profile enables per-node busy-time accounting for parameter
-	// estimation (Section 3.1).
+	// estimation (Section 3.1). Profiling implies NoFusion: busy time is
+	// attributed per plan node, which a fused segment cannot separate.
 	Profile bool
+	// NoFusion disables operator-chain fusion, running every plan node as
+	// its own staged task with an intermediate PageQueue per hop — the
+	// pre-fusion execution model, kept for the fused-vs-staged ablation.
+	// By default linear unary-operator runs between task boundaries (pivot
+	// fan-outs, joins, collectors, the sink) execute as single fused tasks.
+	NoFusion bool
 	// StartPaused creates the engine with its processors halted; queries
 	// may be submitted (and will merge into sharing groups, since no pivot
 	// can emit) but nothing executes until Start. This is the batch-arrival
@@ -447,6 +454,11 @@ func (e *Engine) Completed() int64 {
 
 // BusyTimes returns per-node accumulated busy time (Profile mode only).
 func (e *Engine) BusyTimes() map[string]time.Duration { return e.clock.snapshot() }
+
+// Steals returns the number of tasks the scheduler's workers have taken from
+// peers' run queues since startup — nonzero steals under load show the
+// work-stealing balancer is moving work off hot queues.
+func (e *Engine) Steals() int64 { return e.sched.Steals() }
 
 // InflightAttaches returns the number of queries that joined a sharing
 // group after its scan had started (in-flight attaches).
@@ -972,47 +984,49 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy, c
 		}
 	}()
 
-	// Per-node output sinks for the shared part. Non-pivot nodes get a
-	// single-consumer outbox over one queue.
+	// Fuse the shared part into segments; each segment's boundary (its tail
+	// node) gets the outbox — the pivot's fan-out for the pivot segment, a
+	// single-consumer outbox over one queue otherwise. Interior nodes of a
+	// fused segment have no queue at all.
 	mask := spec.SubtreeMask(spec.Pivot)
+	include := func(i int) bool {
+		return mask[i] && !(cachedBuild != nil && cachedBuild[i])
+	}
+	runs, _ := fuseRuns(spec, include, e.fuseOK())
 	outs := make([]*outbox, len(spec.Nodes))
 	queues := make([]*PageQueue, len(spec.Nodes))
-	for i, in := range mask {
-		if !in || (cachedBuild != nil && cachedBuild[i]) {
+	for _, r := range runs {
+		tl := r.tail()
+		if tl == spec.Pivot {
+			outs[tl] = pivotOut
 			continue
 		}
-		if i == spec.Pivot {
-			outs[i] = pivotOut
-			continue
-		}
-		q := NewPageQueue(e.sched, spec.Nodes[i].Name, e.opts.QueueCap)
-		queues[i] = q
-		outs[i] = &outbox{outs: []*PageQueue{q}}
+		q := NewPageQueue(e.sched, spec.Nodes[tl].Name, e.opts.QueueCap)
+		queues[tl] = q
+		outs[tl] = &outbox{outs: []*PageQueue{q}}
 	}
 	// Wire the first member's private part before spawning anything so the
 	// pivot has a consumer from the start.
 	if err := e.attachChain(g, spec, h, cp); err != nil {
 		return nil, err
 	}
-	// Instantiate and spawn shared tasks. Build-subtree nodes served from
-	// the cache never spawn — their work is the rebuild the retained table
-	// saves.
+	// Instantiate and spawn shared tasks, one per segment. Build-subtree
+	// nodes served from the cache never spawn — their work is the rebuild
+	// the retained table saves.
 	qOf := func(idx int) *PageQueue { return queues[idx] }
-	for i, in := range mask {
-		if !in || (cachedBuild != nil && cachedBuild[i]) {
-			continue
-		}
-		nd := spec.Nodes[i]
-		if nd.Join != nil && i == splitJoin {
+	for _, r := range runs {
+		nd := spec.Nodes[r.head]
+		if nd.Join != nil && r.head == splitJoin {
 			// The split form: a collector builds the shared table once
 			// (skipped when the table came from the cache); one shared
-			// probe streams the group's probe side against it into the
-			// usual fan-out. The group holds the probe's reference.
+			// probe streams the group's probe side against it — through the
+			// segment's fused chain — into the usual fan-out. The group
+			// holds the probe's reference.
 			if !bs.attachProber() {
 				return nil, fmt.Errorf("%w: fresh build state rejected attach", ErrBadSpec)
 			}
-			ob := outs[i]
-			pr, err := nd.Probe(func(b *storage.Batch) error { ob.add(b); return nil })
+			ob := outs[r.tail()]
+			pr, err := fusedProbeOp(spec.Nodes, nd, r, ob)
 			if err != nil {
 				return nil, err
 			}
@@ -1024,15 +1038,16 @@ func (e *Engine) newGroupLocked(spec QuerySpec, h *Handle, policy SharePolicy, c
 				collector := &buildCollectorTask{name: nd.Name + "/build", jb: jb, in: queues[nd.BuildInput], bs: bs, clock: e.clock, fail: g.fail}
 				e.sched.Spawn(collector.name, collector.step)
 			}
-			prober := &probeAttachTask{name: nd.Name, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: queues[nd.ProbeInput], out: ob, clock: e.clock, fail: g.fail}
-			e.sched.Spawn(nd.Name, prober.step)
+			pname := fusedName(spec.Nodes, r)
+			prober := &probeAttachTask{name: pname, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: queues[nd.ProbeInput], out: ob, clock: e.clock, fail: g.fail}
+			e.sched.Spawn(pname, prober.step)
 			continue
 		}
-		step, err := e.nodeTask(nd, qOf, outs[i], g.fail)
+		name, step, err := e.fusedTask(spec, r, qOf, outs[r.tail()], g.fail)
 		if err != nil {
 			return nil, err
 		}
-		e.sched.Spawn(nd.Name, step)
+		e.sched.Spawn(name, step)
 	}
 	built = true
 	return g, nil
@@ -1140,22 +1155,25 @@ func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle,
 	}
 	start()
 
-	// Shared part: the build subtree feeding the collector.
+	// Shared part: the build subtree feeding the collector, fused into
+	// segments. The subtree root (the build pivot) always ends a segment —
+	// its consumer is the collector, a task boundary — so queues[opt.Pivot]
+	// exists whether or not fusion collapsed the nodes below it.
 	mask := gspec.SubtreeMask(opt.Pivot)
 	joinIdx := gspec.pivotConsumer(opt.Pivot)
 	jb, err := gspec.Nodes[joinIdx].Build()
 	if err != nil {
 		return nil, err
 	}
+	include := func(i int) bool { return mask[i] }
+	runs, _ := fuseRuns(gspec, include, e.fuseOK())
 	outs := make([]*outbox, len(gspec.Nodes))
 	queues := make([]*PageQueue, len(gspec.Nodes))
-	for i, in := range mask {
-		if !in {
-			continue
-		}
-		q := NewPageQueue(e.sched, gspec.Nodes[i].Name, e.opts.QueueCap)
-		queues[i] = q
-		outs[i] = &outbox{outs: []*PageQueue{q}}
+	for _, r := range runs {
+		tl := r.tail()
+		q := NewPageQueue(e.sched, gspec.Nodes[tl].Name, e.opts.QueueCap)
+		queues[tl] = q
+		outs[tl] = &outbox{outs: []*PageQueue{q}}
 	}
 	type pendingSpawn struct {
 		name string
@@ -1163,16 +1181,12 @@ func (e *Engine) newBuildGroupLocked(spec QuerySpec, opt PivotOption, h *Handle,
 	}
 	var spawns []pendingSpawn
 	qOf := func(idx int) *PageQueue { return queues[idx] }
-	for i, in := range mask {
-		if !in {
-			continue
-		}
-		nd := gspec.Nodes[i]
-		step, err := e.nodeTask(nd, qOf, outs[i], g.fail)
+	for _, r := range runs {
+		name, step, err := e.fusedTask(gspec, r, qOf, outs[r.tail()], g.fail)
 		if err != nil {
 			return nil, err
 		}
-		spawns = append(spawns, pendingSpawn{nd.Name, step})
+		spawns = append(spawns, pendingSpawn{name, step})
 	}
 	collector := &buildCollectorTask{name: gspec.Nodes[joinIdx].Name + "/build", jb: jb, in: queues[opt.Pivot], bs: bs, clock: e.clock, fail: g.fail}
 	for _, p := range spawns {
@@ -1318,12 +1332,17 @@ func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *build
 	var spawns []pendingSpawn
 	sinkIn := head
 	if spec.Pivot != rootIdx {
+		// The private part fuses like the shared part: segments form over
+		// the mask's complement, and only segment tails get a queue. The
+		// root is always a tail (the sink is its consumer), so sinkIn is
+		// always wired.
 		mask := spec.SubtreeMask(spec.Pivot)
+		include := func(i int) bool { return !mask[i] }
+		runs, _ := fuseRuns(spec, include, e.fuseOK())
 		outQ := make([]*PageQueue, len(spec.Nodes))
-		for i, in := range mask {
-			if !in {
-				outQ[i] = NewPageQueue(e.sched, spec.Nodes[i].Name, e.opts.QueueCap)
-			}
+		for _, r := range runs {
+			tl := r.tail()
+			outQ[tl] = NewPageQueue(e.sched, spec.Nodes[tl].Name, e.opts.QueueCap)
 		}
 		// qOf resolves a private node's input: the shared pivot's output
 		// arrives on the head queue; everything else is private.
@@ -1334,28 +1353,27 @@ func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *build
 			return outQ[idx]
 		}
 		sinkIn = outQ[rootIdx]
-		for i, in := range mask {
-			if in {
-				continue
-			}
-			nd := spec.Nodes[i]
-			ob := &outbox{outs: []*PageQueue{outQ[i]}}
+		for _, r := range runs {
+			nd := spec.Nodes[r.head]
+			ob := &outbox{outs: []*PageQueue{outQ[r.tail()]}}
 			if nd.Join != nil && bs != nil && nd.BuildInput == spec.Pivot {
 				// The member's side of the shared build: probe privately
-				// against the group's sealed table.
-				pr, err := nd.Probe(func(b *storage.Batch) error { ob.add(b); return nil })
+				// against the group's sealed table, with the segment's
+				// fused chain composed onto the probe's emissions.
+				pr, err := fusedProbeOp(spec.Nodes, nd, r, ob)
 				if err != nil {
 					return nil, nil, err
 				}
-				body := &probeAttachTask{name: nd.Name, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: qOf(nd.ProbeInput), out: ob, clock: e.clock, fail: g.fail}
-				spawns = append(spawns, pendingSpawn{nd.Name, body.step})
+				pname := fusedName(spec.Nodes, r)
+				body := &probeAttachTask{name: pname, bs: bs, ready: bs.newWaiter(e.sched, nd.Name), probe: pr, in: qOf(nd.ProbeInput), out: ob, clock: e.clock, fail: g.fail}
+				spawns = append(spawns, pendingSpawn{pname, body.step})
 				continue
 			}
-			step, err := e.nodeTask(nd, qOf, ob, g.fail)
+			name, step, err := e.fusedTask(spec, r, qOf, ob, g.fail)
 			if err != nil {
 				return nil, nil, err
 			}
-			spawns = append(spawns, pendingSpawn{nd.Name, step})
+			spawns = append(spawns, pendingSpawn{name, step})
 		}
 	}
 	rootSchema, err := cp.schema(spec, e.rootSchema)

@@ -97,6 +97,34 @@ func TestEngineMatchesReference(t *testing.T) {
 	}
 }
 
+// Fused execution (the default) must agree exactly with the staged
+// one-task-per-node ablation for every query family: fusion changes where
+// operators run, never what crosses a segment boundary.
+func TestEngineFusionMatchesStaged(t *testing.T) {
+	db := testDB(t)
+	for _, q := range tpch.AllQueries {
+		staged := newEngine(t, engine.Options{Workers: 2, NoFusion: true})
+		hs, err := staged.Submit(tpch.MustEngineSpec(q, db, 0), nil)
+		if err != nil {
+			t.Fatalf("%s staged submit: %v", q, err)
+		}
+		want, err := hs.Wait()
+		if err != nil {
+			t.Fatalf("%s staged wait: %v", q, err)
+		}
+		fused := newEngine(t, engine.Options{Workers: 2})
+		hf, err := fused.Submit(tpch.MustEngineSpec(q, db, 0), nil)
+		if err != nil {
+			t.Fatalf("%s fused submit: %v", q, err)
+		}
+		got, err := hf.Wait()
+		if err != nil {
+			t.Fatalf("%s fused wait: %v", q, err)
+		}
+		assertSameResult(t, fmt.Sprintf("%s fused vs staged", q), got, want)
+	}
+}
+
 // Q13 engine output uses a float c_count column; spot-check its distribution
 // against the reference result's integer form.
 func TestEngineQ13Distribution(t *testing.T) {

@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relop"
+	"repro/internal/storage"
+)
+
+// This file implements operator-chain fusion: linear runs of unary
+// operators (scan→filter→project→partial-agg segments between pivots,
+// fan-outs, and joins) compile into one task that steps the whole chain
+// within a single quantum, with batches handed from operator to operator by
+// direct call instead of through intermediate PageQueues. Fingerprints,
+// pivot boundaries, and fan-out semantics are untouched — a fused segment
+// always ends exactly where a page must cross a task boundary (the pivot's
+// fan-out outbox, a join input, a split-build collector, the sink), so
+// sharing groups observe byte-identical page streams. The per-consumer cost
+// s the model charges is therefore paid once, at the segment's boundary
+// outbox, not once per operator hop.
+
+// fusedRun is one fused segment: a head node (source, unary operator, join,
+// or split-join probe) plus the unary operator nodes absorbed onto its
+// output, in upstream→downstream order. An empty ops list is an unfused
+// node instantiated exactly as before.
+type fusedRun struct {
+	head int
+	ops  []int
+}
+
+// tail returns the node whose output the segment emits — the segment's
+// boundary, where its outbox (and queue, if any) lives.
+func (r fusedRun) tail() int {
+	if n := len(r.ops); n > 0 {
+		return r.ops[n-1]
+	}
+	return r.head
+}
+
+// fuseRuns partitions the instantiated node set into fused runs. include(i)
+// reports whether this construction instantiates node i at all (shared
+// subtrees instantiate their mask, members its complement, cached builds
+// mask their saved subtree out). A node joins its producer's run when it is
+// a unary operator whose input node is also instantiated — every other
+// consumption (joins, the collector, the member boundary, the sink) is a
+// real task boundary and ends the run. With fuse=false every run is a
+// singleton and execution degenerates to the staged (one task per node)
+// model. Runs are returned in topological order of their heads; absorbed[i]
+// marks nodes executed inside another node's run.
+func fuseRuns(spec QuerySpec, include func(int) bool, fuse bool) (runs []fusedRun, absorbed []bool) {
+	absorbed = make([]bool, len(spec.Nodes))
+	headOf := make([]int, len(spec.Nodes))
+	runAt := make(map[int]int, len(spec.Nodes))
+	for i := range spec.Nodes {
+		if !include(i) {
+			continue
+		}
+		nd := spec.Nodes[i]
+		if fuse && nd.Op != nil && include(nd.Input) {
+			// Absorb into the producer's run (Validate guarantees single
+			// consumption, so this is the producer's only consumer).
+			h := headOf[nd.Input]
+			headOf[i] = h
+			absorbed[i] = true
+			runs[runAt[h]].ops = append(runs[runAt[h]].ops, i)
+			continue
+		}
+		headOf[i] = i
+		runAt[i] = len(runs)
+		runs = append(runs, fusedRun{head: i})
+	}
+	return runs, absorbed
+}
+
+// fusedChain is the composed push/finish pair of a run's absorbed
+// operators: push enters the most-upstream operator and cascades by direct
+// call; finish flushes each operator's buffered state downstream in
+// upstream→downstream order. consumes reports whether any operator in the
+// chain is relop.Consuming — if so, nothing in or beyond the chain aliases
+// a pushed batch after push returns (Consuming operators copy what they
+// retain, and aliases emitted by earlier pass-through operators stop at the
+// first Consuming one), so the caller may release the input immediately,
+// exactly as the staged opTask does per node.
+type fusedChain struct {
+	push     func(*storage.Batch) error
+	finishes []func() error
+	consumes bool
+}
+
+func (c *fusedChain) finish() error {
+	for _, f := range c.finishes {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildChain composes the unary operators of the given nodes (upstream→
+// downstream order) into a chain whose tail emits into ob. Construction
+// runs downstream-first so each operator's emit closure is the next
+// operator's Push.
+func buildChain(nodes []NodeSpec, ops []int, ob *outbox) (*fusedChain, error) {
+	c := &fusedChain{}
+	emit := relop.Emit(func(b *storage.Batch) error { ob.add(b); return nil })
+	c.finishes = make([]func() error, len(ops))
+	for k := len(ops) - 1; k >= 0; k-- {
+		op, err := nodes[ops[k]].Op(emit)
+		if err != nil {
+			return nil, err
+		}
+		if relop.Consumes(op) {
+			c.consumes = true
+		}
+		c.finishes[k] = op.Finish
+		emit = op.Push
+	}
+	c.push = emit
+	return c, nil
+}
+
+// fusedName labels a fused segment for scheduling and diagnostics.
+func fusedName(nodes []NodeSpec, r fusedRun) string {
+	if len(r.ops) == 0 {
+		return nodes[r.head].Name
+	}
+	parts := make([]string, 0, len(r.ops)+1)
+	parts = append(parts, nodes[r.head].Name)
+	for _, i := range r.ops {
+		parts = append(parts, nodes[i].Name)
+	}
+	return strings.Join(parts, "+")
+}
+
+// fusedSourceTask drives a source head with a fused operator chain: one
+// source quantum per step, pushed through the whole chain by direct call.
+// release mirrors opTask.releaseInput for the chain as a whole (see
+// fusedChain.consumes).
+type fusedSourceTask struct {
+	name     string
+	src      PageSource
+	chain    *fusedChain
+	out      *outbox
+	clock    *busyClock
+	fail     func(error)
+	eof      bool
+	finished bool
+}
+
+func (ft *fusedSourceTask) step(t *Task) Status {
+	flushed := false
+	ft.clock.measure(ft.name, func() { flushed = ft.out.flush(t) })
+	if !flushed {
+		return Blocked
+	}
+	if ft.finished {
+		ft.out.closeAll()
+		return Done
+	}
+	if ft.eof {
+		var err error
+		ft.clock.measure(ft.name, func() { err = ft.chain.finish() })
+		if err != nil {
+			ft.fail(err)
+			ft.out.closeAll()
+			return Done
+		}
+		ft.finished = true
+		return Again // flush whatever finish emitted, then close
+	}
+	var b *storage.Batch
+	var eof bool
+	var err error
+	ft.clock.measure(ft.name, func() {
+		b, eof, err = ft.src.Next()
+		if err == nil && b != nil {
+			if err = ft.chain.push(b); err == nil && ft.chain.consumes {
+				b.Release()
+			}
+		}
+	})
+	if err != nil {
+		ft.fail(err)
+		ft.out.closeAll()
+		return Done
+	}
+	ft.eof = eof
+	return Again
+}
+
+// fusedJoin wraps a JoinOperator whose emissions feed a fused chain: Finish
+// cascades into the chain's finishes so buffered downstream state flushes
+// when the probe stream ends.
+type fusedJoin struct {
+	JoinOperator
+	chain *fusedChain
+}
+
+func (f *fusedJoin) Finish() error {
+	if err := f.JoinOperator.Finish(); err != nil {
+		return err
+	}
+	return f.chain.finish()
+}
+
+// fusedProbe is fusedJoin's analogue for the split-probe phase.
+type fusedProbe struct {
+	ProbeOperator
+	chain *fusedChain
+}
+
+func (f *fusedProbe) Finish() error {
+	if err := f.ProbeOperator.Finish(); err != nil {
+		return err
+	}
+	return f.chain.finish()
+}
+
+// fusedProbeOp instantiates nd's split-probe phase with the run's absorbed
+// chain composed onto its emissions (plain when the run is a singleton).
+func fusedProbeOp(nodes []NodeSpec, nd NodeSpec, r fusedRun, ob *outbox) (ProbeOperator, error) {
+	if len(r.ops) == 0 {
+		return nd.Probe(func(b *storage.Batch) error { ob.add(b); return nil })
+	}
+	chain, err := buildChain(nodes, r.ops, ob)
+	if err != nil {
+		return nil, err
+	}
+	p, err := nd.Probe(chain.push)
+	if err != nil {
+		return nil, err
+	}
+	return &fusedProbe{ProbeOperator: p, chain: chain}, nil
+}
+
+// fuseOK reports whether this engine fuses operator chains: on by default,
+// off under Options.NoFusion (the staged ablation) and under Profile, which
+// needs per-node busy-time attribution a fused segment cannot provide.
+func (e *Engine) fuseOK() bool {
+	return !e.opts.NoFusion && !e.opts.Profile
+}
+
+// fusedTask instantiates the execution task for one fused run whose
+// boundary output goes to ob, resolving input queues through qOf. It is
+// nodeTask generalized to segments: an empty run falls through to the
+// per-node form, and the split-join probe head is wired by the call sites
+// (which pass the chain through fusedProbeChain).
+func (e *Engine) fusedTask(spec QuerySpec, r fusedRun, qOf func(int) *PageQueue, ob *outbox, fail func(error)) (string, func(*Task) Status, error) {
+	nd := spec.Nodes[r.head]
+	if len(r.ops) == 0 {
+		step, err := e.nodeTask(nd, qOf, ob, fail)
+		return nd.Name, step, err
+	}
+	name := fusedName(spec.Nodes, r)
+	chain, err := buildChain(spec.Nodes, r.ops, ob)
+	if err != nil {
+		return "", nil, err
+	}
+	switch {
+	case nd.IsSource():
+		src, err := nd.NewSource()
+		if err != nil {
+			return "", nil, err
+		}
+		return name, (&fusedSourceTask{name: name, src: src, chain: chain, out: ob, clock: e.clock, fail: fail}).step, nil
+	case nd.Op != nil:
+		op, err := nd.Op(chain.push)
+		if err != nil {
+			return "", nil, err
+		}
+		push := op.Push
+		consumes := chain.consumes || relop.Consumes(op)
+		finishes := append([]func() error{op.Finish}, chain.finishes...)
+		head := &fusedChain{push: push, finishes: finishes, consumes: consumes}
+		return name, (&opTask{name: name, push: head.push, finish: head.finish, in: qOf(nd.Input), out: ob, clock: e.clock, fail: fail, releaseInput: head.consumes}).step, nil
+	case nd.Join != nil:
+		jn, err := nd.Join(chain.push)
+		if err != nil {
+			return "", nil, err
+		}
+		fj := &fusedJoin{JoinOperator: jn, chain: chain}
+		return name, (&joinTask{name: name, join: fj, build: qOf(nd.BuildInput), probe: qOf(nd.ProbeInput), out: ob, clock: e.clock, fail: fail, building: true, releaseInput: relop.Consumes(jn)}).step, nil
+	default:
+		return "", nil, fmt.Errorf("%w: node %s has no executable form", ErrBadSpec, nd.Name)
+	}
+}

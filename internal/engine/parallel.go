@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"strings"
 	"sync"
 
+	"repro/internal/relop"
 	"repro/internal/storage"
 )
 
@@ -117,10 +119,48 @@ func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int, cp *Co
 		if err != nil {
 			return err
 		}
+		psrc := &partitionedSource{src: src, md: md}
+		if e.fuseOK() {
+			// CanParallel guarantees the clone pipeline is fully linear
+			// (scan → row-local ops → root Partial), so the whole clone fuses
+			// into one task: every page steps from the dispensed span to the
+			// fan-in queue inside a single quantum, with no per-clone
+			// intermediate queues at all.
+			pob := &outbox{outs: []*PageQueue{fanIn}, retire: closer.retire}
+			chain := &fusedChain{finishes: make([]func() error, len(spec.Nodes)-1)}
+			emit := relop.Emit(func(b *storage.Batch) error { pob.add(b); return nil })
+			pop, err := root.Partial(emit)
+			if err != nil {
+				return err
+			}
+			chain.finishes[len(spec.Nodes)-2] = pop.Finish
+			chain.consumes = relop.Consumes(pop)
+			emit = pop.Push
+			for i := len(spec.Nodes) - 2; i >= 1; i-- {
+				op, err := spec.Nodes[i].Op(emit)
+				if err != nil {
+					return err
+				}
+				chain.finishes[i-1] = op.Finish
+				if relop.Consumes(op) {
+					chain.consumes = true
+				}
+				emit = op.Push
+			}
+			chain.push = emit
+			parts := make([]string, 0, len(spec.Nodes))
+			for _, nd := range spec.Nodes {
+				parts = append(parts, nd.Name)
+			}
+			name := strings.Join(parts, "+")
+			body := &fusedSourceTask{name: name, src: psrc, chain: chain, out: pob, clock: e.clock, fail: g.fail}
+			spawns = append(spawns, pending{name, body.step})
+			continue
+		}
 		scanOut := NewPageQueue(e.sched, scanNode.Name, e.opts.QueueCap)
 		scanBody := &sourceTask{
 			name:  scanNode.Name,
-			src:   &partitionedSource{src: src, md: md},
+			src:   psrc,
 			out:   &outbox{outs: []*PageQueue{scanOut}},
 			clock: e.clock,
 			fail:  g.fail,

@@ -1,8 +1,19 @@
 package engine
 
 import (
+	"sync"
+
 	"repro/internal/storage"
 )
+
+// MinQueueCap is the smallest page capacity a PageQueue supports. Capacity 1
+// is load-bearing in two ways: it guarantees a producer can always make
+// progress into an empty queue (so closed-loop pipelines never deadlock on a
+// zero-capacity hop), and it is the tightest producer throttle the engine
+// offers — buildShare.newWaiter relies on a MinQueueCap queue as a pure
+// close-signal that never buffers data. NewPageQueue raises smaller requests
+// to this value rather than rejecting them.
+const MinQueueCap = 1
 
 // PageQueue is the bounded page buffer connecting a producer operator to a
 // consumer operator. Finite capacity realizes the model assumption that
@@ -10,23 +21,28 @@ import (
 // queue parks until the consumer drains a page.
 //
 // All methods take the task performing the operation so the queue can park
-// and wake it through the scheduler.
+// and wake it through the scheduler. The queue owns its lock: push/pop
+// touch only queue-local state, and the scheduler is consulted solely to
+// wake a parked task — after the queue lock is released — so page hops on
+// different queues never contend with each other or with task dispatch.
 type PageQueue struct {
 	s        *Scheduler
 	name     string
 	capacity int
 
-	// guarded by s.mu
+	mu       sync.Mutex
 	items    []*storage.Batch
 	closed   bool
 	waitProd []*Task
 	waitCons []*Task
 }
 
-// NewPageQueue creates a queue with the given page capacity (minimum 1).
+// NewPageQueue creates a queue with the given page capacity. Capacities
+// below MinQueueCap are raised to it (see the constant's doc for why the
+// floor exists).
 func NewPageQueue(s *Scheduler, name string, capacity int) *PageQueue {
-	if capacity < 1 {
-		capacity = 1
+	if capacity < MinQueueCap {
+		capacity = MinQueueCap
 	}
 	return &PageQueue{s: s, name: name, capacity: capacity}
 }
@@ -38,18 +54,23 @@ func NewPageQueue(s *Scheduler, name string, capacity int) *PageQueue {
 // releasing the departed consumer's reader claim, so surviving fan-out
 // siblings are not forced to clone against a reader that will never come.
 func (q *PageQueue) TryPush(t *Task, b *storage.Batch) bool {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	q.mu.Lock()
 	if q.closed {
+		q.mu.Unlock()
 		b.Release()
 		return true
 	}
 	if len(q.items) >= q.capacity {
 		q.waitProd = append(q.waitProd, t)
+		q.mu.Unlock()
 		return false
 	}
 	q.items = append(q.items, b)
-	q.wakeOneLocked(&q.waitCons)
+	w := takeWaiter(&q.waitCons)
+	q.mu.Unlock()
+	if w != nil {
+		q.s.wake(w)
+	}
 	return true
 }
 
@@ -58,59 +79,64 @@ func (q *PageQueue) TryPush(t *Task, b *storage.Batch) bool {
 // registered it for wake-up); ok=false with done=true means the queue is
 // closed and drained.
 func (q *PageQueue) TryPop(t *Task) (b *storage.Batch, ok, done bool) {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	q.mu.Lock()
 	if len(q.items) > 0 {
 		b = q.items[0]
 		q.items = q.items[1:]
-		q.wakeOneLocked(&q.waitProd)
+		w := takeWaiter(&q.waitProd)
+		q.mu.Unlock()
+		if w != nil {
+			q.s.wake(w)
+		}
 		return b, true, false
 	}
 	if q.closed {
+		q.mu.Unlock()
 		return nil, false, true
 	}
 	q.waitCons = append(q.waitCons, t)
+	q.mu.Unlock()
 	return nil, false, false
 }
 
 // Close marks the producer finished and wakes all waiting consumers (and
 // producers, so fan-out peers observing a closed sibling can make progress).
 func (q *PageQueue) Close() {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	q.mu.Lock()
 	if q.closed {
+		q.mu.Unlock()
 		return
 	}
 	q.closed = true
-	for _, t := range q.waitCons {
-		q.s.wakeLocked(t)
+	waiters := append(q.waitCons, q.waitProd...)
+	q.waitCons, q.waitProd = nil, nil
+	q.mu.Unlock()
+	for _, t := range waiters {
+		q.s.wake(t)
 	}
-	q.waitCons = nil
-	for _, t := range q.waitProd {
-		q.s.wakeLocked(t)
-	}
-	q.waitProd = nil
 }
 
 // Len returns the current number of buffered pages.
 func (q *PageQueue) Len() int {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return len(q.items)
 }
 
 // Closed reports whether the queue is closed.
 func (q *PageQueue) Closed() bool {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return q.closed
 }
 
-func (q *PageQueue) wakeOneLocked(list *[]*Task) {
+// takeWaiter pops the oldest waiter, or nil. Caller holds the queue lock;
+// the wake itself happens after unlock.
+func takeWaiter(list *[]*Task) *Task {
 	if len(*list) == 0 {
-		return
+		return nil
 	}
 	t := (*list)[0]
 	*list = (*list)[1:]
-	q.s.wakeLocked(t)
+	return t
 }

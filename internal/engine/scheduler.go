@@ -10,11 +10,19 @@
 // number of worker goroutines. A task executes one bounded quantum (one page
 // of work) per step and then yields, emulating the round-robin fairness of
 // the paper's UltraSparc T1 testbed with n hardware contexts.
+//
+// The scheduler is morsel-style: each worker owns a private FIFO run queue
+// and steals from its peers when its own runs dry, so ready-task dispatch
+// never serializes on a global lock. Parking and waking a blocked task is a
+// per-task atomic handshake (see wake), so a producer waking a parked
+// consumer touches only that task's state plus one per-worker queue — the
+// page-hop hot path shares no global mutable state at all.
 package engine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Status is a task step's outcome.
@@ -29,8 +37,10 @@ const (
 	Done
 )
 
-// taskState tracks where a task currently lives.
-type taskState int
+// taskState tracks where a task currently lives. The zero value is
+// stateQueued, so a Task constructed bare (tests build them without Spawn)
+// treats every wake as a no-op on an already-runnable task.
+type taskState int32
 
 const (
 	stateQueued taskState = iota
@@ -41,27 +51,102 @@ const (
 
 // Task is a cooperative unit of execution. Step performs one bounded
 // quantum of work and reports what to do next.
+//
+// state and wakeup form the park/wake handshake: a waker CASes
+// stateParked→stateQueued and re-enqueues the task itself, or — when the
+// task is mid-step — sets wakeup so the worker retries instead of parking.
+// Both sides re-check after publishing their half, so a wake can never slip
+// between "step returned Blocked" and "task parked".
 type Task struct {
 	name   string
 	step   func(*Task) Status
-	state  taskState
-	wakeup bool // a queue woke the task while it was running
+	state  atomic.Int32
+	wakeup atomic.Bool // a queue woke the task while it was running
+}
+
+// runQueue is one worker's private FIFO of runnable tasks: a growable ring
+// under its own mutex, with an atomic length so thieves and idle-parking
+// workers can scan for work without touching the lock.
+type runQueue struct {
+	mu   sync.Mutex
+	buf  []*Task
+	head int
+	size int
+	n    atomic.Int32
+}
+
+func (q *runQueue) push(t *Task) {
+	q.mu.Lock()
+	if q.size == len(q.buf) {
+		grown := make([]*Task, maxInt(2*len(q.buf), 8))
+		for i := 0; i < q.size; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = t
+	q.size++
+	q.n.Store(int32(q.size))
+	q.mu.Unlock()
+}
+
+// pop removes the oldest task (FIFO preserves the round-robin fairness of
+// the emulated testbed; thieves use it too, so stolen work is the victim's
+// oldest — the task that has waited longest).
+func (q *runQueue) pop() *Task {
+	if q.n.Load() == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	if q.size == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.n.Store(int32(q.size))
+	q.mu.Unlock()
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Scheduler runs tasks on a fixed pool of worker goroutines, emulating a
-// machine with Workers processors. Tasks yield after each quantum; ready
-// tasks are served FIFO (round-robin among runnable tasks, like the T1's
-// per-core round-robin issue).
+// machine with Workers processors. Tasks yield after each quantum; each
+// worker serves its own run queue FIFO and steals from peers when idle.
 type Scheduler struct {
 	workers int
+	queues  []*runQueue
+	// next round-robins external spawns and wakes across the worker queues.
+	next atomic.Uint64
+	// steals counts successful cross-queue steals (observability for the
+	// fairness tests and the scaling benchmark).
+	steals atomic.Int64
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signals: ready task available or shutdown
-	idle    *sync.Cond // signals: live count changed
-	ready   []*Task
-	live    int
+	// The idle lot: workers that found every queue empty park here. idlers
+	// is read lock-free by enqueuers, which take idleMu only when someone is
+	// actually parked — the enqueue hot path on a busy scheduler never
+	// touches a shared lock.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	idlers   atomic.Int32
+
+	// live counts tasks not yet Done; doneCond broadcasts (under doneMu)
+	// when it reaches zero, for WaitIdle.
+	live     atomic.Int64
+	doneMu   sync.Mutex
+	doneCond *sync.Cond
+
+	startMu sync.Mutex
 	started bool
-	stopped bool
+	stopped atomic.Bool
 	wg      sync.WaitGroup
 }
 
@@ -71,130 +156,193 @@ func NewScheduler(workers int) (*Scheduler, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("engine: workers must be positive, got %d", workers)
 	}
-	s := &Scheduler{workers: workers}
-	s.cond = sync.NewCond(&s.mu)
-	s.idle = sync.NewCond(&s.mu)
+	s := &Scheduler{workers: workers, queues: make([]*runQueue, workers)}
+	for i := range s.queues {
+		s.queues[i] = &runQueue{}
+	}
+	s.idleCond = sync.NewCond(&s.idleMu)
+	s.doneCond = sync.NewCond(&s.doneMu)
 	return s, nil
 }
 
 // Workers returns the emulated processor count.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// Steals returns the cumulative count of tasks taken from a peer's queue.
+func (s *Scheduler) Steals() int64 { return s.steals.Load() }
+
 // Start launches the worker pool. It is idempotent.
 func (s *Scheduler) Start() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
 	if s.started {
 		return
 	}
 	s.started = true
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 }
 
 // Stop shuts the pool down after in-flight quanta complete and waits for the
-// workers to exit. Parked tasks are abandoned.
+// workers to exit. Parked and queued tasks are abandoned.
 func (s *Scheduler) Stop() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
+	if !s.stopped.Swap(true) {
+		s.idleMu.Lock()
+		s.idleCond.Broadcast()
+		s.idleMu.Unlock()
+		s.doneMu.Lock()
+		s.doneCond.Broadcast()
+		s.doneMu.Unlock()
 	}
-	s.stopped = true
-	s.cond.Broadcast()
-	s.idle.Broadcast()
-	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-// Spawn registers a new task and makes it runnable.
+// enqueue makes t runnable on queue qi (mod workers) and pokes an idle
+// worker if one is parked. Callers have already set t's state to
+// stateQueued (or spawned it so).
+func (s *Scheduler) enqueue(t *Task, qi int) {
+	s.queues[qi%s.workers].push(t)
+	if s.idlers.Load() > 0 {
+		s.idleMu.Lock()
+		s.idleCond.Signal()
+		s.idleMu.Unlock()
+	}
+}
+
+// Spawn registers a new task and makes it runnable. Spawns round-robin
+// across the worker queues so a burst of tasks spreads without stealing.
 func (s *Scheduler) Spawn(name string, step func(*Task) Status) *Task {
-	t := &Task{name: name, step: step, state: stateQueued}
-	s.mu.Lock()
-	s.live++
-	s.ready = append(s.ready, t)
-	s.cond.Signal()
-	s.mu.Unlock()
+	t := &Task{name: name, step: step}
+	t.state.Store(int32(stateQueued))
+	s.live.Add(1)
+	s.enqueue(t, int(s.next.Add(1)-1))
 	return t
 }
 
 // WaitIdle blocks until no live tasks remain (all Done) or the scheduler
 // stops.
 func (s *Scheduler) WaitIdle() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for s.live > 0 && !s.stopped {
-		s.idle.Wait()
+	s.doneMu.Lock()
+	defer s.doneMu.Unlock()
+	for s.live.Load() > 0 && !s.stopped.Load() {
+		s.doneCond.Wait()
 	}
 }
 
 // Live returns the number of tasks not yet Done.
-func (s *Scheduler) Live() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.live
-}
+func (s *Scheduler) Live() int { return int(s.live.Load()) }
 
-// wakeLocked moves a parked task back to the ready list. Callers hold s.mu.
-// Waking a running task defers the wake to the end of its current step;
-// waking a queued or finished task is a no-op.
-func (s *Scheduler) wakeLocked(t *Task) {
-	switch t.state {
-	case stateParked:
-		t.state = stateQueued
-		s.ready = append(s.ready, t)
-		s.cond.Signal()
-	case stateRunning:
-		t.wakeup = true
+// wake moves a parked task back to a run queue. Waking a running task
+// defers the wake to the end of its current step (the worker re-enqueues
+// instead of parking); waking a queued or finished task is a no-op. Unlike
+// the former global-lock design, the handshake is entirely per-task: the
+// CAS parked→queued elects exactly one enqueuer however many queues wake
+// the task at once.
+func (s *Scheduler) wake(t *Task) {
+	for {
+		switch taskState(t.state.Load()) {
+		case stateParked:
+			if t.state.CompareAndSwap(int32(stateParked), int32(stateQueued)) {
+				s.enqueue(t, int(s.next.Add(1)-1))
+				return
+			}
+		case stateRunning:
+			t.wakeup.Store(true)
+			// The worker may have parked between our load and the store; if
+			// so it might also have consumed wakeup already — loop and settle
+			// through the CAS arm, which is race-free.
+			if taskState(t.state.Load()) != stateParked {
+				return
+			}
+		default:
+			// Queued tasks will run and re-poll their queues; finished tasks
+			// are gone; a bare zero-value Task (tests) reads as queued.
+			return
+		}
 	}
 }
 
-func (s *Scheduler) worker() {
+// findWork returns the next runnable task for worker id: its own queue
+// first, then a steal sweep over the peers.
+func (s *Scheduler) findWork(id int) *Task {
+	if t := s.queues[id].pop(); t != nil {
+		return t
+	}
+	for i := 1; i < s.workers; i++ {
+		if t := s.queues[(id+i)%s.workers].pop(); t != nil {
+			s.steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// anyQueued reports whether any run queue holds a task (lock-free scan).
+func (s *Scheduler) anyQueued() bool {
+	for _, q := range s.queues {
+		if q.n.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for {
-		s.mu.Lock()
-		for len(s.ready) == 0 && !s.stopped {
-			s.cond.Wait()
-		}
-		if s.stopped {
-			s.mu.Unlock()
+		if s.stopped.Load() {
 			return
 		}
-		t := s.ready[0]
-		s.ready = s.ready[1:]
-		t.state = stateRunning
-		s.mu.Unlock()
+		t := s.findWork(id)
+		if t == nil {
+			// Idle-park handshake: publish idleness, then re-scan before
+			// sleeping. An enqueuer that missed our idlers increment must
+			// have pushed before our re-scan (both sides sequence an atomic
+			// store before an atomic load), so either we see its task here
+			// or it sees us and signals.
+			s.idleMu.Lock()
+			s.idlers.Add(1)
+			for !s.stopped.Load() && !s.anyQueued() {
+				s.idleCond.Wait()
+			}
+			s.idlers.Add(-1)
+			s.idleMu.Unlock()
+			continue
+		}
+
+		t.state.Store(int32(stateRunning))
+		// A stale wakeup from a previous epoch would only force one spurious
+		// retry later; clear it now. Clearing cannot lose a fresh wake: any
+		// waker that set the flag did so after its queue mutation committed,
+		// which the step about to run will observe directly.
+		t.wakeup.Store(false)
 
 		st := t.step(t)
 
-		s.mu.Lock()
 		switch st {
 		case Again:
-			t.state = stateQueued
-			t.wakeup = false
-			s.ready = append(s.ready, t)
-			s.cond.Signal()
+			t.state.Store(int32(stateQueued))
+			s.enqueue(t, id)
 		case Blocked:
-			if t.wakeup {
-				// A queue changed state during the step; retry immediately
-				// rather than parking and losing the wakeup.
-				t.wakeup = false
-				t.state = stateQueued
-				s.ready = append(s.ready, t)
-				s.cond.Signal()
-			} else {
-				t.state = stateParked
+			t.state.Store(int32(stateParked))
+			if t.wakeup.Swap(false) {
+				// A queue changed state during the step; retry rather than
+				// parking and losing the wakeup. The CAS may lose to a
+				// concurrent wake() that already re-enqueued the task — then
+				// the wake is theirs and we must not double-enqueue.
+				if t.state.CompareAndSwap(int32(stateParked), int32(stateQueued)) {
+					s.enqueue(t, id)
+				}
 			}
 		case Done:
-			t.state = stateFinished
-			s.live--
-			if s.live == 0 {
-				s.idle.Broadcast()
+			t.state.Store(int32(stateFinished))
+			if s.live.Add(-1) == 0 {
+				s.doneMu.Lock()
+				s.doneCond.Broadcast()
+				s.doneMu.Unlock()
 			}
 		}
-		s.mu.Unlock()
 	}
 }

@@ -472,13 +472,16 @@ func (t *tableSource) readSpan(lo, hi int) (*storage.Batch, error) {
 	if len(sel) == 0 {
 		return nil, nil
 	}
-	res := &storage.Batch{Schema: t.out, Vecs: make([]storage.Vector, len(t.cols))}
+	// Scan output pages come from the page pool: a Consuming chain (or the
+	// staged equivalent) releases each page once folded, returning the
+	// column storage here for the next span instead of to the allocator.
+	res := storage.GetPage(t.out, len(sel))
 	for i, name := range t.cols {
 		v, err := window.Col(name)
 		if err != nil {
 			return nil, err
 		}
-		res.Vecs[i] = v.Gather(sel)
+		res.Vecs[i].AppendGather(v, sel)
 	}
 	return res, nil
 }

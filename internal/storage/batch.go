@@ -18,6 +18,10 @@ type Batch struct {
 	// once, so Writable can classify its zero-claim path as a move.
 	shared     atomic.Int32
 	everShared bool
+	// poolable marks a batch whose column storage came from the page pool
+	// (GetPage); a last-owner Release returns it there. The CAS on this flag
+	// guarantees at-most-once recycling.
+	poolable atomic.Bool
 }
 
 // NewBatch allocates an empty batch with capacity hint n rows.

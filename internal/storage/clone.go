@@ -70,6 +70,9 @@ func (b *Batch) Writable() *Batch {
 			if b.everShared {
 				shareMoves.Add(1)
 			}
+			// The adopter keeps this storage beyond the pipeline (typically
+			// as a query result), so it must never return to the page pool.
+			b.poolable.Store(false)
 			return b
 		}
 		if b.shared.CompareAndSwap(n, n-1) {
@@ -83,13 +86,24 @@ func (b *Batch) Writable() *Batch {
 // sinks and fan-out consumers that finish with a shared page they never
 // wrote. Releasing early lets a later adopter's Writable find zero claims
 // and take the original — the zero-copy move — instead of cloning against a
-// reader that no longer exists. Safe to call on never-shared batches (no-op)
-// and idempotent past zero; each consumer must release or adopt at most
-// once per page.
+// reader that no longer exists. Safe to call on never-shared batches and
+// idempotent past zero; each consumer must release or adopt at most once
+// per page.
+//
+// For a pool-backed batch (GetPage) that was never fanned out, Release is
+// additionally the recycle point: the caller is the page's sole owner and
+// declares it dead, so its column storage returns to the page pool. Pages
+// that ever carried reader claims (MarkShared) are never recycled — a
+// released claim proves the claimant is done, not that no adopter kept an
+// alias — and the CAS on the poolable mark makes recycling at-most-once
+// even if Release is called again.
 func (b *Batch) Release() {
 	for {
 		n := b.shared.Load()
 		if n <= 0 {
+			if !b.everShared && b.poolable.CompareAndSwap(true, false) {
+				b.recycle()
+			}
 			return
 		}
 		if b.shared.CompareAndSwap(n, n-1) {

@@ -96,10 +96,28 @@ func (v Vector) Slice(lo, hi int) Vector {
 // Gather returns a new vector holding v[idx[0]], v[idx[1]], ...
 func (v Vector) Gather(idx []int) Vector {
 	out := NewVector(v.Type, len(idx))
-	for _, i := range idx {
-		out.AppendFrom(v, i)
-	}
+	out.AppendGather(v, idx)
 	return out
+}
+
+// AppendGather appends src[idx[0]], src[idx[1]], ... to v, resolving the
+// payload type once instead of per row — the hot inner loop of selective
+// scans, where AppendFrom's per-element type switch dominates.
+func (v *Vector) AppendGather(src Vector, idx []int) {
+	switch v.Type {
+	case Int64, Date:
+		for _, i := range idx {
+			v.I64 = append(v.I64, src.I64[i])
+		}
+	case Float64:
+		for _, i := range idx {
+			v.F64 = append(v.F64, src.F64[i])
+		}
+	case String:
+		for _, i := range idx {
+			v.Str = append(v.Str, src.Str[i])
+		}
+	}
 }
 
 // Equal reports deep value equality (used by tests).
