@@ -1,10 +1,10 @@
 GO ?= go
 
 # Output file for the machine-readable ablation report; the CI artifact name
-# is derived from this (BENCH_PR9.json -> bench-pr9).
-BENCH_OUT ?= BENCH_PR9.json
+# is derived from this (BENCH_PR10.json -> bench-pr10).
+BENCH_OUT ?= BENCH_PR10.json
 
-.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-hotpath bench-execcore smoke-server fmt examples ci
+.PHONY: build test bench bench-json bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 bench-hotpath bench-execcore smoke-server fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,18 @@ bench:
 # hash build per shared family; the execution-core ablation hard-fails
 # unless 8-worker capacity beats 1-worker by >= 2x on the subplan closed
 # loop, fused chains beat staged on q/min with fewer allocs/op, and every
-# fused result is byte-identical to the unfused single-worker reference.
-# bench-pr9 is the current alias; bench-pr5..pr8 re-emit under the previous
+# fused result is byte-identical to the unfused single-worker reference; the
+# tracing ablation hard-fails if the lifecycle telemetry costs more than 3%
+# of q/min against a tracing-disabled engine (paired-median estimate).
+# bench-pr10 is the current alias; bench-pr5..pr9 re-emit under the previous
 # filenames for trajectory comparisons.
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-bench-pr9: bench-json
+bench-pr10: bench-json
+
+bench-pr9:
+	$(MAKE) bench-json BENCH_OUT=BENCH_PR9.json
 
 bench-pr8:
 	$(MAKE) bench-json BENCH_OUT=BENCH_PR8.json

@@ -1,9 +1,9 @@
 // Command benchjson runs the ablation measurements and emits them as
-// machine-readable JSON (BENCH_PR9.json by default; -out picks the file),
+// machine-readable JSON (BENCH_PR10.json by default; -out picks the file),
 // so CI can archive the perf trajectory run over run instead of letting
 // benchmark output scroll away.
 //
-// Eight experiments run on the real staged engine:
+// Nine experiments run on the real staged engine:
 //
 //   - the policy sweep: the closed-loop Q1/Q4 mix under every sharing
 //     policy (never, always, model, inflight, parallel, hybrid, subplan),
@@ -61,11 +61,16 @@
 //     does not beat the staged arm on q/min with fewer allocs/op on the
 //     linear-chain plan, or if any fused result differs byte-for-byte from
 //     the unfused single-worker reference.
+//   - the tracing-overhead ablation: the same plan submitted and drained on
+//     identical engines with lifecycle tracing at its default ring capacity
+//     versus disabled (Options.TraceCap < 0), trials interleaved arm by arm.
+//     The run fails if the instrumented arm falls more than 3% below the
+//     bare arm's q/min — the telemetry layer must stay effectively free.
 //
 // Usage:
 //
 //	benchjson [-sf 0.002] [-workers 2] [-clients 8] [-fq4 0.5]
-//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR9.json]
+//	          [-duration 300ms] [-arrivals 120] [-out BENCH_PR10.json]
 package main
 
 import (
@@ -75,6 +80,7 @@ import (
 	"math"
 	"net"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -97,7 +103,7 @@ var (
 	fq4Flag      = flag.Float64("fq4", 0.5, "fraction of clients running Q4")
 	durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement duration per policy")
 	arrivalsFlag = flag.Int("arrivals", 120, "open-loop arrivals offered per policy")
-	outFlag      = flag.String("out", "BENCH_PR9.json", "output file (- for stdout)")
+	outFlag      = flag.String("out", "BENCH_PR10.json", "output file (- for stdout)")
 )
 
 // PolicyResult is one policy sweep measurement.
@@ -282,6 +288,19 @@ type Report struct {
 	Fusion        []FusionResult         `json:"fusion"`
 	FusionIdent   FusionIdentityResult   `json:"fusion_identity"`
 	PagePool      PagePoolResult         `json:"page_pool"`
+	Tracing       TracingOverheadResult  `json:"tracing_overhead"`
+}
+
+// TracingOverheadResult compares throughput of one plan with lifecycle
+// tracing at its default ring capacity against tracing disabled, on
+// otherwise identical engines. OverheadPct is how far the instrumented arm
+// fell below the bare arm (negative = instrumented measured faster).
+type TracingOverheadResult struct {
+	Plan            string  `json:"plan"`
+	InstrumentedQPM float64 `json:"instrumented_qpm"`
+	BareQPM         float64 `json:"bare_qpm"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	Identical       bool    `json:"identical"`
 }
 
 func main() {
@@ -298,7 +317,7 @@ func run() error {
 		return err
 	}
 	report := Report{
-		Bench: "PR9",
+		Bench: "PR10",
 		Config: map[string]any{
 			"sf":          *sfFlag,
 			"seed":        *seedFlag,
@@ -525,6 +544,20 @@ func run() error {
 	gets, hits, puts := storage.PagePoolStats()
 	report.PagePool = PagePoolResult{Gets: gets, Hits: hits, Puts: puts}
 
+	// Tracing-overhead ablation, with its hard gate: the lifecycle telemetry
+	// must cost at most 3% of throughput against a tracing-disabled engine.
+	report.Tracing, err = tracingCell(db, *workersFlag)
+	if err != nil {
+		return fmt.Errorf("tracing overhead: %w", err)
+	}
+	if !report.Tracing.Identical {
+		return fmt.Errorf("tracing overhead: instrumented and bare arms disagree on results")
+	}
+	if report.Tracing.OverheadPct > 3.0 {
+		return fmt.Errorf("tracing overhead: %.1f%% paired-median overhead exceeds the 3%% budget (instrumented %.0f q/min vs bare %.0f q/min)",
+			report.Tracing.OverheadPct, report.Tracing.InstrumentedQPM, report.Tracing.BareQPM)
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -537,12 +570,95 @@ func run() error {
 	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells, compile warm %.1fx, %d shard cells, 4-shard capacity %.1fx, 8-worker capacity %.1fx, %s fusion %.2fx)\n",
+	fmt.Printf("wrote %s (%d policies, %d pivot-level cells, %d build-share cells, %d cache cells, %d open-loop cells, compile warm %.1fx, %d shard cells, 4-shard capacity %.1fx, 8-worker capacity %.1fx, %s fusion %.2fx, tracing overhead %.1f%%)\n",
 		*outFlag, len(report.Policies), len(report.PivotLevels), len(report.BuildShare), len(report.CacheAblation), len(report.OpenLoop),
 		report.HotPath.CompileSpeedupX, len(report.ShardAblation),
 		capacity["4/subplan"]/capacity["1/subplan"],
-		scaling[8]/scaling[1], chain.Plan, chain.FusedQPM/chain.StagedQPM)
+		scaling[8]/scaling[1], chain.Plan, chain.FusedQPM/chain.StagedQPM,
+		report.Tracing.OverheadPct)
 	return nil
+}
+
+// tracingCell measures the lifecycle-telemetry cost: the same plan submitted
+// and drained sequentially on identical engines with tracing at its default
+// ring capacity versus disabled (Options.TraceCap < 0). The true overhead is
+// a fraction of a percent while host jitter between whole timed batches runs
+// ±10%, so the arms interleave at single-submit granularity — each pair of
+// back-to-back submits sits inside one noise window — and the overhead is the
+// median of the per-pair duration ratios. Rotating which arm leads each pair
+// keeps the leader's wake-from-idle cost from billing to one arm; the paired
+// median discards the tail where a scheduling hiccup lands between the two
+// submits of a pair.
+func tracingCell(db *tpch.DB, workers int) (TracingOverheadResult, error) {
+	spec := tpch.MustEngineSpec(tpch.Q1, db, 0)
+	type arm struct {
+		e       *engine.Engine
+		last    *storage.Batch
+		samples []time.Duration
+	}
+	newArm := func(traceCap int) (*arm, error) {
+		e, err := engine.New(engine.Options{Workers: workers, TraceCap: traceCap})
+		if err != nil {
+			return nil, err
+		}
+		return &arm{e: e}, nil
+	}
+	runOne := func(a *arm) error {
+		h, err := a.e.Submit(spec, nil)
+		if err != nil {
+			return err
+		}
+		a.last, err = h.Wait()
+		return err
+	}
+	instrumented, err := newArm(0) // 0 = the default ring capacity
+	if err != nil {
+		return TracingOverheadResult{}, err
+	}
+	defer instrumented.e.Close()
+	bare, err := newArm(-1)
+	if err != nil {
+		return TracingOverheadResult{}, err
+	}
+	defer bare.e.Close()
+	arms := []*arm{instrumented, bare}
+	for _, a := range arms {
+		if err := runOne(a); err != nil { // warm the compile memo off the clock
+			return TracingOverheadResult{}, err
+		}
+	}
+	const submits = 180
+	for i := 0; i < submits; i++ {
+		first := i % len(arms)
+		for k := 0; k < len(arms); k++ {
+			j := (first + k) % len(arms)
+			start := time.Now()
+			if err := runOne(arms[j]); err != nil {
+				return TracingOverheadResult{}, err
+			}
+			arms[j].samples = append(arms[j].samples, time.Since(start))
+		}
+	}
+	median := func(a *arm) time.Duration {
+		s := append([]time.Duration(nil), a.samples...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2]
+	}
+	ratios := make([]float64, submits)
+	for i := range ratios {
+		ratios[i] = float64(instrumented.samples[i]) / float64(bare.samples[i])
+	}
+	sort.Float64s(ratios)
+	// Headline q/min per arm comes from each arm's own median submit; the
+	// gated overhead comes from the paired ratios, which cancel drift the
+	// independent medians can't.
+	return TracingOverheadResult{
+		Plan:            "q1",
+		InstrumentedQPM: 1 / median(instrumented).Minutes(),
+		BareQPM:         1 / median(bare).Minutes(),
+		OverheadPct:     100 * (ratios[submits/2] - 1),
+		Identical:       renderBatch(instrumented.last) == renderBatch(bare.last),
+	}, nil
 }
 
 // workerScalingCell runs the closed-loop Q1/Q4 mix under the subplan policy

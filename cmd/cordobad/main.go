@@ -18,10 +18,17 @@
 //	cordobad [-addr 127.0.0.1:7432] [-addr-file path] [-sf 0.005] [-seed 42]
 //	         [-workers N] [-shards 1] [-policy subplan] [-window 0]
 //	         [-queue-limit 0] [-patience 0] [-cache-mb 0] [-cache-ttl 500ms]
-//	         [-sweep 0] [-pprof 127.0.0.1:6060]
+//	         [-sweep 0] [-pprof 127.0.0.1:6060] [-metrics 127.0.0.1:9090]
 //
 // -pprof serves net/http/pprof on the given address with mutex and block
 // profiling enabled, for inspecting contention in the execution core.
+//
+// -metrics serves the unified telemetry registry in Prometheus text format
+// at /metrics on the given address: engine, scheduler, page-queue, work-
+// exchange, cache, page-pool, and admission counters, plus the model-
+// accuracy audit (predicted-vs-measured benefit per decision kind).
+// -metrics-file writes the bound address once listening, for scripted
+// scrapes against port 0.
 //
 // With -shards N > 1 the server range-partitions the data across N engine
 // shards, compiles every family's scatter-gather plan at startup, and routes
@@ -33,9 +40,12 @@
 //	cordobad -client [-addr host:port] [-arrival poisson|diurnal|flash]
 //	         [-rate 200] [-arrivals 100] [-duration 0] [-conns 4]
 //	         [-families Q1,Q6,Q4,Q13] [-tenants a,b] [-peak 0] [-period 10s]
+//	         [-trace 0]
 //
 // The client prints offered/ok/shed accounting and the p50/p95/p99 latency
-// tail of the run.
+// tail of the run. -trace N additionally dumps the last N query lifecycle
+// traces from the server — the span chain from submit through admission,
+// pivot choice, and completion, with predicted-vs-measured sharing benefit.
 package main
 
 import (
@@ -75,6 +85,8 @@ var (
 	cacheTTLFlag = flag.Duration("cache-ttl", 500*time.Millisecond, "keep-alive window for retained artifacts")
 	sweepFlag    = flag.Duration("sweep", 0, "exchange sweep cadence (0 = no periodic sweep)")
 	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) with mutex and block profiling enabled; empty = off")
+	metricsFlag  = flag.String("metrics", "", "serve Prometheus text metrics at /metrics on this address (e.g. 127.0.0.1:9090); empty = off")
+	metricsFile  = flag.String("metrics-file", "", "write the bound metrics address to this file once listening (for scripted scrapes against port 0)")
 
 	clientFlag   = flag.Bool("client", false, "run as open-loop traffic driver against -addr instead of serving")
 	arrivalFlag  = flag.String("arrival", "poisson", "arrival process: poisson, diurnal, flash")
@@ -86,6 +98,7 @@ var (
 	tenantsFlag  = flag.String("tenants", "", "comma-separated tenant rotation (default: one tenant)")
 	peakFlag     = flag.Float64("peak", 0, "flash-crowd peak rate per second (0 = 10×rate)")
 	periodFlag   = flag.Duration("period", 10*time.Second, "diurnal period / flash-crowd burst length")
+	traceFlag    = flag.Int("trace", 0, "client: dump the last N query lifecycle traces from the server after the run (0 = off)")
 )
 
 func main() {
@@ -153,6 +166,26 @@ func runServer() error {
 	if err != nil {
 		return err
 	}
+	if *metricsFlag != "" {
+		mln, err := net.Listen("tcp", *metricsFlag)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.MetricsHandler())
+		fmt.Printf("cordobad: metrics on http://%s/metrics\n", mln.Addr())
+		if *metricsFile != "" {
+			if err := os.WriteFile(*metricsFile, []byte(mln.Addr().String()+"\n"), 0o644); err != nil {
+				mln.Close()
+				return err
+			}
+		}
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "cordobad: metrics server:", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
 		return err
@@ -178,10 +211,11 @@ func runServer() error {
 		fmt.Printf("cordobad: %v, draining (admission stopped, finishing in-flight)...\n", sig)
 		s.Shutdown()
 		st := s.Stats()
-		fmt.Printf("drained: completed=%d shed=%d errors=%d admissions=%v cache=%d/%d/%d bytes=%d compile=%d/%d\n",
+		fmt.Printf("drained: completed=%d shed=%d errors=%d admissions=%v cache=%d/%d/%d bytes=%d compile=%d/%d steals=%d parks=%d pool=%d/%d/%d\n",
 			st.Completed, st.Shed, st.Errors, st.Admissions,
 			st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes,
-			st.CompileHits, st.CompileMisses)
+			st.CompileHits, st.CompileMisses,
+			st.Steals, st.Parks, st.PoolGets, st.PoolHits, st.PoolPuts)
 		if len(st.Shards) > 0 {
 			fmt.Print(workload.ShardReport(st))
 		}
@@ -222,6 +256,11 @@ func runClient() error {
 			}
 			if len(st.Shards) > 0 {
 				fmt.Print(workload.ShardReport(st))
+			}
+		}
+		if *traceFlag > 0 {
+			if recs, err := c.Traces(*traceFlag); err == nil {
+				fmt.Print(workload.TraceReport(recs))
 			}
 		}
 		c.Close()

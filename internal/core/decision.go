@@ -1,0 +1,38 @@
+package core
+
+// DecisionRecord captures one submit-time decision in the model's own
+// currency, so the telemetry layer can later pair the prediction with the
+// measured outcome (the audit loop). The engine stamps one onto every
+// handle at the moment it commits a query to an execution regime.
+//
+// Kind names the regime: "alone", "anchor" (fresh joinable group — runs
+// alone unless a later arrival attaches), "share" (pivot-level attach),
+// "attach" (late attach to an in-flight fan-out), "build-share",
+// "bus-share", "cache-build", "cache-result", "parallel", "scatter".
+//
+// PredictedSpeedup is the model's expected benefit of the chosen regime
+// versus running the query alone at the same load — a ratio ≥ 1 in the
+// model's intent, computed from the same SharedX/UnsharedX/BuildShareZ/
+// ParallelSpeedup/ShardSpeedup terms the decision itself used. UPrime is
+// the query's total unshared demand u′, the alone-estimate currency: the
+// audit converts it to an expected alone wall time via a calibration
+// factor learned from queries that actually ran alone, and divides by the
+// measured wall time to get the realized speedup.
+type DecisionRecord struct {
+	// Kind is the execution regime committed to at submit.
+	Kind string
+	// Pivot is the plan level of the chosen pivot (-1 when none applies).
+	Pivot int
+	// GroupSize is the sharing group's size the decision was priced at
+	// (including this query), or the parallel degree for "parallel", or the
+	// shard count for "scatter".
+	GroupSize int
+	// PredictedSpeedup is the model's expected wall-time benefit vs running
+	// alone (1 = none).
+	PredictedSpeedup float64
+	// PredictedZ is the sharing-benefit margin Z (or build-share Z) the
+	// pivot choice reported, when one applies.
+	PredictedZ float64
+	// UPrime is the query's total unshared work demand u′ at decision time.
+	UPrime float64
+}

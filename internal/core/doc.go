@@ -274,6 +274,21 @@
 // still pays for comparison. Fusion never crosses a pivot candidate, so the
 // set of places s is paid is exactly the set of places sharing is possible.
 //
+// # Decision records and the audit loop (beyond the paper)
+//
+// Every regime commitment above — alone, share at φ, attach, build-share,
+// parallel, scatter — is stamped into a DecisionRecord at the moment the
+// engine commits to it, carrying the decision kind, the pivot level, the
+// group size it was priced at, and the model's own predictions
+// (PredictedSpeedup, PredictedZ, u′). The telemetry layer
+// (internal/obs, wired in internal/engine) later pairs each record with
+// the measured outcome: a calibration factor learned from queries that ran
+// alone converts u′ into an expected alone wall time, and dividing by the
+// query's measured wall time yields the realized speedup. The
+// measured/predicted ratio per decision kind feeds prediction-error
+// histograms on the metrics endpoint — a standing audit of every formula
+// in this package against the engine that executes its advice.
+//
 // Cardinality estimates are one currency with two consumers. The same
 // closed-form row-count estimates in internal/tpch that feed this model's
 // work coefficients (pricing share-vs-parallelize and admit-vs-shed

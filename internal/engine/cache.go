@@ -98,7 +98,11 @@ func (e *Engine) serveResult(h *Handle, res *storage.Batch) {
 		h.mu.Lock()
 		h.result = out
 		h.completed = time.Now()
+		wall := h.completed.Sub(h.submitted)
 		h.mu.Unlock()
+		// A cache-served result shares with the departed group that produced
+		// the artifact — size 2 for the audit's purposes.
+		e.observeCompletion(h, nil, 2, wall)
 		e.mu.Lock()
 		e.completed++
 		e.mu.Unlock()

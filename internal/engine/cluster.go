@@ -359,6 +359,14 @@ func (c *Cluster) SubmitFn(plan ShardPlan, policy SharePolicy, onDone func(*stor
 	}
 
 	h := &Handle{name: plan.Template.Signature, done: make(chan struct{}), onDone: onDone, submitted: time.Now()}
+	// Cluster-level lifecycle tracing rides on shard 0's ring: the coordinator
+	// has no engine of its own, and shard 0 always exists. Shard submissions
+	// below begin their own per-shard traces as usual.
+	coord := c.shards[0]
+	h.trace = coord.tracer.Begin(plan.Template.Signature)
+	h.trace.Event("submit", fmt.Sprintf("scatter-gather over %d shards", k))
+	coord.stampDecision(h, "scatter", len(plan.Template.Nodes)-1, k, gq, 0, core.ShardSpeedup(gq, k))
+	emitDecision(h, "scatter", fmt.Sprintf("k=%d partial forms", k))
 	n := len(plan.Shards)
 	results := make([]*storage.Batch, n)
 	errs := make([]error, n)
@@ -388,7 +396,10 @@ func (c *Cluster) SubmitFn(plan ShardPlan, policy SharePolicy, onDone func(*stor
 		h.result = out
 		h.err = err
 		h.completed = time.Now()
+		wall := h.completed.Sub(h.submitted)
 		h.mu.Unlock()
+		h.trace.Event("gather", fmt.Sprintf("merged %d partials", n))
+		coord.observeCompletion(h, err, n, wall)
 		close(h.done)
 		if h.onDone != nil {
 			h.onDone(out, err)

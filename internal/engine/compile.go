@@ -340,13 +340,21 @@ const maxCompiled = 1024
 // epoch-valid, a fresh compile otherwise. Fresh compiles under a PlanKey
 // replace the stale entry. Called without e.mu held.
 func (e *Engine) compileFor(spec QuerySpec) *Compiled {
+	c, _ := e.compileForHit(spec)
+	return c
+}
+
+// compileForHit is compileFor, additionally reporting whether the artifact
+// was served from the memo — the submit path records it on the query's
+// lifecycle trace.
+func (e *Engine) compileForHit(spec QuerySpec) (*Compiled, bool) {
 	if spec.PlanKey != "" {
 		e.mu.Lock()
 		c := e.compiled[spec.PlanKey]
 		if c != nil && c.Valid() && c.Matches(spec) {
 			e.compileHits++
 			e.mu.Unlock()
-			return c
+			return c, true
 		}
 		e.mu.Unlock()
 	}
@@ -360,7 +368,7 @@ func (e *Engine) compileFor(spec QuerySpec) *Compiled {
 		e.compiled[spec.PlanKey] = c
 	}
 	e.mu.Unlock()
-	return c
+	return c, false
 }
 
 // CompileHits returns the number of submissions served by a memoized compile

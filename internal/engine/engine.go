@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relop"
 	"repro/internal/storage"
 )
@@ -94,6 +95,12 @@ type Options struct {
 	// SweepAge is the age beyond which the periodic sweep force-retires
 	// orphaned or wedged exchange entries (default: SweepInterval).
 	SweepAge time.Duration
+	// TraceCap sizes the per-engine ring buffer of per-query lifecycle
+	// traces: 0 means the default (256), a negative value disables tracing
+	// entirely (span calls reduce to nil-receiver tests). Traces record span
+	// events from submit through pivot choice to completion, plus scheduler
+	// quanta and queue-wait time, and are served by the server's trace op.
+	TraceCap int
 	// Bus, when set, replaces the engine's private work exchange with a
 	// shared one — the cross-shard artifact bus. Engines sharing a bus (the
 	// shards of a Cluster) publish and discover build states through it, so a
@@ -116,6 +123,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SweepAge == 0 {
 		o.SweepAge = o.SweepInterval
+	}
+	if o.TraceCap == 0 {
+		o.TraceCap = 256
 	}
 	return o
 }
@@ -209,6 +219,12 @@ type Handle struct {
 	resultModel core.Query
 	resultEpoch uint64
 
+	// trace is the query's lifecycle trace (nil with tracing disabled);
+	// decision is the submit-time decision record, stamped before any of the
+	// query's tasks spawn and read lock-free at completion.
+	trace    *obs.QueryTrace
+	decision core.DecisionRecord
+
 	mu     sync.Mutex
 	result *storage.Batch
 	err    error
@@ -260,6 +276,9 @@ type shareGroup struct {
 	build    *buildShare
 	buildKey string
 	spec     QuerySpec
+	// trace is the anchor member's lifecycle trace; the group's seal event
+	// lands there (joiners see their own attach events).
+	trace *obs.QueryTrace
 
 	mu      sync.Mutex
 	size    int
@@ -301,6 +320,13 @@ type Engine struct {
 	// cache is the keep-alive shared-artifact cache (nil = retention off).
 	cache     *artifact.Cache
 	closeOnce sync.Once
+	// tracer retains the most recent per-query lifecycle traces (nil when
+	// Options.TraceCap < 0); audit accumulates predicted-vs-measured benefit
+	// per decision kind; env is the model environment at the engine's
+	// emulated processor count, used to price decisions for the records.
+	tracer *obs.Tracer
+	audit  *obs.Audit
+	env    core.Env
 
 	mu sync.Mutex
 	// sweepStop ends the periodic sweep goroutine (nil when none running).
@@ -335,6 +361,10 @@ type Engine struct {
 	buildJoins       int64
 	busJoins         int64
 	pivotJoins       map[int]int64 // pivot level -> members merged there
+	// calibNS is the EWMA of wall-nanoseconds per unit of modeled work u′,
+	// learned from queries that ran effectively alone; the audit uses it to
+	// turn the model's alone estimate into an expected wall time.
+	calibNS float64
 }
 
 // New creates and starts an engine emulating opts.Workers processors.
@@ -354,6 +384,9 @@ func New(opts Options) (*Engine, error) {
 		clock:      newBusyClock(opts.Profile),
 		scans:      scans,
 		cache:      opts.Cache,
+		tracer:     obs.NewTracer(opts.TraceCap),
+		audit:      obs.NewAudit(),
+		env:        core.NewEnv(float64(opts.Workers)),
 		joinable:   make(map[string]*shareGroup),
 		compiled:   make(map[string]*Compiled),
 		tableIdent: make(map[string]*storage.Table),
@@ -607,8 +640,15 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	// Resolve the spec's compile artifact — memoized per PlanKey, so a
 	// repeated family pays a few atomic epoch loads instead of re-rendering
 	// every canonical fingerprint (see compile.go).
-	cp := e.compileFor(spec)
+	cp, compileHit := e.compileForHit(spec)
 	h := &Handle{name: spec.Signature, done: make(chan struct{}), onDone: onDone, submitted: time.Now()}
+	h.trace = e.tracer.Begin(spec.Signature)
+	h.trace.Event("submit", spec.Signature)
+	if compileHit {
+		h.trace.Event("compile", "hit")
+	} else {
+		h.trace.Event("compile", "miss")
+	}
 
 	// With a keep-alive cache and a whole-plan fingerprint, the query's
 	// result is itself a shareable artifact: tag the handle so the sink
@@ -631,6 +671,9 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	// as a size-2 group.
 	if h.resultKey != "" && e.admitSharedLocked(policy, h.resultModel, 2, spec.CanParallel()) {
 		if res, ok := e.lookupCachedResult(h); ok {
+			z, sp := e.shareBenefit(h.resultModel, 2)
+			e.stampDecision(h, "cache-result", len(spec.Nodes)-1, 2, h.resultModel, z, sp)
+			emitDecision(h, "serve", "cached result run")
 			e.serveResult(h, res)
 			return h, nil
 		}
@@ -671,11 +714,15 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					if e.opts.Bus != nil {
 						if st := e.scans.LookupBuildState(key); st != nil &&
 							e.admitSharedLocked(policy, opt.Model, st.Refs()+1, spec.CanParallel()) {
+							z, sp := e.buildBenefit(opt.Model, st.Refs()+1)
+							e.stampDecision(h, "bus-share", opt.Pivot, st.Refs()+1, opt.Model, z, sp)
 							ng, err := e.newBusBuildGroupLocked(spec, opt, h, st, cp)
 							if err != nil {
 								return nil, err
 							}
 							if ng != nil {
+								ng.trace = h.trace
+								emitDecision(h, "attach", "bus build state")
 								e.joinable[ng.key] = ng
 								e.buildJoins++
 								e.busJoins++
@@ -699,10 +746,14 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					if e.admitSharedLocked(policy, opt.Model, 2, spec.CanParallel()) {
 						epoch := cp.epochs[j]
 						if tbl, ok := e.lookupCachedTable(key, epoch); ok {
+							z, sp := e.buildBenefit(opt.Model, 2)
+							e.stampDecision(h, "cache-build", opt.Pivot, 2, opt.Model, z, sp)
 							ng, err := e.newCachedBuildGroupLocked(spec, opt, h, tbl, epoch, cp)
 							if err != nil {
 								return nil, err
 							}
+							ng.trace = h.trace
+							emitDecision(h, "anchor", "cache-served build")
 							e.joinable[ng.key] = ng
 							e.buildJoins++
 							e.pivotJoins[opt.Pivot]++
@@ -723,11 +774,14 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					admit = e.admitSharedLocked(policy, mspec.Model, m, spec.CanParallel())
 				}
 				if admit {
+					z, sp := e.buildBenefit(mspec.Model, m)
+					e.stampDecision(h, "build-share", opt.Pivot, m, mspec.Model, z, sp)
 					attached, err := e.attachBuildLocked(g, mspec, h, cp)
 					if err != nil {
 						return nil, err
 					}
 					if attached {
+						emitDecision(h, "attach", "shared hash build")
 						e.buildJoins++
 						e.pivotJoins[opt.Pivot]++
 						e.active++
@@ -766,11 +820,14 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					if live &&
 						(e.opts.MaxGroupSize == 0 || active < e.opts.MaxGroupSize) &&
 						admit() {
+						z, sp := e.shareBenefit(core.AttachAdjusted(mspec.Model, active+1, remaining), active+1)
+						e.stampDecision(h, "attach", opt.Pivot, active+1, mspec.Model, z, sp)
 						attached, err := e.attachInflightLocked(g, mspec, h, cp)
 						if err != nil {
 							return nil, err
 						}
 						if attached {
+							emitDecision(h, "attach", fmt.Sprintf("inflight scan remaining=%.2f", remaining))
 							e.inflightAttaches++
 							e.pivotJoins[opt.Pivot]++
 							e.active++
@@ -789,9 +846,12 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 					canJoin = e.admitSharedLocked(policy, mspec.Model, m, spec.CanParallel())
 				}
 				if canJoin {
+					z, sp := e.shareBenefit(mspec.Model, m)
+					e.stampDecision(h, "share", opt.Pivot, m, mspec.Model, z, sp)
 					if err := e.attachLocked(g, mspec, h, cp); err != nil {
 						return nil, err
 					}
+					emitDecision(h, "attach", "pivot group")
 					e.pivotJoins[opt.Pivot]++
 					e.active++
 					return h, nil
@@ -805,9 +865,12 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 	// the serial pipeline. Parallel runs are never joinable — they are the
 	// unshared alternative the model weighs sharing against.
 	if d := e.parallelDegreeLocked(spec, policy); d > 1 {
+		e.stampDecision(h, "parallel", spec.Pivot, d, spec.Model, 0,
+			core.ParallelSpeedup(spec.Model, d, e.env))
 		if err := e.newParallelGroupLocked(spec, h, d, cp); err != nil {
 			return nil, err
 		}
+		emitDecision(h, "anchor", fmt.Sprintf("partitioned clones d=%d", d))
 		e.parallelRuns++
 		e.parallelClones += int64(d)
 		e.active++
@@ -838,24 +901,40 @@ func (e *Engine) SubmitFn(spec QuerySpec, policy SharePolicy, onDone func(*stora
 		}
 	}
 	if anchorBuild.Pivot >= 0 {
+		// An anchor runs alone until someone joins: predicted speedup 1, with
+		// the prospective margin for the next joiner recorded as Z.
+		z, _ := e.buildBenefit(anchorBuild.Model, 2)
+		e.stampDecision(h, "anchor", anchorBuild.Pivot, 1, anchorBuild.Model, z, 1)
 		g, err := e.newBuildGroupLocked(gspec, anchorBuild, h, cp)
 		if err != nil {
 			return nil, err
 		}
+		g.trace = h.trace
+		emitDecision(h, "anchor", "build group")
 		e.joinable[g.key] = g
 		e.active++
 		return h, nil
+	}
+	if policy != nil {
+		z, _ := e.shareBenefit(gspec.Model, 2)
+		e.stampDecision(h, "anchor", gspec.Pivot, 1, gspec.Model, z, 1)
+	} else {
+		e.stampDecision(h, "alone", gspec.Pivot, 1, gspec.Model, 0, 1)
 	}
 	g, err := e.newGroupLocked(gspec, h, policy, cp)
 	if err != nil {
 		return nil, err
 	}
+	g.trace = h.trace
 	if policy != nil {
+		emitDecision(h, "anchor", "pivot group")
 		e.joinable[g.key] = g
 		if g.build != nil {
 			// A mixed group is additionally joinable at its build subtree.
 			e.joinable[g.buildKey] = g
 		}
+	} else {
+		emitDecision(h, "anchor", "unshared run")
 	}
 	e.active++
 	return h, nil
@@ -1383,11 +1462,14 @@ func (e *Engine) buildMember(g *shareGroup, spec QuerySpec, h *Handle, bs *build
 	// The hint is read from the incoming spec, not the artifact: like the
 	// models, it is advisory and must track the caller's current estimates.
 	sink := e.newSinkTask(g, h, sinkIn, rootSchema, spec.Nodes[rootIdx].RowsHint)
+	// Member-private tasks carry the member's trace: one atomic add per
+	// quantum, blocked-time across park/wake transitions. Shared-subtree
+	// tasks serve the whole group and are attributed to no single member.
 	start := func() {
 		for _, p := range spawns {
-			e.sched.Spawn(p.name, p.step)
+			e.sched.Spawn(p.name, traceStep(h.trace, p.step))
 		}
-		e.sched.Spawn(spec.Signature+"/sink", sink.step)
+		e.sched.Spawn(spec.Signature+"/sink", traceStep(h.trace, sink.step))
 	}
 	return head, start, nil
 }
@@ -1410,7 +1492,12 @@ func (e *Engine) newSinkTask(g *shareGroup, h *Handle, in *PageQueue, schema sto
 		h.result = res
 		h.err = err
 		h.completed = time.Now()
+		wall := h.completed.Sub(h.submitted)
 		h.mu.Unlock()
+		g.mu.Lock()
+		finalSize := g.size
+		g.mu.Unlock()
+		e.observeCompletion(h, err, finalSize, wall)
 		e.mu.Lock()
 		e.completed++
 		e.active--
@@ -1433,8 +1520,13 @@ func (e *Engine) sealGroup(g *shareGroup) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	g.mu.Lock()
+	first := !g.started
 	g.started = true
+	size := g.size
 	g.mu.Unlock()
+	if first && g.trace != nil {
+		g.trace.Event("seal", fmt.Sprintf("m=%d", size))
+	}
 	if e.joinable[g.key] == g {
 		delete(e.joinable, g.key)
 	}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics registers the engine's counters and gauges — engine core,
+// scheduler, page queues, work exchange, compile cache, keep-alive cache,
+// and the model-accuracy audit — into the given registry, all as closures
+// over state the engine already maintains: scraping samples, the hot paths
+// pay nothing. labels (e.g. a shard id) are attached to every series so
+// multiple engines can share one registry.
+func (e *Engine) RegisterMetrics(r *obs.Registry, labels obs.Labels) {
+	cf := func(name, help string, fn func() int64) {
+		r.CounterFunc(name, help, labels, func() float64 { return float64(fn()) })
+	}
+	gf := func(name, help string, fn func() float64) {
+		r.GaugeFunc(name, help, labels, fn)
+	}
+
+	// Engine core.
+	cf("cordoba_engine_completed_total", "Queries finished since startup.", e.Completed)
+	gf("cordoba_engine_active", "Submitted queries not yet completed.", func() float64 { return float64(e.Active()) })
+	cf("cordoba_engine_inflight_attaches_total", "Queries that joined a sharing group after its scan started.", e.InflightAttaches)
+	cf("cordoba_engine_parallel_runs_total", "Queries executed as partitioned clones.", e.ParallelRuns)
+	cf("cordoba_engine_parallel_clones_total", "Clone pipelines spawned for parallel runs.", e.ParallelClones)
+	cf("cordoba_engine_hash_builds_total", "Shared hash-join builds executed (sealed).", e.HashBuilds)
+	cf("cordoba_engine_build_joins_total", "Queries attached to an existing shared hash build.", e.BuildJoins)
+	cf("cordoba_engine_bus_joins_total", "Cross-shard build attaches through the artifact bus.", e.BusJoins)
+	cf("cordoba_engine_pivot_joins_total", "Queries merged into sharing groups at any pivot level.", func() int64 {
+		var n int64
+		for _, v := range e.PivotLevelJoins() {
+			n += v
+		}
+		return n
+	})
+
+	// Submit-path compile cache.
+	cf("cordoba_compile_hits_total", "Submissions served by a memoized compile artifact.", e.CompileHits)
+	cf("cordoba_compile_misses_total", "Submissions that compiled fresh.", e.CompileMisses)
+
+	// Scheduler.
+	cf("cordoba_sched_steals_total", "Tasks taken from a peer worker's run queue.", e.sched.Steals)
+	cf("cordoba_sched_parks_total", "Idle-park episodes (worker found every queue empty).", e.sched.Parks)
+	gf("cordoba_sched_runqueue_depth", "Runnable tasks currently enqueued across workers.", func() float64 { return float64(e.sched.RunQueueDepth()) })
+	gf("cordoba_sched_live_tasks", "Tasks spawned and not yet done.", func() float64 { return float64(e.sched.Live()) })
+
+	// Page queues.
+	gf("cordoba_pagequeue_buffered_pages", "Pages buffered across every inter-operator queue.", func() float64 { return float64(e.sched.QueuedPages()) })
+
+	// Work exchange (queue-depth style gauges over the shared-artifact
+	// registry).
+	gf("cordoba_exchange_entries", "Live work-exchange entries of every kind.", func() float64 { return float64(e.scans.Entries()) })
+	gf("cordoba_exchange_circular_scans", "Circular scans in flight.", func() float64 { return float64(e.scans.InFlight()) })
+	gf("cordoba_exchange_build_states", "Shared hash-build states in flight.", func() float64 { return float64(e.scans.BuildStatesInFlight()) })
+	gf("cordoba_exchange_orphans", "Entries with no live consumer awaiting sweep.", func() float64 { return float64(e.scans.Orphans()) })
+	cf("cordoba_exchange_supersedes_total", "Entries superseded by a fresh publish.", e.scans.SupersedeCount)
+	cf("cordoba_exchange_sweep_reclaims_total", "Entries force-retired by the sweep.", e.scans.SweepReclaims)
+
+	// Keep-alive artifact cache.
+	cf("cordoba_cache_hits_total", "Lookups served from a retained artifact.", func() int64 { return e.CacheStats().Hits })
+	cf("cordoba_cache_misses_total", "Lookups that found nothing usable.", func() int64 { return e.CacheStats().Misses })
+	cf("cordoba_cache_evictions_total", "Retained artifacts dropped for memory pressure.", func() int64 { return e.CacheStats().Evictions })
+	cf("cordoba_cache_expirations_total", "Retained artifacts aged out by the TTL.", func() int64 { return e.CacheStats().Expirations })
+	gf("cordoba_cache_bytes", "Current retained footprint.", func() float64 { return float64(e.CacheStats().Bytes) })
+	gf("cordoba_cache_entries", "Currently retained artifacts.", func() float64 { return float64(e.CacheStats().Entries) })
+
+	// Lifecycle tracer occupancy.
+	gf("cordoba_trace_retained", "Query traces currently retained in the ring.", func() float64 { return float64(e.tracer.Len()) })
+
+	// Model-accuracy audit: per decision kind, decision counts and
+	// measured/predicted error-ratio quantiles.
+	r.RegisterAudit("cordoba_model", labels, e.audit)
+}
+
+// RegisterMetrics registers every shard's series — each under a shard="<i>"
+// label merged into labels — plus the cluster's own routing counters.
+func (c *Cluster) RegisterMetrics(r *obs.Registry, labels obs.Labels) {
+	for i, e := range c.shards {
+		l := make(obs.Labels, len(labels)+1)
+		for k, v := range labels {
+			l[k] = v
+		}
+		l["shard"] = strconv.Itoa(i)
+		e.RegisterMetrics(r, l)
+	}
+	r.CounterFunc("cordoba_cluster_scatters_total", "Plans executed scatter-gather.", labels, func() float64 { return float64(c.Scatters()) })
+	r.CounterFunc("cordoba_cluster_routed_total", "Plans routed whole to a single shard.", labels, func() float64 { return float64(c.Routed()) })
+	r.CounterFunc("cordoba_cluster_finished_total", "Cluster-level queries completed (scattered plans count once, at their gather).", labels, func() float64 { return float64(c.Finished()) })
+}

@@ -191,11 +191,13 @@ func (e *Engine) newParallelGroupLocked(spec QuerySpec, h *Handle, d int, cp *Co
 	}
 
 	ok = true
+	// A parallel run is a group of one, so every clone, the merge, and the
+	// sink all bill their quanta to the one member's trace.
 	for _, p := range spawns {
-		e.sched.Spawn(p.name, p.step)
+		e.sched.Spawn(p.name, traceStep(h.trace, p.step))
 	}
-	e.sched.Spawn(mergeName, mergeBody.step)
-	e.sched.Spawn(spec.Signature+"/sink", sink.step)
+	e.sched.Spawn(mergeName, traceStep(h.trace, mergeBody.step))
+	e.sched.Spawn(spec.Signature+"/sink", traceStep(h.trace, sink.step))
 	return nil
 }
 

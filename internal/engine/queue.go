@@ -68,6 +68,7 @@ func (q *PageQueue) TryPush(t *Task, b *storage.Batch) bool {
 	q.items = append(q.items, b)
 	w := takeWaiter(&q.waitCons)
 	q.mu.Unlock()
+	q.s.queuedPages.Add(1)
 	if w != nil {
 		q.s.wake(w)
 	}
@@ -85,6 +86,7 @@ func (q *PageQueue) TryPop(t *Task) (b *storage.Batch, ok, done bool) {
 		q.items = q.items[1:]
 		w := takeWaiter(&q.waitProd)
 		q.mu.Unlock()
+		q.s.queuedPages.Add(-1)
 		if w != nil {
 			q.s.wake(w)
 		}

@@ -127,8 +127,14 @@ type Scheduler struct {
 	// next round-robins external spawns and wakes across the worker queues.
 	next atomic.Uint64
 	// steals counts successful cross-queue steals (observability for the
-	// fairness tests and the scaling benchmark).
+	// fairness tests and the scaling benchmark); parks counts idle-park
+	// episodes — a worker finding every queue empty and going to sleep.
 	steals atomic.Int64
+	parks  atomic.Int64
+	// queuedPages counts pages currently buffered across every PageQueue
+	// wired to this scheduler — the engine-wide intermediate-result
+	// footprint, sampled by the metrics registry.
+	queuedPages atomic.Int64
 
 	// The idle lot: workers that found every queue empty park here. idlers
 	// is read lock-free by enqueuers, which take idleMu only when someone is
@@ -170,6 +176,24 @@ func (s *Scheduler) Workers() int { return s.workers }
 
 // Steals returns the cumulative count of tasks taken from a peer's queue.
 func (s *Scheduler) Steals() int64 { return s.steals.Load() }
+
+// Parks returns the cumulative count of idle-park episodes: a worker that
+// found every run queue empty and slept on the idle lot.
+func (s *Scheduler) Parks() int64 { return s.parks.Load() }
+
+// QueuedPages returns the number of pages currently buffered across every
+// PageQueue attached to this scheduler.
+func (s *Scheduler) QueuedPages() int64 { return s.queuedPages.Load() }
+
+// RunQueueDepth returns the number of runnable tasks currently enqueued
+// across all worker queues (parked and running tasks excluded).
+func (s *Scheduler) RunQueueDepth() int64 {
+	var n int64
+	for _, q := range s.queues {
+		n += int64(q.n.Load())
+	}
+	return n
+}
 
 // Start launches the worker pool. It is idempotent.
 func (s *Scheduler) Start() {
@@ -304,6 +328,7 @@ func (s *Scheduler) worker(id int) {
 			// or it sees us and signals.
 			s.idleMu.Lock()
 			s.idlers.Add(1)
+			s.parks.Add(1)
 			for !s.stopped.Load() && !s.anyQueued() {
 				s.idleCond.Wait()
 			}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// auditRatioScale scales measured/predicted ratios before histogram
+// insertion: the FloatHist's bucket-zero floor is 1, so ratios are stored
+// ×1024, keeping log-bucket resolution down to under-predictions of ~2⁻¹⁰.
+const auditRatioScale = 1024
+
+// auditKind accumulates one decision kind's predicted-vs-measured record.
+type auditKind struct {
+	n       int64
+	predSum float64
+	measSum float64
+	ratio   FloatHist
+}
+
+// Audit pairs submit-time decisions' predicted benefit with the measured
+// outcome, per decision kind ("share", "build-share", "parallel", "scatter",
+// "alone", ...). Benefit is a speedup versus running the query alone at the
+// same load, so 1 means "no benefit expected/observed" and the
+// measured/predicted ratio is the model's error: 1 is a perfect call, below
+// 1 the model over-promised, above 1 it under-promised.
+type Audit struct {
+	mu    sync.Mutex
+	kinds map[string]*auditKind
+	order []string
+}
+
+// NewAudit returns an empty audit.
+func NewAudit() *Audit {
+	return &Audit{kinds: make(map[string]*auditKind)}
+}
+
+// Observe records one decision outcome. Non-positive predictions or
+// measurements carry no ratio information and are dropped.
+func (a *Audit) Observe(kind string, predicted, measured float64) {
+	if a == nil || predicted <= 0 || measured <= 0 {
+		return
+	}
+	a.mu.Lock()
+	k, ok := a.kinds[kind]
+	if !ok {
+		k = &auditKind{}
+		a.kinds[kind] = k
+		a.order = append(a.order, kind)
+	}
+	k.n++
+	k.predSum += predicted
+	k.measSum += measured
+	a.mu.Unlock()
+	k.ratio.Observe(measured / predicted * auditRatioScale)
+}
+
+// AuditStat is one decision kind's accumulated accuracy record.
+type AuditStat struct {
+	Kind          string  `json:"kind"`
+	N             int64   `json:"n"`
+	PredictedSum  float64 `json:"predicted_sum"`
+	MeasuredSum   float64 `json:"measured_sum"`
+	MeanPredicted float64 `json:"mean_predicted"`
+	MeanMeasured  float64 `json:"mean_measured"`
+	ErrP50        float64 `json:"err_p50"`
+	ErrP95        float64 `json:"err_p95"`
+	ErrP99        float64 `json:"err_p99"`
+}
+
+// Snapshot returns per-kind stats sorted by kind name.
+func (a *Audit) Snapshot() []AuditStat {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	names := make([]string, len(a.order))
+	copy(names, a.order)
+	kinds := make([]*auditKind, len(names))
+	for i, name := range names {
+		kinds[i] = a.kinds[name]
+	}
+	a.mu.Unlock()
+	sort.Sort(&auditSort{names, kinds})
+	out := make([]AuditStat, len(names))
+	for i, name := range names {
+		k := kinds[i]
+		a.mu.Lock()
+		st := AuditStat{Kind: name, N: k.n, PredictedSum: k.predSum, MeasuredSum: k.measSum}
+		if k.n > 0 {
+			st.MeanPredicted = k.predSum / float64(k.n)
+			st.MeanMeasured = k.measSum / float64(k.n)
+		}
+		a.mu.Unlock()
+		st.ErrP50 = k.ratio.Quantile(0.50) / auditRatioScale
+		st.ErrP95 = k.ratio.Quantile(0.95) / auditRatioScale
+		st.ErrP99 = k.ratio.Quantile(0.99) / auditRatioScale
+		out[i] = st
+	}
+	return out
+}
+
+type auditSort struct {
+	names []string
+	kinds []*auditKind
+}
+
+func (s *auditSort) Len() int           { return len(s.names) }
+func (s *auditSort) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *auditSort) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.kinds[i], s.kinds[j] = s.kinds[j], s.kinds[i]
+}

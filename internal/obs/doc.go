@@ -1,0 +1,24 @@
+// Package obs is Cordoba's unified telemetry layer: a lock-cheap metrics
+// registry exported in Prometheus text format, a bounded per-engine ring of
+// per-query lifecycle traces, and a model-accuracy audit that pairs each
+// submit-time decision's predicted benefit with the measured outcome.
+//
+// The package deliberately has no dependencies beyond the standard library
+// and no knowledge of the engine: the engine, scheduler, cache, cluster and
+// server all register closures over their existing counters (so the hot
+// paths pay nothing for exposition), append span events to a query's trace
+// handle (nil-safe, so a disabled tracer costs one pointer test), and feed
+// (predicted, measured) pairs to an Audit keyed by decision kind.
+//
+// Three building blocks:
+//
+//   - Registry / Counter / Gauge / CounterFunc / GaugeFunc / Histogram:
+//     named series with optional labels, rendered by WritePrometheus. Counters
+//     and gauges are single atomics; func variants sample at scrape time.
+//   - Tracer / QueryTrace: Begin allocates a trace slot in a fixed ring
+//     (oldest evicted on wrap), spans append under the trace's own mutex,
+//     scheduler quanta and queue waits accumulate in per-trace atomics.
+//   - Audit: Observe(kind, predicted, measured) accumulates a per-kind
+//     measured/predicted ratio histogram — the prediction-error distribution
+//     of the cost model's share/parallel/scatter/admit decisions.
+package obs

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// histBucketsPerOctave sets the histogram resolution: 8 buckets per doubling
+// bounds any quantile's relative error by 2^(1/8)−1 ≈ 9%, plenty for tail
+// reporting, at a fixed few-hundred-bucket footprint.
+const histBucketsPerOctave = 8
+
+// FloatHist is a thread-safe log-bucketed histogram over positive float64
+// values: fixed memory whatever the sample count, geometric buckets so the
+// p99 of a microsecond and the p99 of a minute are captured with the same
+// relative precision. Values at or below 1 land in bucket zero, so callers
+// whose values range below 1 (ratios, fractions) should scale observations
+// up and divide quantiles back down. The zero value is ready to use.
+type FloatHist struct {
+	mu     sync.Mutex
+	counts []uint64
+	n      uint64
+	sum    float64
+	max    float64
+}
+
+// floatBucket maps a value to its bucket index.
+func floatBucket(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(v) * histBucketsPerOctave))
+}
+
+// floatBound returns the upper bound of bucket i.
+func floatBound(i int) float64 {
+	return math.Pow(2, float64(i)/histBucketsPerOctave)
+}
+
+// Observe records one sample. Negative samples are clamped to 0.
+func (h *FloatHist) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	b := floatBucket(v)
+	h.mu.Lock()
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *FloatHist) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all samples.
+func (h *FloatHist) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *FloatHist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest sample observed (0 when empty).
+func (h *FloatHist) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the value at quantile p in [0,1]: the upper bound of the
+// bucket holding the p·n-th sample, clamped to the observed maximum so the
+// top bucket's geometric rounding never reports a value nothing reached. An
+// empty histogram reports 0, never a sentinel.
+func (h *FloatHist) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			bound := floatBound(i)
+			if bound > h.max {
+				bound = h.max
+			}
+			return bound
+		}
+	}
+	return h.max
+}
+
+// HistBucket is one cumulative bucket of a histogram snapshot: the count of
+// samples at or below UpperBound.
+type HistBucket struct {
+	UpperBound      float64
+	CumulativeCount uint64
+}
+
+// HistSnapshot is a consistent point-in-time copy of a histogram, in the
+// cumulative-bucket form the Prometheus exposition format wants.
+type HistSnapshot struct {
+	Buckets []HistBucket
+	Count   uint64
+	Sum     float64
+	Max     float64
+}
+
+// Snapshot returns the histogram's cumulative-bucket state. Empty buckets
+// between occupied ones are skipped (their cumulative count equals the
+// previous bound's, so the exposition loses nothing).
+func (h *FloatHist) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.n, Sum: h.sum, Max: h.max}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		s.Buckets = append(s.Buckets, HistBucket{UpperBound: floatBound(i), CumulativeCount: cum})
+	}
+	return s
+}
+
+// histUnit is the duration histogram's unit: observations are stored in
+// microseconds, so bucket zero's upper bound is 1µs — the same resolution
+// floor the workload package's original histogram used.
+const histUnit = time.Microsecond
+
+// Hist is a thread-safe log-bucketed latency histogram: a FloatHist over
+// microseconds with a time.Duration API. It was born as workload.Hist and is
+// re-exported there as an alias; the zero value is ready to use.
+type Hist struct {
+	f FloatHist
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	h.f.Observe(float64(d) / float64(histUnit))
+}
+
+// Float returns the underlying FloatHist, e.g. for registry registration.
+// Values are in microseconds.
+func (h *Hist) Float() *FloatHist { return &h.f }
+
+// Count returns the number of samples observed.
+func (h *Hist) Count() uint64 { return h.f.Count() }
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	return time.Duration(h.f.Mean() * float64(histUnit))
+}
+
+// Max returns the largest sample observed.
+func (h *Hist) Max() time.Duration {
+	return time.Duration(h.f.Max() * float64(histUnit))
+}
+
+// Quantile returns the latency at quantile p in [0,1], clamped to the
+// observed maximum. An empty histogram reports 0, never a sentinel.
+func (h *Hist) Quantile(p float64) time.Duration {
+	return time.Duration(h.f.Quantile(p) * float64(histUnit))
+}
+
+// P50, P95 and P99 are the tail-latency quantiles the reports cite.
+func (h *Hist) P50() time.Duration { return h.Quantile(0.50) }
+func (h *Hist) P95() time.Duration { return h.Quantile(0.95) }
+func (h *Hist) P99() time.Duration { return h.Quantile(0.99) }
+
+// String renders the headline quantiles, e.g. for run reports.
+func (h *Hist) String() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v n=%d",
+		h.P50().Round(time.Microsecond), h.P95().Round(time.Microsecond),
+		h.P99().Round(time.Microsecond), h.Max().Round(time.Microsecond), h.Count())
+}

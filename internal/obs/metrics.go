@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels name a series within a metric family. Rendering sorts keys, so two
+// maps with equal contents address the same series.
+type Labels map[string]string
+
+// Counter is a monotonically increasing series: one atomic, no locks.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers keep counters monotone; Add does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable series: one atomic holding float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// series is one (labels, value) pair within a family. Exactly one of value
+// and hist is set.
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	value  func() float64
+	hist   *FloatHist
+	scale  float64 // applied to hist bounds and sum at exposition
+}
+
+// family is one named metric with HELP/TYPE lines and its series in
+// registration order.
+type family struct {
+	name, help, typ string
+	series          []*series
+	index           map[string]*series
+}
+
+// auditReg binds a registered Audit to its exposition name prefix and the
+// extra labels (e.g. a shard id) merged into every series.
+type auditReg struct {
+	prefix string
+	labels Labels
+	audit  *Audit
+}
+
+// Registry holds named metric families and renders them in Prometheus text
+// exposition format. Registration takes the registry lock; reading a Counter
+// or Gauge never does. Collection samples func-backed series at scrape time,
+// so components register closures over counters they already maintain.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+	audits []auditReg
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, index: make(map[string]*series)}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	}
+	return f
+}
+
+func (r *Registry) register(name, help, typ string, labels Labels, s *series) *series {
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	if old, ok := f.index[s.labels]; ok {
+		// Re-registering a series replaces its source; the old handle keeps
+		// working but no longer feeds the exposition.
+		*old = *s
+		return old
+	}
+	f.index[s.labels] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter registers (or fetches) an owned counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels, &series{value: func() float64 { return float64(c.v.Load()) }})
+	return c
+}
+
+// Gauge registers (or fetches) an owned gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels, &series{value: g.Value})
+	return g
+}
+
+// CounterFunc registers a counter series sampled from fn at scrape time —
+// the zero-hot-path-cost variant for counters a component already keeps.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "counter", labels, &series{value: fn})
+}
+
+// GaugeFunc registers a gauge series sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", labels, &series{value: fn})
+}
+
+// Histogram registers a FloatHist. scale converts stored values to the
+// exposition unit (e.g. 1e-6 for a microsecond histogram exposed in
+// seconds); 0 means 1.
+func (r *Registry) Histogram(name, help string, labels Labels, h *FloatHist, scale float64) {
+	if scale == 0 {
+		scale = 1
+	}
+	r.register(name, help, "histogram", labels, &series{hist: h, scale: scale})
+}
+
+// RegisterAudit exposes a model-accuracy audit under the given name prefix:
+// per decision kind, decision counts, predicted/measured benefit sums and
+// error-ratio quantiles. labels are merged into every series, so several
+// audits (one per shard) can share a prefix.
+func (r *Registry) RegisterAudit(prefix string, labels Labels, a *Audit) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.audits = append(r.audits, auditReg{prefix: prefix, labels: labels, audit: a})
+}
+
+// renderLabels renders a label set as `{k="v",...}` with sorted keys and
+// escaped values, or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double-quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are legal
+// there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// insertLabel splices `extra` (already k="v" form) into a rendered label
+// block, handling both the empty and non-empty cases.
+func insertLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered family (and audit) in Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	audits := make([]auditReg, len(r.audits))
+	copy(audits, r.audits)
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				if err := writeHist(w, f.name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(s.value())); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ar := range audits {
+		if err := writeAudit(w, ar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditLabels renders the audit series labels: the registration's extra
+// labels plus kind (and optionally quantile).
+func auditLabels(ar auditReg, kind, quantile string) string {
+	merged := make(Labels, len(ar.labels)+2)
+	for k, v := range ar.labels {
+		merged[k] = v
+	}
+	merged["kind"] = kind
+	if quantile != "" {
+		merged["quantile"] = quantile
+	}
+	return renderLabels(merged)
+}
+
+func writeHist(w io.Writer, name string, s *series) error {
+	snap := s.hist.Snapshot()
+	for _, b := range snap.Buckets {
+		le := insertLabel(s.labels, `le="`+fmtFloat(b.UpperBound*s.scale)+`"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, b.CumulativeCount); err != nil {
+			return err
+		}
+	}
+	inf := insertLabel(s.labels, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, inf, snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, fmtFloat(snap.Sum*s.scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, snap.Count)
+	return err
+}
+
+func writeAudit(w io.Writer, ar auditReg) error {
+	prefix := ar.prefix
+	stats := ar.audit.Snapshot()
+	if len(stats) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s_decisions_total Model decisions audited, by decision kind.\n# TYPE %s_decisions_total counter\n", prefix, prefix); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if _, err := fmt.Fprintf(w, "%s_decisions_total%s %d\n", prefix, auditLabels(ar, st.Kind, ""), st.N); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s_error_ratio Measured/predicted benefit ratio quantiles per decision kind (1 = model exact).\n# TYPE %s_error_ratio gauge\n", prefix, prefix); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", st.ErrP50}, {"0.95", st.ErrP95}, {"0.99", st.ErrP99}} {
+			if _, err := fmt.Fprintf(w, "%s_error_ratio%s %s\n", prefix, auditLabels(ar, st.Kind, q.q), fmtFloat(q.v)); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s_predicted_benefit_sum Sum of predicted decision benefits (speedup vs alone), by kind.\n# TYPE %s_predicted_benefit_sum counter\n", prefix, prefix); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if _, err := fmt.Fprintf(w, "%s_predicted_benefit_sum%s %s\n", prefix, auditLabels(ar, st.Kind, ""), fmtFloat(st.PredictedSum)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s_measured_benefit_sum Sum of measured decision benefits (alone-estimate / wall), by kind.\n# TYPE %s_measured_benefit_sum counter\n", prefix, prefix); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if _, err := fmt.Fprintf(w, "%s_measured_benefit_sum%s %s\n", prefix, auditLabels(ar, st.Kind, ""), fmtFloat(st.MeasuredSum)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// An empty histogram must report 0 for every quantile — not the top-bucket
+// bound, not the max sentinel.
+func TestEmptyHistQuantilesReportZero(t *testing.T) {
+	var f FloatHist
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := f.Quantile(p); got != 0 {
+			t.Fatalf("empty FloatHist Quantile(%v) = %v, want 0", p, got)
+		}
+	}
+	if f.Mean() != 0 || f.Max() != 0 || f.Count() != 0 {
+		t.Fatalf("empty FloatHist not all-zero: mean=%v max=%v n=%d", f.Mean(), f.Max(), f.Count())
+	}
+	var h Hist
+	if h.P50() != 0 || h.P95() != 0 || h.P99() != 0 || h.Max() != 0 {
+		t.Fatalf("empty Hist quantiles not zero: %s", h.String())
+	}
+}
+
+func TestHistQuantileClampAndResolution(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	// All mass in one bucket: every quantile equals the observed max (the
+	// clamp), not the bucket's geometric upper bound.
+	if got := h.P99(); got != 10*time.Millisecond {
+		t.Fatalf("P99 = %v, want 10ms exactly (clamped to max)", got)
+	}
+	h.Observe(time.Second)
+	p100 := h.Quantile(1)
+	if p100 < 900*time.Millisecond || p100 > time.Second {
+		t.Fatalf("Quantile(1) after outlier = %v, want within ~9%% below 1s", p100)
+	}
+	if h.Count() != 101 {
+		t.Fatalf("Count = %d, want 101", h.Count())
+	}
+}
+
+// The tracer ring must retain exactly the last `cap` traces once it wraps,
+// oldest-first in Recent.
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		qt := tr.Begin(fmt.Sprintf("q%d", i))
+		qt.Event("submit", "")
+		if qt.ID() != uint64(i) {
+			t.Fatalf("trace %d got id %d", i, qt.ID())
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("Recent(0) returned %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		wantID := uint64(7 + i) // 7,8,9,10 survive; 1..6 evicted
+		if rec.ID != wantID {
+			t.Fatalf("record %d has id %d, want %d", i, rec.ID, wantID)
+		}
+		if rec.Signature != fmt.Sprintf("q%d", wantID) {
+			t.Fatalf("record %d signature %q", i, rec.Signature)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].ID != 10 {
+		t.Fatalf("Recent(2) = %+v, want last two ending at id 10", got)
+	}
+}
+
+// A nil tracer (disabled) and a nil trace must be safe through the whole
+// span API.
+func TestNilTracerAndTraceAreNoOps(t *testing.T) {
+	var tr *Tracer
+	qt := tr.Begin("x")
+	if qt != nil {
+		t.Fatal("nil tracer Begin returned non-nil trace")
+	}
+	qt.Event("submit", "detail")
+	qt.EventPredicted("pivot", "z", 2.5)
+	qt.EventMeasured("complete", "", 2.5, 2.1)
+	qt.IncQuanta()
+	qt.AddWait(time.Millisecond)
+	if rec := qt.Snapshot(); rec.ID != 0 || len(rec.Events) != 0 {
+		t.Fatalf("nil trace snapshot = %+v", rec)
+	}
+	if tr.Len() != 0 || tr.Recent(5) != nil {
+		t.Fatal("nil tracer not empty")
+	}
+	if NewTracer(0) != nil || NewTracer(-1) != nil {
+		t.Fatal("non-positive capacity should disable tracing")
+	}
+}
+
+// Concurrent span emission, quanta counting and snapshotting across many
+// goroutines — the -race target for the tracing hot path.
+func TestConcurrentSpanEmission(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				qt := tr.Begin(fmt.Sprintf("g%d-%d", g, i))
+				qt.Event("submit", "")
+				qt.EventPredicted("pivot", "share@1", 1.5)
+				qt.IncQuanta()
+				qt.AddWait(time.Microsecond)
+				qt.EventMeasured("complete", "", 1.5, 1.2)
+			}
+		}(g)
+	}
+	// Concurrent readers while writers run.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, rec := range tr.Recent(8) {
+					_ = rec.Quanta
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 32 {
+		t.Fatalf("Len = %d, want full ring of 32", tr.Len())
+	}
+	for _, rec := range tr.Recent(0) {
+		if len(rec.Events) != 3 {
+			t.Fatalf("trace %d has %d events, want 3", rec.ID, len(rec.Events))
+		}
+		if rec.Quanta != 1 {
+			t.Fatalf("trace %d quanta = %d", rec.ID, rec.Quanta)
+		}
+	}
+}
+
+// Prometheus text-format escaping: backslashes, quotes and newlines in
+// label values; backslashes and newlines in HELP.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "help with \\ backslash\nand newline", Labels{
+		"path": `C:\data`,
+		"q":    "say \"hi\"\nbye",
+	})
+	c.Add(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantHelp := `# HELP esc_total help with \\ backslash\nand newline`
+	if !strings.Contains(out, wantHelp) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	wantSeries := `esc_total{path="C:\\data",q="say \"hi\"\nbye"} 3`
+	if !strings.Contains(out, wantSeries) {
+		t.Fatalf("label values not escaped, want %q in:\n%s", wantSeries, out)
+	}
+}
+
+func TestRegistryCountersGaugesFuncsAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter", nil)
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("g", "a gauge", Labels{"shard": "0"})
+	g.Set(2.5)
+	g.Add(-0.5)
+	r.CounterFunc("cf_total", "func counter", nil, func() float64 { return 42 })
+	r.GaugeFunc("gf", "func gauge", nil, func() float64 { return -1.25 })
+	var fh FloatHist
+	fh.Observe(100) // µs
+	fh.Observe(200)
+	r.Histogram("lat_seconds", "latency", nil, &fh, 1e-6)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE c_total counter", "c_total 5",
+		`g{shard="0"} 2`,
+		"cf_total 42",
+		"gf -1.25",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_count 2",
+		"lat_seconds_sum 0.0003",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// Histogram bucket bounds must be cumulative and ordered.
+	snap := fh.Snapshot()
+	if len(snap.Buckets) != 2 || snap.Buckets[1].CumulativeCount != 2 {
+		t.Fatalf("snapshot buckets = %+v", snap.Buckets)
+	}
+	if snap.Buckets[0].UpperBound >= snap.Buckets[1].UpperBound {
+		t.Fatalf("bucket bounds not ascending: %+v", snap.Buckets)
+	}
+}
+
+func TestAuditObserveAndSnapshot(t *testing.T) {
+	a := NewAudit()
+	// Model promised 2× from sharing, delivered 1.8×, thrice.
+	for i := 0; i < 3; i++ {
+		a.Observe("share", 2.0, 1.8)
+	}
+	a.Observe("alone", 1.0, 1.0)
+	a.Observe("bogus", 0, 1) // dropped: no prediction
+	stats := a.Snapshot()
+	if len(stats) != 2 {
+		t.Fatalf("got %d kinds, want 2: %+v", len(stats), stats)
+	}
+	if stats[0].Kind != "alone" || stats[1].Kind != "share" {
+		t.Fatalf("kinds not sorted: %+v", stats)
+	}
+	sh := stats[1]
+	if sh.N != 3 || sh.MeanPredicted != 2.0 {
+		t.Fatalf("share stats = %+v", sh)
+	}
+	// Error ratio 0.9, log-bucket relative error ≤ 9%.
+	if sh.ErrP50 < 0.85 || sh.ErrP50 > 0.95 {
+		t.Fatalf("share ErrP50 = %v, want ≈0.9", sh.ErrP50)
+	}
+
+	r := NewRegistry()
+	r.RegisterAudit("cordoba_model", Labels{"shard": "0"}, a)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`cordoba_model_decisions_total{kind="share",shard="0"} 3`,
+		`cordoba_model_error_ratio{kind="share",quantile="0.5",shard="0"}`,
+		`cordoba_model_predicted_benefit_sum{kind="share",shard="0"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in audit exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditConcurrentObserve(t *testing.T) {
+	a := NewAudit()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a.Observe("share", 2, 1.9)
+				_ = a.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := a.Snapshot(); st[0].N != 4000 {
+		t.Fatalf("N = %d, want 4000", st[0].N)
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one span event in a query's lifecycle: submit, admit, compile,
+// pivot choice, anchor/attach, seal, gather, complete. Predicted carries the
+// model's expected benefit at decision events (speedup vs running alone,
+// 1 = none); Measured carries the realized benefit at completion.
+type Event struct {
+	T         time.Time
+	Kind      string
+	Detail    string
+	Predicted float64
+	Measured  float64
+}
+
+// QueryTrace accumulates one query's span events plus two hot-path
+// counters: scheduler quanta executed and time spent blocked on page
+// queues. All methods are nil-receiver safe, so call sites need no tracer-
+// enabled test.
+type QueryTrace struct {
+	id     uint64
+	sig    string
+	start  time.Time
+	quanta atomic.Int64
+	waitNS atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// ID returns the trace's tracer-assigned sequence number (0 for nil).
+func (t *QueryTrace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Event appends a span event.
+func (t *QueryTrace) Event(kind, detail string) {
+	t.add(Event{Kind: kind, Detail: detail})
+}
+
+// EventPredicted appends a span event carrying the model's predicted
+// benefit.
+func (t *QueryTrace) EventPredicted(kind, detail string, predicted float64) {
+	t.add(Event{Kind: kind, Detail: detail, Predicted: predicted})
+}
+
+// EventMeasured appends a span event carrying both the predicted and the
+// measured benefit — the completion event pairs the two for the audit.
+func (t *QueryTrace) EventMeasured(kind, detail string, predicted, measured float64) {
+	t.add(Event{Kind: kind, Detail: detail, Predicted: predicted, Measured: measured})
+}
+
+func (t *QueryTrace) add(e Event) {
+	if t == nil {
+		return
+	}
+	e.T = time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// IncQuanta counts one scheduler quantum executed on the query's behalf.
+func (t *QueryTrace) IncQuanta() {
+	if t == nil {
+		return
+	}
+	t.quanta.Add(1)
+}
+
+// AddWait accumulates time one of the query's tasks spent parked on a page
+// queue.
+func (t *QueryTrace) AddWait(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.waitNS.Add(int64(d))
+}
+
+// TraceEvent is the wire form of an Event: offset from trace start instead
+// of an absolute timestamp.
+type TraceEvent struct {
+	OffsetMS  float64 `json:"offset_ms"`
+	Kind      string  `json:"kind"`
+	Detail    string  `json:"detail,omitempty"`
+	Predicted float64 `json:"predicted,omitempty"`
+	Measured  float64 `json:"measured,omitempty"`
+}
+
+// TraceRecord is a consistent snapshot of one query's trace, in the form the
+// trace wire op returns.
+type TraceRecord struct {
+	ID          uint64       `json:"id"`
+	Signature   string       `json:"signature"`
+	Quanta      int64        `json:"quanta"`
+	QueueWaitMS float64      `json:"queue_wait_ms"`
+	Events      []TraceEvent `json:"events"`
+}
+
+// Snapshot copies the trace's current state.
+func (t *QueryTrace) Snapshot() TraceRecord {
+	if t == nil {
+		return TraceRecord{}
+	}
+	rec := TraceRecord{
+		ID:          t.id,
+		Signature:   t.sig,
+		Quanta:      t.quanta.Load(),
+		QueueWaitMS: float64(t.waitNS.Load()) / 1e6,
+	}
+	t.mu.Lock()
+	rec.Events = make([]TraceEvent, len(t.events))
+	for i, e := range t.events {
+		rec.Events[i] = TraceEvent{
+			OffsetMS:  e.T.Sub(t.start).Seconds() * 1e3,
+			Kind:      e.Kind,
+			Detail:    e.Detail,
+			Predicted: e.Predicted,
+			Measured:  e.Measured,
+		}
+	}
+	t.mu.Unlock()
+	return rec
+}
+
+// Tracer keeps the most recent query traces in a fixed ring: Begin claims
+// the next slot, evicting the oldest trace once the ring wraps. A nil Tracer
+// is a disabled one — Begin returns a nil trace and every downstream span
+// call is a no-op.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*QueryTrace
+	next int
+	seq  uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity traces, or nil
+// (tracing disabled) when capacity is not positive.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{ring: make([]*QueryTrace, capacity)}
+}
+
+// Begin allocates a trace for one query, appends its submit-side identity
+// and claims a ring slot.
+func (tr *Tracer) Begin(signature string) *QueryTrace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	tr.seq++
+	t := &QueryTrace{id: tr.seq, sig: signature, start: time.Now()}
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	tr.mu.Unlock()
+	return t
+}
+
+// Len returns the number of traces currently retained.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, t := range tr.ring {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Recent snapshots up to n retained traces, oldest first (so the last entry
+// is the newest query). n <= 0 means all retained.
+func (tr *Tracer) Recent(n int) []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	ordered := make([]*QueryTrace, 0, len(tr.ring))
+	// Oldest retained trace sits at next (the slot about to be evicted).
+	for i := 0; i < len(tr.ring); i++ {
+		if t := tr.ring[(tr.next+i)%len(tr.ring)]; t != nil {
+			ordered = append(ordered, t)
+		}
+	}
+	tr.mu.Unlock()
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	out := make([]TraceRecord, len(ordered))
+	for i, t := range ordered {
+		out[i] = t.Snapshot()
+	}
+	return out
+}

@@ -13,12 +13,14 @@
 // as sharing, not a hard-coded limit.
 package server
 
+import "repro/internal/obs"
+
 // Request is one client line. Op selects the kind: a query submission (the
-// default), a stats probe, or a ping.
+// default), a stats probe, a trace dump, or a ping.
 type Request struct {
 	// ID correlates the response; the server echoes it verbatim.
 	ID string `json:"id"`
-	// Op is "query" (default when empty), "stats", or "ping".
+	// Op is "query" (default when empty), "stats", "trace", or "ping".
 	Op string `json:"op,omitempty"`
 	// Tenant names the submitter's FIFO queue ("" = "default"). Queued
 	// admission is FIFO per tenant, round-robin across tenants.
@@ -29,6 +31,9 @@ type Request struct {
 	// Variant selects the family parameterization (reduced modulo the
 	// family's variant count).
 	Variant int `json:"variant,omitempty"`
+	// Limit caps how many recent traces an op "trace" request returns per
+	// engine (0 = a server default).
+	Limit int `json:"limit,omitempty"`
 }
 
 // Response is one server line.
@@ -55,6 +60,9 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 	// Stats answers an op "stats" request.
 	Stats *Stats `json:"stats,omitempty"`
+	// Traces answers an op "trace" request: recent query lifecycle traces,
+	// oldest first (across every shard on a sharded server).
+	Traces []obs.TraceRecord `json:"traces,omitempty"`
 }
 
 // Response status values.
@@ -97,6 +105,16 @@ type Stats struct {
 	// cache: hits are submits served by a memoized compile artifact.
 	CompileHits   int64 `json:"compile_hits,omitempty"`
 	CompileMisses int64 `json:"compile_misses,omitempty"`
+	// Steals/Parks mirror the scheduler's work-stealing balance: tasks taken
+	// from a peer worker's queue, and idle-park episodes (summed across
+	// shards on a sharded server).
+	Steals int64 `json:"steals,omitempty"`
+	Parks  int64 `json:"parks,omitempty"`
+	// PoolGets/PoolHits/PoolPuts mirror the process-wide page pool: column
+	// allocations requested, served from the pool, and returned to it.
+	PoolGets int64 `json:"pool_gets,omitempty"`
+	PoolHits int64 `json:"pool_hits,omitempty"`
+	PoolPuts int64 `json:"pool_puts,omitempty"`
 	// BusJoins counts cross-shard attaches through the artifact bus: queries
 	// that probed a hash table built on a different shard (sharded servers
 	// only).

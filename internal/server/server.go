@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tpch"
 )
@@ -84,6 +85,9 @@ type Server struct {
 	closed    bool
 
 	connWG sync.WaitGroup
+
+	metricsOnce sync.Once
+	metrics     *obs.Registry
 }
 
 // New builds a server and starts its engine. Close (or Shutdown) releases
@@ -247,6 +251,8 @@ func (s *Server) handleConn(c *conn) {
 		case "stats":
 			st := s.Stats()
 			c.write(Response{ID: req.ID, Status: StatusOK, Stats: &st})
+		case "trace":
+			c.write(Response{ID: req.ID, Status: StatusOK, Traces: s.Traces(req.Limit)})
 		case "ping":
 			c.write(Response{ID: req.ID, Status: StatusOK})
 		default:
@@ -421,11 +427,22 @@ func (s *Server) submitLocked(p *pending, decision string, waited time.Duration)
 			LatencyMS: float64(time.Since(arrived)) / float64(time.Millisecond),
 		})
 	}
-	var err error
+	var (
+		h   *engine.Handle
+		err error
+	)
 	if p.sharded {
-		_, err = s.cluster.SubmitFn(p.plan, s.cfg.Policy, done)
+		h, err = s.cluster.SubmitFn(p.plan, s.cfg.Policy, done)
 	} else {
-		_, err = s.eng.SubmitFn(p.spec, s.cfg.Policy, done)
+		h, err = s.eng.SubmitFn(p.spec, s.cfg.Policy, done)
+	}
+	if err == nil {
+		// The admission verdict joins the lifecycle trace here — the trace is
+		// born inside SubmitFn, so the admit span lands just after the
+		// submit-side events rather than before them. Predicted carries the
+		// admission model's benefit rate.
+		h.Trace().EventPredicted("admit",
+			fmt.Sprintf("%s waited=%s", decision, waited.Round(time.Microsecond)), p.benefit)
 	}
 	if err != nil {
 		s.inflight--
@@ -524,6 +541,7 @@ func (s *Server) Stats() Stats {
 		Admissions: adm,
 	}
 	s.mu.Unlock()
+	st.PoolGets, st.PoolHits, st.PoolPuts = storage.PagePoolStats()
 	if s.cluster != nil {
 		// Sharded: the engine counters aggregate the cluster, and Shards
 		// carries one row per engine so a stats probe sees where the work
@@ -539,6 +557,8 @@ func (s *Server) Stats() Stats {
 			e := s.cluster.Shard(i)
 			st.Active += e.Active()
 			st.InflightAttaches += e.InflightAttaches()
+			st.Steals += e.Steals()
+			st.Parks += e.Parks()
 			for lvl, n := range e.PivotLevelJoins() {
 				pj[lvl] += n
 			}
@@ -570,5 +590,25 @@ func (s *Server) Stats() Stats {
 	cs := s.eng.CacheStats()
 	st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes = cs.Hits, cs.Misses, cs.Evictions, cs.Bytes
 	st.CompileHits, st.CompileMisses = s.eng.CompileHits(), s.eng.CompileMisses()
+	st.Steals, st.Parks = s.eng.Steals(), s.eng.Parks()
 	return st
+}
+
+// Traces snapshots up to limit recent query lifecycle traces per engine
+// (oldest first; limit <= 0 applies a default of 32). On a sharded server
+// every shard's ring is dumped in shard order — a scattered query shows up
+// once as the coordinator's scatter/gather trace (on shard 0's ring) and
+// once per shard for its partial forms.
+func (s *Server) Traces(limit int) []obs.TraceRecord {
+	if limit <= 0 {
+		limit = 32
+	}
+	if s.cluster == nil {
+		return s.eng.Tracer().Recent(limit)
+	}
+	var out []obs.TraceRecord
+	for i := 0; i < s.cluster.NumShards(); i++ {
+		out = append(out, s.cluster.Shard(i).Tracer().Recent(limit)...)
+	}
+	return out
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -137,6 +138,42 @@ func (c *Client) ServerStats() (server.Stats, error) {
 		return server.Stats{}, fmt.Errorf("stats response carried no stats")
 	}
 	return *resp.Stats, nil
+}
+
+// Traces fetches up to limit recent query lifecycle traces per engine
+// (limit <= 0 applies the server default).
+func (c *Client) Traces(limit int) ([]obs.TraceRecord, error) {
+	resp, err := c.Do(server.Request{Op: "trace", Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != server.StatusOK {
+		return nil, fmt.Errorf("trace op: status %q (%s)", resp.Status, resp.Error)
+	}
+	return resp.Traces, nil
+}
+
+// TraceReport renders trace records as indented span chains — one header
+// line per query, one line per span event with its offset from submit and,
+// where the model spoke, the predicted (and at completion, measured)
+// benefit.
+func TraceReport(recs []obs.TraceRecord) string {
+	var sb strings.Builder
+	for _, r := range recs {
+		fmt.Fprintf(&sb, "trace %d %s quanta=%d queue_wait=%.2fms\n",
+			r.ID, r.Signature, r.Quanta, r.QueueWaitMS)
+		for _, e := range r.Events {
+			fmt.Fprintf(&sb, "  %9.3fms %-8s %s", e.OffsetMS, e.Kind, e.Detail)
+			if e.Predicted != 0 {
+				fmt.Fprintf(&sb, " predicted=%.3g", e.Predicted)
+			}
+			if e.Measured != 0 {
+				fmt.Fprintf(&sb, " measured=%.3g", e.Measured)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
 }
 
 // ShardReport renders a sharded server's stats as one counter row per shard

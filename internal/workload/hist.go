@@ -1,132 +1,11 @@
 package workload
 
-import (
-	"fmt"
-	"math"
-	"sync"
-	"time"
-)
+import "repro/internal/obs"
 
-// histBucketsPerOctave sets the histogram resolution: 8 buckets per doubling
-// bounds any quantile's relative error by 2^(1/8)−1 ≈ 9%, plenty for tail
-// reporting, at a fixed few-hundred-bucket footprint.
-const histBucketsPerOctave = 8
-
-// histMin is the first bucket's upper bound; observations below it land in
-// bucket zero.
-const histMin = time.Microsecond
-
-// Hist is a thread-safe log-bucketed latency histogram: fixed memory
-// whatever the sample count, geometric buckets so p99 of a microsecond and
-// p99 of a minute are captured with the same relative precision.
-type Hist struct {
-	mu     sync.Mutex
-	counts []uint64
-	n      uint64
-	sum    time.Duration
-	max    time.Duration
-}
-
-// histBucket maps a duration to its bucket index.
-func histBucket(d time.Duration) int {
-	if d <= histMin {
-		return 0
-	}
-	return int(math.Ceil(math.Log2(float64(d)/float64(histMin)) * histBucketsPerOctave))
-}
-
-// histBound returns the upper bound of bucket i.
-func histBound(i int) time.Duration {
-	return time.Duration(float64(histMin) * math.Pow(2, float64(i)/histBucketsPerOctave))
-}
-
-// Observe records one latency sample.
-func (h *Hist) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	b := histBucket(d)
-	h.mu.Lock()
-	if b >= len(h.counts) {
-		grown := make([]uint64, b+1)
-		copy(grown, h.counts)
-		h.counts = grown
-	}
-	h.counts[b]++
-	h.n++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-	h.mu.Unlock()
-}
-
-// Count returns the number of samples observed.
-func (h *Hist) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
-}
-
-// Mean returns the arithmetic mean of the samples (0 when empty).
-func (h *Hist) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
-	}
-	return h.sum / time.Duration(h.n)
-}
-
-// Max returns the largest sample observed.
-func (h *Hist) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
-
-// Quantile returns the latency at quantile p in [0,1]: the upper bound of
-// the bucket holding the p·n-th sample, clamped to the observed maximum so
-// the top bucket's rounding never reports a latency nothing reached. Returns
-// 0 when the histogram is empty.
-func (h *Hist) Quantile(p float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
-	}
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	rank := uint64(math.Ceil(p * float64(h.n)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			bound := histBound(i)
-			if bound > h.max {
-				bound = h.max
-			}
-			return bound
-		}
-	}
-	return h.max
-}
-
-// P50, P95 and P99 are the tail-latency quantiles the reports cite.
-func (h *Hist) P50() time.Duration { return h.Quantile(0.50) }
-func (h *Hist) P95() time.Duration { return h.Quantile(0.95) }
-func (h *Hist) P99() time.Duration { return h.Quantile(0.99) }
-
-// String renders the headline quantiles, e.g. for run reports.
-func (h *Hist) String() string {
-	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v n=%d",
-		h.P50().Round(time.Microsecond), h.P95().Round(time.Microsecond),
-		h.P99().Round(time.Microsecond), h.Max().Round(time.Microsecond), h.Count())
-}
+// Hist is the log-bucketed latency histogram the load generators report
+// with. It began life here and moved to internal/obs when the telemetry
+// layer unified histograms across the engine, server and clients; the alias
+// keeps every workload-facing call site (and the zero-value-usable
+// contract) intact. An empty histogram reports 0 for every quantile, never
+// a sentinel.
+type Hist = obs.Hist

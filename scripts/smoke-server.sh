@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Smoke-test the cordobad server end to end: boot it on a random port, offer
-# ~100 open-loop queries, then SIGTERM and assert a clean drain (exit 0, the
-# "drained:" report flushed) and a nonzero p99 in the client's tail report.
+# Smoke-test the cordobad server end to end: boot it on a random port with
+# the metrics endpoint enabled, offer ~100 open-loop queries, scrape /metrics
+# and assert a nonzero completed-query counter, then SIGTERM and assert a
+# clean drain (exit 0, the "drained:" report flushed) and a nonzero p99 in
+# the client's tail report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +13,9 @@ trap 'kill -9 "$srv" 2>/dev/null || true; rm -rf "$work"' EXIT
 go build -o "$work/cordobad" ./cmd/cordobad
 
 addr_file="$work/addr"
+metrics_file="$work/metrics-addr"
 "$work/cordobad" -sf 0.002 -workers 2 -addr 127.0.0.1:0 -addr-file "$addr_file" \
+  -metrics 127.0.0.1:0 -metrics-file "$metrics_file" \
   >"$work/server.log" 2>&1 &
 srv=$!
 
@@ -24,8 +28,26 @@ done
 addr=$(cat "$addr_file")
 echo "server up at $addr"
 
-client_out=$("$work/cordobad" -client -addr "$addr" -rate 300 -arrivals 100 -conns 4)
+client_out=$("$work/cordobad" -client -addr "$addr" -rate 300 -arrivals 100 -conns 4 -trace 3)
 echo "$client_out"
+
+# Scrape the Prometheus endpoint and assert the completed-query counter
+# moved. exec through /dev/tcp keeps the scrape dependency-free.
+[ -s "$metrics_file" ] || { echo "FAIL: server did not publish its metrics address"; exit 1; }
+maddr=$(cat "$metrics_file")
+mhost=${maddr%:*} mport=${maddr##*:}
+exec 3<>"/dev/tcp/$mhost/$mport"
+printf 'GET /metrics HTTP/1.0\r\nHost: %s\r\n\r\n' "$maddr" >&3
+scrape=$(cat <&3)
+exec 3<&- 3>&-
+echo "$scrape" > "$work/metrics.txt"
+echo "$scrape" | grep -Eq '^cordoba_queries_total [1-9]' \
+  || { echo "FAIL: /metrics lacks a nonzero cordoba_queries_total"; head -40 "$work/metrics.txt"; exit 1; }
+series=$(echo "$scrape" | grep -Ec '^cordoba_[a-z_]+(\{[^}]*\})? [0-9+.eE-]+$' || true)
+[ "$series" -ge 20 ] || { echo "FAIL: /metrics serves $series series (want >= 20)"; exit 1; }
+echo "metrics OK: $series series, completed counter nonzero"
+echo "$client_out" | grep -q 'complete' \
+  || { echo "FAIL: client trace dump lacks a complete span"; exit 1; }
 
 kill -TERM "$srv"
 rc=0
